@@ -1,0 +1,359 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md for the experiment index) and runs Bechamel
+   timing micro-benchmarks for the core components.
+
+   Usage:
+     dune exec bench/main.exe                 -- all experiments, default scale
+     dune exec bench/main.exe -- --only fig8  -- one experiment
+     dune exec bench/main.exe -- --scale 2.0 --seeds 3
+     dune exec bench/main.exe -- --quick      -- small scale, 1 seed *)
+
+open Genie_thingtalk
+module Config = Genie_core.Config
+module Experiments = Genie_core.Experiments
+module Pipeline = Genie_core.Pipeline
+module Case_studies = Genie_core.Case_studies
+
+let scale = ref 1.0
+let seeds = ref 3
+let only = ref ""
+let quick = ref false
+let skip_timing = ref false
+
+let () =
+  let args =
+    [ ("--scale", Arg.Set_float scale, "scale factor for dataset sizes (default 1.0)");
+      ("--seeds", Arg.Set_int seeds, "number of training runs per config (default 3)");
+      ("--only", Arg.Set_string only, "run only experiments whose id contains this string");
+      ("--quick", Arg.Set quick, "quick mode: scale 0.4, one seed");
+      ("--skip-timing", Arg.Set skip_timing, "skip the Bechamel timing benchmarks") ]
+  in
+  Arg.parse args (fun _ -> ()) "Genie benchmark harness"
+
+let cfg () =
+  let s = if !quick then 0.4 else !scale in
+  Config.scaled s Config.default
+
+let seed_list () = List.init (if !quick then 1 else !seeds) (fun i -> i + 1)
+
+let enabled id = !only = "" || Genie_util.Tok.contains_substring ~sub:!only id
+
+let header id title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s  --  %s\n" id title;
+  Printf.printf "================================================================\n%!"
+
+let pct_cell (c : Experiments.cell) =
+  Printf.sprintf "%5.1f ± %4.1f" (100. *. c.Experiments.mean) (100. *. c.Experiments.half_range)
+
+(* a shared Genie-full pipeline used by several experiments *)
+let shared : Pipeline.artifacts option ref = ref None
+
+let core_setup () =
+  let lib = Genie_thingpedia.Thingpedia.core_library () in
+  let prims = Genie_thingpedia.Thingpedia.core_templates () in
+  let rules = Genie_templates.Rules_thingtalk.rules lib in
+  (lib, prims, rules)
+
+let shared_artifacts () =
+  match !shared with
+  | Some a -> a
+  | None ->
+      let lib, prims, rules = core_setup () in
+      let a = Pipeline.run ~cfg:(cfg ()) ~lib ~prims ~rules () in
+      shared := Some a;
+      a
+
+(* --- Fig. 1 ---------------------------------------------------------------------- *)
+
+let fig1 () =
+  header "fig1_end_to_end" "Fig. 1: translate and execute a compound command";
+  let a = shared_artifacts () in
+  let sentence, program, effects = Experiments.fig1_end_to_end a in
+  Printf.printf "input    : %s\n" sentence;
+  (match program with
+  | Some p -> Printf.printf "ThingTalk: %s\n" (Printer.program_to_string p)
+  | None -> Printf.printf "ThingTalk: <no parse>\n");
+  List.iter
+    (fun (fn, args) ->
+      Printf.printf "executed : %s(%s)\n" (Ast.Fn.to_string fn)
+        (String.concat ", "
+           (List.map (fun (n, v) -> n ^ " = " ^ Value.to_string v) args)))
+    effects;
+  Printf.printf "(paper: now => @com.thecatapi.get() => @com.facebook.post_picture(...))\n%!"
+
+(* --- Fig. 7 ---------------------------------------------------------------------- *)
+
+let fig7 () =
+  header "fig7_dataset_characteristics"
+    "Fig. 7: characteristics of the ThingTalk training set";
+  let a = shared_artifacts () in
+  let c = Experiments.fig7 a in
+  Format.printf "%a@." Genie_dataset.Stats.pp_characteristics c;
+  Printf.printf
+    "(paper: 48%% primitive / 20%% primitive+filters / 15%% compound / 5%% +param passing / 13%% +filters)\n%!"
+
+(* --- section 5.2 synthesis statistics ---------------------------------------------- *)
+
+let synthesis_stats () =
+  header "tab_synthesis_stats" "Section 5.2: training data acquisition statistics";
+  let a = shared_artifacts () in
+  let s = Experiments.synthesis_stats a in
+  Printf.printf "synthesized sentences          %8d   (paper: 1,724,553 at full scale)\n"
+    s.Experiments.synthesized_sentences;
+  Printf.printf "  distinct programs            %8d   (paper: 77,716)\n"
+    s.Experiments.synthesized_distinct_programs;
+  Printf.printf "paraphrases accepted/collected %5d / %d (paper: 24,451 selected)\n"
+    s.Experiments.paraphrases_accepted s.Experiments.paraphrases_collected;
+  Printf.printf "training sentences (final)     %8d   (paper: 3,649,222)\n"
+    s.Experiments.train_sentences;
+  Printf.printf "  distinct programs            %8d   (paper: 680,408)\n"
+    s.Experiments.train_distinct_programs;
+  Printf.printf "  function combinations        %8d   (paper: 4,710)\n"
+    s.Experiments.train_function_combos;
+  Printf.printf "distinct words: synthesized    %8d   (paper: 770)\n"
+    s.Experiments.words_synthesized;
+  Printf.printf "  after paraphrasing           %8d   (paper: 2,104)\n"
+    s.Experiments.words_after_paraphrase;
+  Printf.printf "  after augmentation           %8d   (paper: 208,429)\n"
+    s.Experiments.words_after_augmentation;
+  Printf.printf "new words per paraphrase       %7.0f%%   (paper: 38%%)\n"
+    (100. *. s.Experiments.new_words_per_paraphrase);
+  Printf.printf "new bigrams per paraphrase     %7.0f%%   (paper: 65%%)\n%!"
+    (100. *. s.Experiments.new_bigrams_per_paraphrase)
+
+(* --- Fig. 8 ------------------------------------------------------------------------- *)
+
+let fig8 () =
+  header "fig8_training_strategies"
+    "Fig. 8: program accuracy by training strategy (mean ± half-range)";
+  let lib, prims, rules = core_setup () in
+  let rows = Experiments.fig8 ~cfg:(cfg ()) ~seeds:(seed_list ()) ~lib ~prims ~rules () in
+  Printf.printf "%-18s %14s %14s %14s %14s\n" "training" "Paraphrase" "Validation"
+    "Cheatsheet" "IFTTT";
+  List.iter
+    (fun (r : Experiments.fig8_row) ->
+      Printf.printf "%-18s %14s %14s %14s %14s\n"
+        (Config.regime_to_string r.Experiments.regime)
+        (pct_cell r.Experiments.on_paraphrase)
+        (pct_cell r.Experiments.on_validation)
+        (pct_cell r.Experiments.on_cheatsheet)
+        (pct_cell r.Experiments.on_ifttt))
+    rows;
+  Printf.printf
+    "(paper:   synthesized-only  48 / 56 / 53 / 51;  paraphrase-only  82 / 55 / 46 / 49;\n";
+  Printf.printf "          genie             87 / 68 / 62 / 63)\n%!"
+
+(* --- Table 3 -------------------------------------------------------------------------- *)
+
+let tab3 () =
+  header "tab3_ablation" "Table 3: ablation study (mean ± half-range)";
+  let lib, prims, rules = core_setup () in
+  let rows = Experiments.tab3 ~cfg:(cfg ()) ~seeds:(seed_list ()) ~lib ~prims ~rules () in
+  Printf.printf "%-22s %14s %14s %14s\n" "model" "Paraphrase" "Validation" "New Program";
+  List.iter
+    (fun (r : Experiments.tab3_row) ->
+      Printf.printf "%-22s %14s %14s %14s\n" r.Experiments.label
+        (pct_cell r.Experiments.on_paraphrase)
+        (pct_cell r.Experiments.on_validation)
+        (pct_cell r.Experiments.on_new_program))
+    rows;
+  Printf.printf
+    "(paper: Genie 87.1/67.9/29.9; -canon 80.0/63.2/21.9; -keyword 84.0/66.6/25.0;\n";
+  Printf.printf
+    "        -types 86.9/67.5/31.0; -param-exp 78.3/66.3/30.5; -decoderLM 88.7/66.8/27.3)\n%!"
+
+(* --- section 5.5 error analysis --------------------------------------------------------- *)
+
+let error_analysis () =
+  header "tab_error_analysis" "Section 5.5: error analysis on the validation set";
+  let lib, prims, rules = core_setup () in
+  let m = Experiments.error_analysis ~cfg:(cfg ()) ~lib ~prims ~rules () in
+  let pct x = 100. *. x in
+  Printf.printf "syntactically + type correct     %5.1f%%  (paper: 96%%)\n"
+    (pct m.Genie_parser_model.Eval.syntax_ok);
+  Printf.printf "primitive-vs-compound identified %5.1f%%  (paper: 91%%)\n"
+    (pct m.Genie_parser_model.Eval.prim_compound_accuracy);
+  Printf.printf "correct skills (devices)         %5.1f%%  (paper: 87%%)\n"
+    (pct m.Genie_parser_model.Eval.device_accuracy);
+  Printf.printf "correct functions                %5.1f%%  (paper: 82%%)\n"
+    (pct m.Genie_parser_model.Eval.function_accuracy);
+  Printf.printf "wrong parameter value only       %5.1f%%  (paper: <1%% of inputs)\n"
+    (pct m.Genie_parser_model.Eval.wrong_param_value);
+  Printf.printf "full program accuracy            %5.1f%%  (paper: 68%%)\n%!"
+    (pct m.Genie_parser_model.Eval.program_accuracy)
+
+(* --- section 5.2: limitation of paraphrase-only methodology ------------------------------- *)
+
+let paraphrase_limitation () =
+  header "tab_paraphrase_limitation"
+    "Section 5.2: paraphrase-set methodology of prior work (1 template/function)";
+  let lib, prims, _ = core_setup () in
+  let r = Experiments.paraphrase_limitation ~cfg:(cfg ()) ~lib ~prims () in
+  Printf.printf "paraphrases of trained programs    %5.1f%%  (paper: 95%%)\n"
+    (100. *. r.Experiments.in_distribution_paraphrase);
+  Printf.printf "paraphrases of unseen combinations %5.1f%%  (paper: 48%%)\n"
+    (100. *. r.Experiments.unseen_combination_paraphrase);
+  Printf.printf "realistic validation data          %5.1f%%  (paper: ~40%%)\n%!"
+    (100. *. r.Experiments.realistic_validation)
+
+(* --- Fig. 9 case studies ------------------------------------------------------------------- *)
+
+let fig9_case name (run : unit -> Case_studies.result) paper =
+  header ("fig9_" ^ name) (Printf.sprintf "Fig. 9: %s case study (cheatsheet data)" name);
+  let r = run () in
+  Printf.printf "%-10s baseline %s    genie %s\n" r.Case_studies.name
+    (pct_cell r.Case_studies.baseline)
+    (pct_cell r.Case_studies.genie);
+  Printf.printf "(paper: %s)\n%!" paper
+
+let fig9_spotify () =
+  fig9_case "spotify"
+    (fun () -> Case_studies.spotify ~cfg:(cfg ()) ~seeds:(seed_list ()) ())
+    "baseline ~51, genie 82 (+31)"
+
+let fig9_tacl () =
+  fig9_case "tacl"
+    (fun () -> Case_studies.tacl ~cfg:(cfg ()) ~seeds:(seed_list ()) ())
+    "baseline ~57, genie 82 (+25)"
+
+let fig9_aggregation () =
+  fig9_case "aggregation"
+    (fun () -> Case_studies.aggregation ~cfg:(cfg ()) ~seeds:(seed_list ()) ())
+    "baseline ~48, genie 67 (+19)"
+
+(* --- MQAN-lite small-scale run -------------------------------------------------------------- *)
+
+let mqan_small () =
+  header "bench_mqan_small"
+    "Section 4: MQAN-lite (LSTM + attention + pointer-generator) on a small split";
+  let lib, prims, rules = core_setup () in
+  let rng = Genie_util.Rng.create 5 in
+  let g = Genie_templates.Grammar.create lib ~prims ~rules ~rng () in
+  let data =
+    Genie_synthesis.Engine.synthesize g
+      { Genie_synthesis.Engine.default_config with target_per_rule = 12; max_depth = 2 }
+  in
+  let pairs =
+    List.filteri (fun i _ -> i < 120)
+      (List.map
+         (fun (toks, p) ->
+           let toks = List.filter (fun t -> t <> "\"") toks in
+           (toks, Nn_syntax.to_tokens lib (Canonical.normalize lib p)))
+         data)
+  in
+  let n_train = List.length pairs * 9 / 10 in
+  let train = List.filteri (fun i _ -> i < n_train) pairs in
+  let test = List.filteri (fun i _ -> i >= n_train) pairs in
+  let src_vocab = Genie_nn.Vocab.of_tokens (List.concat_map fst pairs) in
+  let tgt_vocab = Genie_nn.Vocab.of_tokens (List.concat_map snd pairs) in
+  (* pretrain the decoder LM on programs, as in section 4.2 *)
+  let lm = Genie_nn.Lm.create ~vocab:tgt_vocab () in
+  Genie_nn.Lm.train ~epochs:2 lm (List.map snd train);
+  Printf.printf "program-LM perplexity on held-out programs: %.1f\n%!"
+    (Genie_nn.Lm.perplexity lm (List.map snd test));
+  let model = Genie_nn.Seq2seq.create ~src_vocab ~tgt_vocab () in
+  Genie_nn.Seq2seq.load_decoder_embedding model (Genie_nn.Lm.embedding_table lm);
+  Genie_nn.Seq2seq.train ~epochs:12 ~lr:5e-3
+    ~progress:(fun r ->
+      if r.Genie_nn.Seq2seq.epoch mod 4 = 0 then
+        Printf.printf "  epoch %2d  mean loss %.3f\n%!" r.Genie_nn.Seq2seq.epoch
+          r.Genie_nn.Seq2seq.mean_loss)
+    model train;
+  let exact =
+    List.length
+      (List.filter (fun (src, tgt) -> Genie_nn.Seq2seq.decode model src = tgt) test)
+  in
+  Printf.printf "exact-match on held-out synthesized sentences: %d / %d\n%!" exact
+    (List.length test)
+
+(* --- Bechamel timing micro-benchmarks -------------------------------------------------------- *)
+
+let timing () =
+  header "timing" "Bechamel timing micro-benchmarks (one per experiment component)";
+  let lib, prims, rules = core_setup () in
+  let program =
+    Parser.parse_program
+      "monitor ((@com.gmail.inbox()) filter is_important == true) => @com.facebook.post(status = snippet);"
+  in
+  let a = shared_artifacts () in
+  let model = a.Pipeline.model in
+  let sentence = Genie_util.Tok.tokenize "post my important emails on facebook" in
+  let rng = Genie_util.Rng.create 3 in
+  let g = Genie_templates.Grammar.create lib ~prims ~rules ~rng () in
+  let nn_model =
+    let src_vocab = Genie_nn.Vocab.of_tokens sentence in
+    let tgt_vocab = Genie_nn.Vocab.of_tokens (Nn_syntax.to_tokens lib program) in
+    Genie_nn.Seq2seq.create ~src_vocab ~tgt_vocab ()
+  in
+  let open Bechamel in
+  let tests =
+    [ Test.make ~name:"fig1_end_to_end/execute_program"
+        (Staged.stage (fun () ->
+             let env = Genie_runtime.Exec.create lib in
+             ignore (Genie_runtime.Exec.run ~ticks:5 env program)));
+      Test.make ~name:"fig7_dataset/classify_program"
+        (Staged.stage (fun () -> ignore (Genie_dataset.Stats.classify program)));
+      Test.make ~name:"tab_synthesis/synthesize_depth2"
+        (Staged.stage (fun () ->
+             ignore
+               (Genie_synthesis.Engine.synthesize g
+                  { Genie_synthesis.Engine.default_config with
+                    target_per_rule = 5;
+                    max_depth = 2 })));
+      Test.make ~name:"fig8_tab3/aligner_predict"
+        (Staged.stage (fun () -> ignore (Genie_parser_model.Aligner.predict model sentence)));
+      Test.make ~name:"canonicalize"
+        (Staged.stage (fun () -> ignore (Canonical.normalize lib program)));
+      Test.make ~name:"parse_surface_syntax"
+        (Staged.stage (fun () ->
+             ignore
+               (Parser.parse_program
+                  "now => (@com.gmail.inbox()) filter sender_name == \"alice\" => notify;")));
+      Test.make ~name:"nn_syntax_roundtrip"
+        (Staged.stage (fun () ->
+             ignore (Nn_syntax.of_tokens lib (Nn_syntax.to_tokens lib program))));
+      Test.make ~name:"bench_mqan/forward_backward"
+        (Staged.stage (fun () ->
+             let tape = Genie_nn.Autodiff.new_tape () in
+             let loss =
+               Genie_nn.Seq2seq.example_loss tape nn_model ~training:true sentence
+                 [ "now"; "=>"; "notify" ]
+             in
+             Genie_nn.Autodiff.backward tape loss)) ]
+  in
+  let benchmark test =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+    let raw = Benchmark.all cfg instances test in
+    Analyze.all ols Toolkit.Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ t ] -> Printf.printf "%-40s %12.1f ns/run\n%!" name t
+          | _ -> Printf.printf "%-40s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  let experiments =
+    [ ("fig1_end_to_end", fig1);
+      ("fig7_dataset_characteristics", fig7);
+      ("tab_synthesis_stats", synthesis_stats);
+      ("fig8_training_strategies", fig8);
+      ("tab3_ablation", tab3);
+      ("tab_error_analysis", error_analysis);
+      ("tab_paraphrase_limitation", paraphrase_limitation);
+      ("fig9_spotify", fig9_spotify);
+      ("fig9_tacl", fig9_tacl);
+      ("fig9_aggregation", fig9_aggregation);
+      ("bench_mqan_small", mqan_small) ]
+  in
+  List.iter (fun (id, run) -> if enabled id then run ()) experiments;
+  if enabled "timing" && not !skip_timing then timing ();
+  Printf.printf "\nAll requested experiments completed.\n"

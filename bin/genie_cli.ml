@@ -1,0 +1,223 @@
+(* The genie command-line tool: synthesize data, simulate paraphrasing, train
+   and evaluate a parser, translate sentences, and execute ThingTalk programs
+   on the mock runtime. *)
+
+open Cmdliner
+open Genie_thingtalk
+
+let setup () =
+  let lib = Genie_thingpedia.Thingpedia.core_library () in
+  let prims = Genie_thingpedia.Thingpedia.core_templates () in
+  let rules = Genie_templates.Rules_thingtalk.rules lib in
+  (lib, prims, rules)
+
+(* --- stats ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run () =
+    let lib, prims, rules = setup () in
+    Printf.printf "Thingpedia: %s\n" (Genie_thingpedia.Thingpedia.stats lib);
+    Printf.printf "primitive templates: %d\n" (List.length prims);
+    Printf.printf "construct templates: %d\n" (List.length rules);
+    let full = Genie_thingpedia.Thingpedia.full_library () in
+    Printf.printf "with Spotify skill: %s\n" (Genie_thingpedia.Thingpedia.stats full)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Show skill-library and template statistics")
+    Term.(const run $ const ())
+
+(* --- cheatsheet ----------------------------------------------------------------- *)
+
+(* The paper's discovery mechanism: users scan a cheatsheet of phrases for a
+   random sample of skills (section 5.1). *)
+let cheatsheet_cmd =
+  let skills = Arg.(value & opt int 15 & info [ "skills" ] ~doc:"Skills to sample") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed") in
+  let run skills seed =
+    let lib, prims, _ = setup () in
+    let rng = Genie_util.Rng.create seed in
+    let classes = Genie_util.Rng.sample rng skills lib.Schema.Library.classes in
+    List.iter
+      (fun (c : Schema.cls) ->
+        Printf.printf "== %s (%s)\n" c.Schema.c_name c.Schema.c_doc;
+        List.iter
+          (fun (f : Schema.func) ->
+            let phrase =
+              List.find_opt
+                (fun (t : Genie_thingpedia.Prim.t) ->
+                  Genie_thingtalk.Ast.Fn.equal t.Genie_thingpedia.Prim.fn (Schema.fn_ref f))
+                prims
+            in
+            match phrase with
+            | Some t ->
+                Printf.printf "   %-10s %s\n"
+                  (match f.Schema.f_kind with
+                  | Schema.Query _ -> "[query]"
+                  | Schema.Action -> "[action]")
+                  t.Genie_thingpedia.Prim.utterance
+            | None -> ())
+          c.Schema.c_functions)
+      classes
+  in
+  Cmd.v
+    (Cmd.info "cheatsheet" ~doc:"Print a cheatsheet of phrases for a sample of skills")
+    Term.(const run $ skills $ seed)
+
+(* --- synthesize --------------------------------------------------------------- *)
+
+let synthesize_cmd =
+  let count =
+    Arg.(value & opt int 20 & info [ "n" ] ~doc:"Number of sentences to print")
+  in
+  let target =
+    Arg.(value & opt int 100 & info [ "target" ] ~doc:"Target derivations per rule")
+  in
+  let depth = Arg.(value & opt int 5 & info [ "depth" ] ~doc:"Maximum derivation depth") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed") in
+  let run n target depth seed =
+    let lib, prims, rules = setup () in
+    let g =
+      Genie_templates.Grammar.create lib ~prims ~rules
+        ~rng:(Genie_util.Rng.create seed) ()
+    in
+    let data =
+      Genie_synthesis.Engine.synthesize g
+        { Genie_synthesis.Engine.default_config with
+          seed;
+          target_per_rule = target;
+          max_depth = depth }
+    in
+    Printf.printf "synthesized %d sentences\n\n" (List.length data);
+    List.iteri
+      (fun i (toks, p) ->
+        if i < n then
+          Printf.printf "%s\n  %s\n" (String.concat " " toks) (Printer.program_to_string p))
+      data
+  in
+  Cmd.v
+    (Cmd.info "synthesize" ~doc:"Synthesize (sentence, ThingTalk) training pairs")
+    Term.(const run $ count $ target $ depth $ seed)
+
+(* --- paraphrase ---------------------------------------------------------------- *)
+
+let paraphrase_cmd =
+  let sentence =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SENTENCE")
+  in
+  let program = Arg.(required & pos 1 (some string) None & info [] ~docv:"PROGRAM") in
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of paraphrases") in
+  let run sentence program n =
+    let p = Parser.parse_program program in
+    let toks = Genie_util.Tok.tokenize sentence in
+    let rng = Genie_util.Rng.create 42 in
+    for _ = 1 to n do
+      let out = Genie_crowd.Worker.paraphrase (Genie_util.Rng.split rng) toks p in
+      let ok = Genie_crowd.Pipeline.valid_paraphrase ~original:toks ~program:p out in
+      Printf.printf "%s %s\n" (if ok then "[ok]     " else "[discard]") (String.concat " " out)
+    done
+  in
+  Cmd.v
+    (Cmd.info "paraphrase" ~doc:"Simulate crowdsourced paraphrasing of a sentence")
+    Term.(const run $ sentence $ program $ n)
+
+(* --- exec ------------------------------------------------------------------------ *)
+
+let exec_cmd =
+  let program = Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM") in
+  let ticks = Arg.(value & opt int 7 & info [ "ticks" ] ~doc:"Virtual days to simulate") in
+  let run program ticks =
+    let lib, _, _ = setup () in
+    let p = Parser.parse_program program in
+    (match Typecheck.check_program lib p with
+    | Ok () -> ()
+    | Error e -> failwith ("type error: " ^ e));
+    let canonical = Canonical.normalize lib p in
+    Printf.printf "canonical: %s\n" (Printer.program_to_string canonical);
+    let env = Genie_runtime.Exec.create lib in
+    let notifications, effects = Genie_runtime.Exec.run ~ticks env canonical in
+    Printf.printf "after %d virtual days: %d notifications, %d side effects\n" ticks
+      (List.length notifications) (List.length effects);
+    List.iteri
+      (fun i record ->
+        if i < 10 then
+          Printf.printf "  notify { %s }\n"
+            (String.concat "; "
+               (List.map (fun (n, v) -> n ^ " = " ^ Value.to_string v) record)))
+      notifications;
+    List.iter
+      (fun (fn, args) ->
+        Printf.printf "  do %s(%s)\n" (Ast.Fn.to_string fn)
+          (String.concat ", " (List.map (fun (n, v) -> n ^ " = " ^ Value.to_string v) args)))
+      effects
+  in
+  Cmd.v
+    (Cmd.info "exec" ~doc:"Type-check, canonicalize and run a ThingTalk program")
+    Term.(const run $ program $ ticks)
+
+(* --- parse (train a parser, then translate sentences) ------------------------------ *)
+
+let parse_cmd =
+  let sentences =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"SENTENCE")
+  in
+  let scale =
+    Arg.(value & opt float 0.5 & info [ "scale" ] ~doc:"Pipeline scale (training size)")
+  in
+  let execute = Arg.(value & flag & info [ "exec" ] ~doc:"Also run the parsed program") in
+  let run sentences scale execute =
+    let lib, prims, rules = setup () in
+    Printf.printf "training the semantic parser (scale %.2f)...\n%!" scale;
+    let cfg = Genie_core.Config.(scaled scale default) in
+    let a = Genie_core.Pipeline.run ~cfg ~lib ~prims ~rules () in
+    List.iter
+      (fun sentence ->
+        let toks = Genie_util.Tok.tokenize sentence in
+        match Genie_core.Pipeline.predictor a toks with
+        | None -> Printf.printf "%s\n  -> <no parse>\n" sentence
+        | Some p ->
+            Printf.printf "%s\n  -> %s\n" sentence (Printer.program_to_string p);
+            if execute then begin
+              let env = Genie_runtime.Exec.create lib in
+              let notifications, effects = Genie_runtime.Exec.run ~ticks:3 env p in
+              Printf.printf "  (%d notifications, %d side effects)\n"
+                (List.length notifications) (List.length effects)
+            end)
+      sentences
+  in
+  Cmd.v
+    (Cmd.info "parse"
+       ~doc:"Train a parser with the Genie pipeline and translate sentences")
+    Term.(const run $ sentences $ scale $ execute)
+
+(* --- evaluate -------------------------------------------------------------------- *)
+
+let eval_cmd =
+  let scale = Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Pipeline scale") in
+  let run scale =
+    let lib, prims, rules = setup () in
+    let cfg = Genie_core.Config.(scaled scale default) in
+    let a = Genie_core.Pipeline.run ~cfg ~lib ~prims ~rules () in
+    let sets =
+      Genie_core.Experiments.build_eval_sets ~cfg lib ~prims ~rules
+        ~synth_pool:a.Genie_core.Pipeline.synthesized
+    in
+    let strip = List.map Genie_dataset.Example.strip_quotes in
+    let show name m =
+      Format.printf "%-12s %a@." name Genie_parser_model.Eval.pp_metrics m
+    in
+    show "paraphrase" (Genie_core.Pipeline.evaluate a a.Genie_core.Pipeline.paraphrase_test);
+    show "validation"
+      (Genie_core.Pipeline.evaluate a (strip sets.Genie_core.Experiments.validation));
+    show "cheatsheet"
+      (Genie_core.Pipeline.evaluate a (strip sets.Genie_core.Experiments.cheatsheet_test));
+    show "ifttt" (Genie_core.Pipeline.evaluate a (strip sets.Genie_core.Experiments.ifttt_test))
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Run the full pipeline and report accuracy per test set")
+    Term.(const run $ scale)
+
+let () =
+  let doc = "Genie: generate natural language semantic parsers for virtual assistants" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "genie" ~doc)
+          [ stats_cmd; cheatsheet_cmd; synthesize_cmd; paraphrase_cmd; exec_cmd; parse_cmd; eval_cmd ]))

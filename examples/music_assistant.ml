@@ -1,0 +1,51 @@
+(* The Spotify music assistant of paper section 6.1.
+
+   The skill has 15 queries and 17 actions, and exercises quote-free
+   parameters whose value identity selects the function: "play shake it off"
+   must become play_song while "play taylor swift" becomes play_artist. The
+   Genie pipeline learns this from parameter expansion over the song/artist
+   gazettes.
+
+   Run with: dune exec examples/music_assistant.exe *)
+
+open Genie_thingtalk
+
+let () =
+  let lib = Genie_thingpedia.Thingpedia.full_library () in
+  let prims = Genie_thingpedia.Thingpedia.spotify_templates () in
+  let rules = Genie_templates.Rules_thingtalk.rules lib in
+  Printf.printf "Spotify skill: %d primitive templates over %d functions\n%!"
+    (List.length prims)
+    (List.length
+       (match Schema.Library.find_class lib "com.spotify" with
+       | Some c -> c.Schema.c_functions
+       | None -> []));
+
+  print_endline "training the music parser...";
+  let cfg = Genie_core.Config.(scaled 0.6 default) in
+  let artifacts = Genie_core.Pipeline.run ~cfg ~lib ~prims ~rules () in
+
+  (* the value, not the verb, distinguishes these functions: both commands
+     say just "play X" *)
+  let commands =
+    [ "play shake it off";
+      "play taylor swift";
+      "play the album abbey road";
+      "add bohemian rhapsody to my library";
+      "songs faster than 120 bpm";
+      "when i save a song , add it to the playlist workout";
+      "wake me up at 8:00 by playing wake me up inside" ]
+  in
+  List.iter
+    (fun sentence ->
+      let toks = Genie_util.Tok.tokenize sentence in
+      match Genie_core.Pipeline.predictor artifacts toks with
+      | None -> Printf.printf "%s\n  -> <no parse>\n" sentence
+      | Some p ->
+          Printf.printf "%s\n  -> %s\n" sentence (Printer.program_to_string p);
+          let env = Genie_runtime.Exec.create lib in
+          (match Genie_runtime.Exec.run env p with
+          | _, (fn, _) :: _ ->
+              Printf.printf "     (runtime invoked %s)\n" (Ast.Fn.to_string fn)
+          | _ -> ()))
+    commands

@@ -1,0 +1,67 @@
+(* Quickstart: the Genie workflow end to end.
+
+   1. Load the Thingpedia skill library and write/parse ThingTalk directly.
+   2. Execute programs on the mock runtime.
+   3. Synthesize training data from the NL templates, run the Genie pipeline
+      (paraphrase simulation, augmentation) and train a semantic parser.
+   4. Translate English commands into ThingTalk and run them.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Genie_thingtalk
+
+let () =
+  print_endline "=== 1. The ThingTalk language ===";
+  let lib = Genie_thingpedia.Thingpedia.core_library () in
+  Printf.printf "library: %s\n" (Genie_thingpedia.Thingpedia.stats lib);
+  (* the retweet example of section 2.3 *)
+  let retweet =
+    Parser.parse_program
+      "monitor ((@com.twitter.timeline()) filter author == \"pldi\"^^tt:username) => \
+       @com.twitter.retweet(tweet_id = tweet_id);"
+  in
+  (match Typecheck.check_program lib retweet with
+  | Ok () -> print_endline "type checks: ok"
+  | Error e -> Printf.printf "type error: %s\n" e);
+  Printf.printf "canonical form: %s\n" (Printer.program_to_string (Canonical.normalize lib retweet));
+  Printf.printf "NN tokens     : %s\n\n" (Nn_syntax.to_string lib (Canonical.normalize lib retweet));
+
+  print_endline "=== 2. Executing on the mock runtime ===";
+  let fig1 =
+    Parser.parse_program
+      "now => @com.thecatapi.get() => @com.facebook.post_picture(picture_url = picture_url, \
+       caption = \"funny cat\");"
+  in
+  let env = Genie_runtime.Exec.create lib in
+  let _, effects = Genie_runtime.Exec.run env fig1 in
+  List.iter
+    (fun (fn, args) ->
+      Printf.printf "executed %s(%s)\n" (Ast.Fn.to_string fn)
+        (String.concat ", " (List.map (fun (n, v) -> n ^ " = " ^ Value.to_string v) args)))
+    effects;
+  print_newline ();
+
+  print_endline "=== 3. Synthesizing data and training a parser ===";
+  let prims = Genie_thingpedia.Thingpedia.core_templates () in
+  let rules = Genie_templates.Rules_thingtalk.rules lib in
+  let cfg = Genie_core.Config.default in
+  let artifacts = Genie_core.Pipeline.run ~cfg ~lib ~prims ~rules () in
+  Printf.printf "synthesized %d sentences, %d validated paraphrases, %d training examples\n\n"
+    (List.length artifacts.Genie_core.Pipeline.synthesized)
+    (List.length artifacts.Genie_core.Pipeline.paraphrases)
+    (List.length artifacts.Genie_core.Pipeline.train);
+
+  print_endline "=== 4. Translating English into ThingTalk ===";
+  let commands =
+    [ "get a cat picture and post it on facebook with caption funny cat";
+      "notify me when i receive an email from alice";
+      "when it rains in palo alto , turn off the lights";
+      "tweet hello world" ]
+  in
+  List.iter
+    (fun sentence ->
+      let toks = Genie_util.Tok.tokenize sentence in
+      match Genie_core.Pipeline.predictor artifacts toks with
+      | None -> Printf.printf "%-60s -> <no parse>\n" sentence
+      | Some p -> Printf.printf "%s\n  -> %s\n" sentence (Printer.program_to_string p))
+    commands

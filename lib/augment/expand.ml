@@ -1,0 +1,138 @@
+(* Parameter replacement (paper sections 3.3-3.4).
+
+   Every example is instantiated several times with different parameter values
+   drawn from the gazettes, so the model sees many value combinations and the
+   copy mechanism does not overfit specific strings. The paper's multipliers:
+   paraphrases with string parameters are expanded 30 times, other paraphrases
+   10 times, synthesized primitive commands 4 times, and other synthesized
+   sentences once. *)
+
+open Genie_thingtalk
+
+(* parameter name -> declared type, for every parameter reachable from the
+   program's functions *)
+let param_types lib (p : Ast.program) : (string * Ttype.t) list =
+  List.concat_map
+    (fun fn ->
+      match Schema.Library.find_fn lib fn with
+      | None -> []
+      | Some f -> List.map (fun pr -> (pr.Schema.p_name, pr.Schema.p_type)) f.Schema.f_params)
+    (Ast.program_functions p)
+
+let replaceable lib (p : Ast.program) : (string * Value.t) list =
+  let types = param_types lib p in
+  List.filter
+    (fun (name, v) ->
+      match v with
+      | Value.String _ | Value.Entity _ -> (
+          match List.assoc_opt name types with
+          | Some ty -> Gazettes.gazette_for ~param_name:name ~ty <> None
+          | None -> false)
+      | _ -> false)
+    (Ast.program_constants p)
+
+let render_tokens v =
+  Genie_util.Tok.tokenize (Genie_thingpedia.Prim.render_value ~quote:false v)
+
+(* Replace one value occurrence in the sentence tokens; returns None if the
+   old rendering cannot be located (in which case the substitution is
+   skipped to keep the label consistent). *)
+let replace_in_tokens tokens old_v new_v =
+  match Genie_util.Tok.match_sub tokens (render_tokens old_v) with
+  | Some (before, after) -> Some (before @ render_tokens new_v @ after)
+  | None -> None
+
+let fresh_value gz rng ~param_name ~(ty : Ttype.t) (old_v : Value.t) : Value.t option =
+  match Gazettes.gazette_for ~param_name ~ty with
+  | None -> None
+  | Some pool -> (
+      match Gazettes.sample_from gz rng pool with
+      | None -> None
+      | Some s -> (
+          match old_v with
+          | Value.String _ -> Some (Value.String s)
+          | Value.Entity e -> Some (Value.Entity { e with value = s })
+          | _ -> None))
+
+(* One expansion of an example with fresh parameter values. *)
+let expand_once lib gz rng (e : Genie_dataset.Example.t) : Genie_dataset.Example.t option
+    =
+  let types = param_types lib e.Genie_dataset.Example.program in
+  let slots = replaceable lib e.Genie_dataset.Example.program in
+  if slots = [] then None
+  else begin
+    let substitutions =
+      List.filter_map
+        (fun (name, old_v) ->
+          match List.assoc_opt name types with
+          | None -> None
+          | Some ty ->
+              Option.map (fun nv -> (name, old_v, nv)) (fresh_value gz rng ~param_name:name ~ty old_v))
+        slots
+    in
+    if substitutions = [] then None
+    else begin
+      (* rewrite the sentence; all substitutions must land for the label to
+         stay consistent *)
+      let tokens =
+        List.fold_left
+          (fun acc (_, old_v, new_v) ->
+            Option.bind acc (fun toks -> replace_in_tokens toks old_v new_v))
+          (Some e.Genie_dataset.Example.tokens) substitutions
+      in
+      match tokens with
+      | None -> None
+      | Some tokens ->
+          let program =
+            Ast.map_constants
+              (fun name v ->
+                match
+                  List.find_opt (fun (n, ov, _) -> n = name && Value.equal ov v) substitutions
+                with
+                | Some (_, _, nv) -> nv
+                | None -> v)
+              e.Genie_dataset.Example.program
+          in
+          Some { e with Genie_dataset.Example.tokens; program }
+    end
+  end
+
+(* The paper's expansion policy. [scale] shrinks the multipliers uniformly so
+   tests and small benchmarks stay fast. *)
+let multiplier ?(scale = 1.0) (e : Genie_dataset.Example.t) =
+  let has_string_param =
+    List.exists
+      (fun (_, v) -> match v with Value.String _ -> true | _ -> false)
+      (Ast.program_constants e.Genie_dataset.Example.program)
+  in
+  let base =
+    match (e.Genie_dataset.Example.source, has_string_param) with
+    | Genie_dataset.Example.Paraphrase, true -> 30
+    | Genie_dataset.Example.Paraphrase, false -> 10
+    | Genie_dataset.Example.Synthesized, _ ->
+        if Genie_dataset.Example.is_primitive e then 4 else 1
+    | Genie_dataset.Example.Evaluation _, _ -> 1
+  in
+  max 1 (int_of_float (ceil (float_of_int base *. scale)))
+
+(* Expands a dataset: each example yields itself plus [multiplier - 1]
+   parameter-replaced copies (when its parameters are replaceable). *)
+let expand_dataset ?scale lib gz rng (examples : Genie_dataset.Example.t list) :
+    Genie_dataset.Example.t list =
+  let next_id = ref (List.fold_left (fun m e -> max m e.Genie_dataset.Example.id) 0 examples + 1) in
+  List.concat_map
+    (fun e ->
+      let copies = multiplier ?scale e - 1 in
+      let extras =
+        List.filter_map
+          (fun _ ->
+            match expand_once lib gz rng e with
+            | Some e' ->
+                let id = !next_id in
+                incr next_id;
+                Some { e' with Genie_dataset.Example.id = id }
+            | None -> None)
+          (List.init copies (fun i -> i))
+      in
+      e :: extras)
+    examples

@@ -1,0 +1,34 @@
+(** Parameter replacement (paper sections 3.3-3.4).
+
+    Every example is instantiated several times with different parameter
+    values from the gazettes so the copy mechanism does not overfit specific
+    strings. The paper's multipliers: paraphrases with string parameters x30,
+    other paraphrases x10, synthesized primitive commands x4, other
+    synthesized sentences x1. *)
+
+open Genie_thingtalk
+
+val replaceable : Schema.Library.t -> Ast.program -> (string * Value.t) list
+(** The string/entity constants a gazette can substitute. *)
+
+val expand_once :
+  Schema.Library.t ->
+  Gazettes.t ->
+  Genie_util.Rng.t ->
+  Genie_dataset.Example.t ->
+  Genie_dataset.Example.t option
+(** One fresh-valued copy: rewrites both program and sentence, or [None] when
+    nothing is replaceable or the old rendering cannot be located (the label
+    must stay consistent). *)
+
+val multiplier : ?scale:float -> Genie_dataset.Example.t -> int
+(** The paper's expansion policy, scaled by [scale]. *)
+
+val expand_dataset :
+  ?scale:float ->
+  Schema.Library.t ->
+  Gazettes.t ->
+  Genie_util.Rng.t ->
+  Genie_dataset.Example.t list ->
+  Genie_dataset.Example.t list
+(** Each example plus its expanded copies, with fresh ids. *)

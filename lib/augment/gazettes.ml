@@ -1,0 +1,254 @@
+(* Parameter-value gazettes (paper section 3.3).
+
+   The paper ships 49 parameter lists and named-entity gazettes (7.8M values)
+   scraped from the web: YouTube titles, hashtags, song titles, people names,
+   country names, currencies, plus free-form English text. This module builds
+   the synthetic equivalent: compositional generators seeded deterministically
+   that produce large pools of distinct, type-appropriate values. What the
+   augmentation mechanism needs is *many distinct values per slot type* so the
+   copy mechanism does not overfit specific strings; provenance is irrelevant. *)
+
+open Genie_thingtalk
+
+let first_names =
+  [ "james"; "mary"; "john"; "patricia"; "robert"; "jennifer"; "michael"; "linda";
+    "william"; "elizabeth"; "david"; "barbara"; "richard"; "susan"; "joseph"; "jessica";
+    "thomas"; "sarah"; "charles"; "karen"; "wei"; "yuki"; "ahmed"; "fatima"; "carlos";
+    "sofia"; "ivan"; "olga"; "raj"; "priya" ]
+
+let last_names =
+  [ "smith"; "johnson"; "williams"; "brown"; "jones"; "garcia"; "miller"; "davis";
+    "rodriguez"; "martinez"; "hernandez"; "lopez"; "gonzalez"; "wilson"; "anderson";
+    "thomas"; "taylor"; "moore"; "jackson"; "martin"; "lee"; "chen"; "wang"; "kumar";
+    "singh"; "nakamura"; "kim"; "novak"; "rossi"; "muller" ]
+
+let adjectives =
+  [ "happy"; "blue"; "silent"; "golden"; "broken"; "wild"; "electric"; "midnight";
+    "lonely"; "crazy"; "sweet"; "dark"; "bright"; "lost"; "endless"; "tiny"; "brave";
+    "frozen"; "burning"; "hidden" ]
+
+let nouns =
+  [ "heart"; "river"; "dream"; "road"; "night"; "fire"; "star"; "summer"; "storm";
+    "dance"; "light"; "shadow"; "ocean"; "city"; "sky"; "garden"; "train"; "mirror";
+    "echo"; "mountain" ]
+
+let verbs_ing =
+  [ "running"; "falling"; "dancing"; "dreaming"; "waiting"; "flying"; "singing";
+    "burning"; "drifting"; "shining" ]
+
+let topics =
+  [ "cats"; "dogs"; "cooking"; "travel"; "music"; "science"; "politics"; "soccer";
+    "basketball"; "movies"; "books"; "coffee"; "gardening"; "photography"; "space";
+    "history"; "art"; "fitness"; "fashion"; "cars" ]
+
+let cities =
+  [ "new york"; "london"; "paris"; "tokyo"; "beijing"; "seattle"; "austin"; "chicago";
+    "boston"; "berlin"; "madrid"; "rome"; "sydney"; "toronto"; "mumbai"; "seoul";
+    "mexico city"; "san jose"; "portland"; "denver"; "miami"; "atlanta"; "dallas";
+    "houston"; "phoenix"; "stanford"; "palo alto"; "mountain view" ]
+
+let countries =
+  [ "france"; "japan"; "brazil"; "canada"; "italy"; "germany"; "spain"; "india";
+    "china"; "mexico"; "kenya"; "egypt"; "norway"; "chile"; "australia" ]
+
+let currencies = [ "usd"; "eur"; "gbp"; "jpy"; "cny"; "cad"; "aud"; "chf" ]
+
+let message_templates =
+  [ "i will be there in NUM minutes"; "do not forget the meeting"; "see you soon";
+    "happy birthday to you"; "what a beautiful day"; "running late today";
+    "dinner is ready"; "call me when you can"; "congrats on the new job";
+    "thank you so much"; "let us grab coffee ADJ NOUN"; "the ADJ NOUN is here";
+    "remember to buy milk"; "good luck with the exam"; "just landed at the airport" ]
+
+let news_templates =
+  [ "ADJ NOUN shakes markets"; "scientists discover ADJ NOUN"; "election results in CITY";
+    "new study links NOUN to NOUN"; "CITY announces ADJ plan"; "breaking news from CITY";
+    "the rise of the ADJ NOUN"; "NOUN prices hit record high" ]
+
+(* A deterministic pool of [n] values built by a compositional pattern. *)
+let pool ~seed ~n (gen : Genie_util.Rng.t -> string) : string array =
+  let rng = Genie_util.Rng.create seed in
+  let seen = Hashtbl.create (2 * n) in
+  let out = ref [] in
+  let produced = ref 0 in
+  let attempts = ref 0 in
+  while !produced < n && !attempts < n * 20 do
+    incr attempts;
+    let v = gen rng in
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.replace seen v ();
+      out := v :: !out;
+      incr produced
+    end
+  done;
+  Array.of_list !out
+
+let compose rng parts = String.concat " " (List.map (fun f -> f rng) parts)
+
+let pick = Genie_util.Rng.pick
+
+let person_names ~seed ~n =
+  pool ~seed ~n (fun rng -> compose rng [ (fun r -> pick r first_names); (fun r -> pick r last_names) ])
+
+let usernames ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      pick rng first_names ^ pick rng [ ""; "_"; "." ] ^ pick rng last_names
+      ^ pick rng [ ""; "1"; "42"; "2019"; "xo" ])
+
+let hashtags ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      pick rng [ ""; "my"; "best"; "daily" ] ^ pick rng topics
+      ^ pick rng [ ""; "life"; "love"; "gram"; "time" ])
+
+let song_titles ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      match Genie_util.Rng.int rng 4 with
+      | 0 -> compose rng [ (fun r -> pick r adjectives); (fun r -> pick r nouns) ]
+      | 1 -> compose rng [ (fun r -> pick r verbs_ing); (fun _ -> "in the"); (fun r -> pick r nouns) ]
+      | 2 -> compose rng [ (fun _ -> "the"); (fun r -> pick r adjectives); (fun r -> pick r nouns) ]
+      | _ -> compose rng [ (fun r -> pick r nouns); (fun _ -> "of"); (fun r -> pick r nouns) ])
+
+let artist_names ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      match Genie_util.Rng.int rng 3 with
+      | 0 -> compose rng [ (fun _ -> "the"); (fun r -> pick r adjectives); (fun r -> pick r nouns ^ "s") ]
+      | 1 -> compose rng [ (fun r -> pick r first_names); (fun r -> pick r last_names) ]
+      | _ -> compose rng [ (fun r -> pick r first_names); (fun _ -> "and the"); (fun r -> pick r nouns ^ "s") ])
+
+let video_titles ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      match Genie_util.Rng.int rng 3 with
+      | 0 -> compose rng [ (fun _ -> "how to"); (fun r -> pick r [ "make"; "fix"; "cook"; "build" ]); (fun r -> pick r nouns) ]
+      | 1 -> compose rng [ (fun _ -> "top 10"); (fun r -> pick r adjectives); (fun r -> pick r nouns ^ "s") ]
+      | _ -> compose rng [ (fun r -> pick r topics); (fun _ -> "for beginners") ])
+
+let channel_names ~seed ~n =
+  pool ~seed ~n (fun rng -> compose rng [ (fun r -> pick r topics); (fun r -> pick r [ "daily"; "tv"; "hub"; "world"; "nation" ]) ])
+
+let playlist_names ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      compose rng [ (fun r -> pick r adjectives); (fun r -> pick r [ "vibes"; "mix"; "jams"; "beats"; "hits" ]) ])
+
+let fill_template rng t =
+  String.concat " "
+    (List.map
+       (fun w ->
+         match w with
+         | "ADJ" -> pick rng adjectives
+         | "NOUN" -> pick rng nouns
+         | "CITY" -> pick rng cities
+         | "NUM" -> string_of_int (5 * (1 + Genie_util.Rng.int rng 12))
+         | w -> w)
+       (String.split_on_char ' ' t))
+
+let free_text ~seed ~n =
+  pool ~seed ~n (fun rng -> fill_template rng (pick rng message_templates))
+
+let news_titles ~seed ~n =
+  pool ~seed ~n (fun rng -> fill_template rng (pick rng news_templates))
+
+let file_names ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      Printf.sprintf "/%s/%s%s" (pick rng topics)
+        (pick rng nouns)
+        (pick rng [ ".txt"; ".pdf"; ".jpg"; ".doc"; ".mp3"; "" ]))
+
+let urls ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      Printf.sprintf "https://%s.%s/%s" (pick rng topics)
+        (pick rng [ "com"; "org"; "net"; "io" ])
+        (pick rng nouns))
+
+let emails ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      Printf.sprintf "%s.%s@%s.com" (pick rng first_names) (pick rng last_names)
+        (pick rng [ "gmail"; "yahoo"; "work"; "example" ]))
+
+let phone_numbers ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      Printf.sprintf "%d55-%04d" (2 + Genie_util.Rng.int rng 7) (Genie_util.Rng.int rng 10000))
+
+let subreddits ~seed ~n =
+  pool ~seed ~n (fun rng -> pick rng topics ^ pick rng [ ""; "pics"; "memes"; "gifs"; "news" ])
+
+let repos ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      Printf.sprintf "%s/%s-%s" (pick rng first_names) (pick rng topics) (pick rng [ "tools"; "lib"; "app"; "kit" ]))
+
+(* The registry: gazette name -> value pool. Pool sizes are configurable so
+   tests stay fast while benchmarks can scale up. *)
+type t = {
+  pools : (string * string array) list;
+  locations : string array;
+}
+
+let create ?(size = 2000) () =
+  let n = size in
+  { pools =
+      [ ("person_name", person_names ~seed:101 ~n);
+        ("username", usernames ~seed:102 ~n);
+        ("hashtag", hashtags ~seed:103 ~n);
+        ("song", song_titles ~seed:104 ~n);
+        ("artist", artist_names ~seed:105 ~n);
+        ("album", song_titles ~seed:106 ~n);
+        ("playlist", playlist_names ~seed:107 ~n);
+        ("video_title", video_titles ~seed:108 ~n);
+        ("channel", channel_names ~seed:109 ~n);
+        ("free_text", free_text ~seed:110 ~n);
+        ("news_title", news_titles ~seed:111 ~n);
+        ("file_name", file_names ~seed:112 ~n);
+        ("url", urls ~seed:113 ~n);
+        ("email", emails ~seed:114 ~n);
+        ("phone", phone_numbers ~seed:115 ~n);
+        ("subreddit", subreddits ~seed:116 ~n);
+        ("repo", repos ~seed:117 ~n);
+        ("city", Array.of_list cities);
+        ("country", Array.of_list countries);
+        ("currency", Array.of_list currencies);
+        ("topic", Array.of_list topics) ];
+    locations = Array.of_list cities }
+
+let total_values t =
+  List.fold_left (fun acc (_, a) -> acc + Array.length a) 0 t.pools
+
+let sample_from t rng name =
+  match List.assoc_opt name t.pools with
+  | Some arr when Array.length arr > 0 -> Some (Genie_util.Rng.pick_array rng arr)
+  | _ -> None
+
+(* Which gazette provides values for a given parameter name and type. This is
+   the analogue of the paper's association of parameter lists to parameters. *)
+let gazette_for ~param_name ~(ty : Ttype.t) =
+  match ty with
+  | Ttype.Entity "tt:username" -> Some "username"
+  | Ttype.Entity "tt:hashtag" -> Some "hashtag"
+  | Ttype.Entity "tt:song" -> Some "song"
+  | Ttype.Entity "tt:artist" -> Some "artist"
+  | Ttype.Entity "tt:album" -> Some "album"
+  | Ttype.Entity "tt:playlist" -> Some "playlist"
+  | Ttype.Entity "tt:channel" -> Some "channel"
+  | Ttype.Entity "tt:subreddit" -> Some "subreddit"
+  | Ttype.Entity "tt:repo" -> Some "repo"
+  | Ttype.Entity "tt:slack_channel" -> Some "topic"
+  | Ttype.Entity "tt:sports_team" -> Some "topic"
+  | Ttype.Email_address -> Some "email"
+  | Ttype.Phone_number -> Some "phone"
+  | Ttype.Url -> Some "url"
+  | Ttype.Path_name -> Some "file_name"
+  | Ttype.Location -> Some "city"
+  | Ttype.String -> (
+      match param_name with
+      | "query" | "q" -> Some "topic"
+      | "title" -> Some "news_title"
+      | "sender" | "sender_name" | "organizer" | "name" -> Some "person_name"
+      | "cuisine" -> Some "topic"
+      | "channel" -> Some "channel"
+      | "file_name" | "old_name" | "new_name" | "folder_name" -> Some "file_name"
+      | _ -> Some "free_text")
+  | _ -> None
+
+(* Membership test used by the semantic parser's slot-filling features. *)
+let membership t (s : string) : string list =
+  List.filter_map
+    (fun (name, arr) -> if Array.exists (fun v -> v = s) arr then Some name else None)
+    t.pools

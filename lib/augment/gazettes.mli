@@ -1,0 +1,30 @@
+(** Parameter-value gazettes (paper section 3.3).
+
+    The paper ships 49 parameter lists and named-entity gazettes (7.8M values
+    scraped from the web: song titles, hashtags, people names, free-form
+    text, ...). This module is the synthetic equivalent: deterministic
+    compositional generators producing large pools of distinct,
+    type-appropriate values. The augmentation mechanism only needs many
+    distinct values per slot type; provenance is irrelevant. *)
+
+type t = {
+  pools : (string * string array) list;  (** gazette name -> values *)
+  locations : string array;
+}
+
+val create : ?size:int -> unit -> t
+(** [size] values per generated pool (curated lists keep their natural
+    size). Deterministic: equal sizes yield equal pools. *)
+
+val total_values : t -> int
+
+val sample_from : t -> Genie_util.Rng.t -> string -> string option
+(** A uniform draw from the named pool. *)
+
+val gazette_for : param_name:string -> ty:Genie_thingtalk.Ttype.t -> string option
+(** Which gazette supplies values for a parameter, by entity type or by
+    conventional parameter name (the paper's association of parameter lists
+    to parameters). [None] for non-replaceable types. *)
+
+val membership : t -> string -> string list
+(** The pools containing a value; a feature of the parser's copy scoring. *)

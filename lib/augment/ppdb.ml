@@ -1,0 +1,60 @@
+(* PPDB-style paraphrase-database augmentation (paper section 3.3).
+
+   The paper applies standard data augmentation based on PPDB to the
+   paraphrases: lexical and short phrasal substitutions that preserve meaning.
+   This is the built-in substitute for the external database: a curated
+   phrase table applied with the same sampling policy. *)
+
+type entry = { from_ : string list; to_ : string list }
+
+let e a b = { from_ = Genie_util.Tok.tokenize a; to_ = Genie_util.Tok.tokenize b }
+
+let table : entry list =
+  [ e "picture" "photo"; e "picture" "image"; e "photo" "pic";
+    e "show me" "display"; e "show me" "give me"; e "get" "fetch"; e "get" "retrieve";
+    e "tell me" "inform me of"; e "notify me" "send me a notification";
+    e "notify me" "ping me"; e "let me know" "inform me";
+    e "when" "whenever"; e "when" "every time"; e "when" "as soon as";
+    e "email" "mail"; e "emails" "mails"; e "message" "msg"; e "messages" "msgs";
+    e "send" "dispatch"; e "post" "publish"; e "new" "fresh"; e "latest" "most recent";
+    e "changes" "is updated"; e "changes" "gets modified";
+    e "files" "documents"; e "file" "document"; e "folder" "directory";
+    e "delete" "remove"; e "create" "make"; e "search" "look up";
+    e "weather" "forecast"; e "temperature" "temp";
+    e "bigger than" "larger than"; e "smaller than" "tinier than";
+    e "above" "over"; e "below" "under"; e "containing" "that contain";
+    e "titled" "with the title"; e "from" "sent from";
+    e "play" "start playing"; e "song" "track"; e "songs" "tracks";
+    e "turn on" "switch on"; e "turn off" "switch off"; e "set" "change";
+    e "my" "all my"; e "a" "some"; e "call" "phone"; e "house" "home" ]
+
+(* Applies up to [max_subs] random substitutions, avoiding token spans that
+   belong to parameter values (so the program label stays valid). *)
+let augment rng ?(max_subs = 2) ~protected (tokens : string list) : string list =
+  let is_protected t = List.mem t protected in
+  let applicable =
+    List.filter
+      (fun { from_; _ } ->
+        not (List.exists is_protected from_)
+        && Genie_util.Tok.contains_substring
+             ~sub:(" " ^ String.concat " " from_ ^ " ")
+             (" " ^ String.concat " " tokens ^ " "))
+      table
+  in
+  let substitute toks { from_; to_ } =
+    match Genie_util.Tok.match_sub toks from_ with
+    | None -> toks
+    | Some (before, after) -> before @ to_ @ after
+  in
+  let rec go toks n entries =
+    if n = 0 then toks
+    else
+      match entries with
+      | [] -> toks
+      | _ ->
+          let entry = Genie_util.Rng.pick rng entries in
+          let toks = substitute toks entry in
+          go toks (n - 1) (List.filter (fun x -> x != entry) entries)
+  in
+  if applicable = [] then tokens
+  else go tokens (1 + Genie_util.Rng.int rng max_subs) applicable

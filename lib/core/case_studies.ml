@@ -1,0 +1,195 @@
+(* The three case studies of section 6 (Fig. 9): the comprehensive Spotify
+   skill, the TACL access-control language, and the TT+A aggregation
+   extension. Each compares Genie against a Baseline modeled after the Wang et
+   al. methodology: training only with paraphrase data, no data augmentation,
+   no parameter expansion. *)
+
+open Genie_thingtalk
+
+type result = {
+  name : string;
+  baseline : Experiments.cell;
+  genie : Experiments.cell;
+}
+
+let cell = Experiments.cell
+
+(* --- Spotify (section 6.1) ------------------------------------------------------ *)
+
+(* Inject realistic gazette values into test sentences: the Spotify evaluation
+   uses multiple instances of the same sentence with different parameters,
+   because the parameter value identifies the function (play_song vs
+   play_artist). *)
+let realistic_values lib gz rng (examples : Genie_dataset.Example.t list) =
+  List.map
+    (fun e ->
+      match Genie_augment.Expand.expand_once lib gz rng e with
+      | Some e' -> e'
+      | None -> e)
+    examples
+
+let spotify_eval_set lib ~prims ~rules ~seed ~n =
+  let gz = Genie_augment.Gazettes.create ~size:1500 () in
+  let rng = Genie_util.Rng.create (seed + 77) in
+  Genie_evaldata.Generators.cheatsheet lib ~prims ~rules ~seed ~n ()
+  |> realistic_values lib gz rng
+  |> List.map Genie_dataset.Example.strip_quotes
+
+let run_case ~cfg ~lib ~prims ~rules ?(extra_terminals = []) ~test regime seed =
+  let cfg = { cfg with Config.regime; seed } in
+  let a = Pipeline.run ~cfg ~lib ~prims ~rules ~extra_terminals () in
+  (Pipeline.evaluate a test).Genie_parser_model.Eval.program_accuracy
+
+let spotify ?(cfg = Config.default) ?(seeds = [ 1; 2; 3 ]) () : result =
+  let lib = Genie_thingpedia.Thingpedia.full_library () in
+  let prims = Genie_thingpedia.Thingpedia.spotify_templates () in
+  let rules = Genie_templates.Rules_thingtalk.rules lib in
+  let test = spotify_eval_set lib ~prims ~rules ~seed:901 ~n:cfg.Config.eval_cheatsheet in
+  let accs regime = List.map (run_case ~cfg ~lib ~prims ~rules ~test regime) seeds in
+  { name = "Spotify";
+    baseline = cell (accs Config.Wang_baseline);
+    genie = cell (accs Config.Genie_full) }
+
+(* --- TACL (section 6.2) ----------------------------------------------------------- *)
+
+(* Policies are trained and evaluated through their bijective program encoding
+   (see Rules_tacl), so the same parser machinery applies. *)
+let tacl_library () =
+  Schema.Library.of_classes
+    (Genie_thingpedia.Thingpedia.core_classes @ [ Genie_templates.Rules_tacl.policy_class ])
+
+let tacl_pipeline ~cfg ~lib ~prims seed =
+  let rules =
+    Genie_templates.Rules_tacl.rules lib
+    @ List.filter
+        (fun (r : Genie_templates.Grammar.rule) ->
+          r.Genie_templates.Grammar.name = "np_filter")
+        (Genie_templates.Rules_thingtalk.rules lib)
+  in
+  let extra_terminals =
+    [ ("person", Genie_templates.Rules_tacl.person_terminals (Genie_util.Rng.create seed) ~samples:1) ]
+  in
+  let grammar =
+    Genie_templates.Grammar.create lib ~prims ~rules
+      ~rng:(Genie_util.Rng.create (seed + 10))
+      ~start:"policy" ~extra_terminals ()
+  in
+  let synth_cfg =
+    { Genie_synthesis.Engine.default_config with
+      seed = seed + 20;
+      target_per_rule = cfg.Config.synth_target;
+      max_depth = 4 }
+  in
+  let policies = Genie_synthesis.Engine.synthesize_policies grammar synth_cfg in
+  let encoded =
+    List.map (fun (toks, pol) -> (toks, Genie_templates.Rules_tacl.encode pol)) policies
+  in
+  (grammar, encoded)
+
+(* A miniature pipeline over encoded policies (synthesize, paraphrase, expand,
+   train). *)
+let train_policy_model ~cfg ~lib ~(encoded : (string list * Ast.program) list) regime seed =
+  let selection =
+    { Genie_crowd.Pipeline.default_selection with
+      Genie_crowd.Pipeline.seed = seed + 40;
+      compound_budget = cfg.Config.compound_paraphrase_budget }
+  in
+  let selected = Genie_crowd.Pipeline.select selection encoded in
+  let crowd =
+    Genie_crowd.Pipeline.collect ~seed:(seed + 50) ~num_workers:cfg.Config.num_workers
+      selected
+  in
+  let mk source start pairs =
+    List.mapi
+      (fun i (tokens, program) ->
+        Genie_dataset.Example.make ~id:(start + i) ~tokens ~program ~source ())
+      pairs
+  in
+  let synth_ex = mk Genie_dataset.Example.Synthesized 0 encoded in
+  let para_ex =
+    mk Genie_dataset.Example.Paraphrase 500_000 crowd.Genie_crowd.Pipeline.accepted
+  in
+  let base =
+    match regime with
+    | Config.Genie_full -> synth_ex @ para_ex
+    | Config.Wang_baseline -> para_ex
+    | Config.Synthesized_only -> synth_ex
+    | Config.Paraphrase_only -> para_ex
+  in
+  let expanded =
+    if regime = Config.Wang_baseline then base
+    else
+      let gz = Genie_augment.Gazettes.create ~size:cfg.Config.gazette_size () in
+      Genie_augment.Expand.expand_dataset ~scale:cfg.Config.expansion_scale lib gz
+        (Genie_util.Rng.create (seed + 70))
+        base
+  in
+  let train = List.map Genie_dataset.Example.strip_quotes expanded in
+  let aligner_cfg =
+    { (Config.aligner_config { cfg with Config.regime; seed }) with
+      Genie_parser_model.Aligner.lm_programs =
+        (if regime = Config.Wang_baseline then [] else List.map snd encoded) }
+  in
+  Genie_parser_model.Aligner.train ~cfg:aligner_cfg lib train
+
+let tacl ?(cfg = Config.default) ?(seeds = [ 1; 2; 3 ]) () : result =
+  let lib = tacl_library () in
+  let prims = Genie_thingpedia.Thingpedia.core_templates () in
+  (* cheatsheet policies: recall-style rewrites of held-out synthesized
+     policies *)
+  let _, test_pool = tacl_pipeline ~cfg ~lib ~prims 701 in
+  let rng = Genie_util.Rng.create 702 in
+  let test =
+    List.map
+      (fun (toks, program) ->
+        Genie_dataset.Example.make ~id:0
+          ~tokens:(Genie_evaldata.Generators.recall_rewrite rng toks program)
+          ~program ~source:(Genie_dataset.Example.Evaluation "cheatsheet") ())
+      (Genie_util.Rng.sample rng cfg.Config.eval_cheatsheet test_pool)
+    |> List.map Genie_dataset.Example.strip_quotes
+  in
+  let acc regime seed =
+    let _, encoded = tacl_pipeline ~cfg ~lib ~prims seed in
+    let model = train_policy_model ~cfg ~lib ~encoded regime seed in
+    let predict toks =
+      (Genie_parser_model.Aligner.predict model toks).Genie_parser_model.Aligner.program
+    in
+    (Genie_parser_model.Eval.evaluate lib predict test).Genie_parser_model.Eval
+    .program_accuracy
+  in
+  { name = "TACL";
+    baseline = cell (List.map (acc Config.Wang_baseline) seeds);
+    genie = cell (List.map (acc Config.Genie_full) seeds) }
+
+(* --- TT+A aggregation (section 6.3) -------------------------------------------------- *)
+
+let has_aggregation (p : Ast.program) =
+  let rec q = function
+    | Ast.Q_aggregate _ -> true
+    | Ast.Q_invoke _ -> false
+    | Ast.Q_filter (inner, _) -> q inner
+    | Ast.Q_join (a, b, _) -> q a || q b
+  in
+  match p.Ast.query with Some qq -> q qq | None -> false
+
+let aggregation ?(cfg = Config.default) ?(seeds = [ 1; 2; 3 ]) () : result =
+  let lib = Genie_thingpedia.Thingpedia.core_library () in
+  let prims = Genie_thingpedia.Thingpedia.core_templates () in
+  let rules =
+    Genie_templates.Rules_thingtalk.rules lib @ Genie_templates.Rules_agg.rules lib
+  in
+  let extra_terminals = Genie_templates.Rules_agg.terminals lib in
+  (* cheatsheet restricted to queries where aggregation is possible *)
+  let test =
+    Genie_evaldata.Generators.cheatsheet lib ~prims ~rules ~seed:801
+      ~n:(3 * cfg.Config.eval_cheatsheet) ()
+    |> List.filter (fun (e : Genie_dataset.Example.t) ->
+           has_aggregation e.Genie_dataset.Example.program)
+    |> List.map Genie_dataset.Example.strip_quotes
+  in
+  let accs regime =
+    List.map (run_case ~cfg ~lib ~prims ~rules ~extra_terminals ~test regime) seeds
+  in
+  { name = "TT+A";
+    baseline = cell (accs Config.Wang_baseline);
+    genie = cell (accs Config.Genie_full) }

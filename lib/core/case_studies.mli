@@ -1,0 +1,48 @@
+(** The three case studies of paper section 6 (Fig. 9): the comprehensive
+    Spotify skill, the TACL access-control language, and the TT+A aggregation
+    extension. Each compares Genie against a Baseline modeled after the prior
+    methodology (paraphrase-only training, no augmentation, no parameter
+    expansion). *)
+
+open Genie_thingtalk
+
+type result = {
+  name : string;
+  baseline : Experiments.cell;
+  genie : Experiments.cell;
+}
+
+val spotify_eval_set :
+  Genie_thingtalk.Schema.Library.t ->
+  prims:Genie_thingpedia.Prim.t list ->
+  rules:Genie_templates.Grammar.rule list ->
+  seed:int ->
+  n:int ->
+  Genie_dataset.Example.t list
+(** The Spotify cheatsheet test set, with realistic gazette values injected
+    (the test carries multiple instances of the same sentence with different
+    parameters, because the value identifies the function). *)
+
+val spotify : ?cfg:Config.t -> ?seeds:int list -> unit -> result
+(** Section 6.1: 15 queries / 17 actions; quote-free parameters whose value
+    identity selects the function (play_song vs play_artist), evaluated on
+    cheatsheet data with realistic gazette values. *)
+
+val tacl_library : unit -> Schema.Library.t
+
+val tacl_pipeline :
+  cfg:Config.t ->
+  lib:Schema.Library.t ->
+  prims:Genie_thingpedia.Prim.t list ->
+  int ->
+  Genie_templates.Grammar.t * (string list * Ast.program) list
+(** Synthesizes TACL policies from the 6 construct templates and returns them
+    in their bijective program encoding (see {!Genie_templates.Rules_tacl}). *)
+
+val tacl : ?cfg:Config.t -> ?seeds:int list -> unit -> result
+(** Section 6.2: access-control policies, cheatsheet evaluation. *)
+
+val has_aggregation : Ast.program -> bool
+
+val aggregation : ?cfg:Config.t -> ?seeds:int list -> unit -> result
+(** Section 6.3: TT+A aggregation commands over primitive queries. *)

@@ -1,0 +1,98 @@
+(* Pipeline configuration: training regimes (Fig. 8), ablations (Table 3) and
+   scale knobs.
+
+   The paper's full pipeline synthesizes 1.7M sentences and trains for 10 GPU
+   hours; every knob below scales the same pipeline down so the experiments
+   run on CPU in minutes while preserving the comparisons. *)
+
+type regime =
+  | Genie_full (* synthesized + paraphrases, augmentation, LM *)
+  | Synthesized_only
+  | Paraphrase_only (* paraphrases with Genie's augmentation *)
+  | Wang_baseline (* paraphrases only: no synthesis in training, no PPDB, no
+                     parameter expansion -- the methodology of Wang et al. *)
+
+let regime_to_string = function
+  | Genie_full -> "genie"
+  | Synthesized_only -> "synthesized-only"
+  | Paraphrase_only -> "paraphrase-only"
+  | Wang_baseline -> "baseline"
+
+type ablation =
+  | No_canonicalization
+  | No_keyword_params
+  | No_type_annotations
+  | No_param_expansion
+  | No_decoder_lm
+
+let ablation_to_string = function
+  | No_canonicalization -> "- canonicalization"
+  | No_keyword_params -> "- keyword param."
+  | No_type_annotations -> "- type annotations"
+  | No_param_expansion -> "- param. expansion"
+  | No_decoder_lm -> "- decoder LM"
+
+type t = {
+  seed : int;
+  regime : regime;
+  ablations : ablation list;
+  (* synthesis *)
+  synth_target : int; (* target derivations per rule *)
+  synth_depth : int;
+  lm_target : int; (* synthesis target for the decoder-LM program corpus *)
+  (* paraphrasing *)
+  compound_paraphrase_budget : int;
+  primitive_per_function : int;
+  num_workers : int;
+  (* augmentation *)
+  expansion_scale : float;
+  gazette_size : int;
+  (* held-out fraction of function combinations for the paraphrase test *)
+  holdout_fraction : float;
+  (* evaluation set sizes *)
+  eval_developer : int;
+  eval_cheatsheet : int;
+  eval_ifttt : int;
+}
+
+let default =
+  { seed = 1;
+    regime = Genie_full;
+    ablations = [];
+    synth_target = 450;
+    synth_depth = 5;
+    lm_target = 1200;
+    compound_paraphrase_budget = 700;
+    primitive_per_function = 4;
+    num_workers = 25;
+    expansion_scale = 0.2;
+    gazette_size = 1500;
+    holdout_fraction = 0.2;
+    eval_developer = 220;
+    eval_cheatsheet = 150;
+    eval_ifttt = 90 }
+
+(* Scales the work-proportional knobs by [f] (e.g. 0.3 for quick tests,
+   4.0 for a full benchmark run). *)
+let scaled f c =
+  let s x = max 1 (int_of_float (float_of_int x *. f)) in
+  { c with
+    synth_target = s c.synth_target;
+    lm_target = s c.lm_target;
+    compound_paraphrase_budget = s c.compound_paraphrase_budget;
+    eval_developer = s c.eval_developer;
+    eval_cheatsheet = s c.eval_cheatsheet;
+    eval_ifttt = s c.eval_ifttt }
+
+let has c a = List.mem a c.ablations
+
+let aligner_config c : Genie_parser_model.Aligner.config =
+  { Genie_parser_model.Aligner.default_config with
+    Genie_parser_model.Aligner.options =
+      { Genie_thingtalk.Nn_syntax.type_annotations = not (has c No_type_annotations);
+        keyword_params = not (has c No_keyword_params) };
+    canonicalize = not (has c No_canonicalization);
+    use_decoder_lm =
+      (not (has c No_decoder_lm)) && c.regime <> Wang_baseline;
+    gazette_size = c.gazette_size;
+    seed = c.seed }

@@ -1,0 +1,54 @@
+(** Pipeline configuration: training regimes (Fig. 8), ablations (Table 3)
+    and scale knobs.
+
+    The paper's full pipeline synthesizes 1.7M sentences and trains 10 GPU
+    hours; the knobs here scale the same pipeline down to CPU minutes while
+    preserving the comparisons. *)
+
+type regime =
+  | Genie_full  (** synthesized + paraphrases, augmentation, decoder LM *)
+  | Synthesized_only
+  | Paraphrase_only  (** paraphrases with Genie's augmentation *)
+  | Wang_baseline
+      (** the prior methodology (Wang et al.): paraphrases only, no PPDB, no
+          parameter expansion, no LM -- the Baseline of Fig. 9 *)
+
+val regime_to_string : regime -> string
+
+type ablation =
+  | No_canonicalization
+  | No_keyword_params
+  | No_type_annotations
+  | No_param_expansion
+  | No_decoder_lm
+
+val ablation_to_string : ablation -> string
+
+type t = {
+  seed : int;
+  regime : regime;
+  ablations : ablation list;
+  synth_target : int;
+  synth_depth : int;
+  lm_target : int;
+  compound_paraphrase_budget : int;
+  primitive_per_function : int;
+  num_workers : int;
+  expansion_scale : float;
+  gazette_size : int;
+  holdout_fraction : float;
+  eval_developer : int;
+  eval_cheatsheet : int;
+  eval_ifttt : int;
+}
+
+val default : t
+
+val scaled : float -> t -> t
+(** Scales the work-proportional knobs (0.4 for quick runs, 2.0+ for large
+    ones). *)
+
+val has : t -> ablation -> bool
+
+val aligner_config : t -> Genie_parser_model.Aligner.config
+(** Maps regime and ablations onto the parser configuration. *)

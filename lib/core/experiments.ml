@@ -1,0 +1,272 @@
+(* Experiment drivers: one per table and figure of the paper's evaluation
+   (sections 5 and 6). Each driver returns structured rows; the bench harness
+   prints them and EXPERIMENTS.md records paper-vs-measured values. *)
+
+open Genie_thingtalk
+
+type cell = { mean : float; half_range : float }
+
+let cell xs =
+  let mean, half_range = Genie_parser_model.Eval.mean_half_range xs in
+  { mean; half_range }
+
+let pct c = Printf.sprintf "%.1f ± %.1f" (100. *. c.mean) (100. *. c.half_range)
+
+(* --- shared evaluation sets --------------------------------------------------- *)
+
+type eval_sets = {
+  validation : Genie_dataset.Example.t list;
+  cheatsheet_test : Genie_dataset.Example.t list;
+  ifttt_test : Genie_dataset.Example.t list;
+}
+
+(* Build the realistic sets; [avoid] marks programs present in the synthesized
+   pool so the cheatsheet generator can enforce a share of unseen programs. *)
+let build_eval_sets ?(cfg = Config.default) lib ~prims ~rules
+    ~(synth_pool : (string list * Ast.program) list) : eval_sets =
+  let seen = Hashtbl.create 4096 in
+  List.iter
+    (fun (_, p) -> Hashtbl.replace seen (Canonical.canonical_string lib p) ())
+    synth_pool;
+  let avoid key = Hashtbl.mem seen key in
+  let developer =
+    Genie_evaldata.Generators.developer lib ~prims ~rules ~seed:cfg.Config.seed
+      ~n:cfg.Config.eval_developer
+  in
+  let cheatsheet =
+    Genie_evaldata.Generators.cheatsheet lib ~prims ~rules ~seed:cfg.Config.seed
+      ~n:cfg.Config.eval_cheatsheet ~avoid ()
+  in
+  let ifttt =
+    Genie_evaldata.Generators.ifttt lib ~prims ~seed:cfg.Config.seed ~n:cfg.Config.eval_ifttt
+  in
+  (* paper split: all developer data plus part of cheatsheet/IFTTT go to
+     validation; the rest is the test set *)
+  let split frac xs =
+    let n = int_of_float (float_of_int (List.length xs) *. frac) in
+    (List.filteri (fun i _ -> i < n) xs, List.filteri (fun i _ -> i >= n) xs)
+  in
+  let cs_val, cs_test = split 0.4 cheatsheet in
+  let if_val, if_test = split 0.4 ifttt in
+  { validation = developer @ cs_val @ if_val;
+    cheatsheet_test = cs_test;
+    ifttt_test = if_test }
+
+let strip = List.map Genie_dataset.Example.strip_quotes
+
+(* --- Fig. 1: end-to-end ------------------------------------------------------- *)
+
+(* Parses the motivating sentence with a trained parser and executes the
+   resulting program on the mock services. *)
+let fig1_end_to_end (a : Pipeline.artifacts) =
+  let sentence = "get a cat picture and post it on facebook with caption funny cat" in
+  let tokens = Genie_util.Tok.tokenize sentence in
+  let program = Pipeline.predictor a tokens in
+  match program with
+  | None -> (sentence, None, [])
+  | Some p ->
+      let env = Genie_runtime.Exec.create a.Pipeline.lib in
+      let _, effects = Genie_runtime.Exec.run env p in
+      (sentence, Some p, effects)
+
+(* --- Fig. 7: dataset characteristics ------------------------------------------- *)
+
+let fig7 (a : Pipeline.artifacts) : Genie_dataset.Stats.characteristics =
+  Genie_dataset.Stats.characteristics
+    (List.map (fun (e : Genie_dataset.Example.t) -> e.Genie_dataset.Example.program) a.Pipeline.train)
+
+(* --- section 5.2 synthesis statistics ------------------------------------------- *)
+
+type synthesis_stats = {
+  synthesized_sentences : int;
+  synthesized_distinct_programs : int;
+  paraphrases_accepted : int;
+  paraphrases_collected : int;
+  train_sentences : int;
+  train_distinct_programs : int;
+  train_function_combos : int;
+  words_synthesized : int;
+  words_after_paraphrase : int;
+  words_after_augmentation : int;
+  new_words_per_paraphrase : float;
+  new_bigrams_per_paraphrase : float;
+}
+
+let synthesis_stats (a : Pipeline.artifacts) : synthesis_stats =
+  let lib = a.Pipeline.lib in
+  let synth_sentences = List.map fst a.Pipeline.synthesized in
+  let synth_programs = List.map snd a.Pipeline.synthesized in
+  let train_programs =
+    List.map (fun (e : Genie_dataset.Example.t) -> e.Genie_dataset.Example.program) a.Pipeline.train
+  in
+  let train_sentences =
+    List.map (fun (e : Genie_dataset.Example.t) -> e.Genie_dataset.Example.tokens) a.Pipeline.train
+  in
+  let para_pairs =
+    (* paraphrase novelty is measured against the selected synthesized
+       sentence with the same program *)
+    List.filter_map
+      (fun (ptoks, pprog) ->
+        let key = Canonical.canonical_string lib pprog in
+        List.find_map
+          (fun (stoks, sprog) ->
+            if Canonical.canonical_string lib sprog = key then Some (stoks, ptoks) else None)
+          a.Pipeline.synthesized)
+      a.Pipeline.paraphrases
+  in
+  let new_w, new_b = Genie_dataset.Stats.paraphrase_novelty para_pairs in
+  { synthesized_sentences = List.length a.Pipeline.synthesized;
+    synthesized_distinct_programs = Genie_dataset.Stats.distinct_programs lib synth_programs;
+    paraphrases_accepted = List.length a.Pipeline.paraphrases;
+    paraphrases_collected = a.Pipeline.paraphrase_collected;
+    train_sentences = List.length a.Pipeline.train;
+    train_distinct_programs = Genie_dataset.Stats.distinct_programs lib train_programs;
+    train_function_combos = Genie_dataset.Stats.distinct_function_combos train_programs;
+    words_synthesized = Genie_dataset.Stats.distinct_words synth_sentences;
+    words_after_paraphrase =
+      Genie_dataset.Stats.distinct_words
+        (synth_sentences @ List.map fst a.Pipeline.paraphrases);
+    words_after_augmentation = Genie_dataset.Stats.distinct_words train_sentences;
+    new_words_per_paraphrase = new_w;
+    new_bigrams_per_paraphrase = new_b }
+
+(* --- Fig. 8: training strategies ------------------------------------------------ *)
+
+type fig8_row = {
+  regime : Config.regime;
+  on_paraphrase : cell;
+  on_validation : cell;
+  on_cheatsheet : cell;
+  on_ifttt : cell;
+}
+
+(* evaluation cost is linear in test-set size; the held-out paraphrase set
+   can be large, so it is capped (deterministically) for the accuracy runs *)
+let cap n xs = List.filteri (fun i _ -> i < n) xs
+
+let run_regime ~cfg ~lib ~prims ~rules ~sets regime seed =
+  let cfg = { cfg with Config.regime; seed } in
+  let a = Pipeline.run ~cfg ~lib ~prims ~rules () in
+  let m set = (Pipeline.evaluate a set).Genie_parser_model.Eval.program_accuracy in
+  ( m (cap 250 a.Pipeline.paraphrase_test),
+    m (strip sets.validation),
+    m (strip sets.cheatsheet_test),
+    m (strip sets.ifttt_test) )
+
+let fig8 ?(cfg = Config.default) ?(seeds = [ 1; 2; 3 ]) ~lib ~prims ~rules () :
+    fig8_row list =
+  (* eval sets are shared across regimes and seeds *)
+  let base = Pipeline.run ~cfg:{ cfg with Config.regime = Config.Synthesized_only } ~lib ~prims ~rules () in
+  let sets = build_eval_sets ~cfg lib ~prims ~rules ~synth_pool:base.Pipeline.synthesized in
+  List.map
+    (fun regime ->
+      let results = List.map (run_regime ~cfg ~lib ~prims ~rules ~sets regime) seeds in
+      let col f = cell (List.map f results) in
+      { regime;
+        on_paraphrase = col (fun (a, _, _, _) -> a);
+        on_validation = col (fun (_, b, _, _) -> b);
+        on_cheatsheet = col (fun (_, _, c, _) -> c);
+        on_ifttt = col (fun (_, _, _, d) -> d) })
+    [ Config.Synthesized_only; Config.Paraphrase_only; Config.Genie_full ]
+
+(* --- Table 3: ablation study ------------------------------------------------------ *)
+
+type tab3_row = {
+  label : string;
+  on_paraphrase : cell;
+  on_validation : cell;
+  on_new_program : cell;
+}
+
+let run_ablation ~cfg ~lib ~prims ~rules ~sets ablations seed =
+  let cfg = { cfg with Config.ablations; seed; regime = Config.Genie_full } in
+  let a = Pipeline.run ~cfg ~lib ~prims ~rules () in
+  let validation = strip sets.validation in
+  let new_prog, _ = Pipeline.split_new_programs a validation in
+  let m set = (Pipeline.evaluate a set).Genie_parser_model.Eval.program_accuracy in
+  (m (cap 250 a.Pipeline.paraphrase_test), m validation, m new_prog)
+
+let tab3 ?(cfg = Config.default) ?(seeds = [ 1; 2; 3 ]) ~lib ~prims ~rules () :
+    tab3_row list =
+  let base = Pipeline.run ~cfg ~lib ~prims ~rules () in
+  let sets = build_eval_sets ~cfg lib ~prims ~rules ~synth_pool:base.Pipeline.synthesized in
+  let configs =
+    [ ("Genie", []);
+      (Config.ablation_to_string Config.No_canonicalization, [ Config.No_canonicalization ]);
+      (Config.ablation_to_string Config.No_keyword_params, [ Config.No_keyword_params ]);
+      (Config.ablation_to_string Config.No_type_annotations, [ Config.No_type_annotations ]);
+      (Config.ablation_to_string Config.No_param_expansion, [ Config.No_param_expansion ]);
+      (Config.ablation_to_string Config.No_decoder_lm, [ Config.No_decoder_lm ]) ]
+  in
+  List.map
+    (fun (label, ablations) ->
+      let results = List.map (run_ablation ~cfg ~lib ~prims ~rules ~sets ablations) seeds in
+      let col f = cell (List.map f results) in
+      { label;
+        on_paraphrase = col (fun (a, _, _) -> a);
+        on_validation = col (fun (_, b, _) -> b);
+        on_new_program = col (fun (_, _, c) -> c) })
+    configs
+
+(* --- section 5.5 error analysis ---------------------------------------------------- *)
+
+let error_analysis ?(cfg = Config.default) ~lib ~prims ~rules () :
+    Genie_parser_model.Eval.metrics =
+  let a = Pipeline.run ~cfg ~lib ~prims ~rules () in
+  let sets = build_eval_sets ~cfg lib ~prims ~rules ~synth_pool:a.Pipeline.synthesized in
+  Pipeline.evaluate a (strip sets.validation)
+
+(* --- section 5.2: limitation of the paraphrase-only methodology -------------------- *)
+
+(* The original methodology: one construct template per pattern, one primitive
+   template per function, training on paraphrases only. *)
+type limitation_result = {
+  in_distribution_paraphrase : float;
+  unseen_combination_paraphrase : float;
+  realistic_validation : float;
+}
+
+let minimal_rules lib =
+  List.filter
+    (fun (r : Genie_templates.Grammar.rule) ->
+      List.mem r.Genie_templates.Grammar.name
+        [ "cmd_get_np"; "cmd_vp"; "cmd_wp_vp"; "cmd_notify_wp"; "np_filter" ])
+    (Genie_templates.Rules_thingtalk.rules lib)
+
+let first_prim_per_function prims =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (p : Genie_thingpedia.Prim.t) ->
+      let key = Ast.Fn.to_string p.Genie_thingpedia.Prim.fn in
+      if Hashtbl.mem seen key then false else (Hashtbl.replace seen key (); true))
+    prims
+
+let paraphrase_limitation ?(cfg = Config.default) ~lib ~prims () : limitation_result =
+  let rules = minimal_rules lib in
+  let prims = first_prim_per_function prims in
+  let cfg = { cfg with Config.regime = Config.Paraphrase_only } in
+  let a = Pipeline.run ~cfg ~lib ~prims ~rules () in
+  (* in-distribution paraphrases: fresh paraphrases of *training* programs *)
+  let rng = Genie_util.Rng.create 4242 in
+  let in_dist =
+    List.filter_map
+      (fun (e : Genie_dataset.Example.t) ->
+        if e.Genie_dataset.Example.source = Genie_dataset.Example.Paraphrase
+           && Genie_util.Rng.flip rng 0.1
+        then
+          Some
+            (Genie_dataset.Example.strip_quotes
+               { e with
+                 Genie_dataset.Example.tokens =
+                   Genie_crowd.Worker.paraphrase
+                     ~style:{ Genie_crowd.Worker.default_style with error_p = 0.0 }
+                     (Genie_util.Rng.split rng) e.Genie_dataset.Example.tokens
+                     e.Genie_dataset.Example.program })
+        else None)
+      a.Pipeline.train_before_expansion
+  in
+  let sets = build_eval_sets ~cfg lib ~prims ~rules ~synth_pool:a.Pipeline.synthesized in
+  let m set = (Pipeline.evaluate a set).Genie_parser_model.Eval.program_accuracy in
+  { in_distribution_paraphrase = m in_dist;
+    unseen_combination_paraphrase = m a.Pipeline.paraphrase_test;
+    realistic_validation = m (strip sets.validation) }

@@ -1,0 +1,115 @@
+(** Experiment drivers: one per table and figure of the paper's evaluation
+    (sections 5 and 6). The bench harness prints the rows these return;
+    EXPERIMENTS.md records paper-vs-measured values. *)
+
+open Genie_thingtalk
+
+type cell = { mean : float; half_range : float }
+(** Accuracy over several training runs, reported as the paper does. *)
+
+val cell : float list -> cell
+val pct : cell -> string
+
+type eval_sets = {
+  validation : Genie_dataset.Example.t list;
+  cheatsheet_test : Genie_dataset.Example.t list;
+  ifttt_test : Genie_dataset.Example.t list;
+}
+
+val build_eval_sets :
+  ?cfg:Config.t ->
+  Schema.Library.t ->
+  prims:Genie_thingpedia.Prim.t list ->
+  rules:Genie_templates.Grammar.rule list ->
+  synth_pool:(string list * Ast.program) list ->
+  eval_sets
+(** Developer + cheatsheet + IFTTT data, split between validation and test in
+    the paper's proportions. The [synth_pool] tells the cheatsheet generator
+    which programs count as seen. *)
+
+val fig1_end_to_end :
+  Pipeline.artifacts ->
+  string * Ast.program option * (Ast.Fn.t * (string * Value.t) list) list
+(** Parses the motivating sentence of Fig. 1 and executes the result on the
+    mock runtime; returns (sentence, parse, side effects). *)
+
+val fig7 : Pipeline.artifacts -> Genie_dataset.Stats.characteristics
+(** The training-set composition of Fig. 7. *)
+
+type synthesis_stats = {
+  synthesized_sentences : int;
+  synthesized_distinct_programs : int;
+  paraphrases_accepted : int;
+  paraphrases_collected : int;
+  train_sentences : int;
+  train_distinct_programs : int;
+  train_function_combos : int;
+  words_synthesized : int;
+  words_after_paraphrase : int;
+  words_after_augmentation : int;
+  new_words_per_paraphrase : float;
+  new_bigrams_per_paraphrase : float;
+}
+
+val synthesis_stats : Pipeline.artifacts -> synthesis_stats
+(** The data-acquisition statistics of section 5.2. *)
+
+type fig8_row = {
+  regime : Config.regime;
+  on_paraphrase : cell;
+  on_validation : cell;
+  on_cheatsheet : cell;
+  on_ifttt : cell;
+}
+
+val fig8 :
+  ?cfg:Config.t ->
+  ?seeds:int list ->
+  lib:Schema.Library.t ->
+  prims:Genie_thingpedia.Prim.t list ->
+  rules:Genie_templates.Grammar.rule list ->
+  unit ->
+  fig8_row list
+(** Fig. 8: synthesized-only vs paraphrase-only vs Genie, on shared test
+    sets. *)
+
+type tab3_row = {
+  label : string;
+  on_paraphrase : cell;
+  on_validation : cell;
+  on_new_program : cell;
+}
+
+val tab3 :
+  ?cfg:Config.t ->
+  ?seeds:int list ->
+  lib:Schema.Library.t ->
+  prims:Genie_thingpedia.Prim.t list ->
+  rules:Genie_templates.Grammar.rule list ->
+  unit ->
+  tab3_row list
+(** Table 3: each VAPL / model feature removed independently. *)
+
+val error_analysis :
+  ?cfg:Config.t ->
+  lib:Schema.Library.t ->
+  prims:Genie_thingpedia.Prim.t list ->
+  rules:Genie_templates.Grammar.rule list ->
+  unit ->
+  Genie_parser_model.Eval.metrics
+(** The section 5.5 breakdown on the validation set. *)
+
+type limitation_result = {
+  in_distribution_paraphrase : float;
+  unseen_combination_paraphrase : float;
+  realistic_validation : float;
+}
+
+val paraphrase_limitation :
+  ?cfg:Config.t ->
+  lib:Schema.Library.t ->
+  prims:Genie_thingpedia.Prim.t list ->
+  unit ->
+  limitation_result
+(** Section 5.2's critique of the prior methodology: one construct template,
+    one primitive template per function, paraphrase-only training. *)

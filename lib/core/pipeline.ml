@@ -1,0 +1,181 @@
+(* The Genie pipeline (paper Fig. 2): formal language definition + templates
+   -> synthetic sentence generation -> crowdsourced paraphrasing -> parameter
+   replacement and data augmentation -> neural model -> semantic parser. *)
+
+open Genie_thingtalk
+
+type artifacts = {
+  cfg : Config.t;
+  lib : Schema.Library.t;
+  synthesized : (string list * Ast.program) list;
+  paraphrases : (string list * Ast.program) list;
+  paraphrase_rejected : int;
+  paraphrase_collected : int;
+  lm_programs : Ast.program list;
+  train : Genie_dataset.Example.t list; (* final training set *)
+  train_before_expansion : Genie_dataset.Example.t list;
+  paraphrase_test : Genie_dataset.Example.t list; (* unseen function combos *)
+  held_out_combos : (string, unit) Hashtbl.t;
+  model : Genie_parser_model.Aligner.t;
+}
+
+let combo_key (p : Ast.program) =
+  String.concat "+"
+    (List.sort_uniq compare (List.map Ast.Fn.to_string (Ast.program_functions p)))
+
+let mk_examples ~source start pairs =
+  List.mapi
+    (fun i (tokens, program) ->
+      Genie_dataset.Example.make ~id:(start + i) ~tokens ~program ~source ())
+    pairs
+
+(* --- the pipeline --------------------------------------------------------------- *)
+
+let run ?(cfg = Config.default) ~lib ~prims ~rules ?(extra_terminals = []) () : artifacts =
+  let seed = cfg.Config.seed in
+  (* 1. synthesize *)
+  let grammar =
+    Genie_templates.Grammar.create lib ~prims ~rules
+      ~rng:(Genie_util.Rng.create (seed + 10))
+      ~extra_terminals ()
+  in
+  let synth_cfg =
+    { Genie_synthesis.Engine.default_config with
+      seed = seed + 20;
+      target_per_rule = cfg.Config.synth_target;
+      max_depth = cfg.Config.synth_depth }
+  in
+  let synthesized = Genie_synthesis.Engine.synthesize grammar synth_cfg in
+  (* 2. decoder-LM pretraining corpus: a larger, independent synthesis run *)
+  let lm_programs =
+    if cfg.Config.regime = Config.Wang_baseline then []
+    else
+      Genie_synthesis.Engine.synthesize_programs grammar
+        { synth_cfg with
+          Genie_synthesis.Engine.seed = seed + 30;
+          target_per_rule = cfg.Config.lm_target }
+  in
+  (* 3. paraphrase collection *)
+  let selection =
+    { Genie_crowd.Pipeline.seed = seed + 40;
+      compound_budget = cfg.Config.compound_paraphrase_budget;
+      primitive_per_function = cfg.Config.primitive_per_function;
+      easy_functions = Genie_thingpedia.Thingpedia.easy_functions;
+      hard_functions = Genie_thingpedia.Thingpedia.hard_functions }
+  in
+  let selected = Genie_crowd.Pipeline.select selection synthesized in
+  let crowd =
+    Genie_crowd.Pipeline.collect ~seed:(seed + 50) ~num_workers:cfg.Config.num_workers
+      selected
+  in
+  let paraphrases = crowd.Genie_crowd.Pipeline.accepted in
+  (* 4. hold out a fraction of compound function combinations: the paraphrase
+     test of section 5.2 measures compositionality on combinations never seen
+     in training *)
+  let rng = Genie_util.Rng.create (seed + 60) in
+  let compound_combos =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (_, p) -> if Ast.is_primitive p then None else Some (combo_key p))
+         paraphrases)
+  in
+  let held_out_combos : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let n_hold =
+    int_of_float (float_of_int (List.length compound_combos) *. cfg.Config.holdout_fraction)
+  in
+  List.iter
+    (fun c -> Hashtbl.replace held_out_combos c ())
+    (Genie_util.Rng.sample rng n_hold compound_combos);
+  let is_held_out (p : Ast.program) = Hashtbl.mem held_out_combos (combo_key p) in
+  let paraphrase_test_pairs, paraphrase_train =
+    List.partition (fun (_, p) -> is_held_out p) paraphrases
+  in
+  let synth_train = List.filter (fun (_, p) -> not (is_held_out p)) synthesized in
+  (* 5. assemble examples per regime *)
+  let synth_examples =
+    mk_examples ~source:Genie_dataset.Example.Synthesized 0 synth_train
+  in
+  let para_examples =
+    mk_examples ~source:Genie_dataset.Example.Paraphrase 500_000 paraphrase_train
+  in
+  let regime = cfg.Config.regime in
+  let base_examples =
+    match regime with
+    | Config.Genie_full -> synth_examples @ para_examples
+    | Config.Synthesized_only -> synth_examples
+    | Config.Paraphrase_only | Config.Wang_baseline -> para_examples
+  in
+  (* 6. augmentation: PPDB on paraphrases, then parameter expansion *)
+  let gz = Genie_augment.Gazettes.create ~size:cfg.Config.gazette_size () in
+  let aug_rng = Genie_util.Rng.create (seed + 70) in
+  let with_ppdb =
+    if regime = Config.Wang_baseline then base_examples
+    else
+      List.map
+        (fun (e : Genie_dataset.Example.t) ->
+          match e.Genie_dataset.Example.source with
+          | Genie_dataset.Example.Paraphrase ->
+              let protected =
+                Genie_crowd.Worker.protected_tokens e.Genie_dataset.Example.program
+              in
+              { e with
+                Genie_dataset.Example.tokens =
+                  Genie_augment.Ppdb.augment aug_rng ~protected e.Genie_dataset.Example.tokens }
+          | _ -> e)
+        base_examples
+  in
+  let expanded =
+    if regime = Config.Wang_baseline || Config.has cfg Config.No_param_expansion then
+      with_ppdb
+    else
+      Genie_augment.Expand.expand_dataset ~scale:cfg.Config.expansion_scale lib gz aug_rng
+        with_ppdb
+  in
+  let train = List.map Genie_dataset.Example.strip_quotes expanded in
+  (* 7. train the parser *)
+  let aligner_cfg =
+    { (Config.aligner_config cfg) with Genie_parser_model.Aligner.lm_programs }
+  in
+  let model = Genie_parser_model.Aligner.train ~cfg:aligner_cfg lib train in
+  let paraphrase_test =
+    List.map Genie_dataset.Example.strip_quotes
+      (mk_examples ~source:Genie_dataset.Example.Paraphrase 900_000 paraphrase_test_pairs)
+  in
+  { cfg;
+    lib;
+    synthesized;
+    paraphrases;
+    paraphrase_rejected = crowd.Genie_crowd.Pipeline.rejected;
+    paraphrase_collected = crowd.Genie_crowd.Pipeline.collected;
+    lm_programs;
+    train;
+    train_before_expansion = with_ppdb;
+    paraphrase_test;
+    held_out_combos;
+    model }
+
+(* --- evaluation helpers ------------------------------------------------------------ *)
+
+let predictor (a : artifacts) : string list -> Ast.program option =
+ fun tokens ->
+  (Genie_parser_model.Aligner.predict a.model tokens).Genie_parser_model.Aligner.program
+
+let evaluate (a : artifacts) (examples : Genie_dataset.Example.t list) :
+    Genie_parser_model.Eval.metrics =
+  Genie_parser_model.Eval.evaluate a.lib (predictor a) examples
+
+(* canonical strings of all training programs, for new-program analyses *)
+let training_programs (a : artifacts) : (string, unit) Hashtbl.t =
+  let tbl = Hashtbl.create 4096 in
+  List.iter
+    (fun (e : Genie_dataset.Example.t) ->
+      Hashtbl.replace tbl (Canonical.canonical_string a.lib e.Genie_dataset.Example.program) ())
+    a.train;
+  tbl
+
+let split_new_programs (a : artifacts) (examples : Genie_dataset.Example.t list) =
+  let seen = training_programs a in
+  List.partition
+    (fun (e : Genie_dataset.Example.t) ->
+      not (Hashtbl.mem seen (Canonical.canonical_string a.lib e.Genie_dataset.Example.program)))
+    examples

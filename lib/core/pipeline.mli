@@ -1,0 +1,54 @@
+(** The Genie pipeline (paper Fig. 2): formal language definition + templates
+    -> synthetic sentence generation -> (simulated) crowdsourced paraphrasing
+    -> parameter replacement and data augmentation -> parser training. *)
+
+open Genie_thingtalk
+
+type artifacts = {
+  cfg : Config.t;
+  lib : Schema.Library.t;
+  synthesized : (string list * Ast.program) list;
+  paraphrases : (string list * Ast.program) list;
+      (** validated paraphrases from the worker simulator *)
+  paraphrase_rejected : int;
+  paraphrase_collected : int;
+  lm_programs : Ast.program list;
+      (** the decoder-LM pretraining corpus (a larger synthesis run) *)
+  train : Genie_dataset.Example.t list;  (** the final training set *)
+  train_before_expansion : Genie_dataset.Example.t list;
+  paraphrase_test : Genie_dataset.Example.t list;
+      (** paraphrases of function combinations held out of training: the
+          compositionality test of section 5.2 *)
+  held_out_combos : (string, unit) Hashtbl.t;
+  model : Genie_parser_model.Aligner.t;
+}
+
+val combo_key : Ast.program -> string
+(** The sorted function-set signature used for hold-out bookkeeping. *)
+
+val run :
+  ?cfg:Config.t ->
+  lib:Schema.Library.t ->
+  prims:Genie_thingpedia.Prim.t list ->
+  rules:Genie_templates.Grammar.rule list ->
+  ?extra_terminals:(string * Genie_templates.Derivation.t list) list ->
+  unit ->
+  artifacts
+(** Runs the pipeline for the configured training regime and ablations. For a
+    fixed seed, the synthesis / paraphrase / hold-out stages are identical
+    across regimes, so Fig. 8 compares regimes on the same test data. *)
+
+val predictor : artifacts -> string list -> Ast.program option
+
+val evaluate :
+  artifacts -> Genie_dataset.Example.t list -> Genie_parser_model.Eval.metrics
+
+val training_programs : artifacts -> (string, unit) Hashtbl.t
+(** Canonical strings of every training program. *)
+
+val split_new_programs :
+  artifacts ->
+  Genie_dataset.Example.t list ->
+  Genie_dataset.Example.t list * Genie_dataset.Example.t list
+(** Partitions a test set into (programs unseen in training, seen): the "New
+    Program" column of Table 3. *)

@@ -1,0 +1,152 @@
+(* The crowdsourcing pipeline (paper section 3.2): choosing which synthesized
+   sentences to paraphrase, preparing batches, collecting answers from the
+   (simulated) workers, and filtering out wrong answers with heuristics. *)
+
+open Genie_thingtalk
+
+(* --- choosing sentences to paraphrase -------------------------------------- *)
+
+type selection_config = {
+  primitive_per_function : int; (* paraphrases for every primitive *)
+  compound_budget : int; (* how many compound sentences to sample *)
+  seed : int;
+  (* developer-provided lists: compound sentences combining easy functions
+     with hard ones are preferred; unrelated hard-hard pairs confuse
+     workers *)
+  easy_functions : Ast.Fn.t list;
+  hard_functions : Ast.Fn.t list;
+}
+
+let default_selection =
+  { primitive_per_function = 2;
+    compound_budget = 400;
+    seed = 99;
+    easy_functions = [];
+    hard_functions = [] }
+
+let functions_of (p : Ast.program) = List.sort_uniq Ast.Fn.compare (Ast.program_functions p)
+
+(* Score a compound sentence for paraphrasability: easy+hard pairings score
+   high, hard+hard low (workers cannot understand them). *)
+let pair_score cfg (p : Ast.program) =
+  let fns = functions_of p in
+  let easy f = List.mem f cfg.easy_functions in
+  let hard f = List.mem f cfg.hard_functions in
+  match fns with
+  | [ _ ] -> 1.0
+  | fns ->
+      let n_easy = List.length (List.filter easy fns) in
+      let n_hard = List.length (List.filter hard fns) in
+      if n_hard >= 2 then 0.1 else if n_hard = 1 && n_easy >= 1 then 2.0 else 1.0
+
+(* Select a subset of the synthesized data for paraphrasing: good coverage of
+   primitives, weighted sampling of compounds. *)
+let select cfg (synthesized : (string list * Ast.program) list) :
+    (string list * Ast.program) list =
+  let rng = Genie_util.Rng.create cfg.seed in
+  let primitives, compounds =
+    List.partition (fun (_, p) -> Ast.is_primitive p) synthesized
+  in
+  (* per-function quota over primitives *)
+  let per_fn : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let prim_selected =
+    List.filter
+      (fun (_, p) ->
+        match functions_of p with
+        | [ f ] ->
+            let key = Ast.Fn.to_string f in
+            let k = try Hashtbl.find per_fn key with Not_found -> 0 in
+            if k < cfg.primitive_per_function then begin
+              Hashtbl.replace per_fn key (k + 1);
+              true
+            end
+            else false
+        | _ -> false)
+      (Genie_util.Rng.shuffle rng primitives)
+  in
+  let weighted =
+    List.map (fun ((_, p) as sp) -> (sp, pair_score cfg p)) compounds
+  in
+  let rec draw n acc pool =
+    if n = 0 || pool = [] then acc
+    else
+      let chosen = Genie_util.Rng.weighted rng pool in
+      let pool = List.filter (fun (sp, _) -> sp != chosen) pool in
+      draw (n - 1) (chosen :: acc) pool
+  in
+  prim_selected @ draw (min cfg.compound_budget (List.length weighted)) [] weighted
+
+(* --- MTurk batch files ------------------------------------------------------- *)
+
+(* Genie produces a CSV that creates a batch of crowdsource tasks; multiple
+   workers see each synthesized sentence, and each worker provides two
+   paraphrases. *)
+let batch_csv ?(workers_per_sentence = 2) (selected : (string list * Ast.program) list) :
+    string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "hit_id,worker_slot,sentence,program\n";
+  List.iteri
+    (fun i (tokens, program) ->
+      for w = 0 to workers_per_sentence - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "%d,%d,\"%s\",\"%s\"\n" i w
+             (String.concat " " tokens)
+             (Printer.program_to_string program))
+      done)
+    selected;
+  Buffer.contents buf
+
+(* --- answer validation -------------------------------------------------------- *)
+
+(* Heuristics that discard obvious mistakes (the paper additionally asks other
+   workers to check the remaining answers; the net effect is a filter). *)
+let valid_paraphrase ~(original : string list) ~(program : Ast.program)
+    (answer : string list) : bool =
+  let n_orig = List.length original and n_ans = List.length answer in
+  (* too short or absurdly long answers are lazy/garbage work *)
+  n_ans >= 2
+  && n_ans * 10 >= n_orig * 3
+  && n_ans <= n_orig * 3
+  && (* every string/entity parameter must be copied into the answer *)
+  List.for_all
+    (fun (_, v) ->
+      match v with
+      | Value.String _ | Value.Entity _ ->
+          let rendering =
+            Genie_util.Tok.tokenize (Genie_thingpedia.Prim.render_value ~quote:false v)
+          in
+          Genie_util.Tok.match_sub answer rendering <> None
+      | _ -> true)
+    (Ast.program_constants program)
+
+(* --- end-to-end paraphrase collection ----------------------------------------- *)
+
+type result = {
+  accepted : (string list * Ast.program) list; (* validated paraphrases *)
+  rejected : int;
+  collected : int;
+}
+
+(* Runs the simulated crowd over the selected sentences: several workers per
+   sentence, two paraphrases per worker, then validation. *)
+let collect ?(workers_per_sentence = 2) ?(paraphrases_per_worker = 2) ~seed
+    ~(num_workers : int) (selected : (string list * Ast.program) list) : result =
+  let rng = Genie_util.Rng.create seed in
+  let styles = Array.of_list (Worker.worker_pool rng (max 1 num_workers)) in
+  let accepted = ref [] in
+  let rejected = ref 0 in
+  let collected = ref 0 in
+  List.iter
+    (fun (tokens, program) ->
+      for _ = 1 to workers_per_sentence do
+        let style = Genie_util.Rng.pick_array rng styles in
+        for _ = 1 to paraphrases_per_worker do
+          incr collected;
+          let answer = Worker.paraphrase ~style (Genie_util.Rng.split rng) tokens program in
+          if valid_paraphrase ~original:tokens ~program answer then
+            accepted := (answer, program) :: !accepted
+          else incr rejected
+        done
+      done)
+    selected;
+  { accepted = List.rev !accepted; rejected = !rejected; collected = !collected }

@@ -1,0 +1,51 @@
+(** The crowdsourcing pipeline (paper section 3.2): choosing which synthesized
+    sentences to paraphrase, preparing MTurk batches, collecting answers from
+    the (simulated) workers, and filtering wrong answers with heuristics. *)
+
+open Genie_thingtalk
+
+type selection_config = {
+  primitive_per_function : int;
+      (** paraphrases are advisable for every primitive (section 3.2) *)
+  compound_budget : int;
+  seed : int;
+  easy_functions : Ast.Fn.t list;
+  hard_functions : Ast.Fn.t list;
+      (** compound sentences pairing an easy function with a hard one are
+          preferred; hard-hard pairs confuse workers *)
+}
+
+val default_selection : selection_config
+
+val select :
+  selection_config ->
+  (string list * Ast.program) list ->
+  (string list * Ast.program) list
+(** Per-function quotas over primitives plus weighted sampling of compounds. *)
+
+val batch_csv :
+  ?workers_per_sentence:int -> (string list * Ast.program) list -> string
+(** The MTurk batch file: several workers see each sentence, and each worker
+    provides two paraphrases (people asked for one make only the most obvious
+    change; asked for three, they struggle). *)
+
+val valid_paraphrase :
+  original:string list -> program:Ast.program -> string list -> bool
+(** The validation heuristics: plausible length ratio and every string or
+    entity parameter copied into the answer. *)
+
+type result = {
+  accepted : (string list * Ast.program) list;
+  rejected : int;
+  collected : int;
+}
+
+val collect :
+  ?workers_per_sentence:int ->
+  ?paraphrases_per_worker:int ->
+  seed:int ->
+  num_workers:int ->
+  (string list * Ast.program) list ->
+  result
+(** Runs the simulated worker pool over the selected sentences and validates
+    every answer. *)

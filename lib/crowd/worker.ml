@@ -1,0 +1,170 @@
+(* Simulated crowdsource paraphrase workers.
+
+   The paper collects paraphrases on Amazon Mechanical Turk; that workforce is
+   substituted by a stochastic worker model with per-worker styles. The model
+   reproduces the statistical properties the training-strategy experiments
+   rely on: paraphrases add lexical variety over the synthesized wording
+   (new words and bigrams per paraphrase), workers sometimes make only the
+   most obvious change, and a fraction of answers is wrong in characteristic
+   ways (dropped parameters, altered parameter values, semantic drift). *)
+
+open Genie_thingtalk
+
+type style = {
+  synonym_rate : float; (* probability of rewriting each rewritable phrase *)
+  reorder_p : float; (* probability of moving a when-clause *)
+  drop_politeness_p : float;
+  error_p : float; (* probability of producing a wrong paraphrase *)
+  lazy_p : float; (* probability of a minimal-edit paraphrase *)
+}
+
+let default_style =
+  { synonym_rate = 0.5; reorder_p = 0.4; drop_politeness_p = 0.7; error_p = 0.12; lazy_p = 0.15 }
+
+(* The human synonym table: deliberately different entries from the PPDB
+   table used for augmentation, so paraphrases introduce genuinely new
+   vocabulary. *)
+let synonyms : (string list * string list list) list =
+  let s a bs = (Genie_util.Tok.tokenize a, List.map Genie_util.Tok.tokenize bs) in
+  [ s "get" [ "grab"; "pull up"; "find me" ];
+    s "show me" [ "i would like to see"; "bring up"; "lemme see" ];
+    s "tell me" [ "what is"; "i wanna know" ];
+    s "notify me" [ "shoot me a message"; "give me a heads up"; "warn me" ];
+    s "let me know" [ "keep me posted"; "tell me" ];
+    s "alert me" [ "wake me up"; "buzz me" ];
+    s "when" [ "if"; "once"; "anytime" ];
+    s "when i receive" [ "when i get"; "whenever i get" ];
+    s "changes" [ "gets updated"; "is different" ];
+    s "a cat picture" [ "a pic of a kitty"; "some cat photo"; "a kitten pic" ];
+    s "a dog picture" [ "a puppy photo"; "a pic of a dog" ];
+    s "picture" [ "snapshot"; "shot" ];
+    s "post" [ "put"; "share" ];
+    s "on twitter" [ "to my twitter"; "on my twitter feed" ];
+    s "on facebook" [ "to facebook"; "on my facebook wall" ];
+    s "emails" [ "my mail"; "email messages" ];
+    s "email" [ "e-mail"; "mail" ];
+    s "send an email to" [ "write to"; "shoot an email to" ];
+    s "the weather in" [ "how the weather is in"; "weather conditions in" ];
+    s "temperature" [ "how hot it is"; "the temp" ];
+    s "play" [ "put on"; "start" ];
+    s "song" [ "tune"; "track" ];
+    s "my dropbox files" [ "the files in my dropbox"; "my dropbox stuff" ];
+    s "tweets from" [ "what is tweeted by"; "the tweets of" ];
+    s "turn on the lights" [ "lights on"; "switch my lights on" ];
+    s "turn off the lights" [ "lights out"; "kill the lights" ];
+    s "set the temperature to" [ "make it"; "adjust the thermostat to" ];
+    s "text" [ "sms" ];
+    s "bigger than" [ "over"; "exceeding" ];
+    s "faster than" [ "quicker than"; "with tempo above" ];
+    s "every day at" [ "daily at"; "each day at" ];
+    s "the front page of the new york times" [ "nyt headlines"; "the nytimes front page" ] ]
+
+let politeness = List.map Genie_util.Tok.tokenize [ "please"; "can you"; "i want to"; "i would like to" ]
+
+(* tokens that belong to parameter values and must not be touched *)
+let protected_tokens (program : Ast.program) =
+  List.concat_map
+    (fun (_, v) ->
+      Genie_util.Tok.tokenize (Genie_thingpedia.Prim.render_value ~quote:false v))
+    (Ast.program_constants program)
+
+let apply_synonyms rng ~rate ~protected tokens =
+  List.fold_left
+    (fun toks (from_, tos) ->
+      if List.exists (fun t -> List.mem t protected) from_ then toks
+      else if Genie_util.Rng.flip rng rate then
+        match Genie_util.Tok.match_sub toks from_ with
+        | Some (before, after) -> before @ Genie_util.Rng.pick rng tos @ after
+        | None -> toks
+      else toks)
+    tokens synonyms
+
+(* Move a leading when-clause to the end or vice versa. *)
+let reorder_clauses rng tokens =
+  let starts_when =
+    match tokens with
+    | ("when" | "whenever" | "if" | "once" | "anytime") :: _ -> true
+    | _ -> false
+  in
+  match Genie_util.Tok.match_sub tokens [ "," ] with
+  | Some (before, after) when starts_when && after <> [] -> after @ before
+  | Some (before, after) when (not starts_when) && after <> [] -> (
+      match after with
+      | ("when" | "whenever" | "if" | "once") :: _ -> after @ [ "," ] @ before
+      | _ -> tokens)
+  | _ ->
+      ignore rng;
+      tokens
+
+let drop_politeness tokens =
+  List.fold_left
+    (fun toks phrase ->
+      match Genie_util.Tok.match_sub toks phrase with
+      | Some (before, after) -> before @ after
+      | None -> toks)
+    tokens politeness
+
+(* --- error modes ------------------------------------------------------------ *)
+
+type error_mode = Drop_parameter | Mangle_parameter | Truncate | Off_topic
+
+let error_modes = [| Drop_parameter; Mangle_parameter; Truncate; Off_topic |]
+
+let make_error rng program tokens =
+  match Genie_util.Rng.pick_array rng error_modes with
+  | Drop_parameter -> (
+      (* omit a parameter value from the sentence *)
+      match Ast.program_constants program with
+      | [] -> tokens
+      | consts -> (
+          let _, v = Genie_util.Rng.pick rng consts in
+          let rendering =
+            Genie_util.Tok.tokenize (Genie_thingpedia.Prim.render_value ~quote:false v)
+          in
+          match Genie_util.Tok.match_sub tokens rendering with
+          | Some (before, after) -> before @ after
+          | None -> tokens))
+  | Mangle_parameter -> (
+      (* replace a parameter value with different words, so the copy target no
+         longer appears in the sentence *)
+      match Ast.program_constants program with
+      | [] -> tokens
+      | consts -> (
+          let _, v = Genie_util.Rng.pick rng consts in
+          let rendering =
+            Genie_util.Tok.tokenize (Genie_thingpedia.Prim.render_value ~quote:false v)
+          in
+          match Genie_util.Tok.match_sub tokens rendering with
+          | Some (before, after) -> before @ [ "something"; "else" ] @ after
+          | None -> tokens))
+  | Truncate ->
+      let n = List.length tokens in
+      List.filteri (fun i _ -> i < max 2 (n / 2)) tokens
+  | Off_topic -> Genie_util.Tok.tokenize "do the thing i asked before"
+
+(* --- the worker ----------------------------------------------------------- *)
+
+(* One paraphrase of (sentence, program) by a worker with the given style.
+   Returns the tokens the worker wrote. *)
+let paraphrase ?(style = default_style) rng (tokens : string list)
+    (program : Ast.program) : string list =
+  if Genie_util.Rng.flip rng style.error_p then make_error rng program tokens
+  else if Genie_util.Rng.flip rng style.lazy_p then
+    (* minimal edit: one synonym substitution at most *)
+    apply_synonyms rng ~rate:0.3 ~protected:(protected_tokens program) tokens
+  else begin
+    let protected = protected_tokens program in
+    let tokens = if Genie_util.Rng.flip rng style.drop_politeness_p then drop_politeness tokens else tokens in
+    let tokens = apply_synonyms rng ~rate:style.synonym_rate ~protected tokens in
+    let tokens = if Genie_util.Rng.flip rng style.reorder_p then reorder_clauses rng tokens else tokens in
+    tokens
+  end
+
+(* Distinct per-worker styles: some careful, some lazy, some error-prone. *)
+let worker_pool rng n : style list =
+  List.init n (fun _ ->
+      { synonym_rate = 0.3 +. Genie_util.Rng.float rng 0.5;
+        reorder_p = Genie_util.Rng.float rng 0.6;
+        drop_politeness_p = 0.4 +. Genie_util.Rng.float rng 0.6;
+        error_p = 0.04 +. Genie_util.Rng.float rng 0.2;
+        lazy_p = Genie_util.Rng.float rng 0.3 })

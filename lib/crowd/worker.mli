@@ -1,0 +1,35 @@
+(** Simulated crowdsource paraphrase workers.
+
+    The MTurk workforce is substituted by a stochastic worker model with
+    per-worker styles (see DESIGN.md). It reproduces the statistical
+    properties the training-strategy experiments rely on: paraphrases add
+    lexical variety over the synthesized wording, some workers make only the
+    most obvious change, and a fraction of answers is wrong in characteristic
+    ways (dropped parameters, altered values, truncation, drift). *)
+
+open Genie_thingtalk
+
+type style = {
+  synonym_rate : float;
+  reorder_p : float;
+  drop_politeness_p : float;
+  error_p : float;
+  lazy_p : float;  (** probability of a minimal-edit answer *)
+}
+
+val default_style : style
+
+val protected_tokens : Ast.program -> string list
+(** The tokens of the program's parameter values, which workers are
+    instructed to copy verbatim. *)
+
+val paraphrase :
+  ?style:style -> Genie_util.Rng.t -> string list -> Ast.program -> string list
+(** One worker's paraphrase of a (sentence, program) task: synonym
+    substitution, optional clause reordering, politeness dropping -- or, with
+    probability [error_p], a characteristic mistake. Deterministic in the
+    generator. *)
+
+val worker_pool : Genie_util.Rng.t -> int -> style list
+(** [n] workers with distinct styles: some careful, some lazy, some
+    error-prone. *)

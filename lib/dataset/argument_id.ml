@@ -1,0 +1,114 @@
+(* Rule-based argument identification and normalization (paper section 2.1):
+   numbers, dates and times in the input sentence are identified and replaced
+   with named constants of the form NUMBER_0, DATE_1, TIME_0; the mapping from
+   named constant to value is kept so the program can refer to the slots.
+   Free-form string and entity parameters stay as words so they can be copied
+   token by token. *)
+
+open Genie_thingtalk
+
+type result = {
+  tokens : string list; (* sentence with named constants substituted *)
+  entities : (string * Value.t) list; (* slot -> value *)
+}
+
+let is_digit c = c >= '0' && c <= '9'
+
+let parse_number tok =
+  if tok <> "" && String.for_all (fun c -> is_digit c || c = '.') tok
+     && String.exists is_digit tok
+  then float_of_string_opt tok
+  else None
+
+(* "8:00" / "12:30" *)
+let parse_time tok =
+  match String.index_opt tok ':' with
+  | Some i
+    when i > 0
+         && String.for_all is_digit (String.sub tok 0 i)
+         && i + 1 < String.length tok
+         && String.for_all is_digit (String.sub tok (i + 1) (String.length tok - i - 1)) ->
+      let h = int_of_string (String.sub tok 0 i) in
+      let m = int_of_string (String.sub tok (i + 1) (String.length tok - i - 1)) in
+      if h < 24 && m < 60 then Some (h, m) else None
+  | _ -> None
+
+(* "6/22/2019" *)
+let parse_date tok =
+  match String.split_on_char '/' tok with
+  | [ m; d; y ]
+    when m <> "" && d <> "" && y <> ""
+         && List.for_all (String.for_all is_digit) [ m; d; y ] ->
+      Some
+        (Value.D_absolute
+           { year = int_of_string y; month = int_of_string m; day = int_of_string d })
+  | _ -> None
+
+(* Multi-token date phrases, e.g. "the beginning of the week". *)
+let date_phrases : (string list * Value.date) list =
+  let units = [ ("day", "day"); ("week", "week"); ("month", "mon"); ("year", "year") ] in
+  List.concat_map
+    (fun (word, unit) ->
+      [ ([ "the"; "beginning"; "of"; "the"; word ], Value.D_start_of unit);
+        ([ "the"; "start"; "of"; "the"; word ], Value.D_start_of unit);
+        ([ "the"; "end"; "of"; "the"; word ], Value.D_end_of unit);
+        ([ "this"; word ], Value.D_start_of unit) ])
+    units
+  @ [ ([ "today" ], Value.D_start_of "day"); ([ "tomorrow" ], Value.D_end_of "day") ]
+
+let match_prefix phrase toks =
+  let rec go p t =
+    match (p, t) with
+    | [], rest -> Some rest
+    | x :: p', y :: t' when x = y -> go p' t'
+    | _ -> None
+  in
+  go phrase toks
+
+let normalize (tokens : string list) : result =
+  let counters = Hashtbl.create 4 in
+  let entities = ref [] in
+  let slot kind v =
+    (* reuse the slot if the same value was already seen *)
+    match
+      List.find_opt
+        (fun (s, v') -> Value.equal v v' && Genie_util.Tok.starts_with ~prefix:kind s)
+        !entities
+    with
+    | Some (s, _) -> s
+    | None ->
+        let k = try Hashtbl.find counters kind with Not_found -> 0 in
+        Hashtbl.replace counters kind (k + 1);
+        let s = Printf.sprintf "%s_%d" kind k in
+        entities := !entities @ [ (s, v) ];
+        s
+  in
+  let rec go toks acc =
+    match toks with
+    | [] -> List.rev acc
+    | tok :: rest -> (
+        (* multi-token date phrases first *)
+        match
+          List.find_map
+            (fun (phrase, d) ->
+              Option.map (fun rest' -> (d, rest')) (match_prefix phrase toks))
+            date_phrases
+        with
+        | Some (d, rest') -> go rest' (slot "DATE" (Value.Date d) :: acc)
+        | None -> (
+            match parse_time tok with
+            | Some (h, m) -> go rest (slot "TIME" (Value.Time (h, m)) :: acc)
+            | None -> (
+                match parse_date tok with
+                | Some d -> go rest (slot "DATE" (Value.Date d) :: acc)
+                | None -> (
+                    match parse_number tok with
+                    | Some n -> go rest (slot "NUMBER" (Value.Number n) :: acc)
+                    | None -> go rest (tok :: acc)))))
+  in
+  let tokens = go tokens [] in
+  { tokens; entities = !entities }
+
+(* Applies normalization to an example sentence and returns the serializer
+   entity map needed for its program. *)
+let normalize_sentence (s : string) = normalize (Genie_util.Tok.tokenize s)

@@ -1,0 +1,20 @@
+(** Rule-based argument identification and normalization (section 2.1):
+    numbers, dates and times in the input sentence are replaced with named
+    constants ([NUMBER_0], [DATE_1], [TIME_0]) and the mapping is kept so the
+    program can refer to the slots; free-form strings and named entities stay
+    as words so they can be copied token by token. The paper performs this
+    step with a rule-based algorithm over CoreNLP tokenization. *)
+
+open Genie_thingtalk
+
+type result = {
+  tokens : string list;  (** the sentence with named constants substituted *)
+  entities : (string * Value.t) list;  (** slot -> value *)
+}
+
+val normalize : string list -> result
+(** Recognizes bare numbers, clock times ("8:30"), slash dates ("6/22/2019")
+    and relative date phrases ("the beginning of the week", "this month").
+    Equal values reuse one slot. *)
+
+val normalize_sentence : string -> result

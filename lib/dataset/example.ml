@@ -1,0 +1,39 @@
+(* Dataset examples: a natural-language sentence paired with the ThingTalk
+   program(s) it denotes. Test-set examples may carry several annotations,
+   because the paper annotates each test sentence with all programs that
+   provide a valid interpretation (section 5). *)
+
+open Genie_thingtalk
+
+type source =
+  | Synthesized
+  | Paraphrase
+  | Evaluation of string (* "developer" | "cheatsheet" | "ifttt" *)
+
+type t = {
+  id : int;
+  tokens : string list;
+  program : Ast.program;
+  (* alternative valid interpretations, for test sets *)
+  alternatives : Ast.program list;
+  source : source;
+}
+
+let source_to_string = function
+  | Synthesized -> "synthesized"
+  | Paraphrase -> "paraphrase"
+  | Evaluation which -> "eval:" ^ which
+
+let make ?(alternatives = []) ~id ~tokens ~program ~source () =
+  { id; tokens; program; alternatives; source }
+
+let sentence e = String.concat " " e.tokens
+
+let all_programs e = e.program :: e.alternatives
+
+(* Strips the quote markers around free-form string parameters; the paper
+   removes quotes before sentences are used for training. *)
+let strip_quotes e = { e with tokens = List.filter (fun t -> t <> "\"") e.tokens }
+
+let is_primitive e = Ast.is_primitive e.program
+let is_compound e = not (is_primitive e)

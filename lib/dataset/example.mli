@@ -1,0 +1,39 @@
+(** Dataset examples: a sentence paired with the ThingTalk program(s) it
+    denotes. Test examples may carry several annotations, because the paper
+    annotates each test sentence with all valid interpretations (section 5). *)
+
+open Genie_thingtalk
+
+type source =
+  | Synthesized
+  | Paraphrase
+  | Evaluation of string  (** "developer" | "cheatsheet" | "ifttt" *)
+
+type t = {
+  id : int;
+  tokens : string list;
+  program : Ast.program;
+  alternatives : Ast.program list;
+  source : source;
+}
+
+val source_to_string : source -> string
+
+val make :
+  ?alternatives:Ast.program list ->
+  id:int ->
+  tokens:string list ->
+  program:Ast.program ->
+  source:source ->
+  unit ->
+  t
+
+val sentence : t -> string
+val all_programs : t -> Ast.program list
+
+val strip_quotes : t -> t
+(** Removes quote markers around free-form parameters: the paper removes
+    quotes before sentences are used for training. *)
+
+val is_primitive : t -> bool
+val is_compound : t -> bool

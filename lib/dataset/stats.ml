@@ -1,0 +1,98 @@
+(* Dataset statistics: the training-set characteristics of Fig. 7 and the
+   vocabulary-growth numbers of section 5.2. *)
+
+open Genie_thingtalk
+
+type characteristics = {
+  total : int;
+  primitive : float; (* fractions *)
+  primitive_with_filters : float;
+  compound : float;
+  compound_with_param_passing : float;
+  compound_with_filters : float;
+}
+
+(* Classify a program into the five slices of Fig. 7. A compound command uses
+   two functions; "+ parameter passing" and "+ filters" refine the compound
+   slice; primitive commands split on filters only. *)
+let classify (p : Ast.program) =
+  let primitive = Ast.is_primitive p in
+  let filters = Ast.program_predicates p <> [] in
+  let passing = Ast.has_param_passing p in
+  match (primitive, filters, passing) with
+  | true, false, _ -> `Primitive
+  | true, true, _ -> `Primitive_filters
+  | false, false, false -> `Compound
+  | false, false, true -> `Compound_passing
+  | false, true, _ -> `Compound_filters
+
+let characteristics (programs : Ast.program list) : characteristics =
+  let total = List.length programs in
+  let count tag = List.length (List.filter (fun p -> classify p = tag) programs) in
+  let frac tag = float_of_int (count tag) /. float_of_int (max 1 total) in
+  { total;
+    primitive = frac `Primitive;
+    primitive_with_filters = frac `Primitive_filters;
+    compound = frac `Compound;
+    compound_with_param_passing = frac `Compound_passing;
+    compound_with_filters = frac `Compound_filters }
+
+let pp_characteristics fmt (c : characteristics) =
+  Format.fprintf fmt
+    "@[<v>total sentences: %d@,primitive commands: %.0f%%@,  + filters: %.0f%%@,compound commands: %.0f%%@,  + parameter passing: %.0f%%@,  + filters: %.0f%%@]"
+    c.total (100. *. c.primitive)
+    (100. *. c.primitive_with_filters)
+    (100. *. c.compound)
+    (100. *. c.compound_with_param_passing)
+    (100. *. c.compound_with_filters)
+
+(* --- vocabulary growth ------------------------------------------------------ *)
+
+let distinct_words (sentences : string list list) =
+  let c = Genie_util.Counter.create () in
+  List.iter (List.iter (fun w -> Genie_util.Counter.add c w)) sentences;
+  Genie_util.Counter.distinct c
+
+let distinct_bigrams (sentences : string list list) =
+  let c = Genie_util.Counter.create () in
+  List.iter
+    (fun s -> List.iter (fun bg -> Genie_util.Counter.add c (String.concat " " bg)) (Genie_util.Tok.bigrams s))
+    sentences;
+  Genie_util.Counter.distinct c
+
+(* Average fraction of new words / bigrams a paraphrase introduces over its
+   source synthesized sentence (the paper reports 38% and 65%). *)
+let paraphrase_novelty (pairs : (string list * string list) list) =
+  let frac_new extract (orig, para) =
+    let orig_set = Hashtbl.create 16 in
+    List.iter (fun x -> Hashtbl.replace orig_set x ()) (extract orig);
+    let para_items = extract para in
+    if para_items = [] then 0.0
+    else
+      float_of_int (List.length (List.filter (fun x -> not (Hashtbl.mem orig_set x)) para_items))
+      /. float_of_int (List.length para_items)
+  in
+  let avg f =
+    match pairs with
+    | [] -> 0.0
+    | _ -> List.fold_left (fun acc p -> acc +. f p) 0.0 pairs /. float_of_int (List.length pairs)
+  in
+  let words toks = toks in
+  let bigrams toks = List.map (String.concat " ") (Genie_util.Tok.bigrams toks) in
+  (avg (frac_new words), avg (frac_new bigrams))
+
+let distinct_programs lib (programs : Ast.program list) =
+  let tbl = Hashtbl.create 1024 in
+  List.iter (fun p -> Hashtbl.replace tbl (Canonical.canonical_string lib p) ()) programs;
+  Hashtbl.length tbl
+
+let distinct_function_combos (programs : Ast.program list) =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun p ->
+      let fns =
+        List.sort_uniq compare (List.map Ast.Fn.to_string (Ast.program_functions p))
+      in
+      Hashtbl.replace tbl (String.concat "+" fns) ())
+    programs;
+  Hashtbl.length tbl

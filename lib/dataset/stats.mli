@@ -1,0 +1,33 @@
+(** Dataset statistics: the training-set characteristics of Fig. 7 and the
+    vocabulary-growth numbers of section 5.2. *)
+
+open Genie_thingtalk
+
+type characteristics = {
+  total : int;
+  primitive : float;
+  primitive_with_filters : float;
+  compound : float;
+  compound_with_param_passing : float;
+  compound_with_filters : float;
+}
+
+val classify :
+  Ast.program ->
+  [ `Primitive | `Primitive_filters | `Compound | `Compound_passing | `Compound_filters ]
+(** The five slices of Fig. 7. *)
+
+val characteristics : Ast.program list -> characteristics
+val pp_characteristics : Format.formatter -> characteristics -> unit
+
+val distinct_words : string list list -> int
+val distinct_bigrams : string list list -> int
+
+val paraphrase_novelty : (string list * string list) list -> float * float
+(** Average fraction of new words and new bigrams a paraphrase introduces
+    over its source sentence (the paper reports 38% and 65%). *)
+
+val distinct_programs : Schema.Library.t -> Ast.program list -> int
+(** Distinct canonical programs. *)
+
+val distinct_function_combos : Ast.program list -> int

@@ -1,0 +1,67 @@
+(** Generators for the realistic evaluation data of paper section 5.1.
+
+    The paper's 1820 evaluation sentences come from developers, from
+    crowdworkers writing commands from memory after seeing a cheatsheet, and
+    from IFTTT applet descriptions cleaned by the Table 2 rules. Real users
+    are unavailable here, so each source is simulated by a generator that
+    enforces its distinguishing distributional properties (see DESIGN.md). *)
+
+open Genie_thingtalk
+
+val developer :
+  Schema.Library.t ->
+  prims:Genie_thingpedia.Prim.t list ->
+  rules:Genie_templates.Grammar.rule list ->
+  seed:int ->
+  n:int ->
+  Genie_dataset.Example.t list
+(** Clean but varied annotations: light error-free paraphrases of held-out
+    synthesized commands. *)
+
+val recall_rewrite :
+  Genie_util.Rng.t -> string list -> Ast.program -> string list
+(** Recall-from-memory phrasing: colloquial synonyms disjoint from both the
+    template wording and the worker synonym table, dropped articles, and
+    non-compositional idioms ("auto retweet X", "autoforward my mail") for
+    specific function combinations. *)
+
+val cheatsheet :
+  Schema.Library.t ->
+  prims:Genie_thingpedia.Prim.t list ->
+  rules:Genie_templates.Grammar.rule list ->
+  seed:int ->
+  n:int ->
+  ?avoid:(string -> bool) ->
+  ?fresh_fraction:float ->
+  unit ->
+  Genie_dataset.Example.t list
+(** Cheatsheet-style commands. [avoid] marks canonical program strings seen
+    in training; the generator fills [fresh_fraction] of the set with
+    programs outside that set, mirroring the paper's statistic that a
+    sizeable share of realistic data maps to untrained programs. *)
+
+val ifttt :
+  Schema.Library.t ->
+  prims:Genie_thingpedia.Prim.t list ->
+  seed:int ->
+  n:int ->
+  Genie_dataset.Example.t list
+(** Terse trigger-action descriptions built from when/do primitives, with
+    Table 2 defects injected and then removed by the cleanup rules below. *)
+
+(** {2 The Table 2 cleanup rules} *)
+
+val cleanup_second_person : string list -> string list
+(** "Blink your light" -> "blink my light". *)
+
+val cleanup_placeholders :
+  Genie_util.Rng.t -> Ast.program -> string list -> string list
+(** "set the temperature to ___" -> a concrete value from the annotation. *)
+
+val cleanup_ui_explanation : string list -> string list
+(** Removes "with this button"-style UI phrases. *)
+
+val cleanup_append_device :
+  Schema.Library.t -> Ast.program -> string list -> string list
+(** Appends the device name when the description leaves it ambiguous ("let
+    the team know when it rains" -> "... on slack"). *)

@@ -1,0 +1,252 @@
+(* Reverse-mode automatic differentiation on a tape.
+
+   Nodes are recorded in creation order; [backward] walks the tape in reverse
+   and each node's closure scatters its gradient into its parents. Gradients
+   are verified against finite differences in the test suite. *)
+
+type node = {
+  id : int;
+  value : Tensor.t;
+  grad : Tensor.t; (* accumulated in place *)
+  back : unit -> unit; (* reads [grad], accumulates into parents' grads *)
+}
+
+type tape = { mutable nodes : node list; mutable next_id : int }
+
+let new_tape () = { nodes = []; next_id = 0 }
+
+let record tape value back =
+  let n = { id = tape.next_id; value; grad = Tensor.zeros_like value; back } in
+  tape.next_id <- tape.next_id + 1;
+  tape.nodes <- n :: tape.nodes;
+  n
+
+(* a leaf (parameter or constant); gradients accumulate but nothing propagates *)
+let leaf tape value = record tape value (fun () -> ())
+
+let const tape value = record tape value (fun () -> ())
+
+(* --- operations ----------------------------------------------------------- *)
+
+let add tape a b =
+  let value = Tensor.add a.value b.value in
+  let rec n =
+    lazy
+      (record tape value (fun () ->
+           let g = (Lazy.force n).grad in
+           Tensor.accumulate a.grad g;
+           Tensor.accumulate b.grad g))
+  in
+  Lazy.force n
+
+let sub tape a b =
+  let value = Tensor.sub a.value b.value in
+  let rec n =
+    lazy
+      (record tape value (fun () ->
+           let g = (Lazy.force n).grad in
+           Tensor.accumulate a.grad g;
+           Tensor.accumulate b.grad (Tensor.scale (-1.0) g)))
+  in
+  Lazy.force n
+
+let mul tape a b =
+  let value = Tensor.mul a.value b.value in
+  let rec n =
+    lazy
+      (record tape value (fun () ->
+           let g = (Lazy.force n).grad in
+           Tensor.accumulate a.grad (Tensor.mul g b.value);
+           Tensor.accumulate b.grad (Tensor.mul g a.value)))
+  in
+  Lazy.force n
+
+let scale tape k a =
+  let value = Tensor.scale k a.value in
+  let rec n =
+    lazy
+      (record tape value (fun () ->
+           Tensor.accumulate a.grad (Tensor.scale k (Lazy.force n).grad)))
+  in
+  Lazy.force n
+
+(* row vector times matrix *)
+let vec_mat tape v m =
+  let value = Tensor.vec_mat v.value m.value in
+  let rec n =
+    lazy
+      (record tape value (fun () ->
+           let g = (Lazy.force n).grad in
+           (* dL/dv = g * m^T; dL/dm = v^T * g *)
+           Tensor.accumulate v.grad (Tensor.mat_vec m.value g);
+           Tensor.accumulate m.grad (Tensor.outer v.value g)))
+  in
+  Lazy.force n
+
+let sigmoid tape a =
+  let value = Tensor.map (fun x -> 1.0 /. (1.0 +. exp (-.x))) a.value in
+  let rec n =
+    lazy
+      (record tape value (fun () ->
+           let g = (Lazy.force n).grad in
+           Tensor.accumulate a.grad
+             (Tensor.map2 (fun gi yi -> gi *. yi *. (1.0 -. yi)) g value)))
+  in
+  Lazy.force n
+
+let tanh_ tape a =
+  let value = Tensor.map tanh a.value in
+  let rec n =
+    lazy
+      (record tape value (fun () ->
+           let g = (Lazy.force n).grad in
+           Tensor.accumulate a.grad
+             (Tensor.map2 (fun gi yi -> gi *. (1.0 -. (yi *. yi))) g value)))
+  in
+  Lazy.force n
+
+let concat tape a b =
+  let value = Tensor.concat_vectors a.value b.value in
+  let rec n =
+    lazy
+      (record tape value (fun () ->
+           let g = (Lazy.force n).grad in
+           Tensor.accumulate a.grad (Tensor.slice_vector g ~start:0 ~len:a.value.Tensor.cols);
+           Tensor.accumulate b.grad
+             (Tensor.slice_vector g ~start:a.value.Tensor.cols ~len:b.value.Tensor.cols)))
+  in
+  Lazy.force n
+
+(* select a row of a parameter matrix (embedding lookup) *)
+let row tape m i =
+  let value = Tensor.row m.value i in
+  let rec n =
+    lazy
+      (record tape value (fun () ->
+           let g = (Lazy.force n).grad in
+           for j = 0 to value.Tensor.cols - 1 do
+             let idx = (i * m.value.Tensor.cols) + j in
+             m.grad.Tensor.data.(idx) <- m.grad.Tensor.data.(idx) +. g.Tensor.data.(j)
+           done))
+  in
+  Lazy.force n
+
+let dot tape a b =
+  let value = Tensor.vector [| Tensor.dot a.value b.value |] in
+  let rec n =
+    lazy
+      (record tape value (fun () ->
+           let g = (Lazy.force n).grad.Tensor.data.(0) in
+           Tensor.accumulate a.grad (Tensor.scale g b.value);
+           Tensor.accumulate b.grad (Tensor.scale g a.value)))
+  in
+  Lazy.force n
+
+(* dropout with inverted scaling; identity when [p] is 0 or training is off *)
+let dropout tape rng ~p ~training a =
+  if (not training) || p <= 0.0 then a
+  else begin
+    let mask =
+      Tensor.map
+        (fun _ -> if Genie_util.Rng.flip rng p then 0.0 else 1.0 /. (1.0 -. p))
+        a.value
+    in
+    let value = Tensor.mul a.value mask in
+    let rec n =
+      lazy
+        (record tape value (fun () ->
+             Tensor.accumulate a.grad (Tensor.mul (Lazy.force n).grad mask)))
+    in
+    Lazy.force n
+  end
+
+(* Softmax over a vector fused with negative log-likelihood of [target].
+   Returns (loss scalar node, probability array). *)
+let softmax_nll tape a ~target =
+  let x = a.value.Tensor.data in
+  let m = Array.fold_left Float.max neg_infinity x in
+  let exps = Array.map (fun v -> exp (v -. m)) x in
+  let z = Array.fold_left ( +. ) 0.0 exps in
+  let probs = Array.map (fun e -> e /. z) exps in
+  let loss = -.log (Float.max 1e-12 probs.(target)) in
+  let value = Tensor.vector [| loss |] in
+  let rec n =
+    lazy
+      (record tape value (fun () ->
+           let g = (Lazy.force n).grad.Tensor.data.(0) in
+           Array.iteri
+             (fun i p ->
+               let delta = if i = target then p -. 1.0 else p in
+               a.grad.Tensor.data.(i) <- a.grad.Tensor.data.(i) +. (g *. delta))
+             probs))
+  in
+  (Lazy.force n, probs)
+
+(* Softmax probabilities as a differentiable node (for attention weights). *)
+let softmax tape a =
+  let x = a.value.Tensor.data in
+  let m = Array.fold_left Float.max neg_infinity x in
+  let exps = Array.map (fun v -> exp (v -. m)) x in
+  let z = Array.fold_left ( +. ) 0.0 exps in
+  let probs = Array.map (fun e -> e /. z) exps in
+  let value = Tensor.vector probs in
+  let rec n =
+    lazy
+      (record tape value (fun () ->
+           let g = (Lazy.force n).grad.Tensor.data in
+           (* dL/dx_i = p_i * (g_i - sum_j g_j p_j) *)
+           let dotgp = ref 0.0 in
+           Array.iteri (fun j pj -> dotgp := !dotgp +. (g.(j) *. pj)) probs;
+           Array.iteri
+             (fun i pi ->
+               a.grad.Tensor.data.(i) <- a.grad.Tensor.data.(i) +. (pi *. (g.(i) -. !dotgp)))
+             probs))
+  in
+  Lazy.force n
+
+(* Mixture negative log-likelihood for the pointer-generator: the probability
+   of the target token is  gate * p_vocab(target) + (1 - gate) * p_copy  where
+   [p_copy] is the attention mass on source positions equal to the target.
+   [gate], [vocab_logits] and [attention] are nodes; [copy_positions] are the
+   source indices whose token equals the target. *)
+let pointer_nll tape ~gate ~vocab_probs ~attention ~target ~copy_positions =
+  let pv = vocab_probs.value.Tensor.data in
+  let att = attention.value.Tensor.data in
+  let g = gate.value.Tensor.data.(0) in
+  let p_vocab = if target >= 0 && target < Array.length pv then pv.(target) else 0.0 in
+  let p_copy = List.fold_left (fun acc i -> acc +. att.(i)) 0.0 copy_positions in
+  let p = Float.max 1e-12 ((g *. p_vocab) +. ((1.0 -. g) *. p_copy)) in
+  let loss = -.log p in
+  let value = Tensor.vector [| loss |] in
+  let rec n =
+    lazy
+      (record tape value (fun () ->
+           let go = (Lazy.force n).grad.Tensor.data.(0) in
+           let dp = -.go /. p in
+           (* gate *)
+           gate.grad.Tensor.data.(0) <-
+             gate.grad.Tensor.data.(0) +. (dp *. (p_vocab -. p_copy));
+           (* vocab probs *)
+           if target >= 0 && target < Array.length pv then
+             vocab_probs.grad.Tensor.data.(target) <-
+               vocab_probs.grad.Tensor.data.(target) +. (dp *. g);
+           (* attention *)
+           List.iter
+             (fun i ->
+               attention.grad.Tensor.data.(i) <-
+                 attention.grad.Tensor.data.(i) +. (dp *. (1.0 -. g)))
+             copy_positions))
+  in
+  Lazy.force n
+
+let sum_scalars tape (xs : node list) =
+  match xs with
+  | [] -> leaf tape (Tensor.vector [| 0.0 |])
+  | [ x ] -> x
+  | x :: rest -> List.fold_left (fun acc y -> add tape acc y) x rest
+
+(* Runs backpropagation from [loss] (a scalar node). *)
+let backward tape (loss : node) =
+  loss.grad.Tensor.data.(0) <- 1.0;
+  List.iter (fun n -> n.back ()) tape.nodes
+(* nodes are stored most-recent first, which is reverse topological order *)

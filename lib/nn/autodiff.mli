@@ -1,0 +1,79 @@
+(** Reverse-mode automatic differentiation on a tape.
+
+    Nodes record in creation order; {!backward} walks the tape in reverse and
+    each node's closure scatters its gradient into its parents. Gradients are
+    verified against finite differences in the test suite. *)
+
+type node = {
+  id : int;
+  value : Tensor.t;
+  grad : Tensor.t;  (** accumulated in place during {!backward} *)
+  back : unit -> unit;
+}
+
+type tape
+
+val new_tape : unit -> tape
+
+val record : tape -> Tensor.t -> (unit -> unit) -> node
+(** Low-level: append a node with a custom backward closure. *)
+
+val leaf : tape -> Tensor.t -> node
+(** A parameter or constant; gradients accumulate but do not propagate. *)
+
+val const : tape -> Tensor.t -> node
+
+(** {2 Differentiable operations} *)
+
+val add : tape -> node -> node -> node
+
+val sub : tape -> node -> node -> node
+
+val mul : tape -> node -> node -> node
+(** Elementwise product. *)
+
+val scale : tape -> float -> node -> node
+
+val vec_mat : tape -> node -> node -> node
+(** Row vector times matrix. *)
+
+val sigmoid : tape -> node -> node
+
+val tanh_ : tape -> node -> node
+
+val concat : tape -> node -> node -> node
+(** Vector concatenation. *)
+
+val row : tape -> node -> int -> node
+(** Embedding-row lookup. *)
+
+val dot : tape -> node -> node -> node
+(** Inner product; a 1x1 result node. *)
+
+val dropout : tape -> Genie_util.Rng.t -> p:float -> training:bool -> node -> node
+(** Inverted dropout; identity when not training or [p <= 0]. *)
+
+val softmax : tape -> node -> node
+(** Differentiable softmax (attention weights). *)
+
+val softmax_nll : tape -> node -> target:int -> node * float array
+(** Fused softmax + negative log-likelihood of [target]; also returns the
+    probabilities. *)
+
+val pointer_nll :
+  tape ->
+  gate:node ->
+  vocab_probs:node ->
+  attention:node ->
+  target:int ->
+  copy_positions:int list ->
+  node
+(** Mixture NLL of the pointer-generator:
+    [-log (gate * p_vocab(target) + (1 - gate) * sum of attention on
+    copy_positions)]. A [target] of [-1] disables the vocabulary path (the
+    token can only be produced by copying). *)
+
+val sum_scalars : tape -> node list -> node
+
+val backward : tape -> node -> unit
+(** Backpropagates from a scalar loss node through the whole tape. *)

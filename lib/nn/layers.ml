@@ -1,0 +1,153 @@
+(* Neural layers built on the autodiff tape: parameters, linear maps,
+   embeddings, and an LSTM cell. *)
+
+type param = { name : string; tensor : Tensor.t; grad : Tensor.t; (* Adam state *)
+               m : Tensor.t; v : Tensor.t }
+
+let mk_param rng name rows cols =
+  let tensor = Tensor.init_uniform rng rows cols in
+  { name;
+    tensor;
+    grad = Tensor.create rows cols;
+    m = Tensor.create rows cols;
+    v = Tensor.create rows cols }
+
+let mk_param_zero name rows cols =
+  let tensor = Tensor.create rows cols in
+  { name;
+    tensor;
+    grad = Tensor.create rows cols;
+    m = Tensor.create rows cols;
+    v = Tensor.create rows cols }
+
+(* Bind a parameter onto the tape for this forward pass: a leaf node sharing
+   the parameter's gradient buffer. *)
+let use tape (p : param) : Autodiff.node =
+  let n = Autodiff.leaf tape p.tensor in
+  (* share gradient storage by copying after backward; simpler: return a node
+     whose grad buffer IS the param's grad *)
+  ignore n;
+  { n with Autodiff.grad = p.grad }
+
+(* --- linear --------------------------------------------------------------- *)
+
+type linear = { w : param; b : param }
+
+let mk_linear rng name ~input ~output =
+  { w = mk_param rng (name ^ ".w") input output; b = mk_param_zero (name ^ ".b") 1 output }
+
+let linear_params l = [ l.w; l.b ]
+
+let apply_linear tape (l : linear) x =
+  Autodiff.add tape (Autodiff.vec_mat tape x (use tape l.w)) (use tape l.b)
+
+(* --- embedding -------------------------------------------------------------- *)
+
+type embedding = { table : param; dim : int }
+
+let mk_embedding rng name ~vocab ~dim = { table = mk_param rng name vocab dim; dim }
+
+let embedding_params e = [ e.table ]
+
+let lookup tape (e : embedding) i = Autodiff.row tape (use tape e.table) i
+
+(* --- LSTM cell --------------------------------------------------------------- *)
+
+type lstm = {
+  wi : linear; (* input gate *)
+  wf : linear; (* forget gate *)
+  wo : linear; (* output gate *)
+  wg : linear; (* candidate *)
+  hidden : int;
+}
+
+let mk_lstm rng name ~input ~hidden =
+  let io = input + hidden in
+  { wi = mk_linear rng (name ^ ".i") ~input:io ~output:hidden;
+    wf = mk_linear rng (name ^ ".f") ~input:io ~output:hidden;
+    wo = mk_linear rng (name ^ ".o") ~input:io ~output:hidden;
+    wg = mk_linear rng (name ^ ".g") ~input:io ~output:hidden;
+    hidden }
+
+let lstm_params l =
+  linear_params l.wi @ linear_params l.wf @ linear_params l.wo @ linear_params l.wg
+
+type lstm_state = { h : Autodiff.node; c : Autodiff.node }
+
+let lstm_init tape (l : lstm) =
+  { h = Autodiff.const tape (Tensor.create 1 l.hidden);
+    c = Autodiff.const tape (Tensor.create 1 l.hidden) }
+
+let lstm_step tape (l : lstm) (st : lstm_state) x : lstm_state =
+  let xh = Autodiff.concat tape x st.h in
+  let i = Autodiff.sigmoid tape (apply_linear tape l.wi xh) in
+  let f = Autodiff.sigmoid tape (apply_linear tape l.wf xh) in
+  let o = Autodiff.sigmoid tape (apply_linear tape l.wo xh) in
+  let g = Autodiff.tanh_ tape (apply_linear tape l.wg xh) in
+  let c = Autodiff.add tape (Autodiff.mul tape f st.c) (Autodiff.mul tape i g) in
+  let h = Autodiff.mul tape o (Autodiff.tanh_ tape c) in
+  { h; c }
+
+(* --- dot-product attention ------------------------------------------------------ *)
+
+(* Attention of a decoder state over encoder states: returns (weights node,
+   context node). *)
+let attention tape (states : Autodiff.node list) (query : Autodiff.node) =
+  let scores =
+    List.map (fun st -> Autodiff.dot tape st query) states
+  in
+  (* pack scores into one vector node *)
+  let packed =
+    let values = Array.of_list (List.map (fun s -> s.Autodiff.value.Tensor.data.(0)) scores) in
+    let v = Tensor.vector values in
+    let rec n =
+      lazy
+        (Autodiff.record tape v (fun () ->
+             let g = (Lazy.force n).Autodiff.grad.Tensor.data in
+             List.iteri
+               (fun i s -> s.Autodiff.grad.Tensor.data.(0) <- s.Autodiff.grad.Tensor.data.(0) +. g.(i))
+               scores))
+    in
+    Lazy.force n
+  in
+  let weights = Autodiff.softmax tape packed in
+  (* context = sum_i w_i * state_i *)
+  let context =
+    List.fold_left
+      (fun acc (i, st) ->
+        let wi =
+          let v = Tensor.vector [| weights.Autodiff.value.Tensor.data.(i) |] in
+          let rec n =
+            lazy
+              (Autodiff.record tape v (fun () ->
+                   weights.Autodiff.grad.Tensor.data.(i) <-
+                     weights.Autodiff.grad.Tensor.data.(i)
+                     +. (Lazy.force n).Autodiff.grad.Tensor.data.(0)))
+          in
+          Lazy.force n
+        in
+        let scaled =
+          let value = Tensor.scale wi.Autodiff.value.Tensor.data.(0) st.Autodiff.value in
+          let rec n =
+            lazy
+              (Autodiff.record tape value (fun () ->
+                   let g = (Lazy.force n).Autodiff.grad in
+                   Tensor.accumulate st.Autodiff.grad
+                     (Tensor.scale wi.Autodiff.value.Tensor.data.(0) g);
+                   wi.Autodiff.grad.Tensor.data.(0) <-
+                     wi.Autodiff.grad.Tensor.data.(0) +. Tensor.dot g st.Autodiff.value))
+          in
+          Lazy.force n
+        in
+        match acc with
+        | None -> Some scaled
+        | Some a -> Some (Autodiff.add tape a scaled))
+      None
+      (List.mapi (fun i st -> (i, st)) states)
+  in
+  let context =
+    match context with
+    | Some c -> c
+    | None -> Autodiff.const tape (Tensor.create 1 1)
+  in
+  (weights, context)

@@ -1,0 +1,70 @@
+(* LSTM language model over ThingTalk program token sequences: the paper
+   pretrains a 1-layer LSTM LM on a large synthesized program set and uses it
+   as the decoder embedding of the semantic parser (section 4.2). *)
+
+type t = {
+  vocab : Vocab.t;
+  embed : Layers.embedding;
+  lstm : Layers.lstm;
+  proj : Layers.linear;
+  rng : Genie_util.Rng.t;
+}
+
+let create ?(embed_dim = 32) ?(hidden_dim = 64) ?(seed = 11) ~vocab () =
+  let rng = Genie_util.Rng.create seed in
+  { vocab;
+    embed = Layers.mk_embedding rng "lm_embed" ~vocab:(Vocab.size vocab) ~dim:embed_dim;
+    lstm = Layers.mk_lstm rng "lm_lstm" ~input:embed_dim ~hidden:hidden_dim;
+    proj = Layers.mk_linear rng "lm_proj" ~input:hidden_dim ~output:(Vocab.size vocab);
+    rng }
+
+let params t =
+  Layers.embedding_params t.embed @ Layers.lstm_params t.lstm @ Layers.linear_params t.proj
+
+let sequence_loss tape t (tokens : string list) =
+  let ids =
+    (Vocab.bos_id t.vocab :: List.map (Vocab.id t.vocab) tokens) @ [ Vocab.eos_id t.vocab ]
+  in
+  let rec go st = function
+    | [] | [ _ ] -> []
+    | cur :: (next :: _ as rest) ->
+        let x = Layers.lookup tape t.embed cur in
+        let st' = Layers.lstm_step tape t.lstm st x in
+        let logits = Layers.apply_linear tape t.proj st'.Layers.h in
+        let loss, _ = Autodiff.softmax_nll tape logits ~target:next in
+        loss :: go st' rest
+  in
+  Autodiff.sum_scalars tape (go (Layers.lstm_init tape t.lstm) ids)
+
+(* Perplexity per token of a held-out set. *)
+let perplexity t (sequences : string list list) =
+  let total_loss = ref 0.0 and total_tokens = ref 0 in
+  List.iter
+    (fun tokens ->
+      let tape = Autodiff.new_tape () in
+      let loss = sequence_loss tape t tokens in
+      total_loss := !total_loss +. loss.Autodiff.value.Tensor.data.(0);
+      total_tokens := !total_tokens + List.length tokens + 1)
+    sequences;
+  exp (!total_loss /. float_of_int (max 1 !total_tokens))
+
+let train ?(epochs = 3) ?(lr = 5e-3) ?(progress = fun (_ : int) (_ : float) -> ()) t
+    (sequences : string list list) =
+  let opt = Optimizer.adam ~lr () in
+  let ps = params t in
+  for epoch = 1 to epochs do
+    let total = ref 0.0 in
+    List.iter
+      (fun tokens ->
+        let tape = Autodiff.new_tape () in
+        Optimizer.zero_grads ps;
+        let loss = sequence_loss tape t tokens in
+        Autodiff.backward tape loss;
+        Optimizer.update opt ps;
+        total := !total +. loss.Autodiff.value.Tensor.data.(0))
+      (Genie_util.Rng.shuffle t.rng sequences);
+    progress epoch (!total /. float_of_int (max 1 (List.length sequences)))
+  done
+
+(* The embedding table, to initialize a decoder (section 4.2). *)
+let embedding_table t = t.embed.Layers.table.Layers.tensor

@@ -1,0 +1,28 @@
+(** LSTM language model over ThingTalk program token sequences.
+
+    The paper pretrains a 1-layer LSTM LM on a large synthesized program set
+    and uses it as the decoder embedding of the semantic parser
+    (section 4.2). *)
+
+type t = {
+  vocab : Vocab.t;
+  embed : Layers.embedding;
+  lstm : Layers.lstm;
+  proj : Layers.linear;
+  rng : Genie_util.Rng.t;
+}
+
+val create : ?embed_dim:int -> ?hidden_dim:int -> ?seed:int -> vocab:Vocab.t -> unit -> t
+val params : t -> Layers.param list
+val sequence_loss : Autodiff.tape -> t -> string list -> Autodiff.node
+
+val perplexity : t -> string list list -> float
+(** Per-token perplexity on a held-out set. *)
+
+val train :
+  ?epochs:int -> ?lr:float -> ?progress:(int -> float -> unit) -> t ->
+  string list list -> unit
+
+val embedding_table : t -> Tensor.t
+(** The learned embedding, for initializing a decoder
+    ({!Seq2seq.load_decoder_embedding}). *)

@@ -1,0 +1,49 @@
+(* Adam optimizer (the paper trains with Adam, section 4.3). *)
+
+type t = {
+  lr : float;
+  beta1 : float;
+  beta2 : float;
+  eps : float;
+  clip : float; (* global gradient-norm clip; 0 disables *)
+  mutable step : int;
+}
+
+let adam ?(lr = 1e-2) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ?(clip = 5.0) () =
+  { lr; beta1; beta2; eps; clip; step = 0 }
+
+let zero_grads (params : Layers.param list) =
+  List.iter (fun p -> Tensor.fill p.Layers.grad 0.0) params
+
+let global_norm params =
+  sqrt
+    (List.fold_left
+       (fun acc p ->
+         acc
+         +. Array.fold_left (fun a x -> a +. (x *. x)) 0.0 p.Layers.grad.Tensor.data)
+       0.0 params)
+
+let update t (params : Layers.param list) =
+  t.step <- t.step + 1;
+  let scale =
+    if t.clip > 0.0 then
+      let n = global_norm params in
+      if n > t.clip then t.clip /. n else 1.0
+    else 1.0
+  in
+  let bc1 = 1.0 -. (t.beta1 ** float_of_int t.step) in
+  let bc2 = 1.0 -. (t.beta2 ** float_of_int t.step) in
+  List.iter
+    (fun p ->
+      let g = p.Layers.grad.Tensor.data in
+      let m = p.Layers.m.Tensor.data in
+      let v = p.Layers.v.Tensor.data in
+      let w = p.Layers.tensor.Tensor.data in
+      for i = 0 to Array.length w - 1 do
+        let gi = g.(i) *. scale in
+        m.(i) <- (t.beta1 *. m.(i)) +. ((1.0 -. t.beta1) *. gi);
+        v.(i) <- (t.beta2 *. v.(i)) +. ((1.0 -. t.beta2) *. gi *. gi);
+        let mhat = m.(i) /. bc1 and vhat = v.(i) /. bc2 in
+        w.(i) <- w.(i) -. (t.lr *. mhat /. (sqrt vhat +. t.eps))
+      done)
+    params

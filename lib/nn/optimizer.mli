@@ -1,0 +1,21 @@
+(** Adam with global gradient-norm clipping (the paper trains with Adam,
+    section 4.3). *)
+
+type t = {
+  lr : float;
+  beta1 : float;
+  beta2 : float;
+  eps : float;
+  clip : float;
+  mutable step : int;
+}
+
+val adam :
+  ?lr:float -> ?beta1:float -> ?beta2:float -> ?eps:float -> ?clip:float -> unit -> t
+
+val zero_grads : Layers.param list -> unit
+val global_norm : Layers.param list -> float
+
+val update : t -> Layers.param list -> unit
+(** One Adam step with bias correction; gradients are clipped to [clip] in
+    global norm first. *)

@@ -1,0 +1,196 @@
+(* MQAN-lite: a sequence-to-sequence semantic parser with attention and a
+   pointer-generator decoder (paper section 4, Fig. 6), at laptop scale.
+
+   The encoder is an LSTM over source-token embeddings; the decoder is an
+   LSTM whose input concatenates the previous target embedding with the
+   attention context; at each step two learnable gates mix a vocabulary
+   distribution with a copy distribution over source positions -- exactly the
+   mixed pointer-generator architecture the paper describes. The decoder
+   embedding can be initialized from a pretrained language model over
+   synthesized programs (section 4.2). *)
+
+type config = {
+  embed_dim : int;
+  hidden_dim : int;
+  dropout : float;
+  seed : int;
+}
+
+let default_config = { embed_dim = 32; hidden_dim = 64; dropout = 0.1; seed = 7 }
+
+type t = {
+  cfg : config;
+  src_vocab : Vocab.t;
+  tgt_vocab : Vocab.t;
+  src_embed : Layers.embedding;
+  tgt_embed : Layers.embedding;
+  encoder : Layers.lstm;
+  decoder : Layers.lstm;
+  out_proj : Layers.linear; (* [h; context] -> vocab logits *)
+  gate_proj : Layers.linear; (* [h; context] -> copy/generate gate *)
+  rng : Genie_util.Rng.t;
+}
+
+let params t =
+  Layers.embedding_params t.src_embed
+  @ Layers.embedding_params t.tgt_embed
+  @ Layers.lstm_params t.encoder
+  @ Layers.lstm_params t.decoder
+  @ Layers.linear_params t.out_proj
+  @ Layers.linear_params t.gate_proj
+
+let create ?(cfg = default_config) ~src_vocab ~tgt_vocab () =
+  let rng = Genie_util.Rng.create cfg.seed in
+  let d = cfg.embed_dim and h = cfg.hidden_dim in
+  { cfg;
+    src_vocab;
+    tgt_vocab;
+    src_embed = Layers.mk_embedding rng "src_embed" ~vocab:(Vocab.size src_vocab) ~dim:d;
+    tgt_embed = Layers.mk_embedding rng "tgt_embed" ~vocab:(Vocab.size tgt_vocab) ~dim:d;
+    encoder = Layers.mk_lstm rng "encoder" ~input:d ~hidden:h;
+    decoder = Layers.mk_lstm rng "decoder" ~input:(d + h) ~hidden:h;
+    out_proj = Layers.mk_linear rng "out" ~input:(2 * h) ~output:(Vocab.size tgt_vocab);
+    gate_proj = Layers.mk_linear rng "gate" ~input:(2 * h) ~output:1;
+    rng }
+
+(* Initialize the decoder embedding from a pretrained program language model
+   (shared vocabulary assumed). *)
+let load_decoder_embedding t (table : Tensor.t) =
+  let dst = t.tgt_embed.Layers.table.Layers.tensor in
+  let n = min (Tensor.size dst) (Tensor.size table) in
+  Array.blit table.Tensor.data 0 dst.Tensor.data 0 n
+
+let encode tape t ~training (src_ids : int list) =
+  let st = ref (Layers.lstm_init tape t.encoder) in
+  let states =
+    List.map
+      (fun i ->
+        let x = Layers.lookup tape t.src_embed i in
+        let x = Autodiff.dropout tape t.rng ~p:t.cfg.dropout ~training x in
+        st := Layers.lstm_step tape t.encoder !st x;
+        (!st).Layers.h)
+      src_ids
+  in
+  (states, !st)
+
+(* One decoder step; returns (new state, attention node, vocab-probs node,
+   gate node). *)
+let decode_step tape t ~training ~enc_states st prev_id =
+  let prev = Layers.lookup tape t.tgt_embed prev_id in
+  let prev = Autodiff.dropout tape t.rng ~p:t.cfg.dropout ~training prev in
+  let att_weights, context = Layers.attention tape enc_states st.Layers.h in
+  let inp = Autodiff.concat tape prev context in
+  let st' = Layers.lstm_step tape t.decoder st inp in
+  let feat = Autodiff.concat tape st'.Layers.h context in
+  let logits = Layers.apply_linear tape t.out_proj feat in
+  let vocab_probs = Autodiff.softmax tape logits in
+  let gate = Autodiff.sigmoid tape (Layers.apply_linear tape t.gate_proj feat) in
+  (st', att_weights, vocab_probs, gate)
+
+(* Teacher-forced loss on one (source, target) pair. Copyable positions: a
+   target token may be copied from any source position holding it. *)
+let example_loss tape t ~training (src_tokens : string list) (tgt_tokens : string list) =
+  let src_ids = List.map (Vocab.id t.src_vocab) src_tokens in
+  let src_arr = Array.of_list src_tokens in
+  let enc_states, enc_final = encode tape t ~training src_ids in
+  (* a target token outside the vocabulary can only be produced by copying:
+     mark it -1 so the vocabulary path contributes nothing (otherwise the
+     model learns to emit <unk> instead of copying) *)
+  let tgt_ids =
+    List.map
+      (fun tok ->
+        let i = Vocab.id t.tgt_vocab tok in
+        if i = Vocab.unk_id t.tgt_vocab && tok <> Vocab.unk then -1 else i)
+      tgt_tokens
+    @ [ Vocab.eos_id t.tgt_vocab ]
+  in
+  let tgt_strs = tgt_tokens @ [ Vocab.eos ] in
+  let st = ref { Layers.h = enc_final.Layers.h; c = enc_final.Layers.c } in
+  let prev = ref (Vocab.bos_id t.tgt_vocab) in
+  let losses =
+    List.map2
+      (fun target target_str ->
+        let st', att, vocab_probs, gate =
+          decode_step tape t ~training ~enc_states !st !prev
+        in
+        st := st';
+        prev := (if target < 0 then Vocab.unk_id t.tgt_vocab else target);
+        let copy_positions =
+          List.filteri (fun _ _ -> true) (Array.to_list src_arr)
+          |> List.mapi (fun i tok -> (i, tok))
+          |> List.filter_map (fun (i, tok) -> if tok = target_str then Some i else None)
+        in
+        Autodiff.pointer_nll tape ~gate ~vocab_probs ~attention:att ~target
+          ~copy_positions)
+      tgt_ids tgt_strs
+  in
+  Autodiff.sum_scalars tape losses
+
+(* Greedy decode with copy: at each step pick the argmax of the mixed
+   distribution over (vocab tokens + source copies). *)
+let decode ?(max_len = 60) t (src_tokens : string list) : string list =
+  let tape = Autodiff.new_tape () in
+  let src_ids = List.map (Vocab.id t.src_vocab) src_tokens in
+  let src_arr = Array.of_list src_tokens in
+  let enc_states, enc_final = encode tape t ~training:false src_ids in
+  let st = ref { Layers.h = enc_final.Layers.h; c = enc_final.Layers.c } in
+  let prev = ref (Vocab.bos_id t.tgt_vocab) in
+  let out = ref [] in
+  let finished = ref false in
+  let steps = ref 0 in
+  while (not !finished) && !steps < max_len do
+    incr steps;
+    let st', att, vocab_probs, gate = decode_step tape t ~training:false ~enc_states !st !prev in
+    st := st';
+    let g = gate.Autodiff.value.Tensor.data.(0) in
+    let pv = vocab_probs.Autodiff.value.Tensor.data in
+    let pa = att.Autodiff.value.Tensor.data in
+    (* mixture probability per candidate token *)
+    let scores = Hashtbl.create 64 in
+    Array.iteri
+      (fun i p ->
+        let tok = Vocab.token t.tgt_vocab i in
+        if tok <> Vocab.unk then Hashtbl.replace scores tok (g *. p))
+      pv;
+    Array.iteri
+      (fun i p ->
+        let tok = src_arr.(i) in
+        let cur = try Hashtbl.find scores tok with Not_found -> 0.0 in
+        Hashtbl.replace scores tok (cur +. ((1.0 -. g) *. p)))
+      pa;
+    let best_tok, _ =
+      Hashtbl.fold
+        (fun tok p ((_, bp) as best) -> if p > bp then (tok, p) else best)
+        scores (Vocab.eos, neg_infinity)
+    in
+    if best_tok = Vocab.eos || best_tok = Vocab.pad || best_tok = Vocab.bos then
+      finished := true
+    else begin
+      out := best_tok :: !out;
+      prev := Vocab.id t.tgt_vocab best_tok
+    end
+  done;
+  List.rev !out
+
+(* --- training loop ----------------------------------------------------------- *)
+
+type train_report = { epoch : int; mean_loss : float }
+
+let train ?(epochs = 5) ?(lr = 5e-3) ?(progress = fun (_ : train_report) -> ()) t
+    (data : (string list * string list) list) =
+  let opt = Optimizer.adam ~lr () in
+  let ps = params t in
+  for epoch = 1 to epochs do
+    let total = ref 0.0 in
+    let shuffled = Genie_util.Rng.shuffle t.rng data in
+    List.iter
+      (fun (src, tgt) ->
+        let tape = Autodiff.new_tape () in
+        Optimizer.zero_grads ps;
+        let loss = example_loss tape t ~training:true src tgt in
+        Autodiff.backward tape loss;
+        Optimizer.update opt ps;
+        total := !total +. loss.Autodiff.value.Tensor.data.(0))
+      shuffled;
+    progress { epoch; mean_loss = !total /. float_of_int (max 1 (List.length data)) }
+  done

@@ -1,0 +1,51 @@
+(** MQAN-lite: a sequence-to-sequence semantic parser with attention and a
+    pointer-generator decoder (paper section 4, Fig. 6), at laptop scale.
+
+    An LSTM encoder reads the sentence; the decoder LSTM consumes the
+    previous target embedding concatenated with the attention context; two
+    learnable gates mix a vocabulary distribution with a copy distribution
+    over source positions. The decoder embedding can be initialized from a
+    language model pretrained on synthesized programs (section 4.2). *)
+
+type config = { embed_dim : int; hidden_dim : int; dropout : float; seed : int }
+
+val default_config : config
+
+type t = {
+  cfg : config;
+  src_vocab : Vocab.t;
+  tgt_vocab : Vocab.t;
+  src_embed : Layers.embedding;
+  tgt_embed : Layers.embedding;
+  encoder : Layers.lstm;
+  decoder : Layers.lstm;
+  out_proj : Layers.linear;
+  gate_proj : Layers.linear;
+  rng : Genie_util.Rng.t;
+}
+
+val create : ?cfg:config -> src_vocab:Vocab.t -> tgt_vocab:Vocab.t -> unit -> t
+val params : t -> Layers.param list
+
+val load_decoder_embedding : t -> Tensor.t -> unit
+(** Initializes the target embedding from a pretrained LM table. *)
+
+val example_loss :
+  Autodiff.tape -> t -> training:bool -> string list -> string list -> Autodiff.node
+(** Teacher-forced pointer-generator loss on one (source, target) pair.
+    Target tokens absent from the vocabulary can only be produced by
+    copying. *)
+
+val decode : ?max_len:int -> t -> string list -> string list
+(** Greedy decoding over the mixed generate/copy distribution. *)
+
+type train_report = { epoch : int; mean_loss : float }
+
+val train :
+  ?epochs:int ->
+  ?lr:float ->
+  ?progress:(train_report -> unit) ->
+  t ->
+  (string list * string list) list ->
+  unit
+(** Adam with gradient clipping, one example per step (section 4.3). *)

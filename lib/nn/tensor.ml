@@ -1,0 +1,107 @@
+(* Dense float tensors (vectors and matrices) for the neural substrate. *)
+
+type t = { data : float array; rows : int; cols : int }
+
+let create rows cols = { data = Array.make (rows * cols) 0.0; rows; cols }
+
+let zeros_like t = create t.rows t.cols
+
+let of_array rows cols data =
+  if Array.length data <> rows * cols then invalid_arg "Tensor.of_array: size mismatch";
+  { data; rows; cols }
+
+let vector data = { data; rows = 1; cols = Array.length data }
+
+let get t i j = t.data.((i * t.cols) + j)
+let set t i j v = t.data.((i * t.cols) + j) <- v
+
+let copy t = { t with data = Array.copy t.data }
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+let size t = t.rows * t.cols
+
+let iteri f t = Array.iteri f t.data
+
+let map f t = { t with data = Array.map f t.data }
+
+let map2 f a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Tensor.map2: shape mismatch";
+  { a with data = Array.init (size a) (fun i -> f a.data.(i) b.data.(i)) }
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let mul a b = map2 ( *. ) a b
+let scale k t = map (fun x -> k *. x) t
+
+(* in-place accumulate: a += b *)
+let accumulate a b =
+  if size a <> size b then invalid_arg "Tensor.accumulate: shape mismatch";
+  for i = 0 to size a - 1 do
+    a.data.(i) <- a.data.(i) +. b.data.(i)
+  done
+
+(* row vector (1 x n) times matrix (n x m) -> (1 x m) *)
+let vec_mat v m =
+  if v.cols <> m.rows then invalid_arg "Tensor.vec_mat: shape mismatch";
+  let out = create 1 m.cols in
+  for j = 0 to m.cols - 1 do
+    let acc = ref 0.0 in
+    for i = 0 to m.rows - 1 do
+      acc := !acc +. (v.data.(i) *. m.data.((i * m.cols) + j))
+    done;
+    out.data.(j) <- !acc
+  done;
+  out
+
+(* matrix (n x m) times column vector (1 x m interpreted as m) -> (1 x n) *)
+let mat_vec m v =
+  if v.cols <> m.cols then invalid_arg "Tensor.mat_vec: shape mismatch";
+  let out = create 1 m.rows in
+  for i = 0 to m.rows - 1 do
+    let acc = ref 0.0 in
+    for j = 0 to m.cols - 1 do
+      acc := !acc +. (m.data.((i * m.cols) + j) *. v.data.(j))
+    done;
+    out.data.(i) <- !acc
+  done;
+  out
+
+(* outer product of two row vectors: (1 x n) x (1 x m) -> (n x m) *)
+let outer a b =
+  let out = create a.cols b.cols in
+  for i = 0 to a.cols - 1 do
+    for j = 0 to b.cols - 1 do
+      out.data.((i * b.cols) + j) <- a.data.(i) *. b.data.(j)
+    done
+  done;
+  out
+
+let dot a b =
+  if size a <> size b then invalid_arg "Tensor.dot: shape mismatch";
+  let acc = ref 0.0 in
+  for i = 0 to size a - 1 do
+    acc := !acc +. (a.data.(i) *. b.data.(i))
+  done;
+  !acc
+
+let concat_vectors a b =
+  if a.rows <> 1 || b.rows <> 1 then invalid_arg "Tensor.concat_vectors: vectors only";
+  { data = Array.append a.data b.data; rows = 1; cols = a.cols + b.cols }
+
+let slice_vector t ~start ~len =
+  if t.rows <> 1 then invalid_arg "Tensor.slice_vector: vectors only";
+  { data = Array.sub t.data start len; rows = 1; cols = len }
+
+let row t i = { data = Array.sub t.data (i * t.cols) t.cols; rows = 1; cols = t.cols }
+
+(* Glorot-style random initialization. *)
+let init_uniform rng rows cols =
+  let bound = sqrt (6.0 /. float_of_int (rows + cols)) in
+  { data =
+      Array.init (rows * cols) (fun _ ->
+          (Genie_util.Rng.float rng 2.0 -. 1.0) *. bound);
+    rows;
+    cols }
+
+let l2_norm t = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 t.data)

@@ -1,0 +1,42 @@
+(** Dense float tensors (row vectors and matrices) for the neural substrate. *)
+
+type t = { data : float array; rows : int; cols : int }
+
+val create : int -> int -> t
+val zeros_like : t -> t
+val of_array : int -> int -> float array -> t
+val vector : float array -> t
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val fill : t -> float -> unit
+val size : t -> int
+val iteri : (int -> float -> unit) -> t -> unit
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+
+val accumulate : t -> t -> unit
+(** In-place [a += b]. *)
+
+val vec_mat : t -> t -> t
+(** Row vector (1 x n) times matrix (n x m). *)
+
+val mat_vec : t -> t -> t
+(** Matrix (n x m) times a length-m vector, as a length-n row vector. *)
+
+val outer : t -> t -> t
+(** Outer product of two row vectors. *)
+
+val dot : t -> t -> float
+val concat_vectors : t -> t -> t
+val slice_vector : t -> start:int -> len:int -> t
+val row : t -> int -> t
+
+val init_uniform : Genie_util.Rng.t -> int -> int -> t
+(** Glorot-style uniform initialization. *)
+
+val l2_norm : t -> float

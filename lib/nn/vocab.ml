@@ -1,0 +1,39 @@
+(* Token vocabularies with special symbols. *)
+
+type t = {
+  by_token : (string, int) Hashtbl.t;
+  by_id : string array;
+}
+
+let pad = "<pad>"
+let bos = "<s>"
+let eos = "</s>"
+let unk = "<unk>"
+
+let specials = [ pad; bos; eos; unk ]
+
+let of_tokens (tokens : string list) : t =
+  let by_token = Hashtbl.create 256 in
+  let order = ref [] in
+  let add tok =
+    if not (Hashtbl.mem by_token tok) then begin
+      Hashtbl.replace by_token tok (Hashtbl.length by_token);
+      order := tok :: !order
+    end
+  in
+  List.iter add specials;
+  List.iter add tokens;
+  { by_token; by_id = Array.of_list (List.rev !order) }
+
+let size v = Array.length v.by_id
+
+let id v tok =
+  match Hashtbl.find_opt v.by_token tok with
+  | Some i -> i
+  | None -> Hashtbl.find v.by_token unk
+
+let token v i = if i >= 0 && i < size v then v.by_id.(i) else unk
+
+let bos_id v = id v bos
+let eos_id v = id v eos
+let unk_id v = id v unk

@@ -1,0 +1,23 @@
+(** Token vocabularies with the usual special symbols. *)
+
+type t
+
+val pad : string
+val bos : string
+val eos : string
+val unk : string
+val specials : string list
+
+val of_tokens : string list -> t
+(** Builds a vocabulary from a token stream (duplicates ignored); the
+    specials come first. *)
+
+val size : t -> int
+
+val id : t -> string -> int
+(** The token's id, or the id of {!unk} when unseen. *)
+
+val token : t -> int -> string
+val bos_id : t -> int
+val eos_id : t -> int
+val unk_id : t -> int

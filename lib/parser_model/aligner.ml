@@ -1,0 +1,1038 @@
+(* The Aligner semantic-parser backend.
+
+   A fast statistical stand-in for the MQAN model (see DESIGN.md for the
+   substitution argument) that preserves the causal structure of the paper's
+   experiments:
+
+   - the *skeleton inventory* (programs reachable by the decoder) comes from
+     the training data, optionally extended by pretraining on a large
+     synthesized program set -- the role of the pretrained decoder LM;
+   - *lexical alignment* between sentence n-grams and program atoms is learned
+     from (sentence, program) pairs -- synthesized data teaches
+     compositionality across function combinations, paraphrases teach natural
+     wording;
+   - a *copy mechanism* fills string/entity slots with sentence spans, scored
+     by per-parameter word statistics and gazette membership -- this is what
+     parameter expansion trains.
+
+   Decoding ranks candidate skeletons by alignment score plus prior, then
+   fills slots. *)
+
+open Genie_thingtalk
+
+type config = {
+  options : Nn_syntax.options; (* keyword-parameter / type-annotation ablations *)
+  canonicalize : bool; (* ablation: canonical form of training targets *)
+  use_decoder_lm : bool; (* ablation: pretrained program LM *)
+  lm_programs : Ast.program list; (* the LM pretraining corpus *)
+  gazette_size : int;
+  seed : int;
+  beam : int;
+  max_candidates : int;
+}
+
+let default_config =
+  { options = Nn_syntax.default_options;
+    canonicalize = true;
+    use_decoder_lm = true;
+    lm_programs = [];
+    gazette_size = 2000;
+    seed = 123;
+    beam = 6;
+    max_candidates = 2500 }
+
+type skeleton_entry = {
+  skeleton : Skeleton.t;
+  mutable count : float; (* training prior *)
+  mutable lm_count : float; (* pretraining prior *)
+}
+
+(* A reusable program clause for the compositional decoder, with the atoms
+   that ground it in the sentence. *)
+type clause =
+  | C_stream of Ast.stream
+  | C_query of Ast.query
+  | C_action of Ast.action
+
+type clause_entry = {
+  clause : clause;
+  atoms : string list;
+  mutable c_count : float;
+  mutable c_lm : float;
+}
+
+type t = {
+  cfg : config;
+  lib : Schema.Library.t;
+  inventory : (string, skeleton_entry) Hashtbl.t;
+  by_function : (string, string list ref) Hashtbl.t; (* function atom -> skeleton keys *)
+  (* alignment counts *)
+  ngram_counts : Genie_util.Counter.t;
+  atom_counts : Genie_util.Counter.t;
+  pair_counts : Genie_util.Counter.t; (* "atom || ngram" *)
+  (* copy-mechanism statistics: "param || word" *)
+  slot_word_counts : Genie_util.Counter.t;
+  slot_param_counts : Genie_util.Counter.t;
+  (* full value strings seen per parameter *)
+  slot_value_counts : Genie_util.Counter.t;
+  (* exact-sentence memorization (neural models do this too) *)
+  memo : (string, Genie_util.Counter.t) Hashtbl.t;
+  gazettes : Genie_augment.Gazettes.t;
+  gazette_sets : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+  (* clause fragments for the compositional decoder: streams, queries and
+     actions seen in training/pretraining, recombinable at decode time *)
+  streams : (string, clause_entry) Hashtbl.t;
+  queries : (string, clause_entry) Hashtbl.t;
+  actions : (string, clause_entry) Hashtbl.t;
+  (* per-model cache: word -> best explanation by any content atom *)
+  explainer : (string, float) Hashtbl.t;
+  mutable trained_examples : int;
+}
+
+let create ?(cfg = default_config) lib : t =
+  let gazettes = Genie_augment.Gazettes.create ~size:cfg.gazette_size () in
+  let gazette_sets = Hashtbl.create 32 in
+  List.iter
+    (fun (name, arr) ->
+      let set = Hashtbl.create (Array.length arr) in
+      Array.iter (fun v -> Hashtbl.replace set v ()) arr;
+      Hashtbl.replace gazette_sets name set)
+    gazettes.Genie_augment.Gazettes.pools;
+  { cfg;
+    lib;
+    inventory = Hashtbl.create 4096;
+    by_function = Hashtbl.create 512;
+    ngram_counts = Genie_util.Counter.create ();
+    atom_counts = Genie_util.Counter.create ();
+    pair_counts = Genie_util.Counter.create ();
+    slot_word_counts = Genie_util.Counter.create ();
+    slot_param_counts = Genie_util.Counter.create ();
+    slot_value_counts = Genie_util.Counter.create ();
+    memo = Hashtbl.create 4096;
+    gazettes;
+    gazette_sets;
+    streams = Hashtbl.create 512;
+    queries = Hashtbl.create 1024;
+    actions = Hashtbl.create 512;
+    explainer = Hashtbl.create 1024;
+    trained_examples = 0 }
+
+(* --- training ---------------------------------------------------------------- *)
+
+let pair_key atom gram = atom ^ " || " ^ gram
+
+(* Random keyword-parameter order, used when the canonicalization ablation is
+   off: the model then sees the same program in many serializations. *)
+let shuffle_program rng (p : Ast.program) : Ast.program =
+  let shuffle_inv (inv : Ast.invocation) =
+    { inv with Ast.in_params = Genie_util.Rng.shuffle rng inv.Ast.in_params }
+  in
+  let rec q = function
+    | Ast.Q_invoke inv -> Ast.Q_invoke (shuffle_inv inv)
+    | Ast.Q_filter (inner, pred) -> Ast.Q_filter (q inner, pred)
+    | Ast.Q_join (a, b, on) -> Ast.Q_join (q a, q b, on)
+    | Ast.Q_aggregate { op; field; inner } -> Ast.Q_aggregate { op; field; inner = q inner }
+  in
+  let rec s = function
+    | (Ast.S_now | Ast.S_attimer _ | Ast.S_timer _) as x -> x
+    | Ast.S_monitor (inner, on_new) -> Ast.S_monitor (q inner, on_new)
+    | Ast.S_edge (inner, pred) -> Ast.S_edge (s inner, pred)
+  in
+  { Ast.stream = s p.Ast.stream;
+    query = Option.map q p.Ast.query;
+    action =
+      (match p.Ast.action with
+      | Ast.A_notify -> Ast.A_notify
+      | Ast.A_invoke inv -> Ast.A_invoke (shuffle_inv inv)) }
+
+let prepare_program t rng (p : Ast.program) =
+  if t.cfg.canonicalize then Canonical.normalize t.lib p else shuffle_program rng p
+
+let register_skeleton t (sk : Skeleton.t) ~weight ~lm =
+  let k = Skeleton.key sk in
+  let entry =
+    match Hashtbl.find_opt t.inventory k with
+    | Some e -> e
+    | None ->
+        let e = { skeleton = sk; count = 0.0; lm_count = 0.0 } in
+        Hashtbl.replace t.inventory k e;
+        List.iter
+          (fun fa ->
+            let cell =
+              match Hashtbl.find_opt t.by_function fa with
+              | Some c -> c
+              | None ->
+                  let c = ref [] in
+                  Hashtbl.replace t.by_function fa c;
+                  c
+            in
+            cell := k :: !cell)
+          (Skeleton.function_atoms sk);
+        e
+  in
+  if lm then entry.lm_count <- entry.lm_count +. weight
+  else entry.count <- entry.count +. weight
+
+(* Register the clause fragments of a program for the compositional decoder.
+   Clause atoms come from skeletonizing a minimal program around the clause. *)
+let clause_atoms t (c : clause) =
+  let wrap =
+    match c with
+    | C_stream st -> { Ast.stream = st; query = None; action = Ast.A_notify }
+    | C_query q -> { Ast.stream = Ast.S_now; query = Some q; action = Ast.A_notify }
+    | C_action a -> { Ast.stream = Ast.S_now; query = None; action = a }
+  in
+  let sk = Skeleton.of_program ~options:t.cfg.options t.lib wrap in
+  List.filter (fun a -> a <> "now" && a <> "notify") (Skeleton.atoms sk)
+
+let clause_key (c : clause) =
+  match c with
+  | C_stream st -> "s:" ^ Printer.stream_to_string st
+  | C_query q -> "q:" ^ Printer.query_to_string q
+  | C_action a -> "a:" ^ Printer.action_to_string a
+
+let register_clause t tbl (c : clause) ~weight ~lm =
+  let k = clause_key c in
+  let entry =
+    match Hashtbl.find_opt tbl k with
+    | Some e -> e
+    | None ->
+        let e = { clause = c; atoms = clause_atoms t c; c_count = 0.0; c_lm = 0.0 } in
+        Hashtbl.replace tbl k e;
+        e
+  in
+  if lm then entry.c_lm <- entry.c_lm +. weight else entry.c_count <- entry.c_count +. weight
+
+let register_clauses t (p : Ast.program) ~lm =
+  (match p.Ast.stream with
+  | Ast.S_now -> ()
+  | st -> register_clause t t.streams (C_stream st) ~weight:1.0 ~lm);
+  (match p.Ast.query with
+  | None -> ()
+  | Some q -> register_clause t t.queries (C_query q) ~weight:1.0 ~lm);
+  match p.Ast.action with
+  | Ast.A_notify -> ()
+  | a -> register_clause t t.actions (C_action a) ~weight:1.0 ~lm
+
+let sentence_ngrams tokens = Genie_util.Tok.all_ngrams 3 tokens
+
+let value_words (v : Value.t) =
+  Genie_util.Tok.tokenize (Genie_thingpedia.Prim.render_value ~quote:false v)
+
+let train_example t rng (e : Genie_dataset.Example.t) =
+  let norm =
+    Genie_dataset.Argument_id.normalize
+      (List.filter (fun tok -> tok <> "\"") e.Genie_dataset.Example.tokens)
+  in
+  let program = prepare_program t rng e.Genie_dataset.Example.program in
+  let sk = Skeleton.of_program ~options:t.cfg.options t.lib program in
+  register_skeleton t sk ~weight:1.0 ~lm:false;
+  register_clauses t program ~lm:false;
+  (* lexical alignment between sentence n-grams and skeleton atoms *)
+  let grams = sentence_ngrams norm.Genie_dataset.Argument_id.tokens in
+  let atoms = Skeleton.atoms sk in
+  List.iter (fun g -> Genie_util.Counter.add t.ngram_counts g) grams;
+  List.iter
+    (fun a ->
+      Genie_util.Counter.add t.atom_counts a;
+      List.iter (fun g -> Genie_util.Counter.add t.pair_counts (pair_key a g)) grams)
+    atoms;
+  (* copy statistics: which words fill which parameter *)
+  List.iter
+    (fun s ->
+      match s.Skeleton.exemplar with
+      | Value.String _ | Value.Entity _ | Value.Location (Value.L_named _) ->
+          let words = value_words s.Skeleton.exemplar in
+          List.iter
+            (fun w ->
+              Genie_util.Counter.add t.slot_word_counts (pair_key s.Skeleton.param w);
+              Genie_util.Counter.add t.slot_param_counts s.Skeleton.param)
+            words;
+          Genie_util.Counter.add t.slot_value_counts
+            (pair_key s.Skeleton.param (String.concat " " words))
+      | _ -> ())
+    sk.Skeleton.slots;
+  (* sentence memo *)
+  let memo_key = String.concat " " norm.Genie_dataset.Argument_id.tokens in
+  let cell =
+    match Hashtbl.find_opt t.memo memo_key with
+    | Some c -> c
+    | None ->
+        let c = Genie_util.Counter.create () in
+        Hashtbl.replace t.memo memo_key c;
+        c
+  in
+  Genie_util.Counter.add cell (Skeleton.key sk);
+  t.trained_examples <- t.trained_examples + 1
+
+let pretrain_lm t =
+  if t.cfg.use_decoder_lm then
+    List.iter
+      (fun p ->
+        let p = if t.cfg.canonicalize then Canonical.normalize t.lib p else p in
+        let sk = Skeleton.of_program ~options:t.cfg.options t.lib p in
+        register_skeleton t sk ~weight:1.0 ~lm:true;
+        register_clauses t p ~lm:true)
+      t.cfg.lm_programs
+
+let train ?(cfg = default_config) lib (examples : Genie_dataset.Example.t list) : t =
+  let t = create ~cfg lib in
+  let rng = Genie_util.Rng.create cfg.seed in
+  pretrain_lm t;
+  List.iter (fun e -> train_example t rng e) examples;
+  t
+
+(* --- scoring ------------------------------------------------------------------ *)
+
+(* Conditional association: how strongly does sentence n-gram [gram] predict
+   program atom [atom]? Estimated as the shrunk fraction of training examples
+   containing [gram] whose program contains [atom]. Bounded in (0, 1], so
+   adding weakly-supported atoms to a skeleton always costs score -- large
+   spurious programs cannot win by accumulating many small matches. *)
+let cond_score t atom gram =
+  let pair = Genie_util.Counter.count t.pair_counts (pair_key atom gram) in
+  let g = Genie_util.Counter.count t.ngram_counts gram in
+  if g <= 0.0 then 0.0
+  else
+    let n = float_of_int (max 1 t.trained_examples) in
+    let p_atom = Genie_util.Counter.count t.atom_counts atom /. n in
+    let kappa = 2.0 in
+    (pair +. (kappa *. p_atom)) /. (g +. kappa)
+
+(* Best support for [atom] from any n-gram of the sentence. *)
+let best_match t grams atom =
+  List.fold_left (fun acc g -> Float.max acc (cond_score t atom g)) 0.0 grams
+
+(* Per-sentence cache: the atom vocabulary is shared by thousands of candidate
+   skeletons, so each atom's best match is computed once per sentence. *)
+let cached_best_match t cache grams atom =
+  match Hashtbl.find_opt cache atom with
+  | Some s -> s
+  | None ->
+      let s = best_match t grams atom in
+      Hashtbl.replace cache atom s;
+      s
+
+let atom_weight atom =
+  if Genie_util.Tok.starts_with ~prefix:"@" atom then 2.5
+  else if Genie_util.Tok.starts_with ~prefix:"enum:" atom then 0.8
+  else if Genie_util.Tok.starts_with ~prefix:"param:" atom then 0.4
+  else if Genie_util.Tok.starts_with ~prefix:"unit:" atom then 0.2
+  else if List.mem atom [ "monitor"; "now"; "timer"; "attimer"; "edge" ] then 1.2
+  else 0.4
+
+let skeleton_prior t entry =
+  let train_total = float_of_int (max 1 t.trained_examples) in
+  (* LM-pretraining counts stand in for training counts at a discount: the
+     pretrained decoder LM is what makes unseen programs reachable
+     (section 4.2) *)
+  let lm_weight = 0.5 in
+  let c = entry.count +. (lm_weight *. Float.min entry.lm_count 10.0) in
+  log ((c +. 0.1) /. (train_total +. 1000.0))
+
+(* The best explanation any known atom gives for a word, cached on the model
+   (the atom vocabulary is fixed after training). *)
+let best_explainer t w =
+  let cache = t.explainer in
+  match Hashtbl.find_opt cache w with
+  | Some v -> v
+  | None ->
+      let best = ref 1e-4 in
+      Genie_util.Counter.iter
+        (fun a _ ->
+          if
+            Genie_util.Tok.starts_with ~prefix:"@" a
+            || Genie_util.Tok.starts_with ~prefix:"param:" a
+            || Genie_util.Tok.starts_with ~prefix:"enum:" a
+          then begin
+            let s = cond_score t a w in
+            if s > !best then best := s
+          end)
+        t.atom_counts;
+      Hashtbl.replace cache w !best;
+      !best
+
+let scoring_stopwords =
+  [ "the"; "a"; "an"; "my"; "me"; "i"; "to"; "of"; "in"; "on"; "at"; "and"; "or";
+    "is"; "are"; "it"; "that"; "this"; "for"; "with"; "please"; "s"; "me"; ","; "\"" ]
+
+let content_tokens tokens =
+  List.filter
+    (fun w ->
+      (not (List.mem w scoring_stopwords))
+      && not (Genie_util.Tok.starts_with ~prefix:"NUMBER_" w
+             || Genie_util.Tok.starts_with ~prefix:"DATE_" w
+             || Genie_util.Tok.starts_with ~prefix:"TIME_" w))
+    tokens
+
+(* score = sum over atoms of log-support + coverage of the sentence's content
+   words by the skeleton's atoms + a prior from training/LM counts *)
+let when_words =
+  [ "when"; "whenever"; "if"; "once"; "anytime"; "every"; "each"; "daily"; "moment";
+    "soon" ]
+
+let pronouns = [ "it"; "that"; "them"; "this" ]
+
+(* does the skeleton pass an upstream output into an input parameter? *)
+let has_param_passing_tokens tokens =
+  let rec go = function
+    | "=" :: p :: rest ->
+        Genie_util.Tok.starts_with ~prefix:"param:" p || go (p :: rest)
+    | _ :: rest -> go rest
+    | [] -> false
+  in
+  go tokens
+
+let stream_kind tokens =
+  match tokens with
+  | "now" :: _ -> `Now
+  | ("monitor" | "edge" | "timer" | "attimer") :: _ -> `Stream
+  | _ -> `Now
+
+let score_skeleton t cache cov_cache ~grams ~content entry =
+  let sk = entry.skeleton in
+  let atoms = Skeleton.atoms sk in
+  let support =
+    List.fold_left
+      (fun acc a ->
+        let s = Float.max 1e-4 (cached_best_match t cache grams a) in
+        acc +. (atom_weight a *. Float.max (-4.0) (log s)))
+      0.0 atoms
+  in
+  let cond_cached a w =
+    let key = a ^ " || " ^ w in
+    match Hashtbl.find_opt cov_cache key with
+    | Some s -> s
+    | None ->
+        let s = cond_score t a w in
+        Hashtbl.replace cov_cache key s;
+        s
+  in
+  (* only content-bearing atoms can explain a sentence word: structural atoms
+     like 'monitor' or 'join' co-occur with everything and would cover any
+     word spuriously *)
+  let content_atoms =
+    List.filter
+      (fun a ->
+        Genie_util.Tok.starts_with ~prefix:"@" a
+        || Genie_util.Tok.starts_with ~prefix:"param:" a
+        || Genie_util.Tok.starts_with ~prefix:"enum:" a)
+      atoms
+  in
+  (* coverage with explaining-away: a word is well covered only if one of the
+     skeleton's atoms explains it about as well as the best atom anywhere in
+     the vocabulary does; and words common across the training data carry
+     little signal (IDF weighting) *)
+  let n = float_of_int (max 1 t.trained_examples) in
+  let coverage =
+    List.fold_left
+      (fun acc w ->
+        let idf =
+          Float.max 0.0 (1.0 -. (3.0 *. Genie_util.Counter.count t.ngram_counts w /. n))
+        in
+        let cov =
+          List.fold_left (fun m a -> Float.max m (cond_cached a w)) 1e-4 content_atoms
+        in
+        let best = Float.max cov (best_explainer t w) in
+        acc +. (0.6 *. idf *. Float.max (-2.5) (log (cov /. best))))
+      0.0 content
+  in
+  (* atoms are deduplicated, so token length must carry part of the size
+     penalty: otherwise a degenerate self-join chain costs the same as a
+     single join *)
+  let size_penalty =
+    (0.11 *. float_of_int (List.length atoms))
+    +. (0.012 *. float_of_int (List.length sk.Skeleton.tokens))
+  in
+  (* a when-word in the sentence indicates a stream program and vice versa:
+     a reliable surface cue the neural model also learns *)
+  (* the stopword filter removes when-words from [content]; test the raw
+     unigrams instead *)
+  let has_when = List.exists (fun w -> List.mem w grams) when_words in
+  let stream_bonus =
+    match (stream_kind sk.Skeleton.tokens, has_when) with
+    | `Now, false | `Stream, true -> 0.6
+    | `Now, true | `Stream, false -> -1.2
+  in
+  (* a pronoun suggests parameter passing ("post it", "add it to my list") *)
+  let has_pronoun = List.exists (fun w -> List.mem w grams) pronouns in
+  let passing_bonus =
+    match (has_pronoun, has_param_passing_tokens sk.Skeleton.tokens) with
+    | true, true -> 1.0
+    | false, true -> -0.4
+    | _ -> 0.0
+  in
+  support +. coverage -. size_penalty +. stream_bonus +. passing_bonus
+  +. (0.3 *. skeleton_prior t entry)
+
+(* --- slot filling -------------------------------------------------------------- *)
+
+let unit_words =
+  (* lowercase word -> unit name *)
+  List.concat_map
+    (fun (u, _) -> [ (String.lowercase_ascii u, u) ])
+    Ttype.Units.table
+  @ [ ("minutes", "min"); ("minute", "min"); ("hours", "h"); ("hour", "h");
+      ("days", "day"); ("seconds", "s"); ("degrees", "C"); ("fahrenheit", "F");
+      ("celsius", "C"); ("kilometers", "km"); ("miles", "mi"); ("pounds", "lb");
+      ("kilograms", "kg"); ("feet", "ft"); ("inches", "in"); ("megabytes", "MB");
+      ("gigabytes", "GB"); ("kilobytes", "KB") ]
+
+let gazette_member t pool v =
+  match Hashtbl.find_opt t.gazette_sets pool with
+  | Some set -> Hashtbl.mem set v
+  | None -> false
+
+let is_sentence_slot tok =
+  Genie_util.Tok.starts_with ~prefix:"NUMBER_" tok
+  || Genie_util.Tok.starts_with ~prefix:"DATE_" tok
+  || Genie_util.Tok.starts_with ~prefix:"TIME_" tok
+
+let stopwords =
+  [ "the"; "a"; "an"; "my"; "me"; "i"; "to"; "of"; "in"; "on"; "at"; "and"; "or";
+    "when"; "if"; "with"; "for"; "is"; "are"; "it"; "that"; "this"; "get"; "show";
+    "tell"; "please"; "from"; "by"; "new"; "every" ]
+
+(* Words that typically introduce a parameter value. *)
+let anchor_words =
+  [ "caption"; "saying"; "titled"; "named"; "called"; "subject"; "message";
+    "status"; "about"; "to"; "for"; "play"; "text"; "tweet"; "post"; "say";
+    "add"; "search"; "matching"; "containing" ]
+
+(* Score a candidate span for a string-like slot. [cue] measures how much a
+   word is already explained by the program's structure (function names,
+   filters): such words are command vocabulary, not parameter values, and a
+   copy mechanism should not copy them. [before] is the token preceding the
+   span, used as a lexical anchor. *)
+let span_score t ~param ~pool_opt ~cue ~before ~after (span : string list) =
+  let joined = String.concat " " span in
+  let len = float_of_int (List.length span) in
+  (* discriminative copy evidence: how much more likely is this word inside a
+     value of [param] than as an ordinary sentence word? *)
+  let word_score =
+    let total = Genie_util.Counter.count t.slot_param_counts param +. 100.0 in
+    let bg_total = Genie_util.Counter.total t.ngram_counts +. 100.0 in
+    List.fold_left
+      (fun acc w ->
+        let c = Genie_util.Counter.count t.slot_word_counts (pair_key param w) in
+        let bg = Genie_util.Counter.count t.ngram_counts w in
+        let lr =
+          log ((c +. 0.05) /. total) -. log ((bg +. 0.5) /. bg_total)
+        in
+        acc +. Float.max (-2.0) (Float.min 3.0 lr))
+      0.0 span
+    /. len
+  in
+  let stripped =
+    if String.length joined > 1 && (joined.[0] = '#' || joined.[0] = '@') then
+      String.sub joined 1 (String.length joined - 1)
+    else joined
+  in
+  (* the model only "knows" a value pool to the extent training exposed it to
+     varied values of this parameter -- which is precisely what parameter
+     expansion provides (section 3.3); without that exposure the gazette
+     carries no weight *)
+  let exposure =
+    Float.min 1.0 (Genie_util.Counter.count t.slot_param_counts param /. 15.0)
+  in
+  let gazette_bonus =
+    match pool_opt with
+    | Some pool when gazette_member t pool joined || gazette_member t pool stripped ->
+        3.0 *. exposure
+    | _ -> 0.0
+  in
+  (* a span introduced by the parameter's own name ("caption funny cat") is
+     almost certainly the value: boost it and let context override the cue
+     penalty *)
+  let param_anchored = before = Some param in
+  let cue_penalty =
+    if param_anchored then 0.0
+    else -2.0 *. (List.fold_left (fun acc w -> acc +. cue w) 0.0 span /. len)
+  in
+  let anchor_bonus =
+    if param_anchored then 3.0
+    else
+      match before with
+      | Some w when List.mem w anchor_words -> 0.8
+      | _ -> 0.0
+  in
+  let stop_penalty =
+    if List.for_all (fun w -> List.mem w stopwords || List.mem w anchor_words) span then
+      -5.0
+    else if List.mem (List.hd span) stopwords then -1.0
+    else 0.0
+  in
+  (* an exact value string seen in training is strong copy evidence *)
+  let value_bonus =
+    if Genie_util.Counter.count t.slot_value_counts (pair_key param joined) > 0.0 then 1.5
+    else 0.0
+  in
+  (* cutting a value short: the next token still looks like part of it *)
+  let continuation_penalty =
+    match after with
+    | Some w
+      when Genie_util.Counter.count t.slot_word_counts (pair_key param w) > 0.0
+           && not (List.mem w stopwords) -> -1.2
+    | _ -> 0.0
+  in
+  let length_bonus = Float.min 0.45 (0.15 *. (len -. 1.0)) in
+  word_score +. gazette_bonus +. cue_penalty +. anchor_bonus +. stop_penalty
+  +. value_bonus +. continuation_penalty +. length_bonus
+
+let candidate_spans tokens =
+  let arr = Array.of_list tokens in
+  let n = Array.length arr in
+  let spans = ref [] in
+  for i = 0 to n - 1 do
+    for len = 1 to min 8 (n - i) do
+      let span = Array.to_list (Array.sub arr i len) in
+      if
+        List.for_all
+          (fun w -> (not (is_sentence_slot w)) && w <> "," && w <> "\"")
+          span
+      then spans := (i, span) :: !spans
+    done
+  done;
+  !spans
+
+let param_type t ~param ~(exemplar : Value.t) : Ttype.t =
+  match Value.type_of exemplar with
+  | Some ty -> ty
+  | None -> (
+      (* fall back to any declaration of that parameter name *)
+      let found =
+        List.find_map
+          (fun f ->
+            Option.map (fun p -> p.Schema.p_type) (Schema.find_param f param))
+          (Schema.Library.functions t.lib)
+      in
+      Option.value found ~default:Ttype.String)
+
+(* Fill the slots of a skeleton from the normalized sentence. Returns the
+   value assignment and a fill score. *)
+let fill_slots t (sk : Skeleton.t) (norm : Genie_dataset.Argument_id.result) :
+    (string * Value.t) list * float =
+  let tokens = norm.Genie_dataset.Argument_id.tokens in
+  let tokens_arr = Array.of_list tokens in
+  let content_atoms =
+    List.filter
+      (fun a ->
+        Genie_util.Tok.starts_with ~prefix:"@" a
+        || Genie_util.Tok.starts_with ~prefix:"param:" a
+        || Genie_util.Tok.starts_with ~prefix:"enum:" a)
+      (Skeleton.atoms sk)
+  in
+  let cue_cache = Hashtbl.create 32 in
+  let cue w =
+    match Hashtbl.find_opt cue_cache w with
+    | Some c -> c
+    | None ->
+        let c =
+          List.fold_left (fun m a -> Float.max m (cond_score t a w)) 0.0 content_atoms
+        in
+        Hashtbl.replace cue_cache w c;
+        c
+  in
+  let sentence_numbers =
+    List.filter (fun (s, _) -> Genie_util.Tok.starts_with ~prefix:"NUMBER_" s)
+      norm.Genie_dataset.Argument_id.entities
+  in
+  let sentence_dates =
+    List.filter (fun (s, _) -> Genie_util.Tok.starts_with ~prefix:"DATE_" s)
+      norm.Genie_dataset.Argument_id.entities
+  in
+  let sentence_times =
+    List.filter (fun (s, _) -> Genie_util.Tok.starts_with ~prefix:"TIME_" s)
+      norm.Genie_dataset.Argument_id.entities
+  in
+  let num_idx = ref 0 and date_idx = ref 0 and time_idx = ref 0 in
+  let take lst idx =
+    let v = List.nth_opt lst !idx in
+    incr idx;
+    v
+  in
+  let unit_after_number slot_name =
+    (* the token following NUMBER_k in the sentence, if it is a unit word *)
+    let rec find = function
+      | [] | [ _ ] -> None
+      | a :: (b :: _ as rest) ->
+          if a = slot_name then List.assoc_opt b unit_words else find rest
+    in
+    find tokens
+  in
+  let used_spans = ref [] in
+  let overlaps (i, span) =
+    List.exists
+      (fun (j, sp) ->
+        let len1 = List.length span and len2 = List.length sp in
+        i < j + len2 && j < i + len1)
+      !used_spans
+  in
+  let score = ref 0.0 in
+  let fill_string_like slot pool_opt (mk : string -> Value.t) =
+    let cands = List.filter (fun c -> not (overlaps c)) (candidate_spans tokens) in
+    let scored =
+      List.map
+        (fun (i, span) ->
+          let before = if i > 0 then Some tokens_arr.(i - 1) else None in
+          let j = i + List.length span in
+          let after = if j < Array.length tokens_arr then Some tokens_arr.(j) else None in
+          ((i, span), span_score t ~param:slot.Skeleton.param ~pool_opt ~cue ~before ~after span))
+        cands
+    in
+    match List.sort (fun (_, a) (_, b) -> compare b a) scored with
+    | (((_, span) as chosen), s) :: _ when s > -3.0 ->
+        used_spans := chosen :: !used_spans;
+        (* a confident span should not be able to buy a spurious filter: cap
+           the positive contribution *)
+        score := !score +. Float.min s 1.5;
+        mk (String.concat " " span)
+    | _ ->
+        (* no plausible span for this copied value: the sentence does not
+           support the slot, which strongly suggests the skeleton is wrong *)
+        score := !score -. 6.0;
+        slot.Skeleton.exemplar
+  in
+  let values =
+    List.map
+      (fun (slot : Skeleton.slot) ->
+        let v =
+          match slot.Skeleton.exemplar with
+          | Value.Number _ -> (
+              match take sentence_numbers num_idx with
+              | Some (_, v) -> v
+              | None ->
+                  (* no number in the sentence supports this slot *)
+                  score := !score -. 6.0;
+                  slot.Skeleton.exemplar)
+          | Value.Measure ((_, default_unit) :: _) -> (
+              match take sentence_numbers num_idx with
+              | Some (slot_name, Value.Number n) ->
+                  let unit =
+                    match unit_after_number slot_name with
+                    | Some u
+                      when Ttype.Units.base_of u
+                           = Ttype.Units.base_of default_unit -> u
+                    | _ -> default_unit
+                  in
+                  Value.Measure [ (n, unit) ]
+              | _ ->
+                  score := !score -. 6.0;
+                  slot.Skeleton.exemplar)
+          | Value.Currency (_, code) -> (
+              match take sentence_numbers num_idx with
+              | Some (_, Value.Number n) -> Value.Currency (n, code)
+              | _ -> slot.Skeleton.exemplar)
+          | Value.Date _ -> (
+              match take sentence_dates date_idx with
+              | Some (_, v) -> v
+              | None ->
+                  score := !score -. 4.0;
+                  slot.Skeleton.exemplar)
+          | Value.Time _ -> (
+              match take sentence_times time_idx with
+              | Some (_, v) -> v
+              | None ->
+                  score := !score -. 4.0;
+                  slot.Skeleton.exemplar)
+          | Value.String _ ->
+              let ty = param_type t ~param:slot.Skeleton.param ~exemplar:slot.Skeleton.exemplar in
+              let pool =
+                Genie_augment.Gazettes.gazette_for ~param_name:slot.Skeleton.param ~ty
+              in
+              fill_string_like slot pool (fun s -> Value.String s)
+          | Value.Entity { ty = ety; display; _ } ->
+              let pool =
+                Genie_augment.Gazettes.gazette_for ~param_name:slot.Skeleton.param
+                  ~ty:(Ttype.Entity ety)
+              in
+              let strip s =
+                if String.length s > 1 && (s.[0] = '#' || s.[0] = '@') then
+                  String.sub s 1 (String.length s - 1)
+                else s
+              in
+              fill_string_like slot pool (fun s ->
+                  Value.Entity { ty = ety; value = strip s; display })
+          | Value.Location (Value.L_named _) ->
+              if List.mem "here" tokens then Value.Location (Value.L_relative "current_location")
+              else if List.mem "home" tokens then Value.Location (Value.L_relative "home")
+              else if List.mem "work" tokens then Value.Location (Value.L_relative "work")
+              else fill_string_like slot (Some "city") (fun s -> Value.Location (Value.L_named s))
+          | v -> v
+        in
+        (slot.Skeleton.marker, v))
+      sk.Skeleton.slots
+  in
+  (values, !score)
+
+(* --- decoding ------------------------------------------------------------------ *)
+
+type prediction = {
+  program : Ast.program option;
+  nn_tokens : string list; (* the decoded token sequence *)
+  score : float;
+}
+
+let no_prediction = { program = None; nn_tokens = []; score = neg_infinity }
+
+(* Candidate skeleton keys via the inverted function-atom index. Functions
+   are ranked by sentence support and their skeletons by training count, then
+   interleaved round-robin up to the cap -- a global cut-off would silently
+   drop every skeleton of lower-ranked functions, including the right one. *)
+let candidate_keys t cache grams =
+  let scored_functions =
+    Hashtbl.fold
+      (fun fa keys acc ->
+        let s = cached_best_match t cache grams fa in
+        if s > 0.0 then (s, keys) :: acc else acc)
+      t.by_function []
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare b a) scored_functions in
+  let by_count ks =
+    let count k =
+      match Hashtbl.find_opt t.inventory k with Some e -> e.count | None -> 0.0
+    in
+    Array.of_list (List.sort (fun a b -> compare (count b) (count a)) ks)
+  in
+  let arrays = List.map (fun (_, ks) -> by_count !ks) sorted in
+  let seen = Hashtbl.create 1024 in
+  let out = ref [] in
+  let n = ref 0 in
+  let level = ref 0 in
+  let progress = ref true in
+  while !progress && !n < t.cfg.max_candidates do
+    progress := false;
+    List.iter
+      (fun arr ->
+        if !level < Array.length arr && !n < t.cfg.max_candidates then begin
+          progress := true;
+          let k = arr.(!level) in
+          if not (Hashtbl.mem seen k) then begin
+            Hashtbl.replace seen k ();
+            out := k :: !out;
+            incr n
+          end
+        end)
+      arrays;
+    incr level
+  done;
+  !out
+
+(* Select an output parameter able to fill a hole of the given type. *)
+let pick_out_for_hole ~outs ~hole_ip ~hole_ty =
+  match List.assoc_opt hole_ip outs with
+  | Some ty when Ttype.strictly_assignable ~src:ty ~dst:hole_ty -> Some hole_ip
+  | _ -> (
+      match
+        List.filter (fun (_, ty) -> Ttype.strictly_assignable ~src:ty ~dst:hole_ty) outs
+      with
+      | [] -> None
+      | (n, _) :: _ -> Some n)
+
+let fill_hole_passed_inv (inv : Ast.invocation) ~hole_ip ~out_name =
+  { inv with
+    Ast.in_params =
+      List.map
+        (fun ip ->
+          if ip.Ast.ip_name = hole_ip then { ip with Ast.ip_value = Ast.Passed out_name }
+          else ip)
+        inv.Ast.in_params }
+
+(* --- compositional candidates ------------------------------------------------
+
+   The inventory only contains whole programs seen in training or LM
+   pretraining. The neural decoder, however, generates token-by-token and can
+   produce *new combinations* of clauses it has seen; synthesized data is what
+   teaches it that type-based compositionality (section 3.4). The equivalent
+   here: rank the learned stream / query / action fragments against the
+   sentence, recombine the best ones into full programs, and type-check the
+   combinations. *)
+
+let clause_score t cache grams (e : clause_entry) =
+  let support =
+    List.fold_left
+      (fun acc a ->
+        let s = Float.max 1e-4 (cached_best_match t cache grams a) in
+        acc +. (atom_weight a *. Float.max (-4.0) (log s)))
+      0.0 e.atoms
+  in
+  let n = float_of_int (max 1 (List.length e.atoms)) in
+  support /. n
+
+let top_clauses t cache grams tbl k =
+  let scored =
+    Hashtbl.fold (fun _ e acc -> (clause_score t cache grams e, e) :: acc) tbl []
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare b a) scored in
+  List.filteri (fun i _ -> i < k) sorted |> List.map snd
+
+let compose_candidates t cache grams : skeleton_entry list =
+  let k = 5 in
+  let streams = top_clauses t cache grams t.streams k in
+  let queries = top_clauses t cache grams t.queries k in
+  let actions = top_clauses t cache grams t.actions k in
+  let stream_opts = None :: List.map (fun e -> Some e) streams in
+  let query_opts = None :: List.map (fun e -> Some e) queries in
+  let action_opts = None :: List.map (fun e -> Some e) actions in
+  let out = ref [] in
+  List.iter
+    (fun s_opt ->
+      List.iter
+        (fun q_opt ->
+          List.iter
+            (fun a_opt ->
+              if not (s_opt = None && q_opt = None && a_opt = None) then begin
+                let stream =
+                  match s_opt with
+                  | Some { clause = C_stream st; _ } -> st
+                  | _ -> Ast.S_now
+                in
+                let query =
+                  match q_opt with
+                  | Some { clause = C_query q; _ } -> Some q
+                  | _ -> None
+                in
+                let action =
+                  match a_opt with
+                  | Some { clause = C_action a; _ } -> a
+                  | _ -> Ast.A_notify
+                in
+                (* a bare 'now => notify' or stream-less action-less combo is
+                   not a meaningful program *)
+                (* skip compositions where the query repeats a function the
+                   stream already monitors: they add no information *)
+                let duplicated =
+                  match (stream, query) with
+                  | Ast.S_monitor (mq, _), Some q ->
+                      let fns qq =
+                        List.map Ast.Fn.to_string
+                          (List.map (fun (i : Ast.invocation) -> i.Ast.fn) (Ast.query_invocations qq))
+                      in
+                      List.exists (fun f -> List.mem f (fns mq)) (fns q)
+                  | _ -> false
+                in
+                if ((not (stream = Ast.S_now && query = None)) || action <> Ast.A_notify)
+                   && not duplicated
+                then begin
+                  let counts =
+                    List.filter_map
+                      (fun o -> Option.map (fun e -> e.c_count +. (0.2 *. e.c_lm)) o)
+                      [ s_opt; q_opt; a_opt ]
+                  in
+                  let min_count = List.fold_left Float.min infinity (1.0 :: counts) in
+                  let emit program =
+                    if Result.is_ok (Typecheck.check_program t.lib program) then begin
+                      let program = Canonical.normalize t.lib program in
+                      let sk = Skeleton.of_program ~options:t.cfg.options t.lib program in
+                      let key = Skeleton.key sk in
+                      if not (Hashtbl.mem t.inventory key) then
+                        (* composed programs inherit a discounted prior *)
+                        out := { skeleton = sk; count = 0.3 *. min_count; lm_count = 0.0 } :: !out
+                    end
+                  in
+                  emit { Ast.stream; query; action };
+                  (* parameter-passing variants: feed an upstream output into
+                     a constant input parameter of the action (the 'use that
+                     as' compositions of section 2.3) *)
+                  let outs =
+                    match query with
+                    | Some q -> Typecheck.query_out_params t.lib q
+                    | None -> Typecheck.stream_out_params t.lib stream
+                  in
+                  (match action with
+                  | Ast.A_invoke inv when outs <> [] ->
+                      List.iter
+                        (fun (ip : Ast.in_param) ->
+                          match ip.Ast.ip_value with
+                          | Ast.Constant v -> (
+                              match Value.type_of v with
+                              | Some ty -> (
+                                  match
+                                    pick_out_for_hole ~outs ~hole_ip:ip.Ast.ip_name ~hole_ty:ty
+                                  with
+                                  | Some out_name ->
+                                      let inv' =
+                                        fill_hole_passed_inv inv ~hole_ip:ip.Ast.ip_name
+                                          ~out_name
+                                      in
+                                      emit { Ast.stream; query; action = Ast.A_invoke inv' }
+                                  | None -> ())
+                              | None -> ())
+                          | Ast.Passed _ -> ())
+                        inv.Ast.in_params
+                  | _ -> ())
+                end
+              end)
+            action_opts)
+        query_opts)
+    stream_opts;
+  (* deduplicate composed candidates, keeping the highest prior *)
+  let best = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let k = Skeleton.key e.skeleton in
+      match Hashtbl.find_opt best k with
+      | Some e' when e'.count >= e.count -> ()
+      | _ -> Hashtbl.replace best k e)
+    !out;
+  Hashtbl.fold (fun _ e acc -> e :: acc) best []
+
+let predict t (sentence_tokens : string list) : prediction =
+  let norm =
+    Genie_dataset.Argument_id.normalize
+      (List.filter (fun tok -> tok <> "\"") sentence_tokens)
+  in
+  let grams = sentence_ngrams norm.Genie_dataset.Argument_id.tokens in
+  let memo_boost =
+    match Hashtbl.find_opt t.memo (String.concat " " norm.Genie_dataset.Argument_id.tokens) with
+    | Some c -> (
+        match Genie_util.Counter.top 1 c with
+        | [ (k, _) ] -> Some k
+        | _ -> None)
+    | None -> None
+  in
+  let cache : (string, float) Hashtbl.t = Hashtbl.create 512 in
+  let cov_cache : (string, float) Hashtbl.t = Hashtbl.create 4096 in
+  let content = content_tokens norm.Genie_dataset.Argument_id.tokens in
+  let cands = candidate_keys t cache grams in
+  let inventory_scored =
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find_opt t.inventory k with
+        | None -> None
+        | Some entry ->
+            let s = score_skeleton t cache cov_cache ~grams ~content entry in
+            let s = if memo_boost = Some k then s +. 10.0 else s in
+            Some (s, entry))
+      cands
+  in
+  let composed_scored =
+    List.map
+      (fun entry -> (score_skeleton t cache cov_cache ~grams ~content entry, entry))
+      (compose_candidates t cache grams)
+  in
+  let scored = inventory_scored @ composed_scored in
+  let top =
+    List.filteri (fun i _ -> i < t.cfg.beam)
+      (List.sort (fun (a, _) (b, _) -> compare b a) scored)
+  in
+  let completed =
+    List.filter_map
+      (fun (s, entry) ->
+        let values, fill_score = fill_slots t entry.skeleton norm in
+        match Skeleton.fill ~options:t.cfg.options t.lib entry.skeleton values with
+        | Some program ->
+            Some
+              { program = Some program;
+                nn_tokens =
+                  Nn_syntax.to_tokens ~options:t.cfg.options t.lib program;
+                score = s +. (0.5 *. fill_score) }
+        | None -> None)
+      top
+  in
+  match List.sort (fun a b -> compare b.score a.score) completed with
+  | best :: _ -> best
+  | [] -> no_prediction
+
+(* accessor used by the beam field *)
+let cfg t = t.cfg

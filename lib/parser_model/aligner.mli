@@ -1,0 +1,142 @@
+(** The Aligner semantic-parser backend.
+
+    A fast statistical stand-in for the MQAN model (the substitution argument
+    is in DESIGN.md) that preserves the causal structure of the paper's
+    experiments:
+
+    - the {e skeleton inventory} -- whole programs reachable by the decoder --
+      comes from training data and, when the decoder-LM feature is on, from
+      pretraining on a large synthesized program corpus (section 4.2);
+    - a {e compositional decoder} recombines learned stream / query / action
+      clause fragments into new programs (with automatically derived
+      parameter-passing variants), type-checking each combination: the
+      type-based compositionality that synthesized data teaches (section 3.4);
+    - {e lexical alignment} between sentence n-grams and program atoms scores
+      candidates, with explaining-away coverage of the sentence's content
+      words;
+    - a {e copy mechanism} fills string-like slots with sentence spans scored
+      by per-parameter word statistics, gazette membership, lexical anchors
+      and boundary features -- what parameter expansion trains (section 3.3). *)
+
+open Genie_thingtalk
+
+type config = {
+  options : Nn_syntax.options;  (** keyword-param / type-annotation ablations *)
+  canonicalize : bool;  (** Table 3: canonical form of training targets *)
+  use_decoder_lm : bool;  (** Table 3: pretrained program LM *)
+  lm_programs : Ast.program list;
+  gazette_size : int;
+  seed : int;
+  beam : int;
+  max_candidates : int;
+}
+
+val default_config : config
+
+type skeleton_entry = {
+  skeleton : Skeleton.t;
+  mutable count : float;
+  mutable lm_count : float;
+}
+
+type clause =
+  | C_stream of Ast.stream
+  | C_query of Ast.query
+  | C_action of Ast.action
+
+type clause_entry = {
+  clause : clause;
+  atoms : string list;
+  mutable c_count : float;
+  mutable c_lm : float;
+}
+
+type t = {
+  cfg : config;
+  lib : Schema.Library.t;
+  inventory : (string, skeleton_entry) Hashtbl.t;
+  by_function : (string, string list ref) Hashtbl.t;
+  ngram_counts : Genie_util.Counter.t;
+  atom_counts : Genie_util.Counter.t;
+  pair_counts : Genie_util.Counter.t;
+  slot_word_counts : Genie_util.Counter.t;
+  slot_param_counts : Genie_util.Counter.t;
+  slot_value_counts : Genie_util.Counter.t;
+  memo : (string, Genie_util.Counter.t) Hashtbl.t;
+  gazettes : Genie_augment.Gazettes.t;
+  gazette_sets : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+  streams : (string, clause_entry) Hashtbl.t;
+  queries : (string, clause_entry) Hashtbl.t;
+  actions : (string, clause_entry) Hashtbl.t;
+  explainer : (string, float) Hashtbl.t;
+  mutable trained_examples : int;
+}
+
+val train :
+  ?cfg:config -> Schema.Library.t -> Genie_dataset.Example.t list -> t
+(** Builds the model from a training set: argument-identifies each sentence,
+    canonicalizes (or deliberately shuffles, for the ablation) each program,
+    and accumulates inventory, clause, alignment and copy statistics. *)
+
+type prediction = {
+  program : Ast.program option;
+  nn_tokens : string list;
+  score : float;
+}
+
+val no_prediction : prediction
+
+val predict : t -> string list -> prediction
+(** Parses a tokenized sentence: candidate skeletons from the inventory (via
+    an inverted function index) and from clause composition are scored by
+    atom support + coverage + priors + surface cues, the best few are
+    slot-filled, and the best completed program wins. The output always
+    type-checks. *)
+
+(** {2 Exposed internals}
+
+    The scoring and filling machinery is exposed for the test suite and the
+    diagnostic tooling. *)
+
+val sentence_ngrams : string list -> string list
+val content_tokens : string list -> string list
+val cond_score : t -> string -> string -> float
+val best_match : t -> string list -> string -> float
+val cached_best_match : t -> (string, float) Hashtbl.t -> string list -> string -> float
+val atom_weight : string -> float
+val best_explainer : t -> string -> float
+
+val score_skeleton :
+  t ->
+  (string, float) Hashtbl.t ->
+  (string, float) Hashtbl.t ->
+  grams:string list ->
+  content:string list ->
+  skeleton_entry ->
+  float
+
+val candidate_keys : t -> (string, float) Hashtbl.t -> string list -> string list
+val compose_candidates : t -> (string, float) Hashtbl.t -> string list -> skeleton_entry list
+val clause_score : t -> (string, float) Hashtbl.t -> string list -> clause_entry -> float
+val top_clauses :
+  t -> (string, float) Hashtbl.t -> string list -> (string, clause_entry) Hashtbl.t ->
+  int -> clause_entry list
+val clause_key : clause -> string
+
+val fill_slots :
+  t -> Skeleton.t -> Genie_dataset.Argument_id.result ->
+  (string * Value.t) list * float
+
+val span_score :
+  t ->
+  param:string ->
+  pool_opt:string option ->
+  cue:(string -> float) ->
+  before:string option ->
+  after:string option ->
+  string list ->
+  float
+
+val candidate_spans : string list -> (int * string list) list
+val shuffle_program : Genie_util.Rng.t -> Ast.program -> Ast.program
+val cfg : t -> config

@@ -1,0 +1,101 @@
+(* Evaluation metrics (paper section 5).
+
+   Program accuracy considers the result correct only if the output has the
+   correct functions, parameters, joins and filters -- equivalent to the
+   output matching the canonicalized annotated program exactly. Test sentences
+   may carry several valid annotations. The error-analysis breakdown of
+   section 5.5 (syntax / primitive-vs-compound / device / function accuracy)
+   is also computed here. *)
+
+open Genie_thingtalk
+
+type metrics = {
+  n : int;
+  program_accuracy : float;
+  function_accuracy : float; (* correct multiset of functions *)
+  device_accuracy : float; (* correct set of skills *)
+  prim_compound_accuracy : float; (* primitive vs compound identified *)
+  syntax_ok : float; (* parses and type-checks *)
+  wrong_param_value : float; (* right functions/filters, wrong copied value *)
+}
+
+let zero_metrics =
+  { n = 0; program_accuracy = 0.0; function_accuracy = 0.0; device_accuracy = 0.0;
+    prim_compound_accuracy = 0.0; syntax_ok = 0.0; wrong_param_value = 0.0 }
+
+let functions_multiset p =
+  List.sort compare (List.map Ast.Fn.to_string (Ast.program_functions p))
+
+let devices_set p =
+  List.sort_uniq compare (List.map (fun f -> f.Ast.Fn.cls) (Ast.program_functions p))
+
+(* The program with parameter values erased, for the wrong-value diagnostic. *)
+let erase_values lib p =
+  Canonical.normalize lib (Ast.map_constants (fun _ _ -> Value.Undefined) p)
+
+let evaluate_one lib ~(gold : Ast.program list) (predicted : Ast.program option) =
+  let canon p = Canonical.canonical_string lib p in
+  let gold_strs = List.map canon gold in
+  match predicted with
+  | None -> (false, false, false, false, false, false)
+  | Some p ->
+      let s = canon p in
+      let correct = List.mem s gold_strs in
+      let fn_ok = List.exists (fun g -> functions_multiset g = functions_multiset p) gold in
+      let dev_ok = List.exists (fun g -> devices_set g = devices_set p) gold in
+      let prim_ok = List.exists (fun g -> Ast.is_primitive g = Ast.is_primitive p) gold in
+      let syntax = Typecheck.well_typed lib p in
+      let wrong_value =
+        (not correct)
+        && List.exists (fun g -> canon (erase_values lib g) = canon (erase_values lib p)) gold
+      in
+      (correct, fn_ok, dev_ok, prim_ok, syntax, wrong_value)
+
+let evaluate lib (predict : string list -> Ast.program option)
+    (examples : Genie_dataset.Example.t list) : metrics =
+  let n = List.length examples in
+  if n = 0 then zero_metrics
+  else begin
+    let acc = ref 0 and fn = ref 0 and dev = ref 0 and prim = ref 0 in
+    let syn = ref 0 and wrong = ref 0 in
+    List.iter
+      (fun e ->
+        let predicted = predict e.Genie_dataset.Example.tokens in
+        let correct, fn_ok, dev_ok, prim_ok, syntax, wrong_value =
+          evaluate_one lib ~gold:(Genie_dataset.Example.all_programs e) predicted
+        in
+        if correct then incr acc;
+        if fn_ok then incr fn;
+        if dev_ok then incr dev;
+        if prim_ok then incr prim;
+        if syntax then incr syn;
+        if wrong_value then incr wrong)
+      examples;
+    let f x = float_of_int !x /. float_of_int n in
+    { n;
+      program_accuracy = f acc;
+      function_accuracy = f fn;
+      device_accuracy = f dev;
+      prim_compound_accuracy = f prim;
+      syntax_ok = f syn;
+      wrong_param_value = f wrong }
+  end
+
+(* mean +- half-range over several runs, as the paper reports *)
+let mean_half_range (xs : float list) =
+  match xs with
+  | [] -> (0.0, 0.0)
+  | xs ->
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0.0 xs /. n in
+      let mn = List.fold_left Float.min infinity xs in
+      let mx = List.fold_left Float.max neg_infinity xs in
+      (mean, (mx -. mn) /. 2.0)
+
+let pp_metrics fmt m =
+  Format.fprintf fmt
+    "n=%d acc=%.1f%% fn=%.1f%% dev=%.1f%% prim/comp=%.1f%% syntax=%.1f%% wrong-value=%.1f%%"
+    m.n (100. *. m.program_accuracy) (100. *. m.function_accuracy)
+    (100. *. m.device_accuracy)
+    (100. *. m.prim_compound_accuracy)
+    (100. *. m.syntax_ok) (100. *. m.wrong_param_value)

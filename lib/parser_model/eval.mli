@@ -1,0 +1,33 @@
+(** Evaluation metrics (paper section 5).
+
+    Program accuracy counts a result correct only when the output has the
+    correct functions, parameters, joins and filters -- equivalent to an
+    exact match of canonicalized programs. Test sentences may carry several
+    valid annotations. *)
+
+open Genie_thingtalk
+
+type metrics = {
+  n : int;
+  program_accuracy : float;
+  function_accuracy : float;  (** correct multiset of functions *)
+  device_accuracy : float;  (** correct set of skills *)
+  prim_compound_accuracy : float;  (** primitive vs compound identified *)
+  syntax_ok : float;  (** parses and type-checks (section 5.5) *)
+  wrong_param_value : float;
+      (** right program shape, wrong copied parameter value *)
+}
+
+val zero_metrics : metrics
+
+val evaluate :
+  Schema.Library.t ->
+  (string list -> Ast.program option) ->
+  Genie_dataset.Example.t list ->
+  metrics
+(** Runs a predictor over a test set and scores it against all annotations. *)
+
+val mean_half_range : float list -> float * float
+(** Mean and half of the max-min range over runs, as the paper reports. *)
+
+val pp_metrics : Format.formatter -> metrics -> unit

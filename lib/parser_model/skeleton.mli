@@ -1,0 +1,48 @@
+(** Program skeletons: the NN-token serialization of a program with its
+    constant values replaced by typed slot markers ([SLOT_0], [SLOT_1], ...).
+
+    The decoder predicts a skeleton and fills the slots with values copied
+    from the input sentence, mirroring the pointer-generator decomposition of
+    the MQAN model: program tokens are generated from the vocabulary,
+    parameter values are copied from the context. *)
+
+type slot = {
+  marker : string;  (** SLOT_k *)
+  param : string;  (** the parameter the value fills *)
+  exemplar : Genie_thingtalk.Value.t;  (** original value: type and fallback *)
+}
+
+type t = { tokens : string list; slots : slot list }
+
+val key : t -> string
+(** The skeleton's identity: its token sequence joined with spaces. *)
+
+val is_slotted : Genie_thingtalk.Value.t -> bool
+(** Copyable values become slots; booleans, enums, relative locations and
+    unfilled parameters stay literal program tokens (they carry function
+    semantics such as on/off). *)
+
+val of_program :
+  ?options:Genie_thingtalk.Nn_syntax.options ->
+  Genie_thingtalk.Schema.Library.t ->
+  Genie_thingtalk.Ast.program ->
+  t
+(** Extracts the skeleton; equal values share one marker and are therefore
+    filled consistently at decode time. *)
+
+val fill :
+  ?options:Genie_thingtalk.Nn_syntax.options ->
+  Genie_thingtalk.Schema.Library.t ->
+  t ->
+  (string * Genie_thingtalk.Value.t) list ->
+  Genie_thingtalk.Ast.program option
+(** Rebuilds a program from marker assignments; unassigned slots fall back to
+    their exemplars. [None] if the tokens fail to parse. *)
+
+val atoms : t -> string list
+(** The semantic content matched against sentence n-grams: function
+    references, parameter heads, operators, structural keywords, enums. *)
+
+val function_atoms : t -> string list
+val is_atom : string -> bool
+val size : t -> int

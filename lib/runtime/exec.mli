@@ -1,0 +1,49 @@
+(** The ThingTalk runtime: executes programs against mock services on a
+    virtual clock.
+
+    Semantics per section 2.3: queries always return lists (singletons for
+    single-result functions) that are implicitly traversed; each row can feed
+    input parameters of later invocations; monitors fire when a query's
+    result changes; edge filters fire on false -> true transitions of their
+    predicate; timers tick on the virtual clock. *)
+
+open Genie_thingtalk
+
+type record = (string * Value.t) list
+(** One result row: output-parameter bindings. *)
+
+type service = {
+  generate :
+    now:float -> rng:Genie_util.Rng.t -> args:(string * Value.t) list -> record list;
+}
+(** A mock backing service for one skill function. *)
+
+type env = {
+  lib : Schema.Library.t;
+  services : (string, service) Hashtbl.t;
+  mutable now : float;  (** virtual day count *)
+  rng : Genie_util.Rng.t;
+  mutable notifications : record list;
+  mutable side_effects : (Ast.Fn.t * record) list;
+}
+
+exception Runtime_error of string
+
+val create : ?seed:int -> Schema.Library.t -> env
+(** An environment backed by deterministic synthetic data: monitorable
+    functions change every few virtual days, non-monitorable ones on every
+    call. *)
+
+val register_service : env -> Ast.Fn.t -> service -> unit
+(** Overrides the default mock for one function. *)
+
+val eval_query : env -> bindings:record -> Ast.query -> record list
+(** Evaluates a query under upstream [bindings] (for parameter passing). *)
+
+val eval_predicate : env -> record -> Ast.predicate -> bool
+
+val run : ?ticks:int -> ?step:float -> env -> Ast.program -> record list * (Ast.Fn.t * record) list
+(** [run ~ticks env p] type-checks [p], then advances the virtual clock
+    [ticks] steps, dispatching stream events through the query to the action.
+    Returns the accumulated notifications and side effects. Raises
+    {!Runtime_error} on ill-typed programs or unbound parameter passing. *)

@@ -1,0 +1,185 @@
+(* Randomized, depth-bounded synthesis by sampling (paper section 3.1).
+
+   Exhaustive enumeration grows exponentially with depth and library size, so
+   the engine samples a configurable number of derivations per construct
+   template; the budget decreases exponentially with depth. Low-depth
+   derivations provide breadth; the smaller number of high-depth derivations
+   adds variance and expands the set of recognized programs. *)
+
+open Genie_templates
+
+type config = {
+  max_depth : int;
+  target_per_rule : int; (* target derivations per rule at depth 1 *)
+  seed : int;
+  (* which template subsets to use (the per-template boolean flag of the
+     paper); [`Training] includes Both + Training_only, etc. *)
+  purpose : [ `Training | `Paraphrase ];
+}
+
+let default_config = { max_depth = 5; target_per_rule = 200; seed = 1; purpose = `Training }
+
+let flag_enabled purpose (f : Grammar.flag) =
+  match (purpose, f) with
+  | _, Grammar.Both -> true
+  | `Training, Grammar.Training_only -> true
+  | `Paraphrase, Grammar.Paraphrase_only -> true
+  | _ -> false
+
+type table = (string * int, Derivation.t array) Hashtbl.t
+
+let derivs (tbl : table) cat depth : Derivation.t array =
+  try Hashtbl.find tbl (cat, depth) with Not_found -> [||]
+
+(* All derivations of [cat] with depth in [0, max_depth]. *)
+let derivs_upto tbl cat max_depth =
+  let out = ref [] in
+  for d = 0 to max_depth do
+    out := !out @ Array.to_list (derivs tbl cat d)
+  done;
+  !out
+
+let literal_tokens lit = Genie_util.Tok.tokenize lit
+
+let rule_tokens (rule : Grammar.rule) (children : Derivation.t list) =
+  let rec go rhs children acc =
+    match (rhs, children) with
+    | [], [] -> List.rev acc
+    | Grammar.L lit :: rest, cs -> go rest cs (List.rev_append (literal_tokens lit) acc)
+    | Grammar.N _ :: rest, c :: cs ->
+        go rest cs (List.rev_append c.Derivation.tokens acc)
+    | Grammar.N _ :: _, [] -> invalid_arg "rule_tokens: arity mismatch"
+    | [], _ :: _ -> invalid_arg "rule_tokens: arity mismatch"
+  in
+  go rule.Grammar.rhs children []
+
+let nonterminals rule =
+  List.filter_map (function Grammar.N c -> Some c | Grammar.L _ -> None) rule.Grammar.rhs
+
+(* One sampling attempt for [rule] at [depth]: at least one child must have
+   depth exactly [depth - 1]. *)
+let sample_children rng tbl rule depth : Derivation.t list option =
+  let nts = nonterminals rule in
+  if nts = [] then None
+  else begin
+    let n = List.length nts in
+    let forced = Genie_util.Rng.int rng n in
+    let pick i cat =
+      if i = forced then
+        let arr = derivs tbl cat (depth - 1) in
+        if Array.length arr = 0 then None else Some (Genie_util.Rng.pick_array rng arr)
+      else begin
+        (* uniform over depths < depth that are populated *)
+        let choices = ref [] in
+        for d = 0 to depth - 1 do
+          if Array.length (derivs tbl cat d) > 0 then choices := d :: !choices
+        done;
+        match !choices with
+        | [] -> None
+        | ds ->
+            let d = Genie_util.Rng.pick rng ds in
+            Some (Genie_util.Rng.pick_array rng (derivs tbl cat d))
+      end
+    in
+    let rec go i cats acc =
+      match cats with
+      | [] -> Some (List.rev acc)
+      | cat :: rest -> (
+          match pick i cat with
+          | None -> None
+          | Some d -> go (i + 1) rest (d :: acc))
+    in
+    go 0 nts []
+  end
+
+let apply_rule rule children depth : Derivation.t option =
+  match rule.Grammar.sem children with
+  | None -> None
+  | Some { Grammar.value; tokens_override } ->
+      let tokens =
+        match tokens_override with
+        | Some toks -> toks
+        | None -> rule_tokens rule children
+      in
+      Some
+        { Derivation.tokens;
+          value;
+          depth;
+          fns = List.concat_map (fun c -> c.Derivation.fns) children }
+
+let synthesize_derivations (g : Grammar.t) (cfg : config) : Derivation.t list =
+  let rng = Genie_util.Rng.create cfg.seed in
+  let tbl : table = Hashtbl.create 64 in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  (* depth 0: terminals *)
+  Hashtbl.iter
+    (fun cat ds ->
+      List.iter (fun d -> Hashtbl.replace seen (cat ^ "|" ^ Derivation.key d) ()) ds;
+      Hashtbl.replace tbl (cat, 0) (Array.of_list ds))
+    g.Grammar.terminals;
+  let rules =
+    List.filter (fun r -> flag_enabled cfg.purpose r.Grammar.flag) g.Grammar.rules
+  in
+  for depth = 1 to cfg.max_depth do
+    let produced : (string, Derivation.t list ref) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun rule ->
+        let budget =
+          Genie_util.Rng.budget_for_depth ~target:cfg.target_per_rule ~depth:(depth - 1)
+        in
+        (* extra attempts compensate for semantic-function rejections *)
+        let attempts = budget * 3 in
+        let accepted = ref 0 in
+        let attempt = ref 0 in
+        while !accepted < budget && !attempt < attempts do
+          incr attempt;
+          match sample_children rng tbl rule depth with
+          | None -> ()
+          | Some children -> (
+              match apply_rule rule children depth with
+              | None -> ()
+              | Some d ->
+                  let k = rule.Grammar.lhs ^ "|" ^ Derivation.key d in
+                  if not (Hashtbl.mem seen k) then begin
+                    Hashtbl.replace seen k ();
+                    incr accepted;
+                    let cell =
+                      match Hashtbl.find_opt produced rule.Grammar.lhs with
+                      | Some c -> c
+                      | None ->
+                          let c = ref [] in
+                          Hashtbl.replace produced rule.Grammar.lhs c;
+                          c
+                    in
+                    cell := d :: !cell
+                  end)
+        done)
+      rules;
+    Hashtbl.iter (fun cat ds -> Hashtbl.replace tbl (cat, depth) (Array.of_list !ds)) produced
+  done;
+  derivs_upto tbl g.Grammar.start cfg.max_depth
+
+(* The synthesized (sentence tokens, program) pairs. *)
+let synthesize (g : Grammar.t) (cfg : config) :
+    (string list * Genie_thingtalk.Ast.program) list =
+  List.filter_map
+    (fun (d : Derivation.t) ->
+      match d.value with
+      | Derivation.V_frag (Genie_thingtalk.Ast.F_program p) -> Some (d.Derivation.tokens, p)
+      | _ -> None)
+    (synthesize_derivations g cfg)
+
+(* Programs only, for pretraining the decoder language model on a much larger
+   program space (section 4.2). *)
+let synthesize_programs (g : Grammar.t) (cfg : config) : Genie_thingtalk.Ast.program list =
+  List.map snd (synthesize g cfg)
+
+(* TACL policies (a grammar with start symbol "policy"). *)
+let synthesize_policies (g : Grammar.t) (cfg : config) :
+    (string list * Genie_thingtalk.Ast.policy) list =
+  List.filter_map
+    (fun (d : Derivation.t) ->
+      match d.value with
+      | Derivation.V_frag (Genie_thingtalk.Ast.F_policy p) -> Some (d.Derivation.tokens, p)
+      | _ -> None)
+    (synthesize_derivations g cfg)

@@ -1,0 +1,37 @@
+(** Randomized, depth-bounded synthesis by sampling (paper section 3.1).
+
+    Exhaustive enumeration grows exponentially with depth and library size, so
+    the engine samples a configurable number of derivations per construct
+    template, with a budget that halves at each depth: many low-depth
+    derivations provide breadth, fewer high-depth ones add variance and
+    expand the set of recognized programs. *)
+
+type config = {
+  max_depth : int;  (** the paper uses 5 *)
+  target_per_rule : int;  (** sampling target per construct template *)
+  seed : int;
+  purpose : [ `Training | `Paraphrase ];
+      (** which per-template flag subsets to include (section 3.1) *)
+}
+
+val default_config : config
+
+val synthesize_derivations :
+  Genie_templates.Grammar.t -> config -> Genie_templates.Derivation.t list
+(** All start-category derivations, deduplicated by (sentence, semantics). *)
+
+val synthesize :
+  Genie_templates.Grammar.t -> config ->
+  (string list * Genie_thingtalk.Ast.program) list
+(** The synthesized (sentence tokens, program) pairs. Every program
+    type-checks (the semantic functions reject ill-typed combinations). *)
+
+val synthesize_programs :
+  Genie_templates.Grammar.t -> config -> Genie_thingtalk.Ast.program list
+(** Programs only: the corpus for pretraining the decoder language model on a
+    much larger program space (section 4.2). *)
+
+val synthesize_policies :
+  Genie_templates.Grammar.t -> config ->
+  (string list * Genie_thingtalk.Ast.policy) list
+(** TACL policies, for grammars whose start symbol is ["policy"]. *)

@@ -1,0 +1,45 @@
+(* Derivations: the intermediate values produced while expanding templates.
+
+   A derivation pairs an utterance (token list) with a semantic value. Most
+   values are ThingTalk fragments; "functional" values are invocations with a
+   single unfilled input parameter (a hole), which later rules fill either
+   with a sub-phrase (join / parameter passing) or with an anaphoric "it". *)
+
+open Genie_thingtalk
+
+type dvalue =
+  | V_frag of Ast.fragment
+  (* an invocation whose [hole_ip] input parameter is not yet filled *)
+  | V_fun of { inv : Ast.invocation; hole_ip : string; hole_ty : Ttype.t; is_query : bool }
+
+type t = {
+  tokens : string list; (* "$x" marks the hole of a V_fun *)
+  value : dvalue;
+  depth : int;
+  fns : Ast.Fn.t list; (* skill functions mentioned, for sampling statistics *)
+}
+
+let hole_token = "$x"
+
+let substitute_hole tokens replacement =
+  List.concat_map (fun t -> if t = hole_token then replacement else [ t ]) tokens
+
+let sentence d = String.concat " " d.tokens
+
+let fragment_program = function
+  | Ast.F_program p -> Some p
+  | _ -> None
+
+let value_key (v : dvalue) =
+  match v with
+  | V_frag (Ast.F_program p) -> "prog:" ^ Printer.program_to_string p
+  | V_frag (Ast.F_query q) -> "query:" ^ Printer.query_to_string q
+  | V_frag (Ast.F_stream s) -> "stream:" ^ Printer.stream_to_string s
+  | V_frag (Ast.F_action a) -> "action:" ^ Printer.action_to_string a
+  | V_frag (Ast.F_predicate p) -> "pred:" ^ Printer.predicate_to_string p
+  | V_frag (Ast.F_policy p) -> "policy:" ^ Printer.policy_to_string p
+  | V_frag (Ast.F_value v) -> "value:" ^ Value.to_string v
+  | V_fun { inv; hole_ip; _ } ->
+      Printf.sprintf "fun:%s/%s" (Printer.invocation_to_string inv) hole_ip
+
+let key d = sentence d ^ " || " ^ value_key d.value

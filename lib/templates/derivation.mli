@@ -1,0 +1,37 @@
+(** Derivations: the intermediate values produced while expanding templates.
+
+    A derivation pairs an utterance (token list) with a semantic value. Most
+    values are ThingTalk fragments; {e functional} values are invocations
+    with one unfilled input parameter (a hole), which later rules fill with a
+    sub-phrase (building a join with parameter passing) or anaphorically
+    ("post {e it} on twitter"). *)
+
+open Genie_thingtalk
+
+type dvalue =
+  | V_frag of Ast.fragment
+  | V_fun of {
+      inv : Ast.invocation;
+      hole_ip : string;
+      hole_ty : Ttype.t;
+      is_query : bool;
+    }
+
+type t = {
+  tokens : string list;  (** {!hole_token} marks a V_fun's hole *)
+  value : dvalue;
+  depth : int;
+  fns : Ast.Fn.t list;  (** skill functions used, for sampling statistics *)
+}
+
+val hole_token : string
+
+val substitute_hole : string list -> string list -> string list
+(** Replaces every {!hole_token} with the replacement tokens. *)
+
+val sentence : t -> string
+val fragment_program : Ast.fragment -> Ast.program option
+
+val value_key : dvalue -> string
+val key : t -> string
+(** The deduplication key: sentence plus semantics. *)

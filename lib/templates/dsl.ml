@@ -1,0 +1,158 @@
+(* A text format for construct templates, mirroring the paper's notation:
+
+     command := 'get' np -> get_np
+     wp := 'when' np 'changes' -> monitor_np
+     np := np pred -> filter_np
+
+   Literals are quoted; bare words are grammar categories; the name after the
+   arrow selects a semantic function from a registry. Lines starting with '#'
+   are comments. An optional trailing [training] / [paraphrase] flag restricts
+   the template to one synthesis purpose (section 3.1). *)
+
+type sem_registry = (string * (Derivation.t list -> Grammar.sem_result option)) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* splits a rule body into literal and non-terminal symbols *)
+let parse_rhs (s : string) : Grammar.symbol list =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' then incr i
+    else if c = '\'' then begin
+      (* quoted literal; may contain spaces *)
+      let j = try String.index_from s (!i + 1) '\'' with Not_found -> fail "unterminated literal in %S" s in
+      out := Grammar.L (String.sub s (!i + 1) (j - !i - 1)) :: !out;
+      i := j + 1
+    end
+    else begin
+      let j = try String.index_from s !i ' ' with Not_found -> n in
+      out := Grammar.N (String.sub s !i (j - !i)) :: !out;
+      i := j
+    end
+  done;
+  List.rev !out
+
+let parse_line ~(registry : sem_registry) ~index (line : string) :
+    Grammar.rule option =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    match Genie_util.Tok.split_on_string ~sep:":=" line with
+    | [ lhs; rest ] -> (
+        let lhs = String.trim lhs in
+        match Genie_util.Tok.split_on_string ~sep:"->" rest with
+        | [ rhs; sem_part ] ->
+            let sem_part = String.trim sem_part in
+            let sem_name, flag =
+              match String.split_on_char ' ' sem_part with
+              | [ name ] -> (name, Grammar.Both)
+              | [ name; "[training]" ] -> (name, Grammar.Training_only)
+              | [ name; "[paraphrase]" ] -> (name, Grammar.Paraphrase_only)
+              | _ -> fail "malformed semantic-function reference %S" sem_part
+            in
+            let sem =
+              match List.assoc_opt sem_name registry with
+              | Some f -> f
+              | None -> fail "unknown semantic function %S" sem_name
+            in
+            Some
+              { Grammar.name = Printf.sprintf "dsl_%d_%s" index sem_name;
+                lhs;
+                rhs = parse_rhs (String.trim rhs);
+                sem;
+                flag }
+        | _ -> fail "expected exactly one '->' in %S" line)
+    | _ -> fail "expected exactly one ':=' in %S" line
+
+(* Parses a whole template file into rules. *)
+let parse ~(registry : sem_registry) (src : string) : Grammar.rule list =
+  List.filteri (fun _ _ -> true) (String.split_on_char '\n' src)
+  |> List.mapi (fun i line -> parse_line ~registry ~index:i line)
+  |> List.filter_map Fun.id
+
+(* The semantic functions of the standard ThingTalk rule set, by name, so the
+   whole grammar can be written in the text format. *)
+let standard_registry lib : sem_registry =
+  [ ("get_np", Rules_thingtalk.sem_get_np);
+    ("list_np", Rules_thingtalk.sem_list_np lib);
+    ("do_vp", Rules_thingtalk.sem_do_vp);
+    ("when_notify", Rules_thingtalk.sem_when_notify);
+    ("when_do", Rules_thingtalk.sem_when_do);
+    ("when_get", Rules_thingtalk.sem_when_get);
+    ("get_when", Rules_thingtalk.sem_get_when);
+    ("monitor_np", Rules_thingtalk.sem_monitor_np lib);
+    ("monitor_new_np", Rules_thingtalk.sem_monitor_new_np lib);
+    ("filter_np", Rules_thingtalk.sem_filter_np lib);
+    ("filter_wp", Rules_thingtalk.sem_filter_wp lib);
+    ("edge", Rules_thingtalk.sem_edge lib);
+    ("attimer", Rules_thingtalk.sem_attimer);
+    ("timer", Rules_thingtalk.sem_timer);
+    ("apply_np_fun", Rules_thingtalk.sem_apply_np_fun lib);
+    ("apply_qvp_fun", Rules_thingtalk.sem_apply_qvp_fun lib);
+    ("apply_vp_fun", Rules_thingtalk.sem_apply_vp_fun lib);
+    ("get_and_do_it", Rules_thingtalk.sem_get_and_do_it lib);
+    ("when_do_it", Rules_thingtalk.sem_when_do_it lib);
+    ("qvp_command", Rules_thingtalk.sem_qvp_command) ]
+
+(* The standard ThingTalk construct templates, written in the DSL itself;
+   parsing this with [standard_registry] yields a grammar equivalent to
+   [Rules_thingtalk.rules]. *)
+let thingtalk_source =
+  {|# primitive query commands
+command := 'get' np -> get_np
+command := 'show me' np -> get_np
+command := 'what is' np -> get_np
+command := 'tell me' np -> get_np
+command := 'i want to see' np -> get_np
+command := np -> get_np [training]
+command := 'list' np -> list_np
+command := 'enumerate' np -> list_np
+command := qvp -> qvp_command
+# primitive action commands
+command := vp -> do_vp
+command := 'please' vp -> do_vp
+command := 'can you' vp -> do_vp
+command := 'i want to' vp -> do_vp
+# monitor commands
+command := 'notify me' wp -> when_notify
+command := wp ', notify me' -> when_notify
+command := 'let me know' wp -> when_notify
+command := 'alert me' wp -> when_notify
+# when-do compounds, both orders
+command := wp ',' vp -> when_do
+command := vp wp -> when_do
+# when-get compounds
+command := wp ', get' np -> when_get
+command := wp ', show me' np -> when_get
+command := 'get' np wp -> get_when
+command := 'show me' np wp -> get_when
+# streams from queries
+wp := 'when' np 'changes' -> monitor_np
+wp := 'when' np 'change' -> monitor_np
+wp := 'when there is a new' np -> monitor_new_np
+wp := 'whenever' np 'changes' -> monitor_np
+# edge filters
+wp := 'when' epred 'in' np -> edge
+# timers
+wp := 'every day at' time -> attimer
+wp := 'once a day at' time -> attimer
+wp := 'every' interval -> timer
+# filters
+np := np pred -> filter_np
+np := 'only' np pred -> filter_np
+wp := wp pred -> filter_wp
+# joins / parameter passing
+np := np_fun np -> apply_np_fun
+command := qvp_fun np -> apply_qvp_fun
+command := 'get' np vp_fun -> get_and_do_it
+command := vp_fun np -> apply_vp_fun
+command := wp vp_fun -> when_do_it
+|}
+
+let thingtalk_rules lib : Grammar.rule list =
+  parse ~registry:(standard_registry lib) thingtalk_source

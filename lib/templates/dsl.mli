@@ -1,0 +1,35 @@
+(** A text format for construct templates, mirroring the paper's notation
+    ([lhs := (literal | rhs)+ -> sf], section 3.1):
+
+    {v
+command := 'get' np -> get_np
+wp := 'when' np 'changes' -> monitor_np
+np := np pred -> filter_np
+command := np -> get_np [training]
+    v}
+
+    Quoted words are literals, bare words are grammar categories, and the
+    name after the arrow selects a semantic function from a registry. An
+    optional [[training]] / [[paraphrase]] flag restricts the template to one
+    synthesis purpose; ['#'] starts a comment. *)
+
+type sem_registry =
+  (string * (Derivation.t list -> Grammar.sem_result option)) list
+
+exception Parse_error of string
+
+val parse_rhs : string -> Grammar.symbol list
+
+val parse : registry:sem_registry -> string -> Grammar.rule list
+(** Parses a template file. Raises {!Parse_error} on malformed lines or
+    unknown semantic functions. *)
+
+val standard_registry : Genie_thingtalk.Schema.Library.t -> sem_registry
+(** The named semantic functions of the standard ThingTalk rule set. *)
+
+val thingtalk_source : string
+(** The standard ThingTalk construct templates, written in the DSL. *)
+
+val thingtalk_rules : Genie_thingtalk.Schema.Library.t -> Grammar.rule list
+(** [parse ~registry:(standard_registry lib) thingtalk_source]: equivalent to
+    {!Rules_thingtalk.rules} (tested rule for rule). *)

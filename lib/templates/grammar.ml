@@ -1,0 +1,299 @@
+(* The NL-template grammar: construct templates (rules) over grammar
+   categories, plus the terminal derivations obtained by instantiating
+   primitive templates with sampled parameter values.
+
+   A construct template has the form of the paper's
+
+     lhs := [literal | vn : rhs]+ -> sf
+
+   where the semantic function [sf] may reject a combination (return None,
+   the paper's bottom) to enforce typing constraints such as monitorability. *)
+
+open Genie_thingtalk
+open Genie_thingpedia
+
+type symbol = L of string (* literal words, space separated *) | N of string
+
+type sem_result = {
+  value : Derivation.dvalue;
+  (* tokens are normally the concatenation of the RHS; rules that substitute
+     into a hole override them *)
+  tokens_override : string list option;
+}
+
+type flag = Both | Training_only | Paraphrase_only
+
+type rule = {
+  name : string;
+  lhs : string;
+  rhs : symbol list;
+  sem : Derivation.t list -> sem_result option;
+  flag : flag;
+}
+
+type t = {
+  lib : Schema.Library.t;
+  rules : rule list;
+  terminals : (string, Derivation.t list) Hashtbl.t;
+  start : string;
+}
+
+let ok value = Some { value; tokens_override = None }
+let ok_tokens value tokens = Some { value; tokens_override = Some tokens }
+
+(* --- accessors used by semantic functions -------------------------------- *)
+
+let as_query (d : Derivation.t) =
+  match d.value with Derivation.V_frag (Ast.F_query q) -> Some q | _ -> None
+
+let as_stream (d : Derivation.t) =
+  match d.value with Derivation.V_frag (Ast.F_stream s) -> Some s | _ -> None
+
+let as_action (d : Derivation.t) =
+  match d.value with Derivation.V_frag (Ast.F_action a) -> Some a | _ -> None
+
+let as_pred (d : Derivation.t) =
+  match d.value with Derivation.V_frag (Ast.F_predicate p) -> Some p | _ -> None
+
+let as_value (d : Derivation.t) =
+  match d.value with Derivation.V_frag (Ast.F_value v) -> Some v | _ -> None
+
+let as_program (d : Derivation.t) =
+  match d.value with Derivation.V_frag (Ast.F_program p) -> Some p | _ -> None
+
+(* --- terminal generation --------------------------------------------------- *)
+
+let prim_category (p : Prim.t) ~(is_action : bool) =
+  match (p.Prim.category, is_action) with
+  | Prim.Np, _ -> "np"
+  | Prim.Vp, true -> "vp"
+  | Prim.Vp, false -> "qvp"
+  | Prim.Wp, _ -> "wp"
+
+(* Instantiate a primitive template with sampled placeholder values. *)
+let instantiate_prim_with_cat rng (p : Prim.t) : (Derivation.t * string) option =
+  let env = List.map (fun (name, ty) -> (name, Values.sample rng ty)) p.Prim.params in
+  match p.Prim.build env with
+  | None -> None
+  | Some frag ->
+      let is_action = match frag with Ast.F_action _ -> true | _ -> false in
+      let sentence = Prim.instantiate_utterance p.Prim.utterance env in
+      Some
+        ( { Derivation.tokens = Genie_util.Tok.tokenize sentence;
+            value = Derivation.V_frag frag;
+            depth = 0;
+            fns = [ p.Prim.fn ] },
+          prim_category p ~is_action )
+
+(* A functional derivation: the single placeholder becomes a hole. *)
+let fun_derivation (p : Prim.t) : (Derivation.t * string) option =
+  match p.Prim.params with
+  | [ (ph, hole_ty) ] -> (
+      match p.Prim.build [] with
+      | Some (Ast.F_query (Ast.Q_invoke inv)) | Some (Ast.F_action (Ast.A_invoke inv)) -> (
+          let is_query =
+            match p.Prim.build [] with Some (Ast.F_query _) -> true | _ -> false
+          in
+          (* the hole is the input parameter left Undefined by the empty env *)
+          let hole =
+            List.find_opt
+              (fun ip -> ip.Ast.ip_value = Ast.Constant Value.Undefined)
+              inv.Ast.in_params
+          in
+          match hole with
+          | None -> None
+          | Some hole_ip ->
+              let tokens =
+                List.map
+                  (fun tok -> if tok = "$" ^ ph then Derivation.hole_token else tok)
+                  (String.split_on_char ' ' p.Prim.utterance)
+              in
+              let category =
+                match p.Prim.category with
+                | Prim.Np -> "np_fun"
+                | Prim.Vp -> if is_query then "qvp_fun" else "vp_fun"
+                | Prim.Wp -> "wp_fun"
+              in
+              Some
+                ( { Derivation.tokens;
+                    value =
+                      Derivation.V_fun
+                        { inv; hole_ip = hole_ip.Ast.ip_name; hole_ty; is_query };
+                    depth = 0;
+                    fns = [ p.Prim.fn ] },
+                  category ))
+      | _ -> None)
+  | _ -> None
+
+(* The rhs value type a filter phrase needs. *)
+let phrase_rhs_type (ph : Phrases.phrase) (param_ty : Ttype.t) : Ttype.t =
+  match ph.Phrases.op with
+  | Ast.Op_substr | Ast.Op_starts_with | Ast.Op_ends_with -> Ttype.String
+  | Ast.Op_contains -> (
+      match param_ty with Ttype.Array elt -> elt | ty -> ty)
+  | _ -> param_ty
+
+(* Predicate terminals from the phrase tables, over all output parameters of
+   the library. *)
+let pred_terminals lib rng ~samples : Derivation.t list =
+  let seen = Hashtbl.create 256 in
+  let out = ref [] in
+  List.iter
+    (fun (f : Schema.func) ->
+      List.iter
+        (fun (prm : Schema.param) ->
+          let name = prm.Schema.p_name and ty = prm.Schema.p_type in
+          if not (Hashtbl.mem seen (name, ty)) then begin
+            Hashtbl.replace seen (name, ty) ();
+            List.iter
+              (fun (ph : Phrases.phrase) ->
+                for _ = 1 to samples do
+                  let rhs =
+                    match (ph.Phrases.constr, ty) with
+                    | Phrases.C_bool, _ -> Value.Boolean true
+                    | _, ty -> Values.sample rng (phrase_rhs_type ph ty)
+                  in
+                  let sentence =
+                    Prim.instantiate_utterance ph.Phrases.pattern [ ("v", rhs) ]
+                  in
+                  let pred = Ast.P_atom { lhs = name; op = ph.Phrases.op; rhs } in
+                  out :=
+                    { Derivation.tokens = Genie_util.Tok.tokenize sentence;
+                      value = Derivation.V_frag (Ast.F_predicate pred);
+                      depth = 0;
+                      fns = [] }
+                    :: !out
+                done)
+              (Phrases.phrases_for ~name ~ty)
+          end)
+        (Schema.out_params f))
+    (Schema.Library.functions lib);
+  !out
+
+(* Edge-predicate terminals for numeric output parameters. *)
+let epred_terminals lib rng ~samples : Derivation.t list =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  List.iter
+    (fun (f : Schema.func) ->
+      List.iter
+        (fun (prm : Schema.param) ->
+          let name = prm.Schema.p_name and ty = prm.Schema.p_type in
+          if Ttype.is_numeric ty && not (Hashtbl.mem seen (name, ty)) then begin
+            Hashtbl.replace seen (name, ty) ();
+            List.iter
+              (fun (pattern, op) ->
+                for _ = 1 to samples do
+                  let rhs = Values.sample rng ty in
+                  let sentence = Prim.instantiate_utterance pattern [ ("v", rhs) ] in
+                  out :=
+                    { Derivation.tokens = Genie_util.Tok.tokenize sentence;
+                      value = Derivation.V_frag (Ast.F_predicate (Ast.P_atom { lhs = name; op; rhs }));
+                      depth = 0;
+                      fns = [] }
+                    :: !out
+                done)
+              (Phrases.edge_phrases ~name)
+          end)
+        (Schema.out_params f))
+    (Schema.Library.functions lib);
+  !out
+
+let value_terminal v tokens =
+  { Derivation.tokens; value = Derivation.V_frag (Ast.F_value v); depth = 0; fns = [] }
+
+let time_terminals () =
+  List.map
+    (fun (h, m) ->
+      let v = Value.Time (h, m) in
+      value_terminal v (Genie_util.Tok.tokenize (Prim.render_value v)))
+    Values.times
+
+let interval_terminals () =
+  List.map
+    (fun (n, u) ->
+      let v = Value.Measure [ (n, u) ] in
+      value_terminal v (Genie_util.Tok.tokenize (Prim.render_value v)))
+    (Values.measure_pool "ms")
+
+(* Build the terminal table from a primitive-template set. *)
+let build_terminals lib ~prims ~rng ~samples_per_template : (string, Derivation.t list) Hashtbl.t =
+  let tbl : (string, Derivation.t list) Hashtbl.t = Hashtbl.create 16 in
+  let add cat d =
+    let cur = try Hashtbl.find tbl cat with Not_found -> [] in
+    Hashtbl.replace tbl cat (d :: cur)
+  in
+  List.iter
+    (fun p ->
+      (* fully instantiated derivations *)
+      for _ = 1 to max 1 samples_per_template do
+        match instantiate_prim_with_cat rng p with
+        | Some (d, cat) -> add cat d
+        | None -> ()
+      done;
+      (* functional derivation with a hole *)
+      match fun_derivation p with
+      | Some (d, cat) -> add cat d
+      | None -> ())
+    prims;
+  List.iter (add "pred") (pred_terminals lib rng ~samples:1);
+  List.iter (add "epred") (epred_terminals lib rng ~samples:1);
+  List.iter (add "time") (time_terminals ());
+  List.iter (add "interval") (interval_terminals ());
+  (* deduplicate *)
+  Hashtbl.iter
+    (fun cat ds ->
+      let seen = Hashtbl.create 64 in
+      let ds =
+        List.filter
+          (fun d ->
+            let k = Derivation.key d in
+            if Hashtbl.mem seen k then false else (Hashtbl.replace seen k (); true))
+          ds
+      in
+      Hashtbl.replace tbl cat ds)
+    (Hashtbl.copy tbl);
+  tbl
+
+let create lib ~prims ~rules ~rng ?(samples_per_template = 2) ?(start = "command")
+    ?(extra_terminals = []) () =
+  let terminals = build_terminals lib ~prims ~rng ~samples_per_template in
+  List.iter
+    (fun (cat, ds) ->
+      let cur = try Hashtbl.find terminals cat with Not_found -> [] in
+      Hashtbl.replace terminals cat (ds @ cur))
+    extra_terminals;
+  { lib; rules; terminals; start }
+
+let terminals t cat = try Hashtbl.find t.terminals cat with Not_found -> []
+
+(* --- shared semantic helpers ----------------------------------------------- *)
+
+(* Select an output parameter of [outs] to fill a hole of type [hole_ty] named
+   [hole_ip]: exact name match first, then a type-assignable parameter
+   (unique preferred, first otherwise). *)
+let pick_out_for_hole ~outs ~hole_ip ~hole_ty =
+  match List.assoc_opt hole_ip outs with
+  | Some ty when Ttype.strictly_assignable ~src:ty ~dst:hole_ty -> Some hole_ip
+  | _ -> (
+      let assignable =
+        List.filter (fun (_, ty) -> Ttype.strictly_assignable ~src:ty ~dst:hole_ty) outs
+      in
+      match assignable with
+      | [] -> None
+      | (n, _) :: _ -> Some n)
+
+(* Remove the unfilled hole parameter from an invocation. *)
+let drop_hole inv ~hole_ip =
+  { inv with
+    Ast.in_params =
+      List.filter (fun ip -> ip.Ast.ip_name <> hole_ip) inv.Ast.in_params }
+
+let fill_hole_passed inv ~hole_ip ~out_name =
+  { inv with
+    Ast.in_params =
+      List.map
+        (fun ip ->
+          if ip.Ast.ip_name = hole_ip then { ip with Ast.ip_value = Ast.Passed out_name }
+          else ip)
+        inv.Ast.in_params }

@@ -1,0 +1,77 @@
+(** The NL-template grammar: construct templates over grammar categories,
+    plus terminal derivations from instantiated primitive templates.
+
+    A construct template has the paper's form
+    [lhs := (literal | v : rhs)+ -> sf] where the semantic function may
+    reject a combination (return [None], the paper's bottom) to enforce
+    typing constraints such as monitorability (section 3.1). *)
+
+open Genie_thingtalk
+
+type symbol =
+  | L of string  (** literal words, space-separated *)
+  | N of string  (** a grammar category *)
+
+type sem_result = {
+  value : Derivation.dvalue;
+  tokens_override : string list option;
+      (** rules that substitute into a hole provide their own tokens;
+          otherwise tokens are the concatenation of the RHS *)
+}
+
+(** Per-template subset flags (section 3.1): developers may reserve templates
+    for training or for paraphrasing. *)
+type flag = Both | Training_only | Paraphrase_only
+
+type rule = {
+  name : string;
+  lhs : string;
+  rhs : symbol list;
+  sem : Derivation.t list -> sem_result option;
+  flag : flag;
+}
+
+type t = {
+  lib : Schema.Library.t;
+  rules : rule list;
+  terminals : (string, Derivation.t list) Hashtbl.t;
+  start : string;
+}
+
+val create :
+  Schema.Library.t ->
+  prims:Genie_thingpedia.Prim.t list ->
+  rules:rule list ->
+  rng:Genie_util.Rng.t ->
+  ?samples_per_template:int ->
+  ?start:string ->
+  ?extra_terminals:(string * Derivation.t list) list ->
+  unit ->
+  t
+(** Builds the terminal table: each primitive template is instantiated with
+    sampled parameter values (categories np / qvp / vp / wp), single-
+    placeholder templates additionally yield functional derivations with a
+    hole (np_fun / qvp_fun / vp_fun); predicate, edge-predicate, time and
+    interval terminals are generated from the library's signatures and the
+    phrase tables. *)
+
+val terminals : t -> string -> Derivation.t list
+
+(** {2 Helpers for semantic functions} *)
+
+val ok : Derivation.dvalue -> sem_result option
+val ok_tokens : Derivation.dvalue -> string list -> sem_result option
+val as_query : Derivation.t -> Ast.query option
+val as_stream : Derivation.t -> Ast.stream option
+val as_action : Derivation.t -> Ast.action option
+val as_pred : Derivation.t -> Ast.predicate option
+val as_value : Derivation.t -> Value.t option
+val as_program : Derivation.t -> Ast.program option
+
+val pick_out_for_hole :
+  outs:(string * Ttype.t) list -> hole_ip:string -> hole_ty:Ttype.t -> string option
+(** Chooses an output parameter to fill a hole: exact name match first, then
+    the first strictly-assignable output. *)
+
+val drop_hole : Ast.invocation -> hole_ip:string -> Ast.invocation
+val fill_hole_passed : Ast.invocation -> hole_ip:string -> out_name:string -> Ast.invocation

@@ -1,0 +1,106 @@
+(* Filter and edge-filter phrase tables.
+
+   These correspond to the paper's 68 construct templates for filters and
+   parameters: natural ways to express a boolean predicate on an output
+   parameter. The table is keyed by parameter name; a generic fallback covers
+   every other output parameter of the library, so filters are available for
+   all functions. *)
+
+open Genie_thingtalk
+
+(* phrase pattern with $v for the value, the comparison op it denotes, and a
+   coarse type constraint *)
+type constraint_ = C_any | C_string | C_numeric | C_date | C_array | C_bool | C_enum
+
+type phrase = { pattern : string; op : Ast.comp_op; constr : constraint_ }
+
+let p pattern op constr = { pattern; op; constr }
+
+let by_param : (string * phrase list) list =
+  [ ("author", [ p "from $v" Ast.Op_eq C_any; p "by $v" Ast.Op_eq C_any ]);
+    ("sender", [ p "from $v" Ast.Op_eq C_any ]);
+    ("sender_name", [ p "from $v" Ast.Op_eq C_any; p "sent by $v" Ast.Op_eq C_any ]);
+    ("sender_address", [ p "from the address $v" Ast.Op_eq C_any ]);
+    ("organizer", [ p "organized by $v" Ast.Op_eq C_any ]);
+    ("artist", [ p "by $v" Ast.Op_eq C_any; p "from $v" Ast.Op_eq C_any ]);
+    ("title",
+      [ p "titled $v" Ast.Op_eq C_string; p "with $v in the title" Ast.Op_substr C_string ]);
+    ("subject",
+      [ p "with subject $v" Ast.Op_eq C_string; p "about $v" Ast.Op_substr C_string ]);
+    ("text", [ p "containing $v" Ast.Op_substr C_string; p "that mention $v" Ast.Op_substr C_string ]);
+    ("body", [ p "containing $v" Ast.Op_substr C_string ]);
+    ("message", [ p "saying $v" Ast.Op_substr C_string ]);
+    ("caption", [ p "captioned $v" Ast.Op_substr C_string ]);
+    ("content", [ p "about $v" Ast.Op_substr C_string ]);
+    ("description", [ p "described as $v" Ast.Op_substr C_string ]);
+    ("summary", [ p "mentioning $v" Ast.Op_substr C_string ]);
+    ("snippet", [ p "that talk about $v" Ast.Op_substr C_string ]);
+    ("hashtags", [ p "with hashtag $v" Ast.Op_contains C_array ]);
+    ("labels", [ p "labeled $v" Ast.Op_contains C_array ]);
+    ("file_name", [ p "named $v" Ast.Op_eq C_string ]);
+    ("full_path", [ p "at path $v" Ast.Op_eq C_string ]);
+    ("file_size",
+      [ p "bigger than $v" Ast.Op_gt C_numeric; p "smaller than $v" Ast.Op_lt C_numeric ]);
+    ("modified_time",
+      [ p "modified after $v" Ast.Op_gt C_date; p "modified before $v" Ast.Op_lt C_date;
+        p "that changed since $v" Ast.Op_gt C_date ]);
+    ("start_date", [ p "starting after $v" Ast.Op_gt C_date ]);
+    ("due_date", [ p "due before $v" Ast.Op_lt C_date ]);
+    ("start_time", [ p "after $v" Ast.Op_gt C_date ]);
+    ("temperature",
+      [ p "above $v" Ast.Op_gt C_numeric; p "below $v" Ast.Op_lt C_numeric ]);
+    ("is_important", [ p "that are important" Ast.Op_eq C_bool ]);
+    ("is_folder", [ p "that are folders" Ast.Op_eq C_bool ]);
+    ("has_person", [ p "with a person in them" Ast.Op_eq C_bool ]);
+    ("score", [ p "with more than $v points" Ast.Op_gt C_numeric ]);
+    ("rating", [ p "rated at least $v stars" Ast.Op_geq C_numeric ]);
+    ("steps", [ p "above $v" Ast.Op_gt C_numeric ]);
+    ("tempo",
+      [ p "faster than $v" Ast.Op_gt C_numeric; p "slower than $v" Ast.Op_lt C_numeric ]);
+    ("energy", [ p "more energetic than $v" Ast.Op_gt C_numeric ]);
+    ("popularity", [ p "more popular than $v" Ast.Op_gt C_numeric ]);
+    ("status", [ p "that are $v" Ast.Op_eq C_enum ]);
+    ("state", [ p "that are $v" Ast.Op_eq C_enum ]);
+    ("category", [ p "in $v" Ast.Op_eq C_any ]);
+    ("section", [ p "in the $v section" Ast.Op_eq C_any ]);
+    ("location", [ p "in $v" Ast.Op_eq C_any ]);
+    ("price_range", [ p "that are $v" Ast.Op_eq C_enum ]) ]
+
+(* Generic fallbacks available for any output parameter [name]. *)
+let generic name : phrase list =
+  let name_words = String.map (fun c -> if c = '_' then ' ' else c) name in
+  [ { pattern = Printf.sprintf "with %s equal to $v" name_words; op = Ast.Op_eq; constr = C_any };
+    { pattern = Printf.sprintf "whose %s is $v" name_words; op = Ast.Op_eq; constr = C_any };
+    { pattern = Printf.sprintf "with %s greater than $v" name_words; op = Ast.Op_gt; constr = C_numeric };
+    { pattern = Printf.sprintf "with %s less than $v" name_words; op = Ast.Op_lt; constr = C_numeric };
+    { pattern = Printf.sprintf "with $v in the %s" name_words; op = Ast.Op_substr; constr = C_string } ]
+
+let type_matches (c : constraint_) (ty : Ttype.t) =
+  match (c, ty) with
+  | C_any, _ -> true
+  | C_string, (Ttype.String | Ttype.Path_name | Ttype.Url | Ttype.Entity _) -> true
+  | C_numeric, (Ttype.Number | Ttype.Currency | Ttype.Measure _) -> true
+  | C_date, Ttype.Date -> true
+  | C_array, Ttype.Array _ -> true
+  | C_bool, Ttype.Boolean -> true
+  | C_enum, Ttype.Enum _ -> true
+  | _ -> false
+
+(* All phrases applicable to an output parameter of the given name and type;
+   named phrases take priority, generic ones provide coverage. *)
+let phrases_for ~name ~(ty : Ttype.t) : phrase list =
+  let named =
+    match List.assoc_opt name by_param with
+    | Some ps -> List.filter (fun p -> type_matches p.constr ty) ps
+    | None -> []
+  in
+  let fallback = List.filter (fun p -> type_matches p.constr ty) (generic name) in
+  if named <> [] then named else fallback
+
+(* Edge-filter phrases for numeric parameters (paper: "each time the
+   temperature drops below 60F"). *)
+let edge_phrases ~name : (string * Ast.comp_op) list =
+  let name_words = String.map (fun c -> if c = '_' then ' ' else c) name in
+  [ (Printf.sprintf "the %s drops below $v" name_words, Ast.Op_lt);
+    (Printf.sprintf "the %s rises above $v" name_words, Ast.Op_gt);
+    (Printf.sprintf "the %s reaches $v" name_words, Ast.Op_geq) ]

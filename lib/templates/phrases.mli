@@ -1,0 +1,22 @@
+(** Filter and edge-filter phrase tables: the paper's construct templates for
+    filters and parameters (68 of them in the reference configuration) --
+    natural ways to express a boolean predicate on an output parameter,
+    keyed by parameter name with typed generic fallbacks so every function
+    gets filters. *)
+
+open Genie_thingtalk
+
+type constraint_ = C_any | C_string | C_numeric | C_date | C_array | C_bool | C_enum
+
+type phrase = { pattern : string; op : Ast.comp_op; constr : constraint_ }
+
+val by_param : (string * phrase list) list
+val generic : string -> phrase list
+val type_matches : constraint_ -> Ttype.t -> bool
+
+val phrases_for : name:string -> ty:Ttype.t -> phrase list
+(** Named phrases when available, generic fallbacks otherwise. *)
+
+val edge_phrases : name:string -> (string * Ast.comp_op) list
+(** "the X drops below $v" and friends, for numeric parameters (the edge
+    filter example of section 2.3). *)

@@ -1,0 +1,76 @@
+(* Construct templates for TT+A, the aggregation extension of section 6.3:
+
+     Query q: agg [max | min | sum | avg] pn of (q) | agg count of (q)
+
+   The paper uses 6 templates and tests aggregation over primitive queries. *)
+
+open Genie_thingtalk
+open Grammar
+
+(* Field terminals: numeric output parameters by their spoken name. *)
+let field_terminals lib : Derivation.t list =
+  let seen = Hashtbl.create 32 in
+  let out = ref [] in
+  List.iter
+    (fun (f : Schema.func) ->
+      List.iter
+        (fun (prm : Schema.param) ->
+          if Ttype.is_numeric prm.Schema.p_type && not (Hashtbl.mem seen prm.Schema.p_name)
+          then begin
+            Hashtbl.replace seen prm.Schema.p_name ();
+            out :=
+              { Derivation.tokens =
+                  Genie_util.Tok.tokenize
+                    (String.map (fun c -> if c = '_' then ' ' else c) prm.Schema.p_name);
+                value = Derivation.V_frag (Ast.F_value (Value.String prm.Schema.p_name));
+                depth = 0;
+                fns = [] }
+              :: !out
+          end)
+        (Schema.out_params f))
+    (Schema.Library.functions lib);
+  !out
+
+(* The field must be a numeric output parameter of the aggregated query. *)
+let check_field lib q field =
+  match List.assoc_opt field (Typecheck.query_out_params lib q) with
+  | Some ty -> Ttype.is_numeric ty
+  | None -> false
+
+let sem_agg lib op = function
+  | [ fld; np ] -> (
+      match (as_value fld, as_query np) with
+      | Some (Value.String field), Some q when check_field lib q field ->
+          ok (Derivation.V_frag (Ast.F_query (Ast.Q_aggregate { op; field = Some field; inner = q })))
+      | _ -> None)
+  | _ -> None
+
+let sem_count lib = function
+  | [ np ] ->
+      Option.bind (as_query np) (fun q ->
+          if Typecheck.query_is_list lib q then
+            ok
+              (Derivation.V_frag
+                 (Ast.F_query (Ast.Q_aggregate { op = Ast.Agg_count; field = None; inner = q })))
+          else None)
+  | _ -> None
+
+let rule name lhs rhs sem = { name; lhs; rhs; sem; flag = Both }
+
+(* The 6 aggregation construct templates. *)
+let rules lib : rule list =
+  [ rule "agg_total" "np" [ L "the total"; N "aggfield"; L "of"; N "np" ] (sem_agg lib Ast.Agg_sum);
+    rule "agg_average" "np" [ L "the average"; N "aggfield"; L "of"; N "np" ] (sem_agg lib Ast.Agg_avg);
+    rule "agg_max" "np" [ L "the highest"; N "aggfield"; L "of"; N "np" ] (sem_agg lib Ast.Agg_max);
+    rule "agg_min" "np" [ L "the lowest"; N "aggfield"; L "of"; N "np" ] (sem_agg lib Ast.Agg_min);
+    rule "agg_count" "np" [ L "the number of"; N "np" ] (sem_count lib);
+    rule "agg_how_many" "command" [ L "how many"; N "np"; L "are there" ]
+      (fun children ->
+        match sem_count lib children with
+        | Some { value = Derivation.V_frag (Ast.F_query q); _ } ->
+            ok
+              (Derivation.V_frag
+                 (Ast.F_program { Ast.stream = Ast.S_now; query = Some q; action = Ast.A_notify }))
+        | _ -> None) ]
+
+let terminals lib = [ ("aggfield", field_terminals lib) ]

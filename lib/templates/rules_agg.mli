@@ -1,0 +1,17 @@
+(** Construct templates for TT+A, the aggregation extension of paper
+    section 6.3:
+
+    {v Query q: agg (max | min | sum | avg) pn of (q) | agg count of (q) v} *)
+
+open Genie_thingtalk
+
+val field_terminals : Schema.Library.t -> Derivation.t list
+(** Numeric output parameters by their spoken names. *)
+
+val rules : Schema.Library.t -> Grammar.rule list
+(** The paper's 6 aggregation templates ("the total X of ...", "the number
+    of ...", "how many ... are there"); semantic functions enforce numeric
+    fields and list-ness. *)
+
+val terminals : Schema.Library.t -> (string * Derivation.t list) list
+(** The extra terminal table entry ("aggfield") for {!Grammar.create}. *)

@@ -1,0 +1,142 @@
+(* Construct templates for TACL, the ThingTalk access control language of
+   section 6.2 (grammar in paper Fig. 10). The paper uses 6 construct
+   templates; a policy pairs a predicate on the requesting principal with a
+   restricted primitive command.
+
+   Policies are also given a bijective *program encoding* so the same semantic
+   parser machinery (skeletons, alignment, slot filling) applies unchanged:
+   the principal becomes a filter on a dedicated builtin query. *)
+
+open Genie_thingtalk
+open Grammar
+
+(* The dedicated class backing the program encoding of policies. *)
+let policy_class =
+  Schema.cls "org.thingpedia.builtin.policy" ~doc:"access-control source principal"
+    [ Schema.query "source" ~monitorable:false ~is_list:false
+        ~doc:"the requesting principal"
+        [ Schema.out "source" (Ttype.Entity "tt:contact") ] ]
+
+let source_fn = Ast.Fn.make "org.thingpedia.builtin.policy" "source"
+
+(* --- policy <-> program encoding -------------------------------------------- *)
+
+let encode (p : Ast.policy) : Ast.program =
+  let source_q = Ast.Q_filter (Ast.Q_invoke { Ast.fn = source_fn; in_params = [] }, p.Ast.source) in
+  match p.Ast.target with
+  | Ast.Policy_query (inv, pred) ->
+      let target_q =
+        match pred with Ast.P_true -> Ast.Q_invoke inv | _ -> Ast.Q_filter (Ast.Q_invoke inv, pred)
+      in
+      { Ast.stream = Ast.S_now;
+        query = Some (Ast.Q_join (source_q, target_q, []));
+        action = Ast.A_notify }
+  | Ast.Policy_action (inv, pred) ->
+      let q = match pred with Ast.P_true -> source_q | _ -> Ast.Q_filter (source_q, pred) in
+      { Ast.stream = Ast.S_now; query = Some q; action = Ast.A_invoke inv }
+
+let rec strip_source_filter q =
+  match q with
+  | Ast.Q_invoke inv when Ast.Fn.equal inv.Ast.fn source_fn -> Some Ast.P_true
+  | Ast.Q_filter (inner, pred) -> (
+      match strip_source_filter inner with
+      | Some Ast.P_true -> Some pred
+      | Some p -> Some (Ast.P_and [ p; pred ])
+      | None -> None)
+  | _ -> None
+
+let decode (p : Ast.program) : Ast.policy option =
+  match p with
+  | { Ast.stream = Ast.S_now; query = Some (Ast.Q_join (src, target, [])); action = Ast.A_notify }
+    -> (
+      match strip_source_filter src with
+      | None -> None
+      | Some source -> (
+          let rec unfilter q acc =
+            match q with
+            | Ast.Q_invoke inv -> Some (inv, acc)
+            | Ast.Q_filter (inner, pred) ->
+                unfilter inner (match acc with Ast.P_true -> pred | _ -> Ast.P_and [ pred; acc ])
+            | _ -> None
+          in
+          match unfilter target Ast.P_true with
+          | Some (inv, pred) -> Some { Ast.source; target = Ast.Policy_query (inv, pred) }
+          | None -> None))
+  | { Ast.stream = Ast.S_now; query = Some q; action = Ast.A_invoke inv } -> (
+      match strip_source_filter q with
+      | Some source -> Some { Ast.source; target = Ast.Policy_action (inv, Ast.P_true) }
+      | None -> (
+          match q with
+          | Ast.Q_filter (inner, pred) -> (
+              match strip_source_filter inner with
+              | Some source ->
+                  Some { Ast.source; target = Ast.Policy_action (inv, pred) }
+              | None -> None)
+          | _ -> None))
+  | _ -> None
+
+(* --- terminals ----------------------------------------------------------------- *)
+
+(* Principal phrases: named contacts plus role nouns; "anyone" maps to true. *)
+let person_terminals rng ~samples : Derivation.t list =
+  let people = [ "my secretary"; "my mom"; "my boss"; "alice"; "bob"; "my roommate" ] in
+  let mk_person name =
+    { Derivation.tokens = Genie_util.Tok.tokenize name;
+      value =
+        Derivation.V_frag
+          (Ast.F_predicate
+             (Ast.P_atom
+                { lhs = "source";
+                  op = Ast.Op_eq;
+                  rhs = Value.Entity { ty = "tt:contact"; value = name; display = None } }));
+      depth = 0;
+      fns = [] }
+  in
+  ignore rng;
+  ignore samples;
+  { Derivation.tokens = [ "anyone" ];
+    value = Derivation.V_frag (Ast.F_predicate Ast.P_true);
+    depth = 0;
+    fns = [] }
+  :: List.map mk_person people
+
+(* --- the 6 construct templates --------------------------------------------------- *)
+
+let to_primitive_query q =
+  let rec go q acc =
+    match q with
+    | Ast.Q_invoke inv -> Some (inv, acc)
+    | Ast.Q_filter (inner, pred) ->
+        go inner (match acc with Ast.P_true -> pred | _ -> Ast.P_and [ pred; acc ])
+    | Ast.Q_join _ | Ast.Q_aggregate _ -> None
+  in
+  go q Ast.P_true
+
+let sem_policy_query = function
+  | [ person; np ] -> (
+      match (as_pred person, as_query np) with
+      | Some source, Some q -> (
+          match to_primitive_query q with
+          | Some (inv, pred) ->
+              ok (Derivation.V_frag (Ast.F_policy { Ast.source; target = Ast.Policy_query (inv, pred) }))
+          | None -> None)
+      | _ -> None)
+  | _ -> None
+
+let sem_policy_action = function
+  | [ person; vp ] -> (
+      match (as_pred person, as_action vp) with
+      | Some source, Some (Ast.A_invoke inv) ->
+          ok (Derivation.V_frag (Ast.F_policy { Ast.source; target = Ast.Policy_action (inv, Ast.P_true) }))
+      | _ -> None)
+  | _ -> None
+
+let rule name lhs rhs sem = { name; lhs; rhs; sem; flag = Both }
+
+let rules _lib : rule list =
+  [ rule "pol_allowed_see" "policy" [ N "person"; L "is allowed to see"; N "np" ] sem_policy_query;
+    rule "pol_can_read" "policy" [ N "person"; L "can read"; N "np" ] sem_policy_query;
+    rule "pol_let_see" "policy" [ L "let"; N "person"; L "see"; N "np" ] sem_policy_query;
+    rule "pol_allowed_do" "policy" [ N "person"; L "is allowed to"; N "vp" ] sem_policy_action;
+    rule "pol_can_do" "policy" [ N "person"; L "can"; N "vp" ] sem_policy_action;
+    rule "pol_allow_do" "policy" [ L "allow"; N "person"; L "to"; N "vp" ] sem_policy_action ]

@@ -1,0 +1,27 @@
+(** Construct templates for TACL, the ThingTalk access-control language of
+    paper section 6.2 (grammar in Fig. 10), plus the bijective program
+    encoding that lets the ordinary parser machinery train on policies. *)
+
+open Genie_thingtalk
+
+val policy_class : Schema.cls
+(** The builtin class backing the encoding: a query whose single output is
+    the requesting principal. *)
+
+val source_fn : Ast.Fn.t
+
+val encode : Ast.policy -> Ast.program
+(** The principal predicate becomes a filter on {!source_fn}; query policies
+    join it with the target, action policies pair it with the action. The
+    encoding type-checks against a library extended with {!policy_class}. *)
+
+val decode : Ast.program -> Ast.policy option
+(** Inverse of {!encode}; [None] on programs that are not policy encodings
+    (round-trip property-tested). *)
+
+val person_terminals : Genie_util.Rng.t -> samples:int -> Derivation.t list
+(** Principal phrases ("my secretary", "alice", "anyone" = true). *)
+
+val rules : Schema.Library.t -> Grammar.rule list
+(** The paper's 6 construct templates ("X is allowed to see ...", "allow X to
+    ...", ...). *)

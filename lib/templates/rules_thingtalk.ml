@@ -1,0 +1,316 @@
+(* Construct templates for ThingTalk commands (paper section 3.1).
+
+   The paper's configuration uses 35 construct templates for primitive
+   commands, 42 for compound commands and 68 for filters and parameters; the
+   filter/parameter phrases live in [Phrases], the command-level constructs
+   are below. Semantic functions reject ill-typed combinations (monitorability,
+   list-ness, filter coverage, parameter-passing type compatibility), which is
+   exactly the role of the paper's bottom-returning semantic functions. *)
+
+open Genie_thingtalk
+open Grammar
+
+let rule ?(flag = Both) name lhs rhs sem = { name; lhs; rhs; sem; flag }
+
+let prog ?query stream action = Ast.{ stream; query; action }
+
+let now_query q = prog ~query:q Ast.S_now Ast.A_notify
+
+(* --- semantic functions ----------------------------------------------------- *)
+
+let sem_get_np = function
+  | [ d ] -> Option.bind (as_query d) (fun q -> ok (Derivation.V_frag (Ast.F_program (now_query q))))
+  | _ -> None
+
+(* 'list'/'enumerate' require a list query (paper's example semantic fn). *)
+let sem_list_np lib = function
+  | [ d ] ->
+      Option.bind (as_query d) (fun q ->
+          if Typecheck.query_is_list lib q then
+            ok (Derivation.V_frag (Ast.F_program (now_query q)))
+          else None)
+  | _ -> None
+
+let sem_do_vp = function
+  | [ d ] ->
+      Option.bind (as_action d) (fun a ->
+          ok (Derivation.V_frag (Ast.F_program (prog Ast.S_now a))))
+  | _ -> None
+
+let sem_when_notify = function
+  | [ d ] ->
+      Option.bind (as_stream d) (fun s ->
+          ok (Derivation.V_frag (Ast.F_program (prog s Ast.A_notify))))
+  | _ -> None
+
+let sem_when_do = function
+  | [ a; b ] -> (
+      (* accepts the children in either order: 'when X, do Y' / 'do Y when X' *)
+      match (as_stream a, as_action b, as_action a, as_stream b) with
+      | Some s, Some act, _, _ -> ok (Derivation.V_frag (Ast.F_program (prog s act)))
+      | _, _, Some act, Some s -> ok (Derivation.V_frag (Ast.F_program (prog s act)))
+      | _ -> None)
+  | _ -> None
+
+let sem_when_get = function
+  | [ w; n ] -> (
+      match (as_stream w, as_query n) with
+      | Some s, Some q -> ok (Derivation.V_frag (Ast.F_program (prog ~query:q s Ast.A_notify)))
+      | _ -> None)
+  | _ -> None
+
+let sem_get_when = function
+  | [ n; w ] -> (
+      match (as_query n, as_stream w) with
+      | Some q, Some s -> ok (Derivation.V_frag (Ast.F_program (prog ~query:q s Ast.A_notify)))
+      | _ -> None)
+  | _ -> None
+
+(* 'when <np> changes' -> monitor q; only monitorable queries (the example
+   semantic function in section 3.1). *)
+let sem_monitor_np lib = function
+  | [ d ] ->
+      Option.bind (as_query d) (fun q ->
+          if Typecheck.query_monitorable lib q then
+            ok (Derivation.V_frag (Ast.F_stream (Ast.S_monitor (q, None))))
+          else None)
+  | _ -> None
+
+let sem_monitor_new_np lib = function
+  | [ d ] ->
+      Option.bind (as_query d) (fun q ->
+          if Typecheck.query_monitorable lib q && Typecheck.query_is_list lib q then
+            ok (Derivation.V_frag (Ast.F_stream (Ast.S_monitor (q, None))))
+          else None)
+  | _ -> None
+
+(* filters: 'np pred' -> q filter p, provided the predicate type-checks
+   against the query's output parameters *)
+let sem_filter_np lib = function
+  | [ n; p ] -> (
+      match (as_query n, as_pred p) with
+      | Some q, Some pred -> (
+          let outs = Typecheck.query_out_params lib q in
+          match Typecheck.check_predicate lib ~outs pred with
+          | Ok () -> ok (Derivation.V_frag (Ast.F_query (Ast.Q_filter (q, pred))))
+          | Error _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* filter inside a monitor: 'when i receive an email from alice' *)
+let sem_filter_wp lib = function
+  | [ w; p ] -> (
+      match (as_stream w, as_pred p) with
+      | Some (Ast.S_monitor (q, on_new)), Some pred -> (
+          let outs = Typecheck.query_out_params lib q in
+          match Typecheck.check_predicate lib ~outs pred with
+          | Ok () ->
+              ok (Derivation.V_frag (Ast.F_stream (Ast.S_monitor (Ast.Q_filter (q, pred), on_new))))
+          | Error _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* edge filters: 'when <epred> in <np>' -> edge (monitor q) on pred *)
+let sem_edge lib = function
+  | [ p; n ] -> (
+      match (as_pred p, as_query n) with
+      | Some pred, Some q -> (
+          if not (Typecheck.query_monitorable lib q) then None
+          else
+            let outs = Typecheck.query_out_params lib q in
+            match Typecheck.check_predicate lib ~outs pred with
+            | Ok () ->
+                ok (Derivation.V_frag (Ast.F_stream (Ast.S_edge (Ast.S_monitor (q, None), pred))))
+            | Error _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* timers *)
+let sem_attimer = function
+  | [ t ] -> (
+      match as_value t with
+      | Some (Value.Time _ as v) -> ok (Derivation.V_frag (Ast.F_stream (Ast.S_attimer v)))
+      | _ -> None)
+  | _ -> None
+
+let sem_timer = function
+  | [ i ] -> (
+      match as_value i with
+      | Some (Value.Measure _ as v) ->
+          ok
+            (Derivation.V_frag
+               (Ast.F_stream (Ast.S_timer { base = Value.Date Value.D_now; interval = v })))
+      | _ -> None)
+  | _ -> None
+
+(* join by substitution: '<np_fun with hole> <np>', e.g. "the download url of
+   my dropbox files" *)
+let sem_apply_np_fun lib = function
+  | [ f; n ] -> (
+      match (f.Derivation.value, as_query n) with
+      | Derivation.V_fun { inv; hole_ip; hole_ty; is_query = true }, Some sub_q -> (
+          (* reject degenerate self-joins ("the tempo of the tempo of ...") *)
+          if
+            List.exists
+              (fun (i : Ast.invocation) -> Ast.Fn.equal i.Ast.fn inv.Ast.fn)
+              (Ast.query_invocations sub_q)
+          then None
+          else
+          let outs = Typecheck.query_out_params lib sub_q in
+          match pick_out_for_hole ~outs ~hole_ip ~hole_ty with
+          | None -> None
+          | Some out_name ->
+              let q =
+                Ast.Q_join (sub_q, Ast.Q_invoke (drop_hole inv ~hole_ip), [ (hole_ip, out_name) ])
+              in
+              Some
+                { value = Derivation.V_frag (Ast.F_query q);
+                  tokens_override =
+                    Some (Derivation.substitute_hole f.Derivation.tokens n.Derivation.tokens) })
+      | _ -> None)
+  | _ -> None
+
+(* 'get <np> and <vp_fun> it', e.g. "get a cat picture and post it on
+   facebook" -> now => q => a with parameter passing *)
+let fill_action_from_query lib ~sub_q (f : Derivation.t) =
+  match f.Derivation.value with
+  | Derivation.V_fun { inv; hole_ip; hole_ty; is_query = false } -> (
+      let outs = Typecheck.query_out_params lib sub_q in
+      match pick_out_for_hole ~outs ~hole_ip ~hole_ty with
+      | None -> None
+      | Some out_name -> Some (fill_hole_passed inv ~hole_ip ~out_name))
+  | _ -> None
+
+let sem_get_and_do_it lib = function
+  | [ n; f ] -> (
+      match as_query n with
+      | Some sub_q -> (
+          match fill_action_from_query lib ~sub_q f with
+          | None -> None
+          | Some inv ->
+              Some
+                { value =
+                    Derivation.V_frag
+                      (Ast.F_program (prog ~query:sub_q Ast.S_now (Ast.A_invoke inv)));
+                  tokens_override =
+                    Some
+                      (n.Derivation.tokens
+                      @ "and"
+                        :: Derivation.substitute_hole f.Derivation.tokens [ "it" ]) })
+      | None -> None)
+  | _ -> None
+
+(* '<vp_fun applied to np>', e.g. "post <a cat picture> on facebook" *)
+let sem_apply_vp_fun lib = function
+  | [ f; n ] -> (
+      match as_query n with
+      | Some sub_q -> (
+          match fill_action_from_query lib ~sub_q f with
+          | None -> None
+          | Some inv ->
+              Some
+                { value =
+                    Derivation.V_frag
+                      (Ast.F_program (prog ~query:sub_q Ast.S_now (Ast.A_invoke inv)));
+                  tokens_override =
+                    Some (Derivation.substitute_hole f.Derivation.tokens n.Derivation.tokens) })
+      | None -> None)
+  | _ -> None
+
+(* 'when <wp> , <vp_fun> it': pass monitored outputs into the action *)
+let sem_when_do_it lib = function
+  | [ w; f ] -> (
+      match as_stream w with
+      | Some s -> (
+          match f.Derivation.value with
+          | Derivation.V_fun { inv; hole_ip; hole_ty; is_query = false } -> (
+              let outs = Typecheck.stream_out_params lib s in
+              match pick_out_for_hole ~outs ~hole_ip ~hole_ty with
+              | None -> None
+              | Some out_name ->
+                  let inv = fill_hole_passed inv ~hole_ip ~out_name in
+                  Some
+                    { value =
+                        Derivation.V_frag (Ast.F_program (prog s (Ast.A_invoke inv)));
+                      tokens_override =
+                        Some
+                          (w.Derivation.tokens
+                          @ ","
+                            :: Derivation.substitute_hole f.Derivation.tokens [ "it" ]) })
+          | _ -> None)
+      | None -> None)
+  | _ -> None
+
+(* 'translate <np>' where translate is a query verb applied to a sub-query *)
+let sem_apply_qvp_fun lib children =
+  match sem_apply_np_fun lib children with
+  | Some { value = Derivation.V_frag (Ast.F_query q); tokens_override } ->
+      Some { value = Derivation.V_frag (Ast.F_program (now_query q)); tokens_override }
+  | _ -> None
+
+(* a query verb phrase used directly as a command: "translate 'hello'" *)
+let sem_qvp_command = function
+  | [ d ] ->
+      Option.bind (as_query d) (fun q -> ok (Derivation.V_frag (Ast.F_program (now_query q))))
+  | _ -> None
+
+(* --- the rule set ------------------------------------------------------------ *)
+
+let rules lib : rule list =
+  [ (* primitive query commands *)
+    rule "cmd_get_np" "command" [ L "get"; N "np" ] sem_get_np;
+    rule "cmd_show_np" "command" [ L "show me"; N "np" ] sem_get_np;
+    rule "cmd_what_np" "command" [ L "what is"; N "np" ] sem_get_np;
+    rule "cmd_tell_np" "command" [ L "tell me"; N "np" ] sem_get_np;
+    rule "cmd_search_np" "command" [ L "i want to see"; N "np" ] sem_get_np;
+    rule ~flag:Training_only "cmd_bare_np" "command" [ N "np" ] sem_get_np;
+    rule "cmd_list_np" "command" [ L "list"; N "np" ] (sem_list_np lib);
+    rule "cmd_enumerate_np" "command" [ L "enumerate"; N "np" ] (sem_list_np lib);
+    rule "cmd_qvp" "command" [ N "qvp" ] sem_qvp_command;
+    (* primitive action commands *)
+    rule "cmd_vp" "command" [ N "vp" ] sem_do_vp;
+    rule "cmd_please_vp" "command" [ L "please"; N "vp" ] sem_do_vp;
+    rule "cmd_can_you_vp" "command" [ L "can you"; N "vp" ] sem_do_vp;
+    rule "cmd_i_want_vp" "command" [ L "i want to"; N "vp" ] sem_do_vp;
+    (* monitor commands *)
+    rule "cmd_notify_wp" "command" [ L "notify me"; N "wp" ] sem_when_notify;
+    rule "cmd_wp_notify" "command" [ N "wp"; L ", notify me" ] sem_when_notify;
+    rule "cmd_letknow_wp" "command" [ L "let me know"; N "wp" ] sem_when_notify;
+    rule "cmd_alert_wp" "command" [ L "alert me"; N "wp" ] sem_when_notify;
+    (* when-do compounds, both orders (section 3.1's two construct templates) *)
+    rule "cmd_wp_vp" "command" [ N "wp"; L ","; N "vp" ] sem_when_do;
+    rule "cmd_vp_wp" "command" [ N "vp"; N "wp" ] sem_when_do;
+    (* when-get compounds *)
+    rule "cmd_wp_get_np" "command" [ N "wp"; L ", get"; N "np" ] sem_when_get;
+    rule "cmd_wp_show_np" "command" [ N "wp"; L ", show me"; N "np" ] sem_when_get;
+    rule "cmd_get_np_wp" "command" [ L "get"; N "np"; N "wp" ] sem_get_when;
+    rule "cmd_send_np_wp" "command" [ L "show me"; N "np"; N "wp" ] sem_get_when;
+    (* streams from queries *)
+    rule "wp_monitor_np" "wp" [ L "when"; N "np"; L "changes" ] (sem_monitor_np lib);
+    rule "wp_monitor_np2" "wp" [ L "when"; N "np"; L "change" ] (sem_monitor_np lib);
+    rule "wp_new_np" "wp" [ L "when there is a new"; N "np" ] (sem_monitor_new_np lib);
+    rule "wp_anytime_np" "wp" [ L "whenever"; N "np"; L "changes" ] (sem_monitor_np lib);
+    (* edge filters *)
+    rule "wp_edge" "wp" [ L "when"; N "epred"; L "in"; N "np" ] (sem_edge lib);
+    (* timers *)
+    rule "wp_attimer" "wp" [ L "every day at"; N "time" ] sem_attimer;
+    rule "wp_attimer2" "wp" [ L "once a day at"; N "time" ] sem_attimer;
+    rule "wp_timer" "wp" [ L "every"; N "interval" ] sem_timer;
+    (* filters *)
+    rule "np_filter" "np" [ N "np"; N "pred" ] (sem_filter_np lib);
+    rule "np_filter_only" "np" [ L "only"; N "np"; N "pred" ] (sem_filter_np lib);
+    rule "wp_filter" "wp" [ N "wp"; N "pred" ] (sem_filter_wp lib);
+    (* joins / parameter passing *)
+    rule "np_apply_fun" "np" [ N "np_fun"; N "np" ] (sem_apply_np_fun lib);
+    rule "cmd_qvp_apply" "command" [ N "qvp_fun"; N "np" ] (sem_apply_qvp_fun lib);
+    rule "cmd_get_and_do_it" "command" [ L "get"; N "np"; N "vp_fun" ]
+      (fun children ->
+        match children with
+        | [ n; f ] -> sem_get_and_do_it lib [ n; f ]
+        | _ -> None);
+    rule "cmd_vp_apply" "command" [ N "vp_fun"; N "np" ] (sem_apply_vp_fun lib);
+    rule "cmd_wp_do_it" "command" [ N "wp"; N "vp_fun" ]
+      (fun children ->
+        match children with
+        | [ w; f ] -> sem_when_do_it lib [ w; f ]
+        | _ -> None) ]

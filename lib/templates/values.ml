@@ -1,0 +1,88 @@
+(* Synthesis-time parameter-value pools.
+
+   These are the small canonical pools used while expanding templates; the
+   augmentation stage (lib/augment) later substitutes values from the large
+   gazettes, so variety here only needs to cover types, not vocabulary. *)
+
+open Genie_thingtalk
+
+let strings =
+  [ "hello world"; "funny cat"; "good morning"; "happy birthday"; "research update";
+    "lunch time"; "on my way"; "call me back"; "meeting notes" ]
+
+let entity_pools : (string * string list) list =
+  [ ("tt:username", [ "alice"; "bob"; "pldi"; "justinbieber" ]);
+    ("tt:hashtag", [ "cats"; "foodie"; "tbt"; "science" ]);
+    ("tt:song", [ "shake it off"; "bohemian rhapsody"; "hey jude"; "wake me up inside" ]);
+    ("tt:artist", [ "taylor swift"; "queen"; "the beatles"; "evanescence" ]);
+    ("tt:album", [ "abbey road"; "1989"; "a night at the opera" ]);
+    ("tt:playlist", [ "dance dance revolution"; "workout"; "study jams" ]);
+    ("tt:channel", [ "veritasium"; "nasa"; "cooking with dog" ]);
+    ("tt:subreddit", [ "aww"; "programming"; "worldnews" ]);
+    ("tt:repo", [ "stanford-oval/genie-toolkit"; "ocaml/dune" ]);
+    ("tt:slack_channel", [ "general"; "random"; "team-updates" ]);
+    ("tt:stock_id", [ "goog"; "aapl"; "msft" ]);
+    ("tt:sports_team", [ "warriors"; "sharks"; "giants" ]);
+    ("tt:iso_lang_code", [ "italian"; "chinese"; "spanish" ]);
+    ("tt:tweet_id", [ "tweet 12345" ]);
+    ("tt:email_id", [ "email 99" ]);
+    ("tt:media_id", [ "media 7" ]);
+    ("tt:image_id", [ "image 3" ]);
+    ("tt:video_id", [ "video 8" ]);
+    ("tt:contact", [ "mom"; "john"; "my boss" ]) ]
+
+let numbers = [ 3.0; 5.0; 10.0; 25.0; 42.0; 100.0 ]
+
+let locations =
+  [ Value.L_named "palo alto"; Value.L_named "new york"; Value.L_named "san francisco";
+    Value.L_relative "home"; Value.L_relative "work"; Value.L_relative "current_location" ]
+
+let times = [ (8, 0); (12, 30); (18, 0); (22, 15) ]
+
+let dates =
+  [ Value.D_start_of "week"; Value.D_start_of "day"; Value.D_end_of "mon";
+    Value.D_absolute { year = 2019; month = 6; day = 22 } ]
+
+let path_names = [ "/reports/q1.pdf"; "/photos/vacation"; "notes.txt"; "/music/mix.mp3" ]
+
+let urls = [ "https://example.com/feed"; "https://news.site/rss" ]
+
+let measure_pool (base : string) =
+  match base with
+  | "C" -> [ (60.0, "F"); (20.0, "C"); (75.0, "F") ]
+  | "byte" -> [ (10.0, "MB"); (1.0, "GB"); (500.0, "KB") ]
+  | "ms" -> [ (30.0, "min"); (1.0, "h"); (2.0, "day") ]
+  | "m" -> [ (5.0, "km"); (100.0, "m"); (3.0, "mi") ]
+  | "kg" -> [ (70.0, "kg"); (150.0, "lb") ]
+  | "mps" -> [ (10.0, "mph"); (5.0, "mps") ]
+  | "bpm" -> [ (120.0, "bpm"); (500.0, "bpm") ]
+  | _ -> [ (1.0, base) ]
+
+(* Sample a value of the requested type. *)
+let rec sample rng (ty : Ttype.t) : Value.t =
+  let open Genie_util in
+  match ty with
+  | Ttype.String -> Value.String (Rng.pick rng strings)
+  | Ttype.Number -> Value.Number (Rng.pick rng numbers)
+  | Ttype.Boolean -> Value.Boolean (Rng.bool rng)
+  | Ttype.Date -> Value.Date (Rng.pick rng dates)
+  | Ttype.Time ->
+      let h, m = Rng.pick rng times in
+      Value.Time (h, m)
+  | Ttype.Location -> Value.Location (Rng.pick rng locations)
+  | Ttype.Path_name -> Value.String (Rng.pick rng path_names)
+  | Ttype.Url -> Value.String (Rng.pick rng urls)
+  | Ttype.Picture -> Value.String "https://img.example.com/pic.jpg"
+  | Ttype.Phone_number -> Value.String (Rng.pick rng [ "555-1234"; "650-723-2300" ])
+  | Ttype.Email_address ->
+      Value.String (Rng.pick rng [ "alice@example.com"; "bob@work.org" ])
+  | Ttype.Currency -> Value.Currency (Rng.pick rng numbers, "usd")
+  | Ttype.Measure base ->
+      let n, u = Rng.pick rng (measure_pool base) in
+      Value.Measure [ (n, u) ]
+  | Ttype.Enum vs -> Value.Enum (Rng.pick rng vs)
+  | Ttype.Entity ety -> (
+      match List.assoc_opt ety entity_pools with
+      | Some pool -> Value.Entity { ty = ety; value = Rng.pick rng pool; display = None }
+      | None -> Value.Entity { ty = ety; value = ety ^ " thing"; display = None })
+  | Ttype.Array elt -> Value.Array [ sample rng elt ]

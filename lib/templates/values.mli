@@ -1,0 +1,20 @@
+(** Synthesis-time parameter-value pools.
+
+    Small canonical pools used while expanding templates; the augmentation
+    stage substitutes values from the large gazettes later, so variety here
+    only needs to cover types, not vocabulary. *)
+
+open Genie_thingtalk
+
+val strings : string list
+val entity_pools : (string * string list) list
+val numbers : float list
+val locations : Value.location list
+val times : (int * int) list
+val dates : Value.date list
+val path_names : string list
+val urls : string list
+val measure_pool : string -> (float * string) list
+
+val sample : Genie_util.Rng.t -> Ttype.t -> Value.t
+(** A value of the requested type, drawn from the pools. *)

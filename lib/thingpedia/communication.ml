@@ -1,0 +1,159 @@
+(* Communication skills: Gmail, Slack, SMS / phone, GitHub notifications. *)
+
+open Genie_thingtalk
+open Schema
+
+let username = Ttype.Entity "tt:username"
+
+let classes =
+  [ cls "com.gmail" ~doc:"Google Mail"
+      [ query "inbox" ~doc:"emails in your inbox"
+          [ out "sender_name" Ttype.String; out "sender_address" Ttype.Email_address;
+            out "subject" Ttype.String; out "snippet" Ttype.String;
+            out "labels" (Ttype.Array Ttype.String); out "is_important" Ttype.Boolean;
+            out "email_id" (Ttype.Entity "tt:email_id") ];
+        action "send_email" ~doc:"send an email"
+          [ in_req "to" Ttype.Email_address; in_req "subject" Ttype.String;
+            in_req "message" Ttype.String ];
+        action "reply" ~doc:"reply to an email"
+          [ in_req "email_id" (Ttype.Entity "tt:email_id"); in_req "message" Ttype.String ];
+        action "forward" ~doc:"forward an email"
+          [ in_req "email_id" (Ttype.Entity "tt:email_id"); in_req "to" Ttype.Email_address ] ];
+    cls "com.slack" ~doc:"Slack team messaging"
+      [ query "channel_history" ~doc:"messages in a Slack channel"
+          [ in_req "channel" (Ttype.Entity "tt:slack_channel"); out "sender" username;
+            out "message" Ttype.String ];
+        action "send" ~doc:"send a Slack message"
+          [ in_req "channel" (Ttype.Entity "tt:slack_channel"); in_req "message" Ttype.String ];
+        action "set_status" ~doc:"set your Slack status" [ in_req "status" Ttype.String ];
+        action "set_presence" ~doc:"set your Slack presence"
+          [ in_req "presence" (Ttype.Enum [ "away"; "active" ]) ] ];
+    cls "org.thingpedia.builtin.thingengine.phone" ~doc:"Your phone"
+      [ query "sms" ~doc:"SMS messages you received"
+          [ out "sender" Ttype.Phone_number; out "body" Ttype.String ];
+        query "gps" ~doc:"your current location"
+          [ out "location" Ttype.Location; out "altitude" (Ttype.Measure "m") ];
+        action "send_sms" ~doc:"send a text message"
+          [ in_req "to" Ttype.Phone_number; in_req "body" Ttype.String ];
+        action "call" ~doc:"place a phone call" [ in_req "number" Ttype.Phone_number ];
+        action "set_ringer" ~doc:"set the phone ringer mode"
+          [ in_req "mode" (Ttype.Enum [ "normal"; "vibrate"; "silent" ]) ] ];
+    cls "com.github" ~doc:"GitHub code hosting"
+      [ query "get_notifications" ~doc:"your GitHub notifications"
+          [ out "repo_name" (Ttype.Entity "tt:repo"); out "title" Ttype.String;
+            out "reason" Ttype.String ];
+        query "get_issues" ~doc:"issues in a repository"
+          [ in_req "repo_name" (Ttype.Entity "tt:repo"); out "title" Ttype.String;
+            out "author" username; out "number" Ttype.Number; out "link" Ttype.Url ];
+        action "create_issue" ~doc:"open a new issue"
+          [ in_req "repo_name" (Ttype.Entity "tt:repo"); in_req "title" Ttype.String;
+            in_opt "body" Ttype.String ];
+        action "star" ~doc:"star a repository" [ in_req "repo_name" (Ttype.Entity "tt:repo") ] ] ]
+
+let fn = Ast.Fn.make
+
+let templates : Prim.t list =
+  let open Prim in
+  [ (* gmail *)
+    query (fn "com.gmail" "inbox") [] "emails in my inbox";
+    query (fn "com.gmail" "inbox") [] "my emails";
+    query (fn "com.gmail" "inbox")
+      [ ("sender", Ttype.String) ]
+      ~filter:(atom "sender_name" Ast.Op_eq "sender")
+      "emails from $sender";
+    query (fn "com.gmail" "inbox")
+      [ ("label", Ttype.String) ]
+      ~filter:(atom "labels" Ast.Op_contains "label")
+      "emails labeled $label";
+    query (fn "com.gmail" "inbox")
+      []
+      ~filter:(const_atom "is_important" Ast.Op_eq (Value.Boolean true))
+      "important emails";
+    monitor (fn "com.gmail" "inbox") [] "when i receive an email";
+    monitor (fn "com.gmail" "inbox") [] "when a new email arrives";
+    monitor (fn "com.gmail" "inbox")
+      [ ("sender", Ttype.String) ]
+      ~filter:(atom "sender_name" Ast.Op_eq "sender")
+      "when i get an email from $sender";
+    action (fn "com.gmail" "send_email")
+      [ ("to", Ttype.Email_address); ("subject", Ttype.String); ("message", Ttype.String) ]
+      ~binds:[ ("to", "to"); ("subject", "subject"); ("message", "message") ]
+      "send an email to $to with subject $subject saying $message";
+    action (fn "com.gmail" "send_email")
+      [ ("to", Ttype.Email_address); ("message", Ttype.String) ]
+      ~binds:[ ("to", "to"); ("message", "message") ]
+      ~fixed:[ ("subject", Value.String "hello") ]
+      "email $to saying $message";
+    action (fn "com.gmail" "reply")
+      [ ("email_id", Ttype.Entity "tt:email_id"); ("message", Ttype.String) ]
+      ~binds:[ ("email_id", "email_id"); ("message", "message") ]
+      "reply to $email_id with $message";
+    action (fn "com.gmail" "forward")
+      [ ("email_id", Ttype.Entity "tt:email_id"); ("to", Ttype.Email_address) ]
+      ~binds:[ ("email_id", "email_id"); ("to", "to") ]
+      "forward $email_id to $to";
+    (* slack *)
+    query (fn "com.slack" "channel_history")
+      [ ("channel", Ttype.Entity "tt:slack_channel") ]
+      ~binds:[ ("channel", "channel") ]
+      "messages in the $channel slack channel";
+    monitor (fn "com.slack" "channel_history")
+      [ ("channel", Ttype.Entity "tt:slack_channel") ]
+      ~binds:[ ("channel", "channel") ]
+      "when someone posts in the $channel slack channel";
+    action (fn "com.slack" "send")
+      [ ("channel", Ttype.Entity "tt:slack_channel"); ("message", Ttype.String) ]
+      ~binds:[ ("channel", "channel"); ("message", "message") ]
+      "send $message to the $channel slack channel";
+    action (fn "com.slack" "send")
+      [ ("channel", Ttype.Entity "tt:slack_channel"); ("message", Ttype.String) ]
+      ~binds:[ ("channel", "channel"); ("message", "message") ]
+      "let the $channel channel know $message on slack";
+    action (fn "com.slack" "set_status") [ ("status", Ttype.String) ]
+      ~binds:[ ("status", "status") ]
+      "set my slack status to $status";
+    action (fn "com.slack" "set_presence")
+      [ ("presence", Ttype.Enum [ "away"; "active" ]) ]
+      ~binds:[ ("presence", "presence") ]
+      "mark me as $presence on slack";
+    (* phone *)
+    query (fn "org.thingpedia.builtin.thingengine.phone" "sms") [] "my text messages";
+    monitor (fn "org.thingpedia.builtin.thingengine.phone" "sms") [] "when i receive a text";
+    monitor (fn "org.thingpedia.builtin.thingengine.phone" "sms") [] "when i get an sms";
+    query (fn "org.thingpedia.builtin.thingengine.phone" "gps") [] "my current location";
+    monitor (fn "org.thingpedia.builtin.thingengine.phone" "gps") [] "when my location changes";
+    action (fn "org.thingpedia.builtin.thingengine.phone" "send_sms")
+      [ ("to", Ttype.Phone_number); ("body", Ttype.String) ]
+      ~binds:[ ("to", "to"); ("body", "body") ]
+      "text $to saying $body";
+    action (fn "org.thingpedia.builtin.thingengine.phone" "send_sms")
+      [ ("to", Ttype.Phone_number); ("body", Ttype.String) ]
+      ~binds:[ ("to", "to"); ("body", "body") ]
+      "send an sms to $to saying $body";
+    action (fn "org.thingpedia.builtin.thingengine.phone" "call")
+      [ ("number", Ttype.Phone_number) ]
+      ~binds:[ ("number", "number") ]
+      "call $number";
+    action (fn "org.thingpedia.builtin.thingengine.phone" "set_ringer")
+      [ ("mode", Ttype.Enum [ "normal"; "vibrate"; "silent" ]) ]
+      ~binds:[ ("mode", "mode") ]
+      "set my phone to $mode";
+    (* github *)
+    query (fn "com.github" "get_notifications") [] "my github notifications";
+    monitor (fn "com.github" "get_notifications") [] "when i get a github notification";
+    query (fn "com.github" "get_issues")
+      [ ("repo_name", Ttype.Entity "tt:repo") ]
+      ~binds:[ ("repo_name", "repo_name") ]
+      "issues in the $repo_name repository";
+    monitor (fn "com.github" "get_issues")
+      [ ("repo_name", Ttype.Entity "tt:repo") ]
+      ~binds:[ ("repo_name", "repo_name") ]
+      "when an issue is opened in $repo_name";
+    action (fn "com.github" "create_issue")
+      [ ("repo_name", Ttype.Entity "tt:repo"); ("title", Ttype.String) ]
+      ~binds:[ ("repo_name", "repo_name"); ("title", "title") ]
+      "open an issue titled $title in $repo_name";
+    action (fn "com.github" "star")
+      [ ("repo_name", Ttype.Entity "tt:repo") ]
+      ~binds:[ ("repo_name", "repo_name") ]
+      "star the $repo_name repository" ]

@@ -1,0 +1,158 @@
+(* IoT skills: thermostat, lights, security camera, door sensor, TV, speaker,
+   scale, car, plus weather and air quality services. *)
+
+open Genie_thingtalk
+open Schema
+
+let classes =
+  [ cls "com.nest.thermostat" ~doc:"Nest thermostat"
+      [ query "get_temperature" ~is_list:false ~doc:"the current indoor temperature"
+          [ out "value" (Ttype.Measure "C"); out "humidity" Ttype.Number ];
+        action "set_target_temperature" ~doc:"set the target temperature"
+          [ in_req "value" (Ttype.Measure "C") ];
+        action "set_mode" ~doc:"set the thermostat mode"
+          [ in_req "mode" (Ttype.Enum [ "heat"; "cool"; "off" ]) ] ];
+    cls "io.home-assistant.light" ~doc:"Smart light bulb"
+      [ query "state" ~is_list:false ~doc:"the light state"
+          [ out "power" (Ttype.Enum [ "on"; "off" ]); out "brightness" Ttype.Number ];
+        action "set_power" ~doc:"turn the light on or off"
+          [ in_req "power" (Ttype.Enum [ "on"; "off" ]) ];
+        action "set_color" ~doc:"change the light color" [ in_req "color" Ttype.String ];
+        action "color_loop" ~doc:"start a color loop" [] ];
+    cls "com.nest.security_camera" ~doc:"Security camera"
+      [ query "current_event" ~is_list:false ~doc:"the latest camera event"
+          [ out "start_time" Ttype.Date; out "has_person" Ttype.Boolean;
+            out "has_motion" Ttype.Boolean; out "picture_url" Ttype.Picture ] ];
+    cls "io.home-assistant.door" ~doc:"Door and window sensor"
+      [ query "state" ~is_list:false ~doc:"the sensor state"
+          [ out "state" (Ttype.Enum [ "open"; "closed" ]) ] ];
+    cls "com.lg.tv" ~doc:"Smart TV"
+      [ action "set_channel" ~doc:"change the TV channel" [ in_req "channel" Ttype.String ];
+        action "set_power" ~doc:"turn the TV on or off"
+          [ in_req "power" (Ttype.Enum [ "on"; "off" ]) ];
+        action "set_volume" ~doc:"set the TV volume" [ in_req "volume" Ttype.Number ] ];
+    cls "com.sonos" ~doc:"Sonos speaker"
+      [ query "current_song" ~is_list:false ~doc:"the song playing now"
+          [ out "song" (Ttype.Entity "tt:song"); out "artist" (Ttype.Entity "tt:artist") ];
+        action "play_music" ~doc:"play a song" [ in_req "song" (Ttype.Entity "tt:song") ];
+        action "set_volume" ~doc:"set the speaker volume" [ in_req "volume" Ttype.Number ];
+        action "pause" ~doc:"pause playback" [] ];
+    cls "com.bodytrace.scale" ~doc:"Connected scale"
+      [ query "get_weight" ~is_list:false ~doc:"your latest weight measurement"
+          [ out "weight" (Ttype.Measure "kg") ] ];
+    cls "com.tesla.car" ~doc:"Connected car"
+      [ query "get_vehicle_state" ~is_list:false ~doc:"the car state"
+          [ out "battery_level" Ttype.Number; out "charging_state" (Ttype.Enum [ "charging"; "complete"; "disconnected" ]);
+            out "location" Ttype.Location ];
+        action "set_climate" ~doc:"precondition the cabin"
+          [ in_req "value" (Ttype.Measure "C") ];
+        action "honk" ~doc:"honk the horn" [] ];
+    cls "org.thingpedia.weather" ~doc:"Weather service"
+      [ query "current" ~is_list:false ~doc:"current weather conditions"
+          [ in_req "location" Ttype.Location; out "temperature" (Ttype.Measure "C");
+            out "humidity" Ttype.Number; out "wind_speed" (Ttype.Measure "mps");
+            out "status" (Ttype.Enum [ "sunny"; "cloudy"; "raining"; "snowing" ]) ];
+        query "sunrise" ~is_list:false ~doc:"sunrise and sunset times"
+          [ in_req "location" Ttype.Location; out "sunrise_time" Ttype.Time;
+            out "sunset_time" Ttype.Time ];
+        query "moon" ~is_list:false ~doc:"the phase of the moon"
+          [ in_req "location" Ttype.Location;
+            out "phase" (Ttype.Enum [ "new_moon"; "first_quarter"; "full_moon"; "last_quarter" ]) ] ];
+    cls "gov.epa.airnow" ~doc:"Air quality index"
+      [ query "aqi" ~is_list:false ~doc:"the air quality index"
+          [ in_req "location" Ttype.Location; out "value" Ttype.Number;
+            out "pollutant" Ttype.String ] ] ]
+
+let fn = Ast.Fn.make
+
+let enum_onoff = Ttype.Enum [ "on"; "off" ]
+
+let templates : Prim.t list =
+  let open Prim in
+  [ query (fn "com.nest.thermostat" "get_temperature") [] "the temperature in my home";
+    query (fn "com.nest.thermostat" "get_temperature") [] "my thermostat reading";
+    monitor (fn "com.nest.thermostat" "get_temperature") [] "when the temperature at home changes";
+    action (fn "com.nest.thermostat" "set_target_temperature")
+      [ ("value", Ttype.Measure "C") ]
+      ~binds:[ ("value", "value") ]
+      "set the temperature to $value";
+    action (fn "com.nest.thermostat" "set_mode")
+      [ ("mode", Ttype.Enum [ "heat"; "cool"; "off" ]) ]
+      ~binds:[ ("mode", "mode") ]
+      "set my thermostat to $mode";
+    query (fn "io.home-assistant.light" "state") [] "the state of my light";
+    action (fn "io.home-assistant.light" "set_power") [ ("power", enum_onoff) ]
+      ~binds:[ ("power", "power") ]
+      "turn $power my light";
+    action (fn "io.home-assistant.light" "set_power") []
+      ~fixed:[ ("power", Value.Enum "on") ]
+      "turn on the lights";
+    action (fn "io.home-assistant.light" "set_power") []
+      ~fixed:[ ("power", Value.Enum "off") ]
+      "turn off the lights";
+    action (fn "io.home-assistant.light" "set_color") [ ("color", Ttype.String) ]
+      ~binds:[ ("color", "color") ]
+      "change my light color to $color";
+    action (fn "io.home-assistant.light" "color_loop") [] "make my lights color loop";
+    query (fn "com.nest.security_camera" "current_event") [] "the latest event on my security camera";
+    monitor (fn "com.nest.security_camera" "current_event") [] "when my security camera detects something";
+    monitor (fn "com.nest.security_camera" "current_event")
+      []
+      ~filter:(const_atom "has_person" Ast.Op_eq (Value.Boolean true))
+      "when my security camera sees a person";
+    query (fn "io.home-assistant.door" "state") [] "the state of my front door";
+    monitor (fn "io.home-assistant.door" "state")
+      []
+      ~filter:(const_atom "state" Ast.Op_eq (Value.Enum "open"))
+      "when the door opens";
+    action (fn "com.lg.tv" "set_channel") [ ("channel", Ttype.String) ]
+      ~binds:[ ("channel", "channel") ]
+      "switch the tv to $channel";
+    action (fn "com.lg.tv" "set_power") [ ("power", enum_onoff) ]
+      ~binds:[ ("power", "power") ]
+      "turn $power the tv";
+    action (fn "com.lg.tv" "set_volume") [ ("volume", Ttype.Number) ]
+      ~binds:[ ("volume", "volume") ]
+      "set the tv volume to $volume";
+    query (fn "com.sonos" "current_song") [] "the song playing on my speaker";
+    monitor (fn "com.sonos" "current_song") [] "when the song on my speaker changes";
+    action (fn "com.sonos" "play_music") [ ("song", Ttype.Entity "tt:song") ]
+      ~binds:[ ("song", "song") ]
+      "play $song on my speaker";
+    action (fn "com.sonos" "set_volume") [ ("volume", Ttype.Number) ]
+      ~binds:[ ("volume", "volume") ]
+      "set my speaker volume to $volume";
+    action (fn "com.sonos" "pause") [] "pause the music";
+    query (fn "com.bodytrace.scale" "get_weight") [] "my weight";
+    monitor (fn "com.bodytrace.scale" "get_weight") [] "when i weigh myself";
+    query (fn "com.tesla.car" "get_vehicle_state") [] "the state of my car";
+    monitor (fn "com.tesla.car" "get_vehicle_state") [] "when my car state changes";
+    action (fn "com.tesla.car" "set_climate") [ ("value", Ttype.Measure "C") ]
+      ~binds:[ ("value", "value") ]
+      "warm up my car to $value";
+    action (fn "com.tesla.car" "honk") [] "honk my car horn";
+    query (fn "org.thingpedia.weather" "current") [ ("location", Ttype.Location) ]
+      ~binds:[ ("location", "location") ]
+      "the weather in $location";
+    query (fn "org.thingpedia.weather" "current") [ ("location", Ttype.Location) ]
+      ~binds:[ ("location", "location") ]
+      "current weather conditions for $location";
+    monitor (fn "org.thingpedia.weather" "current") [ ("location", Ttype.Location) ]
+      ~binds:[ ("location", "location") ]
+      "when the weather in $location changes";
+    monitor (fn "org.thingpedia.weather" "current") [ ("location", Ttype.Location) ]
+      ~binds:[ ("location", "location") ]
+      ~filter:(const_atom "status" Ast.Op_eq (Value.Enum "raining"))
+      "when it rains in $location";
+    query (fn "org.thingpedia.weather" "sunrise") [ ("location", Ttype.Location) ]
+      ~binds:[ ("location", "location") ]
+      "sunrise and sunset times in $location";
+    query (fn "org.thingpedia.weather" "moon") [ ("location", Ttype.Location) ]
+      ~binds:[ ("location", "location") ]
+      "the phase of the moon over $location";
+    query (fn "gov.epa.airnow" "aqi") [ ("location", Ttype.Location) ]
+      ~binds:[ ("location", "location") ]
+      "the air quality in $location";
+    monitor (fn "gov.epa.airnow" "aqi") [ ("location", Ttype.Location) ]
+      ~binds:[ ("location", "location") ]
+      "when the air quality in $location changes" ]

@@ -1,0 +1,153 @@
+(* Lifestyle and home skills: streaming, reading lists, news aggregators,
+   shopping, rides, movies, space, dictionaries, doorbells, vacuums, locks,
+   health devices, sports tracking and payments. *)
+
+open Genie_thingtalk
+open Schema
+
+let classes =
+  [ cls "com.twitch" ~doc:"Twitch live streams"
+      [ query "get_streams" ~doc:"live channels you follow"
+          [ out "channel" (Ttype.Entity "tt:channel"); out "title" Ttype.String;
+            out "viewers" Ttype.Number ];
+        action "follow_channel" ~doc:"follow a channel"
+          [ in_req "channel" (Ttype.Entity "tt:channel") ] ];
+    cls "com.pocket" ~doc:"Pocket reading list"
+      [ query "list_articles" ~doc:"articles saved for later"
+          [ out "title" Ttype.String; out "link" Ttype.Url; out "word_count" Ttype.Number ];
+        action "save" ~doc:"save an article" [ in_req "url" Ttype.Url ] ];
+    cls "com.hackernews" ~doc:"Hacker News"
+      [ query "top_stories" ~doc:"stories on the front page"
+          [ out "title" Ttype.String; out "link" Ttype.Url; out "score" Ttype.Number;
+            out "comment_count" Ttype.Number ] ];
+    cls "com.walmart" ~doc:"Product search"
+      [ query "search_product" ~monitorable:false ~doc:"search the catalog"
+          [ in_req "query" Ttype.String; out "name" Ttype.String;
+            out "price" Ttype.Currency; out "link" Ttype.Url ] ];
+    cls "com.lyft" ~doc:"Lyft ride sharing"
+      [ query "price_estimate" ~monitorable:false ~is_list:false
+          ~doc:"a ride price estimate"
+          [ in_req "start" Ttype.Location; in_req "end" Ttype.Location;
+            out "fare" Ttype.Currency ] ];
+    cls "com.netflix" ~doc:"Movie catalog"
+      [ query "search_movies" ~monitorable:false ~doc:"search movies and shows"
+          [ in_req "query" Ttype.String; out "title" Ttype.String;
+            out "rating" Ttype.Number; out "link" Ttype.Url ] ];
+    cls "gov.nasa" ~doc:"NASA open data"
+      [ query "apod" ~is_list:false ~doc:"the astronomy picture of the day"
+          [ out "title" Ttype.String; out "picture_url" Ttype.Picture;
+            out "description" Ttype.String ];
+        query "asteroid" ~is_list:false ~doc:"the closest asteroid approach today"
+          [ out "name" Ttype.String; out "distance" (Ttype.Measure "m");
+            out "is_dangerous" Ttype.Boolean ] ];
+    cls "org.thingpedia.dictionary" ~doc:"Dictionary"
+      [ query "define" ~monitorable:false ~is_list:false ~doc:"define a word"
+          [ in_req "word" Ttype.String; out "definition" Ttype.String ] ];
+    cls "com.ring.doorbell" ~doc:"Video doorbell"
+      [ query "current_event" ~is_list:false ~doc:"the latest doorbell event"
+          [ out "has_motion" Ttype.Boolean; out "has_ring" Ttype.Boolean;
+            out "picture_url" Ttype.Picture ] ];
+    cls "com.irobot.vacuum" ~doc:"Robot vacuum"
+      [ query "get_state" ~is_list:false ~doc:"what the vacuum is doing"
+          [ out "state" (Ttype.Enum [ "cleaning"; "docked"; "stuck" ]);
+            out "battery_level" Ttype.Number ];
+        action "start_cleaning" ~doc:"start a cleaning run" [];
+        action "dock" ~doc:"send the vacuum home" [] ];
+    cls "com.august.lock" ~doc:"Smart lock"
+      [ query "get_state" ~is_list:false ~doc:"the lock state"
+          [ out "state" (Ttype.Enum [ "locked"; "unlocked" ]) ];
+        action "lock" ~doc:"lock the door" [];
+        action "unlock" ~doc:"unlock the door" [] ];
+    cls "com.withings" ~doc:"Health devices"
+      [ query "blood_pressure" ~is_list:false ~doc:"your latest blood pressure reading"
+          [ out "systolic" Ttype.Number; out "diastolic" Ttype.Number ] ];
+    cls "com.strava" ~doc:"Activity tracking"
+      [ query "activities" ~doc:"your recent workouts"
+          [ out "kind" (Ttype.Enum [ "run"; "ride"; "swim" ]);
+            out "distance" (Ttype.Measure "m"); out "duration" (Ttype.Measure "ms") ] ];
+    cls "com.venmo" ~doc:"Payments"
+      [ query "transactions" ~doc:"your recent payments"
+          [ out "payer" Ttype.String; out "amount" Ttype.Currency;
+            out "note" Ttype.String ];
+        action "send_money" ~doc:"pay someone"
+          [ in_req "to" Ttype.String; in_req "amount" Ttype.Currency ] ] ]
+
+let fn = Ast.Fn.make
+
+let templates : Prim.t list =
+  let open Prim in
+  [ query (fn "com.twitch" "get_streams") [] "live twitch channels i follow";
+    monitor (fn "com.twitch" "get_streams") [] "when a channel i follow goes live on twitch";
+    action (fn "com.twitch" "follow_channel")
+      [ ("channel", Ttype.Entity "tt:channel") ]
+      ~binds:[ ("channel", "channel") ]
+      "follow $channel on twitch";
+    query (fn "com.pocket" "list_articles") [] "articles in my pocket list";
+    query (fn "com.pocket" "list_articles") [] "my reading list";
+    monitor (fn "com.pocket" "list_articles") [] "when i save an article to pocket";
+    action (fn "com.pocket" "save") [ ("url", Ttype.Url) ] ~binds:[ ("url", "url") ]
+      "save $url to pocket";
+    action (fn "com.pocket" "save") [ ("url", Ttype.Url) ] ~binds:[ ("url", "url") ]
+      "add $url to my reading list";
+    query (fn "com.hackernews" "top_stories") [] "the hacker news front page";
+    query (fn "com.hackernews" "top_stories") [] "top stories on hacker news";
+    monitor (fn "com.hackernews" "top_stories") [] "when a story hits the hacker news front page";
+    query (fn "com.walmart" "search_product") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ]
+      "products matching $query";
+    query (fn "com.walmart" "search_product") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ] ~category:Vp
+      "shop for $query";
+    query (fn "com.lyft" "price_estimate")
+      [ ("start", Ttype.Location); ("end", Ttype.Location) ]
+      ~binds:[ ("start", "start"); ("end", "end") ]
+      "a lyft fare estimate from $start to $end";
+    query (fn "com.netflix" "search_movies") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ]
+      "movies about $query";
+    query (fn "com.netflix" "search_movies") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ]
+      "shows matching $query";
+    query (fn "gov.nasa" "apod") [] "the astronomy picture of the day";
+    query (fn "gov.nasa" "apod") [] "nasa 's picture of the day";
+    monitor (fn "gov.nasa" "apod") [] "when nasa posts a new picture of the day";
+    query (fn "gov.nasa" "asteroid") [] "the closest asteroid today";
+    query (fn "org.thingpedia.dictionary" "define") [ ("word", Ttype.String) ]
+      ~binds:[ ("word", "word") ]
+      "the definition of $word";
+    query (fn "org.thingpedia.dictionary" "define") [ ("word", Ttype.String) ]
+      ~binds:[ ("word", "word") ] ~category:Vp
+      "define $word";
+    query (fn "com.ring.doorbell" "current_event") [] "the latest event at my doorbell";
+    monitor (fn "com.ring.doorbell" "current_event") [] "when someone is at the door";
+    monitor (fn "com.ring.doorbell" "current_event")
+      []
+      ~filter:(const_atom "has_ring" Ast.Op_eq (Value.Boolean true))
+      "when the doorbell rings";
+    query (fn "com.irobot.vacuum" "get_state") [] "what my vacuum is doing";
+    monitor (fn "com.irobot.vacuum" "get_state")
+      []
+      ~filter:(const_atom "state" Ast.Op_eq (Value.Enum "stuck"))
+      "when my vacuum gets stuck";
+    action (fn "com.irobot.vacuum" "start_cleaning") [] "start the vacuum";
+    action (fn "com.irobot.vacuum" "start_cleaning") [] "clean the floor";
+    action (fn "com.irobot.vacuum" "dock") [] "send the vacuum home";
+    query (fn "com.august.lock" "get_state") [] "whether my door is locked";
+    monitor (fn "com.august.lock" "get_state")
+      []
+      ~filter:(const_atom "state" Ast.Op_eq (Value.Enum "unlocked"))
+      "when my door gets unlocked";
+    action (fn "com.august.lock" "lock") [] "lock the door";
+    action (fn "com.august.lock" "lock") [] "lock up";
+    action (fn "com.august.lock" "unlock") [] "unlock the door";
+    query (fn "com.withings" "blood_pressure") [] "my blood pressure";
+    monitor (fn "com.withings" "blood_pressure") [] "when i take a blood pressure reading";
+    query (fn "com.strava" "activities") [] "my recent workouts";
+    query (fn "com.strava" "activities") [] "my runs on strava";
+    monitor (fn "com.strava" "activities") [] "when i finish a workout";
+    query (fn "com.venmo" "transactions") [] "my venmo transactions";
+    monitor (fn "com.venmo" "transactions") [] "when i get paid on venmo";
+    action (fn "com.venmo" "send_money")
+      [ ("to", Ttype.String); ("amount", Ttype.Currency) ]
+      ~binds:[ ("to", "to"); ("amount", "amount") ]
+      "send $amount to $to on venmo" ]

@@ -1,0 +1,147 @@
+(* Media and entertainment skills: cat pictures, comics, GIFs, YouTube, news
+   outlets, RSS, Yandex translate, Bing search, Wikipedia. *)
+
+open Genie_thingtalk
+open Schema
+
+let classes =
+  [ cls "com.thecatapi" ~doc:"Random cat pictures"
+      [ query "get" ~monitorable:false ~is_list:false ~doc:"a random cat picture"
+          [ out "image_id" (Ttype.Entity "tt:image_id"); out "picture_url" Ttype.Picture;
+            out "link" Ttype.Url ] ];
+    cls "com.dogapi" ~doc:"Random dog pictures"
+      [ query "get" ~monitorable:false ~is_list:false ~doc:"a random dog picture"
+          [ out "picture_url" Ttype.Picture; out "link" Ttype.Url ] ];
+    cls "com.xkcd" ~doc:"xkcd webcomic"
+      [ query "get_comic" ~is_list:false ~doc:"the latest xkcd comic"
+          [ in_opt "number" Ttype.Number; out "title" Ttype.String;
+            out "picture_url" Ttype.Picture; out "alt_text" Ttype.String;
+            out "link" Ttype.Url ];
+        query "random_comic" ~monitorable:false ~is_list:false ~doc:"a random xkcd comic"
+          [ out "title" Ttype.String; out "picture_url" Ttype.Picture; out "link" Ttype.Url ] ];
+    cls "com.phdcomics" ~doc:"PHD Comics"
+      [ query "get_post" ~is_list:false ~doc:"the latest PHD comic"
+          [ out "title" Ttype.String; out "picture_url" Ttype.Picture; out "link" Ttype.Url ] ];
+    cls "com.giphy" ~doc:"Giphy GIFs"
+      [ query "get" ~monitorable:false ~doc:"trending GIFs"
+          [ in_opt "tag" (Ttype.Entity "tt:hashtag"); out "picture_url" Ttype.Picture ] ];
+    cls "com.imgur" ~doc:"Imgur image gallery"
+      [ query "hot" ~doc:"hot posts in the Imgur gallery"
+          [ out "title" Ttype.String; out "picture_url" Ttype.Picture; out "link" Ttype.Url ] ];
+    cls "com.youtube" ~doc:"YouTube videos"
+      [ query "search_videos" ~monitorable:false ~doc:"search YouTube"
+          [ in_req "query" Ttype.String; out "video_id" (Ttype.Entity "tt:video_id");
+            out "title" Ttype.String; out "channel" (Ttype.Entity "tt:channel");
+            out "link" Ttype.Url ];
+        query "list_subscriptions" ~doc:"channels you are subscribed to"
+          [ out "channel" (Ttype.Entity "tt:channel"); out "description" Ttype.String ];
+        action "subscribe" ~doc:"subscribe to a channel"
+          [ in_req "channel" (Ttype.Entity "tt:channel") ] ];
+    cls "com.nytimes" ~doc:"The New York Times"
+      [ query "get_front_page" ~doc:"front page articles"
+          [ out "title" Ttype.String; out "abstract" Ttype.String; out "link" Ttype.Url;
+            out "section" Ttype.String ] ];
+    cls "com.washingtonpost" ~doc:"The Washington Post"
+      [ query "get_article" ~doc:"latest articles"
+          [ in_opt "section" (Ttype.Enum [ "national"; "world"; "opinions"; "sports" ]);
+            out "title" Ttype.String; out "link" Ttype.Url ] ];
+    cls "com.bbc" ~doc:"BBC News"
+      [ query "get_news" ~doc:"latest BBC headlines"
+          [ out "title" Ttype.String; out "summary" Ttype.String; out "link" Ttype.Url ] ];
+    cls "org.thingpedia.rss" ~doc:"Generic RSS feeds"
+      [ query "get_post" ~doc:"posts in an RSS feed"
+          [ in_req "url" Ttype.Url; out "title" Ttype.String; out "link" Ttype.Url;
+            out "description" Ttype.String ] ];
+    cls "com.yandex.translate" ~doc:"Yandex machine translation"
+      [ query "translate" ~monitorable:false ~is_list:false ~doc:"translate text"
+          [ in_req "text" Ttype.String; in_opt "target_language" (Ttype.Entity "tt:iso_lang_code");
+            out "translated_text" Ttype.String ];
+        query "detect_language" ~monitorable:false ~is_list:false ~doc:"detect the language of text"
+          [ in_req "text" Ttype.String; out "value" (Ttype.Entity "tt:iso_lang_code") ] ];
+    cls "com.bing" ~doc:"Bing search"
+      [ query "web_search" ~monitorable:false ~doc:"search the web"
+          [ in_req "query" Ttype.String; out "title" Ttype.String;
+            out "description" Ttype.String; out "link" Ttype.Url ];
+        query "image_search" ~monitorable:false ~doc:"search images"
+          [ in_req "query" Ttype.String; out "title" Ttype.String;
+            out "picture_url" Ttype.Picture; out "link" Ttype.Url ] ];
+    cls "org.wikipedia" ~doc:"Wikipedia"
+      [ query "get_article" ~monitorable:false ~is_list:false ~doc:"a Wikipedia article"
+          [ in_req "title" Ttype.String; out "summary" Ttype.String; out "link" Ttype.Url ] ] ]
+
+let fn = Ast.Fn.make
+
+let templates : Prim.t list =
+  let open Prim in
+  [ query (fn "com.thecatapi" "get") [] "a cat picture";
+    query (fn "com.thecatapi" "get") [] "a random cat photo";
+    query (fn "com.thecatapi" "get") [] "a picture of a cat";
+    query (fn "com.dogapi" "get") [] "a dog picture";
+    query (fn "com.dogapi" "get") [] "a photo of a dog";
+    query (fn "com.xkcd" "get_comic") [] "the latest xkcd comic";
+    query (fn "com.xkcd" "get_comic") [] "today 's xkcd";
+    monitor (fn "com.xkcd" "get_comic") [] "when a new xkcd comic comes out";
+    query (fn "com.xkcd" "random_comic") [] "a random xkcd comic";
+    query (fn "com.phdcomics" "get_post") [] "the latest phd comic";
+    monitor (fn "com.phdcomics" "get_post") [] "when a new phd comic is published";
+    query (fn "com.giphy" "get") [] "a trending gif";
+    query (fn "com.giphy" "get")
+      [ ("tag", Ttype.Entity "tt:hashtag") ]
+      ~binds:[ ("tag", "tag") ]
+      "a gif about $tag";
+    query (fn "com.imgur" "hot") [] "hot posts on imgur";
+    monitor (fn "com.imgur" "hot") [] "when a post gets hot on imgur";
+    query (fn "com.youtube" "search_videos") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ]
+      "youtube videos about $query";
+    query (fn "com.youtube" "search_videos") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ] ~category:Vp
+      "search youtube for $query";
+    query (fn "com.youtube" "list_subscriptions") [] "my youtube subscriptions";
+    action (fn "com.youtube" "subscribe")
+      [ ("channel", Ttype.Entity "tt:channel") ]
+      ~binds:[ ("channel", "channel") ]
+      "subscribe to $channel on youtube";
+    query (fn "com.nytimes" "get_front_page") [] "new york times articles";
+    query (fn "com.nytimes" "get_front_page") [] "the front page of the new york times";
+    monitor (fn "com.nytimes" "get_front_page") [] "when the new york times publishes an article";
+    query (fn "com.washingtonpost" "get_article") [] "washington post articles";
+    monitor (fn "com.washingtonpost" "get_article") [] "when the washington post updates";
+    query (fn "com.washingtonpost" "get_article")
+      [ ("section", Ttype.Enum [ "national"; "world"; "opinions"; "sports" ]) ]
+      ~binds:[ ("section", "section") ]
+      "washington post $section articles";
+    query (fn "com.bbc" "get_news") [] "bbc headlines";
+    query (fn "com.bbc" "get_news") [] "the news from the bbc";
+    monitor (fn "com.bbc" "get_news") [] "when there is breaking news on the bbc";
+    query (fn "org.thingpedia.rss" "get_post") [ ("url", Ttype.Url) ]
+      ~binds:[ ("url", "url") ]
+      "posts in the feed at $url";
+    monitor (fn "org.thingpedia.rss" "get_post") [ ("url", Ttype.Url) ]
+      ~binds:[ ("url", "url") ]
+      "when the feed at $url updates";
+    query (fn "com.yandex.translate" "translate") [ ("text", Ttype.String) ]
+      ~binds:[ ("text", "text") ]
+      "the translation of $text";
+    query (fn "com.yandex.translate" "translate") [ ("text", Ttype.String) ]
+      ~binds:[ ("text", "text") ] ~category:Vp
+      "translate $text";
+    query (fn "com.yandex.translate" "translate")
+      [ ("text", Ttype.String); ("target_language", Ttype.Entity "tt:iso_lang_code") ]
+      ~binds:[ ("text", "text"); ("target_language", "target_language") ]
+      "the translation of $text to $target_language";
+    query (fn "com.yandex.translate" "detect_language") [ ("text", Ttype.String) ]
+      ~binds:[ ("text", "text") ]
+      "the language of $text";
+    query (fn "com.bing" "web_search") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ]
+      "websites matching $query";
+    query (fn "com.bing" "web_search") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ] ~category:Vp
+      "search the web for $query";
+    query (fn "com.bing" "image_search") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ]
+      "images of $query";
+    query (fn "org.wikipedia" "get_article") [ ("title", Ttype.String) ]
+      ~binds:[ ("title", "title") ]
+      "the wikipedia article about $title" ]

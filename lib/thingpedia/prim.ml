@@ -1,0 +1,149 @@
+(* Primitive templates (paper section 3.1, Table 1).
+
+   A primitive template pairs a natural-language utterance (with $placeholders)
+   with the code fragment it denotes, tagged with its grammar category:
+
+     cat := u -> lambda(pn : t, ...) -> [s | q | a]
+
+   Queries may be expressed as noun phrases ("the download URL of $x") or verb
+   phrases ("download $x"); monitors as when-phrases. *)
+
+open Genie_thingtalk
+
+type category = Np | Vp | Wp
+
+let category_to_string = function Np -> "np" | Vp -> "vp" | Wp -> "wp"
+
+type t = {
+  category : category;
+  utterance : string; (* placeholders written $name *)
+  params : (string * Ttype.t) list; (* placeholder name -> type *)
+  build : (string * Value.t) list -> Ast.fragment option;
+  fn : Ast.Fn.t; (* the primary function this template invokes *)
+}
+
+let placeholder_names u =
+  List.filter_map
+    (fun tok ->
+      if String.length tok > 1 && tok.[0] = '$' then
+        Some (String.sub tok 1 (String.length tok - 1))
+      else None)
+    (String.split_on_char ' ' u)
+
+(* Substitutes sampled placeholder values into the utterance, rendering each
+   value in a crowd-worker-friendly way (quotes around free-form strings,
+   @-signs on usernames, etc. -- section 3.2). *)
+let rec render_value ?(quote = true) (v : Value.t) =
+  match v with
+  | Value.String s -> if quote then Printf.sprintf "\"%s\"" s else s
+  | Value.Number n ->
+      if Float.is_integer n then string_of_int (int_of_float n) else string_of_float n
+  | Value.Measure [ (n, u) ] ->
+      Printf.sprintf "%s %s" (render_value ~quote (Value.Number n)) u
+  | Value.Measure terms ->
+      String.concat " "
+        (List.map (fun (n, u) -> Printf.sprintf "%s %s" (render_value ~quote (Value.Number n)) u) terms)
+  | Value.Entity { ty = "tt:username"; value; _ } -> "@" ^ value
+  | Value.Entity { ty = "tt:hashtag"; value; _ } -> "#" ^ value
+  | Value.Entity { value; display = Some d; _ } -> ignore value; d
+  | Value.Entity { value; _ } -> value
+  | Value.Enum e -> String.map (fun c -> if c = '_' then ' ' else c) e
+  | Value.Time (h, m) -> if m = 0 then Printf.sprintf "%d:00" h else Printf.sprintf "%d:%02d" h m
+  | Value.Date (Value.D_start_of u) -> "the beginning of the " ^ u
+  | Value.Date (Value.D_end_of u) -> "the end of the " ^ u
+  | Value.Date Value.D_now -> "now"
+  | Value.Date (Value.D_absolute { year; month; day }) ->
+      Printf.sprintf "%d/%d/%d" month day year
+  | Value.Date (Value.D_plus (d, n, u)) ->
+      Printf.sprintf "%s %s after %s"
+        (render_value ~quote (Value.Number n)) u
+        (render_value ~quote (Value.Date d))
+  | Value.Location (Value.L_named n) -> n
+  | Value.Location (Value.L_relative r) ->
+      (match r with "current_location" -> "here" | r -> r)
+  | Value.Location (Value.L_absolute (lat, lon)) -> Printf.sprintf "%g %g" lat lon
+  | Value.Currency (n, code) ->
+      Printf.sprintf "%s %s" (render_value ~quote (Value.Number n)) (String.uppercase_ascii code)
+  | Value.Boolean b -> string_of_bool b
+  | Value.Array vs -> String.concat " and " (List.map (render_value ~quote) vs)
+  | Value.Undefined -> "____"
+
+let instantiate_utterance ?quote (u : string) (env : (string * Value.t) list) =
+  String.concat " "
+    (List.map
+       (fun tok ->
+         if String.length tok > 1 && tok.[0] = '$' then
+           let name = String.sub tok 1 (String.length tok - 1) in
+           match List.assoc_opt name env with
+           | Some v -> render_value ?quote v
+           | None -> tok
+         else tok)
+       (String.split_on_char ' ' u))
+
+(* --- construction helpers ------------------------------------------------- *)
+
+let invocation fn ~fixed ~binds env : Ast.invocation =
+  let passed =
+    List.map
+      (fun (ph, ip_name) ->
+        match List.assoc_opt ph env with
+        | Some v -> { Ast.ip_name; ip_value = Ast.Constant v }
+        | None -> { Ast.ip_name; ip_value = Ast.Constant Value.Undefined })
+      binds
+  in
+  { Ast.fn;
+    in_params =
+      List.map (fun (n, v) -> { Ast.ip_name = n; ip_value = Ast.Constant v }) fixed @ passed }
+
+(* A query noun/verb phrase. [binds] maps placeholders to input parameters;
+   [filter] optionally adds a filter using the placeholders too. *)
+let query ?(category = Np) ?(fixed = []) ?(binds = []) ?filter fn params utterance =
+  { category;
+    utterance;
+    params;
+    fn;
+    build =
+      (fun env ->
+        let inv = invocation fn ~fixed ~binds env in
+        let q = Ast.Q_invoke inv in
+        match filter with
+        | None -> Some (Ast.F_query q)
+        | Some f -> (
+            match f env with
+            | Some pred -> Some (Ast.F_query (Ast.Q_filter (q, pred)))
+            | None -> None)) }
+
+(* An action verb phrase. *)
+let action ?(fixed = []) ?(binds = []) fn params utterance =
+  { category = Vp;
+    utterance;
+    params;
+    fn;
+    build = (fun env -> Some (Ast.F_action (Ast.A_invoke (invocation fn ~fixed ~binds env)))) }
+
+(* A when-phrase monitoring a query. *)
+let monitor ?(fixed = []) ?(binds = []) ?on_new ?filter fn params utterance =
+  { category = Wp;
+    utterance;
+    params;
+    fn;
+    build =
+      (fun env ->
+        let inv = invocation fn ~fixed ~binds env in
+        let q = Ast.Q_invoke inv in
+        let q =
+          match filter with
+          | None -> Some q
+          | Some f -> (
+              match f env with
+              | Some pred -> Some (Ast.Q_filter (q, pred))
+              | None -> None)
+        in
+        Option.map (fun q -> Ast.F_stream (Ast.S_monitor (q, on_new))) q) }
+
+(* A fixed filter on a placeholder, for filtered primitive templates such as
+   "my Dropbox files that changed this week". *)
+let atom lhs op rhs_placeholder env =
+  Option.map (fun v -> Ast.P_atom { lhs; op; rhs = v }) (List.assoc_opt rhs_placeholder env)
+
+let const_atom lhs op rhs _env = Some (Ast.P_atom { lhs; op; rhs })

@@ -1,0 +1,74 @@
+(** Primitive templates (paper section 3.1, Table 1).
+
+    A primitive template pairs a natural-language utterance (with
+    [$placeholders]) with the code fragment it denotes, tagged with its
+    grammar category:
+
+    {v cat := u -> lambda(pn : t, ...) -> (s | q | a) v}
+
+    Queries may be noun phrases ("the download URL of $x") or verb phrases
+    ("download $x"); monitors are when-phrases. *)
+
+open Genie_thingtalk
+
+type category = Np | Vp | Wp
+
+val category_to_string : category -> string
+
+type t = {
+  category : category;
+  utterance : string;
+  params : (string * Ttype.t) list;  (** placeholder name -> type *)
+  build : (string * Value.t) list -> Ast.fragment option;
+      (** instantiates the template under a placeholder environment; [None]
+          rejects the combination *)
+  fn : Ast.Fn.t;  (** the primary function the template invokes *)
+}
+
+val placeholder_names : string -> string list
+
+val render_value : ?quote:bool -> Value.t -> string
+(** Crowd-worker-friendly rendering: quotes around free-form strings,
+    @-signs on usernames, #-signs on hashtags (section 3.2). *)
+
+val instantiate_utterance : ?quote:bool -> string -> (string * Value.t) list -> string
+
+(** {2 Authoring helpers} *)
+
+val query :
+  ?category:category ->
+  ?fixed:(string * Value.t) list ->
+  ?binds:(string * string) list ->
+  ?filter:((string * Value.t) list -> Ast.predicate option) ->
+  Ast.Fn.t ->
+  (string * Ttype.t) list ->
+  string ->
+  t
+(** A query template. [fixed] pins input parameters; [binds] maps
+    placeholders to input parameters; [filter] adds a predicate over the
+    placeholders. *)
+
+val action :
+  ?fixed:(string * Value.t) list ->
+  ?binds:(string * string) list ->
+  Ast.Fn.t ->
+  (string * Ttype.t) list ->
+  string ->
+  t
+
+val monitor :
+  ?fixed:(string * Value.t) list ->
+  ?binds:(string * string) list ->
+  ?on_new:string list ->
+  ?filter:((string * Value.t) list -> Ast.predicate option) ->
+  Ast.Fn.t ->
+  (string * Ttype.t) list ->
+  string ->
+  t
+
+val atom :
+  string -> Ast.comp_op -> string -> (string * Value.t) list -> Ast.predicate option
+(** [atom lhs op placeholder] filters on a placeholder's sampled value. *)
+
+val const_atom :
+  string -> Ast.comp_op -> Value.t -> (string * Value.t) list -> Ast.predicate option

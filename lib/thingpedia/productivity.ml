@@ -1,0 +1,211 @@
+(* Productivity, finance, fitness and lifestyle skills: Dropbox (the paper's
+   running example), calendar, todo lists, stocks, crypto, fitness trackers,
+   ride sharing, restaurants, sports, plus the builtin utilities. *)
+
+open Genie_thingtalk
+open Schema
+
+let classes =
+  [ (* the Dropbox class of paper Fig. 4 *)
+    cls "com.dropbox" ~doc:"Dropbox file storage"
+      [ query "get_space_usage" ~is_list:false ~doc:"your storage usage"
+          [ out "used_space" (Ttype.Measure "byte"); out "total_space" (Ttype.Measure "byte") ];
+        query "list_folder" ~doc:"files in a folder"
+          [ in_opt "folder_name" Ttype.Path_name;
+            in_opt "order_by"
+              (Ttype.Enum [ "modified_time_decreasing"; "modified_time_increasing"; "name" ]);
+            out "file_name" Ttype.Path_name; out "is_folder" Ttype.Boolean;
+            out "modified_time" Ttype.Date; out "file_size" (Ttype.Measure "byte");
+            out "full_path" Ttype.Path_name ];
+        query "open" ~monitorable:false ~is_list:false
+          ~doc:"a temporary download link for a file"
+          [ in_req "file_name" Ttype.Path_name; out "download_url" Ttype.Url ];
+        action "move" ~doc:"move or rename a file"
+          [ in_req "old_name" Ttype.Path_name; in_req "new_name" Ttype.Path_name ] ];
+    cls "com.google.drive" ~doc:"Google Drive"
+      [ query "list_drive_files" ~doc:"files in your Google Drive"
+          [ out "file_name" Ttype.Path_name; out "modified_time" Ttype.Date;
+            out "file_size" (Ttype.Measure "byte"); out "link" Ttype.Url ];
+        action "create_new_drive_file" ~doc:"create an empty document"
+          [ in_req "file_name" Ttype.Path_name ] ];
+    cls "org.thingpedia.icalendar" ~doc:"Calendar"
+      [ query "list_events" ~doc:"events on your calendar"
+          [ out "summary" Ttype.String; out "start_date" Ttype.Date;
+            out "end_date" Ttype.Date; out "location" Ttype.Location;
+            out "organizer" Ttype.String ] ];
+    cls "com.todoist" ~doc:"Todoist task list"
+      [ query "list_tasks" ~doc:"tasks on your todo list"
+          [ out "content" Ttype.String; out "due_date" Ttype.Date;
+            out "priority" Ttype.Number ];
+        action "add_task" ~doc:"add a task"
+          [ in_req "content" Ttype.String; in_opt "due_date" Ttype.Date ];
+        action "complete_task" ~doc:"mark a task complete" [ in_req "content" Ttype.String ] ];
+    cls "co.alphavantage" ~doc:"Stock quotes"
+      [ query "get_stock_quote" ~is_list:false ~doc:"a stock quote"
+          [ in_req "company" (Ttype.Entity "tt:stock_id"); out "value" Ttype.Currency;
+            out "change" Ttype.Number ];
+        query "get_stock_div" ~is_list:false ~doc:"dividend information"
+          [ in_req "company" (Ttype.Entity "tt:stock_id"); out "dividend" Ttype.Currency;
+            out "yield_rate" Ttype.Number ] ];
+    cls "com.coinbase" ~doc:"Cryptocurrency prices"
+      [ query "get_price" ~is_list:false ~doc:"the price of a cryptocurrency"
+          [ in_req "currency_code" (Ttype.Enum [ "btc"; "eth"; "ltc" ]);
+            out "price" Ttype.Currency ] ];
+    cls "com.fitbit" ~doc:"Fitbit fitness tracker"
+      [ query "steps" ~is_list:false ~doc:"your step count today"
+          [ out "steps" Ttype.Number; out "distance" (Ttype.Measure "m");
+            out "calories" Ttype.Number ];
+        query "sleep" ~is_list:false ~doc:"last night's sleep record"
+          [ out "duration" (Ttype.Measure "ms"); out "efficiency" Ttype.Number ];
+        query "heartrate" ~is_list:false ~doc:"your resting heart rate"
+          [ out "value" Ttype.Number ] ];
+    cls "com.uber" ~doc:"Uber ride sharing"
+      [ query "price_estimate" ~monitorable:false ~is_list:false ~doc:"a ride price estimate"
+          [ in_req "start" Ttype.Location; in_req "end" Ttype.Location;
+            out "estimate" Ttype.Currency; out "duration" (Ttype.Measure "ms") ] ];
+    cls "com.yelp" ~doc:"Yelp restaurant search"
+      [ query "restaurants" ~monitorable:false ~doc:"restaurants nearby"
+          [ in_opt "cuisine" Ttype.String; in_opt "location" Ttype.Location;
+            out "name" Ttype.String; out "rating" Ttype.Number; out "link" Ttype.Url;
+            out "price_range" (Ttype.Enum [ "cheap"; "moderate"; "expensive" ]) ] ];
+    cls "com.sportradar" ~doc:"Sports scores"
+      [ query "game" ~is_list:false ~doc:"the latest game result for a team"
+          [ in_req "team" (Ttype.Entity "tt:sports_team"); out "home_team" (Ttype.Entity "tt:sports_team");
+            out "away_team" (Ttype.Entity "tt:sports_team"); out "home_score" Ttype.Number;
+            out "away_score" Ttype.Number;
+            out "status" (Ttype.Enum [ "scheduled"; "in_progress"; "closed" ]) ] ];
+    cls "org.thingpedia.builtin.thingengine.builtin" ~doc:"Builtin assistant utilities"
+      [ query "get_time" ~monitorable:false ~is_list:false ~doc:"the current time"
+          [ out "time" Ttype.Time ];
+        query "get_date" ~monitorable:false ~is_list:false ~doc:"today's date"
+          [ out "date" Ttype.Date ];
+        query "get_random_between" ~monitorable:false ~is_list:false ~doc:"a random number"
+          [ in_req "low" Ttype.Number; in_req "high" Ttype.Number; out "random" Ttype.Number ];
+        action "say" ~doc:"say something" [ in_req "message" Ttype.String ];
+        action "open_url" ~doc:"open a link" [ in_req "url" Ttype.Url ] ] ]
+
+let fn = Ast.Fn.make
+
+let templates : Prim.t list =
+  let open Prim in
+  [ (* dropbox, following Table 1 of the paper *)
+    query (fn "com.dropbox" "list_folder") [] "my dropbox files";
+    query (fn "com.dropbox" "list_folder") [] "files in my dropbox";
+    query (fn "com.dropbox" "list_folder")
+      [] ~fixed:[ ("order_by", Value.Enum "modified_time_decreasing") ]
+      "my dropbox files that changed most recently";
+    query (fn "com.dropbox" "list_folder")
+      [] ~fixed:[ ("order_by", Value.Enum "modified_time_decreasing") ]
+      ~filter:(const_atom "modified_time" Ast.Op_gt (Value.Date (Value.D_start_of "week")))
+      "my dropbox files that changed this week";
+    query (fn "com.dropbox" "list_folder")
+      [ ("folder_name", Ttype.Path_name) ]
+      ~binds:[ ("folder_name", "folder_name") ]
+      "files in my dropbox folder $folder_name";
+    monitor (fn "com.dropbox" "list_folder") [] "when i modify a file in dropbox";
+    monitor (fn "com.dropbox" "list_folder") ~on_new:[ "file_name" ] []
+      "when i create a file in dropbox";
+    query (fn "com.dropbox" "open") [ ("file_name", Ttype.Path_name) ]
+      ~binds:[ ("file_name", "file_name") ]
+      "the download url of $file_name";
+    query (fn "com.dropbox" "open") [ ("file_name", Ttype.Path_name) ]
+      ~binds:[ ("file_name", "file_name") ]
+      "a temporary link to $file_name";
+    query (fn "com.dropbox" "open") [ ("file_name", Ttype.Path_name) ]
+      ~binds:[ ("file_name", "file_name") ] ~category:Vp
+      "open $file_name";
+    query (fn "com.dropbox" "open") [ ("file_name", Ttype.Path_name) ]
+      ~binds:[ ("file_name", "file_name") ] ~category:Vp
+      "download $file_name";
+    query (fn "com.dropbox" "get_space_usage") [] "my dropbox space usage";
+    query (fn "com.dropbox" "get_space_usage") [] "how much dropbox space i am using";
+    action (fn "com.dropbox" "move")
+      [ ("old_name", Ttype.Path_name); ("new_name", Ttype.Path_name) ]
+      ~binds:[ ("old_name", "old_name"); ("new_name", "new_name") ]
+      "move $old_name to $new_name in dropbox";
+    (* google drive *)
+    query (fn "com.google.drive" "list_drive_files") [] "files in my google drive";
+    monitor (fn "com.google.drive" "list_drive_files") [] "when a file changes in google drive";
+    action (fn "com.google.drive" "create_new_drive_file")
+      [ ("file_name", Ttype.Path_name) ]
+      ~binds:[ ("file_name", "file_name") ]
+      "create a new google drive document named $file_name";
+    (* calendar *)
+    query (fn "org.thingpedia.icalendar" "list_events") [] "events on my calendar";
+    query (fn "org.thingpedia.icalendar" "list_events") [] "my upcoming appointments";
+    monitor (fn "org.thingpedia.icalendar" "list_events") [] "when an event is added to my calendar";
+    (* todoist *)
+    query (fn "com.todoist" "list_tasks") [] "tasks on my todo list";
+    monitor (fn "com.todoist" "list_tasks") [] "when i add a task to my todo list";
+    action (fn "com.todoist" "add_task") [ ("content", Ttype.String) ]
+      ~binds:[ ("content", "content") ]
+      "add $content to my todo list";
+    action (fn "com.todoist" "add_task") [ ("content", Ttype.String) ]
+      ~binds:[ ("content", "content") ]
+      "remind me to $content";
+    action (fn "com.todoist" "complete_task") [ ("content", Ttype.String) ]
+      ~binds:[ ("content", "content") ]
+      "mark $content as done";
+    (* stocks and crypto *)
+    query (fn "co.alphavantage" "get_stock_quote")
+      [ ("company", Ttype.Entity "tt:stock_id") ]
+      ~binds:[ ("company", "company") ]
+      "the stock price of $company";
+    monitor (fn "co.alphavantage" "get_stock_quote")
+      [ ("company", Ttype.Entity "tt:stock_id") ]
+      ~binds:[ ("company", "company") ]
+      "when the stock price of $company changes";
+    query (fn "co.alphavantage" "get_stock_div")
+      [ ("company", Ttype.Entity "tt:stock_id") ]
+      ~binds:[ ("company", "company") ]
+      "the dividend of $company";
+    query (fn "com.coinbase" "get_price")
+      [] ~fixed:[ ("currency_code", Value.Enum "btc") ]
+      "the price of bitcoin";
+    query (fn "com.coinbase" "get_price")
+      [] ~fixed:[ ("currency_code", Value.Enum "eth") ]
+      "the price of ethereum";
+    monitor (fn "com.coinbase" "get_price")
+      [] ~fixed:[ ("currency_code", Value.Enum "btc") ]
+      "when the bitcoin price changes";
+    (* fitbit *)
+    query (fn "com.fitbit" "steps") [] "my step count";
+    query (fn "com.fitbit" "steps") [] "how many steps i walked today";
+    monitor (fn "com.fitbit" "steps") [] "when my step count updates";
+    query (fn "com.fitbit" "sleep") [] "my sleep record";
+    query (fn "com.fitbit" "heartrate") [] "my heart rate";
+    (* uber *)
+    query (fn "com.uber" "price_estimate")
+      [ ("start", Ttype.Location); ("end", Ttype.Location) ]
+      ~binds:[ ("start", "start"); ("end", "end") ]
+      "an uber price estimate from $start to $end";
+    (* yelp *)
+    query (fn "com.yelp" "restaurants") [] "restaurants nearby";
+    query (fn "com.yelp" "restaurants")
+      [ ("cuisine", Ttype.String) ]
+      ~binds:[ ("cuisine", "cuisine") ]
+      "$cuisine restaurants around me";
+    (* sports *)
+    query (fn "com.sportradar" "game")
+      [ ("team", Ttype.Entity "tt:sports_team") ]
+      ~binds:[ ("team", "team") ]
+      "the latest game of $team";
+    monitor (fn "com.sportradar" "game")
+      [ ("team", Ttype.Entity "tt:sports_team") ]
+      ~binds:[ ("team", "team") ]
+      "when $team plays";
+    (* builtins *)
+    query (fn "org.thingpedia.builtin.thingengine.builtin" "get_time") [] "the current time";
+    query (fn "org.thingpedia.builtin.thingengine.builtin" "get_date") [] "today 's date";
+    query (fn "org.thingpedia.builtin.thingengine.builtin" "get_random_between")
+      [ ("low", Ttype.Number); ("high", Ttype.Number) ]
+      ~binds:[ ("low", "low"); ("high", "high") ]
+      "a random number between $low and $high";
+    action (fn "org.thingpedia.builtin.thingengine.builtin" "say")
+      [ ("message", Ttype.String) ]
+      ~binds:[ ("message", "message") ]
+      "say $message";
+    action (fn "org.thingpedia.builtin.thingengine.builtin" "open_url")
+      [ ("url", Ttype.Url) ]
+      ~binds:[ ("url", "url") ]
+      "open $url" ]

@@ -1,0 +1,178 @@
+(* Social-media skills: Twitter, Facebook, Instagram, LinkedIn, Reddit,
+   Pinterest, Tumblr. *)
+
+open Genie_thingtalk
+open Schema
+
+let username = Ttype.Entity "tt:username"
+let hashtag = Ttype.Entity "tt:hashtag"
+
+let classes =
+  [ cls "com.twitter" ~doc:"Twitter social network"
+      [ query "timeline" ~doc:"tweets from people you follow"
+          [ out "text" Ttype.String; out "hashtags" (Ttype.Array hashtag);
+            out "urls" (Ttype.Array Ttype.Url); out "author" username;
+            out "in_reply_to" username; out "tweet_id" (Ttype.Entity "tt:tweet_id") ];
+        query "search" ~doc:"search recent tweets"
+          [ in_req "query" Ttype.String; out "text" Ttype.String;
+            out "hashtags" (Ttype.Array hashtag); out "author" username;
+            out "tweet_id" (Ttype.Entity "tt:tweet_id") ];
+        query "my_tweets" ~doc:"your own recent tweets"
+          [ out "text" Ttype.String; out "hashtags" (Ttype.Array hashtag);
+            out "tweet_id" (Ttype.Entity "tt:tweet_id") ];
+        query "direct_messages" ~doc:"direct messages you received"
+          [ out "sender" username; out "message" Ttype.String ];
+        action "post" ~doc:"post a tweet" [ in_req "status" Ttype.String ];
+        action "post_picture" ~doc:"post a picture with a caption"
+          [ in_req "picture_url" Ttype.Picture; in_req "caption" Ttype.String ];
+        action "retweet" ~doc:"retweet a tweet"
+          [ in_req "tweet_id" (Ttype.Entity "tt:tweet_id") ];
+        action "follow" ~doc:"follow a user" [ in_req "followee" username ];
+        action "send_direct_message" ~doc:"send a direct message"
+          [ in_req "to" username; in_req "message" Ttype.String ] ];
+    cls "com.facebook" ~doc:"Facebook social network"
+      [ action "post" ~doc:"post a status update" [ in_req "status" Ttype.String ];
+        action "post_picture" ~doc:"post a picture with a caption"
+          [ in_req "picture_url" Ttype.Picture; in_req "caption" Ttype.String ] ];
+    cls "com.instagram" ~doc:"Instagram photo sharing"
+      [ query "get_pictures" ~doc:"your recent Instagram pictures"
+          [ out "picture_url" Ttype.Picture; out "caption" Ttype.String;
+            out "hashtags" (Ttype.Array hashtag); out "location" Ttype.Location;
+            out "media_id" (Ttype.Entity "tt:media_id") ];
+        query "get_profile" ~monitorable:false ~is_list:false ~doc:"your Instagram profile"
+          [ out "bio" Ttype.String; out "follower_count" Ttype.Number ] ];
+    cls "com.linkedin" ~doc:"LinkedIn professional network"
+      [ query "get_profile" ~is_list:false ~doc:"your LinkedIn profile"
+          [ out "formatted_name" Ttype.String; out "headline" Ttype.String;
+            out "industry" Ttype.String; out "profile_picture" Ttype.Picture ];
+        action "share" ~doc:"share a LinkedIn update" [ in_req "status" Ttype.String ] ];
+    cls "com.reddit" ~doc:"Reddit front page"
+      [ query "frontpage" ~doc:"posts on the Reddit front page"
+          [ in_opt "subreddit" (Ttype.Entity "tt:subreddit"); out "title" Ttype.String;
+            out "link" Ttype.Url; out "score" Ttype.Number;
+            out "category" (Ttype.Entity "tt:subreddit") ] ];
+    cls "com.pinterest" ~doc:"Pinterest boards"
+      [ query "get_pins" ~doc:"pins on your Pinterest boards"
+          [ out "description" Ttype.String; out "picture_url" Ttype.Picture;
+            out "link" Ttype.Url ];
+        action "save_pin" ~doc:"save a pin to a board"
+          [ in_req "board" Ttype.String; in_req "picture_url" Ttype.Picture ] ];
+    cls "com.tumblr" ~doc:"Tumblr blogging"
+      [ query "dashboard" ~doc:"posts on your Tumblr dashboard"
+          [ out "title" Ttype.String; out "body" Ttype.String; out "author" username ];
+        action "post_text" ~doc:"publish a text post"
+          [ in_req "title" Ttype.String; in_req "body" Ttype.String ] ] ]
+
+let fn cls name = Ast.Fn.make cls name
+
+let templates : Prim.t list =
+  let open Prim in
+  [ (* twitter *)
+    query (fn "com.twitter" "timeline") [] "tweets from people i follow";
+    query (fn "com.twitter" "timeline") [] "my twitter timeline";
+    query (fn "com.twitter" "timeline") [] "recent tweets";
+    query (fn "com.twitter" "timeline")
+      [ ("author", username) ]
+      ~filter:(atom "author" Ast.Op_eq "author")
+      "tweets from $author";
+    query (fn "com.twitter" "timeline")
+      [ ("hashtag", hashtag) ]
+      ~filter:(atom "hashtags" Ast.Op_contains "hashtag")
+      "tweets with hashtag $hashtag";
+    monitor (fn "com.twitter" "timeline") [] "when someone i follow tweets";
+    monitor (fn "com.twitter" "timeline") [] "when there is a new tweet";
+    monitor (fn "com.twitter" "timeline")
+      [ ("author", username) ]
+      ~filter:(atom "author" Ast.Op_eq "author")
+      "when $author tweets";
+    query (fn "com.twitter" "search") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ]
+      "tweets about $query";
+    query (fn "com.twitter" "search") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ] ~category:Vp
+      "search twitter for $query";
+    query (fn "com.twitter" "my_tweets") [] "my tweets";
+    query (fn "com.twitter" "my_tweets") [] "tweets i posted";
+    query (fn "com.twitter" "direct_messages") [] "my twitter direct messages";
+    monitor (fn "com.twitter" "direct_messages") [] "when i receive a twitter dm";
+    action (fn "com.twitter" "post") [ ("status", Ttype.String) ]
+      ~binds:[ ("status", "status") ]
+      "tweet $status";
+    action (fn "com.twitter" "post") [ ("status", Ttype.String) ]
+      ~binds:[ ("status", "status") ]
+      "post $status on twitter";
+    action (fn "com.twitter" "post")
+      [ ("status", Ttype.String) ]
+      ~binds:[ ("status", "status") ]
+      "post a tweet saying $status";
+    action (fn "com.twitter" "post_picture")
+      [ ("picture_url", Ttype.Picture); ("caption", Ttype.String) ]
+      ~binds:[ ("picture_url", "picture_url"); ("caption", "caption") ]
+      "tweet picture $picture_url with caption $caption";
+    action (fn "com.twitter" "post_picture") [ ("picture_url", Ttype.Picture) ]
+      ~binds:[ ("picture_url", "picture_url") ]
+      ~fixed:[ ("caption", Value.String "check this out") ]
+      "post picture $picture_url on twitter";
+    action (fn "com.twitter" "retweet") [ ("tweet_id", Ttype.Entity "tt:tweet_id") ]
+      ~binds:[ ("tweet_id", "tweet_id") ]
+      "retweet $tweet_id";
+    action (fn "com.twitter" "follow") [ ("followee", username) ]
+      ~binds:[ ("followee", "followee") ]
+      "follow $followee on twitter";
+    action (fn "com.twitter" "send_direct_message")
+      [ ("to", username); ("message", Ttype.String) ]
+      ~binds:[ ("to", "to"); ("message", "message") ]
+      "send a twitter dm to $to saying $message";
+    (* facebook *)
+    action (fn "com.facebook" "post") [ ("status", Ttype.String) ]
+      ~binds:[ ("status", "status") ]
+      "post $status on facebook";
+    action (fn "com.facebook" "post") [ ("status", Ttype.String) ]
+      ~binds:[ ("status", "status") ]
+      "update my facebook status to $status";
+    action (fn "com.facebook" "post_picture")
+      [ ("picture_url", Ttype.Picture); ("caption", Ttype.String) ]
+      ~binds:[ ("picture_url", "picture_url"); ("caption", "caption") ]
+      "post picture $picture_url on facebook with caption $caption";
+    action (fn "com.facebook" "post_picture") [ ("picture_url", Ttype.Picture) ]
+      ~binds:[ ("picture_url", "picture_url") ]
+      ~fixed:[ ("caption", Value.String "check this out") ]
+      "upload $picture_url to facebook";
+    (* instagram *)
+    query (fn "com.instagram" "get_pictures") [] "my instagram pictures";
+    query (fn "com.instagram" "get_pictures") [] "photos i posted on instagram";
+    monitor (fn "com.instagram" "get_pictures") [] "when i post a picture on instagram";
+    monitor (fn "com.instagram" "get_pictures") [] "when i upload a new photo to instagram";
+    query (fn "com.instagram" "get_pictures")
+      [ ("hashtag", hashtag) ]
+      ~filter:(atom "hashtags" Ast.Op_contains "hashtag")
+      "my instagram pictures with hashtag $hashtag";
+    query (fn "com.instagram" "get_profile") [] "my instagram profile";
+    (* linkedin *)
+    query (fn "com.linkedin" "get_profile") [] "my linkedin profile";
+    query (fn "com.linkedin" "get_profile") [] "my profile on linkedin";
+    action (fn "com.linkedin" "share") [ ("status", Ttype.String) ]
+      ~binds:[ ("status", "status") ]
+      "share $status on linkedin";
+    (* reddit *)
+    query (fn "com.reddit" "frontpage") [] "posts on the reddit front page";
+    query (fn "com.reddit" "frontpage") [] "reddit posts";
+    monitor (fn "com.reddit" "frontpage") [] "when a new post reaches the reddit front page";
+    query (fn "com.reddit" "frontpage")
+      [ ("subreddit", Ttype.Entity "tt:subreddit") ]
+      ~binds:[ ("subreddit", "subreddit") ]
+      "posts in the $subreddit subreddit";
+    (* pinterest *)
+    query (fn "com.pinterest" "get_pins") [] "my pinterest pins";
+    monitor (fn "com.pinterest" "get_pins") [] "when i pin something on pinterest";
+    action (fn "com.pinterest" "save_pin")
+      [ ("board", Ttype.String); ("picture_url", Ttype.Picture) ]
+      ~binds:[ ("board", "board"); ("picture_url", "picture_url") ]
+      "pin $picture_url to my $board board";
+    (* tumblr *)
+    query (fn "com.tumblr" "dashboard") [] "posts on my tumblr dashboard";
+    monitor (fn "com.tumblr" "dashboard") [] "when there is a new post on my tumblr dashboard";
+    action (fn "com.tumblr" "post_text")
+      [ ("title", Ttype.String); ("body", Ttype.String) ]
+      ~binds:[ ("title", "title"); ("body", "body") ]
+      "post $title with text $body on tumblr" ]

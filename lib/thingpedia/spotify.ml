@@ -1,0 +1,167 @@
+(* The comprehensive Spotify skill of paper section 6.1: 15 queries and 17
+   actions. The skill exercises quote-free parameters whose value identity
+   matters ("play shake it off" is play_song, "play taylor swift" is
+   play_artist). *)
+
+open Genie_thingtalk
+open Schema
+
+let song = Ttype.Entity "tt:song"
+let artist = Ttype.Entity "tt:artist"
+let album = Ttype.Entity "tt:album"
+let playlist = Ttype.Entity "tt:playlist"
+
+let classes =
+  [ cls "com.spotify" ~doc:"Spotify music streaming"
+      [ (* 15 queries *)
+        query "get_currently_playing" ~is_list:false ~doc:"the song playing now"
+          [ out "song" song; out "artist" artist; out "album" album ];
+        query "get_user_top_tracks" ~doc:"your most played songs"
+          [ out "song" song; out "artist" artist ];
+        query "get_user_top_artists" ~doc:"your most played artists" [ out "artist" artist ];
+        query "get_song_from_library" ~doc:"songs saved in your library"
+          [ out "song" song; out "artist" artist; out "album" album;
+            out "popularity" Ttype.Number; out "energy" Ttype.Number;
+            out "tempo" (Ttype.Measure "bpm") ];
+        query "get_album_from_library" ~doc:"albums saved in your library"
+          [ out "album" album; out "artist" artist ];
+        query "get_artist_from_library" ~doc:"artists you saved" [ out "artist" artist ];
+        query "get_playlists" ~doc:"your playlists"
+          [ out "playlist" playlist; out "song_count" Ttype.Number ];
+        query "get_new_releases" ~doc:"newly released albums"
+          [ out "album" album; out "artist" artist ];
+        query "search_songs" ~monitorable:false ~doc:"search for songs"
+          [ in_req "query" Ttype.String; out "song" song; out "artist" artist;
+            out "popularity" Ttype.Number; out "energy" Ttype.Number;
+            out "tempo" (Ttype.Measure "bpm") ];
+        query "search_artists" ~monitorable:false ~doc:"search for artists"
+          [ in_req "query" Ttype.String; out "artist" artist ];
+        query "search_albums" ~monitorable:false ~doc:"search for albums"
+          [ in_req "query" Ttype.String; out "album" album; out "artist" artist ];
+        query "search_playlists" ~monitorable:false ~doc:"search for playlists"
+          [ in_req "query" Ttype.String; out "playlist" playlist ];
+        query "get_song_audio_features" ~monitorable:false ~is_list:false
+          ~doc:"audio features of a song"
+          [ in_req "song" song; out "tempo" (Ttype.Measure "bpm");
+            out "energy" Ttype.Number; out "danceability" Ttype.Number ];
+        query "get_recommendations" ~monitorable:false ~doc:"recommended songs"
+          [ out "song" song; out "artist" artist ];
+        query "get_saved_shows" ~doc:"podcasts you saved" [ out "show" Ttype.String ];
+        (* 17 actions *)
+        action "play_song" ~doc:"play a song" [ in_req "song" song ];
+        action "play_artist" ~doc:"play songs by an artist" [ in_req "artist" artist ];
+        action "play_album" ~doc:"play an album" [ in_req "album" album ];
+        action "play_playlist" ~doc:"play a playlist" [ in_req "playlist" playlist ];
+        action "play_my_media" ~doc:"play from your library" [];
+        action "pause" ~doc:"pause playback" [];
+        action "resume" ~doc:"resume playback" [];
+        action "skip_next" ~doc:"skip to the next song" [];
+        action "skip_previous" ~doc:"go back to the previous song" [];
+        action "set_volume" ~doc:"set the playback volume" [ in_req "volume" Ttype.Number ];
+        action "set_shuffle" ~doc:"turn shuffle on or off"
+          [ in_req "shuffle" (Ttype.Enum [ "on"; "off" ]) ];
+        action "set_repeat" ~doc:"set the repeat mode"
+          [ in_req "repeat" (Ttype.Enum [ "track"; "context"; "off" ]) ];
+        action "add_song_to_library" ~doc:"save a song to your library" [ in_req "song" song ];
+        action "remove_song_from_library" ~doc:"remove a song from your library"
+          [ in_req "song" song ];
+        action "add_song_to_playlist" ~doc:"add a song to a playlist"
+          [ in_req "song" song; in_req "playlist" playlist ];
+        action "create_playlist" ~doc:"create a playlist" [ in_req "name" Ttype.String ];
+        action "add_to_queue" ~doc:"queue a song" [ in_req "song" song ] ] ]
+
+let fn name = Ast.Fn.make "com.spotify" name
+
+let templates : Prim.t list =
+  let open Prim in
+  [ query (fn "get_currently_playing") [] "the song that is playing";
+    query (fn "get_currently_playing") [] "what i am listening to";
+    monitor (fn "get_currently_playing") [] "when the song changes";
+    query (fn "get_user_top_tracks") [] "my most played songs";
+    query (fn "get_user_top_tracks") [] "my top tracks on spotify";
+    query (fn "get_user_top_artists") [] "my favorite artists";
+    query (fn "get_song_from_library") [] "songs in my spotify library";
+    query (fn "get_song_from_library") [] "my saved songs";
+    query (fn "get_song_from_library")
+      [ ("artist", artist) ]
+      ~filter:(atom "artist" Ast.Op_eq "artist")
+      "songs by $artist in my library";
+    query (fn "get_song_from_library")
+      [ ("tempo", Ttype.Measure "bpm") ]
+      ~filter:(atom "tempo" Ast.Op_gt "tempo")
+      "songs faster than $tempo";
+    monitor (fn "get_song_from_library") [] "when i save a song";
+    query (fn "get_album_from_library") [] "albums in my library";
+    query (fn "get_artist_from_library") [] "artists i saved";
+    query (fn "get_playlists") [] "my playlists";
+    monitor (fn "get_playlists") [] "when i create a playlist";
+    query (fn "get_new_releases") [] "new album releases";
+    monitor (fn "get_new_releases") [] "when a new album comes out";
+    query (fn "search_songs") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ]
+      "songs matching $query";
+    query (fn "search_songs") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ] ~category:Vp
+      "search spotify for $query";
+    query (fn "search_artists") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ]
+      "artists matching $query";
+    query (fn "search_albums") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ]
+      "albums matching $query";
+    query (fn "search_playlists") [ ("query", Ttype.String) ]
+      ~binds:[ ("query", "query") ]
+      "playlists about $query";
+    query (fn "get_song_audio_features") [ ("song", song) ]
+      ~binds:[ ("song", "song") ]
+      "the audio features of $song";
+    query (fn "get_song_audio_features") [ ("song", song) ]
+      ~binds:[ ("song", "song") ]
+      "the tempo of $song";
+    query (fn "get_recommendations") [] "song recommendations for me";
+    query (fn "get_saved_shows") [] "podcasts i follow";
+    action (fn "play_song") [ ("song", song) ] ~binds:[ ("song", "song") ] "play $song";
+    action (fn "play_song") [ ("song", song) ] ~binds:[ ("song", "song") ]
+      "play the song $song";
+    action (fn "play_song") [ ("song", song) ] ~binds:[ ("song", "song") ]
+      "listen to $song";
+    action (fn "play_artist") [ ("artist", artist) ] ~binds:[ ("artist", "artist") ]
+      "play $artist";
+    action (fn "play_artist") [ ("artist", artist) ] ~binds:[ ("artist", "artist") ]
+      "play music by $artist";
+    action (fn "play_artist") [ ("artist", artist) ] ~binds:[ ("artist", "artist") ]
+      "play songs by $artist";
+    action (fn "play_album") [ ("album", album) ] ~binds:[ ("album", "album") ]
+      "play the album $album";
+    action (fn "play_playlist") [ ("playlist", playlist) ]
+      ~binds:[ ("playlist", "playlist") ]
+      "play my $playlist playlist";
+    action (fn "play_my_media") [] "play my music";
+    action (fn "pause") [] "pause the music";
+    action (fn "pause") [] "stop playing";
+    action (fn "resume") [] "resume the music";
+    action (fn "skip_next") [] "skip this song";
+    action (fn "skip_next") [] "play the next song";
+    action (fn "skip_previous") [] "play the previous song";
+    action (fn "set_volume") [ ("volume", Ttype.Number) ] ~binds:[ ("volume", "volume") ]
+      "set the spotify volume to $volume";
+    action (fn "set_shuffle") [ ("shuffle", Ttype.Enum [ "on"; "off" ]) ]
+      ~binds:[ ("shuffle", "shuffle") ]
+      "turn shuffle $shuffle";
+    action (fn "set_repeat") [ ("repeat", Ttype.Enum [ "track"; "context"; "off" ]) ]
+      ~binds:[ ("repeat", "repeat") ]
+      "set repeat to $repeat";
+    action (fn "add_song_to_library") [ ("song", song) ] ~binds:[ ("song", "song") ]
+      "add $song to my library";
+    action (fn "add_song_to_library") [ ("song", song) ] ~binds:[ ("song", "song") ]
+      "save $song";
+    action (fn "remove_song_from_library") [ ("song", song) ] ~binds:[ ("song", "song") ]
+      "remove $song from my library";
+    action (fn "add_song_to_playlist")
+      [ ("song", song); ("playlist", playlist) ]
+      ~binds:[ ("song", "song"); ("playlist", "playlist") ]
+      "add $song to the playlist $playlist";
+    action (fn "create_playlist") [ ("name", Ttype.String) ] ~binds:[ ("name", "name") ]
+      "create a playlist called $name";
+    action (fn "add_to_queue") [ ("song", song) ] ~binds:[ ("song", "song") ]
+      "queue $song" ]

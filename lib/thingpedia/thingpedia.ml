@@ -1,0 +1,61 @@
+(* The assembled Thingpedia skill library and primitive-template registry.
+
+   The paper's experiments run on the Thingpedia snapshot available at the
+   start of the study: 44 skills, 131 functions, 178 distinct parameters
+   (section 5). The core library below reproduces that scale; the Spotify
+   skill (section 6.1) is kept separate and merged in for the case study. *)
+
+open Genie_thingtalk
+
+let core_classes =
+  Social.classes @ Communication.classes @ Media.classes @ Iot.classes
+  @ Productivity.classes @ Lifestyle.classes
+
+let core_library () = Schema.Library.of_classes core_classes
+
+let full_library () = Schema.Library.of_classes (core_classes @ Spotify.classes)
+
+let spotify_library () =
+  (* Spotify plus the builtins it composes with in the case study *)
+  Schema.Library.of_classes (core_classes @ Spotify.classes)
+
+(* The hand-authored templates plus their mechanical surface variants (see
+   Variants); [core_templates] is what the synthesis pipeline consumes. *)
+let authored_core_templates () : Prim.t list =
+  Social.templates @ Communication.templates @ Media.templates @ Iot.templates
+  @ Productivity.templates @ Lifestyle.templates
+
+let core_templates () : Prim.t list = Variants.expand_all (authored_core_templates ())
+
+let spotify_templates () : Prim.t list = Variants.expand_all Spotify.templates
+
+let all_templates () = core_templates () @ spotify_templates ()
+
+(* Developers list easy- and hard-to-understand functions so the paraphrase
+   sampler can pair them (section 3.2). *)
+let easy_functions =
+  List.map
+    (fun (c, f) -> Ast.Fn.make c f)
+    [ ("com.twitter", "post"); ("com.facebook", "post"); ("com.gmail", "send_email");
+      ("com.gmail", "inbox"); ("com.thecatapi", "get"); ("com.dogapi", "get");
+      ("org.thingpedia.weather", "current"); ("com.nest.thermostat", "get_temperature");
+      ("io.home-assistant.light", "set_power"); ("com.twitter", "timeline");
+      ("org.thingpedia.builtin.thingengine.phone", "send_sms");
+      ("org.thingpedia.builtin.thingengine.builtin", "say") ]
+
+let hard_functions =
+  List.map
+    (fun (c, f) -> Ast.Fn.make c f)
+    [ ("com.dropbox", "get_space_usage"); ("com.dropbox", "open");
+      ("org.thingpedia.rss", "get_post"); ("co.alphavantage", "get_stock_div");
+      ("com.yandex.translate", "detect_language"); ("gov.epa.airnow", "aqi");
+      ("com.github", "get_notifications"); ("com.sportradar", "game") ]
+
+(* Library statistics reported alongside the experiments. *)
+let stats lib =
+  let open Schema.Library in
+  Printf.sprintf "%d skills, %d functions (%d queries, %d actions), %d distinct parameters"
+    (num_classes lib) (num_functions lib)
+    (List.length (queries lib))
+    (List.length (actions lib))
+    (distinct_params lib)

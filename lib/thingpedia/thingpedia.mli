@@ -1,0 +1,32 @@
+(** The assembled Thingpedia skill library and primitive-template registry.
+
+    The paper's experiments run on the Thingpedia snapshot available at the
+    start of the study (44 skills, 131 functions, 178 distinct parameters);
+    the core library here matches that scale. The Spotify skill of
+    section 6.1 is kept separate and merged in for the case study. *)
+
+open Genie_thingtalk
+
+val core_classes : Schema.cls list
+val core_library : unit -> Schema.Library.t
+val full_library : unit -> Schema.Library.t
+val spotify_library : unit -> Schema.Library.t
+
+val authored_core_templates : unit -> Prim.t list
+(** The hand-authored primitive templates. *)
+
+val core_templates : unit -> Prim.t list
+(** Authored templates plus mechanical surface variants ({!Variants}); what
+    the synthesis pipeline consumes. *)
+
+val spotify_templates : unit -> Prim.t list
+val all_templates : unit -> Prim.t list
+
+val easy_functions : Ast.Fn.t list
+(** Developer-supplied list of easy-to-understand functions, used to pair
+    compound paraphrase tasks (section 3.2). *)
+
+val hard_functions : Ast.Fn.t list
+
+val stats : Schema.Library.t -> string
+(** A one-line summary (skills / functions / parameters). *)

@@ -1,0 +1,56 @@
+(* Programmatic utterance variants for the authored primitive templates.
+
+   The paper's developers wrote 8.5 templates per function on average; many of
+   those differ only in surface wording. The hand-authored templates here are
+   complemented by mechanical variants (alternative when-words, quantifiers,
+   list framings), which is documented in DESIGN.md as part of the template
+   inventory. *)
+
+open Genie_util
+
+let with_utterance (t : Prim.t) u = { t with Prim.utterance = u }
+
+let strip_prefix ~prefix s =
+  if Tok.starts_with ~prefix s then
+    Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  else None
+
+let np_variants (t : Prim.t) =
+  let u = t.Prim.utterance in
+  let base =
+    match strip_prefix ~prefix:"my " u with
+    | Some rest -> [ "all my " ^ rest ]
+    | None -> (
+        match strip_prefix ~prefix:"the " u with
+        | Some rest -> [ "all the " ^ rest ]
+        | None -> [])
+  in
+  List.map (with_utterance t) base
+
+let wp_variants (t : Prim.t) =
+  let u = t.Prim.utterance in
+  match strip_prefix ~prefix:"when " u with
+  | Some rest ->
+      List.map (with_utterance t)
+        [ "whenever " ^ rest; "every time " ^ rest; "as soon as " ^ rest ]
+  | None -> []
+
+let vp_variants (t : Prim.t) =
+  (* verb phrases get a light "for me" framing; only when no placeholder ends
+     the utterance awkwardly *)
+  let u = t.Prim.utterance in
+  if String.length u > 0 && u.[String.length u - 1] <> 'x' then
+    [ with_utterance t (u ^ " for me") ]
+  else []
+
+(* Expands one authored template into itself plus its derived variants. *)
+let expand (t : Prim.t) : Prim.t list =
+  let derived =
+    match t.Prim.category with
+    | Prim.Np -> np_variants t
+    | Prim.Wp -> wp_variants t
+    | Prim.Vp -> if t.Prim.params = [] then vp_variants t else []
+  in
+  t :: derived
+
+let expand_all (ts : Prim.t list) : Prim.t list = List.concat_map expand ts

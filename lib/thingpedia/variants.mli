@@ -1,0 +1,11 @@
+(** Programmatic surface variants of the authored primitive templates.
+
+    The paper's developers wrote 8.5 templates per function on average, many
+    differing only in wording; the hand-authored templates here are
+    complemented by mechanical variants (alternative when-words, quantifiers,
+    "for me" framings), as documented in DESIGN.md. *)
+
+val expand : Prim.t -> Prim.t list
+(** A template plus its derived variants. *)
+
+val expand_all : Prim.t list -> Prim.t list

@@ -1,0 +1,268 @@
+(* The abstract syntax of ThingTalk programs (paper Fig. 5), including the
+   TT+A aggregation extension (section 6.3) and TACL policies (Fig. 10). *)
+
+(* A reference to a skill function, e.g. @com.twitter.retweet. *)
+module Fn = struct
+  type t = { cls : string; name : string }
+
+  let make cls name = { cls; name }
+  let to_string { cls; name } = Printf.sprintf "@%s.%s" cls name
+  let equal (a : t) (b : t) = a = b
+  let compare (a : t) (b : t) = Stdlib.compare a b
+
+  let of_string s =
+    if String.length s < 2 || s.[0] <> '@' then
+      invalid_arg (Printf.sprintf "Fn.of_string: %S" s);
+    match String.rindex_opt s '.' with
+    | None -> invalid_arg (Printf.sprintf "Fn.of_string: %S" s)
+    | Some i ->
+        { cls = String.sub s 1 (i - 1);
+          name = String.sub s (i + 1) (String.length s - i - 1) }
+end
+
+type comp_op =
+  | Op_eq
+  | Op_neq
+  | Op_gt
+  | Op_lt
+  | Op_geq
+  | Op_leq
+  | Op_contains (* array containment *)
+  | Op_substr
+  | Op_starts_with
+  | Op_ends_with
+  | Op_in_array (* scalar member of constant array *)
+
+let comp_op_to_string = function
+  | Op_eq -> "=="
+  | Op_neq -> "!="
+  | Op_gt -> ">"
+  | Op_lt -> "<"
+  | Op_geq -> ">="
+  | Op_leq -> "<="
+  | Op_contains -> "contains"
+  | Op_substr -> "substr"
+  | Op_starts_with -> "starts_with"
+  | Op_ends_with -> "ends_with"
+  | Op_in_array -> "in_array"
+
+let all_comp_ops =
+  [ Op_eq; Op_neq; Op_gt; Op_lt; Op_geq; Op_leq; Op_contains; Op_substr;
+    Op_starts_with; Op_ends_with; Op_in_array ]
+
+let comp_op_of_string s =
+  match List.find_opt (fun op -> comp_op_to_string op = s) all_comp_ops with
+  | Some op -> op
+  | None -> invalid_arg (Printf.sprintf "comp_op_of_string: %S" s)
+
+(* The value of an input parameter: a constant, or an output parameter of an
+   earlier clause passed by name (keyword parameter passing, section 2.3). *)
+type param_value =
+  | Constant of Value.t
+  | Passed of string
+
+type in_param = { ip_name : string; ip_value : param_value }
+
+type invocation = { fn : Fn.t; in_params : in_param list }
+
+type predicate =
+  | P_true
+  | P_false
+  | P_not of predicate
+  | P_and of predicate list
+  | P_or of predicate list
+  | P_atom of { lhs : string; op : comp_op; rhs : Value.t }
+  (* Predicated query function: f [ip = v]* { p } *)
+  | P_external of { inv : invocation; pred : predicate }
+
+type agg_op = Agg_max | Agg_min | Agg_sum | Agg_avg | Agg_count
+
+let agg_op_to_string = function
+  | Agg_max -> "max"
+  | Agg_min -> "min"
+  | Agg_sum -> "sum"
+  | Agg_avg -> "avg"
+  | Agg_count -> "count"
+
+type query =
+  | Q_invoke of invocation
+  | Q_filter of query * predicate
+  (* Join; the association list passes (input param of right, output param of
+     left) pairs, as in [q join q on (ip = op)]. *)
+  | Q_join of query * query * (string * string) list
+  (* TT+A: agg op pn of (q) / agg count of (q). *)
+  | Q_aggregate of { op : agg_op; field : string option; inner : query }
+
+type stream =
+  | S_now
+  | S_attimer of Value.t (* time *)
+  | S_timer of { base : Value.t; interval : Value.t }
+  (* Monitor a query, optionally only on changes of specific fields
+     ("on new file_name"). *)
+  | S_monitor of query * string list option
+  | S_edge of stream * predicate
+
+type action =
+  | A_notify
+  | A_invoke of invocation
+
+type program = { stream : stream; query : query option; action : action }
+
+(* TACL access-control policies (Fig. 10): a predicate over the requesting
+   principal plus a restricted primitive command. *)
+type policy_target =
+  | Policy_query of invocation * predicate
+  | Policy_action of invocation * predicate
+
+type policy = { source : predicate; target : policy_target }
+
+(* Grammar-category-tagged fragment produced by templates; commands are whole
+   programs. *)
+type fragment =
+  | F_stream of stream
+  | F_query of query
+  | F_action of action
+  | F_predicate of predicate
+  | F_program of program
+  | F_policy of policy
+  | F_value of Value.t
+
+let equal_program (a : program) (b : program) = a = b
+let compare_program (a : program) (b : program) = Stdlib.compare a b
+
+(* --- traversals -------------------------------------------------------- *)
+
+let rec query_invocations = function
+  | Q_invoke inv -> [ inv ]
+  | Q_filter (q, _) -> query_invocations q
+  | Q_join (a, b, _) -> query_invocations a @ query_invocations b
+  | Q_aggregate { inner; _ } -> query_invocations inner
+
+let rec stream_invocations = function
+  | S_now | S_attimer _ | S_timer _ -> []
+  | S_monitor (q, _) -> query_invocations q
+  | S_edge (s, _) -> stream_invocations s
+
+let action_invocations = function
+  | A_notify -> []
+  | A_invoke inv -> [ inv ]
+
+let program_invocations { stream; query; action } =
+  stream_invocations stream
+  @ (match query with None -> [] | Some q -> query_invocations q)
+  @ action_invocations action
+
+let program_functions p = List.map (fun inv -> inv.fn) (program_invocations p)
+
+let rec predicate_atoms = function
+  | P_true | P_false -> []
+  | P_not p -> predicate_atoms p
+  | P_and ps | P_or ps -> List.concat_map predicate_atoms ps
+  | P_atom { lhs; op; rhs } -> [ (lhs, op, rhs) ]
+  | P_external { pred; _ } -> predicate_atoms pred
+
+let rec query_predicates = function
+  | Q_invoke _ -> []
+  | Q_filter (q, p) -> p :: query_predicates q
+  | Q_join (a, b, _) -> query_predicates a @ query_predicates b
+  | Q_aggregate { inner; _ } -> query_predicates inner
+
+let rec stream_predicates = function
+  | S_now | S_attimer _ | S_timer _ -> []
+  | S_monitor (q, _) -> query_predicates q
+  | S_edge (s, p) -> p :: stream_predicates s
+
+let program_predicates { stream; query; action = _ } =
+  stream_predicates stream
+  @ (match query with None -> [] | Some q -> query_predicates q)
+
+(* Whether the program uses a single skill function (primitive command) or
+   more (compound command); used for dataset characteristics (Fig. 7). *)
+let is_primitive p = List.length (program_invocations p) <= 1
+
+let has_filter p =
+  program_predicates p <> []
+  || List.exists (fun pr -> pr <> P_true) (program_predicates p)
+
+let has_param_passing p =
+  let invs = program_invocations p in
+  List.exists
+    (fun inv ->
+      List.exists (fun ip -> match ip.ip_value with Passed _ -> true | _ -> false) inv.in_params)
+    invs
+  ||
+  let rec join_passing = function
+    | Q_invoke _ -> false
+    | Q_filter (q, _) -> join_passing q
+    | Q_join (a, b, on) -> on <> [] || join_passing a || join_passing b
+    | Q_aggregate { inner; _ } -> join_passing inner
+  in
+  match p.query with Some q -> join_passing q | None -> false
+
+(* All constants appearing in a program, with the parameter name they fill;
+   used by parameter replacement. *)
+let program_constants (p : program) : (string * Value.t) list =
+  let acc = ref [] in
+  let add name v = acc := (name, v) :: !acc in
+  let in_params inv =
+    List.iter
+      (fun ip -> match ip.ip_value with Constant v -> add ip.ip_name v | Passed _ -> ())
+      inv.in_params
+  in
+  let rec pred = function
+    | P_true | P_false -> ()
+    | P_not p -> pred p
+    | P_and ps | P_or ps -> List.iter pred ps
+    | P_atom { lhs; rhs; _ } -> add lhs rhs
+    | P_external { inv; pred = p } -> in_params inv; pred p
+  in
+  let rec query = function
+    | Q_invoke inv -> in_params inv
+    | Q_filter (q, p) -> query q; pred p
+    | Q_join (a, b, _) -> query a; query b
+    | Q_aggregate { inner; _ } -> query inner
+  in
+  let rec stream = function
+    | S_now | S_attimer _ | S_timer _ -> ()
+    | S_monitor (q, _) -> query q
+    | S_edge (s, p) -> stream s; pred p
+  in
+  stream p.stream;
+  (match p.query with Some q -> query q | None -> ());
+  (match p.action with A_notify -> () | A_invoke inv -> in_params inv);
+  List.rev !acc
+
+(* Rewrites every constant in the program with [f name value]. *)
+let map_constants (f : string -> Value.t -> Value.t) (p : program) : program =
+  let in_params inv =
+    { inv with
+      in_params =
+        List.map
+          (fun ip ->
+            match ip.ip_value with
+            | Constant v -> { ip with ip_value = Constant (f ip.ip_name v) }
+            | Passed _ -> ip)
+          inv.in_params }
+  in
+  let rec pred = function
+    | (P_true | P_false) as p -> p
+    | P_not p -> P_not (pred p)
+    | P_and ps -> P_and (List.map pred ps)
+    | P_or ps -> P_or (List.map pred ps)
+    | P_atom { lhs; op; rhs } -> P_atom { lhs; op; rhs = f lhs rhs }
+    | P_external { inv; pred = p } -> P_external { inv = in_params inv; pred = pred p }
+  in
+  let rec query = function
+    | Q_invoke inv -> Q_invoke (in_params inv)
+    | Q_filter (q, p) -> Q_filter (query q, pred p)
+    | Q_join (a, b, on) -> Q_join (query a, query b, on)
+    | Q_aggregate a -> Q_aggregate { a with inner = query a.inner }
+  in
+  let rec stream = function
+    | (S_now | S_attimer _ | S_timer _) as s -> s
+    | S_monitor (q, on_new) -> S_monitor (query q, on_new)
+    | S_edge (s, p) -> S_edge (stream s, pred p)
+  in
+  { stream = stream p.stream;
+    query = Option.map query p.query;
+    action = (match p.action with A_notify -> A_notify | A_invoke inv -> A_invoke (in_params inv)) }

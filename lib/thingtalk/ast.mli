@@ -1,0 +1,129 @@
+(** Abstract syntax of ThingTalk programs (paper Fig. 5), including the TT+A
+    aggregation extension (section 6.3) and TACL policies (Fig. 10).
+
+    ThingTalk has a single construct, [s => q? => a]: a stream of events, an
+    optional data retrieval, and an action, each predicable. Queries always
+    return lists that are implicitly traversed; outputs flow into later
+    clauses through keyword parameters (section 2.3). *)
+
+(** References to skill functions, e.g. [@com.twitter.retweet]. *)
+module Fn : sig
+  type t = { cls : string; name : string }
+
+  val make : string -> string -> t
+  val to_string : t -> string
+
+  val of_string : string -> t
+  (** Parses ["@cls.fn"]. Raises [Invalid_argument] on malformed input. *)
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+end
+
+(** Comparison operators of the predicate language. *)
+type comp_op =
+  | Op_eq
+  | Op_neq
+  | Op_gt
+  | Op_lt
+  | Op_geq
+  | Op_leq
+  | Op_contains  (** array containment (or substring on string columns) *)
+  | Op_substr
+  | Op_starts_with
+  | Op_ends_with
+  | Op_in_array
+
+val comp_op_to_string : comp_op -> string
+val comp_op_of_string : string -> comp_op
+val all_comp_ops : comp_op list
+
+(** The value of an input parameter: a constant, or an output parameter of an
+    earlier clause passed by name. *)
+type param_value = Constant of Value.t | Passed of string
+
+type in_param = { ip_name : string; ip_value : param_value }
+type invocation = { fn : Fn.t; in_params : in_param list }
+
+type predicate =
+  | P_true
+  | P_false
+  | P_not of predicate
+  | P_and of predicate list
+  | P_or of predicate list
+  | P_atom of { lhs : string; op : comp_op; rhs : Value.t }
+  | P_external of { inv : invocation; pred : predicate }
+      (** a predicated query function: [f(ip = v, ...) { p }] *)
+
+type agg_op = Agg_max | Agg_min | Agg_sum | Agg_avg | Agg_count
+
+val agg_op_to_string : agg_op -> string
+
+type query =
+  | Q_invoke of invocation
+  | Q_filter of query * predicate
+  | Q_join of query * query * (string * string) list
+      (** [(input param of the right operand, output param of the left)] *)
+  | Q_aggregate of { op : agg_op; field : string option; inner : query }
+
+type stream =
+  | S_now  (** trigger once, immediately *)
+  | S_attimer of Value.t  (** daily at a given time *)
+  | S_timer of { base : Value.t; interval : Value.t }
+  | S_monitor of query * string list option
+      (** fire when the query result changes, optionally only on the listed
+          fields *)
+  | S_edge of stream * predicate
+      (** fire on false -> true transitions of the predicate (section 2.3) *)
+
+type action = A_notify | A_invoke of invocation
+
+type program = { stream : stream; query : query option; action : action }
+
+(** TACL access control (Fig. 10). *)
+type policy_target =
+  | Policy_query of invocation * predicate
+  | Policy_action of invocation * predicate
+
+type policy = { source : predicate; target : policy_target }
+
+(** Grammar-category-tagged values produced by NL templates. *)
+type fragment =
+  | F_stream of stream
+  | F_query of query
+  | F_action of action
+  | F_predicate of predicate
+  | F_program of program
+  | F_policy of policy
+  | F_value of Value.t
+
+val equal_program : program -> program -> bool
+val compare_program : program -> program -> int
+
+(** {2 Traversals} *)
+
+val query_invocations : query -> invocation list
+val stream_invocations : stream -> invocation list
+val action_invocations : action -> invocation list
+val program_invocations : program -> invocation list
+
+val program_functions : program -> Fn.t list
+(** All skill functions a program mentions, in clause order. *)
+
+val predicate_atoms : predicate -> (string * comp_op * Value.t) list
+val query_predicates : query -> predicate list
+val stream_predicates : stream -> predicate list
+val program_predicates : program -> predicate list
+
+val is_primitive : program -> bool
+(** One function = primitive command; more = compound (Fig. 7). *)
+
+val has_filter : program -> bool
+val has_param_passing : program -> bool
+
+val program_constants : program -> (string * Value.t) list
+(** All constants with the parameter name they fill, in program order; the
+    input to parameter replacement (section 3.3). *)
+
+val map_constants : (string -> Value.t -> Value.t) -> program -> program
+(** Rewrites every constant; parameter passing is untouched. *)

@@ -1,0 +1,231 @@
+(* Canonicalization of ThingTalk programs (paper section 2.4).
+
+   Canonical form is what allows the output of the neural network to be
+   checked for correctness with an exact match: semantically equivalent
+   programs print identically. The transformation rules are:
+
+   - boolean predicates are simplified, converted to conjunctive normal form,
+     and conjuncts/disjuncts are sorted lexically;
+   - nested filter applications collapse to a single filter with &&;
+   - joins without parameter passing are commutative and their operands are
+     ordered lexically;
+   - each filter clause is moved to the left-most function that includes all
+     the output parameters it mentions;
+   - input parameters are listed in alphabetical order. *)
+
+open Ast
+
+(* --- predicate normalization -------------------------------------------- *)
+
+(* A literal: a possibly-negated atom or external predicate. *)
+type literal = { negated : bool; body : predicate }
+
+let negate_atom lhs op rhs =
+  (* Push negation into the operator when an exact dual exists. *)
+  let dual = function
+    | Op_eq -> Some Op_neq
+    | Op_neq -> Some Op_eq
+    | Op_gt -> Some Op_leq
+    | Op_leq -> Some Op_gt
+    | Op_lt -> Some Op_geq
+    | Op_geq -> Some Op_lt
+    | Op_contains | Op_substr | Op_starts_with | Op_ends_with | Op_in_array -> None
+  in
+  match dual op with
+  | Some op' -> Some (P_atom { lhs; op = op'; rhs })
+  | None -> None
+
+let literal_to_pred { negated; body } = if negated then P_not body else body
+
+let literal_key l = Printer.predicate_to_string (literal_to_pred l)
+
+(* Conjunctive normal form: a conjunction of clauses, each clause a
+   disjunction of literals. [None] encodes the constant false clause. *)
+let rec to_cnf (p : predicate) : literal list list =
+  (* negation normal form first *)
+  let rec nnf negated p =
+    match p with
+    | P_true -> if negated then `False else `True
+    | P_false -> if negated then `True else `False
+    | P_not p -> nnf (not negated) p
+    | P_and ps ->
+        let parts = List.map (nnf negated) ps in
+        if negated then `Or parts else `And parts
+    | P_or ps ->
+        let parts = List.map (nnf negated) ps in
+        if negated then `And parts else `Or parts
+    | P_atom { lhs; op; rhs } when negated -> (
+        match negate_atom lhs op rhs with
+        | Some p' -> `Lit { negated = false; body = p' }
+        | None -> `Lit { negated = true; body = p })
+    | P_atom _ -> `Lit { negated; body = p }
+    | P_external e ->
+        `Lit { negated; body = P_external { e with pred = normalize_pred e.pred } }
+  (* CNF of an NNF term: list of clauses *)
+  and cnf = function
+    | `True -> []
+    | `False -> [ [] ] (* one empty (unsatisfiable) clause *)
+    | `Lit l -> [ [ l ] ]
+    | `And parts -> List.concat_map cnf parts
+    | `Or parts ->
+        (* distribute: clauses(p1 or p2) = {c1 ∪ c2 | ci ∈ clauses(pi)} *)
+        List.fold_left
+          (fun acc part ->
+            let cs = cnf part in
+            List.concat_map (fun c1 -> List.map (fun c2 -> c1 @ c2) cs) acc)
+          [ [] ] parts
+  and normalize_pred p = of_cnf (to_cnf_inner p)
+  and to_cnf_inner p = cnf (nnf false p)
+  in
+  cnf (nnf false p)
+
+and of_cnf (clauses : literal list list) : predicate =
+  (* sort and deduplicate literals within clauses and clauses within the
+     conjunction; drop tautological duplicates *)
+  let clause_pred lits =
+    let lits = List.sort_uniq (fun a b -> compare (literal_key a) (literal_key b)) lits in
+    match lits with
+    | [] -> P_false
+    | [ l ] -> literal_to_pred l
+    | ls -> P_or (List.map literal_to_pred ls)
+  in
+  let clauses =
+    List.map clause_pred clauses
+    |> List.sort_uniq (fun a b -> compare (Printer.predicate_to_string a) (Printer.predicate_to_string b))
+  in
+  let clauses = List.filter (fun c -> c <> P_true) clauses in
+  if List.mem P_false clauses then P_false
+  else
+    match clauses with
+    | [] -> P_true
+    | [ c ] -> c
+    | cs -> P_and cs
+
+let normalize_predicate p = of_cnf (to_cnf p)
+
+(* Conjunct list of a normalized predicate. *)
+let conjuncts p =
+  match normalize_predicate p with
+  | P_true -> []
+  | P_and ps -> ps
+  | p -> [ p ]
+
+let conjoin = function
+  | [] -> P_true
+  | [ p ] -> p
+  | ps -> normalize_predicate (P_and ps)
+
+(* Output parameters mentioned by a predicate (for clause placement). *)
+let rec predicate_params = function
+  | P_true | P_false -> []
+  | P_not p -> predicate_params p
+  | P_and ps | P_or ps -> List.concat_map predicate_params ps
+  | P_atom { lhs; _ } -> [ lhs ]
+  | P_external _ -> []
+
+(* --- program normalization ----------------------------------------------- *)
+
+let sort_in_params ips =
+  List.sort (fun a b -> compare a.ip_name b.ip_name) ips
+
+let normalize_invocation inv = { inv with in_params = sort_in_params inv.in_params }
+
+let rec query_has_param_passing = function
+  | Q_invoke inv ->
+      List.exists (fun ip -> match ip.ip_value with Passed _ -> true | _ -> false)
+        inv.in_params
+  | Q_filter (q, _) -> query_has_param_passing q
+  | Q_join (a, b, on) -> on <> [] || query_has_param_passing a || query_has_param_passing b
+  | Q_aggregate { inner; _ } -> query_has_param_passing inner
+
+(* Collect (query, filter conjuncts) and rebuild with filters pushed to the
+   left-most operand whose output parameters cover them. *)
+let rec normalize_query lib (q : query) : query =
+  match q with
+  | Q_invoke inv -> Q_invoke (normalize_invocation inv)
+  | Q_filter (inner, p) -> (
+      let inner = normalize_query lib inner in
+      let p = normalize_predicate p in
+      match inner with
+      | Q_filter (q0, p0) -> normalize_query lib (Q_filter (q0, P_and [ p0; p ]))
+      | Q_join _ -> push_filters lib inner (conjuncts p)
+      | _ -> (
+          match p with
+          | P_true -> inner
+          | _ -> Q_filter (inner, p)))
+  | Q_join (a, b, on) ->
+      let a = normalize_query lib a and b = normalize_query lib b in
+      let on = List.sort compare on in
+      if on = [] && not (query_has_param_passing b) then
+        (* commutative: order operands lexically *)
+        let sa = Printer.query_to_string a and sb = Printer.query_to_string b in
+        if compare sa sb <= 0 then Q_join (a, b, []) else Q_join (b, a, [])
+      else Q_join (a, b, on)
+  | Q_aggregate a -> Q_aggregate { a with inner = normalize_query lib a.inner }
+
+(* Move each conjunct to the left-most subquery that provides all of its
+   output parameters; conjuncts that span operands stay at the top. *)
+and push_filters lib (q : query) (cs : predicate list) : query =
+  match cs with
+  | [] -> q
+  | _ -> (
+      match q with
+      | Q_join (a, b, on) ->
+          let outs_a = Typecheck.query_out_params lib a in
+          let covered_a, rest =
+            List.partition
+              (fun c ->
+                let ps = predicate_params c in
+                ps <> [] && List.for_all (fun p -> List.mem_assoc p outs_a) ps)
+              cs
+          in
+          let outs_b = Typecheck.query_out_params lib b in
+          let covered_b, top =
+            List.partition
+              (fun c ->
+                let ps = predicate_params c in
+                ps <> [] && List.for_all (fun p -> List.mem_assoc p outs_b) ps)
+              rest
+          in
+          let a = if covered_a = [] then a else normalize_query lib (Q_filter (a, conjoin covered_a)) in
+          let b = if covered_b = [] then b else normalize_query lib (Q_filter (b, conjoin covered_b)) in
+          let joined = normalize_query lib (Q_join (a, b, on)) in
+          if top = [] then joined else Q_filter (joined, conjoin top)
+      | _ -> (
+          match conjoin cs with
+          | P_true -> q
+          | p -> Q_filter (q, p)))
+
+let rec normalize_stream lib (s : stream) : stream =
+  match s with
+  | S_now | S_attimer _ | S_timer _ -> s
+  | S_monitor (q, on_new) ->
+      S_monitor (normalize_query lib q, Option.map (List.sort compare) on_new)
+  | S_edge (inner, p) -> S_edge (normalize_stream lib inner, normalize_predicate p)
+
+let normalize_action a =
+  match a with
+  | A_notify -> A_notify
+  | A_invoke inv -> A_invoke (normalize_invocation inv)
+
+let normalize lib (p : program) : program =
+  { stream = normalize_stream lib p.stream;
+    query = Option.map (normalize_query lib) p.query;
+    action = normalize_action p.action }
+
+let normalize_policy lib (p : policy) : policy =
+  ignore lib;
+  let target =
+    match p.target with
+    | Policy_query (inv, pred) ->
+        Policy_query (normalize_invocation inv, normalize_predicate pred)
+    | Policy_action (inv, pred) ->
+        Policy_action (normalize_invocation inv, normalize_predicate pred)
+  in
+  { source = normalize_predicate p.source; target }
+
+(* Canonical textual form; two programs are equivalent under the paper's
+   program-accuracy metric iff their canonical strings are equal. *)
+let canonical_string lib p = Printer.program_to_string (normalize lib p)
+
+let equivalent lib a b = canonical_string lib a = canonical_string lib b

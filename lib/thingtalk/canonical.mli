@@ -1,0 +1,30 @@
+(** Canonicalization of ThingTalk programs (paper section 2.4).
+
+    Canonical form is what allows the neural network's output to be checked
+    for correctness with an exact match: semantically equivalent programs
+    print identically. The rules: boolean predicates are simplified, converted
+    to conjunctive normal form and sorted; nested filters collapse into one
+    && filter; joins without parameter passing have their operands ordered
+    lexically; each filter clause moves to the left-most operand that covers
+    its output parameters; input parameters are listed alphabetically. *)
+
+val normalize : Schema.Library.t -> Ast.program -> Ast.program
+(** The canonical form. Idempotent; preserves well-typedness, the function
+    multiset and runtime semantics (property-tested). *)
+
+val normalize_policy : Schema.Library.t -> Ast.policy -> Ast.policy
+
+val normalize_predicate : Ast.predicate -> Ast.predicate
+(** Simplify, convert to CNF, sort and deduplicate. *)
+
+val conjuncts : Ast.predicate -> Ast.predicate list
+(** The conjunct list of the normalized predicate ([[]] for [P_true]). *)
+
+val conjoin : Ast.predicate list -> Ast.predicate
+
+val canonical_string : Schema.Library.t -> Ast.program -> string
+(** [canonical_string lib p] prints [normalize lib p]; two programs are
+    equivalent under the paper's program-accuracy metric iff their canonical
+    strings are equal. *)
+
+val equivalent : Schema.Library.t -> Ast.program -> Ast.program -> bool

@@ -1,0 +1,176 @@
+(* Hand-written lexer for the ThingTalk surface syntax. *)
+
+type token =
+  | IDENT of string (* identifiers; keywords are resolved by the parser *)
+  | FNREF of string (* @com.example.fn *)
+  | NUMBER of float
+  | MEASURE of float * string (* a number immediately followed by a unit, e.g. 60F *)
+  | STRING of string
+  | ENUM of string (* enum:value *)
+  | RELATIVE_LOCATION of string (* location:home *)
+  | DOLLAR of string (* $now, $?, $placeholder *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMICOLON
+  | COLON
+  | ARROW (* => *)
+  | EQUALS (* = *)
+  | OP of string (* == != > < >= <= && || ! + ^^ *)
+  | EOF
+
+exception Error of string
+
+let token_to_string = function
+  | IDENT s -> s
+  | FNREF s -> s
+  | NUMBER n -> string_of_float n
+  | MEASURE (n, u) -> Printf.sprintf "%g%s" n u
+  | STRING s -> Printf.sprintf "%S" s
+  | ENUM s -> "enum:" ^ s
+  | RELATIVE_LOCATION s -> "location:" ^ s
+  | DOLLAR s -> "$" ^ s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMICOLON -> ";"
+  | COLON -> ":"
+  | ARROW -> "=>"
+  | EQUALS -> "="
+  | OP s -> s
+  | EOF -> "<eof>"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.' || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let peek2 () = if !pos + 1 < n then Some src.[!pos + 1] else None in
+  let advance () = incr pos in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let read_while pred =
+    let start = !pos in
+    while !pos < n && pred src.[!pos] do advance () done;
+    String.sub src start (!pos - start)
+  in
+  let read_string () =
+    (* opening quote consumed *)
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Error "unterminated string literal")
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some c -> Buffer.add_char buf c; advance ()
+          | None -> raise (Error "unterminated escape"));
+          go ()
+      | Some c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  while !pos < n do
+    match src.[!pos] with
+    | ' ' | '\t' | '\n' | '\r' -> advance ()
+    | '(' -> advance (); emit LPAREN
+    | ')' -> advance (); emit RPAREN
+    | '{' -> advance (); emit LBRACE
+    | '}' -> advance (); emit RBRACE
+    | '[' -> advance (); emit LBRACKET
+    | ']' -> advance (); emit RBRACKET
+    | ',' -> advance (); emit COMMA
+    | ';' -> advance (); emit SEMICOLON
+    | '+' -> advance (); emit (OP "+")
+    | '!' ->
+        advance ();
+        if peek () = Some '=' then (advance (); emit (OP "!="))
+        else emit (OP "!")
+    | '=' ->
+        advance ();
+        if peek () = Some '>' then (advance (); emit ARROW)
+        else if peek () = Some '=' then (advance (); emit (OP "=="))
+        else emit EQUALS
+    | '>' ->
+        advance ();
+        if peek () = Some '=' then (advance (); emit (OP ">="))
+        else emit (OP ">")
+    | '<' ->
+        advance ();
+        if peek () = Some '=' then (advance (); emit (OP "<="))
+        else emit (OP "<")
+    | '&' ->
+        advance ();
+        if peek () = Some '&' then (advance (); emit (OP "&&"))
+        else raise (Error "expected &&")
+    | '|' ->
+        advance ();
+        if peek () = Some '|' then (advance (); emit (OP "||"))
+        else raise (Error "expected ||")
+    | '^' ->
+        advance ();
+        if peek () = Some '^' then (advance (); emit (OP "^^"))
+        else raise (Error "expected ^^")
+    | '"' -> advance (); emit (STRING (read_string ()))
+    | '@' ->
+        advance ();
+        let name = read_while is_ident_char in
+        if name = "" then raise (Error "expected function reference after @");
+        emit (FNREF ("@" ^ name))
+    | '$' ->
+        advance ();
+        if peek () = Some '?' then (advance (); emit (DOLLAR "?"))
+        else
+          let name = read_while is_ident_char in
+          if name = "" then raise (Error "expected identifier after $");
+          emit (DOLLAR name)
+    | c when is_digit c || (c = '-' && (match peek2 () with Some d -> is_digit d | None -> false)) ->
+        let neg = c = '-' in
+        if neg then advance ();
+        let intpart = read_while is_digit in
+        let frac =
+          if peek () = Some '.' && (match peek2 () with Some d -> is_digit d | _ -> false)
+          then (advance (); "." ^ read_while is_digit)
+          else ""
+        in
+        let num = float_of_string ((if neg then "-" else "") ^ intpart ^ frac) in
+        (* a unit suffix directly attached, e.g. 60F or 5min *)
+        let unit = read_while (fun c -> is_ident_start c) in
+        if unit = "" then emit (NUMBER num)
+        else if Ttype.Units.is_unit unit then emit (MEASURE (num, unit))
+        else raise (Error (Printf.sprintf "unknown unit %S" unit))
+    | c when is_ident_start c ->
+        let word = read_while is_ident_char in
+        if word = "enum" && peek () = Some ':' then begin
+          advance ();
+          let v = read_while is_ident_char in
+          if v = "" then raise (Error "expected enum value after enum:");
+          emit (ENUM v)
+        end
+        else if word = "location" && peek () = Some ':' then begin
+          advance ();
+          let v = read_while is_ident_char in
+          if v = "" then raise (Error "expected place after location:");
+          emit (RELATIVE_LOCATION v)
+        end
+        else emit (IDENT word)
+    | ':' -> advance (); emit COLON
+    | c -> raise (Error (Printf.sprintf "unexpected character %C" c))
+  done;
+  List.rev (EOF :: !toks)

@@ -1,0 +1,32 @@
+(** Hand-written lexer for the ThingTalk surface syntax. *)
+
+type token =
+  | IDENT of string  (** keywords are resolved by the parser *)
+  | FNREF of string  (** [@com.example.fn] *)
+  | NUMBER of float
+  | MEASURE of float * string  (** a number with an attached unit, e.g. 60F *)
+  | STRING of string
+  | ENUM of string  (** [enum:value] *)
+  | RELATIVE_LOCATION of string  (** [location:home] *)
+  | DOLLAR of string  (** [$now], [$?] *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMICOLON
+  | COLON
+  | ARROW  (** [=>] *)
+  | EQUALS
+  | OP of string  (** [== != > < >= <= && || ! + ^^] *)
+  | EOF
+
+exception Error of string
+
+val token_to_string : token -> string
+
+val tokenize : string -> token list
+(** Raises {!Error} on unterminated strings, unknown units or stray
+    characters. The result always ends with {!EOF}. *)

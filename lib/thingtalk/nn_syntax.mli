@@ -1,0 +1,53 @@
+(** The flat token syntax the semantic parser predicts (section 2.1).
+
+    Numbers, dates and times identified in the input sentence become named
+    constants ([NUMBER_0], [DATE_1], ...), resolved against the sentence's
+    entity map; free-form strings and named entities are serialized as
+    multi-token quoted spans so individual words can be copied from the
+    input. *)
+
+type options = {
+  type_annotations : bool;
+      (** emit [param:name:Type] (on) vs [param:name] (off) -- a Table 3
+          ablation *)
+  keyword_params : bool;
+      (** keyword parameters (on) vs positional slots (off) -- a Table 3
+          ablation *)
+}
+
+val default_options : options
+
+type entities = (string * Value.t) list
+(** Sentence-side named constants: slot token -> value. *)
+
+exception Parse_error of string
+
+val to_tokens :
+  ?options:options -> ?entities:entities -> Schema.Library.t -> Ast.program -> string list
+(** Serializes a program. Values present in [entities] are emitted as their
+    slot token; strings become quoted spans. *)
+
+val to_string :
+  ?options:options -> ?entities:entities -> Schema.Library.t -> Ast.program -> string
+
+val policy_to_tokens :
+  ?options:options -> ?entities:entities -> Schema.Library.t -> Ast.policy -> string list
+
+val of_tokens :
+  ?options:options -> ?entities:entities -> Schema.Library.t -> string list -> Ast.program
+(** Deserializes a token sequence; slot tokens resolve through [entities].
+    Raises {!Parse_error} on malformed input. *)
+
+val of_string :
+  ?options:options -> ?entities:entities -> Schema.Library.t -> string -> Ast.program
+
+val well_formed :
+  ?options:options -> ?entities:entities -> Schema.Library.t -> string list -> bool
+(** Does the sequence parse and type-check? The syntax-correctness metric of
+    the error analysis (section 5.5). *)
+
+val is_slot_token : string -> bool
+(** Recognizes named constants of the shape [KIND_k]. *)
+
+val value_tokens : entities:entities -> Value.t -> string list
+val quoted_span : string -> string list

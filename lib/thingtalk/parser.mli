@@ -1,0 +1,14 @@
+(** Recursive-descent parser for the ThingTalk surface syntax (Fig. 5),
+    the TT+A aggregation extension and TACL policies. Accepts everything
+    {!Printer} emits (round-trip property-tested). *)
+
+exception Error of string
+
+val parse_program : string -> Ast.program
+(** Raises {!Error} or {!Lexer.Error} on malformed input. *)
+
+val parse_program_opt : string -> Ast.program option
+
+val parse_policy : string -> Ast.policy
+(** Concrete syntax: [source <predicate> : now => ... ;] where the command is
+    restricted to the primitive forms of paper Fig. 10. *)

@@ -1,0 +1,109 @@
+(* Pretty-printer for the ThingTalk surface syntax. [Parser.parse_program]
+   accepts everything this module prints (round-trip property tested). *)
+
+open Ast
+
+let param_value_to_string = function
+  | Constant v -> Value.to_string v
+  | Passed op -> op
+
+let in_params_to_string ips =
+  String.concat ", "
+    (List.map (fun ip -> Printf.sprintf "%s = %s" ip.ip_name (param_value_to_string ip.ip_value)) ips)
+
+let invocation_to_string inv =
+  Printf.sprintf "%s(%s)" (Fn.to_string inv.fn) (in_params_to_string inv.in_params)
+
+let rec predicate_to_string p =
+  match p with
+  | P_true -> "true"
+  | P_false -> "false"
+  | P_not p -> Printf.sprintf "!(%s)" (predicate_to_string p)
+  | P_and [] -> "true"
+  | P_and ps -> String.concat " && " (List.map predicate_atom_string ps)
+  | P_or [] -> "false"
+  | P_or ps -> Printf.sprintf "(%s)" (String.concat " || " (List.map predicate_atom_string ps))
+  | P_atom { lhs; op; rhs } ->
+      Printf.sprintf "%s %s %s" lhs (comp_op_to_string op) (Value.to_string rhs)
+  | P_external { inv; pred } ->
+      Printf.sprintf "%s { %s }" (invocation_to_string inv) (predicate_to_string pred)
+
+and predicate_atom_string p =
+  match p with
+  | P_and _ | P_or _ -> Printf.sprintf "(%s)" (predicate_to_string p)
+  | _ -> predicate_to_string p
+
+let rec query_to_string q =
+  match q with
+  | Q_invoke inv -> invocation_to_string inv
+  | Q_filter (q, p) ->
+      Printf.sprintf "(%s) filter %s" (query_to_string q) (predicate_to_string p)
+  | Q_join (a, b, []) ->
+      Printf.sprintf "%s join %s" (join_operand_string a) (join_operand_string b)
+  | Q_join (a, b, on) ->
+      let on_s =
+        String.concat ", " (List.map (fun (ip, op) -> Printf.sprintf "%s = %s" ip op) on)
+      in
+      (* the right operand must be parenthesized unless it is a plain
+         invocation, or the trailing 'on' clause would be ambiguous *)
+      let rhs =
+        match b with
+        | Q_invoke _ -> query_to_string b
+        | _ -> Printf.sprintf "(%s)" (query_to_string b)
+      in
+      Printf.sprintf "%s join %s on (%s)" (join_operand_string a) rhs on_s
+  | Q_aggregate { op = Agg_count; field = None; inner } ->
+      Printf.sprintf "agg count of (%s)" (query_to_string inner)
+  | Q_aggregate { op; field = Some f; inner } ->
+      Printf.sprintf "agg %s %s of (%s)" (agg_op_to_string op) f (query_to_string inner)
+  | Q_aggregate { op; field = None; inner } ->
+      Printf.sprintf "agg %s of (%s)" (agg_op_to_string op) (query_to_string inner)
+
+and join_operand_string q =
+  match q with
+  | Q_join _ -> Printf.sprintf "(%s)" (query_to_string q)
+  | _ -> query_to_string q
+
+let rec stream_to_string s =
+  match s with
+  | S_now -> "now"
+  | S_attimer t -> Printf.sprintf "attimer time = %s" (Value.to_string t)
+  | S_timer { base; interval } ->
+      Printf.sprintf "timer base = %s interval = %s" (Value.to_string base)
+        (Value.to_string interval)
+  | S_monitor (q, None) -> Printf.sprintf "monitor (%s)" (query_to_string q)
+  | S_monitor (q, Some fields) ->
+      Printf.sprintf "monitor (%s) on new [%s]" (query_to_string q) (String.concat ", " fields)
+  | S_edge (s, p) ->
+      Printf.sprintf "edge (%s) on %s" (stream_to_string s) (predicate_to_string p)
+
+let action_to_string a =
+  match a with
+  | A_notify -> "notify"
+  | A_invoke inv -> invocation_to_string inv
+
+let program_to_string (p : program) =
+  let parts =
+    stream_to_string p.stream
+    :: (match p.query with None -> [] | Some q -> [ query_to_string q ])
+    @ [ action_to_string p.action ]
+  in
+  String.concat " => " parts ^ ";"
+
+let policy_to_string (p : policy) =
+  let target =
+    match p.target with
+    | Policy_query (inv, P_true) ->
+        Printf.sprintf "now => %s => notify" (invocation_to_string inv)
+    | Policy_query (inv, pred) ->
+        Printf.sprintf "now => (%s) filter %s => notify" (invocation_to_string inv)
+          (predicate_to_string pred)
+    | Policy_action (inv, P_true) -> Printf.sprintf "now => %s" (invocation_to_string inv)
+    | Policy_action (inv, pred) ->
+        Printf.sprintf "now => (%s) filter %s" (invocation_to_string inv)
+          (predicate_to_string pred)
+  in
+  Printf.sprintf "source %s : %s;" (predicate_to_string p.source) target
+
+let pp_program fmt p = Format.pp_print_string fmt (program_to_string p)
+let pp_policy fmt p = Format.pp_print_string fmt (policy_to_string p)

@@ -1,0 +1,12 @@
+(** Pretty-printer for the ThingTalk surface syntax. {!Parser.parse_program}
+    accepts everything this module prints. *)
+
+val program_to_string : Ast.program -> string
+val policy_to_string : Ast.policy -> string
+val query_to_string : Ast.query -> string
+val stream_to_string : Ast.stream -> string
+val action_to_string : Ast.action -> string
+val predicate_to_string : Ast.predicate -> string
+val invocation_to_string : Ast.invocation -> string
+val pp_program : Format.formatter -> Ast.program -> unit
+val pp_policy : Format.formatter -> Ast.policy -> unit

@@ -1,0 +1,118 @@
+(* Skill-library class declarations (paper Fig. 3) and the library registry.
+
+   A class declares query functions (no side effects; in and out parameters;
+   optionally monitorable and list-returning) and action functions (side
+   effects; input parameters only). *)
+
+type dir = In_req | In_opt | Out
+
+type param = { p_name : string; p_type : Ttype.t; p_dir : dir }
+
+type kind =
+  | Query of { monitorable : bool; is_list : bool }
+  | Action
+
+type func = {
+  f_class : string;
+  f_name : string;
+  f_kind : kind;
+  f_params : param list;
+  f_doc : string;
+}
+
+type cls = {
+  c_name : string;
+  c_extends : string list;
+  c_doc : string;
+  c_functions : func list;
+}
+
+let fn_ref (f : func) = Ast.Fn.make f.f_class f.f_name
+
+let is_query f = match f.f_kind with Query _ -> true | Action -> false
+let is_action f = match f.f_kind with Action -> true | Query _ -> false
+
+let is_monitorable f =
+  match f.f_kind with Query { monitorable; _ } -> monitorable | Action -> false
+
+let is_list f =
+  match f.f_kind with Query { is_list; _ } -> is_list | Action -> false
+
+let in_params f =
+  List.filter (fun p -> p.p_dir = In_req || p.p_dir = In_opt) f.f_params
+
+let required_params f = List.filter (fun p -> p.p_dir = In_req) f.f_params
+let out_params f = List.filter (fun p -> p.p_dir = Out) f.f_params
+
+let find_param f name = List.find_opt (fun p -> p.p_name = name) f.f_params
+
+(* --- declaration helpers (used by the Thingpedia definitions) ----------- *)
+
+let in_req name ty = { p_name = name; p_type = ty; p_dir = In_req }
+let in_opt name ty = { p_name = name; p_type = ty; p_dir = In_opt }
+let out name ty = { p_name = name; p_type = ty; p_dir = Out }
+
+let query ?(monitorable = true) ?(is_list = true) ?(doc = "") name params =
+  { f_class = ""; f_name = name; f_kind = Query { monitorable; is_list };
+    f_params = params; f_doc = doc }
+
+let action ?(doc = "") name params =
+  (match List.find_opt (fun p -> p.p_dir = Out) params with
+  | Some p ->
+      invalid_arg
+        (Printf.sprintf "Schema.action: %s declares output parameter %s" name p.p_name)
+  | None -> ());
+  { f_class = ""; f_name = name; f_kind = Action; f_params = params; f_doc = doc }
+
+let cls ?(extends = []) ?(doc = "") name functions =
+  { c_name = name; c_extends = extends; c_doc = doc;
+    c_functions = List.map (fun f -> { f with f_class = name }) functions }
+
+(* --- library ------------------------------------------------------------ *)
+
+module Library = struct
+  type t = {
+    classes : cls list;
+    by_class : (string, cls) Hashtbl.t;
+    by_fn : (string, func) Hashtbl.t;
+  }
+
+  let of_classes classes =
+    let by_class = Hashtbl.create 64 in
+    let by_fn = Hashtbl.create 256 in
+    List.iter
+      (fun c ->
+        if Hashtbl.mem by_class c.c_name then
+          invalid_arg (Printf.sprintf "Library: duplicate class %s" c.c_name);
+        Hashtbl.replace by_class c.c_name c;
+        List.iter
+          (fun f ->
+            let key = Ast.Fn.to_string (fn_ref f) in
+            if Hashtbl.mem by_fn key then
+              invalid_arg (Printf.sprintf "Library: duplicate function %s" key);
+            Hashtbl.replace by_fn key f)
+          c.c_functions)
+      classes;
+    { classes; by_class; by_fn }
+
+  let find_class t name = Hashtbl.find_opt t.by_class name
+
+  let find_fn t (fn : Ast.Fn.t) = Hashtbl.find_opt t.by_fn (Ast.Fn.to_string fn)
+
+  let functions t = List.concat_map (fun c -> c.c_functions) t.classes
+  let queries t = List.filter is_query (functions t)
+  let actions t = List.filter is_action (functions t)
+
+  let num_classes t = List.length t.classes
+  let num_functions t = List.length (functions t)
+
+  let distinct_params t =
+    let seen = Hashtbl.create 256 in
+    List.iter
+      (fun f -> List.iter (fun p -> Hashtbl.replace seen p.p_name ()) f.f_params)
+      (functions t);
+    Hashtbl.length seen
+
+  (* Merge two libraries (e.g. core Thingpedia + the Spotify skill). *)
+  let union a b = of_classes (a.classes @ b.classes)
+end

@@ -1,0 +1,75 @@
+(** Skill-library class declarations (paper Fig. 3) and the library registry.
+
+    A class declares query functions (no side effects; input and output
+    parameters; optionally monitorable and list-returning) and action
+    functions (side effects; input parameters only) -- the orthogonal
+    function-kind design of section 2.2. *)
+
+type dir = In_req | In_opt | Out
+
+type param = { p_name : string; p_type : Ttype.t; p_dir : dir }
+
+type kind = Query of { monitorable : bool; is_list : bool } | Action
+
+type func = {
+  f_class : string;
+  f_name : string;
+  f_kind : kind;
+  f_params : param list;
+  f_doc : string;
+}
+
+type cls = {
+  c_name : string;
+  c_extends : string list;
+  c_doc : string;
+  c_functions : func list;
+}
+
+val fn_ref : func -> Ast.Fn.t
+val is_query : func -> bool
+val is_action : func -> bool
+val is_monitorable : func -> bool
+val is_list : func -> bool
+val in_params : func -> param list
+val required_params : func -> param list
+val out_params : func -> param list
+val find_param : func -> string -> param option
+
+(** {2 Declaration helpers} *)
+
+val in_req : string -> Ttype.t -> param
+val in_opt : string -> Ttype.t -> param
+val out : string -> Ttype.t -> param
+
+val query :
+  ?monitorable:bool -> ?is_list:bool -> ?doc:string -> string -> param list -> func
+(** A query function (defaults: monitorable, list-returning). *)
+
+val action : ?doc:string -> string -> param list -> func
+(** An action function. Raises [Invalid_argument] if given an output
+    parameter (actions have none, Fig. 3). *)
+
+val cls : ?extends:string list -> ?doc:string -> string -> func list -> cls
+
+(** The library registry: class and function lookup over a set of classes. *)
+module Library : sig
+  type t = {
+    classes : cls list;
+    by_class : (string, cls) Hashtbl.t;
+    by_fn : (string, func) Hashtbl.t;
+  }
+
+  val of_classes : cls list -> t
+  (** Raises [Invalid_argument] on duplicate class or function names. *)
+
+  val find_class : t -> string -> cls option
+  val find_fn : t -> Ast.Fn.t -> func option
+  val functions : t -> func list
+  val queries : t -> func list
+  val actions : t -> func list
+  val num_classes : t -> int
+  val num_functions : t -> int
+  val distinct_params : t -> int
+  val union : t -> t -> t
+end

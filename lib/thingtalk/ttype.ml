@@ -1,0 +1,122 @@
+(* The ThingTalk type system (paper Fig. 3).
+
+   Strong fine-grained static typing is VAPL design principle (1): standard
+   scalar types, domain types common in IoT / web services, custom entity
+   types, and arrays as the only compound type. *)
+
+type t =
+  | String
+  | Number
+  | Boolean
+  | Date
+  | Time
+  | Location
+  | Path_name
+  | Url
+  | Phone_number
+  | Email_address
+  | Picture
+  | Currency
+  | Measure of string (* base unit, e.g. "byte", "m", "C" *)
+  | Enum of string list
+  | Entity of string (* entity type, e.g. "tt:username" *)
+  | Array of t
+
+let rec to_string = function
+  | String -> "String"
+  | Number -> "Number"
+  | Boolean -> "Boolean"
+  | Date -> "Date"
+  | Time -> "Time"
+  | Location -> "Location"
+  | Path_name -> "PathName"
+  | Url -> "URL"
+  | Phone_number -> "PhoneNumber"
+  | Email_address -> "EmailAddress"
+  | Picture -> "Picture"
+  | Currency -> "Currency"
+  | Measure u -> Printf.sprintf "Measure(%s)" u
+  | Enum vs -> Printf.sprintf "Enum(%s)" (String.concat "," vs)
+  | Entity e -> Printf.sprintf "Entity(%s)" e
+  | Array t -> Printf.sprintf "Array(%s)" (to_string t)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let equal (a : t) (b : t) = a = b
+
+(* Assignability: the type of a constant or passed parameter [src] can flow
+   into a slot of type [dst]. Entities may be given as free-form strings in
+   natural language, so String flows into Entity, URL, path-name and picture
+   slots; the runtime performs the knowledge-base lookup after parsing. *)
+let rec assignable ~src ~dst =
+  match (src, dst) with
+  | a, b when equal a b -> true
+  | String, (Entity _ | Url | Path_name | Picture | Phone_number | Email_address) -> true
+  | Entity _, String -> true
+  | Url, Picture | Picture, Url -> true
+  | Array a, Array b -> assignable ~src:a ~dst:b
+  | _ -> false
+
+(* Strict assignability used when *synthesizing* parameter passing: only
+   same-type (or picture/url) flows, so generated compounds stay sensible.
+   The lenient [assignable] above is kept for checking user/model programs,
+   where free-form strings may stand for entities. *)
+let rec strictly_assignable ~src ~dst =
+  match (src, dst) with
+  | a, b when equal a b -> true
+  | Url, Picture | Picture, Url -> true
+  | Array a, Array b -> strictly_assignable ~src:a ~dst:b
+  | _ -> false
+
+let is_numeric = function
+  | Number | Currency | Measure _ -> true
+  | _ -> false
+
+(* Units of measure. Each concrete unit maps to (base unit, multiplier); the
+   language accepts any legal unit and composes measures additively
+   ("6 feet 3 inches" = 6ft + 3in), because a neural parser cannot normalize
+   units during translation (paper section 2.1). *)
+module Units = struct
+  let table : (string * (string * float)) list =
+    [ (* data size; base: byte *)
+      ("byte", ("byte", 1.0)); ("KB", ("byte", 1e3)); ("MB", ("byte", 1e6));
+      ("GB", ("byte", 1e9)); ("TB", ("byte", 1e12));
+      (* duration; base: ms *)
+      ("ms", ("ms", 1.0)); ("s", ("ms", 1e3)); ("min", ("ms", 60e3));
+      ("h", ("ms", 3600e3)); ("day", ("ms", 86400e3)); ("week", ("ms", 604800e3));
+      ("mon", ("ms", 2592000e3)); ("year", ("ms", 31536000e3));
+      (* length; base: m *)
+      ("m", ("m", 1.0)); ("km", ("m", 1e3)); ("mm", ("m", 1e-3)); ("cm", ("m", 1e-2));
+      ("mi", ("m", 1609.344)); ("in", ("m", 0.0254)); ("ft", ("m", 0.3048));
+      (* speed; base: mps *)
+      ("mps", ("mps", 1.0)); ("kmph", ("mps", 0.27777778)); ("mph", ("mps", 0.44704));
+      (* weight; base: kg *)
+      ("kg", ("kg", 1.0)); ("g", ("kg", 1e-3)); ("lb", ("kg", 0.45359237)); ("oz", ("kg", 0.028349523));
+      (* temperature; base: C (relative conversion handled separately) *)
+      ("C", ("C", 1.0)); ("F", ("C", 1.0)); ("K", ("C", 1.0));
+      (* energy; base: kcal *)
+      ("kcal", ("kcal", 1.0)); ("kJ", ("kcal", 0.239006));
+      (* beats per minute, used by music skills; base: bpm *)
+      ("bpm", ("bpm", 1.0)) ]
+
+  let base_of unit =
+    match List.assoc_opt unit table with
+    | Some (base, _) -> Some base
+    | None -> None
+
+  let is_unit unit = List.mem_assoc unit table
+
+  (* Converts [v] in [unit] to the base unit. Temperature needs an affine
+     conversion, everything else is linear. *)
+  let to_base v unit =
+    match unit with
+    | "F" -> (v -. 32.0) *. 5.0 /. 9.0
+    | "K" -> v -. 273.15
+    | _ -> (
+        match List.assoc_opt unit table with
+        | Some (_, mult) -> v *. mult
+        | None -> invalid_arg (Printf.sprintf "Units.to_base: unknown unit %s" unit))
+
+  let units_for_base base =
+    List.filter_map (fun (u, (b, _)) -> if b = base then Some u else None) table
+end

@@ -1,0 +1,58 @@
+(** The ThingTalk type system (paper Fig. 3).
+
+    Strong fine-grained static typing is VAPL design principle (1): standard
+    scalar types, domain types common in IoT devices and web services, custom
+    entity types recalled by name, and arrays as the only compound type. *)
+
+type t =
+  | String
+  | Number
+  | Boolean
+  | Date
+  | Time
+  | Location
+  | Path_name
+  | Url
+  | Phone_number
+  | Email_address
+  | Picture
+  | Currency
+  | Measure of string  (** parameterized by its base unit, e.g. ["byte"] *)
+  | Enum of string list
+  | Entity of string  (** a custom entity type, e.g. ["tt:username"] *)
+  | Array of t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val assignable : src:t -> dst:t -> bool
+(** Can a value of type [src] flow into a slot of type [dst]? Lenient, for
+    checking user and model programs: free-form strings may stand for
+    entities, URLs, paths (the runtime resolves them after parsing). *)
+
+val strictly_assignable : src:t -> dst:t -> bool
+(** Same-type flows only (plus picture/URL interchange). Used when
+    synthesizing parameter passing so generated compounds stay sensible. *)
+
+val is_numeric : t -> bool
+(** Numbers, currencies and measures: the types aggregation operates on. *)
+
+(** Units of measure. The language accepts any legal unit and composes
+    measures additively ("6 feet 3 inches" = 6ft + 3in), because a neural
+    parser cannot normalize units during translation (section 2.1). *)
+module Units : sig
+  val table : (string * (string * float)) list
+  (** unit name -> (base unit, multiplier). *)
+
+  val base_of : string -> string option
+  (** The base unit of a concrete unit, or [None] if unknown. *)
+
+  val is_unit : string -> bool
+
+  val to_base : float -> string -> float
+  (** Converts a magnitude to the unit's base (affine for temperatures).
+      Raises [Invalid_argument] on unknown units. *)
+
+  val units_for_base : string -> string list
+end

@@ -1,0 +1,310 @@
+(* Type checker for ThingTalk programs against a skill library.
+
+   Strong static typing is what lets Genie reject ill-formed derivations
+   during synthesis and check the neural parser's output for well-formedness
+   (section 5.5 reports 96% of model outputs are syntactically correct and
+   type-correct). *)
+
+open Ast
+
+type error = string
+
+let ( let* ) = Result.bind
+
+let error fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let rec results_all = function
+  | [] -> Ok ()
+  | Ok () :: rest -> results_all rest
+  | (Error _ as e) :: _ -> e
+
+(* Output parameters of a query; on duplicate names, the rightmost instance
+   wins (section 2.3). *)
+let rec query_out_params lib (q : query) : (string * Ttype.t) list =
+  match q with
+  | Q_invoke inv -> (
+      match Schema.Library.find_fn lib inv.fn with
+      | None -> []
+      | Some f -> List.map (fun p -> (p.Schema.p_name, p.Schema.p_type)) (Schema.out_params f))
+  | Q_filter (q, _) -> query_out_params lib q
+  | Q_join (a, b, _) ->
+      let outs_b = query_out_params lib b in
+      let outs_a =
+        List.filter (fun (n, _) -> not (List.mem_assoc n outs_b)) (query_out_params lib a)
+      in
+      outs_a @ outs_b
+  | Q_aggregate { op = Agg_count; _ } -> [ ("count", Ttype.Number) ]
+  | Q_aggregate { op = _; field = Some f; inner } -> (
+      match List.assoc_opt f (query_out_params lib inner) with
+      | Some ty -> [ (f, ty) ]
+      | None -> [])
+  | Q_aggregate { field = None; _ } -> []
+
+let rec stream_out_params lib (s : stream) : (string * Ttype.t) list =
+  match s with
+  | S_now | S_attimer _ | S_timer _ -> []
+  | S_monitor (q, _) -> query_out_params lib q
+  | S_edge (s, _) -> stream_out_params lib s
+
+(* Is a whole query monitorable, i.e. built only from monitorable functions
+   (section 2.2: any query that uses monitorable functions can be monitored,
+   including joins and filters)? *)
+let rec query_monitorable lib (q : query) =
+  match q with
+  | Q_invoke inv -> (
+      match Schema.Library.find_fn lib inv.fn with
+      | None -> false
+      | Some f -> Schema.is_monitorable f)
+  | Q_filter (q, _) -> query_monitorable lib q
+  | Q_join (a, b, _) -> query_monitorable lib a && query_monitorable lib b
+  | Q_aggregate { inner; _ } -> query_monitorable lib inner
+
+let rec query_is_list lib (q : query) =
+  match q with
+  | Q_invoke inv -> (
+      match Schema.Library.find_fn lib inv.fn with
+      | None -> false
+      | Some f -> Schema.is_list f)
+  | Q_filter (q, _) -> query_is_list lib q
+  | Q_join _ -> true
+  | Q_aggregate _ -> false
+
+(* --- invocation checking ------------------------------------------------ *)
+
+let check_in_param fn (f : Schema.func) ~outs (ip : in_param) =
+  match Schema.find_param f ip.ip_name with
+  | None -> error "%s has no parameter %s" (Fn.to_string fn) ip.ip_name
+  | Some p when p.Schema.p_dir = Schema.Out ->
+      error "%s: %s is an output parameter" (Fn.to_string fn) ip.ip_name
+  | Some p -> (
+      match ip.ip_value with
+      | Constant v ->
+          if Value.conforms v p.Schema.p_type then Ok ()
+          else
+            error "%s: value %s does not conform to %s : %s" (Fn.to_string fn)
+              (Value.to_string v) ip.ip_name
+              (Ttype.to_string p.Schema.p_type)
+      | Passed out_name -> (
+          match List.assoc_opt out_name outs with
+          | None ->
+              error "%s: no output parameter %s in scope for %s" (Fn.to_string fn)
+                out_name ip.ip_name
+          | Some src_ty ->
+              if Ttype.assignable ~src:src_ty ~dst:p.Schema.p_type then Ok ()
+              else
+                error "%s: cannot pass %s : %s into %s : %s" (Fn.to_string fn) out_name
+                  (Ttype.to_string src_ty) ip.ip_name
+                  (Ttype.to_string p.Schema.p_type)))
+
+let check_invocation lib ~want_query ~outs ?(supplied = []) (inv : invocation) =
+  match Schema.Library.find_fn lib inv.fn with
+  | None -> error "unknown function %s" (Fn.to_string inv.fn)
+  | Some f ->
+      let* () =
+        if want_query && not (Schema.is_query f) then
+          error "%s is an action, used as a query" (Fn.to_string inv.fn)
+        else if (not want_query) && not (Schema.is_action f) then
+          error "%s is a query, used as an action" (Fn.to_string inv.fn)
+        else Ok ()
+      in
+      let* () =
+        match
+          List.find_opt
+            (fun ip -> List.length (List.filter (fun ip' -> ip'.ip_name = ip.ip_name) inv.in_params) > 1)
+            inv.in_params
+        with
+        | Some ip -> error "%s: duplicate parameter %s" (Fn.to_string inv.fn) ip.ip_name
+        | None -> Ok ()
+      in
+      let* () = results_all (List.map (check_in_param inv.fn f ~outs) inv.in_params) in
+      (* all required inputs must be supplied *)
+      results_all
+        (List.map
+           (fun p ->
+             if
+               List.exists (fun ip -> ip.ip_name = p.Schema.p_name) inv.in_params
+               || List.mem p.Schema.p_name supplied
+             then Ok ()
+             else
+               error "%s: missing required parameter %s" (Fn.to_string inv.fn)
+                 p.Schema.p_name)
+           (Schema.required_params f))
+
+(* --- predicates ---------------------------------------------------------- *)
+
+let string_like = function
+  | Ttype.String | Ttype.Path_name | Ttype.Url | Ttype.Picture | Ttype.Entity _
+  | Ttype.Phone_number | Ttype.Email_address -> true
+  | _ -> false
+
+let comparable = function
+  | Ttype.Number | Ttype.Currency | Ttype.Measure _ | Ttype.Date | Ttype.Time -> true
+  | _ -> false
+
+let check_atom ~outs lhs op rhs =
+  match List.assoc_opt lhs outs with
+  | None -> error "predicate refers to unknown output parameter %s" lhs
+  | Some lhs_ty -> (
+      match op with
+      | Op_eq | Op_neq ->
+          if Value.conforms rhs lhs_ty then Ok ()
+          else error "predicate %s == %s: type mismatch" lhs (Value.to_string rhs)
+      | Op_gt | Op_lt | Op_geq | Op_leq ->
+          if comparable lhs_ty && Value.conforms rhs lhs_ty then Ok ()
+          else error "predicate %s %s: not comparable" lhs (comp_op_to_string op)
+      | Op_substr | Op_starts_with | Op_ends_with -> (
+          if not (string_like lhs_ty) then
+            error "predicate %s %s: %s is not string-like" lhs (comp_op_to_string op) lhs
+          else
+            match rhs with
+            | Value.String _ | Value.Entity _ -> Ok ()
+            | _ -> error "predicate %s %s: operand must be a string" lhs (comp_op_to_string op))
+      | Op_contains -> (
+          match lhs_ty with
+          | Ttype.Array elt ->
+              if Value.conforms rhs elt then Ok ()
+              else error "predicate %s contains: element type mismatch" lhs
+          | _ when string_like lhs_ty -> (
+              (* 'contains' on a string column means substring containment *)
+              match rhs with
+              | Value.String _ | Value.Entity _ -> Ok ()
+              | _ -> error "predicate %s contains: operand must be a string" lhs)
+          | _ -> error "predicate %s contains: %s is not an array" lhs lhs)
+      | Op_in_array -> (
+          match rhs with
+          | Value.Array vs ->
+              if List.for_all (fun v -> Value.conforms v lhs_ty) vs then Ok ()
+              else error "predicate %s in_array: element type mismatch" lhs
+          | _ -> error "predicate %s in_array: operand must be an array" lhs))
+
+let rec check_predicate lib ~outs (p : predicate) =
+  match p with
+  | P_true | P_false -> Ok ()
+  | P_not p -> check_predicate lib ~outs p
+  | P_and ps | P_or ps -> results_all (List.map (check_predicate lib ~outs) ps)
+  | P_atom { lhs; op; rhs } -> check_atom ~outs lhs op rhs
+  | P_external { inv; pred } ->
+      let* () = check_invocation lib ~want_query:true ~outs:[] inv in
+      let ext_outs = query_out_params lib (Q_invoke inv) in
+      check_predicate lib ~outs:ext_outs pred
+
+(* --- queries, streams, actions ------------------------------------------ *)
+
+let rec check_query lib ~outs ?(supplied = []) (q : query) =
+  match q with
+  | Q_invoke inv -> check_invocation lib ~want_query:true ~outs ~supplied inv
+  | Q_filter (inner, p) ->
+      let* () = check_query lib ~outs ~supplied inner in
+      check_predicate lib ~outs:(query_out_params lib inner) p
+  | Q_join (a, b, on) ->
+      let* () = check_query lib ~outs a in
+      let outs_a = query_out_params lib a in
+      (* the right operand may consume the left's outputs, and its input
+         parameters named in the 'on' clause are supplied by the join *)
+      let* () = check_query lib ~outs:(outs @ outs_a) ~supplied:(List.map fst on) b in
+      results_all
+        (List.map
+           (fun (ip, op) ->
+             match b with
+             | Q_invoke inv | Q_filter (Q_invoke inv, _) -> (
+                 match Schema.Library.find_fn lib inv.fn with
+                 | None -> error "unknown function in join"
+                 | Some f -> (
+                     match (Schema.find_param f ip, List.assoc_opt op outs_a) with
+                     | None, _ -> error "join: %s has no parameter %s" (Fn.to_string inv.fn) ip
+                     | _, None -> error "join: no output parameter %s on the left" op
+                     | Some p, Some src_ty ->
+                         if Ttype.assignable ~src:src_ty ~dst:p.Schema.p_type then Ok ()
+                         else error "join: cannot pass %s into %s" op ip))
+             | _ -> error "join parameter passing requires a plain right operand")
+           on)
+  | Q_aggregate { op; field; inner } -> (
+      let* () = check_query lib ~outs inner in
+      match (op, field) with
+      | Agg_count, None ->
+          if query_is_list lib inner then Ok ()
+          else error "count requires a list query"
+      | Agg_count, Some _ -> error "count does not take a field"
+      | _, None -> error "%s requires a field" (agg_op_to_string op)
+      | _, Some f -> (
+          match List.assoc_opt f (query_out_params lib inner) with
+          | None -> error "aggregate field %s is not an output parameter" f
+          | Some ty ->
+              if Ttype.is_numeric ty then Ok ()
+              else error "aggregate field %s is not numeric" f))
+
+let rec check_stream lib (s : stream) =
+  match s with
+  | S_now -> Ok ()
+  | S_attimer t -> (
+      match t with
+      | Value.Time _ -> Ok ()
+      | _ -> error "attimer time must be a Time value")
+  | S_timer { base; interval } -> (
+      match (base, interval) with
+      | Value.Date _, Value.Measure ((_, u) :: _)
+        when Ttype.Units.base_of u = Some "ms" -> Ok ()
+      | Value.Date _, _ -> error "timer interval must be a duration"
+      | _ -> error "timer base must be a Date")
+  | S_monitor (q, on_new) ->
+      let* () = check_query lib ~outs:[] q in
+      let* () =
+        if query_monitorable lib q then Ok ()
+        else error "monitored query is not monitorable"
+      in
+      let outs = query_out_params lib q in
+      (match on_new with
+      | None -> Ok ()
+      | Some fields ->
+          results_all
+            (List.map
+               (fun f ->
+                 if List.mem_assoc f outs then Ok ()
+                 else error "on new: %s is not an output parameter" f)
+               fields))
+  | S_edge (inner, p) ->
+      let* () = check_stream lib inner in
+      check_predicate lib ~outs:(stream_out_params lib inner) p
+
+let check_action lib ~outs (a : action) =
+  match a with
+  | A_notify -> Ok ()
+  | A_invoke inv -> check_invocation lib ~want_query:false ~outs inv
+
+let check_program lib (p : program) : (unit, error) result =
+  let* () = check_stream lib p.stream in
+  let stream_outs = stream_out_params lib p.stream in
+  let* () =
+    match p.query with
+    | None -> Ok ()
+    | Some q -> check_query lib ~outs:stream_outs q
+  in
+  let outs =
+    match p.query with
+    | None -> stream_outs
+    | Some q ->
+        let q_outs = query_out_params lib q in
+        List.filter (fun (n, _) -> not (List.mem_assoc n q_outs)) stream_outs @ q_outs
+  in
+  check_action lib ~outs p.action
+
+let well_typed lib p = Result.is_ok (check_program lib p)
+
+(* TACL policy checking: primitive target plus a predicate over the source
+   principal. *)
+let check_policy lib (p : policy) : (unit, error) result =
+  let source_outs = [ ("source", Ttype.Entity "tt:contact") ] in
+  let* () = check_predicate lib ~outs:source_outs p.source in
+  match p.target with
+  | Policy_query (inv, pred) ->
+      let* () = check_invocation lib ~want_query:true ~outs:[] inv in
+      check_predicate lib ~outs:(query_out_params lib (Q_invoke inv)) pred
+  | Policy_action (inv, pred) ->
+      let* () = check_invocation lib ~want_query:false ~outs:[] inv in
+      (* action filters predicate over the action's input parameters *)
+      let ins =
+        match Schema.Library.find_fn lib inv.fn with
+        | None -> []
+        | Some f -> List.map (fun p -> (p.Schema.p_name, p.Schema.p_type)) (Schema.in_params f)
+      in
+      check_predicate lib ~outs:ins pred

@@ -1,0 +1,37 @@
+(** Type checker for ThingTalk programs against a skill library.
+
+    Strong static typing lets Genie reject ill-formed derivations during
+    synthesis and check the parser's output for well-formedness (the paper
+    reports 96% of model outputs are syntactically correct and type-correct,
+    section 5.5). *)
+
+type error = string
+
+val check_program : Schema.Library.t -> Ast.program -> (unit, error) result
+(** Checks function existence and kind (query vs action), parameter names,
+    directions and types, required parameters, parameter-passing scopes (the
+    rightmost-instance rule of section 2.3), filter compatibility with output
+    parameters, monitorability of monitored queries, timer argument types and
+    aggregation typing. *)
+
+val well_typed : Schema.Library.t -> Ast.program -> bool
+
+val check_policy : Schema.Library.t -> Ast.policy -> (unit, error) result
+(** TACL policies: a predicate over the requesting principal plus a primitive
+    command restricted per paper Fig. 10. *)
+
+val check_predicate :
+  Schema.Library.t -> outs:(string * Ttype.t) list -> Ast.predicate -> (unit, error) result
+(** Checks a predicate against the output parameters in scope. *)
+
+val query_out_params : Schema.Library.t -> Ast.query -> (string * Ttype.t) list
+(** The output parameters a query provides; on duplicate names the rightmost
+    instance wins. *)
+
+val stream_out_params : Schema.Library.t -> Ast.stream -> (string * Ttype.t) list
+
+val query_monitorable : Schema.Library.t -> Ast.query -> bool
+(** Whether the query is built exclusively from monitorable functions
+    (filters and joins of monitorable queries stay monitorable, section 2.2). *)
+
+val query_is_list : Schema.Library.t -> Ast.query -> bool

@@ -1,0 +1,160 @@
+(* ThingTalk constant values.
+
+   The language needs a rich constant language (paper section 2.1): measures
+   composed additively from arbitrary legal units, structured dates relative
+   to the utterance time, locations by name or coordinates, typed entities
+   with an optional display name. *)
+
+type date =
+  | D_absolute of { year : int; month : int; day : int }
+  | D_now
+  | D_start_of of string (* "day" | "week" | "mon" | "year" *)
+  | D_end_of of string
+  | D_plus of date * float * string (* base date + offset measure *)
+
+type location =
+  | L_named of string
+  | L_absolute of float * float (* latitude, longitude *)
+  | L_relative of string (* "home" | "work" | "current_location" *)
+
+type t =
+  | String of string
+  | Number of float
+  | Boolean of bool
+  (* Additive terms, e.g. [ (6., "ft"); (3., "in") ]. *)
+  | Measure of (float * string) list
+  | Date of date
+  | Time of int * int (* hour, minute *)
+  | Location of location
+  | Currency of float * string (* amount, code e.g. "usd" *)
+  | Enum of string
+  | Entity of { ty : string; value : string; display : string option }
+  | Array of t list
+  (* An unfilled slot ($?); programs containing one are incomplete. *)
+  | Undefined
+
+let rec type_of : t -> Ttype.t option = function
+  | String _ -> Some Ttype.String
+  | Number _ -> Some Ttype.Number
+  | Boolean _ -> Some Ttype.Boolean
+  | Measure [] -> None
+  | Measure ((_, u) :: _) -> (
+      match Ttype.Units.base_of u with
+      | Some base -> Some (Ttype.Measure base)
+      | None -> None)
+  | Date _ -> Some Ttype.Date
+  | Time _ -> Some Ttype.Time
+  | Location _ -> Some Ttype.Location
+  | Currency _ -> Some Ttype.Currency
+  | Enum v -> Some (Ttype.Enum [ v ])
+  | Entity { ty; _ } -> Some (Ttype.Entity ty)
+  | Array [] -> None
+  | Array (v :: _) -> Option.map (fun t -> Ttype.Array t) (type_of v)
+  | Undefined -> None
+
+(* Does the value fit in a slot of declared type [ty]? *)
+let rec conforms v (ty : Ttype.t) =
+  match (v, ty) with
+  | Undefined, _ -> true
+  | String _, (Ttype.String | Ttype.Entity _ | Ttype.Url | Ttype.Path_name
+              | Ttype.Picture | Ttype.Phone_number | Ttype.Email_address) -> true
+  | Number _, Ttype.Number -> true
+  | Boolean _, Ttype.Boolean -> true
+  | Measure ((_, u) :: _ as terms), Ttype.Measure base ->
+      List.for_all (fun (_, u') -> Ttype.Units.base_of u' = Ttype.Units.base_of u) terms
+      && Ttype.Units.base_of u = Some base
+  | Date _, Ttype.Date -> true
+  | Time _, Ttype.Time -> true
+  | Location _, Ttype.Location -> true
+  | Currency _, Ttype.Currency -> true
+  | Enum v, Ttype.Enum allowed -> List.mem v allowed
+  | Entity { ty = ety; _ }, Ttype.Entity want -> ety = want
+  | Entity _, Ttype.String -> true
+  | Array vs, Ttype.Array elt -> List.for_all (fun v -> conforms v elt) vs
+  | _ -> false
+
+(* Numeric magnitude used by comparison operators at runtime. Measures are
+   normalized to their base unit; dates to days since an epoch under a
+   supplied reference time. *)
+let rec to_float ~now v =
+  match v with
+  | Number n -> Some n
+  | Currency (n, _) -> Some n
+  | Measure terms ->
+      Some (List.fold_left (fun acc (n, u) -> acc +. Ttype.Units.to_base n u) 0.0 terms)
+  | Date d -> Some (date_to_days ~now d)
+  | Time (h, m) -> Some (float_of_int ((h * 60) + m))
+  | Boolean b -> Some (if b then 1.0 else 0.0)
+  | _ -> None
+
+and date_to_days ~now d =
+  (* [now] is a day count from an arbitrary epoch; weeks start on day 0 mod 7.
+     This is a simplified proleptic calendar sufficient for simulation. *)
+  match d with
+  | D_absolute { year; month; day } ->
+      float_of_int (((year - 1970) * 365) + ((month - 1) * 30) + day)
+  | D_now -> now
+  | D_start_of "day" -> Float.of_int (int_of_float now)
+  | D_start_of "week" -> Float.of_int (int_of_float now / 7 * 7)
+  | D_start_of "mon" -> Float.of_int (int_of_float now / 30 * 30)
+  | D_start_of "year" -> Float.of_int (int_of_float now / 365 * 365)
+  | D_start_of _ -> now
+  | D_end_of "day" -> Float.of_int (int_of_float now + 1)
+  | D_end_of "week" -> Float.of_int ((int_of_float now / 7 * 7) + 7)
+  | D_end_of "mon" -> Float.of_int ((int_of_float now / 30 * 30) + 30)
+  | D_end_of "year" -> Float.of_int ((int_of_float now / 365 * 365) + 365)
+  | D_end_of _ -> now
+  | D_plus (base, n, unit) ->
+      date_to_days ~now base +. (Ttype.Units.to_base n unit /. 86400e3)
+
+let rec to_string v =
+  match v with
+  | String s -> Printf.sprintf "\"%s\"" s
+  | Number n ->
+      if Float.is_integer n && Float.abs n < 1e15 then string_of_int (int_of_float n)
+      else string_of_float n
+  | Boolean b -> string_of_bool b
+  | Measure terms ->
+      String.concat " + "
+        (List.map (fun (n, u) -> Printf.sprintf "%s%s" (to_string (Number n)) u) terms)
+  | Date d -> date_to_string d
+  | Time (h, m) -> Printf.sprintf "time(%d,%d)" h m
+  | Location (L_named n) -> Printf.sprintf "location(\"%s\")" n
+  | Location (L_absolute (lat, lon)) -> Printf.sprintf "location(%g,%g)" lat lon
+  | Location (L_relative r) -> Printf.sprintf "location:%s" r
+  | Currency (n, code) -> Printf.sprintf "currency(%s,%s)" (to_string (Number n)) code
+  | Enum e -> Printf.sprintf "enum:%s" e
+  | Entity { ty; value; display = Some d } -> Printf.sprintf "\"%s\"^^%s(\"%s\")" value ty d
+  | Entity { ty; value; display = None } -> Printf.sprintf "\"%s\"^^%s" value ty
+  | Array vs -> Printf.sprintf "[%s]" (String.concat ", " (List.map to_string vs))
+  | Undefined -> "$?"
+
+and date_to_string = function
+  | D_absolute { year; month; day } -> Printf.sprintf "date(%d,%d,%d)" year month day
+  | D_now -> "$now"
+  | D_start_of u -> Printf.sprintf "start_of(%s)" u
+  | D_end_of u -> Printf.sprintf "end_of(%s)" u
+  | D_plus (d, n, u) ->
+      Printf.sprintf "%s + %s%s" (date_to_string d) (to_string (Number n)) u
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+(* Runtime equality: strings compare case-insensitively, entities compare by
+   value ignoring display, numerics by magnitude. *)
+let runtime_equal ~now a b =
+  match (a, b) with
+  | String a, String b -> String.lowercase_ascii a = String.lowercase_ascii b
+  | Entity { value = a; _ }, Entity { value = b; _ } -> a = b
+  | Entity { value = a; _ }, String b | String b, Entity { value = a; _ } ->
+      String.lowercase_ascii a = String.lowercase_ascii b
+  | Enum a, Enum b -> a = b
+  | Boolean a, Boolean b -> a = b
+  | Location a, Location b -> a = b
+  | (Number _ | Currency _ | Measure _ | Date _ | Time _), _ -> (
+      match (to_float ~now a, to_float ~now b) with
+      | Some x, Some y -> Float.abs (x -. y) < 1e-9
+      | _ -> false)
+  | a, b -> a = b

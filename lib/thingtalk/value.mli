@@ -1,0 +1,60 @@
+(** ThingTalk constant values.
+
+    The language needs a rich constant language (section 2.1): measures
+    composed additively from arbitrary legal units, dates relative to the
+    utterance time, locations by name or coordinates, typed entities with an
+    optional display name. *)
+
+type date =
+  | D_absolute of { year : int; month : int; day : int }
+  | D_now  (** the time the program starts *)
+  | D_start_of of string  (** "day" | "week" | "mon" | "year" *)
+  | D_end_of of string
+  | D_plus of date * float * string  (** base date plus an offset measure *)
+
+type location =
+  | L_named of string
+  | L_absolute of float * float  (** latitude, longitude *)
+  | L_relative of string  (** "home" | "work" | "current_location" *)
+
+type t =
+  | String of string
+  | Number of float
+  | Boolean of bool
+  | Measure of (float * string) list
+      (** additive terms, e.g. [[(6., "ft"); (3., "in")]] *)
+  | Date of date
+  | Time of int * int  (** hour, minute *)
+  | Location of location
+  | Currency of float * string  (** amount, lowercase code *)
+  | Enum of string
+  | Entity of { ty : string; value : string; display : string option }
+  | Array of t list
+  | Undefined  (** an unfilled slot ($?) *)
+
+val type_of : t -> Ttype.t option
+(** The natural type of a value, when determinable. *)
+
+val conforms : t -> Ttype.t -> bool
+(** Does the value fit a slot of the declared type? [Undefined] conforms to
+    everything; strings conform to entity-like slots (resolved at runtime). *)
+
+val to_float : now:float -> t -> float option
+(** Numeric magnitude for comparisons: measures normalize to their base unit,
+    dates to day counts relative to [now]. *)
+
+val date_to_days : now:float -> date -> float
+(** Resolves a date to a day count under the virtual clock [now] (a simplified
+    proleptic calendar sufficient for simulation). *)
+
+val to_string : t -> string
+(** The surface-syntax rendering, accepted back by the parser. *)
+
+val date_to_string : date -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val runtime_equal : now:float -> t -> t -> bool
+(** Equality as the runtime's == operator sees it: strings case-insensitive,
+    entities by value, numeric kinds by magnitude. *)

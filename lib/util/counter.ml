@@ -1,0 +1,32 @@
+(* Multiset of strings; used for vocabulary statistics, alignment counts and
+   n-gram language models. *)
+
+type t = { tbl : (string, float) Hashtbl.t; mutable total : float }
+
+let create () = { tbl = Hashtbl.create 64; total = 0.0 }
+
+let add ?(weight = 1.0) t key =
+  let cur = try Hashtbl.find t.tbl key with Not_found -> 0.0 in
+  Hashtbl.replace t.tbl key (cur +. weight);
+  t.total <- t.total +. weight
+
+let count t key = try Hashtbl.find t.tbl key with Not_found -> 0.0
+
+let mem t key = Hashtbl.mem t.tbl key
+let total t = t.total
+let distinct t = Hashtbl.length t.tbl
+
+let iter f t = Hashtbl.iter f t.tbl
+
+let to_list t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl []
+
+let top n t =
+  let items = to_list t in
+  let sorted = List.sort (fun (k1, v1) (k2, v2) ->
+    match compare v2 v1 with 0 -> compare k1 k2 | c -> c) items
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
+(* Probability with add-alpha smoothing over a known vocabulary size. *)
+let prob ?(alpha = 0.0) ?(vocab = 0) t key =
+  (count t key +. alpha) /. (t.total +. (alpha *. float_of_int vocab))

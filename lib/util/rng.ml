@@ -1,0 +1,85 @@
+(* Deterministic splittable PRNG (splitmix64).
+
+   Every stochastic component of the toolkit takes an explicit [Rng.t] so that
+   experiments are reproducible and can report mean +- half-range over seeds,
+   as the paper does. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* A fresh generator whose stream is independent of the parent's future
+   draws. *)
+let split t = { state = next_int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* mask to 62 bits so the conversion to OCaml's 63-bit int stays positive *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* True with probability [p]. *)
+let flip t p = float t 1.0 < p
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let pick_array t xs =
+  if Array.length xs = 0 then invalid_arg "Rng.pick_array: empty array";
+  xs.(int t (Array.length xs))
+
+let pick_opt t xs = match xs with [] -> None | xs -> Some (pick t xs)
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+(* Sample [k] elements without replacement; returns all of [xs] when
+   [k >= length xs]. *)
+let sample t k xs =
+  let n = List.length xs in
+  if k >= n then xs
+  else
+    let shuffled = shuffle t xs in
+    List.filteri (fun i _ -> i < k) shuffled
+
+let weighted t pairs =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 pairs in
+  if total <= 0.0 then invalid_arg "Rng.weighted: total weight must be positive";
+  let x = float t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.weighted: empty list"
+    | [ (v, _) ] -> v
+    | (v, w) :: rest -> if x < acc +. w then v else go (acc +. w) rest
+  in
+  go 0.0 pairs
+
+(* Geometric-ish choice used by the synthesizer: the number of derivations
+   sampled decreases exponentially with depth. *)
+let budget_for_depth ~target ~depth =
+  let d = max 0 depth in
+  max 1 (target / (1 lsl min d 20))

@@ -1,0 +1,54 @@
+(** Deterministic splittable pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the toolkit takes an explicit generator so
+    that synthesis, paraphrasing, augmentation and training are reproducible,
+    and experiments can report mean +- half-range over seeds as the paper
+    does. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a generator with the given seed. Equal seeds yield
+    equal streams. *)
+
+val split : t -> t
+(** [split t] returns a fresh generator whose stream is independent of the
+    parent's subsequent draws. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). Raises [Invalid_argument]
+    if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val flip : t -> float -> bool
+(** [flip t p] is true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)
+
+val pick_array : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val pick_opt : t -> 'a list -> 'a option
+(** Uniform choice, or [None] on the empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher-Yates shuffle. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] draws [k] elements without replacement (all of [xs] when
+    [k >= length xs]). *)
+
+val weighted : t -> ('a * float) list -> 'a
+(** Weighted choice; weights must sum to a positive value. *)
+
+val budget_for_depth : target:int -> depth:int -> int
+(** The synthesis sampling budget at a derivation depth: the paper's sampler
+    draws exponentially fewer derivations as depth grows (section 3.1). Never
+    returns less than 1. *)

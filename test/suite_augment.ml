@@ -1,0 +1,129 @@
+(* Tests for gazettes, parameter replacement and PPDB augmentation
+   (section 3.3). *)
+
+open Genie_thingtalk
+
+let lib = Genie_thingpedia.Thingpedia.core_library ()
+let parse = Parser.parse_program
+let gz = Genie_augment.Gazettes.create ~size:500 ()
+
+let test_gazettes_deterministic () =
+  let a = Genie_augment.Gazettes.create ~size:200 () in
+  let b = Genie_augment.Gazettes.create ~size:200 () in
+  List.iter2
+    (fun (n1, p1) (n2, p2) ->
+      Alcotest.(check string) "same pool name" n1 n2;
+      Alcotest.(check bool) "same pool content" true (p1 = p2))
+    a.Genie_augment.Gazettes.pools b.Genie_augment.Gazettes.pools
+
+let test_gazettes_distinct_values () =
+  List.iter
+    (fun (name, arr) ->
+      let n = Array.length arr in
+      let distinct = List.length (List.sort_uniq compare (Array.to_list arr)) in
+      Alcotest.(check int) (name ^ " all distinct") n distinct;
+      Alcotest.(check bool) (name ^ " non-empty") true (n > 0))
+    gz.Genie_augment.Gazettes.pools
+
+let test_gazette_scale () =
+  (* the paper ships 49 lists with 7.8M values; ours is the synthetic
+     equivalent -- many lists, many values, more at larger size *)
+  Alcotest.(check bool) "20+ pools" true (List.length gz.Genie_augment.Gazettes.pools >= 20);
+  let small = Genie_augment.Gazettes.create ~size:100 () in
+  Alcotest.(check bool) "size knob works" true
+    (Genie_augment.Gazettes.total_values gz > Genie_augment.Gazettes.total_values small)
+
+let test_gazette_for_types () =
+  let open Genie_augment.Gazettes in
+  Alcotest.(check (option string)) "song entity" (Some "song")
+    (gazette_for ~param_name:"song" ~ty:(Ttype.Entity "tt:song"));
+  Alcotest.(check (option string)) "caption is free text" (Some "free_text")
+    (gazette_for ~param_name:"caption" ~ty:Ttype.String);
+  Alcotest.(check (option string)) "query is topical" (Some "topic")
+    (gazette_for ~param_name:"query" ~ty:Ttype.String);
+  Alcotest.(check (option string)) "numbers are not replaced" None
+    (gazette_for ~param_name:"volume" ~ty:Ttype.Number)
+
+let example src sentence =
+  Genie_dataset.Example.make ~id:0 ~tokens:(Genie_util.Tok.tokenize sentence)
+    ~program:(parse src) ~source:Genie_dataset.Example.Synthesized ()
+
+let test_expand_once_consistent () =
+  let e =
+    example "now => @com.twitter.post(status = \"hello world\");"
+      "tweet \"hello world\" please"
+  in
+  let rng = Genie_util.Rng.create 3 in
+  match Genie_augment.Expand.expand_once lib gz rng e with
+  | None -> Alcotest.fail "expected an expansion"
+  | Some e' ->
+      (* the program changed, stays well-typed, and the new value appears in
+         the rewritten sentence *)
+      Alcotest.(check bool) "program changed" true
+        (e'.Genie_dataset.Example.program <> e.Genie_dataset.Example.program);
+      Alcotest.(check bool) "still well-typed" true
+        (Typecheck.well_typed lib e'.Genie_dataset.Example.program);
+      let consts = Ast.program_constants e'.Genie_dataset.Example.program in
+      List.iter
+        (fun (_, v) ->
+          let rendering =
+            Genie_util.Tok.tokenize
+              (Genie_thingpedia.Prim.render_value ~quote:false v)
+          in
+          Alcotest.(check bool) "value present in sentence" true
+            (Genie_util.Tok.match_sub e'.Genie_dataset.Example.tokens rendering <> None))
+        consts
+
+let test_expand_dataset_multipliers () =
+  let para =
+    { (example "now => @com.twitter.post(status = \"hello world\");"
+         "tweet \"hello world\"")
+      with
+      Genie_dataset.Example.source = Genie_dataset.Example.Paraphrase }
+  in
+  let rng = Genie_util.Rng.create 4 in
+  let out = Genie_augment.Expand.expand_dataset ~scale:1.0 lib gz rng [ para ] in
+  (* paraphrases with string parameters expand 30x *)
+  Alcotest.(check bool)
+    (Printf.sprintf "expanded to %d" (List.length out))
+    true
+    (List.length out > 20);
+  (* ids are unique *)
+  let ids = List.map (fun e -> e.Genie_dataset.Example.id) out in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_expand_no_replaceable_params () =
+  let e = example "now => @com.gmail.inbox() => notify;" "show me my emails" in
+  let rng = Genie_util.Rng.create 5 in
+  let out = Genie_augment.Expand.expand_dataset ~scale:1.0 lib gz rng [ e ] in
+  Alcotest.(check int) "kept as-is" 1 (List.length out)
+
+let test_ppdb_protects_parameters () =
+  let rng = Genie_util.Rng.create 6 in
+  (* "picture" is in the PPDB table; as a protected (parameter) token it must
+     survive *)
+  let tokens = Genie_util.Tok.tokenize "post the picture caption" in
+  let out = Genie_augment.Ppdb.augment rng ~protected:[ "picture" ] tokens in
+  Alcotest.(check bool) "protected token kept" true (List.mem "picture" out)
+
+let test_ppdb_substitutes () =
+  let rng = Genie_util.Rng.create 7 in
+  let tokens = Genie_util.Tok.tokenize "show me my emails when it changes" in
+  let changed = ref false in
+  for _ = 1 to 20 do
+    let out = Genie_augment.Ppdb.augment (Genie_util.Rng.split rng) ~protected:[] tokens in
+    if out <> tokens then changed := true
+  done;
+  Alcotest.(check bool) "ppdb rewrites" true !changed
+
+let suite =
+  [ Alcotest.test_case "gazettes deterministic" `Quick test_gazettes_deterministic;
+    Alcotest.test_case "gazette values distinct" `Quick test_gazettes_distinct_values;
+    Alcotest.test_case "gazette scale" `Quick test_gazette_scale;
+    Alcotest.test_case "gazette type mapping" `Quick test_gazette_for_types;
+    Alcotest.test_case "expand_once consistency" `Quick test_expand_once_consistent;
+    Alcotest.test_case "expansion multipliers" `Quick test_expand_dataset_multipliers;
+    Alcotest.test_case "no replaceable params" `Quick test_expand_no_replaceable_params;
+    Alcotest.test_case "ppdb protects parameters" `Quick test_ppdb_protects_parameters;
+    Alcotest.test_case "ppdb substitutes" `Quick test_ppdb_substitutes ]

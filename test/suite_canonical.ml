@@ -1,0 +1,177 @@
+(* Tests for canonicalization (section 2.4): the transformation rules, and
+   property tests (idempotence, type preservation, semantic preservation)
+   over a pool of synthesized programs. *)
+
+open Genie_thingtalk
+
+let lib = Genie_thingpedia.Thingpedia.core_library ()
+let parse = Parser.parse_program
+let canon p = Canonical.canonical_string lib p
+
+let equal_canon a b = Alcotest.(check string) "canonically equal" (canon (parse a)) (canon (parse b))
+
+let test_join_commutative () =
+  (* joins without parameter passing are commutative; operands are ordered
+     lexically *)
+  equal_canon "now => @com.bbc.get_news() join @com.nytimes.get_front_page() => notify;"
+    "now => @com.nytimes.get_front_page() join @com.bbc.get_news() => notify;"
+
+let test_join_with_passing_not_commuted () =
+  let a =
+    parse
+      "now => @com.nytimes.get_front_page() join @com.yandex.translate.translate() on \
+       (text = title) => notify;"
+  in
+  match (Canonical.normalize lib a).Ast.query with
+  | Some (Ast.Q_join (Ast.Q_invoke l, _, _)) ->
+      Alcotest.(check string) "left operand preserved" "@com.nytimes.get_front_page"
+        (Ast.Fn.to_string l.Ast.fn)
+  | _ -> Alcotest.fail "expected join"
+
+let test_nested_filters_merge () =
+  (* nested filter applications collapse to a single && filter *)
+  equal_canon
+    "now => ((@com.gmail.inbox()) filter sender_name == \"a\") filter is_important == \
+     true => notify;"
+    "now => (@com.gmail.inbox()) filter sender_name == \"a\" && is_important == true => \
+     notify;"
+
+let test_conjunct_order () =
+  equal_canon
+    "now => (@com.gmail.inbox()) filter is_important == true && sender_name == \"a\" => \
+     notify;"
+    "now => (@com.gmail.inbox()) filter sender_name == \"a\" && is_important == true => \
+     notify;"
+
+let test_predicate_simplification () =
+  equal_canon
+    "now => (@com.gmail.inbox()) filter sender_name == \"a\" && true => notify;"
+    "now => (@com.gmail.inbox()) filter sender_name == \"a\" => notify;";
+  (* duplicate conjuncts collapse *)
+  equal_canon
+    "now => (@com.gmail.inbox()) filter sender_name == \"a\" && sender_name == \"a\" => \
+     notify;"
+    "now => (@com.gmail.inbox()) filter sender_name == \"a\" => notify;"
+
+let test_negation_pushed () =
+  (* !(x == v) canonicalizes to x != v *)
+  equal_canon
+    "now => (@com.dropbox.list_folder()) filter !(is_folder == true) => notify;"
+    "now => (@com.dropbox.list_folder()) filter is_folder != true => notify;";
+  (* !(a < b) becomes a >= b *)
+  equal_canon
+    "now => (@com.dropbox.list_folder()) filter !(file_size < 10MB) => notify;"
+    "now => (@com.dropbox.list_folder()) filter file_size >= 10MB => notify;"
+
+let test_cnf_distribution () =
+  (* a || (b && c) distributes to (a || b) && (a || c) *)
+  let p =
+    parse
+      "now => (@com.gmail.inbox()) filter sender_name == \"a\" || (is_important == true \
+       && subject == \"x\") => notify;"
+  in
+  let n = Canonical.normalize lib p in
+  match Ast.program_predicates n with
+  | [ Ast.P_and [ Ast.P_or _; Ast.P_or _ ] ] -> ()
+  | _ -> Alcotest.fail ("expected CNF with two clauses: " ^ Printer.program_to_string n)
+
+let test_input_params_alphabetical () =
+  equal_canon
+    "now => @com.facebook.post_picture(picture_url = \"http://x\", caption = \"c\");"
+    "now => @com.facebook.post_picture(caption = \"c\", picture_url = \"http://x\");"
+
+let test_filter_pushed_to_operand () =
+  (* a filter over a join moves to the left-most operand that covers it *)
+  let p =
+    parse
+      "now => (@com.nytimes.get_front_page() join @com.yandex.translate.translate() on \
+       (text = title)) filter section == \"world\" => notify;"
+  in
+  match (Canonical.normalize lib p).Ast.query with
+  | Some (Ast.Q_join (Ast.Q_filter _, _, _)) -> ()
+  | Some q -> Alcotest.fail ("filter not pushed: " ^ Printer.query_to_string q)
+  | None -> Alcotest.fail "expected query"
+
+let test_on_new_sorted () =
+  equal_canon "monitor (@com.dropbox.list_folder()) on new [modified_time, file_name] => notify;"
+    "monitor (@com.dropbox.list_folder()) on new [file_name, modified_time] => notify;"
+
+(* --- property tests over synthesized programs -------------------------------------- *)
+
+let program_pool =
+  lazy
+    (let prims = Genie_thingpedia.Thingpedia.core_templates () in
+     let rules = Genie_templates.Rules_thingtalk.rules lib in
+     let g =
+       Genie_templates.Grammar.create lib ~prims ~rules
+         ~rng:(Genie_util.Rng.create 77) ()
+     in
+     List.map snd
+       (Genie_synthesis.Engine.synthesize g
+          { Genie_synthesis.Engine.default_config with
+            seed = 77;
+            target_per_rule = 60;
+            max_depth = 4 }))
+
+let arbitrary_program =
+  QCheck.make
+    (QCheck.Gen.oneofl (Lazy.force program_pool))
+    ~print:(fun p -> Printer.program_to_string p)
+
+let qcheck_idempotent =
+  QCheck.Test.make ~name:"canonicalization is idempotent" ~count:200 arbitrary_program
+    (fun p ->
+      let once = Canonical.normalize lib p in
+      let twice = Canonical.normalize lib once in
+      Printer.program_to_string once = Printer.program_to_string twice)
+
+let qcheck_preserves_types =
+  QCheck.Test.make ~name:"canonicalization preserves well-typedness" ~count:200
+    arbitrary_program (fun p ->
+      Typecheck.well_typed lib p = Typecheck.well_typed lib (Canonical.normalize lib p))
+
+let qcheck_preserves_functions =
+  QCheck.Test.make ~name:"canonicalization preserves the function multiset" ~count:200
+    arbitrary_program (fun p ->
+      let fns q = List.sort compare (List.map Ast.Fn.to_string (Ast.program_functions q)) in
+      fns p = fns (Canonical.normalize lib p))
+
+let qcheck_now_semantics_preserved =
+  (* semantic preservation checked on the runtime: canonicalized now-commands
+     produce the same notifications *)
+  QCheck.Test.make ~name:"canonicalization preserves now-command semantics" ~count:60
+    arbitrary_program (fun p ->
+      match p.Ast.stream with
+      | Ast.S_now ->
+          let run q =
+            let env = Genie_runtime.Exec.create ~seed:5 lib in
+            try
+              let notifications, effects = Genie_runtime.Exec.run ~ticks:1 env q in
+              Some (List.length notifications, List.length effects)
+            with Genie_runtime.Exec.Runtime_error _ -> None
+          in
+          run p = run (Canonical.normalize lib p)
+      | _ -> QCheck.assume_fail ())
+
+let qcheck_parse_print_roundtrip =
+  QCheck.Test.make ~name:"surface print/parse roundtrip on canonical programs" ~count:200
+    arbitrary_program (fun p ->
+      let c = Canonical.normalize lib p in
+      Parser.parse_program (Printer.program_to_string c) = c)
+
+let suite =
+  [ Alcotest.test_case "join commutativity" `Quick test_join_commutative;
+    Alcotest.test_case "join with passing keeps order" `Quick test_join_with_passing_not_commuted;
+    Alcotest.test_case "nested filters merge" `Quick test_nested_filters_merge;
+    Alcotest.test_case "conjunct order" `Quick test_conjunct_order;
+    Alcotest.test_case "predicate simplification" `Quick test_predicate_simplification;
+    Alcotest.test_case "negation pushed into ops" `Quick test_negation_pushed;
+    Alcotest.test_case "CNF distribution" `Quick test_cnf_distribution;
+    Alcotest.test_case "input params alphabetical" `Quick test_input_params_alphabetical;
+    Alcotest.test_case "filter pushed to operand" `Quick test_filter_pushed_to_operand;
+    Alcotest.test_case "on-new fields sorted" `Quick test_on_new_sorted;
+    QCheck_alcotest.to_alcotest qcheck_idempotent;
+    QCheck_alcotest.to_alcotest qcheck_preserves_types;
+    QCheck_alcotest.to_alcotest qcheck_preserves_functions;
+    QCheck_alcotest.to_alcotest qcheck_now_semantics_preserved;
+    QCheck_alcotest.to_alcotest qcheck_parse_print_roundtrip ]

@@ -1,0 +1,166 @@
+(* Integration tests for the Genie pipeline (Fig. 2): end-to-end runs at small
+   scale, regime differences, ablation switches, case-study plumbing. *)
+
+open Genie_thingtalk
+module Config = Genie_core.Config
+module Pipeline = Genie_core.Pipeline
+
+let lib = Genie_thingpedia.Thingpedia.core_library ()
+let prims = Genie_thingpedia.Thingpedia.core_templates ()
+let rules = Genie_templates.Rules_thingtalk.rules lib
+
+let tiny = Config.scaled 0.45 Config.default
+
+let artifacts = lazy (Pipeline.run ~cfg:tiny ~lib ~prims ~rules ())
+
+let test_pipeline_produces_artifacts () =
+  let a = Lazy.force artifacts in
+  Alcotest.(check bool) "synthesized data" true (List.length a.Pipeline.synthesized > 500);
+  Alcotest.(check bool) "paraphrases collected" true (List.length a.Pipeline.paraphrases > 100);
+  Alcotest.(check bool) "training set built" true (List.length a.Pipeline.train > 1000);
+  Alcotest.(check bool) "paraphrase test held out" true
+    (List.length a.Pipeline.paraphrase_test > 10);
+  Alcotest.(check bool) "lm corpus built" true (List.length a.Pipeline.lm_programs > 500)
+
+let test_holdout_is_disjoint () =
+  let a = Lazy.force artifacts in
+  let combo p =
+    String.concat "+"
+      (List.sort_uniq compare (List.map Ast.Fn.to_string (Ast.program_functions p)))
+  in
+  (* no training example uses a held-out function combination *)
+  List.iter
+    (fun (e : Genie_dataset.Example.t) ->
+      Alcotest.(check bool) "train avoids held-out combos" false
+        (Hashtbl.mem a.Pipeline.held_out_combos (combo e.Genie_dataset.Example.program)))
+    a.Pipeline.train;
+  (* every paraphrase-test example uses one *)
+  List.iter
+    (fun (e : Genie_dataset.Example.t) ->
+      Alcotest.(check bool) "test uses held-out combos" true
+        (Hashtbl.mem a.Pipeline.held_out_combos (combo e.Genie_dataset.Example.program)))
+    a.Pipeline.paraphrase_test
+
+let test_training_set_is_well_typed () =
+  let a = Lazy.force artifacts in
+  List.iter
+    (fun (e : Genie_dataset.Example.t) ->
+      match Typecheck.check_program lib e.Genie_dataset.Example.program with
+      | Ok () -> ()
+      | Error err -> Alcotest.fail (Genie_dataset.Example.sentence e ^ ": " ^ err))
+    a.Pipeline.train
+
+let test_quotes_stripped () =
+  let a = Lazy.force artifacts in
+  List.iter
+    (fun (e : Genie_dataset.Example.t) ->
+      Alcotest.(check bool) "no quote tokens in training" false
+        (List.mem "\"" e.Genie_dataset.Example.tokens))
+    a.Pipeline.train
+
+let test_predictor_reasonable () =
+  let a = Lazy.force artifacts in
+  (* parses a simple primitive correctly even at tiny scale *)
+  match Pipeline.predictor a (Genie_util.Tok.tokenize "get a cat picture") with
+  | Some p ->
+      Alcotest.(check string) "cat api"
+        "now => @com.thecatapi.get() => notify;"
+        (Canonical.canonical_string lib p)
+  | None -> Alcotest.fail "no parse"
+
+let test_regime_training_sets_differ () =
+  let run regime =
+    Pipeline.run ~cfg:{ tiny with Config.regime } ~lib ~prims ~rules ()
+  in
+  let synth_only = run Config.Synthesized_only in
+  let para_only = run Config.Paraphrase_only in
+  Alcotest.(check bool) "synthesized-only has no paraphrases" true
+    (List.for_all
+       (fun (e : Genie_dataset.Example.t) ->
+         e.Genie_dataset.Example.source = Genie_dataset.Example.Synthesized)
+       synth_only.Pipeline.train);
+  Alcotest.(check bool) "paraphrase-only has no synthesized" true
+    (List.for_all
+       (fun (e : Genie_dataset.Example.t) ->
+         e.Genie_dataset.Example.source = Genie_dataset.Example.Paraphrase)
+       para_only.Pipeline.train)
+
+let test_baseline_has_no_expansion () =
+  let baseline =
+    Pipeline.run ~cfg:{ tiny with Config.regime = Config.Wang_baseline } ~lib ~prims ~rules ()
+  in
+  (* no parameter expansion: training set equals the pre-expansion set *)
+  Alcotest.(check int) "no expanded copies"
+    (List.length baseline.Pipeline.train_before_expansion)
+    (List.length baseline.Pipeline.train);
+  Alcotest.(check bool) "no LM corpus" true (baseline.Pipeline.lm_programs = [])
+
+let test_ablation_configs_map () =
+  let c = { Config.default with Config.ablations = [ Config.No_type_annotations ] } in
+  let ac = Config.aligner_config c in
+  Alcotest.(check bool) "type annotations off" false
+    ac.Genie_parser_model.Aligner.options.Nn_syntax.type_annotations;
+  let c2 = { Config.default with Config.ablations = [ Config.No_decoder_lm ] } in
+  Alcotest.(check bool) "decoder lm off" false
+    (Config.aligner_config c2).Genie_parser_model.Aligner.use_decoder_lm
+
+let test_fig1_end_to_end () =
+  let a = Lazy.force artifacts in
+  let _, program, effects = Genie_core.Experiments.fig1_end_to_end a in
+  (match program with
+  | Some p ->
+      Alcotest.(check bool) "well-typed parse" true (Typecheck.well_typed lib p);
+      let fns = List.map Ast.Fn.to_string (Ast.program_functions p) in
+      (* at this tiny training scale the parse may be imperfect, but it must
+         land in the right domain *)
+      Alcotest.(check bool) "mentions the cat api or facebook" true
+        (List.mem "@com.thecatapi.get" fns
+        || List.exists (fun f -> Genie_util.Tok.starts_with ~prefix:"@com.facebook" f) fns)
+  | None -> Alcotest.fail "fig1 did not parse");
+  ignore effects
+
+let test_fig7_characteristics () =
+  let c = Genie_core.Experiments.fig7 (Lazy.force artifacts) in
+  Alcotest.(check bool) "has primitives and compounds" true
+    (c.Genie_dataset.Stats.primitive > 0.0
+    && c.Genie_dataset.Stats.compound
+       +. c.Genie_dataset.Stats.compound_with_param_passing
+       +. c.Genie_dataset.Stats.compound_with_filters
+       > 0.0)
+
+let test_synthesis_stats () =
+  let s = Genie_core.Experiments.synthesis_stats (Lazy.force artifacts) in
+  Alcotest.(check bool) "augmentation grows the vocabulary" true
+    (s.Genie_core.Experiments.words_after_augmentation
+    > s.Genie_core.Experiments.words_synthesized);
+  Alcotest.(check bool) "paraphrasing grows the vocabulary" true
+    (s.Genie_core.Experiments.words_after_paraphrase
+    > s.Genie_core.Experiments.words_synthesized);
+  Alcotest.(check bool) "paraphrases add words on average" true
+    (s.Genie_core.Experiments.new_words_per_paraphrase > 0.0)
+
+let test_tacl_case_study_plumbing () =
+  (* one miniature TACL training run end-to-end *)
+  let tacl_lib = Genie_core.Case_studies.tacl_library () in
+  let _, encoded = Genie_core.Case_studies.tacl_pipeline ~cfg:tiny ~lib:tacl_lib ~prims 5 in
+  Alcotest.(check bool) "policies synthesized and encoded" true (List.length encoded > 50);
+  List.iter
+    (fun (_, p) ->
+      Alcotest.(check bool) "encoded policy type-checks" true (Typecheck.well_typed tacl_lib p);
+      Alcotest.(check bool) "encoding decodes back" true
+        (Genie_templates.Rules_tacl.decode p <> None))
+    encoded
+
+let suite =
+  [ Alcotest.test_case "pipeline produces artifacts" `Slow test_pipeline_produces_artifacts;
+    Alcotest.test_case "holdout disjoint from training" `Slow test_holdout_is_disjoint;
+    Alcotest.test_case "training set well-typed" `Slow test_training_set_is_well_typed;
+    Alcotest.test_case "quotes stripped" `Slow test_quotes_stripped;
+    Alcotest.test_case "predictor parses a primitive" `Slow test_predictor_reasonable;
+    Alcotest.test_case "regimes build different sets" `Slow test_regime_training_sets_differ;
+    Alcotest.test_case "baseline has no augmentation" `Slow test_baseline_has_no_expansion;
+    Alcotest.test_case "ablation config mapping" `Quick test_ablation_configs_map;
+    Alcotest.test_case "fig1 end to end" `Slow test_fig1_end_to_end;
+    Alcotest.test_case "fig7 characteristics" `Slow test_fig7_characteristics;
+    Alcotest.test_case "synthesis statistics" `Slow test_synthesis_stats;
+    Alcotest.test_case "tacl case-study plumbing" `Slow test_tacl_case_study_plumbing ]

@@ -1,0 +1,187 @@
+(* Tests for the paraphrase crowdsourcing pipeline (section 3.2): sentence
+   selection, the worker simulator, validation heuristics, batch files. *)
+
+open Genie_thingtalk
+
+let lib = Genie_thingpedia.Thingpedia.core_library ()
+let parse = Parser.parse_program
+
+let tweet_program = parse "now => @com.twitter.post(status = \"hello world\");"
+let tweet_tokens = Genie_util.Tok.tokenize "post \"hello world\" on twitter"
+
+let compound_program =
+  parse "monitor (@com.gmail.inbox()) => @com.twitter.post(status = \"new mail\");"
+
+let compound_tokens =
+  Genie_util.Tok.tokenize "when i receive an email , post \"new mail\" on twitter"
+
+let test_worker_deterministic () =
+  let p1 =
+    Genie_crowd.Worker.paraphrase (Genie_util.Rng.create 3) tweet_tokens tweet_program
+  in
+  let p2 =
+    Genie_crowd.Worker.paraphrase (Genie_util.Rng.create 3) tweet_tokens tweet_program
+  in
+  Alcotest.(check (list string)) "deterministic" p1 p2
+
+let test_worker_preserves_parameters_without_errors () =
+  let style = { Genie_crowd.Worker.default_style with error_p = 0.0 } in
+  let rng = Genie_util.Rng.create 5 in
+  for _ = 1 to 50 do
+    let out =
+      Genie_crowd.Worker.paraphrase ~style (Genie_util.Rng.split rng) tweet_tokens
+        tweet_program
+    in
+    Alcotest.(check bool) "parameter words kept" true
+      (Genie_util.Tok.match_sub out [ "hello"; "world" ] <> None)
+  done
+
+let test_worker_produces_variety () =
+  let rng = Genie_util.Rng.create 7 in
+  let outs =
+    List.init 30 (fun _ ->
+        Genie_crowd.Worker.paraphrase (Genie_util.Rng.split rng) compound_tokens
+          compound_program)
+  in
+  Alcotest.(check bool) "several distinct paraphrases" true
+    (List.length (List.sort_uniq compare outs) > 5)
+
+let test_clause_reorder () =
+  (* a when-first sentence can be reordered to action-first *)
+  let style =
+    { Genie_crowd.Worker.reorder_p = 1.0;
+      error_p = 0.0;
+      lazy_p = 0.0;
+      synonym_rate = 0.0;
+      drop_politeness_p = 0.0 }
+  in
+  let out =
+    Genie_crowd.Worker.paraphrase ~style (Genie_util.Rng.create 1) compound_tokens
+      compound_program
+  in
+  match out with
+  | "post" :: _ -> ()
+  | _ -> Alcotest.fail ("expected reorder, got: " ^ String.concat " " out)
+
+let test_validation_catches_dropped_parameter () =
+  let answer = Genie_util.Tok.tokenize "post something on twitter" in
+  Alcotest.(check bool) "dropped parameter rejected" false
+    (Genie_crowd.Pipeline.valid_paraphrase ~original:tweet_tokens ~program:tweet_program
+       answer)
+
+let test_validation_catches_truncation () =
+  let answer = [ "post" ] in
+  Alcotest.(check bool) "truncation rejected" false
+    (Genie_crowd.Pipeline.valid_paraphrase ~original:compound_tokens
+       ~program:compound_program answer)
+
+let test_validation_accepts_good_answer () =
+  let answer = Genie_util.Tok.tokenize "tweet \"hello world\" for me" in
+  Alcotest.(check bool) "good answer accepted" true
+    (Genie_crowd.Pipeline.valid_paraphrase ~original:tweet_tokens ~program:tweet_program
+       answer)
+
+let synthesized =
+  lazy
+    (let prims = Genie_thingpedia.Thingpedia.core_templates () in
+     let rules = Genie_templates.Rules_thingtalk.rules lib in
+     let g =
+       Genie_templates.Grammar.create lib ~prims ~rules ~rng:(Genie_util.Rng.create 81) ()
+     in
+     Genie_synthesis.Engine.synthesize g
+       { Genie_synthesis.Engine.default_config with
+         seed = 81;
+         target_per_rule = 80;
+         max_depth = 4 })
+
+let test_selection_covers_primitives () =
+  let cfg =
+    { Genie_crowd.Pipeline.default_selection with
+      Genie_crowd.Pipeline.primitive_per_function = 1;
+      compound_budget = 50 }
+  in
+  let selected = Genie_crowd.Pipeline.select cfg (Lazy.force synthesized) in
+  let fns_selected =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (_, p) ->
+           if Ast.is_primitive p then List.map Ast.Fn.to_string (Ast.program_functions p)
+           else [])
+         selected)
+  in
+  let fns_available =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (_, p) ->
+           if Ast.is_primitive p then List.map Ast.Fn.to_string (Ast.program_functions p)
+           else [])
+         (Lazy.force synthesized))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "primitive coverage %d/%d" (List.length fns_selected)
+       (List.length fns_available))
+    true
+    (List.length fns_selected >= List.length fns_available * 9 / 10)
+
+let test_selection_respects_budget () =
+  let cfg =
+    { Genie_crowd.Pipeline.default_selection with
+      Genie_crowd.Pipeline.primitive_per_function = 1;
+      compound_budget = 25 }
+  in
+  let selected = Genie_crowd.Pipeline.select cfg (Lazy.force synthesized) in
+  let compounds = List.filter (fun (_, p) -> not (Ast.is_primitive p)) selected in
+  Alcotest.(check bool) "budget respected" true (List.length compounds <= 25)
+
+let test_collect_filters_errors () =
+  let selected = Genie_util.Rng.sample (Genie_util.Rng.create 2) 80 (Lazy.force synthesized) in
+  let r = Genie_crowd.Pipeline.collect ~seed:9 ~num_workers:20 selected in
+  Alcotest.(check bool) "some answers rejected" true (r.Genie_crowd.Pipeline.rejected > 0);
+  Alcotest.(check int) "accounting adds up" r.Genie_crowd.Pipeline.collected
+    (List.length r.Genie_crowd.Pipeline.accepted + r.Genie_crowd.Pipeline.rejected);
+  (* all accepted paraphrases still carry their parameters *)
+  List.iter
+    (fun (toks, p) ->
+      Alcotest.(check bool) "accepted paraphrase is valid" true
+        (Genie_crowd.Pipeline.valid_paraphrase ~original:toks ~program:p toks))
+    r.Genie_crowd.Pipeline.accepted
+
+let test_paraphrases_add_vocabulary () =
+  (* the mechanism the paper measures: paraphrases introduce new words over
+     the synthesized wording (38% new words per paraphrase in the paper) *)
+  let selected = Genie_util.Rng.sample (Genie_util.Rng.create 4) 100 (Lazy.force synthesized) in
+  let r = Genie_crowd.Pipeline.collect ~seed:10 ~num_workers:20 selected in
+  let synth_vocab = Hashtbl.create 256 in
+  List.iter (fun (toks, _) -> List.iter (fun w -> Hashtbl.replace synth_vocab w ()) toks)
+    (Lazy.force synthesized);
+  let new_words =
+    List.exists
+      (fun (toks, _) -> List.exists (fun w -> not (Hashtbl.mem synth_vocab w)) toks)
+      r.Genie_crowd.Pipeline.accepted
+  in
+  Alcotest.(check bool) "paraphrases introduce new vocabulary" true new_words
+
+let test_batch_csv () =
+  let csv =
+    Genie_crowd.Pipeline.batch_csv ~workers_per_sentence:2
+      [ (tweet_tokens, tweet_program) ]
+  in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 2 worker rows" 3 (List.length lines);
+  Alcotest.(check string) "header" "hit_id,worker_slot,sentence,program" (List.hd lines)
+
+let suite =
+  [ Alcotest.test_case "worker deterministic" `Quick test_worker_deterministic;
+    Alcotest.test_case "worker preserves parameters" `Quick
+      test_worker_preserves_parameters_without_errors;
+    Alcotest.test_case "worker variety" `Quick test_worker_produces_variety;
+    Alcotest.test_case "clause reorder" `Quick test_clause_reorder;
+    Alcotest.test_case "validation: dropped parameter" `Quick
+      test_validation_catches_dropped_parameter;
+    Alcotest.test_case "validation: truncation" `Quick test_validation_catches_truncation;
+    Alcotest.test_case "validation: good answer" `Quick test_validation_accepts_good_answer;
+    Alcotest.test_case "selection covers primitives" `Quick test_selection_covers_primitives;
+    Alcotest.test_case "selection respects budget" `Quick test_selection_respects_budget;
+    Alcotest.test_case "collection filters errors" `Quick test_collect_filters_errors;
+    Alcotest.test_case "paraphrases add vocabulary" `Quick test_paraphrases_add_vocabulary;
+    Alcotest.test_case "mturk batch csv" `Quick test_batch_csv ]

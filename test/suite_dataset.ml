@@ -1,0 +1,128 @@
+(* Tests for dataset handling: argument identification (section 2.1) and the
+   Fig. 7 statistics. *)
+
+open Genie_thingtalk
+
+let lib = Genie_thingpedia.Thingpedia.core_library ()
+let parse = Parser.parse_program
+
+let norm s = Genie_dataset.Argument_id.normalize (Genie_util.Tok.tokenize s)
+
+let test_numbers () =
+  let r = norm "set the volume to 42" in
+  Alcotest.(check (list string)) "slotted"
+    [ "set"; "the"; "volume"; "to"; "NUMBER_0" ]
+    r.Genie_dataset.Argument_id.tokens;
+  Alcotest.(check bool) "value recorded" true
+    (List.assoc "NUMBER_0" r.Genie_dataset.Argument_id.entities = Value.Number 42.0)
+
+let test_multiple_numbers () =
+  let r = norm "a random number between 3 and 10" in
+  Alcotest.(check bool) "two slots" true
+    (List.mem "NUMBER_0" r.Genie_dataset.Argument_id.tokens
+    && List.mem "NUMBER_1" r.Genie_dataset.Argument_id.tokens)
+
+let test_repeated_number_shares_slot () =
+  let r = norm "between 5 and 5" in
+  Alcotest.(check int) "one slot for equal values" 1
+    (List.length r.Genie_dataset.Argument_id.entities)
+
+let test_times () =
+  let r = norm "every day at 8:30" in
+  Alcotest.(check bool) "time slot" true (List.mem "TIME_0" r.Genie_dataset.Argument_id.tokens);
+  Alcotest.(check bool) "time value" true
+    (List.assoc "TIME_0" r.Genie_dataset.Argument_id.entities = Value.Time (8, 30))
+
+let test_dates () =
+  let r = norm "files modified after the beginning of the week" in
+  Alcotest.(check bool) "date slot" true (List.mem "DATE_0" r.Genie_dataset.Argument_id.tokens);
+  Alcotest.(check bool) "date value" true
+    (List.assoc "DATE_0" r.Genie_dataset.Argument_id.entities
+    = Value.Date (Value.D_start_of "week"));
+  let r2 = norm "events before 6/22/2019" in
+  Alcotest.(check bool) "absolute date" true
+    (match List.assoc_opt "DATE_0" r2.Genie_dataset.Argument_id.entities with
+    | Some (Value.Date (Value.D_absolute { year = 2019; month = 6; day = 22 })) -> true
+    | _ -> false)
+
+let test_strings_not_slotted () =
+  (* free-form strings stay as words so they can be copied token by token *)
+  let r = norm "tweet hello world" in
+  Alcotest.(check (list string)) "kept as words" [ "tweet"; "hello"; "world" ]
+    r.Genie_dataset.Argument_id.tokens
+
+let test_stats_classification () =
+  let classify src = Genie_dataset.Stats.classify (parse src) in
+  Alcotest.(check bool) "primitive" true
+    (classify "now => @com.gmail.inbox() => notify;" = `Primitive);
+  Alcotest.(check bool) "primitive + filter" true
+    (classify "now => (@com.gmail.inbox()) filter is_important == true => notify;"
+    = `Primitive_filters);
+  Alcotest.(check bool) "compound" true
+    (classify "monitor (@com.gmail.inbox()) => @io.home-assistant.light.color_loop();"
+    = `Compound);
+  Alcotest.(check bool) "compound + passing" true
+    (classify "monitor (@com.gmail.inbox()) => @com.facebook.post(status = snippet);"
+    = `Compound_passing);
+  Alcotest.(check bool) "compound + filter" true
+    (classify
+       "monitor ((@com.gmail.inbox()) filter is_important == true) => \
+        @io.home-assistant.light.color_loop();"
+    = `Compound_filters)
+
+let test_characteristics_sum_to_one () =
+  let programs =
+    List.map parse
+      [ "now => @com.gmail.inbox() => notify;";
+        "now => (@com.gmail.inbox()) filter is_important == true => notify;";
+        "monitor (@com.gmail.inbox()) => @com.facebook.post(status = snippet);";
+        "monitor (@com.gmail.inbox()) => @io.home-assistant.light.color_loop();" ]
+  in
+  let c = Genie_dataset.Stats.characteristics programs in
+  let total =
+    c.Genie_dataset.Stats.primitive +. c.Genie_dataset.Stats.primitive_with_filters
+    +. c.Genie_dataset.Stats.compound
+    +. c.Genie_dataset.Stats.compound_with_param_passing
+    +. c.Genie_dataset.Stats.compound_with_filters
+  in
+  Alcotest.(check (float 1e-9)) "fractions sum to 1" 1.0 total
+
+let test_paraphrase_novelty () =
+  let pairs =
+    [ ([ "get"; "my"; "emails" ], [ "fetch"; "my"; "mail" ]);
+      ([ "a"; "b" ], [ "a"; "b" ]) ]
+  in
+  let words, bigrams = Genie_dataset.Stats.paraphrase_novelty pairs in
+  (* first pair: 2/3 new words; second: 0 -> average 1/3 *)
+  Alcotest.(check (float 1e-6)) "new words" (1.0 /. 3.0) words;
+  Alcotest.(check bool) "new bigrams measured" true (bigrams > 0.0)
+
+let test_distinct_programs_uses_canonical () =
+  let a = parse "now => @com.bbc.get_news() join @com.nytimes.get_front_page() => notify;" in
+  let b = parse "now => @com.nytimes.get_front_page() join @com.bbc.get_news() => notify;" in
+  Alcotest.(check int) "commuted joins counted once" 1
+    (Genie_dataset.Stats.distinct_programs lib [ a; b ])
+
+let test_strip_quotes () =
+  let e =
+    Genie_dataset.Example.make ~id:1
+      ~tokens:[ "tweet"; "\""; "hi"; "\"" ]
+      ~program:(parse "now => @com.twitter.post(status = \"hi\");")
+      ~source:Genie_dataset.Example.Paraphrase ()
+  in
+  Alcotest.(check (list string)) "quotes removed" [ "tweet"; "hi" ]
+    (Genie_dataset.Example.strip_quotes e).Genie_dataset.Example.tokens
+
+let suite =
+  [ Alcotest.test_case "numbers slotted" `Quick test_numbers;
+    Alcotest.test_case "multiple numbers" `Quick test_multiple_numbers;
+    Alcotest.test_case "repeated number shares slot" `Quick test_repeated_number_shares_slot;
+    Alcotest.test_case "times slotted" `Quick test_times;
+    Alcotest.test_case "dates slotted" `Quick test_dates;
+    Alcotest.test_case "strings stay as words" `Quick test_strings_not_slotted;
+    Alcotest.test_case "fig7 classification" `Quick test_stats_classification;
+    Alcotest.test_case "characteristics sum to 1" `Quick test_characteristics_sum_to_one;
+    Alcotest.test_case "paraphrase novelty" `Quick test_paraphrase_novelty;
+    Alcotest.test_case "distinct programs canonical" `Quick
+      test_distinct_programs_uses_canonical;
+    Alcotest.test_case "strip quotes" `Quick test_strip_quotes ]

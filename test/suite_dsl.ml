@@ -1,0 +1,90 @@
+(* Tests for the NL-template text DSL: parsing the paper-style notation and
+   equivalence with the combinator-built rule set. *)
+
+open Genie_templates
+
+let lib = Genie_thingpedia.Thingpedia.core_library ()
+
+let registry = Dsl.standard_registry lib
+
+let test_parse_basic () =
+  let rules = Dsl.parse ~registry "command := 'get' np -> get_np" in
+  match rules with
+  | [ r ] ->
+      Alcotest.(check string) "lhs" "command" r.Grammar.lhs;
+      (match r.Grammar.rhs with
+      | [ Grammar.L "get"; Grammar.N "np" ] -> ()
+      | _ -> Alcotest.fail "wrong rhs");
+      Alcotest.(check bool) "flag both" true (r.Grammar.flag = Grammar.Both)
+  | _ -> Alcotest.fail "expected one rule"
+
+let test_parse_multiword_literal () =
+  let rules = Dsl.parse ~registry "command := 'let me know' wp -> when_notify" in
+  match rules with
+  | [ { Grammar.rhs = [ Grammar.L "let me know"; Grammar.N "wp" ]; _ } ] -> ()
+  | _ -> Alcotest.fail "multi-word literal mishandled"
+
+let test_parse_flags () =
+  let rules = Dsl.parse ~registry "command := np -> get_np [training]" in
+  match rules with
+  | [ r ] -> Alcotest.(check bool) "training flag" true (r.Grammar.flag = Grammar.Training_only)
+  | _ -> Alcotest.fail "expected one rule"
+
+let test_comments_and_blanks () =
+  let rules =
+    Dsl.parse ~registry "# a comment\n\ncommand := 'get' np -> get_np\n"
+  in
+  Alcotest.(check int) "one rule" 1 (List.length rules)
+
+let test_errors () =
+  let fails src =
+    match Dsl.parse ~registry src with
+    | exception Dsl.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("expected parse error: " ^ src)
+  in
+  fails "command := 'get' np -> no_such_sem";
+  fails "command 'get' np -> get_np";
+  fails "command := 'unterminated np -> get_np"
+
+let test_standard_grammar_equivalent () =
+  (* the DSL-written ThingTalk grammar matches the combinator rule set shape
+     for shape *)
+  let dsl_rules = Dsl.thingtalk_rules lib in
+  let code_rules = Rules_thingtalk.rules lib in
+  Alcotest.(check int) "same rule count" (List.length code_rules) (List.length dsl_rules);
+  List.iter2
+    (fun (a : Grammar.rule) (b : Grammar.rule) ->
+      Alcotest.(check string) "lhs" a.Grammar.lhs b.Grammar.lhs;
+      Alcotest.(check bool)
+        (Printf.sprintf "rhs of %s" a.Grammar.name)
+        true
+        (a.Grammar.rhs = b.Grammar.rhs))
+    code_rules dsl_rules
+
+let test_dsl_grammar_synthesizes () =
+  (* synthesis through the DSL-parsed grammar produces the same data as the
+     combinator grammar under the same seed *)
+  let prims = Genie_thingpedia.Thingpedia.core_templates () in
+  let synth rules seed =
+    let g = Grammar.create lib ~prims ~rules ~rng:(Genie_util.Rng.create seed) () in
+    Genie_synthesis.Engine.synthesize g
+      { Genie_synthesis.Engine.default_config with
+        seed;
+        target_per_rule = 40;
+        max_depth = 3 }
+  in
+  let a = synth (Dsl.thingtalk_rules lib) 5 in
+  let b = synth (Rules_thingtalk.rules lib) 5 in
+  Alcotest.(check int) "same synthesis size" (List.length b) (List.length a);
+  Alcotest.(check bool) "non-trivial" true (List.length a > 200)
+
+let suite =
+  [ Alcotest.test_case "parse basic rule" `Quick test_parse_basic;
+    Alcotest.test_case "multi-word literals" `Quick test_parse_multiword_literal;
+    Alcotest.test_case "purpose flags" `Quick test_parse_flags;
+    Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+    Alcotest.test_case "parse errors" `Quick test_errors;
+    Alcotest.test_case "standard grammar equivalence" `Quick
+      test_standard_grammar_equivalent;
+    Alcotest.test_case "dsl grammar synthesizes identically" `Quick
+      test_dsl_grammar_synthesizes ]

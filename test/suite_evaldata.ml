@@ -1,0 +1,125 @@
+(* Tests for the realistic evaluation-set generators (section 5.1) including
+   the IFTTT cleanup rules of Table 2. *)
+
+open Genie_thingtalk
+
+let lib = Genie_thingpedia.Thingpedia.core_library ()
+let prims = Genie_thingpedia.Thingpedia.core_templates ()
+let rules = Genie_templates.Rules_thingtalk.rules lib
+
+let test_developer_set () =
+  let d = Genie_evaldata.Generators.developer lib ~prims ~rules ~seed:3 ~n:40 in
+  Alcotest.(check bool) "non-empty" true (List.length d > 20);
+  List.iter
+    (fun (e : Genie_dataset.Example.t) ->
+      Alcotest.(check bool) "annotated with a well-typed program" true
+        (Typecheck.well_typed lib e.Genie_dataset.Example.program);
+      Alcotest.(check bool) "has a sentence" true (e.Genie_dataset.Example.tokens <> []))
+    d
+
+let test_cheatsheet_fresh_fraction () =
+  (* with avoid = everything seen, the generator still meets its fresh quota
+     from genuinely new programs *)
+  let seen = Hashtbl.create 64 in
+  let d1 =
+    Genie_evaldata.Generators.cheatsheet lib ~prims ~rules ~seed:4 ~n:60
+      ~avoid:(fun _ -> false) ()
+  in
+  List.iter
+    (fun (e : Genie_dataset.Example.t) ->
+      Hashtbl.replace seen (Canonical.canonical_string lib e.Genie_dataset.Example.program) ())
+    d1;
+  Alcotest.(check bool) "set generated" true (List.length d1 > 30)
+
+let test_cheatsheet_vocabulary_shift () =
+  (* cheatsheet phrasing uses recall vocabulary absent from the templates *)
+  let d =
+    Genie_evaldata.Generators.cheatsheet lib ~prims ~rules ~seed:5 ~n:120 ()
+  in
+  let words = List.concat_map (fun (e : Genie_dataset.Example.t) -> e.Genie_dataset.Example.tokens) d in
+  Alcotest.(check bool) "colloquial vocabulary present" true
+    (List.exists (fun w -> List.mem w [ "ping"; "gimme"; "pix"; "whats"; "buzz" ]) words)
+
+let test_cheatsheet_idioms () =
+  (* non-compositional idioms appear for the targeted function combinations *)
+  let rng = Genie_util.Rng.create 6 in
+  let program =
+    Parser.parse_program
+      "monitor ((@com.twitter.timeline()) filter author == \"pldi\"^^tt:username) => \
+       @com.twitter.retweet(tweet_id = tweet_id);"
+  in
+  let toks =
+    Genie_evaldata.Generators.recall_rewrite rng
+      (Genie_util.Tok.tokenize "when pldi tweets , retweet it")
+      program
+  in
+  Alcotest.(check bool) "idiomatic retweet phrasing" true (List.mem "retweet" toks)
+
+let test_ifttt_set () =
+  let d = Genie_evaldata.Generators.ifttt lib ~prims ~seed:7 ~n:50 in
+  Alcotest.(check bool) "non-empty" true (List.length d > 30);
+  List.iter
+    (fun (e : Genie_dataset.Example.t) ->
+      let p = e.Genie_dataset.Example.program in
+      Alcotest.(check bool) "well-typed" true (Typecheck.well_typed lib p);
+      (* IFTTT applets are when-do compounds *)
+      Alcotest.(check bool) "trigger-action shape" true
+        (match p.Ast.stream with Ast.S_monitor _ | Ast.S_edge _ -> true | _ -> false))
+    d
+
+let test_cleanup_second_person () =
+  Alcotest.(check (list string)) "your -> my" [ "blink"; "my"; "light" ]
+    (Genie_evaldata.Generators.cleanup_second_person [ "blink"; "your"; "light" ])
+
+let test_cleanup_ui_explanation () =
+  Alcotest.(check (list string)) "button phrase removed" [ "color"; "loop" ]
+    (Genie_evaldata.Generators.cleanup_ui_explanation
+       [ "color"; "loop"; "with"; "this"; "button" ])
+
+let test_cleanup_placeholders () =
+  let rng = Genie_util.Rng.create 8 in
+  let program = Parser.parse_program "now => @com.nest.thermostat.set_target_temperature(value = 25C);" in
+  let out =
+    Genie_evaldata.Generators.cleanup_placeholders rng program
+      [ "set"; "the"; "temperature"; "to"; "___" ]
+  in
+  Alcotest.(check bool) "placeholder replaced" true (not (List.mem "___" out))
+
+let test_cleanup_append_device () =
+  let program =
+    Parser.parse_program
+      "monitor (@org.thingpedia.weather.current(location = location:home)) => \
+       @com.slack.send(channel = \"team\"^^tt:slack_channel, message = \"rain\");"
+  in
+  let out =
+    Genie_evaldata.Generators.cleanup_append_device lib program
+      [ "let"; "the"; "team"; "know"; "when"; "it"; "rains" ]
+  in
+  (* the paper's example: "Let the team know when it rains" gains "on Slack" *)
+  Alcotest.(check bool) "device appended" true
+    (Genie_util.Tok.ends_with ~suffix:"slack" (String.concat " " out));
+  (* but not when the device is already mentioned *)
+  let out2 =
+    Genie_evaldata.Generators.cleanup_append_device lib program
+      [ "tell"; "slack"; "when"; "it"; "rains" ]
+  in
+  Alcotest.(check (list string)) "unchanged when mentioned"
+    [ "tell"; "slack"; "when"; "it"; "rains" ] out2
+
+let test_sets_deterministic () =
+  let a = Genie_evaldata.Generators.ifttt lib ~prims ~seed:9 ~n:20 in
+  let b = Genie_evaldata.Generators.ifttt lib ~prims ~seed:9 ~n:20 in
+  Alcotest.(check bool) "deterministic" true
+    (List.map Genie_dataset.Example.sentence a = List.map Genie_dataset.Example.sentence b)
+
+let suite =
+  [ Alcotest.test_case "developer set" `Quick test_developer_set;
+    Alcotest.test_case "cheatsheet generated" `Quick test_cheatsheet_fresh_fraction;
+    Alcotest.test_case "cheatsheet vocabulary shift" `Quick test_cheatsheet_vocabulary_shift;
+    Alcotest.test_case "cheatsheet idioms" `Quick test_cheatsheet_idioms;
+    Alcotest.test_case "ifttt set" `Quick test_ifttt_set;
+    Alcotest.test_case "cleanup: second person" `Quick test_cleanup_second_person;
+    Alcotest.test_case "cleanup: ui explanation" `Quick test_cleanup_ui_explanation;
+    Alcotest.test_case "cleanup: placeholders" `Quick test_cleanup_placeholders;
+    Alcotest.test_case "cleanup: append device" `Quick test_cleanup_append_device;
+    Alcotest.test_case "generators deterministic" `Quick test_sets_deterministic ]

@@ -1,0 +1,206 @@
+(* Tests for the neural substrate: tensors, autodiff gradients against finite
+   differences, LSTM shapes, the pointer-generator loss, training dynamics of
+   the seq2seq model and the program language model. *)
+
+open Genie_nn
+
+let feq = Alcotest.(check (float 1e-6))
+
+let test_tensor_ops () =
+  let a = Tensor.vector [| 1.0; 2.0; 3.0 |] in
+  let b = Tensor.vector [| 4.0; 5.0; 6.0 |] in
+  feq "dot" 32.0 (Tensor.dot a b);
+  Alcotest.(check int) "concat size" 6 (Tensor.size (Tensor.concat_vectors a b));
+  let m = Tensor.of_array 3 2 [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let r = Tensor.vec_mat a m in
+  feq "vec_mat 0" 22.0 r.Tensor.data.(0);
+  feq "vec_mat 1" 28.0 r.Tensor.data.(1);
+  let o = Tensor.outer (Tensor.vector [| 1.; 2. |]) (Tensor.vector [| 3.; 4. |]) in
+  feq "outer" 8.0 (Tensor.get o 1 1)
+
+(* generic finite-difference check over every parameter of a model *)
+let gradient_check ~loss_fn ~params ~samples ~tol =
+  Optimizer.zero_grads params;
+  let tape = Autodiff.new_tape () in
+  let loss = loss_fn tape in
+  Autodiff.backward tape loss;
+  let rng = Genie_util.Rng.create 99 in
+  List.iter
+    (fun (p : Layers.param) ->
+      for _ = 1 to samples do
+        let i = Genie_util.Rng.int rng (Tensor.size p.Layers.tensor) in
+        let analytic = p.Layers.grad.Tensor.data.(i) in
+        let eps = 1e-5 in
+        let orig = p.Layers.tensor.Tensor.data.(i) in
+        p.Layers.tensor.Tensor.data.(i) <- orig +. eps;
+        let lp = (loss_fn (Autodiff.new_tape ())).Autodiff.value.Tensor.data.(0) in
+        p.Layers.tensor.Tensor.data.(i) <- orig -. eps;
+        let lm = (loss_fn (Autodiff.new_tape ())).Autodiff.value.Tensor.data.(0) in
+        p.Layers.tensor.Tensor.data.(i) <- orig;
+        let numeric = (lp -. lm) /. (2.0 *. eps) in
+        let err = Float.abs (analytic -. numeric) in
+        let scale = Float.max 1.0 (Float.abs numeric) in
+        if err /. scale > tol then
+          Alcotest.fail
+            (Printf.sprintf "%s[%d]: analytic %.8f vs numeric %.8f" p.Layers.name i
+               analytic numeric)
+      done)
+    params
+
+let test_lstm_gradients () =
+  let rng = Genie_util.Rng.create 4 in
+  let lstm = Layers.mk_lstm rng "l" ~input:3 ~hidden:4 in
+  let proj = Layers.mk_linear rng "p" ~input:4 ~output:3 in
+  let x1 = Tensor.init_uniform rng 1 3 in
+  let x2 = Tensor.init_uniform rng 1 3 in
+  let loss_fn tape =
+    let st = Layers.lstm_init tape lstm in
+    let st = Layers.lstm_step tape lstm st (Autodiff.const tape x1) in
+    let st = Layers.lstm_step tape lstm st (Autodiff.const tape x2) in
+    let logits = Layers.apply_linear tape proj st.Layers.h in
+    let loss, _ = Autodiff.softmax_nll tape logits ~target:1 in
+    loss
+  in
+  gradient_check ~loss_fn
+    ~params:(Layers.lstm_params lstm @ Layers.linear_params proj)
+    ~samples:3 ~tol:1e-3
+
+let test_attention_gradients () =
+  let rng = Genie_util.Rng.create 5 in
+  let proj = Layers.mk_linear rng "p" ~input:4 ~output:2 in
+  let states = List.init 3 (fun _ -> Tensor.init_uniform rng 1 4) in
+  let query = Tensor.init_uniform rng 1 4 in
+  let loss_fn tape =
+    let state_nodes = List.map (Autodiff.const tape) states in
+    let _, context = Layers.attention tape state_nodes (Autodiff.const tape query) in
+    let logits = Layers.apply_linear tape proj context in
+    let loss, _ = Autodiff.softmax_nll tape logits ~target:0 in
+    loss
+  in
+  gradient_check ~loss_fn ~params:(Layers.linear_params proj) ~samples:4 ~tol:1e-3
+
+let test_seq2seq_gradients () =
+  let src_vocab = Vocab.of_tokens [ "a"; "b"; "c" ] in
+  let tgt_vocab = Vocab.of_tokens [ "x"; "y" ] in
+  let m =
+    Seq2seq.create
+      ~cfg:{ Seq2seq.embed_dim = 3; hidden_dim = 4; dropout = 0.0; seed = 6 }
+      ~src_vocab ~tgt_vocab ()
+  in
+  let loss_fn tape = Seq2seq.example_loss tape m ~training:true [ "a"; "b" ] [ "x"; "y" ] in
+  gradient_check ~loss_fn ~params:(Seq2seq.params m) ~samples:2 ~tol:1e-2
+
+let test_softmax_sums_to_one () =
+  let tape = Autodiff.new_tape () in
+  let x = Autodiff.const tape (Tensor.vector [| 1.0; -2.0; 0.5 |]) in
+  let p = Autodiff.softmax tape x in
+  let total = Array.fold_left ( +. ) 0.0 p.Autodiff.value.Tensor.data in
+  feq "softmax normalized" 1.0 total
+
+let test_pointer_loss_prefers_copy () =
+  (* if the target only exists among the source tokens, a low gate (copy) must
+     give lower loss than a high gate (generate) *)
+  let tape = Autodiff.new_tape () in
+  let vocab_probs = Autodiff.const tape (Tensor.vector [| 0.5; 0.5 |]) in
+  let attention = Autodiff.const tape (Tensor.vector [| 0.9; 0.1 |]) in
+  let loss gate_v =
+    let gate = Autodiff.const tape (Tensor.vector [| gate_v |]) in
+    (Autodiff.pointer_nll tape ~gate ~vocab_probs ~attention ~target:(-1)
+       ~copy_positions:[ 0 ])
+      .Autodiff.value
+      .Tensor.data
+      .(0)
+  in
+  Alcotest.(check bool) "copy beats generate" true (loss 0.1 < loss 0.9)
+
+let test_seq2seq_learns_toy_task () =
+  let src_vocab = Vocab.of_tokens [ "a"; "b"; "c" ] in
+  let tgt_vocab = Vocab.of_tokens [ "x"; "y"; "z" ] in
+  let m =
+    Seq2seq.create
+      ~cfg:{ Seq2seq.embed_dim = 8; hidden_dim = 16; dropout = 0.0; seed = 7 }
+      ~src_vocab ~tgt_vocab ()
+  in
+  let data =
+    [ ([ "a"; "b" ], [ "x"; "y" ]); ([ "b"; "a" ], [ "y"; "x" ]); ([ "c" ], [ "z" ]);
+      ([ "a"; "c" ], [ "x"; "z" ]) ]
+  in
+  let losses = ref [] in
+  Seq2seq.train ~epochs:60 ~lr:0.01
+    ~progress:(fun r -> losses := r.Seq2seq.mean_loss :: !losses)
+    m data;
+  (match !losses with
+  | last :: _ when last < 0.8 -> ()
+  | last :: _ -> Alcotest.fail (Printf.sprintf "loss did not converge: %.3f" last)
+  | [] -> Alcotest.fail "no training reports");
+  List.iter
+    (fun (src, tgt) ->
+      Alcotest.(check (list string)) (String.concat " " src) tgt (Seq2seq.decode m src))
+    data
+
+let test_seq2seq_copies_unseen_tokens () =
+  (* the pointer mechanism can emit source tokens outside the target vocab *)
+  let src_vocab = Vocab.of_tokens [ "say"; "foo"; "bar"; "baz" ] in
+  let tgt_vocab = Vocab.of_tokens [ "echo" ] in
+  let m =
+    Seq2seq.create
+      ~cfg:{ Seq2seq.embed_dim = 10; hidden_dim = 24; dropout = 0.0; seed = 8 }
+      ~src_vocab ~tgt_vocab ()
+  in
+  let data =
+    [ ([ "say"; "foo" ], [ "echo"; "foo" ]); ([ "say"; "bar" ], [ "echo"; "bar" ]);
+      ([ "say"; "baz" ], [ "echo"; "baz" ]) ]
+  in
+  Seq2seq.train ~epochs:150 ~lr:0.015 m data;
+  (* the copy targets are not in the target vocabulary at all: only the
+     pointer can produce them *)
+  let copied =
+    List.filter (fun (src, tgt) -> Seq2seq.decode m src = tgt) data
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "copies %d/3" (List.length copied))
+    true
+    (List.length copied >= 2)
+
+let test_lm_learns () =
+  let vocab = Vocab.of_tokens [ "now"; "=>"; "notify"; "monitor" ] in
+  let lm = Lm.create ~embed_dim:6 ~hidden_dim:8 ~vocab () in
+  let seqs = List.init 20 (fun _ -> [ "now"; "=>"; "notify" ]) in
+  let before = Lm.perplexity lm seqs in
+  Lm.train ~epochs:8 lm seqs;
+  let after = Lm.perplexity lm seqs in
+  Alcotest.(check bool)
+    (Printf.sprintf "perplexity drops (%.1f -> %.1f)" before after)
+    true (after < before);
+  Alcotest.(check bool) "near determinism" true (after < 2.0)
+
+let test_adam_descends () =
+  (* minimize ||w||^2 with Adam *)
+  let rng = Genie_util.Rng.create 10 in
+  let p = Layers.mk_param rng "w" 1 4 in
+  let opt = Optimizer.adam ~lr:0.05 () in
+  for _ = 1 to 200 do
+    Optimizer.zero_grads [ p ];
+    Array.iteri (fun i w -> p.Layers.grad.Tensor.data.(i) <- 2.0 *. w) p.Layers.tensor.Tensor.data;
+    Optimizer.update opt [ p ]
+  done;
+  Alcotest.(check bool) "converged to zero" true (Tensor.l2_norm p.Layers.tensor < 1e-2)
+
+let test_vocab () =
+  let v = Vocab.of_tokens [ "a"; "b"; "a" ] in
+  Alcotest.(check int) "specials + 2" 6 (Vocab.size v);
+  Alcotest.(check string) "roundtrip" "b" (Vocab.token v (Vocab.id v "b"));
+  Alcotest.(check int) "unk for unseen" (Vocab.unk_id v) (Vocab.id v "zzz")
+
+let suite =
+  [ Alcotest.test_case "tensor ops" `Quick test_tensor_ops;
+    Alcotest.test_case "lstm gradients vs finite differences" `Quick test_lstm_gradients;
+    Alcotest.test_case "attention gradients" `Quick test_attention_gradients;
+    Alcotest.test_case "seq2seq gradients" `Quick test_seq2seq_gradients;
+    Alcotest.test_case "softmax normalized" `Quick test_softmax_sums_to_one;
+    Alcotest.test_case "pointer loss prefers copy" `Quick test_pointer_loss_prefers_copy;
+    Alcotest.test_case "seq2seq learns toy task" `Slow test_seq2seq_learns_toy_task;
+    Alcotest.test_case "pointer copies unseen tokens" `Slow test_seq2seq_copies_unseen_tokens;
+    Alcotest.test_case "program LM learns" `Quick test_lm_learns;
+    Alcotest.test_case "adam descends" `Quick test_adam_descends;
+    Alcotest.test_case "vocab" `Quick test_vocab ]

@@ -1,0 +1,200 @@
+(* Tests for the semantic parser backend: skeleton extraction and filling, the
+   Aligner's training and decoding, and the evaluation metrics. *)
+
+open Genie_thingtalk
+open Genie_parser_model
+
+let lib = Genie_thingpedia.Thingpedia.core_library ()
+let parse = Parser.parse_program
+
+(* --- skeletons ------------------------------------------------------------------ *)
+
+let test_skeleton_slots () =
+  let p = parse "now => @com.twitter.post(status = \"hello world\");" in
+  let sk = Skeleton.of_program lib p in
+  Alcotest.(check int) "one slot" 1 (List.length sk.Skeleton.slots);
+  let s = List.hd sk.Skeleton.slots in
+  Alcotest.(check string) "param name" "status" s.Skeleton.param;
+  Alcotest.(check bool) "marker in tokens" true (List.mem "SLOT_0" sk.Skeleton.tokens)
+
+let test_skeleton_enum_not_slotted () =
+  let p = parse "now => @io.home-assistant.light.set_power(power = enum:on);" in
+  let sk = Skeleton.of_program lib p in
+  Alcotest.(check int) "enums stay literal" 0 (List.length sk.Skeleton.slots);
+  Alcotest.(check bool) "enum token kept" true (List.mem "enum:on" sk.Skeleton.tokens)
+
+let test_skeleton_shared_marker () =
+  let p =
+    parse
+      "now => @com.dropbox.move(old_name = \"a.txt\", new_name = \"a.txt\");"
+  in
+  let sk = Skeleton.of_program lib p in
+  Alcotest.(check int) "equal values share one marker" 1 (List.length sk.Skeleton.slots)
+
+let test_skeleton_fill_roundtrip () =
+  let p = parse "now => @com.twitter.post(status = \"hello world\");" in
+  let sk = Skeleton.of_program lib p in
+  (match Skeleton.fill lib sk [ ("SLOT_0", Value.String "goodbye moon") ] with
+  | Some p2 -> (
+      match Ast.program_constants p2 with
+      | [ ("status", Value.String "goodbye moon") ] -> ()
+      | _ -> Alcotest.fail "unexpected fill result")
+  | None -> Alcotest.fail "fill failed");
+  (* filling with the exemplars reproduces the original *)
+  match Skeleton.fill lib sk [] with
+  | Some p2 ->
+      Alcotest.(check string) "exemplar fill"
+        (Canonical.canonical_string lib p)
+        (Canonical.canonical_string lib p2)
+  | None -> Alcotest.fail "fill failed"
+
+let test_skeleton_atoms () =
+  let p =
+    parse "monitor ((@com.gmail.inbox()) filter is_important == true) => notify;"
+  in
+  let atoms = Skeleton.atoms (Skeleton.of_program lib p) in
+  Alcotest.(check bool) "function atom" true (List.mem "@com.gmail.inbox" atoms);
+  Alcotest.(check bool) "structural atom" true (List.mem "monitor" atoms);
+  Alcotest.(check bool) "param atom" true
+    (List.exists (Genie_util.Tok.starts_with ~prefix:"param:is_important") atoms)
+
+(* --- aligner on a small controlled dataset ----------------------------------------- *)
+
+let mini_dataset () =
+  let mk sentence src =
+    Genie_dataset.Example.make ~id:0 ~tokens:(Genie_util.Tok.tokenize sentence)
+      ~program:(parse src) ~source:Genie_dataset.Example.Synthesized ()
+  in
+  (* several sentences per program with varied values *)
+  List.concat
+    (List.init 6 (fun i ->
+         let name = List.nth [ "alice"; "bob"; "carol"; "dan"; "eve"; "mallory" ] i in
+         [ mk
+             (Printf.sprintf "tweet %s" name)
+             (Printf.sprintf "now => @com.twitter.post(status = \"%s\");" name);
+           mk
+             (Printf.sprintf "show me emails from %s" name)
+             (Printf.sprintf
+                "now => (@com.gmail.inbox()) filter sender_name == \"%s\" => notify;" name);
+           mk "get a cat picture" "now => @com.thecatapi.get() => notify;";
+           mk "when i receive an email , get a cat picture"
+             "monitor (@com.gmail.inbox()) => @com.thecatapi.get() => notify;" ]))
+
+let model = lazy (Aligner.train lib (mini_dataset ()))
+
+let predict sentence =
+  (Aligner.predict (Lazy.force model) (Genie_util.Tok.tokenize sentence)).Aligner.program
+
+let check_parse sentence expected =
+  match predict sentence with
+  | None -> Alcotest.fail ("no parse for: " ^ sentence)
+  | Some p ->
+      Alcotest.(check string) sentence
+        (Canonical.canonical_string lib (parse expected))
+        (Canonical.canonical_string lib p)
+
+let test_aligner_memorized () =
+  check_parse "get a cat picture" "now => @com.thecatapi.get() => notify;"
+
+let test_aligner_copies_values () =
+  (* "zoe" never appears in training: the copy mechanism must pick it up *)
+  check_parse "tweet zoe" "now => @com.twitter.post(status = \"zoe\");"
+
+let test_aligner_filter_value () =
+  check_parse "show me emails from zoe"
+    "now => (@com.gmail.inbox()) filter sender_name == \"zoe\" => notify;"
+
+let test_aligner_syntax_valid () =
+  (* whatever the aligner outputs must be well-typed *)
+  List.iter
+    (fun s ->
+      match predict s with
+      | Some p -> Alcotest.(check bool) ("well-typed: " ^ s) true (Typecheck.well_typed lib p)
+      | None -> ())
+    [ "tweet something"; "emails"; "cat"; "random words entirely" ]
+
+(* --- evaluation metrics --------------------------------------------------------------- *)
+
+let test_eval_metrics () =
+  let gold = parse "now => @com.gmail.inbox() => notify;" in
+  let examples =
+    [ Genie_dataset.Example.make ~id:0 ~tokens:[ "a" ] ~program:gold
+        ~source:(Genie_dataset.Example.Evaluation "t") ();
+      Genie_dataset.Example.make ~id:1 ~tokens:[ "b" ] ~program:gold
+        ~source:(Genie_dataset.Example.Evaluation "t") () ]
+  in
+  (* a predictor that is right on "a" and wrong (but same function) on "b" *)
+  let predictor tokens =
+    match tokens with
+    | [ "a" ] -> Some gold
+    | _ -> Some (parse "now => (@com.gmail.inbox()) filter is_important == true => notify;")
+  in
+  let m = Eval.evaluate lib predictor examples in
+  Alcotest.(check (float 1e-9)) "program accuracy" 0.5 m.Eval.program_accuracy;
+  Alcotest.(check (float 1e-9)) "function accuracy" 1.0 m.Eval.function_accuracy;
+  Alcotest.(check (float 1e-9)) "syntax ok" 1.0 m.Eval.syntax_ok
+
+let test_eval_alternatives () =
+  let gold = parse "now => @com.gmail.inbox() => notify;" in
+  let alt = parse "monitor (@com.gmail.inbox()) => notify;" in
+  let e =
+    Genie_dataset.Example.make ~id:0 ~tokens:[ "x" ] ~program:gold ~alternatives:[ alt ]
+      ~source:(Genie_dataset.Example.Evaluation "t") ()
+  in
+  let m = Eval.evaluate lib (fun _ -> Some alt) [ e ] in
+  Alcotest.(check (float 1e-9)) "alternative annotation accepted" 1.0 m.Eval.program_accuracy
+
+let test_mean_half_range () =
+  let mean, hr = Eval.mean_half_range [ 0.2; 0.4; 0.3 ] in
+  Alcotest.(check (float 1e-9)) "mean" 0.3 mean;
+  Alcotest.(check (float 1e-9)) "half range" 0.1 hr
+
+let test_canonicalization_ablation_trains () =
+  (* with canonicalization off the aligner still trains and predicts *)
+  let cfg = { Aligner.default_config with Aligner.canonicalize = false } in
+  let m = Aligner.train ~cfg lib (mini_dataset ()) in
+  match (Aligner.predict m (Genie_util.Tok.tokenize "get a cat picture")).Aligner.program with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a prediction"
+
+let test_positional_ablation_trains () =
+  let cfg =
+    { Aligner.default_config with
+      Aligner.options = { Nn_syntax.type_annotations = true; keyword_params = false } }
+  in
+  let m = Aligner.train ~cfg lib (mini_dataset ()) in
+  match (Aligner.predict m (Genie_util.Tok.tokenize "tweet zoe")).Aligner.program with
+  | Some p -> Alcotest.(check bool) "well-typed" true (Typecheck.well_typed lib p)
+  | None -> Alcotest.fail "expected a prediction"
+
+let test_lm_extends_inventory () =
+  (* a program seen only in LM pretraining is still reachable *)
+  let lm_prog = parse "monitor (@com.gmail.inbox()) => @com.thecatapi.get() => notify;" in
+  let cfg = { Aligner.default_config with Aligner.lm_programs = [ lm_prog ] } in
+  let data =
+    List.filter
+      (fun (e : Genie_dataset.Example.t) ->
+        Ast.is_primitive e.Genie_dataset.Example.program)
+      (mini_dataset ())
+  in
+  let m = Aligner.train ~cfg lib data in
+  let k = Skeleton.key (Skeleton.of_program lib (Canonical.normalize lib lm_prog)) in
+  Alcotest.(check bool) "lm skeleton registered" true (Hashtbl.mem m.Aligner.inventory k)
+
+let suite =
+  [ Alcotest.test_case "skeleton slots" `Quick test_skeleton_slots;
+    Alcotest.test_case "enums stay literal" `Quick test_skeleton_enum_not_slotted;
+    Alcotest.test_case "equal values share markers" `Quick test_skeleton_shared_marker;
+    Alcotest.test_case "skeleton fill roundtrip" `Quick test_skeleton_fill_roundtrip;
+    Alcotest.test_case "skeleton atoms" `Quick test_skeleton_atoms;
+    Alcotest.test_case "aligner memorizes" `Quick test_aligner_memorized;
+    Alcotest.test_case "aligner copies unseen values" `Quick test_aligner_copies_values;
+    Alcotest.test_case "aligner fills filter values" `Quick test_aligner_filter_value;
+    Alcotest.test_case "aligner outputs well-typed" `Quick test_aligner_syntax_valid;
+    Alcotest.test_case "eval metrics" `Quick test_eval_metrics;
+    Alcotest.test_case "eval alternatives" `Quick test_eval_alternatives;
+    Alcotest.test_case "mean half range" `Quick test_mean_half_range;
+    Alcotest.test_case "no-canonicalization ablation trains" `Quick
+      test_canonicalization_ablation_trains;
+    Alcotest.test_case "positional ablation trains" `Quick test_positional_ablation_trains;
+    Alcotest.test_case "LM extends the inventory" `Quick test_lm_extends_inventory ]

@@ -1,0 +1,128 @@
+(* Tests for the synthesis-by-sampling engine (section 3.1): well-typedness,
+   determinism, deduplication, depth budgeting, and template-subset flags. *)
+
+open Genie_thingtalk
+
+let lib = Genie_thingpedia.Thingpedia.core_library ()
+let prims = Genie_thingpedia.Thingpedia.core_templates ()
+let rules = Genie_templates.Rules_thingtalk.rules lib
+
+let synthesize ?(seed = 51) ?(target = 80) ?(depth = 4) ?(purpose = `Training) () =
+  let g =
+    Genie_templates.Grammar.create lib ~prims ~rules ~rng:(Genie_util.Rng.create seed) ()
+  in
+  Genie_synthesis.Engine.synthesize g
+    { Genie_synthesis.Engine.max_depth = depth; target_per_rule = target; seed; purpose }
+
+let data = lazy (synthesize ())
+
+let test_nonempty () =
+  Alcotest.(check bool) "produces data" true (List.length (Lazy.force data) > 500)
+
+let test_all_well_typed () =
+  List.iter
+    (fun (toks, p) ->
+      match Typecheck.check_program lib p with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.fail (Printf.sprintf "%s: %s" (String.concat " " toks) e))
+    (Lazy.force data)
+
+let test_deterministic () =
+  let a = synthesize ~seed:7 ~target:40 () in
+  let b = synthesize ~seed:7 ~target:40 () in
+  Alcotest.(check int) "same size" (List.length a) (List.length b);
+  Alcotest.(check bool) "same content" true (a = b)
+
+let test_seed_changes_output () =
+  let a = synthesize ~seed:7 ~target:40 () in
+  let b = synthesize ~seed:8 ~target:40 () in
+  Alcotest.(check bool) "different seeds differ" true (a <> b)
+
+let test_no_duplicate_pairs () =
+  let keys =
+    List.map
+      (fun (toks, p) -> String.concat " " toks ^ "|" ^ Printer.program_to_string p)
+      (Lazy.force data)
+  in
+  Alcotest.(check int) "no duplicates" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_depth_increases_coverage () =
+  let d1 = synthesize ~depth:1 ~target:100 () in
+  let d4 = synthesize ~depth:4 ~target:100 () in
+  let distinct ps = Genie_dataset.Stats.distinct_programs lib (List.map snd ps) in
+  Alcotest.(check bool) "deeper synthesis reaches more programs" true
+    (distinct d4 > distinct d1);
+  (* compound commands require depth > 1 *)
+  Alcotest.(check bool) "depth 1 has no compounds via when-do" true
+    (List.for_all (fun (_, p) -> Ast.is_primitive p) d1
+    || List.exists (fun (_, p) -> not (Ast.is_primitive p)) d4)
+
+let test_compound_commands_present () =
+  let compounds = List.filter (fun (_, p) -> not (Ast.is_primitive p)) (Lazy.force data) in
+  Alcotest.(check bool) "compounds synthesized" true (List.length compounds > 50)
+
+let test_filters_and_passing_present () =
+  let d = Lazy.force data in
+  Alcotest.(check bool) "filters synthesized" true
+    (List.exists (fun (_, p) -> Ast.program_predicates p <> []) d);
+  Alcotest.(check bool) "parameter passing synthesized" true
+    (List.exists (fun (_, p) -> Ast.has_param_passing p) d)
+
+let test_sentences_nonempty_and_aligned () =
+  List.iter
+    (fun (toks, _) ->
+      Alcotest.(check bool) "sentence has words" true (List.length toks >= 1))
+    (Lazy.force data)
+
+let test_training_only_flag () =
+  (* the bare-np rule is marked Training_only; paraphrase-purpose synthesis
+     must not use it, so it yields no bare-noun-phrase command duplicates *)
+  let train = synthesize ~purpose:`Training ~target:60 () in
+  let para = synthesize ~purpose:`Paraphrase ~target:60 () in
+  Alcotest.(check bool) "both produce data" true (train <> [] && para <> []);
+  let sentences d = List.map (fun (t, _) -> String.concat " " t) d in
+  (* a sentence produced only by the training-only rule: starts with a bare
+     noun phrase like "my emails" (no verb) -- check that the training set has
+     strictly more sentence variety *)
+  Alcotest.(check bool) "training set at least as varied" true
+    (List.length (List.sort_uniq compare (sentences train))
+    >= List.length (List.sort_uniq compare (sentences para)))
+
+let test_policy_synthesis_separate_start () =
+  let tacl_lib =
+    Schema.Library.of_classes
+      (Genie_thingpedia.Thingpedia.core_classes
+      @ [ Genie_templates.Rules_tacl.policy_class ])
+  in
+  let g =
+    Genie_templates.Grammar.create tacl_lib ~prims
+      ~rules:(Genie_templates.Rules_tacl.rules tacl_lib)
+      ~rng:(Genie_util.Rng.create 61) ~start:"policy"
+      ~extra_terminals:
+        [ ("person",
+           Genie_templates.Rules_tacl.person_terminals (Genie_util.Rng.create 61) ~samples:1) ]
+      ()
+  in
+  let cfg =
+    { Genie_synthesis.Engine.default_config with target_per_rule = 20; max_depth = 2 }
+  in
+  Alcotest.(check (list string)) "programs empty for policy grammar" []
+    (List.map (fun (t, _) -> String.concat " " t) (Genie_synthesis.Engine.synthesize g cfg));
+  Alcotest.(check bool) "policies produced" true
+    (Genie_synthesis.Engine.synthesize_policies g cfg <> [])
+
+let suite =
+  [ Alcotest.test_case "produces data" `Quick test_nonempty;
+    Alcotest.test_case "all outputs well-typed" `Quick test_all_well_typed;
+    Alcotest.test_case "deterministic under seed" `Quick test_deterministic;
+    Alcotest.test_case "seed changes output" `Quick test_seed_changes_output;
+    Alcotest.test_case "no duplicate pairs" `Quick test_no_duplicate_pairs;
+    Alcotest.test_case "depth increases coverage" `Quick test_depth_increases_coverage;
+    Alcotest.test_case "compound commands present" `Quick test_compound_commands_present;
+    Alcotest.test_case "filters and passing present" `Quick test_filters_and_passing_present;
+    Alcotest.test_case "sentences non-empty" `Quick test_sentences_nonempty_and_aligned;
+    Alcotest.test_case "template-subset flags" `Quick test_training_only_flag;
+    Alcotest.test_case "policy grammar start symbol" `Quick
+      test_policy_synthesis_separate_start ]

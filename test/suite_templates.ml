@@ -1,0 +1,226 @@
+(* Tests for the NL-template grammar: terminal generation, construct-template
+   semantic functions (including bottom-rejection), TACL and TT+A rules. *)
+
+open Genie_thingtalk
+open Genie_templates
+
+let lib = Genie_thingpedia.Thingpedia.core_library ()
+let prims = Genie_thingpedia.Thingpedia.core_templates ()
+let rules = Rules_thingtalk.rules lib
+
+let grammar =
+  lazy (Grammar.create lib ~prims ~rules ~rng:(Genie_util.Rng.create 31) ())
+
+let terminals cat = Grammar.terminals (Lazy.force grammar) cat
+
+let test_terminal_categories_populated () =
+  List.iter
+    (fun cat ->
+      Alcotest.(check bool) ("terminals for " ^ cat) true (terminals cat <> []))
+    [ "np"; "vp"; "wp"; "qvp"; "pred"; "epred"; "time"; "interval"; "np_fun"; "vp_fun" ]
+
+let test_np_terminals_are_queries () =
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "np holds a query" true (Grammar.as_query d <> None))
+    (terminals "np")
+
+let test_vp_terminals_are_actions () =
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "vp holds an action" true (Grammar.as_action d <> None))
+    (terminals "vp")
+
+let test_wp_terminals_are_streams () =
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "wp holds a stream" true (Grammar.as_stream d <> None))
+    (terminals "wp")
+
+let test_fun_terminals_have_holes () =
+  List.iter
+    (fun (d : Derivation.t) ->
+      Alcotest.(check bool) "hole token present" true
+        (List.mem Derivation.hole_token d.Derivation.tokens);
+      match d.Derivation.value with
+      | Derivation.V_fun _ -> ()
+      | _ -> Alcotest.fail "expected functional derivation")
+    (terminals "np_fun" @ terminals "vp_fun")
+
+(* --- semantic functions -------------------------------------------------------- *)
+
+let np_of src =
+  { Derivation.tokens = [ "x" ];
+    value =
+      Derivation.V_frag
+        (Ast.F_query
+           (match (Parser.parse_program src).Ast.query with
+           | Some q -> q
+           | None -> failwith "expected query"));
+    depth = 0;
+    fns = [] }
+
+let test_monitor_rejects_non_monitorable () =
+  let rule =
+    List.find (fun (r : Grammar.rule) -> r.Grammar.name = "wp_monitor_np") rules
+  in
+  (* the cat api changes constantly and cannot be monitored: the semantic
+     function returns bottom, as in the paper's example *)
+  let cat = np_of "now => @com.thecatapi.get() => notify;" in
+  Alcotest.(check bool) "rejected" true (rule.Grammar.sem [ cat ] = None);
+  let inbox = np_of "now => @com.gmail.inbox() => notify;" in
+  Alcotest.(check bool) "accepted" true (rule.Grammar.sem [ inbox ] <> None)
+
+let test_list_rule_rejects_single () =
+  let rule = List.find (fun (r : Grammar.rule) -> r.Grammar.name = "cmd_list_np") rules in
+  let single = np_of "now => @com.dropbox.get_space_usage() => notify;" in
+  Alcotest.(check bool) "single rejected" true (rule.Grammar.sem [ single ] = None);
+  let lst = np_of "now => @com.dropbox.list_folder() => notify;" in
+  Alcotest.(check bool) "list accepted" true (rule.Grammar.sem [ lst ] <> None)
+
+let test_filter_rule_typechecks () =
+  let rule = List.find (fun (r : Grammar.rule) -> r.Grammar.name = "np_filter") rules in
+  let inbox = np_of "now => @com.gmail.inbox() => notify;" in
+  let good_pred =
+    { Derivation.tokens = [ "from"; "alice" ];
+      value =
+        Derivation.V_frag
+          (Ast.F_predicate
+             (Ast.P_atom { lhs = "sender_name"; op = Ast.Op_eq; rhs = Value.String "alice" }));
+      depth = 0;
+      fns = [] }
+  in
+  Alcotest.(check bool) "compatible filter accepted" true
+    (rule.Grammar.sem [ inbox; good_pred ] <> None);
+  let bad_pred =
+    { good_pred with
+      Derivation.value =
+        Derivation.V_frag
+          (Ast.F_predicate
+             (Ast.P_atom { lhs = "tempo"; op = Ast.Op_gt; rhs = Value.Number 1.0 })) }
+  in
+  Alcotest.(check bool) "incompatible filter rejected" true
+    (rule.Grammar.sem [ inbox; bad_pred ] = None)
+
+let test_hole_substitution () =
+  (* "the download url of <my dropbox files>" becomes a join with parameter
+     passing *)
+  let rule = List.find (fun (r : Grammar.rule) -> r.Grammar.name = "np_apply_fun") rules in
+  let fun_d =
+    List.find
+      (fun (d : Derivation.t) ->
+        match d.Derivation.value with
+        | Derivation.V_fun { inv; _ } -> inv.Ast.fn.Ast.Fn.name = "open"
+        | _ -> false)
+      (terminals "np_fun")
+  in
+  let files = np_of "now => @com.dropbox.list_folder() => notify;" in
+  match rule.Grammar.sem [ fun_d; files ] with
+  | Some { Grammar.value = Derivation.V_frag (Ast.F_query (Ast.Q_join (_, _, on))); tokens_override = Some toks } ->
+      Alcotest.(check bool) "parameter passing present" true (on <> []);
+      Alcotest.(check bool) "hole replaced" true
+        (not (List.mem Derivation.hole_token toks))
+  | _ -> Alcotest.fail "expected a join with substituted tokens"
+
+(* --- TACL ------------------------------------------------------------------------ *)
+
+let tacl_lib =
+  Schema.Library.of_classes
+    (Genie_thingpedia.Thingpedia.core_classes @ [ Rules_tacl.policy_class ])
+
+let test_tacl_encode_decode () =
+  let policies =
+    [ "source source == \"alice\"^^tt:contact : now => @com.gmail.inbox() => notify;";
+      "source true : now => @com.twitter.post(status = \"x\");";
+      "source source == \"bob\"^^tt:contact : now => (@com.gmail.inbox()) filter \
+       is_important == true => notify;" ]
+  in
+  List.iter
+    (fun src ->
+      let pol = Parser.parse_policy src in
+      let encoded = Rules_tacl.encode pol in
+      Alcotest.(check bool) ("encoding type-checks: " ^ src) true
+        (Typecheck.well_typed tacl_lib encoded);
+      match Rules_tacl.decode encoded with
+      | Some pol2 ->
+          Alcotest.(check string) ("roundtrip: " ^ src)
+            (Printer.policy_to_string pol)
+            (Printer.policy_to_string pol2)
+      | None -> Alcotest.fail ("decode failed: " ^ src))
+    policies
+
+let test_tacl_decode_rejects_ordinary_programs () =
+  let p = Parser.parse_program "now => @com.gmail.inbox() => notify;" in
+  Alcotest.(check bool) "not a policy" true (Rules_tacl.decode p = None)
+
+let test_tacl_rules_produce_policies () =
+  let g =
+    Grammar.create tacl_lib ~prims
+      ~rules:(Rules_tacl.rules tacl_lib)
+      ~rng:(Genie_util.Rng.create 41)
+      ~start:"policy"
+      ~extra_terminals:
+        [ ("person", Rules_tacl.person_terminals (Genie_util.Rng.create 41) ~samples:1) ]
+      ()
+  in
+  let policies =
+    Genie_synthesis.Engine.synthesize_policies g
+      { Genie_synthesis.Engine.default_config with target_per_rule = 20; max_depth = 2 }
+  in
+  Alcotest.(check bool) "policies synthesized" true (List.length policies > 10);
+  List.iter
+    (fun (_, pol) ->
+      match Typecheck.check_policy tacl_lib pol with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e)
+    policies
+
+(* --- TT+A --------------------------------------------------------------------------- *)
+
+let test_agg_rules () =
+  let agg_rules = Rules_agg.rules lib in
+  Alcotest.(check int) "six aggregation templates" 6 (List.length agg_rules);
+  let rule = List.find (fun (r : Grammar.rule) -> r.Grammar.name = "agg_total") agg_rules in
+  let files = np_of "now => @com.dropbox.list_folder() => notify;" in
+  let field ok_name =
+    { Derivation.tokens = [ "file"; "size" ];
+      value = Derivation.V_frag (Ast.F_value (Value.String ok_name));
+      depth = 0;
+      fns = [] }
+  in
+  (match rule.Grammar.sem [ field "file_size"; files ] with
+  | Some { Grammar.value = Derivation.V_frag (Ast.F_query (Ast.Q_aggregate { op = Ast.Agg_sum; field = Some "file_size"; _ })); _ } -> ()
+  | _ -> Alcotest.fail "expected sum aggregation");
+  (* non-numeric fields are rejected *)
+  Alcotest.(check bool) "non-numeric rejected" true
+    (rule.Grammar.sem [ field "file_name"; files ] = None);
+  (* fields of other functions are rejected *)
+  Alcotest.(check bool) "foreign field rejected" true
+    (rule.Grammar.sem [ field "tempo"; files ] = None)
+
+let test_agg_count_requires_list () =
+  let agg_rules = Rules_agg.rules lib in
+  let rule = List.find (fun (r : Grammar.rule) -> r.Grammar.name = "agg_count") agg_rules in
+  let single = np_of "now => @com.dropbox.get_space_usage() => notify;" in
+  Alcotest.(check bool) "count of single rejected" true (rule.Grammar.sem [ single ] = None)
+
+let suite =
+  [ Alcotest.test_case "terminal categories populated" `Quick
+      test_terminal_categories_populated;
+    Alcotest.test_case "np terminals are queries" `Quick test_np_terminals_are_queries;
+    Alcotest.test_case "vp terminals are actions" `Quick test_vp_terminals_are_actions;
+    Alcotest.test_case "wp terminals are streams" `Quick test_wp_terminals_are_streams;
+    Alcotest.test_case "functional terminals have holes" `Quick
+      test_fun_terminals_have_holes;
+    Alcotest.test_case "monitor rejects non-monitorable" `Quick
+      test_monitor_rejects_non_monitorable;
+    Alcotest.test_case "list rule rejects single results" `Quick test_list_rule_rejects_single;
+    Alcotest.test_case "filter rule type-checks" `Quick test_filter_rule_typechecks;
+    Alcotest.test_case "hole substitution builds joins" `Quick test_hole_substitution;
+    Alcotest.test_case "tacl encode/decode" `Quick test_tacl_encode_decode;
+    Alcotest.test_case "tacl decode rejects programs" `Quick
+      test_tacl_decode_rejects_ordinary_programs;
+    Alcotest.test_case "tacl rules synthesize policies" `Quick
+      test_tacl_rules_produce_policies;
+    Alcotest.test_case "aggregation rules" `Quick test_agg_rules;
+    Alcotest.test_case "count requires a list" `Quick test_agg_count_requires_list ]

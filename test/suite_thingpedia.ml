@@ -1,0 +1,173 @@
+(* Tests for the Thingpedia skill library: scale invariants matching the
+   paper's snapshot, declaration well-formedness, and primitive-template
+   validity (every template must build a well-typed fragment). *)
+
+open Genie_thingtalk
+
+let core = Genie_thingpedia.Thingpedia.core_library ()
+let full = Genie_thingpedia.Thingpedia.full_library ()
+
+let test_scale () =
+  (* the paper's snapshot: 44 skills, 131 functions, 178 distinct parameters;
+     our library matches that order of magnitude *)
+  Alcotest.(check bool) "40+ skills" true (Schema.Library.num_classes core >= 40);
+  Alcotest.(check bool) "100+ functions" true (Schema.Library.num_functions core >= 100);
+  Alcotest.(check bool) "100+ distinct parameters" true
+    (Schema.Library.distinct_params core >= 100);
+  Alcotest.(check bool) "both queries and actions" true
+    (List.length (Schema.Library.queries core) > 0
+    && List.length (Schema.Library.actions core) > 0)
+
+let test_spotify_scale () =
+  (* section 6.1: 15 queries and 17 actions *)
+  match Schema.Library.find_class full "com.spotify" with
+  | None -> Alcotest.fail "spotify class missing"
+  | Some c ->
+      let fns = c.Schema.c_functions in
+      Alcotest.(check int) "15 queries" 15 (List.length (List.filter Schema.is_query fns));
+      Alcotest.(check int) "17 actions" 17 (List.length (List.filter Schema.is_action fns))
+
+let test_actions_have_no_outputs () =
+  List.iter
+    (fun f ->
+      Alcotest.(check (list string))
+        (Ast.Fn.to_string (Schema.fn_ref f) ^ " outputs")
+        []
+        (List.map (fun p -> p.Schema.p_name) (Schema.out_params f)))
+    (Schema.Library.actions full)
+
+let test_dropbox_matches_fig4 () =
+  (* Fig. 4 of the paper *)
+  match Schema.Library.find_class core "com.dropbox" with
+  | None -> Alcotest.fail "dropbox missing"
+  | Some c ->
+      let find n = List.find_opt (fun f -> f.Schema.f_name = n) c.Schema.c_functions in
+      (match find "list_folder" with
+      | Some f ->
+          Alcotest.(check bool) "monitorable list query" true
+            (Schema.is_monitorable f && Schema.is_list f);
+          Alcotest.(check bool) "has modified_time out" true
+            (Schema.find_param f "modified_time" <> None)
+      | None -> Alcotest.fail "list_folder missing");
+      (match find "open" with
+      | Some f ->
+          Alcotest.(check bool) "open is a non-monitorable query" true
+            (Schema.is_query f && not (Schema.is_monitorable f))
+      | None -> Alcotest.fail "open missing");
+      match find "move" with
+      | Some f -> Alcotest.(check bool) "move is an action" true (Schema.is_action f)
+      | None -> Alcotest.fail "move missing"
+
+let all_templates = Genie_thingpedia.Thingpedia.all_templates ()
+
+let test_templates_reference_known_functions () =
+  List.iter
+    (fun (t : Genie_thingpedia.Prim.t) ->
+      Alcotest.(check bool)
+        ("known function: " ^ Ast.Fn.to_string t.Genie_thingpedia.Prim.fn)
+        true
+        (Schema.Library.find_fn full t.Genie_thingpedia.Prim.fn <> None))
+    all_templates
+
+let test_templates_build_well_typed () =
+  (* instantiating every template with sampled values must yield a fragment
+     whose wrapper program type-checks *)
+  let rng = Genie_util.Rng.create 123 in
+  List.iter
+    (fun (t : Genie_thingpedia.Prim.t) ->
+      let env =
+        List.map
+          (fun (name, ty) -> (name, Genie_templates.Values.sample rng ty))
+          t.Genie_thingpedia.Prim.params
+      in
+      match t.Genie_thingpedia.Prim.build env with
+      | None -> Alcotest.fail ("template failed to build: " ^ t.Genie_thingpedia.Prim.utterance)
+      | Some frag ->
+          let program =
+            match frag with
+            | Ast.F_query q -> Some { Ast.stream = Ast.S_now; query = Some q; action = Ast.A_notify }
+            | Ast.F_action a -> Some { Ast.stream = Ast.S_now; query = None; action = a }
+            | Ast.F_stream s -> Some { Ast.stream = s; query = None; action = Ast.A_notify }
+            | _ -> None
+          in
+          (match program with
+          | None -> Alcotest.fail "unexpected fragment kind"
+          | Some p -> (
+              match Typecheck.check_program full p with
+              | Ok () -> ()
+              | Error e ->
+                  Alcotest.fail
+                    (Printf.sprintf "%s: %s" t.Genie_thingpedia.Prim.utterance e))))
+    all_templates
+
+let test_template_placeholders_declared () =
+  (* every $placeholder in the utterance must be a declared parameter *)
+  List.iter
+    (fun (t : Genie_thingpedia.Prim.t) ->
+      List.iter
+        (fun ph ->
+          Alcotest.(check bool)
+            (Printf.sprintf "placeholder %s declared in %S" ph t.Genie_thingpedia.Prim.utterance)
+            true
+            (List.mem_assoc ph t.Genie_thingpedia.Prim.params))
+        (Genie_thingpedia.Prim.placeholder_names t.Genie_thingpedia.Prim.utterance))
+    all_templates
+
+let test_every_function_has_template () =
+  (* most functions should have at least one primitive template; require
+     90% coverage of the core library *)
+  let covered = Hashtbl.create 128 in
+  List.iter
+    (fun (t : Genie_thingpedia.Prim.t) ->
+      Hashtbl.replace covered (Ast.Fn.to_string t.Genie_thingpedia.Prim.fn) ())
+    all_templates;
+  let fns = Schema.Library.functions full in
+  let n_covered =
+    List.length
+      (List.filter (fun f -> Hashtbl.mem covered (Ast.Fn.to_string (Schema.fn_ref f))) fns)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage %d/%d" n_covered (List.length fns))
+    true
+    (10 * n_covered >= 9 * List.length fns)
+
+let test_render_value () =
+  let open Genie_thingpedia.Prim in
+  Alcotest.(check string) "quoted string" "\"hi\"" (render_value (Value.String "hi"));
+  Alcotest.(check string) "unquoted" "hi" (render_value ~quote:false (Value.String "hi"));
+  Alcotest.(check string) "username" "@bob"
+    (render_value (Value.Entity { ty = "tt:username"; value = "bob"; display = None }));
+  Alcotest.(check string) "hashtag" "#cats"
+    (render_value (Value.Entity { ty = "tt:hashtag"; value = "cats"; display = None }));
+  Alcotest.(check string) "measure" "60 F" (render_value (Value.Measure [ (60.0, "F") ]));
+  Alcotest.(check string) "enum spaces" "modified time decreasing"
+    (render_value (Value.Enum "modified_time_decreasing"))
+
+let test_duplicate_function_rejected () =
+  let c = Schema.cls "x.dup" [ Schema.query "f" []; Schema.action "g" [] ] in
+  match Schema.Library.of_classes [ c; c ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected duplicate class rejection"
+
+let test_action_with_out_param_rejected () =
+  match Schema.action "bad" [ Schema.out "x" Ttype.String ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection of action output parameter"
+
+let suite =
+  [ Alcotest.test_case "library scale" `Quick test_scale;
+    Alcotest.test_case "spotify 15 queries / 17 actions" `Quick test_spotify_scale;
+    Alcotest.test_case "actions have no outputs" `Quick test_actions_have_no_outputs;
+    Alcotest.test_case "dropbox matches Fig. 4" `Quick test_dropbox_matches_fig4;
+    Alcotest.test_case "templates reference known functions" `Quick
+      test_templates_reference_known_functions;
+    Alcotest.test_case "templates build well-typed fragments" `Quick
+      test_templates_build_well_typed;
+    Alcotest.test_case "template placeholders declared" `Quick
+      test_template_placeholders_declared;
+    Alcotest.test_case "template coverage of functions" `Quick
+      test_every_function_has_template;
+    Alcotest.test_case "value rendering" `Quick test_render_value;
+    Alcotest.test_case "duplicate class rejected" `Quick test_duplicate_function_rejected;
+    Alcotest.test_case "action out-param rejected" `Quick
+      test_action_with_out_param_rejected ]

@@ -1,0 +1,151 @@
+(* Tests for genie.util: PRNG, tokenizer, counters. *)
+
+open Genie_util
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 9 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 1.0 in
+    Alcotest.(check bool) "in range" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 3 in
+  let b = Rng.split a in
+  (* the split stream differs from the parent's continued stream *)
+  let xs = List.init 20 (fun _ -> Rng.int a 1000000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_pick_distribution () =
+  let rng = Rng.create 11 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 3000 do
+    let v = Rng.pick rng [ "a"; "b"; "c" ] in
+    Hashtbl.replace counts v (1 + try Hashtbl.find counts v with Not_found -> 0)
+  done;
+  Hashtbl.iter
+    (fun _ c -> Alcotest.(check bool) "roughly uniform" true (c > 700 && c < 1300))
+    counts
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 13 in
+  let xs = List.init 50 Fun.id in
+  let ys = Rng.shuffle rng xs in
+  Alcotest.(check (list int)) "same elements" xs (List.sort compare ys)
+
+let test_rng_sample () =
+  let rng = Rng.create 17 in
+  let xs = List.init 100 Fun.id in
+  let s = Rng.sample rng 10 xs in
+  Alcotest.(check int) "size" 10 (List.length s);
+  Alcotest.(check int) "no duplicates" 10 (List.length (List.sort_uniq compare s))
+
+let test_rng_weighted () =
+  let rng = Rng.create 19 in
+  let heavy = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.weighted rng [ ("heavy", 9.0); ("light", 1.0) ] = "heavy" then incr heavy
+  done;
+  Alcotest.(check bool) "weights respected" true (!heavy > 800)
+
+let test_budget_decay () =
+  Alcotest.(check int) "depth 0" 100 (Rng.budget_for_depth ~target:100 ~depth:0);
+  Alcotest.(check int) "depth 1" 50 (Rng.budget_for_depth ~target:100 ~depth:1);
+  Alcotest.(check int) "depth 3" 12 (Rng.budget_for_depth ~target:100 ~depth:3);
+  Alcotest.(check int) "never zero" 1 (Rng.budget_for_depth ~target:100 ~depth:12)
+
+let test_tokenize_basic () =
+  Alcotest.(check (list string)) "simple" [ "hello"; "world" ] (Tok.tokenize "Hello  World");
+  Alcotest.(check (list string))
+    "punctuation" [ "a"; ","; "b"; "." ] (Tok.tokenize "a, b.");
+  Alcotest.(check (list string))
+    "quotes" [ "\""; "funny"; "cat"; "\"" ] (Tok.tokenize "\"funny cat\"")
+
+let test_tokenize_preserves_urls () =
+  Alcotest.(check (list string))
+    "url kept whole"
+    [ "the"; "feed"; "at"; "https://example.com/feed" ]
+    (Tok.tokenize "the feed at https://example.com/feed");
+  Alcotest.(check (list string))
+    "email kept whole" [ "alice.smith@gmail.com" ] (Tok.tokenize "alice.smith@gmail.com");
+  Alcotest.(check (list string))
+    "path kept whole" [ "/photos/vacation.jpg" ] (Tok.tokenize "/photos/vacation.jpg")
+
+let test_tokenize_handles () =
+  Alcotest.(check (list string)) "hashtag" [ "#cats" ] (Tok.tokenize "#cats");
+  Alcotest.(check (list string)) "username" [ "@alice" ] (Tok.tokenize "@alice")
+
+let test_ngrams () =
+  Alcotest.(check int) "bigram count" 2 (List.length (Tok.bigrams [ "a"; "b"; "c" ]));
+  let all = Tok.all_ngrams 2 [ "a"; "b"; "c" ] in
+  Alcotest.(check (list string)) "unigrams and bigrams" [ "a"; "b"; "c"; "a b"; "b c" ] all
+
+let test_match_sub () =
+  Alcotest.(check bool) "found" true
+    (Tok.match_sub [ "x"; "a"; "b"; "y" ] [ "a"; "b" ] = Some ([ "x" ], [ "y" ]));
+  Alcotest.(check bool) "missing" true (Tok.match_sub [ "x" ] [ "a" ] = None);
+  Alcotest.(check bool) "empty needle" true (Tok.match_sub [ "x" ] [] = None)
+
+let test_string_helpers () =
+  Alcotest.(check bool) "starts" true (Tok.starts_with ~prefix:"ab" "abc");
+  Alcotest.(check bool) "not starts" false (Tok.starts_with ~prefix:"b" "abc");
+  Alcotest.(check bool) "ends" true (Tok.ends_with ~suffix:"bc" "abc");
+  Alcotest.(check bool) "contains" true (Tok.contains_substring ~sub:"b c" "a b c d");
+  Alcotest.(check (list string))
+    "split_on_string" [ "a"; "b"; "c" ] (Tok.split_on_string ~sep:"::" "a::b::c")
+
+let test_counter () =
+  let c = Counter.create () in
+  Counter.add c "x";
+  Counter.add c "x";
+  Counter.add ~weight:0.5 c "y";
+  Alcotest.(check (float 1e-9)) "count" 2.0 (Counter.count c "x");
+  Alcotest.(check (float 1e-9)) "weighted" 0.5 (Counter.count c "y");
+  Alcotest.(check (float 1e-9)) "total" 2.5 (Counter.total c);
+  Alcotest.(check int) "distinct" 2 (Counter.distinct c);
+  Alcotest.(check (float 1e-9)) "missing" 0.0 (Counter.count c "z");
+  match Counter.top 1 c with
+  | [ (k, v) ] ->
+      Alcotest.(check string) "top key" "x" k;
+      Alcotest.(check (float 1e-9)) "top count" 2.0 v
+  | _ -> Alcotest.fail "expected one top entry"
+
+let qcheck_shuffle_preserves =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:50
+    QCheck.(pair small_int (small_list small_int))
+    (fun (seed, xs) ->
+      let rng = Rng.create seed in
+      List.sort compare (Rng.shuffle rng xs) = List.sort compare xs)
+
+let suite =
+  [ Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng float bounds" `Quick test_rng_float_bounds;
+    Alcotest.test_case "rng split independent" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng pick distribution" `Quick test_rng_pick_distribution;
+    Alcotest.test_case "rng shuffle permutation" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "rng sample" `Quick test_rng_sample;
+    Alcotest.test_case "rng weighted" `Quick test_rng_weighted;
+    Alcotest.test_case "synthesis budget decay" `Quick test_budget_decay;
+    Alcotest.test_case "tokenize basic" `Quick test_tokenize_basic;
+    Alcotest.test_case "tokenize urls/emails/paths" `Quick test_tokenize_preserves_urls;
+    Alcotest.test_case "tokenize handles" `Quick test_tokenize_handles;
+    Alcotest.test_case "ngrams" `Quick test_ngrams;
+    Alcotest.test_case "match_sub" `Quick test_match_sub;
+    Alcotest.test_case "string helpers" `Quick test_string_helpers;
+    Alcotest.test_case "counter" `Quick test_counter;
+    QCheck_alcotest.to_alcotest qcheck_shuffle_preserves ]

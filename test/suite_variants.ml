@@ -1,0 +1,51 @@
+(* Tests for the mechanical template-variant expander. *)
+
+open Genie_thingpedia
+
+let find_by_utterance u ts =
+  List.find_opt (fun (t : Prim.t) -> t.Prim.utterance = u) ts
+
+let test_np_variant () =
+  let base =
+    Prim.query (Genie_thingtalk.Ast.Fn.make "com.gmail" "inbox") [] "my emails"
+  in
+  let expanded = Variants.expand base in
+  Alcotest.(check bool) "original kept" true (find_by_utterance "my emails" expanded <> None);
+  Alcotest.(check bool) "quantified variant" true
+    (find_by_utterance "all my emails" expanded <> None)
+
+let test_wp_variants () =
+  let base =
+    Prim.monitor (Genie_thingtalk.Ast.Fn.make "com.gmail" "inbox") []
+      "when i receive an email"
+  in
+  let expanded = Variants.expand base in
+  Alcotest.(check int) "three when-word variants" 4 (List.length expanded);
+  Alcotest.(check bool) "whenever variant" true
+    (find_by_utterance "whenever i receive an email" expanded <> None)
+
+let test_variants_share_semantics () =
+  (* every variant builds the same fragment as its original *)
+  let rng = Genie_util.Rng.create 3 in
+  List.iter
+    (fun (t : Prim.t) ->
+      let env =
+        List.map (fun (n, ty) -> (n, Genie_templates.Values.sample rng ty)) t.Prim.params
+      in
+      List.iter
+        (fun (v : Prim.t) ->
+          Alcotest.(check bool) "same semantics" true (v.Prim.build env = t.Prim.build env))
+        (Variants.expand t))
+    (Thingpedia.authored_core_templates ())
+
+let test_expand_all_grows () =
+  let authored = Thingpedia.authored_core_templates () in
+  let expanded = Variants.expand_all authored in
+  Alcotest.(check bool) "expansion grows the set" true
+    (List.length expanded > List.length authored)
+
+let suite =
+  [ Alcotest.test_case "np variant" `Quick test_np_variant;
+    Alcotest.test_case "wp variants" `Quick test_wp_variants;
+    Alcotest.test_case "variants share semantics" `Quick test_variants_share_semantics;
+    Alcotest.test_case "expand_all grows" `Quick test_expand_all_grows ]

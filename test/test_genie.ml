@@ -1,0 +1,22 @@
+(* The test runner: one suite per subsystem. *)
+
+let () =
+  Alcotest.run "genie"
+    [ ("util", Suite_util.suite);
+      ("language", Suite_language.suite);
+      ("canonical", Suite_canonical.suite);
+      ("nn-syntax", Suite_nn_syntax.suite);
+      ("runtime", Suite_runtime.suite);
+      ("thingpedia", Suite_thingpedia.suite);
+      ("templates", Suite_templates.suite);
+      ("synthesis", Suite_synthesis.suite);
+      ("crowd", Suite_crowd.suite);
+      ("augment", Suite_augment.suite);
+      ("dataset", Suite_dataset.suite);
+      ("parser-model", Suite_parser_model.suite);
+      ("aligner-internals", Suite_aligner_internals.suite);
+      ("nn", Suite_nn.suite);
+      ("evaldata", Suite_evaldata.suite);
+      ("dsl", Suite_dsl.suite);
+      ("variants", Suite_variants.suite);
+      ("core", Suite_core.suite) ]
