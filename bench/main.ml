@@ -267,6 +267,82 @@ let mqan_small () =
   Printf.printf "exact-match on held-out synthesized sentences: %d / %d\n%!" exact
     (List.length test)
 
+(* --- serving layer: throughput / cache / latency --------------------------------------------- *)
+
+let serve_bench () =
+  header "bench_serve"
+    "Serving layer: req/s, cache hit rate and latency percentiles by worker count";
+  let a = shared_artifacts () in
+  let corpus =
+    List.map
+      (fun (toks, _) -> String.concat " " toks)
+      (a.Pipeline.synthesized @ a.Pipeline.paraphrases)
+  in
+  let n_requests = if !quick then 400 else 1500 in
+  let requests =
+    Genie_serve.Traffic.generate
+      ~rng:(Genie_util.Rng.create 23)
+      ~utterances:corpus n_requests
+  in
+  let distinct =
+    List.length
+      (List.sort_uniq compare
+         (List.map (fun (r : Genie_serve.Request.t) -> r.Genie_serve.Request.utterance) requests))
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "%d requests over %d distinct utterances (zipf s=1.1), %d core(s) available\n\n"
+    n_requests distinct cores;
+  Printf.printf "%-10s %10s %10s %10s %10s %10s %10s\n" "workers" "req/s"
+    "hit rate" "p50 ms" "p95 ms" "p99 ms" "mean ms";
+  let open Genie_serve.Server in
+  let run_config workers =
+    let server = of_artifacts ~workers ~cache_capacity:4096 a in
+    ignore (run_batch server requests);
+    let s = stats server in
+    shutdown server;
+    Printf.printf "%-10s %10.0f %9.1f%% %10.2f %10.2f %10.2f %10.2f\n%!"
+      (if workers <= 1 then "seq" else string_of_int workers)
+      s.throughput_rps (100. *. s.hit_rate) s.p50_ms s.p95_ms s.p99_ms s.mean_ms;
+    (workers, s)
+  in
+  let rows = List.map run_config [ 0; 2; 4; 8 ] in
+  (match (List.assoc_opt 0 rows, List.assoc_opt 4 rows) with
+  | Some seq, Some four when seq.throughput_rps > 0.0 ->
+      Printf.printf "\n4-worker speedup over sequential: %.2fx\n%!"
+        (four.throughput_rps /. seq.throughput_rps);
+      if cores < 4 then
+        Printf.printf
+          "(only %d core(s) visible to the runtime: worker domains time-share \
+           and cannot speed up CPU-bound decoding; run on >= 4 cores to see \
+           the parallel speedup)\n%!"
+          cores
+  | _ -> ());
+  let open Genie_util.Json_lite in
+  let row (workers, (s : stats)) =
+    Obj
+      [ ("workers", Int workers);
+        ("throughput_rps", Float s.throughput_rps);
+        ("hit_rate", Float s.hit_rate);
+        ("cache_hits", Int s.cache_hits);
+        ("cache_misses", Int s.cache_misses);
+        ("cache_evictions", Int s.cache_evictions);
+        ("p50_ms", Float s.p50_ms);
+        ("p95_ms", Float s.p95_ms);
+        ("p99_ms", Float s.p99_ms);
+        ("mean_ms", Float s.mean_ms);
+        ("errors", Int s.errors);
+        ("no_parse", Int s.no_parse) ]
+  in
+  write_file "BENCH_serve.json"
+    (Obj
+       [ ("experiment", String "bench_serve");
+         ("requests", Int n_requests);
+         ("distinct_utterances", Int distinct);
+         ("zipf_s", Float 1.1);
+         ("cores", Int cores);
+         ("configs", List (List.map row rows)) ]);
+  Printf.printf "wrote BENCH_serve.json\n%!"
+
 (* --- Bechamel timing micro-benchmarks -------------------------------------------------------- *)
 
 let timing () =
@@ -329,16 +405,30 @@ let timing () =
     let raw = Benchmark.all cfg instances test in
     Analyze.all ols Toolkit.Instance.monotonic_clock raw
   in
+  let collected = ref [] in
   List.iter
     (fun test ->
       let results = benchmark test in
       Hashtbl.iter
         (fun name result ->
           match Bechamel.Analyze.OLS.estimates result with
-          | Some [ t ] -> Printf.printf "%-40s %12.1f ns/run\n%!" name t
+          | Some [ t ] ->
+              collected := (name, t) :: !collected;
+              Printf.printf "%-40s %12.1f ns/run\n%!" name t
           | _ -> Printf.printf "%-40s (no estimate)\n%!" name)
         results)
-    tests
+    tests;
+  let open Genie_util.Json_lite in
+  write_file "BENCH_timing.json"
+    (Obj
+       [ ("experiment", String "timing");
+         ("results",
+          List
+            (List.map
+               (fun (name, ns) ->
+                 Obj [ ("name", String name); ("ns_per_run", Float ns) ])
+               (List.rev !collected))) ]);
+  Printf.printf "wrote BENCH_timing.json\n%!"
 
 let () =
   let experiments =
@@ -352,7 +442,8 @@ let () =
       ("fig9_spotify", fig9_spotify);
       ("fig9_tacl", fig9_tacl);
       ("fig9_aggregation", fig9_aggregation);
-      ("bench_mqan_small", mqan_small) ]
+      ("bench_mqan_small", mqan_small);
+      ("bench_serve", serve_bench) ]
   in
   List.iter (fun (id, run) -> if enabled id then run ()) experiments;
   if enabled "timing" && not !skip_timing then timing ();

@@ -215,9 +215,89 @@ let eval_cmd =
     (Cmd.info "evaluate" ~doc:"Run the full pipeline and report accuracy per test set")
     Term.(const run $ scale)
 
+(* --- serve-bench ----------------------------------------------------------------- *)
+
+(* Online-serving benchmark: train a parser, then replay synthetic Zipfian
+   assistant traffic through the Serve subsystem at several worker counts. *)
+let serve_bench_cmd =
+  let scale =
+    Arg.(value & opt float 0.5 & info [ "scale" ] ~doc:"Pipeline scale (training size)")
+  in
+  let requests =
+    Arg.(value & opt int 1000 & info [ "requests" ] ~doc:"Requests to replay")
+  in
+  let workers =
+    Arg.(value & opt string "0,2,4"
+         & info [ "workers" ] ~doc:"Comma-separated worker counts (0 = sequential)")
+  in
+  let cache =
+    Arg.(value & opt int 4096 & info [ "cache" ] ~doc:"Parse-cache capacity per worker")
+  in
+  let zipf =
+    Arg.(value & opt float 1.1 & info [ "zipf" ] ~doc:"Zipf exponent of the traffic")
+  in
+  let execute =
+    Arg.(value & flag & info [ "exec" ] ~doc:"Also execute each parsed program")
+  in
+  let seed = Arg.(value & opt int 23 & info [ "seed" ] ~doc:"Traffic random seed") in
+  let show =
+    Arg.(value & opt int 0 & info [ "show" ] ~doc:"Print the first N responses")
+  in
+  let run scale requests workers_csv cache zipf execute seed show =
+    let lib, prims, rules = setup () in
+    Printf.printf "training the semantic parser (scale %.2f)...\n%!" scale;
+    let cfg = Genie_core.Config.(scaled scale default) in
+    let a = Genie_core.Pipeline.run ~cfg ~lib ~prims ~rules () in
+    let corpus =
+      List.map
+        (fun (toks, _) -> String.concat " " toks)
+        (a.Genie_core.Pipeline.synthesized @ a.Genie_core.Pipeline.paraphrases)
+    in
+    let reqs =
+      Genie_serve.Traffic.generate ~s:zipf ~execute
+        ~rng:(Genie_util.Rng.create seed) ~utterances:corpus requests
+    in
+    let distinct =
+      List.length
+        (List.sort_uniq compare
+           (List.map
+              (fun (r : Genie_serve.Request.t) -> r.Genie_serve.Request.utterance)
+              reqs))
+    in
+    Printf.printf "replaying %d requests over %d distinct utterances (zipf s=%.2f)\n"
+      requests distinct zipf;
+    Printf.printf "%d core(s) available to the runtime\n\n"
+      (Domain.recommended_domain_count ());
+    let open Genie_serve.Server in
+    Printf.printf "%-10s %10s %10s %10s %10s %10s %10s\n" "workers" "req/s"
+      "hit rate" "p50 ms" "p95 ms" "p99 ms" "mean ms";
+    let worker_counts =
+      List.filter_map int_of_string_opt (Genie_util.Tok.split_on_string ~sep:"," workers_csv)
+    in
+    List.iter
+      (fun w ->
+        let server = of_artifacts ~workers:w ~cache_capacity:cache a in
+        let responses = run_batch server reqs in
+        let s = stats server in
+        shutdown server;
+        Printf.printf "%-10s %10.0f %9.1f%% %10.2f %10.2f %10.2f %10.2f\n%!"
+          (if w <= 1 then "seq" else string_of_int w)
+          s.throughput_rps (100. *. s.hit_rate) s.p50_ms s.p95_ms s.p99_ms
+          s.mean_ms;
+        List.iteri
+          (fun i r -> if i < show then print_endline ("  " ^ Genie_serve.Response.summary r))
+          responses)
+      worker_counts
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:"Benchmark the concurrent serving layer on synthetic assistant traffic")
+    Term.(const run $ scale $ requests $ workers $ cache $ zipf $ execute $ seed $ show)
+
 let () =
   let doc = "Genie: generate natural language semantic parsers for virtual assistants" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "genie" ~doc)
-          [ stats_cmd; cheatsheet_cmd; synthesize_cmd; paraphrase_cmd; exec_cmd; parse_cmd; eval_cmd ]))
+          [ stats_cmd; cheatsheet_cmd; synthesize_cmd; paraphrase_cmd; exec_cmd;
+            parse_cmd; eval_cmd; serve_bench_cmd ]))

@@ -1,0 +1,24 @@
+(** A bounded, blocking, multi-domain FIFO channel (mutex + condition
+    variables): the work queues of the serving pool. *)
+
+type 'a t
+
+exception Closed
+(** Raised by {!push} on a closed channel. *)
+
+val create : capacity:int -> 'a t
+(** [capacity] is clamped to at least 1. *)
+
+val push : 'a t -> 'a -> unit
+(** Blocks while the channel is full. Raises {!Closed} if the channel is (or
+    becomes, while waiting) closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocks while the channel is empty. [None] once the channel is closed and
+    fully drained — the consumer's shutdown signal. *)
+
+val close : 'a t -> unit
+(** Wakes all waiters. Idempotent. Items already queued can still be
+    popped. *)
+
+val length : 'a t -> int

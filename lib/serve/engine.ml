@@ -1,0 +1,90 @@
+(* The per-worker request engine.
+
+   Thread-safety inventory of the shared aligner model (Aligner.t): after
+   training, predict only *reads* the inventory / clause / counter tables --
+   with one exception, the [explainer] memo table, which predict fills
+   lazily per unseen word. Concurrent Hashtbl writes are unsafe under
+   domains, so each engine takes a shallow copy of the model record with its
+   own copy of that one table; everything else stays physically shared. *)
+
+open Genie_thingtalk
+module Aligner = Genie_parser_model.Aligner
+
+type t = {
+  lib : Schema.Library.t;
+  model : Aligner.t;  (* private handle: own [explainer] scratch table *)
+  cache : Aligner.prediction Parse_cache.t;
+  env : Genie_runtime.Exec.env;
+  metrics : Metrics.t;
+  worker : int;
+}
+
+let create ~lib ~model ~cache_capacity ~metrics ~worker ?seed () =
+  let seed = Option.value seed ~default:worker in
+  let model =
+    { model with
+      Aligner.explainer = Hashtbl.copy model.Aligner.explainer }
+  in
+  { lib;
+    model;
+    cache = Parse_cache.create ~capacity:cache_capacity;
+    env = Genie_runtime.Exec.create ~seed lib;
+    metrics;
+    worker }
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+let process t (req : Request.t) : Response.t =
+  let t0 = now_ns () in
+  let key = Request.cache_key req.Request.utterance in
+  let tokens = Genie_util.Tok.tokenize req.Request.utterance in
+  let t1 = now_ns () in
+  let pred, from_cache, parse_error =
+    match Parse_cache.find t.cache key with
+    | Some p -> (p, true, None)
+    | None -> (
+        match Aligner.predict t.model tokens with
+        | p ->
+            Parse_cache.add t.cache key p;
+            (p, false, None)
+        | exception e ->
+            Metrics.incr_errors t.metrics;
+            (Aligner.no_prediction, false, Some (Printexc.to_string e)))
+  in
+  let t2 = now_ns () in
+  let notifications, side_effects, exec_error =
+    match (req.Request.execute, pred.Aligner.program) with
+    | true, Some p -> (
+        match Genie_runtime.Exec.run ~ticks:req.Request.ticks t.env p with
+        | ns, effects ->
+            Metrics.incr_exec_runs t.metrics;
+            (List.length ns, List.length effects, None)
+        | exception e ->
+            Metrics.incr_errors t.metrics;
+            (0, 0, Some (Printexc.to_string e)))
+    | _ -> (0, 0, None)
+  in
+  let t3 = now_ns () in
+  if Option.is_none pred.Aligner.program && Option.is_none parse_error then
+    Metrics.incr_no_parse t.metrics;
+  Metrics.record t.metrics ~latency_ns:(t3 -. t0);
+  { Response.id = req.Request.id;
+    utterance = req.Request.utterance;
+    program = pred.Aligner.program;
+    program_text =
+      Option.map (Printer.program_to_string) pred.Aligner.program;
+    nn_tokens = pred.Aligner.nn_tokens;
+    score = pred.Aligner.score;
+    from_cache;
+    worker = t.worker;
+    notifications;
+    side_effects;
+    error = (match parse_error with Some _ -> parse_error | None -> exec_error);
+    timing =
+      { Response.tokenize_ns = t1 -. t0;
+        parse_ns = t2 -. t1;
+        exec_ns = t3 -. t2;
+        total_ns = t3 -. t0 } }
+
+let cache_stats t = Parse_cache.stats t.cache
+let worker t = t.worker

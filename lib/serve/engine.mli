@@ -1,0 +1,32 @@
+(** One worker's single-request processing path: tokenize -> parse-cache
+    lookup -> aligner decode on a miss -> optional runtime execution, with
+    per-stage timing.
+
+    An engine owns everything a request touches that is not thread-safe: a
+    private LRU parse cache, a private {!Genie_runtime.Exec.env}, and a
+    private handle on the (otherwise shared, read-only) aligner model whose
+    predict-time scratch cache is copied per engine. Each engine must only
+    ever be driven from one domain at a time; metrics are shared and
+    atomic. *)
+
+open Genie_thingtalk
+
+type t
+
+val create :
+  lib:Schema.Library.t ->
+  model:Genie_parser_model.Aligner.t ->
+  cache_capacity:int ->
+  metrics:Metrics.t ->
+  worker:int ->
+  ?seed:int ->
+  unit ->
+  t
+(** [seed] (default [worker]) seeds the engine's runtime environment. *)
+
+val process : t -> Request.t -> Response.t
+(** Never raises: parser and runtime exceptions are absorbed into the
+    response's [error] field and counted in the metrics. *)
+
+val cache_stats : t -> Parse_cache.stats
+val worker : t -> int

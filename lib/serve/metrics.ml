@@ -1,0 +1,109 @@
+(* Atomic serving metrics.
+
+   Latencies go into a geometric histogram: bucket 0 holds everything below
+   [base_ns]; bucket i >= 1 holds [base_ns * ratio^(i-1), base_ns * ratio^i).
+   With base 1us and ratio 1.25, 128 buckets span 1us to ~2000s with <= 12%
+   relative error per bucket -- plenty for p50/p95/p99 reporting. *)
+
+module A = Genie_util.Atomic_counter
+
+let base_ns = 1_000.0
+let ratio = 1.25
+let n_buckets = 128
+let log_ratio = log ratio
+
+type t = {
+  requests : A.t;
+  errors : A.t;
+  no_parse : A.t;
+  exec_runs : A.t;
+  sum_latency_ns : A.t;
+  buckets : A.t array;
+}
+
+type snapshot = {
+  requests : int;
+  errors : int;
+  no_parse : int;
+  exec_runs : int;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+let create () =
+  { requests = A.create ();
+    errors = A.create ();
+    no_parse = A.create ();
+    exec_runs = A.create ();
+    sum_latency_ns = A.create ();
+    buckets = Array.init n_buckets (fun _ -> A.create ()) }
+
+let bucket_of_ns ns =
+  if ns < base_ns then 0
+  else min (n_buckets - 1) (1 + int_of_float (log (ns /. base_ns) /. log_ratio))
+
+(* geometric midpoint of a bucket's range *)
+let bucket_value = function
+  | 0 -> base_ns /. 2.0
+  | i -> base_ns *. (ratio ** (float_of_int i -. 0.5))
+
+let record (t : t) ~latency_ns =
+  A.incr t.requests;
+  A.add t.sum_latency_ns (int_of_float latency_ns);
+  A.incr t.buckets.(bucket_of_ns latency_ns)
+
+let incr_errors (t : t) = A.incr t.errors
+let incr_no_parse (t : t) = A.incr t.no_parse
+let incr_exec_runs (t : t) = A.incr t.exec_runs
+
+let percentile_ns (t : t) p =
+  let total = Array.fold_left (fun acc c -> acc + A.get c) 0 t.buckets in
+  if total = 0 then 0.0
+  else begin
+    let target =
+      max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int total)))
+    in
+    let seen = ref 0 and result = ref (bucket_value (n_buckets - 1)) in
+    (try
+       Array.iteri
+         (fun i c ->
+           seen := !seen + A.get c;
+           if !seen >= target then begin
+             result := bucket_value i;
+             raise Exit
+           end)
+         t.buckets
+     with Exit -> ());
+    !result
+  end
+
+let snapshot (t : t) =
+  let requests = A.get t.requests in
+  let mean_ms =
+    if requests = 0 then 0.0
+    else float_of_int (A.get t.sum_latency_ns) /. float_of_int requests /. 1e6
+  in
+  { requests;
+    errors = A.get t.errors;
+    no_parse = A.get t.no_parse;
+    exec_runs = A.get t.exec_runs;
+    mean_ms;
+    p50_ms = percentile_ns t 50.0 /. 1e6;
+    p95_ms = percentile_ns t 95.0 /. 1e6;
+    p99_ms = percentile_ns t 99.0 /. 1e6 }
+
+let reset (t : t) =
+  A.reset t.requests;
+  A.reset t.errors;
+  A.reset t.no_parse;
+  A.reset t.exec_runs;
+  A.reset t.sum_latency_ns;
+  Array.iter A.reset t.buckets
+
+let pp_snapshot fmt s =
+  Format.fprintf fmt
+    "requests %d  errors %d  no-parse %d  exec %d  mean %.2fms  p50 %.2fms  p95 %.2fms  p99 %.2fms"
+    s.requests s.errors s.no_parse s.exec_runs s.mean_ms s.p50_ms s.p95_ms
+    s.p99_ms

@@ -1,0 +1,41 @@
+(** Serving metrics: atomic request counters and a lock-free latency
+    histogram with percentile estimation.
+
+    One [t] is shared by every worker of a server; all mutation goes through
+    {!Genie_util.Atomic_counter}, so recording from several domains at once
+    is safe. *)
+
+type t
+
+type snapshot = {
+  requests : int;
+  errors : int;  (** parser or runtime exceptions absorbed by the engine *)
+  no_parse : int;  (** requests the parser returned no program for *)
+  exec_runs : int;  (** requests that executed a program *)
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+val create : unit -> t
+
+val record : t -> latency_ns:float -> unit
+(** Counts one served request and files its end-to-end latency. *)
+
+val incr_errors : t -> unit
+val incr_no_parse : t -> unit
+val incr_exec_runs : t -> unit
+
+val percentile_ns : t -> float -> float
+(** [percentile_ns t p] estimates the [p]-th latency percentile (0 < p <=
+    100) in nanoseconds from the histogram buckets; 0 before any
+    recording. *)
+
+val snapshot : t -> snapshot
+
+val reset : t -> unit
+(** Zeroes every counter and bucket. Not atomic as a whole; call it only
+    while no worker is recording. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

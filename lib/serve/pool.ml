@@ -1,0 +1,78 @@
+(* Domain worker pool: per-worker bounded inboxes, a shared result bag.
+
+   Results land in a mutex-protected list; the coordinator waits on a
+   condition until the expected count has accumulated. Handler exceptions are
+   captured per-item and re-raised at drain so a failing worker cannot
+   deadlock the coordinator. *)
+
+type ('req, 'resp) t = {
+  inboxes : 'req Chan.t array;
+  mutable domains : unit Domain.t array;
+  m : Mutex.t;
+  have_results : Condition.t;
+  mutable results : ('resp, exn) result list;
+  mutable n_results : int;
+  mutable shut : bool;
+}
+
+let workers t = Array.length t.inboxes
+
+let create ~workers:n ~queue_capacity ~handler =
+  if n < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let inboxes = Array.init n (fun _ -> Chan.create ~capacity:queue_capacity) in
+  let m = Mutex.create () in
+  let have_results = Condition.create () in
+  let t =
+    { inboxes;
+      domains = [||];
+      m;
+      have_results;
+      results = [];
+      n_results = 0;
+      shut = false }
+  in
+  let worker_loop w () =
+    let inbox = inboxes.(w) in
+    let rec loop () =
+      match Chan.pop inbox with
+      | None -> ()
+      | Some req ->
+          let resp =
+            match handler w req with
+            | resp -> Ok resp
+            | exception e -> Error e
+          in
+          Mutex.lock m;
+          t.results <- resp :: t.results;
+          t.n_results <- t.n_results + 1;
+          Condition.signal have_results;
+          Mutex.unlock m;
+          loop ()
+    in
+    loop ()
+  in
+  t.domains <- Array.init n (fun w -> Domain.spawn (worker_loop w));
+  t
+
+let submit t ~worker req =
+  Chan.push t.inboxes.(worker mod workers t) req
+
+let drain t n =
+  Mutex.lock t.m;
+  while t.n_results < n do
+    Condition.wait t.have_results t.m
+  done;
+  let taken = t.results in
+  t.results <- [];
+  t.n_results <- 0;
+  Mutex.unlock t.m;
+  List.rev_map
+    (function Ok r -> r | Error e -> raise e)
+    taken
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Array.iter Chan.close t.inboxes;
+    Array.iter Domain.join t.domains
+  end

@@ -1,0 +1,34 @@
+(** A worker pool on OCaml 5 [Domain]s with one bounded inbox per worker.
+
+    The caller shards work explicitly ({!submit} names the target worker), so
+    state that is not thread-safe — a worker's parse cache, its runtime
+    environment, its private aligner scratch tables — can stay lock-free: all
+    requests for a given cache key are routed to the same worker.
+
+    Protocol (single coordinating domain): [create], then any interleaving of
+    [submit], then [drain] for the outstanding count, repeated as desired,
+    then [shutdown]. *)
+
+type ('req, 'resp) t
+
+val create :
+  workers:int ->
+  queue_capacity:int ->
+  handler:(int -> 'req -> 'resp) ->
+  ('req, 'resp) t
+(** Spawns [workers] (>= 1) domains. [handler w req] runs on worker [w]'s
+    domain; an exception it raises is captured and re-raised by the next
+    {!drain}. *)
+
+val workers : _ t -> int
+
+val submit : ('req, 'resp) t -> worker:int -> 'req -> unit
+(** Enqueues on worker [worker mod workers]'s inbox; blocks while that inbox
+    is full (backpressure). *)
+
+val drain : ('req, 'resp) t -> int -> 'resp list
+(** [drain t n] blocks until [n] responses have accumulated since the last
+    drain and returns them (completion order, not submission order). *)
+
+val shutdown : _ t -> unit
+(** Closes every inbox and joins every domain. Idempotent. *)

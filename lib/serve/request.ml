@@ -1,0 +1,11 @@
+(* Serving requests. *)
+
+type t = { id : int; utterance : string; execute : bool; ticks : int }
+
+let make ?(execute = false) ?(ticks = 3) ~id utterance =
+  { id; utterance; execute; ticks }
+
+(* The tokenizer lowercases and normalizes whitespace/punctuation, so the
+   joined token sequence canonicalizes surface variation ("Tweet Hi!" and
+   "tweet hi !" share a cache line). *)
+let cache_key utterance = String.concat " " (Genie_util.Tok.tokenize utterance)

@@ -1,0 +1,17 @@
+(** A single serving request: one user utterance to translate into ThingTalk,
+    optionally followed by execution on the mock runtime. *)
+
+type t = {
+  id : int;  (** caller-assigned; responses are matched back by id *)
+  utterance : string;  (** raw text; the engine tokenizes *)
+  execute : bool;  (** also run the parsed program on the worker's runtime *)
+  ticks : int;  (** virtual days to simulate when [execute] *)
+}
+
+val make : ?execute:bool -> ?ticks:int -> id:int -> string -> t
+(** [make ~id utterance] with [execute] defaulting to false and [ticks]
+    to 3. *)
+
+val cache_key : string -> string
+(** The normalized token sequence the parse cache is keyed on: two utterances
+    with the same key are guaranteed the same parse. *)

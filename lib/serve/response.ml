@@ -1,0 +1,33 @@
+(* Serving responses. *)
+
+open Genie_thingtalk
+
+type timing = {
+  tokenize_ns : float;
+  parse_ns : float;
+  exec_ns : float;
+  total_ns : float;
+}
+
+type t = {
+  id : int;
+  utterance : string;
+  program : Ast.program option;
+  program_text : string option;
+  nn_tokens : string list;
+  score : float;
+  from_cache : bool;
+  worker : int;
+  notifications : int;
+  side_effects : int;
+  error : string option;
+  timing : timing;
+}
+
+let summary r =
+  Printf.sprintf "#%d [%s w%d %.2fms] %s -> %s" r.id
+    (if r.from_cache then "hit " else "miss")
+    r.worker
+    (r.timing.total_ns /. 1e6)
+    r.utterance
+    (match r.program_text with Some p -> p | None -> "<no parse>")

@@ -1,0 +1,29 @@
+(** A serving response: the parse (and optional execution result) for one
+    request, with per-stage wall-clock timings. *)
+
+open Genie_thingtalk
+
+type timing = {
+  tokenize_ns : float;
+  parse_ns : float;  (** cache lookup + aligner decode on a miss *)
+  exec_ns : float;  (** 0 when the request did not execute *)
+  total_ns : float;
+}
+
+type t = {
+  id : int;  (** copied from the request *)
+  utterance : string;
+  program : Ast.program option;  (** [None] when the parser found no parse *)
+  program_text : string option;  (** surface syntax of [program] *)
+  nn_tokens : string list;  (** the parser's NN-syntax token output *)
+  score : float;  (** parser confidence score *)
+  from_cache : bool;
+  worker : int;  (** index of the engine that served the request *)
+  notifications : int;  (** execution: notification count *)
+  side_effects : int;  (** execution: side-effect count *)
+  error : string option;  (** runtime error during execution, if any *)
+  timing : timing;
+}
+
+val summary : t -> string
+(** One-line rendering for CLI output. *)

@@ -1,0 +1,122 @@
+(* The serving facade: engines + optional pool + stats aggregation. *)
+
+type t = {
+  engines : Engine.t array;  (* one per worker; exactly one when sequential *)
+  pool : (Request.t, Response.t) Pool.t option;
+  metrics : Metrics.t;
+  workers : int;  (* as configured: 0/1 = sequential *)
+  mutable last_batch : int * float;  (* requests, wall seconds *)
+}
+
+type stats = {
+  workers : int;
+  requests : int;
+  errors : int;
+  no_parse : int;
+  exec_runs : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_entries : int;
+  hit_rate : float;
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  last_batch_requests : int;
+  last_batch_seconds : float;
+  throughput_rps : float;
+}
+
+let create ~lib ~model ?(cache_capacity = 4096) ?(workers = 0)
+    ?(queue_capacity = 64) ?(seed = 0) () =
+  let n_engines = max 1 workers in
+  let metrics = Metrics.create () in
+  let engines =
+    Array.init n_engines (fun w ->
+        Engine.create ~lib ~model ~cache_capacity ~metrics ~worker:w
+          ~seed:(seed + w) ())
+  in
+  let pool =
+    if workers >= 2 then
+      Some
+        (Pool.create ~workers ~queue_capacity ~handler:(fun w req ->
+             Engine.process engines.(w) req))
+    else None
+  in
+  { engines; pool; metrics; workers; last_batch = (0, 0.0) }
+
+let of_artifacts ?cache_capacity ?workers ?queue_capacity ?seed
+    (a : Genie_core.Pipeline.artifacts) =
+  create ~lib:a.Genie_core.Pipeline.lib ~model:a.Genie_core.Pipeline.model
+    ?cache_capacity ?workers ?queue_capacity ?seed ()
+
+(* Requests shard by cache key, not round-robin: every repetition of an
+   utterance lands on the same worker, so per-worker caches need no locks
+   and the pooled run does the same total number of aligner decodes as the
+   sequential run. *)
+let shard t (req : Request.t) =
+  let n = Array.length t.engines in
+  if n = 1 then 0
+  else Hashtbl.hash (Request.cache_key req.Request.utterance) mod n
+
+let handle t req = Engine.process t.engines.(shard t req) req
+
+let run_batch t reqs =
+  let t0 = Unix.gettimeofday () in
+  let responses =
+    match t.pool with
+    | None -> List.map (handle t) reqs
+    | Some pool ->
+        List.iter (fun r -> Pool.submit pool ~worker:(shard t r) r) reqs;
+        Pool.drain pool (List.length reqs)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  t.last_batch <- (List.length reqs, dt);
+  List.sort
+    (fun (a : Response.t) (b : Response.t) ->
+      compare a.Response.id b.Response.id)
+    responses
+
+let stats (t : t) =
+  let m = Metrics.snapshot t.metrics in
+  let hits, misses, evictions, entries =
+    Array.fold_left
+      (fun (h, mi, e, n) engine ->
+        let s = Engine.cache_stats engine in
+        ( h + s.Parse_cache.hits,
+          mi + s.Parse_cache.misses,
+          e + s.Parse_cache.evictions,
+          n + s.Parse_cache.entries ))
+      (0, 0, 0, 0) t.engines
+  in
+  let lookups = hits + misses in
+  let n_batch, secs = t.last_batch in
+  { workers = t.workers;
+    requests = m.Metrics.requests;
+    errors = m.Metrics.errors;
+    no_parse = m.Metrics.no_parse;
+    exec_runs = m.Metrics.exec_runs;
+    cache_hits = hits;
+    cache_misses = misses;
+    cache_evictions = evictions;
+    cache_entries = entries;
+    hit_rate = (if lookups = 0 then 0.0 else float_of_int hits /. float_of_int lookups);
+    mean_ms = m.Metrics.mean_ms;
+    p50_ms = m.Metrics.p50_ms;
+    p95_ms = m.Metrics.p95_ms;
+    p99_ms = m.Metrics.p99_ms;
+    last_batch_requests = n_batch;
+    last_batch_seconds = secs;
+    throughput_rps =
+      (if secs <= 0.0 then 0.0 else float_of_int n_batch /. secs) }
+
+let workers (t : t) = t.workers
+
+let shutdown (t : t) = match t.pool with Some p -> Pool.shutdown p | None -> ()
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "workers %d  %d req  %.0f req/s  hit-rate %.1f%%  p50 %.2fms  p95 %.2fms  p99 %.2fms  mean %.2fms"
+    s.workers s.requests s.throughput_rps (100.0 *. s.hit_rate) s.p50_ms
+    s.p95_ms s.p99_ms s.mean_ms

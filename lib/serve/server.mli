@@ -1,0 +1,73 @@
+(** The serving front end: a parse cache, a pool of worker engines, and
+    aggregated statistics, behind a batch request API.
+
+    [workers <= 1] (the default) is the {e sequential} path: no domains are
+    spawned and every request runs on the calling domain in submission
+    order — fully deterministic, the configuration the test suite uses.
+    [workers >= 2] spawns a {!Pool} and shards requests across workers by
+    cache key, so each worker's private cache and runtime see a stable
+    partition of the key space and a pooled run performs exactly the same
+    set of aligner decodes as a sequential run. *)
+
+open Genie_thingtalk
+
+type t
+
+type stats = {
+  workers : int;
+  requests : int;
+  errors : int;
+  no_parse : int;
+  exec_runs : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_evictions : int;
+  cache_entries : int;
+  hit_rate : float;  (** hits / (hits + misses), 0 before any traffic *)
+  mean_ms : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+  last_batch_requests : int;  (** size of the most recent [run_batch] *)
+  last_batch_seconds : float;
+  throughput_rps : float;  (** of the most recent [run_batch]; 0 before *)
+}
+
+val create :
+  lib:Schema.Library.t ->
+  model:Genie_parser_model.Aligner.t ->
+  ?cache_capacity:int ->
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?seed:int ->
+  unit ->
+  t
+(** Defaults: [cache_capacity] 4096 (per worker), [workers] 0 (sequential),
+    [queue_capacity] 64 per worker, [seed] 0. *)
+
+val of_artifacts :
+  ?cache_capacity:int ->
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?seed:int ->
+  Genie_core.Pipeline.artifacts ->
+  t
+(** A server over a trained pipeline's library and parser model. *)
+
+val handle : t -> Request.t -> Response.t
+(** Serves one request on the calling domain (on the engine its key shards
+    to). Do not interleave with a concurrent {!run_batch}. *)
+
+val run_batch : t -> Request.t list -> Response.t list
+(** Serves a batch — through the pool when [workers >= 2], sequentially
+    otherwise — and returns responses sorted by request id. Also records the
+    batch's wall-clock time for {!stats}'s throughput. *)
+
+val stats : t -> stats
+val workers : t -> int
+
+val shutdown : t -> unit
+(** Joins pool domains, if any. Idempotent; the sequential path is a
+    no-op. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,37 @@
+(* Zipfian traffic sampling: cumulative weight array + binary search. *)
+
+type t = {
+  utterances : string array;  (* index = popularity rank - 1 *)
+  cum : float array;  (* cum.(i) = total weight of ranks <= i+1 *)
+  total : float;
+  rng : Genie_util.Rng.t;
+}
+
+let create ?(s = 1.1) ~rng ~utterances () =
+  let distinct = List.sort_uniq compare utterances in
+  if distinct = [] then invalid_arg "Traffic.create: empty corpus";
+  let ranked = Array.of_list (Genie_util.Rng.shuffle rng distinct) in
+  let n = Array.length ranked in
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+    cum.(i) <- !acc
+  done;
+  { utterances = ranked; cum; total = !acc; rng }
+
+let distinct t = Array.length t.utterances
+
+let sample t =
+  let x = Genie_util.Rng.float t.rng t.total in
+  (* first index with cum.(i) > x *)
+  let lo = ref 0 and hi = ref (Array.length t.cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) > x then hi := mid else lo := mid + 1
+  done;
+  t.utterances.(!lo)
+
+let generate ?s ?(execute = false) ?(ticks = 3) ~rng ~utterances n =
+  let sampler = create ?s ~rng ~utterances () in
+  List.init n (fun id -> Request.make ~execute ~ticks ~id (sample sampler))

@@ -1,0 +1,29 @@
+(** Synthetic assistant traffic: utterances sampled from a corpus under a
+    Zipfian popularity distribution, so repeated commands give the parse
+    cache the locality real assistant traffic has. *)
+
+type t
+
+val create :
+  ?s:float -> rng:Genie_util.Rng.t -> utterances:string list -> unit -> t
+(** Builds a sampler over the distinct utterances of [utterances]. Popularity
+    rank is a random permutation drawn from [rng]; rank [r] (1-based) gets
+    weight [1 / r^s] ([s] defaults to 1.1 — steeper [s] means heavier
+    repetition). Raises [Invalid_argument] on an empty corpus. *)
+
+val distinct : t -> int
+(** Number of distinct utterances in the sampler. *)
+
+val sample : t -> string
+(** Draws one utterance (mutates the sampler's rng). *)
+
+val generate :
+  ?s:float ->
+  ?execute:bool ->
+  ?ticks:int ->
+  rng:Genie_util.Rng.t ->
+  utterances:string list ->
+  int ->
+  Request.t list
+(** [generate ~rng ~utterances n] is [n] requests with ids [0 .. n-1] drawn
+    from a fresh sampler. Deterministic for a given rng seed. *)

@@ -1,0 +1,15 @@
+(* Thread-safe integer counters on Stdlib.Atomic: safe to bump from several
+   domains at once, unlike Counter's hashtable-backed multisets. *)
+
+type t = int Atomic.t
+
+let create ?(value = 0) () = Atomic.make value
+let incr t = Atomic.incr t
+
+let rec add t n =
+  let cur = Atomic.get t in
+  if not (Atomic.compare_and_set t cur (cur + n)) then add t n
+
+let get t = Atomic.get t
+let set t v = Atomic.set t v
+let reset t = set t 0

@@ -1,0 +1,25 @@
+(** Lock-free integer counters shared between domains.
+
+    {!Counter} is a single-domain weighted multiset; this is the thread-safe
+    scalar companion used by the serving layer's metrics, where several
+    worker domains bump the same counter concurrently. *)
+
+type t
+
+val create : ?value:int -> unit -> t
+(** A counter starting at [value] (default 0). *)
+
+val incr : t -> unit
+(** Atomically adds 1. *)
+
+val add : t -> int -> unit
+(** Atomically adds [n] (which may be negative). *)
+
+val get : t -> int
+(** The current value. *)
+
+val set : t -> int -> unit
+(** Overwrites the value (used by [reset] paths, not by hot paths). *)
+
+val reset : t -> unit
+(** [set t 0]. *)

@@ -1,0 +1,19 @@
+(** A minimal JSON emitter for machine-readable benchmark and metrics
+    artifacts ([BENCH_*.json]). Emission only — nothing in the toolkit needs
+    to parse JSON back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+(** Renders with [indent] spaces per level (default 2). Non-finite floats
+    become [null]. *)
+
+val write_file : string -> t -> unit
+(** Writes [to_string] plus a trailing newline. *)

@@ -1,0 +1,276 @@
+(* Tests for the serving layer: LRU parse cache, bounded channel, Domain
+   worker pool, metrics histogram, Zipfian traffic, and the server facade.
+
+   Servers default to the sequential path (workers = 0); only the tests that
+   specifically exercise the pool spawn domains, and they use small worker
+   counts so the suite stays robust on single-core machines. *)
+
+open Genie_thingtalk
+open Genie_serve
+
+let lib = Genie_thingpedia.Thingpedia.core_library ()
+let parse = Parser.parse_program
+
+(* A tiny but non-degenerate training set (mirrors suite_parser_model). *)
+let mini_dataset () =
+  let mk sentence src =
+    Genie_dataset.Example.make ~id:0 ~tokens:(Genie_util.Tok.tokenize sentence)
+      ~program:(parse src) ~source:Genie_dataset.Example.Synthesized ()
+  in
+  List.concat
+    (List.init 6 (fun i ->
+         let name = List.nth [ "alice"; "bob"; "carol"; "dan"; "eve"; "mallory" ] i in
+         [ mk
+             (Printf.sprintf "tweet %s" name)
+             (Printf.sprintf "now => @com.twitter.post(status = \"%s\");" name);
+           mk
+             (Printf.sprintf "show me emails from %s" name)
+             (Printf.sprintf
+                "now => (@com.gmail.inbox()) filter sender_name == \"%s\" => notify;" name);
+           mk "get a cat picture" "now => @com.thecatapi.get() => notify;";
+           mk "when i receive an email , get a cat picture"
+             "monitor (@com.gmail.inbox()) => @com.thecatapi.get() => notify;" ]))
+
+let model = lazy (Genie_parser_model.Aligner.train lib (mini_dataset ()))
+
+let utterances =
+  [ "tweet alice"; "tweet bob"; "show me emails from carol"; "get a cat picture";
+    "when i receive an email , get a cat picture"; "tweet dan";
+    "show me emails from eve"; "tweet mallory" ]
+
+(* --- parse cache -------------------------------------------------------------- *)
+
+let test_lru_eviction_order () =
+  let c = Parse_cache.create ~capacity:2 in
+  Parse_cache.add c "a" 1;
+  Parse_cache.add c "b" 2;
+  Alcotest.(check (list string)) "mru order" [ "b"; "a" ] (Parse_cache.keys_mru c);
+  (* touching [a] protects it; adding [c] evicts [b] *)
+  Alcotest.(check (option int)) "hit a" (Some 1) (Parse_cache.find c "a");
+  Parse_cache.add c "c" 3;
+  Alcotest.(check (list string)) "b evicted" [ "c"; "a" ] (Parse_cache.keys_mru c);
+  Alcotest.(check bool) "b gone" false (Parse_cache.mem c "b");
+  let s = Parse_cache.stats c in
+  Alcotest.(check int) "one eviction" 1 s.Parse_cache.evictions;
+  Alcotest.(check int) "one hit" 1 s.Parse_cache.hits
+
+let test_lru_capacity_one () =
+  let c = Parse_cache.create ~capacity:1 in
+  Parse_cache.add c "a" 1;
+  Alcotest.(check (option int)) "a cached" (Some 1) (Parse_cache.find c "a");
+  Parse_cache.add c "b" 2;
+  Alcotest.(check bool) "a evicted" false (Parse_cache.mem c "a");
+  Alcotest.(check (option int)) "b cached" (Some 2) (Parse_cache.find c "b");
+  Alcotest.(check int) "length" 1 (Parse_cache.length c);
+  (* re-adding the resident key must not evict it *)
+  Parse_cache.add c "b" 20;
+  Alcotest.(check (option int)) "replaced in place" (Some 20) (Parse_cache.find c "b");
+  Alcotest.(check int) "single eviction" 1 (Parse_cache.stats c).Parse_cache.evictions
+
+let test_lru_capacity_zero () =
+  let c = Parse_cache.create ~capacity:0 in
+  Parse_cache.add c "a" 1;
+  Alcotest.(check (option int)) "nothing stored" None (Parse_cache.find c "a");
+  Alcotest.(check (option int)) "still nothing" None (Parse_cache.find c "a");
+  Alcotest.(check int) "empty" 0 (Parse_cache.length c);
+  Alcotest.(check int) "two misses" 2 (Parse_cache.stats c).Parse_cache.misses
+
+(* --- cached parse is byte-identical to a cold parse ----------------------------- *)
+
+let test_cached_response_identical () =
+  let model = Lazy.force model in
+  let server = Server.create ~lib ~model () in
+  let cold_server = Server.create ~lib ~model () in
+  List.iter
+    (fun utterance ->
+      let r1 = Server.handle server (Request.make ~id:0 utterance) in
+      let r2 = Server.handle server (Request.make ~id:1 utterance) in
+      let cold = Server.handle cold_server (Request.make ~id:2 utterance) in
+      Alcotest.(check bool) "first is a miss" false r1.Response.from_cache;
+      Alcotest.(check bool) "second is a hit" true r2.Response.from_cache;
+      (* the cached response equals both the original and an independent
+         cold parse, byte for byte *)
+      Alcotest.(check (option string)) "hit = miss program"
+        r1.Response.program_text r2.Response.program_text;
+      Alcotest.(check (list string)) "hit = miss nn tokens"
+        r1.Response.nn_tokens r2.Response.nn_tokens;
+      Alcotest.(check (float 0.0)) "hit = miss score" r1.Response.score
+        r2.Response.score;
+      Alcotest.(check (option string)) "hit = cold program"
+        cold.Response.program_text r2.Response.program_text;
+      Alcotest.(check (list string)) "hit = cold nn tokens"
+        cold.Response.nn_tokens r2.Response.nn_tokens)
+    utterances;
+  let s = Server.stats server in
+  Alcotest.(check int) "hits" (List.length utterances) s.Server.cache_hits;
+  Alcotest.(check int) "misses" (List.length utterances) s.Server.cache_misses
+
+(* --- chan ----------------------------------------------------------------------- *)
+
+let test_chan_fifo_and_close () =
+  let c = Chan.create ~capacity:4 in
+  Chan.push c 1;
+  Chan.push c 2;
+  Chan.push c 3;
+  Alcotest.(check int) "length" 3 (Chan.length c);
+  Chan.close c;
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Chan.pop c);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Chan.pop c);
+  Alcotest.(check (option int)) "fifo 3" (Some 3) (Chan.pop c);
+  Alcotest.(check (option int)) "drained" None (Chan.pop c);
+  Alcotest.check_raises "push after close" Chan.Closed (fun () -> Chan.push c 4)
+
+(* --- pool ------------------------------------------------------------------------ *)
+
+let test_pool_roundtrip () =
+  let pool =
+    Pool.create ~workers:2 ~queue_capacity:4 ~handler:(fun w x -> (w, x * x))
+  in
+  let items = List.init 20 (fun i -> i) in
+  List.iter (fun i -> Pool.submit pool ~worker:i i) items;
+  let results = Pool.drain pool 20 in
+  Pool.shutdown pool;
+  Alcotest.(check int) "all results" 20 (List.length results);
+  let squares = List.sort compare (List.map snd results) in
+  Alcotest.(check (list int)) "squares" (List.map (fun i -> i * i) items) squares;
+  (* sharding respected: worker w only processed items with i mod 2 = w *)
+  List.iter
+    (fun (w, sq) ->
+      let i = int_of_float (sqrt (float_of_int sq) +. 0.5) in
+      Alcotest.(check int) "sharded to the right worker" (i mod 2) w)
+    results
+
+let test_pool_handler_exception_surfaces () =
+  let pool =
+    Pool.create ~workers:2 ~queue_capacity:2 ~handler:(fun _ x ->
+        if x = 3 then failwith "boom" else x)
+  in
+  List.iter (fun i -> Pool.submit pool ~worker:i i) [ 0; 1; 2; 3 ];
+  (match Pool.drain pool 4 with
+  | _ -> Alcotest.fail "expected the handler exception to re-raise"
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
+  Pool.shutdown pool
+
+(* --- worker-pool determinism: pooled = sequential --------------------------------- *)
+
+let test_pool_matches_sequential () =
+  let model = Lazy.force model in
+  let requests =
+    Traffic.generate ~rng:(Genie_util.Rng.create 11) ~utterances:utterances 60
+  in
+  let seq = Server.create ~lib ~model () in
+  let seq_responses = Server.run_batch seq requests in
+  let pooled = Server.create ~lib ~model ~workers:3 ~queue_capacity:8 () in
+  let pooled_responses = Server.run_batch pooled requests in
+  Server.shutdown pooled;
+  Alcotest.(check int) "same count" (List.length seq_responses)
+    (List.length pooled_responses);
+  (* identical multiset of (id, parse) -- run_batch sorts by id, so direct
+     pairwise comparison checks the multiset *)
+  List.iter2
+    (fun (a : Response.t) (b : Response.t) ->
+      Alcotest.(check int) "same id" a.Response.id b.Response.id;
+      Alcotest.(check string) "same utterance" a.Response.utterance b.Response.utterance;
+      Alcotest.(check (option string)) "same program" a.Response.program_text
+        b.Response.program_text;
+      Alcotest.(check (list string)) "same nn tokens" a.Response.nn_tokens
+        b.Response.nn_tokens)
+    seq_responses pooled_responses;
+  (* key-sharding means the pooled run decodes each distinct key exactly
+     once, like the sequential run *)
+  let misses s = (Server.stats s).Server.cache_misses in
+  Alcotest.(check int) "same decode count" (misses seq) (misses pooled)
+
+(* --- metrics ----------------------------------------------------------------------- *)
+
+let test_metrics_percentiles () =
+  let m = Metrics.create () in
+  (* 90 requests at ~1ms, 10 at ~100ms *)
+  for _ = 1 to 90 do
+    Metrics.record m ~latency_ns:1e6
+  done;
+  for _ = 1 to 10 do
+    Metrics.record m ~latency_ns:1e8
+  done;
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "requests" 100 s.Metrics.requests;
+  (* geometric buckets have <= ~12% relative error *)
+  Alcotest.(check bool) "p50 ~ 1ms" true (s.Metrics.p50_ms > 0.8 && s.Metrics.p50_ms < 1.3);
+  Alcotest.(check bool) "p95 ~ 100ms" true (s.Metrics.p95_ms > 80.0 && s.Metrics.p95_ms < 130.0);
+  Alcotest.(check bool) "p99 ~ 100ms" true (s.Metrics.p99_ms > 80.0 && s.Metrics.p99_ms < 130.0);
+  Alcotest.(check bool) "mean between" true (s.Metrics.mean_ms > 5.0 && s.Metrics.mean_ms < 20.0);
+  Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Metrics.snapshot m).Metrics.requests
+
+let test_metrics_concurrent_records () =
+  let m = Metrics.create () in
+  let bump () = for _ = 1 to 500 do Metrics.record m ~latency_ns:2e6 done in
+  let d = Domain.spawn bump in
+  bump ();
+  Domain.join d;
+  Alcotest.(check int) "no lost updates" 1000 (Metrics.snapshot m).Metrics.requests
+
+(* --- traffic ------------------------------------------------------------------------ *)
+
+let test_traffic_deterministic_and_zipfian () =
+  let gen seed =
+    List.map
+      (fun (r : Request.t) -> r.Request.utterance)
+      (Traffic.generate ~rng:(Genie_util.Rng.create seed) ~utterances:utterances 400)
+  in
+  Alcotest.(check (list string)) "deterministic" (gen 5) (gen 5);
+  let drawn = gen 5 in
+  List.iter
+    (fun u -> Alcotest.(check bool) "from corpus" true (List.mem u utterances))
+    drawn;
+  (* Zipf skew: the most popular utterance dominates its uniform share *)
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun u -> Hashtbl.replace counts u (1 + Option.value ~default:0 (Hashtbl.find_opt counts u)))
+    drawn;
+  let top = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+  let uniform_share = 400 / List.length utterances in
+  Alcotest.(check bool) "zipfian head" true (top > 2 * uniform_share)
+
+(* --- server end to end ---------------------------------------------------------------- *)
+
+let test_server_execute_and_stats () =
+  let model = Lazy.force model in
+  let server = Server.create ~lib ~model ~cache_capacity:4 () in
+  let reqs =
+    List.mapi
+      (fun i u -> Request.make ~execute:true ~ticks:2 ~id:i u)
+      [ "tweet alice"; "tweet alice"; "get a cat picture" ]
+  in
+  let rs = Server.run_batch server reqs in
+  Alcotest.(check int) "three responses" 3 (List.length rs);
+  List.iter
+    (fun (r : Response.t) ->
+      Alcotest.(check bool) "parsed" true (Option.is_some r.Response.program);
+      Alcotest.(check (option string)) "no error" None r.Response.error;
+      Alcotest.(check bool) "timing positive" true (r.Response.timing.Response.total_ns > 0.0))
+    rs;
+  (* the tweet action ran: side effects observed *)
+  Alcotest.(check bool) "side effects" true
+    (List.exists (fun (r : Response.t) -> r.Response.side_effects > 0) rs);
+  let s = Server.stats server in
+  Alcotest.(check int) "requests" 3 s.Server.requests;
+  Alcotest.(check int) "exec runs" 3 s.Server.exec_runs;
+  Alcotest.(check int) "one hit" 1 s.Server.cache_hits;
+  Alcotest.(check int) "two misses" 2 s.Server.cache_misses;
+  Alcotest.(check bool) "throughput measured" true (s.Server.throughput_rps > 0.0);
+  Alcotest.(check bool) "p50 measured" true (s.Server.p50_ms > 0.0)
+
+let suite =
+  [ Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "lru capacity 1" `Quick test_lru_capacity_one;
+    Alcotest.test_case "lru capacity 0" `Quick test_lru_capacity_zero;
+    Alcotest.test_case "cached = cold parse" `Quick test_cached_response_identical;
+    Alcotest.test_case "chan fifo and close" `Quick test_chan_fifo_and_close;
+    Alcotest.test_case "pool roundtrip" `Quick test_pool_roundtrip;
+    Alcotest.test_case "pool exception surfaces" `Quick test_pool_handler_exception_surfaces;
+    Alcotest.test_case "pooled = sequential" `Quick test_pool_matches_sequential;
+    Alcotest.test_case "metrics percentiles" `Quick test_metrics_percentiles;
+    Alcotest.test_case "metrics concurrent" `Quick test_metrics_concurrent_records;
+    Alcotest.test_case "traffic zipfian" `Quick test_traffic_deterministic_and_zipfian;
+    Alcotest.test_case "server execute + stats" `Quick test_server_execute_and_stats ]

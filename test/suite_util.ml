@@ -124,6 +124,54 @@ let test_counter () =
       Alcotest.(check (float 1e-9)) "top count" 2.0 v
   | _ -> Alcotest.fail "expected one top entry"
 
+let test_atomic_counter () =
+  let c = Atomic_counter.create () in
+  Atomic_counter.incr c;
+  Atomic_counter.incr c;
+  Atomic_counter.add c 5;
+  Atomic_counter.add c (-3);
+  Alcotest.(check int) "sequential arithmetic" 4 (Atomic_counter.get c);
+  Atomic_counter.reset c;
+  Alcotest.(check int) "reset" 0 (Atomic_counter.get c);
+  let c = Atomic_counter.create ~value:10 () in
+  Alcotest.(check int) "initial value" 10 (Atomic_counter.get c)
+
+let test_atomic_counter_parallel () =
+  (* concurrent increments from two domains lose no updates *)
+  let c = Atomic_counter.create () in
+  let bump () =
+    for _ = 1 to 10_000 do
+      Atomic_counter.incr c
+    done;
+    for _ = 1 to 1_000 do
+      Atomic_counter.add c 2
+    done
+  in
+  let d = Domain.spawn bump in
+  bump ();
+  Domain.join d;
+  Alcotest.(check int) "no lost updates" 24_000 (Atomic_counter.get c)
+
+let test_json_lite () =
+  let j =
+    Json_lite.Obj
+      [ ("name", Json_lite.String "a \"quoted\"\nvalue");
+        ("n", Json_lite.Int 3);
+        ("rate", Json_lite.Float 0.5);
+        ("bad", Json_lite.Float Float.nan);
+        ("ok", Json_lite.Bool true);
+        ("items", Json_lite.List [ Json_lite.Int 1; Json_lite.Int 2 ]);
+        ("empty", Json_lite.List []) ]
+  in
+  let s = Json_lite.to_string ~indent:0 j in
+  Alcotest.(check bool) "escapes quotes" true
+    (Genie_util.Tok.contains_substring ~sub:"a \\\"quoted\\\"\\nvalue" s);
+  Alcotest.(check bool) "nan becomes null" true
+    (Genie_util.Tok.contains_substring ~sub:"\"bad\": null" s);
+  Alcotest.(check bool) "int" true (Genie_util.Tok.contains_substring ~sub:"\"n\": 3" s);
+  Alcotest.(check bool) "empty list" true
+    (Genie_util.Tok.contains_substring ~sub:"\"empty\": []" s)
+
 let qcheck_shuffle_preserves =
   QCheck.Test.make ~name:"shuffle preserves multiset" ~count:50
     QCheck.(pair small_int (small_list small_int))
@@ -148,4 +196,7 @@ let suite =
     Alcotest.test_case "match_sub" `Quick test_match_sub;
     Alcotest.test_case "string helpers" `Quick test_string_helpers;
     Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "atomic counter" `Quick test_atomic_counter;
+    Alcotest.test_case "atomic counter parallel" `Quick test_atomic_counter_parallel;
+    Alcotest.test_case "json lite" `Quick test_json_lite;
     QCheck_alcotest.to_alcotest qcheck_shuffle_preserves ]

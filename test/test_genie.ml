@@ -19,4 +19,5 @@ let () =
       ("evaldata", Suite_evaldata.suite);
       ("dsl", Suite_dsl.suite);
       ("variants", Suite_variants.suite);
-      ("core", Suite_core.suite) ]
+      ("core", Suite_core.suite);
+      ("serve", Suite_serve.suite) ]
