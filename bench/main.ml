@@ -343,6 +343,127 @@ let serve_bench () =
          ("configs", List (List.map row rows)) ]);
   Printf.printf "wrote BENCH_serve.json\n%!"
 
+(* --- serving layer under injected faults ----------------------------------------------------- *)
+
+(* Throughput and tail latency per fault class against a clean baseline, all
+   driven by seeded schedules so every run (and every machine) sees the same
+   failure decisions. Latency-class schedules use [sleep=true]: the injected
+   delay is real wall-clock time, so the throughput cost is visible. *)
+let faults_bench () =
+  header "bench_faults"
+    "Serving layer under seeded fault injection: throughput / tail latency per fault class";
+  let a = shared_artifacts () in
+  let corpus =
+    List.map
+      (fun (toks, _) -> String.concat " " toks)
+      (a.Pipeline.synthesized @ a.Pipeline.paraphrases)
+  in
+  let n_requests = if !quick then 300 else 1000 in
+  let n_workers = 2 in
+  let gen ?deadline_ms () =
+    Genie_serve.Traffic.generate ?deadline_ms
+      ~rng:(Genie_util.Rng.create 23)
+      ~utterances:corpus n_requests
+  in
+  let fault spec = Genie_serve.Fault.create spec in
+  let base = Genie_serve.Fault.default in
+  let configs =
+    [ ("clean", Genie_serve.Fault.none, None, None);
+      ( "crash",
+        fault { base with Genie_serve.Fault.seed = 42; crash_rate = 0.1 },
+        None,
+        None );
+      ( "latency",
+        fault
+          { base with
+            Genie_serve.Fault.seed = 42;
+            latency_rate = 0.3;
+            latency_ns = 2e6;
+            sleep = true },
+        None,
+        None );
+      ( "drop",
+        fault { base with Genie_serve.Fault.seed = 42; drop_rate = 0.05 },
+        None,
+        None );
+      ( "deadline",
+        fault
+          { base with
+            Genie_serve.Fault.seed = 42;
+            latency_rate = 1.0;
+            latency_ns = 3e6;
+            sleep = true },
+        None,
+        Some 2.0 );
+      ("overload", Genie_serve.Fault.none, Some (n_requests / 16), None) ]
+  in
+  (* The overload class replays its batch twice: the first pass warms the
+     degraded-answer cache, so the second pass shows cache-only degradation
+     (not just shedding) for the popular utterances. *)
+  let batches label = if label = "overload" then 2 else 1 in
+  Printf.printf "%d requests, %d workers per config\n\n" n_requests n_workers;
+  Printf.printf "%-10s %10s %10s %10s | %6s %6s %6s %6s %6s %6s\n" "class"
+    "req/s" "p50 ms" "p99 ms" "ok" "t/o" "shed" "retry" "degr" "err";
+  let open Genie_serve.Server in
+  let run_config (label, fault, admission_capacity, deadline_ms) =
+    let server =
+      of_artifacts ~workers:n_workers ~cache_capacity:4096 ~fault
+        ?admission_capacity ~max_retries:2 ~retry_backoff_ms:0.5 a
+    in
+    for _ = 1 to batches label do
+      ignore (run_batch server (gen ?deadline_ms ()))
+    done;
+    let s = stats server in
+    shutdown server;
+    Printf.printf "%-10s %10.0f %10.2f %10.2f | %6d %6d %6d %6d %6d %6d\n%!"
+      label s.throughput_rps s.p50_ms s.p99_ms s.ok s.timeouts s.shed s.retries
+      s.degraded s.errors;
+    (label, fault, admission_capacity, deadline_ms, s)
+  in
+  let rows = List.map run_config configs in
+  (match rows with
+  | ("clean", _, _, _, clean) :: rest when clean.throughput_rps > 0.0 ->
+      print_newline ();
+      List.iter
+        (fun (label, _, _, _, (s : stats)) ->
+          Printf.printf "%-10s throughput vs clean: %5.1f%%\n%!" label
+            (100.0 *. s.throughput_rps /. clean.throughput_rps))
+        rest
+  | _ -> ());
+  let open Genie_util.Json_lite in
+  let row (label, fault, admission, deadline_ms, (s : stats)) =
+    Obj
+      [ ("class", String label);
+        ("fault_spec", String (Genie_serve.Fault.to_string fault));
+        ( "admission_capacity",
+          match admission with Some c -> Int c | None -> Null );
+        ("deadline_ms", match deadline_ms with Some d -> Float d | None -> Null);
+        ("batches", Int (batches label));
+        ("throughput_rps", Float s.throughput_rps);
+        ("p50_ms", Float s.p50_ms);
+        ("p95_ms", Float s.p95_ms);
+        ("p99_ms", Float s.p99_ms);
+        ("mean_ms", Float s.mean_ms);
+        ("requests", Int s.requests);
+        ("ok", Int s.ok);
+        ("no_parse", Int s.no_parse);
+        ("errors", Int s.errors);
+        ("timeouts", Int s.timeouts);
+        ("shed", Int s.shed);
+        ("retries", Int s.retries);
+        ("degraded", Int s.degraded);
+        ("hit_rate", Float s.hit_rate) ]
+  in
+  write_file "BENCH_faults.json"
+    (Obj
+       [ ("experiment", String "bench_faults");
+         ("requests", Int n_requests);
+         ("workers", Int n_workers);
+         ("traffic_seed", Int 23);
+         ("cores", Int (Domain.recommended_domain_count ()));
+         ("configs", List (List.map row rows)) ]);
+  Printf.printf "\nwrote BENCH_faults.json\n%!"
+
 (* --- Bechamel timing micro-benchmarks -------------------------------------------------------- *)
 
 let timing () =
@@ -443,7 +564,8 @@ let () =
       ("fig9_tacl", fig9_tacl);
       ("fig9_aggregation", fig9_aggregation);
       ("bench_mqan_small", mqan_small);
-      ("bench_serve", serve_bench) ]
+      ("bench_serve", serve_bench);
+      ("bench_faults", faults_bench) ]
   in
   List.iter (fun (id, run) -> if enabled id then run ()) experiments;
   if enabled "timing" && not !skip_timing then timing ();

@@ -243,7 +243,29 @@ let serve_bench_cmd =
   let show =
     Arg.(value & opt int 0 & info [ "show" ] ~doc:"Print the first N responses")
   in
-  let run scale requests workers_csv cache zipf execute seed show =
+  let faults =
+    Arg.(value & opt string ""
+         & info [ "faults" ]
+             ~doc:"Seeded fault schedule, e.g. \
+                   'seed=7,crash=0.05,latency=0.2,latency_ms=5,drop=0.02,sleep=true'. \
+                   Empty means no injected faults.")
+  in
+  let deadline =
+    Arg.(value & opt float 0.0
+         & info [ "deadline-ms" ]
+             ~doc:"Per-request deadline in ms (0 = no deadline)")
+  in
+  let admission =
+    Arg.(value & opt int 0
+         & info [ "admission" ]
+             ~doc:"Per-worker admission budget per batch (0 = unbounded); \
+                   overflow is degraded to cache-only answers or shed")
+  in
+  let retries =
+    Arg.(value & opt int 2 & info [ "retries" ] ~doc:"Max retries per request")
+  in
+  let run scale requests workers_csv cache zipf execute seed show faults deadline
+      admission retries =
     let lib, prims, rules = setup () in
     Printf.printf "training the semantic parser (scale %.2f)...\n%!" scale;
     let cfg = Genie_core.Config.(scaled scale default) in
@@ -253,8 +275,19 @@ let serve_bench_cmd =
         (fun (toks, _) -> String.concat " " toks)
         (a.Genie_core.Pipeline.synthesized @ a.Genie_core.Pipeline.paraphrases)
     in
+    let fault =
+      if faults = "" then Genie_serve.Fault.none
+      else
+        match Genie_serve.Fault.of_string faults with
+        | Ok f -> f
+        | Error e ->
+            Printf.eprintf "bad --faults spec: %s\n" e;
+            exit 2
+    in
+    let deadline_ms = if deadline > 0.0 then Some deadline else None in
+    let admission_capacity = if admission > 0 then Some admission else None in
     let reqs =
-      Genie_serve.Traffic.generate ~s:zipf ~execute
+      Genie_serve.Traffic.generate ~s:zipf ~execute ?deadline_ms
         ~rng:(Genie_util.Rng.create seed) ~utterances:corpus requests
     in
     let distinct =
@@ -266,24 +299,31 @@ let serve_bench_cmd =
     in
     Printf.printf "replaying %d requests over %d distinct utterances (zipf s=%.2f)\n"
       requests distinct zipf;
+    if Genie_serve.Fault.active fault then
+      Printf.printf "fault schedule: %s\n" (Genie_serve.Fault.to_string fault);
     Printf.printf "%d core(s) available to the runtime\n\n"
       (Domain.recommended_domain_count ());
     let open Genie_serve.Server in
-    Printf.printf "%-10s %10s %10s %10s %10s %10s %10s\n" "workers" "req/s"
-      "hit rate" "p50 ms" "p95 ms" "p99 ms" "mean ms";
+    Printf.printf "%-10s %10s %10s %10s %10s %10s | %6s %6s %6s %6s %6s\n"
+      "workers" "req/s" "hit rate" "p50 ms" "p95 ms" "p99 ms" "ok" "t/o" "shed"
+      "retry" "degr";
     let worker_counts =
       List.filter_map int_of_string_opt (Genie_util.Tok.split_on_string ~sep:"," workers_csv)
     in
     List.iter
       (fun w ->
-        let server = of_artifacts ~workers:w ~cache_capacity:cache a in
+        let server =
+          of_artifacts ~workers:w ~cache_capacity:cache ~fault
+            ?admission_capacity ~max_retries:retries a
+        in
         let responses = run_batch server reqs in
         let s = stats server in
         shutdown server;
-        Printf.printf "%-10s %10.0f %9.1f%% %10.2f %10.2f %10.2f %10.2f\n%!"
+        Printf.printf
+          "%-10s %10.0f %9.1f%% %10.2f %10.2f %10.2f | %6d %6d %6d %6d %6d\n%!"
           (if w <= 1 then "seq" else string_of_int w)
-          s.throughput_rps (100. *. s.hit_rate) s.p50_ms s.p95_ms s.p99_ms
-          s.mean_ms;
+          s.throughput_rps (100. *. s.hit_rate) s.p50_ms s.p95_ms s.p99_ms s.ok
+          s.timeouts s.shed s.retries s.degraded;
         List.iteri
           (fun i r -> if i < show then print_endline ("  " ^ Genie_serve.Response.summary r))
           responses)
@@ -291,8 +331,12 @@ let serve_bench_cmd =
   in
   Cmd.v
     (Cmd.info "serve-bench"
-       ~doc:"Benchmark the concurrent serving layer on synthetic assistant traffic")
-    Term.(const run $ scale $ requests $ workers $ cache $ zipf $ execute $ seed $ show)
+       ~doc:
+         "Benchmark the concurrent serving layer on synthetic assistant \
+          traffic, optionally under a seeded fault schedule")
+    Term.(
+      const run $ scale $ requests $ workers $ cache $ zipf $ execute $ seed
+      $ show $ faults $ deadline $ admission $ retries)
 
 let () =
   let doc = "Genie: generate natural language semantic parsers for virtual assistants" in

@@ -33,6 +33,16 @@ let push t x =
       Queue.push x t.q;
       Condition.signal t.not_empty)
 
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed then raise Closed;
+      if Queue.length t.q >= t.capacity then false
+      else begin
+        Queue.push x t.q;
+        Condition.signal t.not_empty;
+        true
+      end)
+
 let pop t =
   with_lock t (fun () ->
       while Queue.is_empty t.q && not t.closed do

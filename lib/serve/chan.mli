@@ -13,6 +13,11 @@ val push : 'a t -> 'a -> unit
 (** Blocks while the channel is full. Raises {!Closed} if the channel is (or
     becomes, while waiting) closed. *)
 
+val try_push : 'a t -> 'a -> bool
+(** Non-blocking push: [false] (instead of waiting) when the channel is
+    full — the admission-control primitive. Raises {!Closed} on a closed
+    channel. *)
+
 val pop : 'a t -> 'a option
 (** Blocks while the channel is empty. [None] once the channel is closed and
     fully drained — the consumer's shutdown signal. *)

@@ -5,7 +5,16 @@
    with one exception, the [explainer] memo table, which predict fills
    lazily per unseen word. Concurrent Hashtbl writes are unsafe under
    domains, so each engine takes a shallow copy of the model record with its
-   own copy of that one table; everything else stays physically shared. *)
+   own copy of that one table; everything else stays physically shared.
+
+   Fault injection: an engine created with a fault raises
+   [Fault.Injected_crash] out of [process] for scheduled (id, attempt)
+   pairs -- the one exception to "process never raises" -- and adds the
+   schedule's injected latency to scheduled requests' decode stage. Injected
+   latency lives on a virtual clock by default ([sleep = false]): it is
+   added to the reported timings and counted against the request's deadline
+   without spending wall-clock time, so deadline outcomes are exact and the
+   test suite stays fast. *)
 
 open Genie_thingtalk
 module Aligner = Genie_parser_model.Aligner
@@ -16,10 +25,12 @@ type t = {
   cache : Aligner.prediction Parse_cache.t;
   env : Genie_runtime.Exec.env;
   metrics : Metrics.t;
+  fault : Fault.t;
   worker : int;
 }
 
-let create ~lib ~model ~cache_capacity ~metrics ~worker ?seed () =
+let create ~lib ~model ~cache_capacity ~metrics ~worker ?seed
+    ?(fault = Fault.none) () =
   let seed = Option.value seed ~default:worker in
   let model =
     { model with
@@ -30,61 +41,122 @@ let create ~lib ~model ~cache_capacity ~metrics ~worker ?seed () =
     cache = Parse_cache.create ~capacity:cache_capacity;
     env = Genie_runtime.Exec.create ~seed lib;
     metrics;
+    fault;
     worker }
 
 let now_ns () = Unix.gettimeofday () *. 1e9
 
-let process t (req : Request.t) : Response.t =
+let process ?(attempt = 0) t (req : Request.t) : Response.t =
+  let id = req.Request.id in
+  (* The crash decision comes before any real work — in particular before
+     the cache lookup — so a schedule's outcomes are a pure function of
+     (seed, id, attempt): independent of cache state, batch composition, and
+     worker count. A crash mid-cache-hit is as realistic as one mid-decode,
+     and determinism across serving paths is worth far more. *)
+  if Fault.crashes t.fault ~id ~attempt then raise Fault.Injected_crash;
   let t0 = now_ns () in
   let key = Request.cache_key req.Request.utterance in
   let tokens = Genie_util.Tok.tokenize req.Request.utterance in
   let t1 = now_ns () in
+  (* injected latency not actually slept accumulates on a virtual clock that
+     shifts every later stage boundary *)
+  let skew = ref 0.0 in
   let pred, from_cache, parse_error =
     match Parse_cache.find t.cache key with
     | Some p -> (p, true, None)
     | None -> (
+        let inject = Fault.latency_ns t.fault ~id in
+        if inject > 0.0 then
+          if (Fault.spec t.fault).Fault.sleep then Unix.sleepf (inject /. 1e9)
+          else skew := !skew +. inject;
         match Aligner.predict t.model tokens with
         | p ->
             Parse_cache.add t.cache key p;
             (p, false, None)
-        | exception e ->
-            Metrics.incr_errors t.metrics;
-            (Aligner.no_prediction, false, Some (Printexc.to_string e)))
+        | exception e -> (Aligner.no_prediction, false, Some (Printexc.to_string e)))
   in
-  let t2 = now_ns () in
-  let notifications, side_effects, exec_error =
-    match (req.Request.execute, pred.Aligner.program) with
-    | true, Some p -> (
-        match Genie_runtime.Exec.run ~ticks:req.Request.ticks t.env p with
-        | ns, effects ->
-            Metrics.incr_exec_runs t.metrics;
-            (List.length ns, List.length effects, None)
-        | exception e ->
-            Metrics.incr_errors t.metrics;
-            (0, 0, Some (Printexc.to_string e)))
-    | _ -> (0, 0, None)
+  let t2 = now_ns () +. !skew in
+  let past_deadline at =
+    match req.Request.deadline_ns with
+    | Some d -> at -. t0 > d
+    | None -> false
   in
-  let t3 = now_ns () in
-  if Option.is_none pred.Aligner.program && Option.is_none parse_error then
-    Metrics.incr_no_parse t.metrics;
-  Metrics.record t.metrics ~latency_ns:(t3 -. t0);
-  { Response.id = req.Request.id;
-    utterance = req.Request.utterance;
-    program = pred.Aligner.program;
-    program_text =
-      Option.map (Printer.program_to_string) pred.Aligner.program;
-    nn_tokens = pred.Aligner.nn_tokens;
-    score = pred.Aligner.score;
-    from_cache;
-    worker = t.worker;
-    notifications;
-    side_effects;
-    error = (match parse_error with Some _ -> parse_error | None -> exec_error);
-    timing =
-      { Response.tokenize_ns = t1 -. t0;
-        parse_ns = t2 -. t1;
-        exec_ns = t3 -. t2;
-        total_ns = t3 -. t0 } }
+  (* Cache hits always answer: the deadline guards the expensive decode and
+     execute paths, and a hit costs neither. *)
+  if (not from_cache) && past_deadline t2 then begin
+    Metrics.record t.metrics ~outcome:`Timeout ~latency_ns:(t2 -. t0) ();
+    { Response.id;
+      utterance = req.Request.utterance;
+      status = Response.Timeout;
+      program = None;
+      program_text = None;
+      nn_tokens = [];
+      score = 0.0;
+      from_cache = false;
+      degraded = false;
+      attempts = attempt + 1;
+      worker = t.worker;
+      notifications = 0;
+      side_effects = 0;
+      error = None;
+      timing =
+        { Response.tokenize_ns = t1 -. t0;
+          parse_ns = t2 -. t1;
+          exec_ns = 0.0;
+          total_ns = t2 -. t0 } }
+  end
+  else begin
+    let notifications, side_effects, exec_error =
+      match (req.Request.execute, pred.Aligner.program) with
+      | true, Some p -> (
+          match Genie_runtime.Exec.run ~ticks:req.Request.ticks t.env p with
+          | ns, effects ->
+              Metrics.incr_exec_runs t.metrics;
+              (List.length ns, List.length effects, None)
+          | exception e -> (0, 0, Some (Printexc.to_string e)))
+      | _ -> (0, 0, None)
+    in
+    let t3 = now_ns () +. !skew in
+    let error =
+      match parse_error with Some _ -> parse_error | None -> exec_error
+    in
+    let timed_out = (not from_cache) && past_deadline t3 in
+    let status =
+      if timed_out then Response.Timeout
+      else if Option.is_some error then Response.Error
+      else if Option.is_none pred.Aligner.program then Response.No_parse
+      else Response.Ok
+    in
+    let outcome =
+      match status with
+      | Response.Timeout -> `Timeout
+      | Response.Error -> `Error
+      | Response.No_parse -> `No_parse
+      | _ -> `Ok
+    in
+    Metrics.record t.metrics ~outcome ~latency_ns:(t3 -. t0) ();
+    { Response.id;
+      utterance = req.Request.utterance;
+      status;
+      program = (if timed_out then None else pred.Aligner.program);
+      program_text =
+        (if timed_out then None
+         else Option.map Printer.program_to_string pred.Aligner.program);
+      nn_tokens = (if timed_out then [] else pred.Aligner.nn_tokens);
+      score = pred.Aligner.score;
+      from_cache;
+      degraded = false;
+      attempts = attempt + 1;
+      worker = t.worker;
+      notifications;
+      side_effects;
+      error;
+      timing =
+        { Response.tokenize_ns = t1 -. t0;
+          parse_ns = t2 -. t1;
+          exec_ns = t3 -. t2;
+          total_ns = t3 -. t0 } }
+  end
 
 let cache_stats t = Parse_cache.stats t.cache
 let worker t = t.worker

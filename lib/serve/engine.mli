@@ -1,6 +1,6 @@
 (** One worker's single-request processing path: tokenize -> parse-cache
     lookup -> aligner decode on a miss -> optional runtime execution, with
-    per-stage timing.
+    per-stage timing, deadline enforcement and fault-injection hooks.
 
     An engine owns everything a request touches that is not thread-safe: a
     private LRU parse cache, a private {!Genie_runtime.Exec.env}, and a
@@ -20,13 +20,20 @@ val create :
   metrics:Metrics.t ->
   worker:int ->
   ?seed:int ->
+  ?fault:Fault.t ->
   unit ->
   t
-(** [seed] (default [worker]) seeds the engine's runtime environment. *)
+(** [seed] (default [worker]) seeds the engine's runtime environment.
+    [fault] (default {!Fault.none}) is the engine's injection schedule. *)
 
-val process : t -> Request.t -> Response.t
-(** Never raises: parser and runtime exceptions are absorbed into the
-    response's [error] field and counted in the metrics. *)
+val process : ?attempt:int -> t -> Request.t -> Response.t
+(** Serves one request: parser and runtime exceptions are absorbed into the
+    response ([status = Error]); a request past its {!Request.deadline_ns}
+    answers [Timeout] with its stage timings still populated (cache hits are
+    exempt — they cost nothing). The {e only} exception [process] raises is
+    {!Fault.Injected_crash}, on schedule, for the retry layer to catch;
+    [attempt] (default 0) is the retry ordinal the schedule consults, echoed
+    back as [response.attempts = attempt + 1]. *)
 
 val cache_stats : t -> Parse_cache.stats
 val worker : t -> int

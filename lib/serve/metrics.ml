@@ -3,7 +3,13 @@
    Latencies go into a geometric histogram: bucket 0 holds everything below
    [base_ns]; bucket i >= 1 holds [base_ns * ratio^(i-1), base_ns * ratio^i).
    With base 1us and ratio 1.25, 128 buckets span 1us to ~2000s with <= 12%
-   relative error per bucket -- plenty for p50/p95/p99 reporting. *)
+   relative error per bucket -- plenty for p50/p95/p99 reporting.
+
+   Counters partition the requests: every response recorded lands in exactly
+   one of ok / no_parse / errors / timeouts / shed, so in any snapshot
+   [requests = ok + no_parse + errors + timeouts + shed]. Shed requests did
+   no work and are not filed in the latency histogram; retries and degraded
+   are orthogonal counters (a degraded answer is an ok). *)
 
 module A = Genie_util.Atomic_counter
 
@@ -12,10 +18,17 @@ let ratio = 1.25
 let n_buckets = 128
 let log_ratio = log ratio
 
+type outcome = [ `Ok | `No_parse | `Error | `Timeout ]
+
 type t = {
   requests : A.t;
+  ok : A.t;
   errors : A.t;
   no_parse : A.t;
+  timeouts : A.t;
+  shed : A.t;
+  retries : A.t;
+  degraded : A.t;
   exec_runs : A.t;
   sum_latency_ns : A.t;
   buckets : A.t array;
@@ -23,8 +36,13 @@ type t = {
 
 type snapshot = {
   requests : int;
+  ok : int;
   errors : int;
   no_parse : int;
+  timeouts : int;
+  shed : int;
+  retries : int;
+  degraded : int;
   exec_runs : int;
   mean_ms : float;
   p50_ms : float;
@@ -34,8 +52,13 @@ type snapshot = {
 
 let create () =
   { requests = A.create ();
+    ok = A.create ();
     errors = A.create ();
     no_parse = A.create ();
+    timeouts = A.create ();
+    shed = A.create ();
+    retries = A.create ();
+    degraded = A.create ();
     exec_runs = A.create ();
     sum_latency_ns = A.create ();
     buckets = Array.init n_buckets (fun _ -> A.create ()) }
@@ -49,13 +72,23 @@ let bucket_value = function
   | 0 -> base_ns /. 2.0
   | i -> base_ns *. (ratio ** (float_of_int i -. 0.5))
 
-let record (t : t) ~latency_ns =
+let record (t : t) ?(outcome = `Ok) ~latency_ns () =
   A.incr t.requests;
+  A.incr
+    (match outcome with
+    | `Ok -> t.ok
+    | `No_parse -> t.no_parse
+    | `Error -> t.errors
+    | `Timeout -> t.timeouts);
   A.add t.sum_latency_ns (int_of_float latency_ns);
   A.incr t.buckets.(bucket_of_ns latency_ns)
 
-let incr_errors (t : t) = A.incr t.errors
-let incr_no_parse (t : t) = A.incr t.no_parse
+let incr_shed (t : t) =
+  A.incr t.requests;
+  A.incr t.shed
+
+let incr_retries (t : t) = A.incr t.retries
+let incr_degraded (t : t) = A.incr t.degraded
 let incr_exec_runs (t : t) = A.incr t.exec_runs
 
 let percentile_ns (t : t) p =
@@ -80,14 +113,20 @@ let percentile_ns (t : t) p =
   end
 
 let snapshot (t : t) =
-  let requests = A.get t.requests in
+  (* the histogram holds one sample per non-shed request *)
+  let samples = Array.fold_left (fun acc c -> acc + A.get c) 0 t.buckets in
   let mean_ms =
-    if requests = 0 then 0.0
-    else float_of_int (A.get t.sum_latency_ns) /. float_of_int requests /. 1e6
+    if samples = 0 then 0.0
+    else float_of_int (A.get t.sum_latency_ns) /. float_of_int samples /. 1e6
   in
-  { requests;
+  { requests = A.get t.requests;
+    ok = A.get t.ok;
     errors = A.get t.errors;
     no_parse = A.get t.no_parse;
+    timeouts = A.get t.timeouts;
+    shed = A.get t.shed;
+    retries = A.get t.retries;
+    degraded = A.get t.degraded;
     exec_runs = A.get t.exec_runs;
     mean_ms;
     p50_ms = percentile_ns t 50.0 /. 1e6;
@@ -96,14 +135,21 @@ let snapshot (t : t) =
 
 let reset (t : t) =
   A.reset t.requests;
+  A.reset t.ok;
   A.reset t.errors;
   A.reset t.no_parse;
+  A.reset t.timeouts;
+  A.reset t.shed;
+  A.reset t.retries;
+  A.reset t.degraded;
   A.reset t.exec_runs;
   A.reset t.sum_latency_ns;
   Array.iter A.reset t.buckets
 
 let pp_snapshot fmt s =
   Format.fprintf fmt
-    "requests %d  errors %d  no-parse %d  exec %d  mean %.2fms  p50 %.2fms  p95 %.2fms  p99 %.2fms"
-    s.requests s.errors s.no_parse s.exec_runs s.mean_ms s.p50_ms s.p95_ms
-    s.p99_ms
+    "requests %d  ok %d  errors %d  no-parse %d  timeouts %d  shed %d  \
+     retries %d  degraded %d  exec %d  mean %.2fms  p50 %.2fms  p95 %.2fms  \
+     p99 %.2fms"
+    s.requests s.ok s.errors s.no_parse s.timeouts s.shed s.retries s.degraded
+    s.exec_runs s.mean_ms s.p50_ms s.p95_ms s.p99_ms

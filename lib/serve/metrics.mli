@@ -3,14 +3,26 @@
 
     One [t] is shared by every worker of a server; all mutation goes through
     {!Genie_util.Atomic_counter}, so recording from several domains at once
-    is safe. *)
+    is safe.
+
+    The outcome counters partition the requests: in every snapshot,
+    [requests = ok + no_parse + errors + timeouts + shed]. [retries] and
+    [degraded] are orthogonal (a retried or degraded request still resolves
+    to exactly one outcome), as is [exec_runs]. *)
 
 type t
 
+type outcome = [ `Ok | `No_parse | `Error | `Timeout ]
+
 type snapshot = {
-  requests : int;
-  errors : int;  (** parser or runtime exceptions absorbed by the engine *)
+  requests : int;  (** every response issued, shed included *)
+  ok : int;
+  errors : int;  (** absorbed exceptions and retry-exhausted requests *)
   no_parse : int;  (** requests the parser returned no program for *)
+  timeouts : int;  (** requests whose deadline expired *)
+  shed : int;  (** requests refused at admission ([Overloaded]) *)
+  retries : int;  (** re-attempts after a transient failure *)
+  degraded : int;  (** saturated-pool answers served from cache alone *)
   exec_runs : int;  (** requests that executed a program *)
   mean_ms : float;
   p50_ms : float;
@@ -20,11 +32,16 @@ type snapshot = {
 
 val create : unit -> t
 
-val record : t -> latency_ns:float -> unit
-(** Counts one served request and files its end-to-end latency. *)
+val record : t -> ?outcome:outcome -> latency_ns:float -> unit -> unit
+(** Counts one served request under [outcome] (default [`Ok]) and files its
+    end-to-end latency in the histogram. *)
 
-val incr_errors : t -> unit
-val incr_no_parse : t -> unit
+val incr_shed : t -> unit
+(** Counts one shed request (bumps [requests] and [shed]; no latency
+    sample — shed responses do no work). *)
+
+val incr_retries : t -> unit
+val incr_degraded : t -> unit
 val incr_exec_runs : t -> unit
 
 val percentile_ns : t -> float -> float

@@ -2,22 +2,26 @@
 
    Results land in a mutex-protected list; the coordinator waits on a
    condition until the expected count has accumulated. Handler exceptions are
-   captured per-item and re-raised at drain so a failing worker cannot
-   deadlock the coordinator. *)
+   captured per-item, paired with the request that caused them, and surfaced
+   at drain so a failing worker can neither deadlock the coordinator nor
+   lose a request silently. An optional [fault_hook] runs before the handler
+   and can declare a popped message "dropped" (fault injection): the item is
+   recorded as failed without running the handler, exactly as if the channel
+   had lost it but the coordinator had noticed. *)
 
 type ('req, 'resp) t = {
   inboxes : 'req Chan.t array;
   mutable domains : unit Domain.t array;
   m : Mutex.t;
   have_results : Condition.t;
-  mutable results : ('resp, exn) result list;
+  mutable results : ('resp, 'req * exn) result list;
   mutable n_results : int;
   mutable shut : bool;
 }
 
 let workers t = Array.length t.inboxes
 
-let create ~workers:n ~queue_capacity ~handler =
+let create ~workers:n ~queue_capacity ?fault_hook ~handler () =
   if n < 1 then invalid_arg "Pool.create: workers must be >= 1";
   let inboxes = Array.init n (fun _ -> Chan.create ~capacity:queue_capacity) in
   let m = Mutex.create () in
@@ -38,9 +42,12 @@ let create ~workers:n ~queue_capacity ~handler =
       | None -> ()
       | Some req ->
           let resp =
-            match handler w req with
-            | resp -> Ok resp
-            | exception e -> Error e
+            match Option.bind fault_hook (fun hook -> hook w req) with
+            | Some e -> Error (req, e)
+            | None -> (
+                match handler w req with
+                | resp -> Ok resp
+                | exception e -> Error (req, e))
           in
           Mutex.lock m;
           t.results <- resp :: t.results;
@@ -57,7 +64,12 @@ let create ~workers:n ~queue_capacity ~handler =
 let submit t ~worker req =
   Chan.push t.inboxes.(worker mod workers t) req
 
-let drain t n =
+let try_submit t ~worker req =
+  Chan.try_push t.inboxes.(worker mod workers t) req
+
+let queue_length t ~worker = Chan.length t.inboxes.(worker mod workers t)
+
+let drain_results t n =
   Mutex.lock t.m;
   while t.n_results < n do
     Condition.wait t.have_results t.m
@@ -66,9 +78,12 @@ let drain t n =
   t.results <- [];
   t.n_results <- 0;
   Mutex.unlock t.m;
-  List.rev_map
-    (function Ok r -> r | Error e -> raise e)
-    taken
+  List.rev taken
+
+let drain t n =
+  List.map
+    (function Ok r -> r | Error (_, e) -> raise e)
+    (drain_results t n)
 
 let shutdown t =
   if not t.shut then begin

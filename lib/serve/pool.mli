@@ -5,20 +5,30 @@
     environment, its private aligner scratch tables — can stay lock-free: all
     requests for a given cache key are routed to the same worker.
 
+    Failure never loses work: a handler exception (or an injected message
+    drop, see [fault_hook]) is captured per-item together with the request
+    that caused it, and handed back by {!drain_results} so the coordinator
+    can retry or answer with an error — the pool itself cannot deadlock on a
+    failing worker.
+
     Protocol (single coordinating domain): [create], then any interleaving of
-    [submit], then [drain] for the outstanding count, repeated as desired,
-    then [shutdown]. *)
+    [submit], then [drain]/[drain_results] for the outstanding count,
+    repeated as desired, then [shutdown]. *)
 
 type ('req, 'resp) t
 
 val create :
   workers:int ->
   queue_capacity:int ->
+  ?fault_hook:(int -> 'req -> exn option) ->
   handler:(int -> 'req -> 'resp) ->
+  unit ->
   ('req, 'resp) t
 (** Spawns [workers] (>= 1) domains. [handler w req] runs on worker [w]'s
-    domain; an exception it raises is captured and re-raised by the next
-    {!drain}. *)
+    domain; an exception it raises is captured and surfaced by the next
+    drain. [fault_hook w req] (fault injection; default: none) runs first —
+    [Some e] records the item as failed with [e] without running the
+    handler, simulating a message the channel dropped. *)
 
 val workers : _ t -> int
 
@@ -26,9 +36,21 @@ val submit : ('req, 'resp) t -> worker:int -> 'req -> unit
 (** Enqueues on worker [worker mod workers]'s inbox; blocks while that inbox
     is full (backpressure). *)
 
+val try_submit : ('req, 'resp) t -> worker:int -> 'req -> bool
+(** Non-blocking {!submit}: [false] when the inbox is full (the caller sheds
+    or degrades instead of waiting). *)
+
+val queue_length : _ t -> worker:int -> int
+(** Current depth of a worker's inbox (racy; advisory). *)
+
+val drain_results : ('req, 'resp) t -> int -> ('resp, 'req * exn) result list
+(** [drain_results t n] blocks until [n] items have resolved since the last
+    drain and returns them (completion order, not submission order), each
+    either a response or the failed request paired with its exception. *)
+
 val drain : ('req, 'resp) t -> int -> 'resp list
-(** [drain t n] blocks until [n] responses have accumulated since the last
-    drain and returns them (completion order, not submission order). *)
+(** {!drain_results} that re-raises the first failure's exception — for
+    callers that treat any worker failure as fatal. *)
 
 val shutdown : _ t -> unit
 (** Closes every inbox and joins every domain. Idempotent. *)

@@ -1,9 +1,16 @@
 (* Serving requests. *)
 
-type t = { id : int; utterance : string; execute : bool; ticks : int }
+type t = {
+  id : int;
+  utterance : string;
+  execute : bool;
+  ticks : int;
+  deadline_ns : float option;
+}
 
-let make ?(execute = false) ?(ticks = 3) ~id utterance =
-  { id; utterance; execute; ticks }
+let make ?(execute = false) ?(ticks = 3) ?deadline_ms ~id utterance =
+  let deadline_ns = Option.map (fun ms -> ms *. 1e6) deadline_ms in
+  { id; utterance; execute; ticks; deadline_ns }
 
 (* The tokenizer lowercases and normalizes whitespace/punctuation, so the
    joined token sequence canonicalizes surface variation ("Tweet Hi!" and

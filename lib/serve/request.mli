@@ -6,11 +6,16 @@ type t = {
   utterance : string;  (** raw text; the engine tokenizes *)
   execute : bool;  (** also run the parsed program on the worker's runtime *)
   ticks : int;  (** virtual days to simulate when [execute] *)
+  deadline_ns : float option;
+      (** per-request latency budget, measured by the engine from the start
+          of processing (and inclusive of injected fault latency). A request
+          whose uncached work exceeds it gets a [Timeout] response; cache
+          hits always answer. [None]: no deadline. *)
 }
 
-val make : ?execute:bool -> ?ticks:int -> id:int -> string -> t
-(** [make ~id utterance] with [execute] defaulting to false and [ticks]
-    to 3. *)
+val make : ?execute:bool -> ?ticks:int -> ?deadline_ms:float -> id:int -> string -> t
+(** [make ~id utterance] with [execute] defaulting to false, [ticks] to 3 and
+    no deadline. [deadline_ms] is converted to nanoseconds. *)
 
 val cache_key : string -> string
 (** The normalized token sequence the parse cache is keyed on: two utterances

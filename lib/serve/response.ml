@@ -2,6 +2,15 @@
 
 open Genie_thingtalk
 
+type status = Ok | No_parse | Timeout | Overloaded | Error
+
+let status_to_string = function
+  | Ok -> "ok"
+  | No_parse -> "no-parse"
+  | Timeout -> "timeout"
+  | Overloaded -> "overloaded"
+  | Error -> "error"
+
 type timing = {
   tokenize_ns : float;
   parse_ns : float;
@@ -9,14 +18,19 @@ type timing = {
   total_ns : float;
 }
 
+let no_timing = { tokenize_ns = 0.0; parse_ns = 0.0; exec_ns = 0.0; total_ns = 0.0 }
+
 type t = {
   id : int;
   utterance : string;
+  status : status;
   program : Ast.program option;
   program_text : string option;
   nn_tokens : string list;
   score : float;
   from_cache : bool;
+  degraded : bool;
+  attempts : int;
   worker : int;
   notifications : int;
   side_effects : int;
@@ -25,9 +39,17 @@ type t = {
 }
 
 let summary r =
-  Printf.sprintf "#%d [%s w%d %.2fms] %s -> %s" r.id
+  Printf.sprintf "#%d [%s %s%s w%d %.2fms] %s -> %s" r.id
+    (status_to_string r.status)
     (if r.from_cache then "hit " else "miss")
+    (if r.degraded then "degraded " else "")
     r.worker
     (r.timing.total_ns /. 1e6)
     r.utterance
-    (match r.program_text with Some p -> p | None -> "<no parse>")
+    (match r.program_text with
+    | Some p -> p
+    | None -> (
+        match r.status with
+        | Timeout -> "<timeout>"
+        | Overloaded -> "<overloaded>"
+        | _ -> "<no parse>"))

@@ -1,18 +1,57 @@
-(* The serving facade: engines + optional pool + stats aggregation. *)
+(* The serving facade: engines + optional pool + stats aggregation, wrapped
+   in the robustness policy — admission control, retry with backoff, and
+   cache-only graceful degradation.
+
+   Admission control is per batch: each worker accepts at most
+   [admission_capacity] requests of a [run_batch] call (the whole batch
+   "arrives at once", so anything beyond a worker's inbox budget is excess
+   load). An excess request is answered from the coordinator's degraded
+   cache when its utterance has been parsed before, and shed with an
+   explicit [Overloaded] response otherwise — never blocked. Because the
+   decision depends only on the batch order and the key -> worker shard map,
+   shedding is deterministic.
+
+   Transient failures (injected crashes, injected message drops, any
+   exception a worker raises) are retried with exponential backoff and
+   deterministic jitter up to [max_retries] times; a request that exhausts
+   its retries gets an [Error] response. Either way every submitted request
+   resolves to exactly one response and exactly one metrics outcome. *)
+
+open Genie_thingtalk
+
+(* what the degraded path can answer with: a previous successful parse,
+   coordinator-owned so no domain sharing *)
+type cached_parse = {
+  c_program : Ast.program option;
+  c_text : string option;
+  c_nn : string list;
+  c_score : float;
+}
 
 type t = {
   engines : Engine.t array;  (* one per worker; exactly one when sequential *)
-  pool : (Request.t, Response.t) Pool.t option;
+  pool : (Request.t * int, Response.t) Pool.t option;
   metrics : Metrics.t;
   workers : int;  (* as configured: 0/1 = sequential *)
+  fault : Fault.t;
+  admission : int option;  (* per-worker per-batch request budget *)
+  degrade : bool;
+  max_retries : int;
+  retry_backoff_ns : float;
+  degraded_cache : cached_parse Parse_cache.t;  (* coordinator-only *)
   mutable last_batch : int * float;  (* requests, wall seconds *)
 }
 
 type stats = {
   workers : int;
   requests : int;
+  ok : int;
   errors : int;
   no_parse : int;
+  timeouts : int;
+  shed : int;
+  retries : int;
+  degraded : int;
   exec_runs : int;
   cache_hits : int;
   cache_misses : int;
@@ -29,27 +68,47 @@ type stats = {
 }
 
 let create ~lib ~model ?(cache_capacity = 4096) ?(workers = 0)
-    ?(queue_capacity = 64) ?(seed = 0) () =
+    ?(queue_capacity = 64) ?(seed = 0) ?(fault = Fault.none)
+    ?admission_capacity ?(degrade = true) ?(max_retries = 2)
+    ?(retry_backoff_ms = 1.0) () =
   let n_engines = max 1 workers in
   let metrics = Metrics.create () in
   let engines =
     Array.init n_engines (fun w ->
         Engine.create ~lib ~model ~cache_capacity ~metrics ~worker:w
-          ~seed:(seed + w) ())
+          ~seed:(seed + w) ~fault ())
   in
   let pool =
     if workers >= 2 then
       Some
-        (Pool.create ~workers ~queue_capacity ~handler:(fun w req ->
-             Engine.process engines.(w) req))
+        (Pool.create ~workers ~queue_capacity
+           ~fault_hook:(fun _w ((req : Request.t), attempt) ->
+             if Fault.drops fault ~id:req.Request.id ~attempt then
+               Some Fault.Injected_drop
+             else None)
+           ~handler:(fun w (req, attempt) ->
+             Engine.process ~attempt engines.(w) req)
+           ())
     else None
   in
-  { engines; pool; metrics; workers; last_batch = (0, 0.0) }
+  { engines;
+    pool;
+    metrics;
+    workers;
+    fault;
+    admission = admission_capacity;
+    degrade;
+    max_retries;
+    retry_backoff_ns = retry_backoff_ms *. 1e6;
+    degraded_cache = Parse_cache.create ~capacity:cache_capacity;
+    last_batch = (0, 0.0) }
 
-let of_artifacts ?cache_capacity ?workers ?queue_capacity ?seed
+let of_artifacts ?cache_capacity ?workers ?queue_capacity ?seed ?fault
+    ?admission_capacity ?degrade ?max_retries ?retry_backoff_ms
     (a : Genie_core.Pipeline.artifacts) =
   create ~lib:a.Genie_core.Pipeline.lib ~model:a.Genie_core.Pipeline.model
-    ?cache_capacity ?workers ?queue_capacity ?seed ()
+    ?cache_capacity ?workers ?queue_capacity ?seed ?fault ?admission_capacity
+    ?degrade ?max_retries ?retry_backoff_ms ()
 
 (* Requests shard by cache key, not round-robin: every repetition of an
    utterance lands on the same worker, so per-worker caches need no locks
@@ -60,16 +119,202 @@ let shard t (req : Request.t) =
   if n = 1 then 0
   else Hashtbl.hash (Request.cache_key req.Request.utterance) mod n
 
-let handle t req = Engine.process t.engines.(shard t req) req
+(* --- degraded / shed / failed responses (coordinator-made) ------------------- *)
+
+let overloaded_response t ~worker (req : Request.t) =
+  Metrics.incr_shed t.metrics;
+  { Response.id = req.Request.id;
+    utterance = req.Request.utterance;
+    status = Response.Overloaded;
+    program = None;
+    program_text = None;
+    nn_tokens = [];
+    score = 0.0;
+    from_cache = false;
+    degraded = false;
+    attempts = 0;
+    worker;
+    notifications = 0;
+    side_effects = 0;
+    error = None;
+    timing = Response.no_timing }
+
+let degraded_response t ~worker (req : Request.t) c =
+  (* a cache-only answer is effectively free: file it as a fastest-bucket
+     sample so degraded traffic shows up in the latency profile *)
+  Metrics.record t.metrics ~outcome:`Ok ~latency_ns:0.0 ();
+  Metrics.incr_degraded t.metrics;
+  { Response.id = req.Request.id;
+    utterance = req.Request.utterance;
+    status = Response.Ok;
+    program = c.c_program;
+    program_text = c.c_text;
+    nn_tokens = c.c_nn;
+    score = c.c_score;
+    from_cache = true;
+    degraded = true;
+    attempts = 0;
+    worker;
+    notifications = 0;
+    side_effects = 0;
+    error = None;
+    timing = Response.no_timing }
+
+let failed_response t ~worker (req : Request.t) ~attempts e =
+  Metrics.record t.metrics ~outcome:`Error ~latency_ns:0.0 ();
+  { Response.id = req.Request.id;
+    utterance = req.Request.utterance;
+    status = Response.Error;
+    program = None;
+    program_text = None;
+    nn_tokens = [];
+    score = 0.0;
+    from_cache = false;
+    degraded = false;
+    attempts;
+    worker;
+    notifications = 0;
+    side_effects = 0;
+    error = Some (Printexc.to_string e);
+    timing = Response.no_timing }
+
+let degrade_or_shed t ~worker (req : Request.t) =
+  let key = Request.cache_key req.Request.utterance in
+  match
+    if t.degrade then Parse_cache.find t.degraded_cache key else None
+  with
+  | Some c -> degraded_response t ~worker req c
+  | None -> overloaded_response t ~worker req
+
+(* feed the degraded cache with every fresh successful parse *)
+let remember t (r : Response.t) =
+  if r.Response.status = Response.Ok && not r.Response.degraded then
+    Parse_cache.add t.degraded_cache
+      (Request.cache_key r.Response.utterance)
+      { c_program = r.Response.program;
+        c_text = r.Response.program_text;
+        c_nn = r.Response.nn_tokens;
+        c_score = r.Response.score }
+
+(* --- serving with retries ----------------------------------------------------- *)
+
+let backoff_pause t ~id ~attempt =
+  let ns =
+    Fault.backoff_ns t.fault ~base_ns:t.retry_backoff_ns ~id ~attempt
+  in
+  if ns > 0.0 then Unix.sleepf (ns /. 1e9)
+
+(* one request on the calling domain, with the full retry policy *)
+let process_direct t (req : Request.t) =
+  let w = shard t req in
+  let engine = t.engines.(w) in
+  let rec go attempt =
+    let result =
+      if Fault.drops t.fault ~id:req.Request.id ~attempt then
+        Stdlib.Error Fault.Injected_drop
+      else
+        match Engine.process ~attempt engine req with
+        | r -> Stdlib.Ok r
+        | exception e -> Stdlib.Error e
+    in
+    match result with
+    | Stdlib.Ok r -> r
+    | Stdlib.Error e ->
+        if attempt >= t.max_retries then
+          failed_response t ~worker:w req ~attempts:(attempt + 1) e
+        else begin
+          Metrics.incr_retries t.metrics;
+          backoff_pause t ~id:req.Request.id ~attempt;
+          go (attempt + 1)
+        end
+  in
+  let r = go 0 in
+  remember t r;
+  r
+
+let handle t req = process_direct t req
+
+let fresh_credits t n =
+  Array.make n (match t.admission with Some c -> c | None -> max_int)
+
+let run_batch_seq t reqs =
+  let credits = fresh_credits t 1 in
+  List.map
+    (fun req ->
+      if credits.(0) > 0 then begin
+        credits.(0) <- credits.(0) - 1;
+        process_direct t req
+      end
+      else degrade_or_shed t ~worker:0 req)
+    reqs
+
+let run_batch_pooled t pool reqs =
+  let credits = fresh_credits t (Array.length t.engines) in
+  let collected = ref [] in
+  let outstanding = ref 0 in
+  List.iter
+    (fun req ->
+      let w = shard t req in
+      if credits.(w) > 0 then begin
+        credits.(w) <- credits.(w) - 1;
+        Pool.submit pool ~worker:w (req, 0);
+        incr outstanding
+      end
+      else collected := degrade_or_shed t ~worker:w req :: !collected)
+    reqs;
+  while !outstanding > 0 do
+    let results = Pool.drain_results pool !outstanding in
+    outstanding := 0;
+    let failures = ref [] in
+    List.iter
+      (function
+        | Stdlib.Ok r -> collected := r :: !collected
+        | Stdlib.Error ((req, attempt), e) ->
+            failures := (req, attempt, e) :: !failures)
+      results;
+    (* resubmit in id order so each worker sees a deterministic retry
+       sequence regardless of cross-worker completion interleaving *)
+    let failures =
+      List.sort
+        (fun ((a : Request.t), _, _) ((b : Request.t), _, _) ->
+          compare a.Request.id b.Request.id)
+        !failures
+    in
+    let give_up, retry =
+      List.partition (fun (_, attempt, _) -> attempt >= t.max_retries) failures
+    in
+    List.iter
+      (fun ((req : Request.t), attempt, e) ->
+        collected :=
+          failed_response t ~worker:(shard t req) req ~attempts:(attempt + 1) e
+          :: !collected)
+      give_up;
+    (* one pause per retry round, at the round's largest backoff *)
+    let max_backoff =
+      List.fold_left
+        (fun acc ((req : Request.t), attempt, _) ->
+          Metrics.incr_retries t.metrics;
+          Float.max acc
+            (Fault.backoff_ns t.fault ~base_ns:t.retry_backoff_ns
+               ~id:req.Request.id ~attempt))
+        0.0 retry
+    in
+    if max_backoff > 0.0 && retry <> [] then Unix.sleepf (max_backoff /. 1e9);
+    List.iter
+      (fun ((req : Request.t), attempt, _) ->
+        Pool.submit pool ~worker:(shard t req) (req, attempt + 1);
+        incr outstanding)
+      retry
+  done;
+  List.iter (remember t) !collected;
+  !collected
 
 let run_batch t reqs =
   let t0 = Unix.gettimeofday () in
   let responses =
     match t.pool with
-    | None -> List.map (handle t) reqs
-    | Some pool ->
-        List.iter (fun r -> Pool.submit pool ~worker:(shard t r) r) reqs;
-        Pool.drain pool (List.length reqs)
+    | None -> run_batch_seq t reqs
+    | Some pool -> run_batch_pooled t pool reqs
   in
   let dt = Unix.gettimeofday () -. t0 in
   t.last_batch <- (List.length reqs, dt);
@@ -94,8 +339,13 @@ let stats (t : t) =
   let n_batch, secs = t.last_batch in
   { workers = t.workers;
     requests = m.Metrics.requests;
+    ok = m.Metrics.ok;
     errors = m.Metrics.errors;
     no_parse = m.Metrics.no_parse;
+    timeouts = m.Metrics.timeouts;
+    shed = m.Metrics.shed;
+    retries = m.Metrics.retries;
+    degraded = m.Metrics.degraded;
     exec_runs = m.Metrics.exec_runs;
     cache_hits = hits;
     cache_misses = misses;
@@ -111,12 +361,15 @@ let stats (t : t) =
     throughput_rps =
       (if secs <= 0.0 then 0.0 else float_of_int n_batch /. secs) }
 
+let metrics_snapshot (t : t) = Metrics.snapshot t.metrics
+
 let workers (t : t) = t.workers
 
 let shutdown (t : t) = match t.pool with Some p -> Pool.shutdown p | None -> ()
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "workers %d  %d req  %.0f req/s  hit-rate %.1f%%  p50 %.2fms  p95 %.2fms  p99 %.2fms  mean %.2fms"
+    "workers %d  %d req  %.0f req/s  hit-rate %.1f%%  p50 %.2fms  p95 %.2fms  \
+     p99 %.2fms  mean %.2fms  timeouts %d  shed %d  retries %d  degraded %d"
     s.workers s.requests s.throughput_rps (100.0 *. s.hit_rate) s.p50_ms
-    s.p95_ms s.p99_ms s.mean_ms
+    s.p95_ms s.p99_ms s.mean_ms s.timeouts s.shed s.retries s.degraded

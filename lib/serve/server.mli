@@ -1,5 +1,8 @@
 (** The serving front end: a parse cache, a pool of worker engines, and
-    aggregated statistics, behind a batch request API.
+    aggregated statistics, behind a batch request API — wrapped in the
+    robustness policy: bounded-queue admission control, retry with
+    exponential backoff + deterministic jitter, and cache-only graceful
+    degradation under saturation.
 
     [workers <= 1] (the default) is the {e sequential} path: no domains are
     spawned and every request runs on the calling domain in submission
@@ -7,7 +10,14 @@
     [workers >= 2] spawns a {!Pool} and shards requests across workers by
     cache key, so each worker's private cache and runtime see a stable
     partition of the key space and a pooled run performs exactly the same
-    set of aligner decodes as a sequential run. *)
+    set of aligner decodes as a sequential run.
+
+    Failure semantics: every submitted request gets exactly one response —
+    [Ok], [No_parse], [Timeout] (deadline expired), [Overloaded] (shed at
+    admission) or [Error] (exception / retries exhausted) — and lands in
+    exactly one of the metrics outcome counters. Under a {!Fault} schedule
+    every decision is a deterministic function of the schedule's seed and
+    the request ids. *)
 
 open Genie_thingtalk
 
@@ -15,9 +25,14 @@ type t
 
 type stats = {
   workers : int;
-  requests : int;
+  requests : int;  (** every response issued, shed included *)
+  ok : int;
   errors : int;
   no_parse : int;
+  timeouts : int;
+  shed : int;  (** answered [Overloaded] at admission *)
+  retries : int;  (** re-attempts after transient failures *)
+  degraded : int;  (** cache-only answers under saturation *)
   exec_runs : int;
   cache_hits : int;
   cache_misses : int;
@@ -40,30 +55,54 @@ val create :
   ?workers:int ->
   ?queue_capacity:int ->
   ?seed:int ->
+  ?fault:Fault.t ->
+  ?admission_capacity:int ->
+  ?degrade:bool ->
+  ?max_retries:int ->
+  ?retry_backoff_ms:float ->
   unit ->
   t
 (** Defaults: [cache_capacity] 4096 (per worker), [workers] 0 (sequential),
-    [queue_capacity] 64 per worker, [seed] 0. *)
+    [queue_capacity] 64 per worker, [seed] 0, [fault] {!Fault.none},
+    [admission_capacity] unlimited, [degrade] true, [max_retries] 2,
+    [retry_backoff_ms] 1.
+
+    [admission_capacity] bounds how many requests each worker accepts per
+    {!run_batch} call; excess requests are answered from the degraded cache
+    (when [degrade] and the utterance was parsed before) or shed with
+    [Overloaded] — never blocked. *)
 
 val of_artifacts :
   ?cache_capacity:int ->
   ?workers:int ->
   ?queue_capacity:int ->
   ?seed:int ->
+  ?fault:Fault.t ->
+  ?admission_capacity:int ->
+  ?degrade:bool ->
+  ?max_retries:int ->
+  ?retry_backoff_ms:float ->
   Genie_core.Pipeline.artifacts ->
   t
 (** A server over a trained pipeline's library and parser model. *)
 
 val handle : t -> Request.t -> Response.t
 (** Serves one request on the calling domain (on the engine its key shards
-    to). Do not interleave with a concurrent {!run_batch}. *)
+    to), with the full retry policy but no admission check. Do not
+    interleave with a concurrent {!run_batch}. *)
 
 val run_batch : t -> Request.t list -> Response.t list
 (** Serves a batch — through the pool when [workers >= 2], sequentially
-    otherwise — and returns responses sorted by request id. Also records the
-    batch's wall-clock time for {!stats}'s throughput. *)
+    otherwise — and returns exactly one response per request, sorted by
+    request id. Also records the batch's wall-clock time for {!stats}'s
+    throughput. *)
 
 val stats : t -> stats
+
+val metrics_snapshot : t -> Metrics.snapshot
+(** The raw outcome counters, for invariant checks
+    ([requests = ok + no_parse + errors + timeouts + shed]). *)
+
 val workers : t -> int
 
 val shutdown : t -> unit

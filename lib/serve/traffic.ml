@@ -32,6 +32,7 @@ let sample t =
   done;
   t.utterances.(!lo)
 
-let generate ?s ?(execute = false) ?(ticks = 3) ~rng ~utterances n =
+let generate ?s ?(execute = false) ?(ticks = 3) ?deadline_ms ~rng ~utterances n =
   let sampler = create ?s ~rng ~utterances () in
-  List.init n (fun id -> Request.make ~execute ~ticks ~id (sample sampler))
+  List.init n (fun id ->
+      Request.make ~execute ~ticks ?deadline_ms ~id (sample sampler))

@@ -21,9 +21,11 @@ val generate :
   ?s:float ->
   ?execute:bool ->
   ?ticks:int ->
+  ?deadline_ms:float ->
   rng:Genie_util.Rng.t ->
   utterances:string list ->
   int ->
   Request.t list
 (** [generate ~rng ~utterances n] is [n] requests with ids [0 .. n-1] drawn
-    from a fresh sampler. Deterministic for a given rng seed. *)
+    from a fresh sampler, all carrying [deadline_ms] when given.
+    Deterministic for a given rng seed. *)

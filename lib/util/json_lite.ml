@@ -25,8 +25,18 @@ let escape s =
     s;
   Buffer.contents buf
 
+(* Shortest decimal representation that round-trips to the same float: a
+   fixed "%.6g" silently corrupts values with more than six significant
+   digits (e.g. nanosecond-scale latency sums), while a fixed "%.17g" is
+   needlessly long for the common case. *)
 let float_repr f =
-  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+  if not (Float.is_finite f) then "null"
+  else
+    let rec go p =
+      let s = Printf.sprintf "%.*g" p f in
+      if p >= 17 || float_of_string s = f then s else go (p + 1)
+    in
+    go 1
 
 let to_string ?(indent = 2) t =
   let buf = Buffer.create 256 in

@@ -15,5 +15,14 @@ val to_string : ?indent:int -> t -> string
 (** Renders with [indent] spaces per level (default 2). Non-finite floats
     become [null]. *)
 
+val float_repr : float -> string
+(** The shortest decimal representation that parses back to exactly the
+    same float ([null] for non-finite values) — lossless for full-precision
+    quantities like nanosecond latency sums. *)
+
+val escape : string -> string
+(** JSON string-body escaping: quotes, backslashes, and all control
+    characters below [0x20]. *)
+
 val write_file : string -> t -> unit
 (** Writes [to_string] plus a trailing newline. *)

@@ -1,0 +1,130 @@
+(* Edge cases for the metrics subsystem: empty and single-sample snapshots
+   (no NaNs, sane percentiles), the outcome-partition invariant under every
+   counter path, and a cross-domain stress test of the atomic counters the
+   histogram is built on. *)
+
+open Genie_serve
+
+let check_partition msg (s : Metrics.snapshot) =
+  Alcotest.(check int) msg s.Metrics.requests
+    (s.Metrics.ok + s.Metrics.no_parse + s.Metrics.errors + s.Metrics.timeouts
+   + s.Metrics.shed)
+
+let finite msg f =
+  Alcotest.(check bool) msg true (Float.is_finite f);
+  Alcotest.(check bool) (msg ^ " not nan") false (Float.is_nan f)
+
+let test_empty_snapshot () =
+  let m = Metrics.create () in
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "no requests" 0 s.Metrics.requests;
+  (* an empty histogram must not produce NaN from 0/0 divisions *)
+  finite "mean" s.Metrics.mean_ms;
+  finite "p50" s.Metrics.p50_ms;
+  finite "p95" s.Metrics.p95_ms;
+  finite "p99" s.Metrics.p99_ms;
+  Alcotest.(check (float 0.0)) "mean zero" 0.0 s.Metrics.mean_ms;
+  Alcotest.(check (float 0.0)) "p50 zero" 0.0 s.Metrics.p50_ms;
+  Alcotest.(check (float 0.0)) "p99 zero" 0.0 s.Metrics.p99_ms;
+  Alcotest.(check (float 0.0)) "percentile_ns zero" 0.0 (Metrics.percentile_ns m 99.0);
+  check_partition "empty partition" s;
+  (* pretty-printing an empty snapshot is safe and NaN-free *)
+  let rendered = Format.asprintf "%a" Metrics.pp_snapshot s in
+  Alcotest.(check bool) "renders" true (String.length rendered > 0);
+  Alcotest.(check bool) "no nan in output" false
+    (List.exists
+       (fun i -> i + 3 <= String.length rendered && String.sub rendered i 3 = "nan")
+       (List.init (String.length rendered) Fun.id))
+
+let test_single_sample () =
+  let m = Metrics.create () in
+  Metrics.record m ~latency_ns:5e6 ();
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "one request" 1 s.Metrics.requests;
+  Alcotest.(check int) "one ok" 1 s.Metrics.ok;
+  (* with a single sample every percentile lands in the same bucket *)
+  Alcotest.(check (float 0.0)) "p50 = p95" s.Metrics.p50_ms s.Metrics.p95_ms;
+  Alcotest.(check (float 0.0)) "p95 = p99" s.Metrics.p95_ms s.Metrics.p99_ms;
+  (* and within the geometric bucket's ~12% relative error of the sample *)
+  Alcotest.(check bool) "p50 near 5ms" true
+    (s.Metrics.p50_ms > 4.0 && s.Metrics.p50_ms < 6.5);
+  Alcotest.(check bool) "mean near 5ms" true
+    (s.Metrics.mean_ms > 4.0 && s.Metrics.mean_ms < 6.5);
+  check_partition "single-sample partition" s
+
+let test_outcome_counters_partition () =
+  let m = Metrics.create () in
+  Metrics.record m ~latency_ns:1e6 ();
+  Metrics.record m ~outcome:`Ok ~latency_ns:1e6 ();
+  Metrics.record m ~outcome:`No_parse ~latency_ns:1e6 ();
+  Metrics.record m ~outcome:`Error ~latency_ns:1e6 ();
+  Metrics.record m ~outcome:`Timeout ~latency_ns:1e6 ();
+  Metrics.incr_shed m;
+  Metrics.incr_retries m;
+  Metrics.incr_degraded m;
+  Metrics.incr_exec_runs m;
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "requests" 6 s.Metrics.requests;
+  Alcotest.(check int) "ok" 2 s.Metrics.ok;
+  Alcotest.(check int) "no_parse" 1 s.Metrics.no_parse;
+  Alcotest.(check int) "errors" 1 s.Metrics.errors;
+  Alcotest.(check int) "timeouts" 1 s.Metrics.timeouts;
+  Alcotest.(check int) "shed" 1 s.Metrics.shed;
+  Alcotest.(check int) "retries orthogonal" 1 s.Metrics.retries;
+  Alcotest.(check int) "degraded orthogonal" 1 s.Metrics.degraded;
+  Alcotest.(check int) "exec orthogonal" 1 s.Metrics.exec_runs;
+  check_partition "all-outcomes partition" s;
+  Metrics.reset m;
+  let z = Metrics.snapshot m in
+  Alcotest.(check int) "reset requests" 0 z.Metrics.requests;
+  Alcotest.(check int) "reset shed" 0 z.Metrics.shed;
+  check_partition "reset partition" z
+
+let test_shed_excluded_from_histogram () =
+  let m = Metrics.create () in
+  for _ = 1 to 10 do Metrics.incr_shed m done;
+  let s = Metrics.snapshot m in
+  Alcotest.(check int) "requests counted" 10 s.Metrics.requests;
+  Alcotest.(check int) "all shed" 10 s.Metrics.shed;
+  (* shed responses do no work, so the latency histogram stays empty *)
+  Alcotest.(check (float 0.0)) "no latency samples" 0.0 s.Metrics.p99_ms;
+  finite "mean stays finite" s.Metrics.mean_ms;
+  Alcotest.(check (float 0.0)) "mean zero" 0.0 s.Metrics.mean_ms;
+  check_partition "shed-only partition" s
+
+let test_atomic_counter_basics () =
+  let c = Genie_util.Atomic_counter.create ~value:5 () in
+  Genie_util.Atomic_counter.incr c;
+  Genie_util.Atomic_counter.add c 10;
+  Genie_util.Atomic_counter.add c (-4);
+  Alcotest.(check int) "arithmetic" 12 (Genie_util.Atomic_counter.get c);
+  Genie_util.Atomic_counter.reset c;
+  Alcotest.(check int) "reset" 0 (Genie_util.Atomic_counter.get c)
+
+let test_atomic_counter_cross_domain_stress () =
+  let domains = 4 and per_domain = 25_000 in
+  let c = Genie_util.Atomic_counter.create () in
+  let bump () =
+    for i = 1 to per_domain do
+      if i mod 10 = 0 then Genie_util.Atomic_counter.add c 3
+      else Genie_util.Atomic_counter.incr c
+    done
+  in
+  let spawned = List.init (domains - 1) (fun _ -> Domain.spawn bump) in
+  bump ();
+  List.iter Domain.join spawned;
+  (* every increment lands: 9 incr + one add 3 per block of 10 iterations *)
+  let expected = domains * (per_domain / 10) * (9 + 3) in
+  Alcotest.(check int) "exact sum, no lost updates" expected
+    (Genie_util.Atomic_counter.get c)
+
+let suite =
+  [ Alcotest.test_case "empty snapshot has no NaN" `Quick test_empty_snapshot;
+    Alcotest.test_case "single-sample histogram" `Quick test_single_sample;
+    Alcotest.test_case "outcome counters partition" `Quick
+      test_outcome_counters_partition;
+    Alcotest.test_case "shed excluded from histogram" `Quick
+      test_shed_excluded_from_histogram;
+    Alcotest.test_case "atomic counter basics" `Quick test_atomic_counter_basics;
+    Alcotest.test_case "atomic counter cross-domain stress" `Quick
+      test_atomic_counter_cross_domain_stress ]

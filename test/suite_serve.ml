@@ -1,5 +1,13 @@
 (* Tests for the serving layer: LRU parse cache, bounded channel, Domain
-   worker pool, metrics histogram, Zipfian traffic, and the server facade.
+   worker pool, metrics histogram, Zipfian traffic, the server facade — and
+   the robustness layer: seeded fault schedules (worker crashes, injected
+   latency, dropped messages), per-request deadlines, bounded-queue
+   admission control, retry with backoff, and cache-only degradation.
+
+   Every fault decision is a pure function of (schedule seed, request id,
+   attempt), so these tests assert exact outcomes — statuses, attempt
+   counts, shed sets — not probabilistic ones, and repeat runs must be
+   byte-identical whether the server is sequential or pooled.
 
    Servers default to the sequential path (workers = 0); only the tests that
    specifically exercise the pool spawn domains, and they use small worker
@@ -37,6 +45,30 @@ let utterances =
   [ "tweet alice"; "tweet bob"; "show me emails from carol"; "get a cat picture";
     "when i receive an email , get a cat picture"; "tweet dan";
     "show me emails from eve"; "tweet mallory" ]
+
+(* the counter-partition invariant that must hold in every snapshot *)
+let check_invariant ?(msg = "requests = ok + no_parse + errors + timeouts + shed")
+    server =
+  let m = Server.metrics_snapshot server in
+  Alcotest.(check int)
+    msg m.Metrics.requests
+    (m.Metrics.ok + m.Metrics.no_parse + m.Metrics.errors + m.Metrics.timeouts
+   + m.Metrics.shed)
+
+(* everything deterministic about a response, cache flags included *)
+let digest (r : Response.t) =
+  Printf.sprintf "#%d %s %s cache=%b degraded=%b attempts=%d" r.Response.id
+    (Response.status_to_string r.Response.status)
+    (Option.value ~default:"-" r.Response.program_text)
+    r.Response.from_cache r.Response.degraded r.Response.attempts
+
+(* the subset that must also agree between sequential and pooled runs (cache
+   flags may differ: a pooled retry can re-enter behind a same-key request) *)
+let cross_path_digest (r : Response.t) =
+  Printf.sprintf "#%d %s %s attempts=%d" r.Response.id
+    (Response.status_to_string r.Response.status)
+    (Option.value ~default:"-" r.Response.program_text)
+    r.Response.attempts
 
 (* --- parse cache -------------------------------------------------------------- *)
 
@@ -103,7 +135,8 @@ let test_cached_response_identical () =
     utterances;
   let s = Server.stats server in
   Alcotest.(check int) "hits" (List.length utterances) s.Server.cache_hits;
-  Alcotest.(check int) "misses" (List.length utterances) s.Server.cache_misses
+  Alcotest.(check int) "misses" (List.length utterances) s.Server.cache_misses;
+  check_invariant server
 
 (* --- chan ----------------------------------------------------------------------- *)
 
@@ -120,11 +153,22 @@ let test_chan_fifo_and_close () =
   Alcotest.(check (option int)) "drained" None (Chan.pop c);
   Alcotest.check_raises "push after close" Chan.Closed (fun () -> Chan.push c 4)
 
+let test_chan_try_push () =
+  let c = Chan.create ~capacity:2 in
+  Alcotest.(check bool) "fits 1" true (Chan.try_push c 1);
+  Alcotest.(check bool) "fits 2" true (Chan.try_push c 2);
+  Alcotest.(check bool) "full" false (Chan.try_push c 3);
+  Alcotest.(check (option int)) "fifo" (Some 1) (Chan.pop c);
+  Alcotest.(check bool) "fits again" true (Chan.try_push c 4);
+  Chan.close c;
+  Alcotest.check_raises "try_push after close" Chan.Closed (fun () ->
+      ignore (Chan.try_push c 5))
+
 (* --- pool ------------------------------------------------------------------------ *)
 
 let test_pool_roundtrip () =
   let pool =
-    Pool.create ~workers:2 ~queue_capacity:4 ~handler:(fun w x -> (w, x * x))
+    Pool.create ~workers:2 ~queue_capacity:4 ~handler:(fun w x -> (w, x * x)) ()
   in
   let items = List.init 20 (fun i -> i) in
   List.iter (fun i -> Pool.submit pool ~worker:i i) items;
@@ -142,14 +186,57 @@ let test_pool_roundtrip () =
 
 let test_pool_handler_exception_surfaces () =
   let pool =
-    Pool.create ~workers:2 ~queue_capacity:2 ~handler:(fun _ x ->
-        if x = 3 then failwith "boom" else x)
+    Pool.create ~workers:2 ~queue_capacity:2
+      ~handler:(fun _ x -> if x = 3 then failwith "boom" else x)
+      ()
   in
   List.iter (fun i -> Pool.submit pool ~worker:i i) [ 0; 1; 2; 3 ];
   (match Pool.drain pool 4 with
   | _ -> Alcotest.fail "expected the handler exception to re-raise"
   | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
   Pool.shutdown pool
+
+let test_pool_drain_results_pairs_failures () =
+  let pool =
+    Pool.create ~workers:2 ~queue_capacity:4
+      ~handler:(fun _ x -> if x mod 2 = 1 then failwith "odd" else x * 10)
+      ()
+  in
+  List.iter (fun i -> Pool.submit pool ~worker:i i) [ 0; 1; 2; 3 ];
+  let results = Pool.drain_results pool 4 in
+  Pool.shutdown pool;
+  let ok, failed =
+    List.partition (function Stdlib.Ok _ -> true | _ -> false) results
+  in
+  Alcotest.(check int) "two ok" 2 (List.length ok);
+  Alcotest.(check int) "two failed" 2 (List.length failed);
+  (* each failure carries the request that caused it, so nothing is lost *)
+  let failed_reqs =
+    List.sort compare
+      (List.filter_map
+         (function Stdlib.Error (req, _) -> Some req | _ -> None)
+         results)
+  in
+  Alcotest.(check (list int)) "failed requests identified" [ 1; 3 ] failed_reqs
+
+let test_pool_fault_hook_drops () =
+  let pool =
+    Pool.create ~workers:2 ~queue_capacity:4
+      ~fault_hook:(fun _ x -> if x = 2 then Some Fault.Injected_drop else None)
+      ~handler:(fun _ x -> x)
+      ()
+  in
+  List.iter (fun i -> Pool.submit pool ~worker:i i) [ 0; 1; 2; 3 ];
+  let results = Pool.drain_results pool 4 in
+  Pool.shutdown pool;
+  let dropped =
+    List.filter_map
+      (function
+        | Stdlib.Error (req, Fault.Injected_drop) -> Some req | _ -> None)
+      results
+  in
+  (* the dropped message is reported, not silently lost *)
+  Alcotest.(check (list int)) "drop reported with its request" [ 2 ] dropped
 
 (* --- worker-pool determinism: pooled = sequential --------------------------------- *)
 
@@ -181,19 +268,420 @@ let test_pool_matches_sequential () =
   let misses s = (Server.stats s).Server.cache_misses in
   Alcotest.(check int) "same decode count" (misses seq) (misses pooled)
 
+(* --- fault schedules --------------------------------------------------------------- *)
+
+let test_fault_spec_roundtrip () =
+  let spec_str = "seed=7,crash=0.25,crash_attempts=2,latency=0.5,latency_ms=2,drop=0.1" in
+  (match Fault.of_string spec_str with
+  | Error e -> Alcotest.failf "spec rejected: %s" e
+  | Ok f ->
+      let s = Fault.spec f in
+      Alcotest.(check int) "seed" 7 s.Fault.seed;
+      Alcotest.(check (float 0.0)) "crash" 0.25 s.Fault.crash_rate;
+      Alcotest.(check int) "crash_attempts" 2 s.Fault.crash_attempts;
+      Alcotest.(check (float 0.0)) "latency_ns" 2e6 s.Fault.latency_ns;
+      Alcotest.(check (float 0.0)) "drop" 0.1 s.Fault.drop_rate;
+      (* to_string round-trips *)
+      (match Fault.of_string (Fault.to_string f) with
+      | Ok f' -> Alcotest.(check bool) "round trip" true (Fault.spec f' = s)
+      | Error e -> Alcotest.failf "round trip rejected: %s" e));
+  (match Fault.of_string "bogus=1" with
+  | Ok _ -> Alcotest.fail "unknown key accepted"
+  | Error _ -> ());
+  (match Fault.of_string "crash=2.0" with
+  | Ok _ -> Alcotest.fail "out-of-range rate accepted"
+  | Error _ -> ());
+  Alcotest.(check bool) "none inactive" false (Fault.active Fault.none)
+
+let test_fault_decisions_deterministic () =
+  let f =
+    Fault.create
+      { Fault.default with Fault.seed = 13; crash_rate = 0.3; drop_rate = 0.2 }
+  in
+  (* pure in (id, attempt): repeated queries agree *)
+  for id = 0 to 199 do
+    Alcotest.(check bool) "crash stable"
+      (Fault.crashes f ~id ~attempt:0)
+      (Fault.crashes f ~id ~attempt:0);
+    Alcotest.(check bool) "drop stable" (Fault.drops f ~id ~attempt:0)
+      (Fault.drops f ~id ~attempt:0)
+  done;
+  (* the hit fraction is in the right ballpark for the rate *)
+  let hits =
+    List.length
+      (List.filter
+         (fun id -> Fault.crashes f ~id ~attempt:0)
+         (List.init 1000 Fun.id))
+  in
+  Alcotest.(check bool) "crash rate ~0.3" true (hits > 200 && hits < 400);
+  (* a different seed selects a different subset *)
+  let g = Fault.create { (Fault.spec f) with Fault.seed = 14 } in
+  let differs =
+    List.exists
+      (fun id -> Fault.crashes f ~id ~attempt:0 <> Fault.crashes g ~id ~attempt:0)
+      (List.init 200 Fun.id)
+  in
+  Alcotest.(check bool) "seed matters" true differs
+
+let test_backoff_deterministic_and_bounded () =
+  let f = Fault.none in
+  let base = 1e6 in
+  for attempt = 0 to 4 do
+    let b = Fault.backoff_ns f ~base_ns:base ~id:5 ~attempt in
+    Alcotest.(check (float 0.0)) "deterministic" b
+      (Fault.backoff_ns f ~base_ns:base ~id:5 ~attempt);
+    let scale = base *. Float.pow 2.0 (float_of_int attempt) in
+    Alcotest.(check bool) "within [0.5, 1.0) of the exponential envelope" true
+      (b >= 0.5 *. scale && b < scale)
+  done
+
+(* --- crash injection + retry --------------------------------------------------------- *)
+
+let crash_all ~attempts =
+  Fault.create
+    { Fault.default with
+      Fault.seed = 5;
+      crash_rate = 1.0;
+      crash_attempts = attempts }
+
+let test_crash_retried_and_answered () =
+  let model = Lazy.force model in
+  (* every first decode attempt crashes; one retry answers *)
+  let server =
+    Server.create ~lib ~model ~fault:(crash_all ~attempts:1) ~max_retries:2
+      ~retry_backoff_ms:0.01 ()
+  in
+  let clean = Server.create ~lib ~model () in
+  let reqs = List.mapi (fun i u -> Request.make ~id:i u) utterances in
+  let rs = Server.run_batch server reqs in
+  let clean_rs = Server.run_batch clean reqs in
+  Alcotest.(check int) "all answered" (List.length reqs) (List.length rs);
+  List.iter2
+    (fun (r : Response.t) (c : Response.t) ->
+      Alcotest.(check string) "status ok" "ok"
+        (Response.status_to_string r.Response.status);
+      Alcotest.(check int) "one retry" 2 r.Response.attempts;
+      (* the retried answer is the same parse the clean server produces *)
+      Alcotest.(check (option string)) "same program as clean"
+        c.Response.program_text r.Response.program_text)
+    rs clean_rs;
+  let s = Server.stats server in
+  Alcotest.(check int) "retry per request" (List.length reqs) s.Server.retries;
+  Alcotest.(check int) "all ok" (List.length reqs) s.Server.ok;
+  Alcotest.(check int) "no errors" 0 s.Server.errors;
+  check_invariant server;
+  (* crashes are scheduled before the cache lookup, so even a repeat of an
+     answered utterance crashes once; its retry answers from the cache *)
+  let repeat = Server.handle server (Request.make ~id:100 "tweet alice") in
+  Alcotest.(check bool) "retry answers from cache" true repeat.Response.from_cache;
+  Alcotest.(check int) "one crash, one retry" 2 repeat.Response.attempts
+
+let test_crash_exhausts_retries () =
+  let model = Lazy.force model in
+  let server =
+    Server.create ~lib ~model ~fault:(crash_all ~attempts:10) ~max_retries:1
+      ~retry_backoff_ms:0.01 ()
+  in
+  let reqs = List.mapi (fun i u -> Request.make ~id:i u) utterances in
+  let rs = Server.run_batch server reqs in
+  List.iter
+    (fun (r : Response.t) ->
+      Alcotest.(check string) "status error" "error"
+        (Response.status_to_string r.Response.status);
+      Alcotest.(check int) "gave up after max_retries + 1" 2 r.Response.attempts;
+      Alcotest.(check bool) "error detail present" true
+        (Option.is_some r.Response.error))
+    rs;
+  let s = Server.stats server in
+  Alcotest.(check int) "all errors" (List.length reqs) s.Server.errors;
+  Alcotest.(check int) "ok none" 0 s.Server.ok;
+  check_invariant server
+
+(* --- dropped messages ------------------------------------------------------------------ *)
+
+let test_drop_retried_and_answered () =
+  let model = Lazy.force model in
+  let fault =
+    Fault.create
+      { Fault.default with Fault.seed = 9; drop_rate = 1.0; drop_attempts = 1 }
+  in
+  let check server =
+    let reqs = List.mapi (fun i u -> Request.make ~id:i u) utterances in
+    let rs = Server.run_batch server reqs in
+    Alcotest.(check int) "all answered" (List.length reqs) (List.length rs);
+    List.iter
+      (fun (r : Response.t) ->
+        Alcotest.(check string) "status ok" "ok"
+          (Response.status_to_string r.Response.status);
+        Alcotest.(check int) "answered on the retry" 2 r.Response.attempts)
+      rs;
+    check_invariant server;
+    Server.stats server
+  in
+  let seq =
+    Server.create ~lib ~model ~fault ~max_retries:2 ~retry_backoff_ms:0.01 ()
+  in
+  let s_seq = check seq in
+  (* same schedule through real domain workers: the pool reports each
+     dropped message and the coordinator recovers it *)
+  let pooled =
+    Server.create ~lib ~model ~workers:2 ~queue_capacity:8 ~fault ~max_retries:2
+      ~retry_backoff_ms:0.01 ()
+  in
+  let s_pooled = check pooled in
+  Server.shutdown pooled;
+  Alcotest.(check int) "same retry count" s_seq.Server.retries
+    s_pooled.Server.retries
+
+let test_drop_exhausts_retries () =
+  let model = Lazy.force model in
+  let fault =
+    Fault.create
+      { Fault.default with Fault.seed = 9; drop_rate = 1.0; drop_attempts = 10 }
+  in
+  let server =
+    Server.create ~lib ~model ~fault ~max_retries:1 ~retry_backoff_ms:0.01 ()
+  in
+  let rs = Server.run_batch server [ Request.make ~id:0 "tweet alice" ] in
+  (match rs with
+  | [ r ] ->
+      Alcotest.(check string) "status error" "error"
+        (Response.status_to_string r.Response.status);
+      Alcotest.(check bool) "drop named in the error" true
+        (Option.is_some r.Response.error)
+  | _ -> Alcotest.fail "expected exactly one response");
+  check_invariant server
+
+(* --- deadlines -------------------------------------------------------------------------- *)
+
+let test_deadline_timeout_with_timings () =
+  let model = Lazy.force model in
+  (* every decode gets 50 virtual ms injected; deadlines are 5 ms, so every
+     uncached request times out regardless of machine speed *)
+  let fault =
+    Fault.create
+      { Fault.default with
+        Fault.seed = 3;
+        latency_rate = 1.0;
+        latency_ns = 50e6 }
+  in
+  let server = Server.create ~lib ~model ~fault () in
+  let reqs =
+    List.mapi (fun i u -> Request.make ~deadline_ms:5.0 ~id:i u) utterances
+  in
+  let rs = Server.run_batch server reqs in
+  List.iter
+    (fun (r : Response.t) ->
+      Alcotest.(check string) "status timeout" "timeout"
+        (Response.status_to_string r.Response.status);
+      Alcotest.(check (option string)) "no program delivered" None
+        r.Response.program_text;
+      (* stage timings are still populated: the injected decode latency is
+         visible in the parse stage and the total exceeds the deadline *)
+      Alcotest.(check bool) "parse stage includes injected latency" true
+        (r.Response.timing.Response.parse_ns >= 50e6);
+      Alcotest.(check bool) "total exceeds deadline" true
+        (r.Response.timing.Response.total_ns > 5e6);
+      Alcotest.(check bool) "tokenize stage measured" true
+        (r.Response.timing.Response.tokenize_ns >= 0.0))
+    rs;
+  let s = Server.stats server in
+  Alcotest.(check int) "all timed out" (List.length reqs) s.Server.timeouts;
+  check_invariant server;
+  (* the timed-out decode still warmed the cache, and cache hits always
+     answer: the same utterance under the same deadline now succeeds *)
+  let again =
+    Server.handle server (Request.make ~deadline_ms:5.0 ~id:100 "tweet alice")
+  in
+  Alcotest.(check string) "cache hit beats deadline" "ok"
+    (Response.status_to_string again.Response.status);
+  Alcotest.(check bool) "served from cache" true again.Response.from_cache;
+  check_invariant server
+
+(* --- admission control / shedding -------------------------------------------------------- *)
+
+let test_queue_full_sheds () =
+  let model = Lazy.force model in
+  let server =
+    Server.create ~lib ~model ~admission_capacity:2 ~degrade:false ()
+  in
+  let reqs = List.mapi (fun i u -> Request.make ~id:i u) (List.filteri (fun i _ -> i < 5) utterances) in
+  let rs = Server.run_batch server reqs in
+  let statuses =
+    List.map (fun (r : Response.t) -> Response.status_to_string r.Response.status) rs
+  in
+  (* the batch "arrives at once": the first two requests fit the queue, the
+     rest are shed explicitly rather than blocking *)
+  Alcotest.(check (list string)) "first fit, rest shed"
+    [ "ok"; "ok"; "overloaded"; "overloaded"; "overloaded" ] statuses;
+  List.iter
+    (fun (r : Response.t) ->
+      if r.Response.status = Response.Overloaded then begin
+        Alcotest.(check (option string)) "no program" None r.Response.program_text;
+        Alcotest.(check int) "never attempted" 0 r.Response.attempts
+      end)
+    rs;
+  let s = Server.stats server in
+  Alcotest.(check int) "shed counter" 3 s.Server.shed;
+  Alcotest.(check int) "requests include shed" 5 s.Server.requests;
+  check_invariant server
+
+(* --- graceful degradation ------------------------------------------------------------------ *)
+
+let test_saturated_pool_degrades_to_cache () =
+  let model = Lazy.force model in
+  let server = Server.create ~lib ~model ~admission_capacity:1 () in
+  let cold_server = Server.create ~lib ~model () in
+  (* warm: one clean parse of "tweet alice" *)
+  (match Server.run_batch server [ Request.make ~id:0 "tweet alice" ] with
+  | [ r ] ->
+      Alcotest.(check string) "warmup ok" "ok"
+        (Response.status_to_string r.Response.status)
+  | _ -> Alcotest.fail "expected one warmup response");
+  (* saturate: capacity 1, four requests. The first is served; repeats of
+     the known utterance are answered from the degraded cache; the unknown
+     utterance is shed. *)
+  let rs =
+    Server.run_batch server
+      [ Request.make ~id:1 "tweet alice";
+        Request.make ~id:2 "tweet alice";
+        Request.make ~id:3 "tweet alice";
+        Request.make ~id:4 "tweet bob" ]
+  in
+  let cold = Server.handle cold_server (Request.make ~id:0 "tweet alice") in
+  (match rs with
+  | [ r1; r2; r3; r4 ] ->
+      Alcotest.(check string) "in-budget request served" "ok"
+        (Response.status_to_string r1.Response.status);
+      Alcotest.(check bool) "not degraded" false r1.Response.degraded;
+      List.iter
+        (fun (r : Response.t) ->
+          Alcotest.(check string) "degraded answer is ok" "ok"
+            (Response.status_to_string r.Response.status);
+          Alcotest.(check bool) "marked degraded" true r.Response.degraded;
+          Alcotest.(check bool) "from cache" true r.Response.from_cache;
+          (* byte-identical to an independent cold parse *)
+          Alcotest.(check (option string)) "degraded = cold parse"
+            cold.Response.program_text r.Response.program_text;
+          Alcotest.(check (list string)) "degraded = cold nn tokens"
+            cold.Response.nn_tokens r.Response.nn_tokens)
+        [ r2; r3 ];
+      Alcotest.(check string) "unknown utterance shed" "overloaded"
+        (Response.status_to_string r4.Response.status)
+  | _ -> Alcotest.fail "expected four responses");
+  let s = Server.stats server in
+  Alcotest.(check int) "degraded counter" 2 s.Server.degraded;
+  Alcotest.(check int) "shed counter" 1 s.Server.shed;
+  check_invariant server
+
+(* --- determinism across paths and runs ------------------------------------------------------- *)
+
+let mixed_fault =
+  lazy
+    (Fault.create
+       { Fault.default with
+         Fault.seed = 21;
+         crash_rate = 0.5;
+         crash_attempts = 1;
+         drop_rate = 0.3;
+         drop_attempts = 1 })
+
+let test_fault_schedule_repeatable () =
+  let model = Lazy.force model in
+  let requests =
+    Traffic.generate ~rng:(Genie_util.Rng.create 11) ~utterances:utterances 40
+  in
+  let run ~workers () =
+    let server =
+      Server.create ~lib ~model ~workers ~queue_capacity:8
+        ~fault:(Lazy.force mixed_fault) ~max_retries:3 ~retry_backoff_ms:0.01 ()
+    in
+    let rs = Server.run_batch server requests in
+    Server.shutdown server;
+    rs
+  in
+  (* same configuration, fresh server: byte-identical outcomes *)
+  Alcotest.(check (list string)) "sequential runs identical"
+    (List.map digest (run ~workers:0 ()))
+    (List.map digest (run ~workers:0 ()));
+  Alcotest.(check (list string)) "pooled runs identical"
+    (List.map digest (run ~workers:3 ()))
+    (List.map digest (run ~workers:3 ()));
+  (* and the schedule's outcomes do not depend on the worker count *)
+  Alcotest.(check (list string)) "pooled = sequential under faults"
+    (List.map cross_path_digest (run ~workers:0 ()))
+    (List.map cross_path_digest (run ~workers:3 ()))
+
+let test_pooled_faults_account_for_every_request () =
+  let model = Lazy.force model in
+  let n = 60 in
+  let requests =
+    Traffic.generate ~rng:(Genie_util.Rng.create 17) ~utterances:utterances n
+  in
+  let server =
+    Server.create ~lib ~model ~workers:3 ~queue_capacity:8
+      ~fault:(Lazy.force mixed_fault) ~max_retries:3 ~retry_backoff_ms:0.01 ()
+  in
+  let rs = Server.run_batch server requests in
+  Server.shutdown server;
+  (* exactly one response per submitted id: nothing dropped, nothing
+     duplicated, no deadlock *)
+  Alcotest.(check (list int)) "every id answered exactly once"
+    (List.init n Fun.id)
+    (List.map (fun (r : Response.t) -> r.Response.id) rs);
+  (* crash and drop schedules overlap at attempt 0 at most once per request,
+     so with retries available every request resolves cleanly *)
+  List.iter
+    (fun (r : Response.t) ->
+      Alcotest.(check bool) "resolved ok" true (r.Response.status = Response.Ok);
+      Alcotest.(check bool) "at most one retry" true (r.Response.attempts <= 2))
+    rs;
+  let m = Server.metrics_snapshot server in
+  Alcotest.(check int) "requests" n m.Metrics.requests;
+  Alcotest.(check int) "no silent drops: errors" 0 m.Metrics.errors;
+  Alcotest.(check int) "no silent drops: timeouts" 0 m.Metrics.timeouts;
+  Alcotest.(check int) "no silent drops: shed" 0 m.Metrics.shed;
+  check_invariant server
+
+let test_pooled_admission_deterministic () =
+  let model = Lazy.force model in
+  (* one hot key: every request shards to the same worker, so exactly
+     [admission_capacity] fit and the overflow is shed, deterministically *)
+  let run () =
+    let server =
+      Server.create ~lib ~model ~workers:2 ~queue_capacity:8
+        ~admission_capacity:5 ~degrade:false ()
+    in
+    let rs =
+      Server.run_batch server
+        (List.init 12 (fun i -> Request.make ~id:i "tweet alice"))
+    in
+    let stats = Server.stats server in
+    check_invariant server;
+    Server.shutdown server;
+    (List.map digest rs, stats)
+  in
+  let d1, s1 = run () in
+  let d2, s2 = run () in
+  Alcotest.(check (list string)) "repeatable" d1 d2;
+  Alcotest.(check int) "five served" 5 s1.Server.ok;
+  Alcotest.(check int) "seven shed" 7 s1.Server.shed;
+  Alcotest.(check int) "same shed count across runs" s1.Server.shed s2.Server.shed
+
 (* --- metrics ----------------------------------------------------------------------- *)
 
 let test_metrics_percentiles () =
   let m = Metrics.create () in
   (* 90 requests at ~1ms, 10 at ~100ms *)
   for _ = 1 to 90 do
-    Metrics.record m ~latency_ns:1e6
+    Metrics.record m ~latency_ns:1e6 ()
   done;
   for _ = 1 to 10 do
-    Metrics.record m ~latency_ns:1e8
+    Metrics.record m ~latency_ns:1e8 ()
   done;
   let s = Metrics.snapshot m in
   Alcotest.(check int) "requests" 100 s.Metrics.requests;
+  Alcotest.(check int) "all ok" 100 s.Metrics.ok;
   (* geometric buckets have <= ~12% relative error *)
   Alcotest.(check bool) "p50 ~ 1ms" true (s.Metrics.p50_ms > 0.8 && s.Metrics.p50_ms < 1.3);
   Alcotest.(check bool) "p95 ~ 100ms" true (s.Metrics.p95_ms > 80.0 && s.Metrics.p95_ms < 130.0);
@@ -204,7 +692,7 @@ let test_metrics_percentiles () =
 
 let test_metrics_concurrent_records () =
   let m = Metrics.create () in
-  let bump () = for _ = 1 to 500 do Metrics.record m ~latency_ns:2e6 done in
+  let bump () = for _ = 1 to 500 do Metrics.record m ~latency_ns:2e6 () done in
   let d = Domain.spawn bump in
   bump ();
   Domain.join d;
@@ -230,7 +718,18 @@ let test_traffic_deterministic_and_zipfian () =
     drawn;
   let top = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
   let uniform_share = 400 / List.length utterances in
-  Alcotest.(check bool) "zipfian head" true (top > 2 * uniform_share)
+  Alcotest.(check bool) "zipfian head" true (top > 2 * uniform_share);
+  (* deadlines ride along *)
+  let with_deadline =
+    Traffic.generate ~deadline_ms:7.5
+      ~rng:(Genie_util.Rng.create 5)
+      ~utterances:utterances 3
+  in
+  List.iter
+    (fun (r : Request.t) ->
+      Alcotest.(check (option (float 0.0))) "deadline attached" (Some 7.5e6)
+        r.Request.deadline_ns)
+    with_deadline
 
 (* --- server end to end ---------------------------------------------------------------- *)
 
@@ -247,6 +746,8 @@ let test_server_execute_and_stats () =
   List.iter
     (fun (r : Response.t) ->
       Alcotest.(check bool) "parsed" true (Option.is_some r.Response.program);
+      Alcotest.(check string) "status ok" "ok"
+        (Response.status_to_string r.Response.status);
       Alcotest.(check (option string)) "no error" None r.Response.error;
       Alcotest.(check bool) "timing positive" true (r.Response.timing.Response.total_ns > 0.0))
     rs;
@@ -259,7 +760,8 @@ let test_server_execute_and_stats () =
   Alcotest.(check int) "one hit" 1 s.Server.cache_hits;
   Alcotest.(check int) "two misses" 2 s.Server.cache_misses;
   Alcotest.(check bool) "throughput measured" true (s.Server.throughput_rps > 0.0);
-  Alcotest.(check bool) "p50 measured" true (s.Server.p50_ms > 0.0)
+  Alcotest.(check bool) "p50 measured" true (s.Server.p50_ms > 0.0);
+  check_invariant server
 
 let suite =
   [ Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
@@ -267,9 +769,35 @@ let suite =
     Alcotest.test_case "lru capacity 0" `Quick test_lru_capacity_zero;
     Alcotest.test_case "cached = cold parse" `Quick test_cached_response_identical;
     Alcotest.test_case "chan fifo and close" `Quick test_chan_fifo_and_close;
+    Alcotest.test_case "chan try_push" `Quick test_chan_try_push;
     Alcotest.test_case "pool roundtrip" `Quick test_pool_roundtrip;
     Alcotest.test_case "pool exception surfaces" `Quick test_pool_handler_exception_surfaces;
+    Alcotest.test_case "pool drain_results pairs failures" `Quick
+      test_pool_drain_results_pairs_failures;
+    Alcotest.test_case "pool fault hook drops" `Quick test_pool_fault_hook_drops;
     Alcotest.test_case "pooled = sequential" `Quick test_pool_matches_sequential;
+    Alcotest.test_case "fault spec roundtrip" `Quick test_fault_spec_roundtrip;
+    Alcotest.test_case "fault decisions deterministic" `Quick
+      test_fault_decisions_deterministic;
+    Alcotest.test_case "backoff deterministic + bounded" `Quick
+      test_backoff_deterministic_and_bounded;
+    Alcotest.test_case "crash retried and answered" `Quick
+      test_crash_retried_and_answered;
+    Alcotest.test_case "crash exhausts retries" `Quick test_crash_exhausts_retries;
+    Alcotest.test_case "drop retried and answered" `Quick
+      test_drop_retried_and_answered;
+    Alcotest.test_case "drop exhausts retries" `Quick test_drop_exhausts_retries;
+    Alcotest.test_case "deadline timeout keeps timings" `Quick
+      test_deadline_timeout_with_timings;
+    Alcotest.test_case "queue full sheds" `Quick test_queue_full_sheds;
+    Alcotest.test_case "saturated pool degrades to cache" `Quick
+      test_saturated_pool_degrades_to_cache;
+    Alcotest.test_case "fault schedule repeatable" `Quick
+      test_fault_schedule_repeatable;
+    Alcotest.test_case "pooled faults account for all" `Quick
+      test_pooled_faults_account_for_every_request;
+    Alcotest.test_case "pooled admission deterministic" `Quick
+      test_pooled_admission_deterministic;
     Alcotest.test_case "metrics percentiles" `Quick test_metrics_percentiles;
     Alcotest.test_case "metrics concurrent" `Quick test_metrics_concurrent_records;
     Alcotest.test_case "traffic zipfian" `Quick test_traffic_deterministic_and_zipfian;

@@ -172,6 +172,55 @@ let test_json_lite () =
   Alcotest.(check bool) "empty list" true
     (Genie_util.Tok.contains_substring ~sub:"\"empty\": []" s)
 
+let test_json_float_roundtrip () =
+  (* float_repr must be lossless: a fixed %.6g corrupts anything with more
+     than six significant digits, like nanosecond-scale latency sums *)
+  let cases =
+    [ 0.0; -0.0; 1.0; 0.5; 0.1; 1.0 /. 3.0; Float.pi; 1e-7; -2.5e-9;
+      123456789012345.67; 86_399_123_456_789.25; 6.02214076e23;
+      Float.min_float; Float.max_float; Float.epsilon ]
+  in
+  List.iter
+    (fun f ->
+      let s = Json_lite.float_repr f in
+      Alcotest.(check bool)
+        (Printf.sprintf "%h round-trips via %S" f s)
+        true
+        (float_of_string s = f))
+    cases;
+  (* the representation is also the shortest: the common cases stay short *)
+  Alcotest.(check string) "0.5 stays short" "0.5" (Json_lite.float_repr 0.5);
+  Alcotest.(check string) "1 stays short" "1" (Json_lite.float_repr 1.0);
+  Alcotest.(check string) "nan is null" "null" (Json_lite.float_repr Float.nan);
+  Alcotest.(check string) "inf is null" "null" (Json_lite.float_repr Float.infinity);
+  Alcotest.(check string) "-inf is null" "null"
+    (Json_lite.float_repr Float.neg_infinity)
+
+let test_json_escape_table () =
+  (* parse-free: every expected escape is a literal, compared byte for byte *)
+  let cases =
+    [ ("plain", "plain");
+      ("", "");
+      ("q\"q", "q\\\"q");
+      ("b\\b", "b\\\\b");
+      ("n\nn", "n\\nn");
+      ("r\rr", "r\\rr");
+      ("t\tt", "t\\tt");
+      ("\x00", "\\u0000");
+      ("\x01\x02", "\\u0001\\u0002");
+      ("\x1f", "\\u001f");
+      ("bell\x07", "bell\\u0007");
+      ("\x7f", "\x7f");  (* DEL is not a JSON control escape *)
+      ("caf\xc3\xa9", "caf\xc3\xa9");  (* UTF-8 passes through *)
+      ("mix\"\\\n\x01end", "mix\\\"\\\\\\n\\u0001end") ]
+  in
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string)
+        (Printf.sprintf "escape %S" input)
+        expected (Json_lite.escape input))
+    cases
+
 let qcheck_shuffle_preserves =
   QCheck.Test.make ~name:"shuffle preserves multiset" ~count:50
     QCheck.(pair small_int (small_list small_int))
@@ -199,4 +248,6 @@ let suite =
     Alcotest.test_case "atomic counter" `Quick test_atomic_counter;
     Alcotest.test_case "atomic counter parallel" `Quick test_atomic_counter_parallel;
     Alcotest.test_case "json lite" `Quick test_json_lite;
+    Alcotest.test_case "json float round-trip" `Quick test_json_float_roundtrip;
+    Alcotest.test_case "json escape table" `Quick test_json_escape_table;
     QCheck_alcotest.to_alcotest qcheck_shuffle_preserves ]

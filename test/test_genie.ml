@@ -20,4 +20,5 @@ let () =
       ("dsl", Suite_dsl.suite);
       ("variants", Suite_variants.suite);
       ("core", Suite_core.suite);
-      ("serve", Suite_serve.suite) ]
+      ("serve", Suite_serve.suite);
+      ("metrics-edge", Suite_metrics_edge.suite) ]
