@@ -464,6 +464,110 @@ let faults_bench () =
          ("configs", List (List.map row rows)) ]);
   Printf.printf "\nwrote BENCH_faults.json\n%!"
 
+(* --- observability: tracing overhead and trace determinism ----------------------------------- *)
+
+(* Two claims to defend with numbers: attaching a tracer costs < 5% of
+   serving throughput, and the structural trace digest is identical across
+   worker counts. The off/on arms alternate within each repetition so CPU
+   frequency drift hits both equally; each arm keeps its best of [reps]. *)
+let observe_bench () =
+  header "bench_observe"
+    "Observability: tracing overhead (on vs off) and cross-worker trace determinism";
+  let a = shared_artifacts () in
+  let corpus =
+    List.map
+      (fun (toks, _) -> String.concat " " toks)
+      (a.Pipeline.synthesized @ a.Pipeline.paraphrases)
+  in
+  let n_requests = if !quick then 300 else 1000 in
+  let requests =
+    Genie_serve.Traffic.generate
+      ~rng:(Genie_util.Rng.create 23)
+      ~utterances:corpus n_requests
+  in
+  let open Genie_serve.Server in
+  let run_once ~workers ~traced =
+    let tracer =
+      if traced then
+        Genie_observe.Tracer.create ~seed:7 ~capacity:(n_requests * 10)
+          ~slots:(max 1 workers + 1) ()
+      else Genie_observe.Tracer.disabled
+    in
+    let server = of_artifacts ~workers ~cache_capacity:4096 ~tracer a in
+    ignore (run_batch server requests);
+    let s = stats server in
+    shutdown server;
+    (s.throughput_rps, if traced then Genie_observe.Tracer.spans tracer else [])
+  in
+  let reps = 3 in
+  let per_config workers =
+    let best_off = ref 0.0 and best_on = ref 0.0 and spans = ref [] in
+    for _ = 1 to reps do
+      let off, _ = run_once ~workers ~traced:false in
+      if off > !best_off then best_off := off;
+      let on, sp = run_once ~workers ~traced:true in
+      if on > !best_on then best_on := on;
+      spans := sp
+    done;
+    let overhead_pct =
+      if !best_off > 0.0 then
+        Float.max 0.0 (100.0 *. (!best_off -. !best_on) /. !best_off)
+      else 0.0
+    in
+    let digest = Genie_observe.Export.digest ~strict:true !spans in
+    (workers, !best_off, !best_on, overhead_pct, List.length !spans, digest)
+  in
+  Printf.printf "%d requests, best of %d runs per arm\n\n" n_requests reps;
+  Printf.printf "%-10s %12s %12s %10s %8s  %s\n" "workers" "off req/s"
+    "on req/s" "overhead" "spans" "digest";
+  let rows = List.map per_config [ 0; 2; 4 ] in
+  List.iter
+    (fun (w, off, on, ov, n, d) ->
+      Printf.printf "%-10s %12.0f %12.0f %9.1f%% %8d  %s\n%!"
+        (if w <= 1 then "seq" else string_of_int w)
+        off on ov n d)
+    rows;
+  let digests = List.map (fun (_, _, _, _, _, d) -> d) rows in
+  let deterministic =
+    match digests with
+    | [] -> true
+    | d0 :: rest -> List.for_all (String.equal d0) rest
+  in
+  let target_pct = 5.0 in
+  let worst =
+    List.fold_left (fun acc (_, _, _, ov, _, _) -> Float.max acc ov) 0.0 rows
+  in
+  let within_target = worst <= target_pct in
+  Printf.printf "\nworst-case tracing overhead: %.1f%% (target < %.0f%%) -> %s\n"
+    worst target_pct
+    (if within_target then "within target" else "EXCEEDS TARGET");
+  Printf.printf "trace digest identical across worker counts: %b\n%!"
+    deterministic;
+  let open Genie_util.Json_lite in
+  let row (w, off, on, ov, n, d) =
+    Obj
+      [ ("workers", Int w);
+        ("throughput_rps_off", Float off);
+        ("throughput_rps_on", Float on);
+        ("overhead_pct", Float ov);
+        ("spans", Int n);
+        ("digest", String d) ]
+  in
+  write_file "BENCH_observe.json"
+    (Obj
+       [ ("experiment", String "bench_observe");
+         ("requests", Int n_requests);
+         ("reps", Int reps);
+         ("traffic_seed", Int 23);
+         ("tracer_seed", Int 7);
+         ("cores", Int (Domain.recommended_domain_count ()));
+         ("overhead_target_pct", Float target_pct);
+         ("worst_overhead_pct", Float worst);
+         ("within_target", Bool within_target);
+         ("digest_deterministic", Bool deterministic);
+         ("configs", List (List.map row rows)) ]);
+  Printf.printf "wrote BENCH_observe.json\n%!"
+
 (* --- Bechamel timing micro-benchmarks -------------------------------------------------------- *)
 
 let timing () =
@@ -565,7 +669,8 @@ let () =
       ("fig9_aggregation", fig9_aggregation);
       ("bench_mqan_small", mqan_small);
       ("bench_serve", serve_bench);
-      ("bench_faults", faults_bench) ]
+      ("bench_faults", faults_bench);
+      ("bench_observe", observe_bench) ]
   in
   List.iter (fun (id, run) -> if enabled id then run ()) experiments;
   if enabled "timing" && not !skip_timing then timing ();

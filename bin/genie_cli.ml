@@ -264,8 +264,16 @@ let serve_bench_cmd =
   let retries =
     Arg.(value & opt int 2 & info [ "retries" ] ~doc:"Max retries per request")
   in
+  let trace =
+    Arg.(value & opt string ""
+         & info [ "trace" ]
+             ~doc:"Write the first configuration's span stream to this JSONL \
+                   file, plus per-configuration structural trace digests to \
+                   FILE.digest. Without faults, digests must agree across \
+                   worker counts (exit 3 otherwise).")
+  in
   let run scale requests workers_csv cache zipf execute seed show faults deadline
-      admission retries =
+      admission retries trace =
     let lib, prims, rules = setup () in
     Printf.printf "training the semantic parser (scale %.2f)...\n%!" scale;
     let cfg = Genie_core.Config.(scaled scale default) in
@@ -310,11 +318,19 @@ let serve_bench_cmd =
     let worker_counts =
       List.filter_map int_of_string_opt (Genie_util.Tok.split_on_string ~sep:"," workers_csv)
     in
+    let traced = ref [] in
     List.iter
       (fun w ->
+        let tracer =
+          if trace = "" then Genie_observe.Tracer.disabled
+          else
+            Genie_observe.Tracer.create ~seed
+              ~capacity:(max 4096 (requests * 10))
+              ~slots:(max 1 w + 1) ()
+        in
         let server =
           of_artifacts ~workers:w ~cache_capacity:cache ~fault
-            ?admission_capacity ~max_retries:retries a
+            ?admission_capacity ~max_retries:retries ~tracer a
         in
         let responses = run_batch server reqs in
         let s = stats server in
@@ -326,8 +342,45 @@ let serve_bench_cmd =
           s.timeouts s.shed s.retries s.degraded;
         List.iteri
           (fun i r -> if i < show then print_endline ("  " ^ Genie_serve.Response.summary r))
-          responses)
-      worker_counts
+          responses;
+        if trace <> "" then
+          traced := (w, Genie_observe.Tracer.spans tracer) :: !traced)
+      worker_counts;
+    if trace <> "" then begin
+      let traced = List.rev !traced in
+      (* Fault-free traces must be structurally identical across worker
+         counts; under faults, retry interleaving may legitimately move
+         cache hits around, so digests are reported but not enforced. *)
+      let strict = not (Genie_serve.Fault.active fault) in
+      let digests =
+        List.map
+          (fun (w, spans) ->
+            (w, List.length spans, Genie_observe.Export.digest ~strict spans))
+          traced
+      in
+      (match traced with
+      | (_, spans) :: _ -> Genie_observe.Export.write_jsonl trace spans
+      | [] -> ());
+      let oc = open_out (trace ^ ".digest") in
+      List.iter
+        (fun (w, n, d) ->
+          Printf.fprintf oc "workers=%s spans=%d strict=%b digest=%s\n"
+            (if w <= 1 then "seq" else string_of_int w)
+            n strict d)
+        digests;
+      close_out oc;
+      Printf.printf "\ntrace: %d spans -> %s (digests in %s.digest)\n"
+        (match traced with (_, spans) :: _ -> List.length spans | [] -> 0)
+        trace trace;
+      if strict then begin
+        match digests with
+        | (_, _, d0) :: rest when List.exists (fun (_, _, d) -> d <> d0) rest ->
+            prerr_endline
+              "trace digests differ across worker counts on a fault-free run";
+            exit 3
+        | _ -> ()
+      end
+    end
   in
   Cmd.v
     (Cmd.info "serve-bench"
@@ -336,7 +389,95 @@ let serve_bench_cmd =
           traffic, optionally under a seeded fault schedule")
     Term.(
       const run $ scale $ requests $ workers $ cache $ zipf $ execute $ seed
-      $ show $ faults $ deadline $ admission $ retries)
+      $ show $ faults $ deadline $ admission $ retries $ trace)
+
+(* --- profile ---------------------------------------------------------------------- *)
+
+(* Where does a Genie run spend its time? Trace a seeded synthesis pass and a
+   seeded serve batch, then print self-time flame summaries per stage. *)
+let profile_cmd =
+  let scale =
+    Arg.(value & opt float 0.3 & info [ "scale" ] ~doc:"Pipeline scale (training size)")
+  in
+  let requests =
+    Arg.(value & opt int 200 & info [ "requests" ] ~doc:"Requests in the serve phase")
+  in
+  let workers =
+    Arg.(value & opt int 0 & info [ "workers" ] ~doc:"Worker count for the serve phase")
+  in
+  let seed = Arg.(value & opt int 23 & info [ "seed" ] ~doc:"Random seed") in
+  let out =
+    Arg.(value & opt string ""
+         & info [ "out" ]
+             ~doc:"Also write span streams to PREFIX.synth.jsonl and \
+                   PREFIX.serve.jsonl")
+  in
+  let run scale requests workers seed out =
+    let lib, prims, rules = setup () in
+    let cfg = Genie_core.Config.(scaled scale default) in
+    (* phase 1: template synthesis under its own tracer *)
+    let g =
+      Genie_templates.Grammar.create lib ~prims ~rules
+        ~rng:(Genie_util.Rng.create seed) ()
+    in
+    let synth_tracer = Genie_observe.Tracer.create ~seed ~capacity:65536 () in
+    let synth_cfg =
+      { Genie_synthesis.Engine.default_config with
+        seed;
+        target_per_rule = cfg.Genie_core.Config.synth_target;
+        max_depth = cfg.Genie_core.Config.synth_depth }
+    in
+    let data = Genie_synthesis.Engine.synthesize ~tracer:synth_tracer g synth_cfg in
+    let synth_spans = Genie_observe.Tracer.spans synth_tracer in
+    Printf.printf "== synthesis: %d pairs, %d spans\n"
+      (List.length data) (List.length synth_spans);
+    Genie_observe.Export.pp_flame Format.std_formatter
+      (Genie_observe.Export.flame synth_spans);
+    (* phase 2: train, then serve seeded traffic under a second tracer *)
+    Printf.printf "\ntraining the semantic parser (scale %.2f)...\n%!" scale;
+    let a = Genie_core.Pipeline.run ~cfg ~lib ~prims ~rules () in
+    let corpus =
+      List.map
+        (fun (toks, _) -> String.concat " " toks)
+        (a.Genie_core.Pipeline.synthesized @ a.Genie_core.Pipeline.paraphrases)
+    in
+    let reqs =
+      Genie_serve.Traffic.generate ~s:1.1
+        ~rng:(Genie_util.Rng.create seed) ~utterances:corpus requests
+    in
+    let serve_tracer =
+      Genie_observe.Tracer.create ~seed
+        ~capacity:(max 4096 (requests * 10))
+        ~slots:(max 1 workers + 1) ()
+    in
+    let server =
+      Genie_serve.Server.of_artifacts ~workers ~tracer:serve_tracer a
+    in
+    let _responses = Genie_serve.Server.run_batch server reqs in
+    let snap = Genie_serve.Server.metrics_snapshot server in
+    Genie_serve.Server.shutdown server;
+    let serve_spans = Genie_observe.Tracer.spans serve_tracer in
+    Printf.printf "\n== serving: %d requests, %d spans\n" requests
+      (List.length serve_spans);
+    Genie_observe.Export.pp_flame Format.std_formatter
+      (Genie_observe.Export.flame serve_spans);
+    Printf.printf "\nstage counters:";
+    List.iter
+      (fun (name, n) -> Printf.printf " %s=%d" name n)
+      snap.Genie_serve.Metrics.stages;
+    print_newline ();
+    if out <> "" then begin
+      Genie_observe.Export.write_jsonl (out ^ ".synth.jsonl") synth_spans;
+      Genie_observe.Export.write_jsonl (out ^ ".serve.jsonl") serve_spans;
+      Printf.printf "wrote %s.synth.jsonl and %s.serve.jsonl\n" out out
+    end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Trace a seeded synthesis pass and serve batch, and print per-stage \
+          self-time flame summaries")
+    Term.(const run $ scale $ requests $ workers $ seed $ out)
 
 let () =
   let doc = "Genie: generate natural language semantic parsers for virtual assistants" in
@@ -344,4 +485,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "genie" ~doc)
           [ stats_cmd; cheatsheet_cmd; synthesize_cmd; paraphrase_cmd; exec_cmd;
-            parse_cmd; eval_cmd; serve_bench_cmd ]))
+            parse_cmd; eval_cmd; serve_bench_cmd; profile_cmd ]))

@@ -1,0 +1,126 @@
+(* Trace consumers: JSONL export, a self-time flame summary, and the
+   structural tree/digest forms the test suite uses as oracles. The
+   structural forms deliberately omit all timestamps — only names, ids,
+   parents and attrs — so they are byte-stable for a seeded run. *)
+
+module J = Genie_util.Json_lite
+module H = Genie_util.Hash64
+
+let span_json (sp : Span.t) =
+  J.Obj
+    ([ ("id", J.String (H.to_hex sp.id)) ]
+    @ (match sp.parent with
+      | None -> []
+      | Some p -> [ ("parent", J.String (H.to_hex p)) ])
+    @ [ ("name", J.String sp.name);
+        ("request", J.Int sp.request);
+        ("attempt", J.Int sp.attempt);
+        ("seq", J.Int sp.seq);
+        ("start_ns", J.Float sp.start_ns);
+        ("dur_ns", J.Float sp.dur_ns) ]
+    @
+    match sp.attrs with
+    | [] -> []
+    | attrs ->
+        [ ("attrs", J.Obj (List.map (fun (k, v) -> (k, J.String v)) attrs)) ])
+
+let to_jsonl spans =
+  String.concat ""
+    (List.map (fun sp -> J.to_string_compact (span_json sp) ^ "\n") spans)
+
+let write_jsonl path spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_jsonl spans))
+
+(* Attributes that legitimately differ between serving paths: under a pooled
+   retry, a request can re-enter its shard behind a same-key neighbour and
+   flip a miss into a hit. Everything else must match exactly. *)
+let volatile_attr k = String.equal k "cache"
+
+let span_label ~strict (sp : Span.t) =
+  let attrs =
+    if strict then sp.attrs
+    else List.filter (fun (k, _) -> not (volatile_attr k)) sp.attrs
+  in
+  Printf.sprintf "%s req=%d att=%d%s" sp.name sp.request sp.attempt
+    (String.concat ""
+       (List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) attrs))
+
+let tree_lines ?(strict = true) spans =
+  let spans = List.sort Span.order spans in
+  let children = Hashtbl.create 64 in
+  List.iter
+    (fun (sp : Span.t) ->
+      match sp.parent with
+      | Some p -> Hashtbl.replace children p (sp :: (Option.value ~default:[] (Hashtbl.find_opt children p)))
+      | None -> ())
+    (List.rev spans);
+  let lines = ref [] in
+  let rec emit depth (sp : Span.t) =
+    lines := (String.make (2 * depth) ' ' ^ span_label ~strict sp) :: !lines;
+    List.iter (emit (depth + 1))
+      (List.sort Span.order
+         (Option.value ~default:[] (Hashtbl.find_opt children sp.id)))
+  in
+  List.iter
+    (fun (sp : Span.t) -> if sp.parent = None then emit 0 sp)
+    spans;
+  List.rev !lines
+
+let digest ?(strict = true) spans =
+  H.to_hex
+    (List.fold_left
+       (fun h line -> H.string h line)
+       (H.mix64 1L)
+       (tree_lines ~strict spans))
+
+type frame = { name : string; count : int; total_ns : float; self_ns : float }
+
+let flame spans =
+  let child_time = Hashtbl.create 64 in
+  List.iter
+    (fun (sp : Span.t) ->
+      match sp.parent with
+      | Some p ->
+          Hashtbl.replace child_time p
+            (sp.dur_ns
+            +. Option.value ~default:0.0 (Hashtbl.find_opt child_time p))
+      | None -> ())
+    spans;
+  let frames = Hashtbl.create 16 in
+  List.iter
+    (fun (sp : Span.t) ->
+      let self =
+        Float.max 0.0
+          (sp.dur_ns
+          -. Option.value ~default:0.0 (Hashtbl.find_opt child_time sp.id))
+      in
+      let f =
+        Option.value
+          ~default:{ name = sp.name; count = 0; total_ns = 0.0; self_ns = 0.0 }
+          (Hashtbl.find_opt frames sp.name)
+      in
+      Hashtbl.replace frames sp.name
+        { f with
+          count = f.count + 1;
+          total_ns = f.total_ns +. sp.dur_ns;
+          self_ns = f.self_ns +. self })
+    spans;
+  List.sort
+    (fun a b ->
+      let c = compare b.self_ns a.self_ns in
+      if c <> 0 then c else compare a.name b.name)
+    (Hashtbl.fold (fun _ f acc -> f :: acc) frames [])
+
+let pp_flame ppf frames =
+  let grand = List.fold_left (fun acc f -> acc +. f.self_ns) 0.0 frames in
+  Format.fprintf ppf "%-18s %8s %12s %12s %6s@." "stage" "count" "total_ms"
+    "self_ms" "self%";
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "%-18s %8d %12.3f %12.3f %5.1f%%@." f.name f.count
+        (f.total_ns /. 1e6) (f.self_ns /. 1e6)
+        (if grand > 0.0 then 100.0 *. f.self_ns /. grand else 0.0))
+    frames

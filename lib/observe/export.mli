@@ -1,0 +1,34 @@
+(** Trace consumers: JSONL files, flame summaries, and the structural
+    tree/digest forms used as test oracles.
+
+    The structural forms ({!tree_lines}, {!digest}) omit all timestamps —
+    only names, parents, request/attempt coordinates and attrs — so they
+    are byte-identical across seeded runs and worker counts. *)
+
+val span_json : Span.t -> Genie_util.Json_lite.t
+(** One span as a JSON object: [id]/[parent] as 16-digit hex, [name],
+    [request], [attempt], [seq], [start_ns], [dur_ns], and [attrs] (an
+    object, present only when non-empty). *)
+
+val to_jsonl : Span.t list -> string
+(** One compact JSON object per line, in the given span order. *)
+
+val write_jsonl : string -> Span.t list -> unit
+
+val tree_lines : ?strict:bool -> Span.t list -> string list
+(** The trace as an indented forest, siblings in {!Span.order}. With
+    [~strict:false], volatile attrs (currently [cache], which a pooled
+    retry may legitimately flip) are omitted so fault-run traces compare
+    across serving paths. Timestamps never appear. *)
+
+val digest : ?strict:bool -> Span.t list -> string
+(** 16-hex-digit hash of {!tree_lines} — the one-line trace fingerprint
+    diffed by the CI trace-golden smoke. *)
+
+type frame = { name : string; count : int; total_ns : float; self_ns : float }
+(** Per-stage aggregate; [self_ns] is duration minus child durations. *)
+
+val flame : Span.t list -> frame list
+(** Self-time summary aggregated by span name, largest self-time first. *)
+
+val pp_flame : Format.formatter -> frame list -> unit

@@ -1,0 +1,64 @@
+(* Always-on stage counters: one atomic int per pipeline stage, bumped
+   unconditionally on the hot path (tracing on or off). Cheap enough to
+   leave enabled in production; folded into Serve.Metrics snapshots. *)
+
+module A = Genie_util.Atomic_counter
+
+type stage =
+  | Tokenize
+  | Cache_hit
+  | Cache_miss
+  | Parse
+  | Exec
+  | Retry
+  | Backoff
+  | Crash
+  | Drop
+  | Degraded
+  | Shed
+
+let all =
+  [ Tokenize; Cache_hit; Cache_miss; Parse; Exec; Retry; Backoff; Crash;
+    Drop; Degraded; Shed ]
+
+let index = function
+  | Tokenize -> 0
+  | Cache_hit -> 1
+  | Cache_miss -> 2
+  | Parse -> 3
+  | Exec -> 4
+  | Retry -> 5
+  | Backoff -> 6
+  | Crash -> 7
+  | Drop -> 8
+  | Degraded -> 9
+  | Shed -> 10
+
+let stage_name = function
+  | Tokenize -> "tokenize"
+  | Cache_hit -> "cache_hit"
+  | Cache_miss -> "cache_miss"
+  | Parse -> "parse"
+  | Exec -> "exec"
+  | Retry -> "retry"
+  | Backoff -> "backoff"
+  | Crash -> "crash"
+  | Drop -> "drop"
+  | Degraded -> "degraded"
+  | Shed -> "shed"
+
+type t = A.t array
+
+let n_stages = List.length all
+let create () = Array.init n_stages (fun _ -> A.create ())
+let incr t s = A.incr t.(index s)
+let get t s = A.get t.(index s)
+
+let counts t =
+  List.filter_map
+    (fun s ->
+      let n = get t s in
+      if n = 0 then None else Some (stage_name s, n))
+    all
+
+let reset t = Array.iter A.reset t

@@ -1,0 +1,32 @@
+(** Cheap always-on stage counters.
+
+    One atomic integer per pipeline stage, bumped unconditionally whether or
+    not a tracer is attached. {!Serve.Metrics} folds {!counts} into its
+    snapshots, so stage totals are visible even with tracing disabled. *)
+
+type stage =
+  | Tokenize
+  | Cache_hit
+  | Cache_miss
+  | Parse
+  | Exec
+  | Retry
+  | Backoff
+  | Crash
+  | Drop
+  | Degraded
+  | Shed
+
+type t
+
+val all : stage list
+val stage_name : stage -> string
+
+val create : unit -> t
+val incr : t -> stage -> unit
+val get : t -> stage -> int
+
+val counts : t -> (string * int) list
+(** Non-zero counters as [(stage_name, count)], in fixed stage order. *)
+
+val reset : t -> unit

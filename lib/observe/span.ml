@@ -1,0 +1,52 @@
+(* A single traced stage. Ids are pure functions of (seed, request, attempt,
+   seq, name) — never of wall-clock time, worker index or allocation order —
+   so a seeded run produces the same span ids no matter how many domains
+   execute it. That determinism is what lets the test suite assert exact
+   span trees and compare pooled against sequential traces. *)
+
+module H = Genie_util.Hash64
+
+type t = {
+  id : int64;
+  parent : int64 option;
+  name : string;
+  request : int;  (* request id for serving spans; depth for synthesis spans *)
+  attempt : int;
+  seq : int;  (* fixed per-stage ordinal; the stable sort key within an attempt *)
+  start_ns : float;
+  dur_ns : float;
+  attrs : (string * string) list;
+}
+
+let id_of ~seed ~request ~attempt ~seq ~name =
+  let h = H.mix64 (Int64.of_int seed) in
+  let h = H.int h request in
+  let h = H.int h attempt in
+  let h = H.int h seq in
+  H.string h name
+
+let v ~seed ~request ?(attempt = 0) ~seq ?parent ?(attrs = []) ~start_ns
+    ~dur_ns name =
+  { id = id_of ~seed ~request ~attempt ~seq ~name;
+    parent;
+    name;
+    request;
+    attempt;
+    seq;
+    start_ns;
+    dur_ns;
+    attrs }
+
+(* Deterministic global order: structural keys only, no timestamps. *)
+let order a b =
+  let c = compare a.request b.request in
+  if c <> 0 then c
+  else
+    let c = compare a.attempt b.attempt in
+    if c <> 0 then c
+    else
+      let c = compare a.seq b.seq in
+      if c <> 0 then c
+      else
+        let c = compare a.name b.name in
+        if c <> 0 then c else compare a.id b.id

@@ -1,0 +1,45 @@
+(** A single traced stage of a request, synthesis depth, or decode step.
+
+    Span ids are deterministic: [id = hash (seed, request, attempt, seq,
+    name)]. Nothing about wall-clock time, worker index, or allocation order
+    leaks into the id or into {!order}, so a seeded run yields byte-stable
+    span trees regardless of pool size — which is what makes traces usable
+    as a test oracle. *)
+
+type t = {
+  id : int64;
+  parent : int64 option;
+  name : string;
+  request : int;
+      (** Request id for serving spans; synthesis depth for corpus spans. *)
+  attempt : int;  (** Retry attempt the span belongs to (0 for the first). *)
+  seq : int;
+      (** Fixed per-stage ordinal (e.g. tokenize=1, cache=2, parse=3); the
+          stable ordering key within one [(request, attempt)] group. *)
+  start_ns : float;
+  dur_ns : float;
+  attrs : (string * string) list;
+}
+
+val id_of :
+  seed:int -> request:int -> attempt:int -> seq:int -> name:string -> int64
+(** The deterministic id for a span with these coordinates. *)
+
+val v :
+  seed:int ->
+  request:int ->
+  ?attempt:int ->
+  seq:int ->
+  ?parent:int64 ->
+  ?attrs:(string * string) list ->
+  start_ns:float ->
+  dur_ns:float ->
+  string ->
+  t
+(** [v ~seed ~request ~seq ~start_ns ~dur_ns name] builds a span whose id is
+    {!id_of} of its coordinates. [attempt] defaults to 0. *)
+
+val order : t -> t -> int
+(** Total order on [(request, attempt, seq, name, id)] — structural keys
+    only, never timestamps — used to merge per-domain buffers into one
+    deterministic stream. *)

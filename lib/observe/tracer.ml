@@ -1,0 +1,84 @@
+(* Per-domain ring buffers behind atomic cursors. Each worker domain (plus
+   the coordinator) owns one slot, so recording a span is a fetch-add on the
+   slot's cursor plus an array store — no locks, no allocation beyond the
+   span itself, and no cross-domain contention. Merging sorts by the spans'
+   structural keys, so the merged stream is independent of which domain
+   recorded what and when. *)
+
+module A = Genie_util.Atomic_counter
+
+type slot = { buf : Span.t option array; cursor : A.t }
+type t = { seed : int; capacity : int; slots : slot array; enabled : bool }
+
+let disabled = { seed = 0; capacity = 0; slots = [||]; enabled = false }
+
+let create ?(seed = 0) ?(capacity = 16384) ?(slots = 1) () =
+  let capacity = max 1 capacity in
+  let slots = max 1 slots in
+  { seed;
+    capacity;
+    enabled = true;
+    slots =
+      Array.init slots (fun _ ->
+          { buf = Array.make capacity None; cursor = A.create () }) }
+
+let enabled t = t.enabled
+let seed t = t.seed
+let capacity t = t.capacity
+let n_slots t = Array.length t.slots
+
+let record t ~slot span =
+  if t.enabled then begin
+    let n = Array.length t.slots in
+    let s = t.slots.(((slot mod n) + n) mod n) in
+    let i = A.fetch_add s.cursor 1 in
+    s.buf.(i mod t.capacity) <- Some span
+  end
+
+let recorded t =
+  Array.fold_left (fun acc s -> acc + A.get s.cursor) 0 t.slots
+
+let dropped t =
+  Array.fold_left
+    (fun acc s -> acc + max 0 (A.get s.cursor - t.capacity))
+    0 t.slots
+
+let spans t =
+  let all = ref [] in
+  Array.iter
+    (fun s ->
+      let n = min (A.get s.cursor) t.capacity in
+      for i = 0 to n - 1 do
+        match s.buf.(i) with Some sp -> all := sp :: !all | None -> ()
+      done)
+    t.slots;
+  List.sort Span.order !all
+
+let reset t =
+  Array.iter
+    (fun s ->
+      Array.fill s.buf 0 (Array.length s.buf) None;
+      A.reset s.cursor)
+    t.slots
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+(* A scope hands a callee (e.g. the parser model's decode loop) everything
+   it needs to attach child spans under its caller's span without depending
+   on the caller's library. *)
+type scope = {
+  tracer : t;
+  slot : int;
+  request : int;
+  attempt : int;
+  parent : int64;
+}
+
+let scope t ~slot ~request ~attempt ~parent =
+  if t.enabled then Some { tracer = t; slot; request; attempt; parent }
+  else None
+
+let sub sc ~seq ?attrs ~start_ns ~dur_ns name =
+  record sc.tracer ~slot:sc.slot
+    (Span.v ~seed:sc.tracer.seed ~request:sc.request ~attempt:sc.attempt ~seq
+       ~parent:sc.parent ?attrs ~start_ns ~dur_ns name)

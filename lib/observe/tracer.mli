@@ -1,0 +1,66 @@
+(** Lock-free span collection over per-domain ring buffers.
+
+    Each worker domain (plus the coordinator) writes to its own slot: a
+    fixed-capacity ring with an atomic write cursor, so recording never
+    blocks and never contends across domains. {!spans} merges all slots
+    and sorts by {!Span.order} — structural keys only — so the merged
+    stream of a seeded run is identical for 1-, 2-, and 4-worker pools. *)
+
+type t
+
+val disabled : t
+(** The no-op tracer: {!record} does nothing, {!enabled} is [false]. Use it
+    as the default so hot paths pay one boolean test when tracing is off. *)
+
+val create : ?seed:int -> ?capacity:int -> ?slots:int -> unit -> t
+(** [create ~seed ~capacity ~slots ()] — [slots] should be the worker count
+    plus one coordinator slot; [capacity] (default 16384) is per slot.
+    Oldest spans are overwritten when a slot overflows (see {!dropped}). *)
+
+val enabled : t -> bool
+val seed : t -> int
+val capacity : t -> int
+val n_slots : t -> int
+
+val record : t -> slot:int -> Span.t -> unit
+(** Appends to [slot]'s ring (index taken mod the slot count). Lock-free:
+    one fetch-add plus one array store. No-op on {!disabled}. *)
+
+val recorded : t -> int
+(** Total spans ever recorded (including any later overwritten). *)
+
+val dropped : t -> int
+(** Spans lost to ring wrap-around. *)
+
+val spans : t -> Span.t list
+(** All retained spans, merged across slots and sorted by {!Span.order}.
+    Call after the traced run quiesces (e.g. once a batch returns). *)
+
+val reset : t -> unit
+
+val now_ns : unit -> float
+(** Wall clock in nanoseconds, for span timestamps. *)
+
+(** {2 Scopes}
+
+    A scope lets a callee library (the parser model's decode loop, say)
+    attach child spans under its caller's span without depending on the
+    caller. *)
+
+type scope
+
+val scope :
+  t -> slot:int -> request:int -> attempt:int -> parent:int64 -> scope option
+(** [None] when the tracer is disabled, so callees skip all trace work with
+    one pattern match. *)
+
+val sub :
+  scope ->
+  seq:int ->
+  ?attrs:(string * string) list ->
+  start_ns:float ->
+  dur_ns:float ->
+  string ->
+  unit
+(** Records a child span under the scope's parent, inheriting its slot,
+    request, attempt, and the tracer's seed. *)

@@ -977,7 +977,13 @@ let compose_candidates t cache grams : skeleton_entry list =
     !out;
   Hashtbl.fold (fun _ e acc -> e :: acc) best []
 
-let predict t (sentence_tokens : string list) : prediction =
+(* The decode loop reports three phases to an optional tracing scope:
+   candidate ranking, beam truncation, and slot filling. With no scope the
+   clock is never read and the only cost is a match on [None]. *)
+let predict ?scope t (sentence_tokens : string list) : prediction =
+  let module Tracer = Genie_observe.Tracer in
+  let now () = match scope with Some _ -> Tracer.now_ns () | None -> 0.0 in
+  let d0 = now () in
   let norm =
     Genie_dataset.Argument_id.normalize
       (List.filter (fun tok -> tok <> "\"") sentence_tokens)
@@ -1012,10 +1018,12 @@ let predict t (sentence_tokens : string list) : prediction =
       (compose_candidates t cache grams)
   in
   let scored = inventory_scored @ composed_scored in
+  let d1 = now () in
   let top =
     List.filteri (fun i _ -> i < t.cfg.beam)
       (List.sort (fun (a, _) (b, _) -> compare b a) scored)
   in
+  let d2 = now () in
   let completed =
     List.filter_map
       (fun (s, entry) ->
@@ -1030,9 +1038,25 @@ let predict t (sentence_tokens : string list) : prediction =
         | None -> None)
       top
   in
-  match List.sort (fun a b -> compare b.score a.score) completed with
-  | best :: _ -> best
-  | [] -> no_prediction
+  let best =
+    match List.sort (fun a b -> compare b.score a.score) completed with
+    | best :: _ -> best
+    | [] -> no_prediction
+  in
+  (match scope with
+  | Some sc ->
+      let d3 = Tracer.now_ns () in
+      Tracer.sub sc ~seq:10
+        ~attrs:[ ("scored", string_of_int (List.length scored)) ]
+        ~start_ns:d0 ~dur_ns:(d1 -. d0) "decode.rank";
+      Tracer.sub sc ~seq:11
+        ~attrs:[ ("kept", string_of_int (List.length top)) ]
+        ~start_ns:d1 ~dur_ns:(d2 -. d1) "decode.beam";
+      Tracer.sub sc ~seq:12
+        ~attrs:[ ("completed", string_of_int (List.length completed)) ]
+        ~start_ns:d2 ~dur_ns:(d3 -. d2) "decode.slots"
+  | None -> ());
+  best
 
 (* accessor used by the beam field *)
 let cfg t = t.cfg

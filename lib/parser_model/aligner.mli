@@ -86,12 +86,15 @@ type prediction = {
 
 val no_prediction : prediction
 
-val predict : t -> string list -> prediction
+val predict :
+  ?scope:Genie_observe.Tracer.scope -> t -> string list -> prediction
 (** Parses a tokenized sentence: candidate skeletons from the inventory (via
     an inverted function index) and from clause composition are scored by
     atom support + coverage + priors + surface cues, the best few are
     slot-filled, and the best completed program wins. The output always
-    type-checks. *)
+    type-checks. With [scope], the decode loop reports its three phases
+    ([decode.rank], [decode.beam], [decode.slots]) as child spans; without
+    it, no clocks are read. *)
 
 (** {2 Exposed internals}
 

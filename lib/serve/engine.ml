@@ -18,6 +18,9 @@
 
 open Genie_thingtalk
 module Aligner = Genie_parser_model.Aligner
+module Tracer = Genie_observe.Tracer
+module Span = Genie_observe.Span
+module Probe = Genie_observe.Probe
 
 type t = {
   lib : Schema.Library.t;
@@ -27,10 +30,11 @@ type t = {
   metrics : Metrics.t;
   fault : Fault.t;
   worker : int;
+  tracer : Tracer.t;  (* records into slot [worker] *)
 }
 
 let create ~lib ~model ~cache_capacity ~metrics ~worker ?seed
-    ?(fault = Fault.none) () =
+    ?(fault = Fault.none) ?(tracer = Tracer.disabled) () =
   let seed = Option.value seed ~default:worker in
   let model =
     { model with
@@ -42,40 +46,97 @@ let create ~lib ~model ~cache_capacity ~metrics ~worker ?seed
     env = Genie_runtime.Exec.create ~seed lib;
     metrics;
     fault;
-    worker }
+    worker;
+    tracer }
 
 let now_ns () = Unix.gettimeofday () *. 1e9
 
 let process ?(attempt = 0) t (req : Request.t) : Response.t =
   let id = req.Request.id in
+  let probe = Metrics.probe t.metrics in
   (* The crash decision comes before any real work — in particular before
      the cache lookup — so a schedule's outcomes are a pure function of
      (seed, id, attempt): independent of cache state, batch composition, and
      worker count. A crash mid-cache-hit is as realistic as one mid-decode,
      and determinism across serving paths is worth far more. *)
-  if Fault.crashes t.fault ~id ~attempt then raise Fault.Injected_crash;
+  if Fault.crashes t.fault ~id ~attempt then begin
+    Probe.incr probe Probe.Crash;
+    if Tracer.enabled t.tracer then
+      Tracer.record t.tracer ~slot:t.worker
+        (Span.v ~seed:(Tracer.seed t.tracer) ~request:id ~attempt ~seq:0
+           ~start_ns:(now_ns ()) ~dur_ns:0.0 "crash");
+    raise Fault.Injected_crash
+  end;
   let t0 = now_ns () in
   let key = Request.cache_key req.Request.utterance in
   let tokens = Genie_util.Tok.tokenize req.Request.utterance in
   let t1 = now_ns () in
+  Probe.incr probe Probe.Tokenize;
   (* injected latency not actually slept accumulates on a virtual clock that
      shifts every later stage boundary *)
   let skew = ref 0.0 in
+  let injected = ref false in
+  (* decode sub-spans hang off the parse span, whose id is a pure function
+     of its coordinates — computable before the span itself is recorded *)
+  let scope =
+    if Tracer.enabled t.tracer then
+      Tracer.scope t.tracer ~slot:t.worker ~request:id ~attempt
+        ~parent:
+          (Span.id_of ~seed:(Tracer.seed t.tracer) ~request:id ~attempt ~seq:3
+             ~name:"parse")
+    else None
+  in
   let pred, from_cache, parse_error =
     match Parse_cache.find t.cache key with
-    | Some p -> (p, true, None)
+    | Some p ->
+        Probe.incr probe Probe.Cache_hit;
+        (p, true, None)
     | None -> (
+        Probe.incr probe Probe.Cache_miss;
         let inject = Fault.latency_ns t.fault ~id in
-        if inject > 0.0 then
+        if inject > 0.0 then begin
+          injected := true;
           if (Fault.spec t.fault).Fault.sleep then Unix.sleepf (inject /. 1e9)
-          else skew := !skew +. inject;
-        match Aligner.predict t.model tokens with
+          else skew := !skew +. inject
+        end;
+        Probe.incr probe Probe.Parse;
+        match Aligner.predict ?scope t.model tokens with
         | p ->
             Parse_cache.add t.cache key p;
             (p, false, None)
         | exception e -> (Aligner.no_prediction, false, Some (Printexc.to_string e)))
   in
   let t2 = now_ns () +. !skew in
+  (* Spans are emitted after the fact from the stage boundaries already
+     taken, so tracing adds no clock reads to the request path. *)
+  let trace ~t3 ~exec_ran ~status =
+    if Tracer.enabled t.tracer then begin
+      let seed = Tracer.seed t.tracer in
+      let emit sp = Tracer.record t.tracer ~slot:t.worker sp in
+      let root =
+        Span.v ~seed ~request:id ~attempt ~seq:0
+          ~attrs:[ ("status", Response.status_to_string status) ]
+          ~start_ns:t0 ~dur_ns:(t3 -. t0) "request"
+      in
+      emit root;
+      emit
+        (Span.v ~seed ~request:id ~attempt ~seq:1 ~parent:root.Span.id
+           ~start_ns:t0 ~dur_ns:(t1 -. t0) "tokenize");
+      emit
+        (Span.v ~seed ~request:id ~attempt ~seq:2 ~parent:root.Span.id
+           ~attrs:[ ("cache", if from_cache then "hit" else "miss") ]
+           ~start_ns:t1 ~dur_ns:0.0 "cache");
+      if not from_cache then
+        emit
+          (Span.v ~seed ~request:id ~attempt ~seq:3 ~parent:root.Span.id
+             ~attrs:(if !injected then [ ("injected", "true") ] else [])
+             ~start_ns:t1 ~dur_ns:(t2 -. t1) "parse");
+      if exec_ran then
+        emit
+          (Span.v ~seed ~request:id ~attempt ~seq:4 ~parent:root.Span.id
+             ~start_ns:t2 ~dur_ns:(t3 -. t2) "exec")
+    end
+  in
   let past_deadline at =
     match req.Request.deadline_ns with
     | Some d -> at -. t0 > d
@@ -85,6 +146,7 @@ let process ?(attempt = 0) t (req : Request.t) : Response.t =
      execute paths, and a hit costs neither. *)
   if (not from_cache) && past_deadline t2 then begin
     Metrics.record t.metrics ~outcome:`Timeout ~latency_ns:(t2 -. t0) ();
+    trace ~t3:t2 ~exec_ran:false ~status:Response.Timeout;
     { Response.id;
       utterance = req.Request.utterance;
       status = Response.Timeout;
@@ -106,15 +168,16 @@ let process ?(attempt = 0) t (req : Request.t) : Response.t =
           total_ns = t2 -. t0 } }
   end
   else begin
-    let notifications, side_effects, exec_error =
+    let notifications, side_effects, exec_error, exec_ran =
       match (req.Request.execute, pred.Aligner.program) with
       | true, Some p -> (
+          Probe.incr probe Probe.Exec;
           match Genie_runtime.Exec.run ~ticks:req.Request.ticks t.env p with
           | ns, effects ->
               Metrics.incr_exec_runs t.metrics;
-              (List.length ns, List.length effects, None)
-          | exception e -> (0, 0, Some (Printexc.to_string e)))
-      | _ -> (0, 0, None)
+              (List.length ns, List.length effects, None, true)
+          | exception e -> (0, 0, Some (Printexc.to_string e), true))
+      | _ -> (0, 0, None, false)
     in
     let t3 = now_ns () +. !skew in
     let error =
@@ -135,6 +198,7 @@ let process ?(attempt = 0) t (req : Request.t) : Response.t =
       | _ -> `Ok
     in
     Metrics.record t.metrics ~outcome ~latency_ns:(t3 -. t0) ();
+    trace ~t3 ~exec_ran ~status;
     { Response.id;
       utterance = req.Request.utterance;
       status;

@@ -21,10 +21,14 @@ val create :
   worker:int ->
   ?seed:int ->
   ?fault:Fault.t ->
+  ?tracer:Genie_observe.Tracer.t ->
   unit ->
   t
 (** [seed] (default [worker]) seeds the engine's runtime environment.
-    [fault] (default {!Fault.none}) is the engine's injection schedule. *)
+    [fault] (default {!Fault.none}) is the engine's injection schedule.
+    [tracer] (default {!Genie_observe.Tracer.disabled}) receives per-stage
+    spans in slot [worker]; always-on {!Genie_observe.Probe} counters on
+    [metrics] are bumped regardless. *)
 
 val process : ?attempt:int -> t -> Request.t -> Response.t
 (** Serves one request: parser and runtime exceptions are absorbed into the

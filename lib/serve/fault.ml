@@ -49,15 +49,9 @@ let spec t = t
 let active t =
   t.crash_rate > 0.0 || t.latency_rate > 0.0 || t.drop_rate > 0.0
 
-(* splitmix64 finalizer; fixed constants so schedules are stable across OCaml
-   versions (unlike Hashtbl.hash, whose algorithm is unspecified). *)
-let mix64 z =
-  let open Int64 in
-  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
-  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
-  logxor z (shift_right_logical z 31)
-
-(* uniform in [0, 1) from the 53 top bits of the mixed key *)
+(* uniform in [0, 1) from the 53 top bits of the mixed key; Hash64 uses
+   fixed constants so schedules are stable across OCaml versions (unlike
+   Hashtbl.hash, whose algorithm is unspecified). *)
 let uniform ~seed ~tag ~id ~attempt =
   let open Int64 in
   let key =
@@ -65,7 +59,7 @@ let uniform ~seed ~tag ~id ~attempt =
       (add (mul (of_int seed) 0x9e3779b97f4a7c15L) (mul (of_int tag) 0xd1b54a32d192ed03L))
       (add (mul (of_int id) 0x2545f4914f6cdd1dL) (of_int attempt))
   in
-  let bits = shift_right_logical (mix64 key) 11 in
+  let bits = shift_right_logical (Genie_util.Hash64.mix64 key) 11 in
   Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
 
 let tag_crash = 1

@@ -12,11 +12,19 @@
    are orthogonal counters (a degraded answer is an ok). *)
 
 module A = Genie_util.Atomic_counter
+module Probe = Genie_observe.Probe
 
 let base_ns = 1_000.0
 let ratio = 1.25
 let n_buckets = 128
 let log_ratio = log ratio
+
+(* The histogram's ~12% relative error is fine at scale but real on tiny
+   samples — a single 5ms request reports as 4.9-or-so, and everything under
+   [base_ns] collapses into bucket 0. So the first [raw_capacity] samples
+   are also kept verbatim, and percentiles are exact (nearest-rank) until
+   the raw window overflows. *)
+let raw_capacity = 64
 
 type outcome = [ `Ok | `No_parse | `Error | `Timeout ]
 
@@ -32,6 +40,9 @@ type t = {
   exec_runs : A.t;
   sum_latency_ns : A.t;
   buckets : A.t array;
+  raw : A.t array;  (* first [raw_capacity] latency samples, verbatim ns *)
+  raw_n : A.t;  (* total samples ever offered to [raw] *)
+  probe : Probe.t;
 }
 
 type snapshot = {
@@ -48,6 +59,7 @@ type snapshot = {
   p50_ms : float;
   p95_ms : float;
   p99_ms : float;
+  stages : (string * int) list;
 }
 
 let create () =
@@ -61,7 +73,12 @@ let create () =
     degraded = A.create ();
     exec_runs = A.create ();
     sum_latency_ns = A.create ();
-    buckets = Array.init n_buckets (fun _ -> A.create ()) }
+    buckets = Array.init n_buckets (fun _ -> A.create ());
+    raw = Array.init raw_capacity (fun _ -> A.create ());
+    raw_n = A.create ();
+    probe = Probe.create () }
+
+let probe (t : t) = t.probe
 
 let bucket_of_ns ns =
   if ns < base_ns then 0
@@ -81,6 +98,8 @@ let record (t : t) ?(outcome = `Ok) ~latency_ns () =
     | `Error -> t.errors
     | `Timeout -> t.timeouts);
   A.add t.sum_latency_ns (int_of_float latency_ns);
+  let i = A.fetch_add t.raw_n 1 in
+  if i < raw_capacity then A.set t.raw.(i) (int_of_float latency_ns);
   A.incr t.buckets.(bucket_of_ns latency_ns)
 
 let incr_shed (t : t) =
@@ -91,9 +110,18 @@ let incr_retries (t : t) = A.incr t.retries
 let incr_degraded (t : t) = A.incr t.degraded
 let incr_exec_runs (t : t) = A.incr t.exec_runs
 
+(* nearest-rank percentile over the verbatim samples *)
+let percentile_raw (t : t) ~n p =
+  let vals = Array.init n (fun i -> A.get t.raw.(i)) in
+  Array.sort compare vals;
+  let rank = max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int n))) in
+  float_of_int vals.(min (n - 1) (rank - 1))
+
 let percentile_ns (t : t) p =
   let total = Array.fold_left (fun acc c -> acc + A.get c) 0 t.buckets in
   if total = 0 then 0.0
+  else if total <= raw_capacity && A.get t.raw_n = total then
+    percentile_raw t ~n:total p
   else begin
     let target =
       max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int total)))
@@ -131,7 +159,8 @@ let snapshot (t : t) =
     mean_ms;
     p50_ms = percentile_ns t 50.0 /. 1e6;
     p95_ms = percentile_ns t 95.0 /. 1e6;
-    p99_ms = percentile_ns t 99.0 /. 1e6 }
+    p99_ms = percentile_ns t 99.0 /. 1e6;
+    stages = Probe.counts t.probe }
 
 let reset (t : t) =
   A.reset t.requests;
@@ -144,7 +173,10 @@ let reset (t : t) =
   A.reset t.degraded;
   A.reset t.exec_runs;
   A.reset t.sum_latency_ns;
-  Array.iter A.reset t.buckets
+  Array.iter A.reset t.buckets;
+  Array.iter A.reset t.raw;
+  A.reset t.raw_n;
+  Probe.reset t.probe
 
 let pp_snapshot fmt s =
   Format.fprintf fmt

@@ -28,9 +28,16 @@ type snapshot = {
   p50_ms : float;
   p95_ms : float;
   p99_ms : float;
+  stages : (string * int) list;
+      (** Non-zero always-on stage counters from the attached
+          {!Genie_observe.Probe}. *)
 }
 
 val create : unit -> t
+
+val probe : t -> Genie_observe.Probe.t
+(** The always-on stage counters folded into {!snapshot}[.stages]. Workers
+    bump these whether or not a tracer is attached. *)
 
 val record : t -> ?outcome:outcome -> latency_ns:float -> unit -> unit
 (** Counts one served request under [outcome] (default [`Ok]) and files its
@@ -45,9 +52,11 @@ val incr_degraded : t -> unit
 val incr_exec_runs : t -> unit
 
 val percentile_ns : t -> float -> float
-(** [percentile_ns t p] estimates the [p]-th latency percentile (0 < p <=
-    100) in nanoseconds from the histogram buckets; 0 before any
-    recording. *)
+(** [percentile_ns t p] is the [p]-th latency percentile (0 < p <= 100) in
+    nanoseconds; 0 before any recording. Exact (nearest-rank over verbatim
+    samples) while at most 64 latencies have been recorded — small samples
+    would otherwise lose all sub-bucket resolution — and a geometric-
+    histogram estimate (<= 12% relative error) beyond that. *)
 
 val snapshot : t -> snapshot
 

@@ -18,6 +18,9 @@
    resolves to exactly one response and exactly one metrics outcome. *)
 
 open Genie_thingtalk
+module Tracer = Genie_observe.Tracer
+module Span = Genie_observe.Span
+module Probe = Genie_observe.Probe
 
 (* what the degraded path can answer with: a previous successful parse,
    coordinator-owned so no domain sharing *)
@@ -39,6 +42,7 @@ type t = {
   max_retries : int;
   retry_backoff_ns : float;
   degraded_cache : cached_parse Parse_cache.t;  (* coordinator-only *)
+  tracer : Tracer.t;  (* coordinator records into slot [Array.length engines] *)
   mutable last_batch : int * float;  (* requests, wall seconds *)
 }
 
@@ -67,24 +71,37 @@ type stats = {
   throughput_rps : float;
 }
 
+(* A dropped message is a root-level event like a crash: same span shape in
+   the sequential simulation and in the pool's transit hook, so traces
+   compare across serving paths. *)
+let record_drop ~metrics ~tracer ~slot ~id ~attempt =
+  Probe.incr (Metrics.probe metrics) Probe.Drop;
+  if Tracer.enabled tracer then
+    Tracer.record tracer ~slot
+      (Span.v ~seed:(Tracer.seed tracer) ~request:id ~attempt ~seq:0
+         ~start_ns:(Tracer.now_ns ()) ~dur_ns:0.0 "drop")
+
 let create ~lib ~model ?(cache_capacity = 4096) ?(workers = 0)
     ?(queue_capacity = 64) ?(seed = 0) ?(fault = Fault.none)
     ?admission_capacity ?(degrade = true) ?(max_retries = 2)
-    ?(retry_backoff_ms = 1.0) () =
+    ?(retry_backoff_ms = 1.0) ?(tracer = Tracer.disabled) () =
   let n_engines = max 1 workers in
   let metrics = Metrics.create () in
   let engines =
     Array.init n_engines (fun w ->
         Engine.create ~lib ~model ~cache_capacity ~metrics ~worker:w
-          ~seed:(seed + w) ~fault ())
+          ~seed:(seed + w) ~fault ~tracer ())
   in
   let pool =
     if workers >= 2 then
       Some
         (Pool.create ~workers ~queue_capacity
-           ~fault_hook:(fun _w ((req : Request.t), attempt) ->
-             if Fault.drops fault ~id:req.Request.id ~attempt then
+           ~fault_hook:(fun w ((req : Request.t), attempt) ->
+             if Fault.drops fault ~id:req.Request.id ~attempt then begin
+               record_drop ~metrics ~tracer ~slot:w ~id:req.Request.id
+                 ~attempt;
                Some Fault.Injected_drop
+             end
              else None)
            ~handler:(fun w (req, attempt) ->
              Engine.process ~attempt engines.(w) req)
@@ -101,14 +118,15 @@ let create ~lib ~model ?(cache_capacity = 4096) ?(workers = 0)
     max_retries;
     retry_backoff_ns = retry_backoff_ms *. 1e6;
     degraded_cache = Parse_cache.create ~capacity:cache_capacity;
+    tracer;
     last_batch = (0, 0.0) }
 
 let of_artifacts ?cache_capacity ?workers ?queue_capacity ?seed ?fault
-    ?admission_capacity ?degrade ?max_retries ?retry_backoff_ms
+    ?admission_capacity ?degrade ?max_retries ?retry_backoff_ms ?tracer
     (a : Genie_core.Pipeline.artifacts) =
   create ~lib:a.Genie_core.Pipeline.lib ~model:a.Genie_core.Pipeline.model
     ?cache_capacity ?workers ?queue_capacity ?seed ?fault ?admission_capacity
-    ?degrade ?max_retries ?retry_backoff_ms ()
+    ?degrade ?max_retries ?retry_backoff_ms ?tracer ()
 
 (* Requests shard by cache key, not round-robin: every repetition of an
    utterance lands on the same worker, so per-worker caches need no locks
@@ -121,8 +139,19 @@ let shard t (req : Request.t) =
 
 (* --- degraded / shed / failed responses (coordinator-made) ------------------- *)
 
+(* Coordinator events (shed, degraded, retry, backoff) go to the slot after
+   the last worker's; like all spans their identity is structural, so where
+   they are buffered never affects the merged trace. *)
+let record_coord t ~id ~attempt ~seq ?attrs ?(dur_ns = 0.0) name =
+  if Tracer.enabled t.tracer then
+    Tracer.record t.tracer ~slot:(Array.length t.engines)
+      (Span.v ~seed:(Tracer.seed t.tracer) ~request:id ~attempt ~seq ?attrs
+         ~start_ns:(Tracer.now_ns ()) ~dur_ns name)
+
 let overloaded_response t ~worker (req : Request.t) =
   Metrics.incr_shed t.metrics;
+  Probe.incr (Metrics.probe t.metrics) Probe.Shed;
+  record_coord t ~id:req.Request.id ~attempt:0 ~seq:0 "shed";
   { Response.id = req.Request.id;
     utterance = req.Request.utterance;
     status = Response.Overloaded;
@@ -144,6 +173,8 @@ let degraded_response t ~worker (req : Request.t) c =
      sample so degraded traffic shows up in the latency profile *)
   Metrics.record t.metrics ~outcome:`Ok ~latency_ns:0.0 ();
   Metrics.incr_degraded t.metrics;
+  Probe.incr (Metrics.probe t.metrics) Probe.Degraded;
+  record_coord t ~id:req.Request.id ~attempt:0 ~seq:0 "degraded";
   { Response.id = req.Request.id;
     utterance = req.Request.utterance;
     status = Response.Ok;
@@ -198,11 +229,20 @@ let remember t (r : Response.t) =
 
 (* --- serving with retries ----------------------------------------------------- *)
 
-let backoff_pause t ~id ~attempt =
+(* Counts, traces and (virtually or actually) waits out one retry's backoff.
+   The backoff span's duration is the request's own computed backoff, in
+   both serving paths — even though the pooled coordinator only sleeps once
+   per round, at the round's maximum. *)
+let record_retry t ~id ~attempt =
+  Metrics.incr_retries t.metrics;
+  Probe.incr (Metrics.probe t.metrics) Probe.Retry;
+  record_coord t ~id ~attempt ~seq:8 "retry";
   let ns =
     Fault.backoff_ns t.fault ~base_ns:t.retry_backoff_ns ~id ~attempt
   in
-  if ns > 0.0 then Unix.sleepf (ns /. 1e9)
+  Probe.incr (Metrics.probe t.metrics) Probe.Backoff;
+  record_coord t ~id ~attempt ~seq:9 ~dur_ns:ns "backoff";
+  ns
 
 (* one request on the calling domain, with the full retry policy *)
 let process_direct t (req : Request.t) =
@@ -210,8 +250,11 @@ let process_direct t (req : Request.t) =
   let engine = t.engines.(w) in
   let rec go attempt =
     let result =
-      if Fault.drops t.fault ~id:req.Request.id ~attempt then
+      if Fault.drops t.fault ~id:req.Request.id ~attempt then begin
+        record_drop ~metrics:t.metrics ~tracer:t.tracer ~slot:w
+          ~id:req.Request.id ~attempt;
         Stdlib.Error Fault.Injected_drop
+      end
       else
         match Engine.process ~attempt engine req with
         | r -> Stdlib.Ok r
@@ -223,8 +266,8 @@ let process_direct t (req : Request.t) =
         if attempt >= t.max_retries then
           failed_response t ~worker:w req ~attempts:(attempt + 1) e
         else begin
-          Metrics.incr_retries t.metrics;
-          backoff_pause t ~id:req.Request.id ~attempt;
+          let ns = record_retry t ~id:req.Request.id ~attempt in
+          if ns > 0.0 then Unix.sleepf (ns /. 1e9);
           go (attempt + 1)
         end
   in
@@ -293,10 +336,7 @@ let run_batch_pooled t pool reqs =
     let max_backoff =
       List.fold_left
         (fun acc ((req : Request.t), attempt, _) ->
-          Metrics.incr_retries t.metrics;
-          Float.max acc
-            (Fault.backoff_ns t.fault ~base_ns:t.retry_backoff_ns
-               ~id:req.Request.id ~attempt))
+          Float.max acc (record_retry t ~id:req.Request.id ~attempt))
         0.0 retry
     in
     if max_backoff > 0.0 && retry <> [] then Unix.sleepf (max_backoff /. 1e9);

@@ -60,17 +60,24 @@ val create :
   ?degrade:bool ->
   ?max_retries:int ->
   ?retry_backoff_ms:float ->
+  ?tracer:Genie_observe.Tracer.t ->
   unit ->
   t
 (** Defaults: [cache_capacity] 4096 (per worker), [workers] 0 (sequential),
     [queue_capacity] 64 per worker, [seed] 0, [fault] {!Fault.none},
     [admission_capacity] unlimited, [degrade] true, [max_retries] 2,
-    [retry_backoff_ms] 1.
+    [retry_backoff_ms] 1, [tracer] {!Genie_observe.Tracer.disabled}.
 
     [admission_capacity] bounds how many requests each worker accepts per
     {!run_batch} call; excess requests are answered from the degraded cache
     (when [degrade] and the utterance was parsed before) or shed with
-    [Overloaded] — never blocked. *)
+    [Overloaded] — never blocked.
+
+    [tracer] receives per-request stage spans from every worker engine plus
+    coordinator events (retry, backoff, shed, degraded); create it with
+    [slots = max 1 workers + 1] so each domain keeps its own ring. The
+    always-on {!Genie_observe.Probe} stage counters on the server's metrics
+    are maintained whether or not a tracer is attached. *)
 
 val of_artifacts :
   ?cache_capacity:int ->
@@ -82,6 +89,7 @@ val of_artifacts :
   ?degrade:bool ->
   ?max_retries:int ->
   ?retry_backoff_ms:float ->
+  ?tracer:Genie_observe.Tracer.t ->
   Genie_core.Pipeline.artifacts ->
   t
 (** A server over a trained pipeline's library and parser model. *)

@@ -107,7 +107,16 @@ let apply_rule rule children depth : Derivation.t option =
           depth;
           fns = List.concat_map (fun c -> c.Derivation.fns) children }
 
-let synthesize_derivations (g : Grammar.t) (cfg : config) : Derivation.t list =
+(* With a tracer, each depth gets a span (request = depth) with one child
+   per construct template recording accepted/attempted counts — the
+   per-template attribution the flame summary aggregates. Span identity is
+   (tracer seed, depth, rule index), so seeded corpus runs trace
+   identically. *)
+let synthesize_derivations ?(tracer = Genie_observe.Tracer.disabled)
+    (g : Grammar.t) (cfg : config) : Derivation.t list =
+  let module Tracer = Genie_observe.Tracer in
+  let module Span = Genie_observe.Span in
+  let now () = if Tracer.enabled tracer then Tracer.now_ns () else 0.0 in
   let rng = Genie_util.Rng.create cfg.seed in
   let tbl : table = Hashtbl.create 64 in
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
@@ -122,8 +131,15 @@ let synthesize_derivations (g : Grammar.t) (cfg : config) : Derivation.t list =
   in
   for depth = 1 to cfg.max_depth do
     let produced : (string, Derivation.t list ref) Hashtbl.t = Hashtbl.create 16 in
-    List.iter
-      (fun rule ->
+    let depth_start = now () in
+    let depth_accepted = ref 0 in
+    let depth_span_id =
+      Span.id_of ~seed:(Tracer.seed tracer) ~request:depth ~attempt:0 ~seq:0
+        ~name:"depth"
+    in
+    List.iteri
+      (fun rule_i rule ->
+        let rule_start = now () in
         let budget =
           Genie_util.Rng.budget_for_depth ~target:cfg.target_per_rule ~depth:(depth - 1)
         in
@@ -153,33 +169,55 @@ let synthesize_derivations (g : Grammar.t) (cfg : config) : Derivation.t list =
                     in
                     cell := d :: !cell
                   end)
-        done)
+        done;
+        depth_accepted := !depth_accepted + !accepted;
+        if Tracer.enabled tracer then
+          Tracer.record tracer ~slot:0
+            (Span.v ~seed:(Tracer.seed tracer) ~request:depth
+               ~seq:(rule_i + 1) ~parent:depth_span_id
+               ~attrs:
+                 [ ("rule", rule.Grammar.lhs);
+                   ("accepted", string_of_int !accepted);
+                   ("attempts", string_of_int !attempt) ]
+               ~start_ns:rule_start
+               ~dur_ns:(now () -. rule_start)
+               "template"))
       rules;
+    if Tracer.enabled tracer then
+      Tracer.record tracer ~slot:0
+        (Span.v ~seed:(Tracer.seed tracer) ~request:depth ~seq:0
+           ~attrs:
+             [ ("rules", string_of_int (List.length rules));
+               ("accepted", string_of_int !depth_accepted) ]
+           ~start_ns:depth_start
+           ~dur_ns:(now () -. depth_start)
+           "depth");
     Hashtbl.iter (fun cat ds -> Hashtbl.replace tbl (cat, depth) (Array.of_list !ds)) produced
   done;
   derivs_upto tbl g.Grammar.start cfg.max_depth
 
 (* The synthesized (sentence tokens, program) pairs. *)
-let synthesize (g : Grammar.t) (cfg : config) :
+let synthesize ?tracer (g : Grammar.t) (cfg : config) :
     (string list * Genie_thingtalk.Ast.program) list =
   List.filter_map
     (fun (d : Derivation.t) ->
       match d.value with
       | Derivation.V_frag (Genie_thingtalk.Ast.F_program p) -> Some (d.Derivation.tokens, p)
       | _ -> None)
-    (synthesize_derivations g cfg)
+    (synthesize_derivations ?tracer g cfg)
 
 (* Programs only, for pretraining the decoder language model on a much larger
    program space (section 4.2). *)
-let synthesize_programs (g : Grammar.t) (cfg : config) : Genie_thingtalk.Ast.program list =
-  List.map snd (synthesize g cfg)
+let synthesize_programs ?tracer (g : Grammar.t) (cfg : config) :
+    Genie_thingtalk.Ast.program list =
+  List.map snd (synthesize ?tracer g cfg)
 
 (* TACL policies (a grammar with start symbol "policy"). *)
-let synthesize_policies (g : Grammar.t) (cfg : config) :
+let synthesize_policies ?tracer (g : Grammar.t) (cfg : config) :
     (string list * Genie_thingtalk.Ast.policy) list =
   List.filter_map
     (fun (d : Derivation.t) ->
       match d.value with
       | Derivation.V_frag (Genie_thingtalk.Ast.F_policy p) -> Some (d.Derivation.tokens, p)
       | _ -> None)
-    (synthesize_derivations g cfg)
+    (synthesize_derivations ?tracer g cfg)

@@ -17,21 +17,30 @@ type config = {
 val default_config : config
 
 val synthesize_derivations :
+  ?tracer:Genie_observe.Tracer.t ->
   Genie_templates.Grammar.t -> config -> Genie_templates.Derivation.t list
-(** All start-category derivations, deduplicated by (sentence, semantics). *)
+(** All start-category derivations, deduplicated by (sentence, semantics).
+
+    With [tracer], each depth records a span (its [request] field is the
+    depth) with one [template] child per construct template carrying
+    accepted/attempted counts — span identity is (tracer seed, depth, rule
+    index), so a seeded corpus run traces identically across repeats. *)
 
 val synthesize :
+  ?tracer:Genie_observe.Tracer.t ->
   Genie_templates.Grammar.t -> config ->
   (string list * Genie_thingtalk.Ast.program) list
 (** The synthesized (sentence tokens, program) pairs. Every program
     type-checks (the semantic functions reject ill-typed combinations). *)
 
 val synthesize_programs :
+  ?tracer:Genie_observe.Tracer.t ->
   Genie_templates.Grammar.t -> config -> Genie_thingtalk.Ast.program list
 (** Programs only: the corpus for pretraining the decoder language model on a
     much larger program space (section 4.2). *)
 
 val synthesize_policies :
+  ?tracer:Genie_observe.Tracer.t ->
   Genie_templates.Grammar.t -> config ->
   (string list * Genie_thingtalk.Ast.policy) list
 (** TACL policies, for grammars whose start symbol is ["policy"]. *)

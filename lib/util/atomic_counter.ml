@@ -10,6 +10,7 @@ let rec add t n =
   let cur = Atomic.get t in
   if not (Atomic.compare_and_set t cur (cur + n)) then add t n
 
+let fetch_add t n = Atomic.fetch_and_add t n
 let get t = Atomic.get t
 let set t v = Atomic.set t v
 let reset t = set t 0

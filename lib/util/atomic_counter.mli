@@ -15,6 +15,10 @@ val incr : t -> unit
 val add : t -> int -> unit
 (** Atomically adds [n] (which may be negative). *)
 
+val fetch_add : t -> int -> int
+(** Atomically adds [n] and returns the value the counter held {e before}
+    the addition — the primitive behind lock-free ring-buffer cursors. *)
+
 val get : t -> int
 (** The current value. *)
 

@@ -1,0 +1,21 @@
+(** Deterministic 64-bit hashing (splitmix64 finalizer).
+
+    Used wherever the toolkit needs values that are pure functions of their
+    inputs and bit-stable across runs, platforms and worker counts: the
+    fault injector's schedules and the tracing layer's span ids and trace
+    digests. Not a cryptographic hash. *)
+
+val mix64 : int64 -> int64
+(** The splitmix64 finalizer: a bijective avalanche over 64 bits. *)
+
+val combine : int64 -> int64 -> int64
+(** Folds one more 64-bit word into a running hash state. *)
+
+val int : int64 -> int -> int64
+(** [combine] specialised to native ints. *)
+
+val string : int64 -> string -> int64
+(** Folds a string (length-prefixed, byte by byte) into the state. *)
+
+val to_hex : int64 -> string
+(** 16 lowercase hex digits, zero-padded. *)

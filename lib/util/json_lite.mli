@@ -15,6 +15,10 @@ val to_string : ?indent:int -> t -> string
 (** Renders with [indent] spaces per level (default 2). Non-finite floats
     become [null]. *)
 
+val to_string_compact : t -> string
+(** Renders on a single line with no whitespace — the framing-safe form for
+    JSONL streams, where each value must occupy exactly one line. *)
+
 val float_repr : float -> string
 (** The shortest decimal representation that parses back to exactly the
     same float ([null] for non-finite values) — lossless for full-precision

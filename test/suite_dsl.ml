@@ -78,6 +78,238 @@ let test_dsl_grammar_synthesizes () =
   Alcotest.(check int) "same synthesis size" (List.length b) (List.length a);
   Alcotest.(check bool) "non-trivial" true (List.length a > 200)
 
+(* --- surface-syntax round trip: parse (pretty_print p) = p ----------------------- *)
+
+(* The printer claims Parser.parse_program accepts everything it prints.
+   Exercise that claim over every Thingpedia function (minimal and
+   fully-parameterized invocations) and over a seeded generator of random
+   well-typed programs covering streams, filters, parameter passing and
+   aggregation. *)
+
+module Ast = Genie_thingtalk.Ast
+module Value = Genie_thingtalk.Value
+module Ttype = Genie_thingtalk.Ttype
+module Schema = Genie_thingtalk.Schema
+module Typecheck = Genie_thingtalk.Typecheck
+module Printer = Genie_thingtalk.Printer
+module Parser = Genie_thingtalk.Parser
+module Canonical = Genie_thingtalk.Canonical
+module Rng = Genie_util.Rng
+
+let full_lib = lazy (Genie_thingpedia.Thingpedia.full_library ())
+
+(* a concrete constant of each ThingTalk type, in printable surface form *)
+let rec value_for (ty : Ttype.t) : Value.t =
+  match ty with
+  | Ttype.String -> Value.String "hello world"
+  | Ttype.Number -> Value.Number 4.0
+  | Ttype.Boolean -> Value.Boolean true
+  | Ttype.Date -> Value.Date Value.D_now
+  | Ttype.Time -> Value.Time (8, 30)
+  | Ttype.Location -> Value.Location (Value.L_relative "home")
+  | Ttype.Path_name -> Value.String "notes/todo.txt"
+  | Ttype.Url -> Value.String "http://example.com/a"
+  | Ttype.Phone_number -> Value.String "+15551234567"
+  | Ttype.Email_address -> Value.String "bob@example.com"
+  | Ttype.Picture -> Value.String "http://example.com/cat.jpg"
+  | Ttype.Currency -> Value.Currency (10.0, "usd")
+  | Ttype.Measure base -> (
+      match Ttype.Units.units_for_base base with
+      | u :: _ -> Value.Measure [ (2.0, u) ]
+      | [] -> Value.Measure [ (2.0, base) ])
+  | Ttype.Enum (c :: _) -> Value.Enum c
+  | Ttype.Enum [] -> Value.Undefined
+  | Ttype.Entity ty -> Value.Entity { ty; value = "x123"; display = None }
+  | Ttype.Array t -> Value.Array [ value_for t; value_for t ]
+
+let inv_of ?(fill_optional = false) f =
+  { Ast.fn = Schema.fn_ref f;
+    Ast.in_params =
+      List.filter_map
+        (fun (p : Schema.param) ->
+          let fill =
+            match p.Schema.p_dir with
+            | Schema.Out -> false
+            | Schema.In_req -> true
+            | Schema.In_opt -> fill_optional
+          in
+          if fill then
+            Some
+              { Ast.ip_name = p.Schema.p_name;
+                Ast.ip_value = Ast.Constant (value_for p.Schema.p_type) }
+          else None)
+        (Schema.in_params f) }
+
+let check_roundtrip label p =
+  let lib = Lazy.force full_lib in
+  (match Typecheck.check_program lib p with
+  | Ok () -> ()
+  | Error e ->
+      Alcotest.failf "%s: generated program ill-typed (%s): %s" label e
+        (Printer.program_to_string p));
+  let canonical = Canonical.normalize lib p in
+  List.iter
+    (fun q ->
+      let s = Printer.program_to_string q in
+      match Parser.parse_program s with
+      | q' ->
+          if not (Ast.equal_program q q') then
+            Alcotest.failf "%s: parse (print p) <> p\n  printed: %s\n  reparsed: %s"
+              label s (Printer.program_to_string q')
+      | exception e ->
+          Alcotest.failf "%s: printed program rejected by the parser (%s)\n  %s"
+            label (Printexc.to_string e) s)
+    [ p; canonical ]
+
+let minimal_program f =
+  if Schema.is_query f then
+    { Ast.stream = Ast.S_now;
+      query = Some (Ast.Q_invoke (inv_of f));
+      action = Ast.A_notify }
+  else
+    { Ast.stream = Ast.S_now; query = None; action = Ast.A_invoke (inv_of f) }
+
+let test_roundtrip_every_function () =
+  let lib = Lazy.force full_lib in
+  let fns = Schema.Library.functions lib in
+  Alcotest.(check bool) "library is non-trivial" true (List.length fns > 20);
+  List.iter
+    (fun f ->
+      let name = Ast.Fn.to_string (Schema.fn_ref f) in
+      check_roundtrip (name ^ " (required params)") (minimal_program f);
+      (* and with every optional input filled, covering each param type *)
+      let full_inv = inv_of ~fill_optional:true f in
+      let p =
+        if Schema.is_query f then
+          { Ast.stream = Ast.S_now;
+            query = Some (Ast.Q_invoke full_inv);
+            action = Ast.A_notify }
+        else
+          { Ast.stream = Ast.S_now; query = None; action = Ast.A_invoke full_inv }
+      in
+      check_roundtrip (name ^ " (all params)") p)
+    fns
+
+(* seeded generator of random well-typed programs *)
+let gen_program rng =
+  let lib = Lazy.force full_lib in
+  let queries = Array.of_list (Schema.Library.queries lib) in
+  let actions = Array.of_list (Schema.Library.actions lib) in
+  let monitorable =
+    Array.of_list (List.filter Schema.is_monitorable (Schema.Library.queries lib))
+  in
+  let gen_inv f = inv_of ~fill_optional:(Rng.bool rng) f in
+  let gen_pred f =
+    match Schema.out_params f with
+    | [] -> Ast.P_true
+    | outs ->
+        let p = Rng.pick rng outs in
+        let v = value_for p.Schema.p_type in
+        let op =
+          match p.Schema.p_type with
+          | Ttype.Number | Ttype.Currency | Ttype.Measure _ ->
+              Rng.pick rng [ Ast.Op_eq; Ast.Op_gt; Ast.Op_lt; Ast.Op_geq ]
+          | Ttype.String ->
+              Rng.pick rng [ Ast.Op_eq; Ast.Op_substr; Ast.Op_starts_with ]
+          | _ -> Rng.pick rng [ Ast.Op_eq; Ast.Op_neq ]
+        in
+        Ast.P_atom { lhs = p.Schema.p_name; op; rhs = v }
+  in
+  let gen_query () =
+    let f = Rng.pick_array rng queries in
+    let q = Ast.Q_invoke (gen_inv f) in
+    if Rng.bool rng then Ast.Q_filter (q, gen_pred f) else q
+  in
+  let gen_stream () =
+    match Rng.int rng 4 with
+    | 0 -> Ast.S_now
+    | 1 -> Ast.S_attimer (Value.Time (Rng.int rng 24, Rng.int rng 60))
+    | 2 ->
+        Ast.S_timer
+          { base = Value.Date Value.D_now;
+            interval = Value.Measure [ (float_of_int (1 + Rng.int rng 12), "h") ] }
+    | _ ->
+        let f = Rng.pick_array rng monitorable in
+        let q = Ast.Q_invoke (gen_inv f) in
+        let q = if Rng.bool rng then Ast.Q_filter (q, gen_pred f) else q in
+        Ast.S_monitor (q, None)
+  in
+  let stream = gen_stream () in
+  let query = if Rng.bool rng then Some (gen_query ()) else None in
+  (* pass an upstream output into the action when types line up, otherwise
+     fill the action from constants (or just notify) *)
+  let upstream_outs =
+    (match stream with
+    | Ast.S_monitor (q, _) -> Ast.query_invocations q
+    | _ -> [])
+    @ (match query with Some q -> Ast.query_invocations q | None -> [])
+  in
+  let outs =
+    List.concat_map
+      (fun (inv : Ast.invocation) ->
+        match Schema.Library.find_fn lib inv.Ast.fn with
+        | Some f -> Schema.out_params f
+        | None -> [])
+      upstream_outs
+  in
+  let action =
+    if Rng.bool rng then Ast.A_notify
+    else begin
+      let f = Rng.pick_array rng actions in
+      let inv = gen_inv f in
+      let inv =
+        { inv with
+          Ast.in_params =
+            List.map
+              (fun (ip : Ast.in_param) ->
+                let param = Schema.find_param f ip.Ast.ip_name in
+                let passable =
+                  match param with
+                  | None -> None
+                  | Some p ->
+                      List.find_opt
+                        (fun (o : Schema.param) ->
+                          Ttype.strictly_assignable ~src:o.Schema.p_type
+                            ~dst:p.Schema.p_type)
+                        outs
+                in
+                match passable with
+                | Some o when Rng.bool rng ->
+                    { ip with Ast.ip_value = Ast.Passed o.Schema.p_name }
+                | _ -> ip)
+              inv.Ast.in_params }
+      in
+      Ast.A_invoke inv
+    end
+  in
+  { Ast.stream; query; action }
+
+let test_roundtrip_random_programs () =
+  let count = 200 in
+  let shapes = Hashtbl.create 8 in
+  for seed = 1 to count do
+    let rng = Rng.create seed in
+    let p = gen_program rng in
+    Hashtbl.replace shapes
+      ( p.Ast.query <> None,
+        Ast.is_primitive p,
+        Ast.has_filter p,
+        Ast.has_param_passing p )
+      ();
+    check_roundtrip (Printf.sprintf "random seed %d" seed) p
+  done;
+  (* the generator actually explores the program space *)
+  Alcotest.(check bool) "several program shapes covered" true
+    (Hashtbl.length shapes >= 6)
+
+let test_roundtrip_generator_deterministic () =
+  let progs seed =
+    List.init 20 (fun i ->
+        Printer.program_to_string (gen_program (Rng.create (seed + i))))
+  in
+  Alcotest.(check (list string)) "seeded generator is reproducible" (progs 1)
+    (progs 1)
+
 let suite =
   [ Alcotest.test_case "parse basic rule" `Quick test_parse_basic;
     Alcotest.test_case "multi-word literals" `Quick test_parse_multiword_literal;
@@ -87,4 +319,10 @@ let suite =
     Alcotest.test_case "standard grammar equivalence" `Quick
       test_standard_grammar_equivalent;
     Alcotest.test_case "dsl grammar synthesizes identically" `Quick
-      test_dsl_grammar_synthesizes ]
+      test_dsl_grammar_synthesizes;
+    Alcotest.test_case "round trip: every thingpedia function" `Quick
+      test_roundtrip_every_function;
+    Alcotest.test_case "round trip: random well-typed programs" `Quick
+      test_roundtrip_random_programs;
+    Alcotest.test_case "round trip generator deterministic" `Quick
+      test_roundtrip_generator_deterministic ]

@@ -92,6 +92,62 @@ let test_shed_excluded_from_histogram () =
   Alcotest.(check (float 0.0)) "mean zero" 0.0 s.Metrics.mean_ms;
   check_partition "shed-only partition" s
 
+(* --- exact small-sample quantiles ------------------------------------------------- *)
+
+(* The first 64 latency samples are kept verbatim, so small-sample snapshots
+   report exact nearest-rank percentiles instead of geometric-bucket
+   midpoints. *)
+
+let test_exact_quantiles_three_samples () =
+  let m = Metrics.create () in
+  (* insertion order must not matter *)
+  List.iter (fun ms -> Metrics.record m ~latency_ns:(ms *. 1e6) ()) [ 3.0; 1.0; 2.0 ];
+  let s = Metrics.snapshot m in
+  Alcotest.(check (float 0.0)) "p50 exactly the median" 2.0 s.Metrics.p50_ms;
+  Alcotest.(check (float 0.0)) "p95 exactly the max" 3.0 s.Metrics.p95_ms;
+  Alcotest.(check (float 0.0)) "p99 exactly the max" 3.0 s.Metrics.p99_ms;
+  Alcotest.(check (float 1e-9)) "mean exact" 2.0 s.Metrics.mean_ms
+
+let test_exact_quantiles_single_sample () =
+  let m = Metrics.create () in
+  Metrics.record m ~latency_ns:5e6 ();
+  let s = Metrics.snapshot m in
+  Alcotest.(check (float 0.0)) "p50 is the sample itself" 5.0 s.Metrics.p50_ms;
+  Alcotest.(check (float 0.0)) "p99 is the sample itself" 5.0 s.Metrics.p99_ms
+
+let test_exact_quantiles_sub_microsecond () =
+  (* below the histogram's 1 µs base every sample collapses into bucket 0;
+     the raw window still resolves them exactly *)
+  let m = Metrics.create () in
+  List.iter (fun ns -> Metrics.record m ~latency_ns:ns ()) [ 100.0; 200.0; 900.0 ];
+  Alcotest.(check (float 0.0)) "p50 = 200 ns" 200.0 (Metrics.percentile_ns m 50.0);
+  Alcotest.(check (float 0.0)) "p99 = 900 ns" 900.0 (Metrics.percentile_ns m 99.0)
+
+let test_exact_quantiles_window_boundary () =
+  let m = Metrics.create () in
+  (* exactly at capacity: still exact (1..64 ms) *)
+  for i = 1 to 64 do
+    Metrics.record m ~latency_ns:(float_of_int i *. 1e6) ()
+  done;
+  Alcotest.(check (float 0.0)) "p50 exact at the boundary" 32.0
+    (Metrics.snapshot m).Metrics.p50_ms;
+  Alcotest.(check (float 0.0)) "p99 exact at the boundary" 64.0
+    (Metrics.snapshot m).Metrics.p99_ms;
+  (* the 65th sample spills into the histogram: still monotone and within
+     the geometric buckets' ~12% relative error, but no longer exact *)
+  Metrics.record m ~latency_ns:65e6 ();
+  let s = Metrics.snapshot m in
+  Alcotest.(check bool) "p50 near the median after overflow" true
+    (s.Metrics.p50_ms > 28.0 && s.Metrics.p50_ms < 38.0);
+  Alcotest.(check bool) "p99 near the max after overflow" true
+    (s.Metrics.p99_ms > 55.0 && s.Metrics.p99_ms < 75.0);
+  check_partition "overflowed partition" s;
+  (* reset clears the raw window too: fresh samples are exact again *)
+  Metrics.reset m;
+  Metrics.record m ~latency_ns:7e6 ();
+  Alcotest.(check (float 0.0)) "exact again after reset" 7.0
+    (Metrics.snapshot m).Metrics.p50_ms
+
 let test_atomic_counter_basics () =
   let c = Genie_util.Atomic_counter.create ~value:5 () in
   Genie_util.Atomic_counter.incr c;
@@ -125,6 +181,14 @@ let suite =
       test_outcome_counters_partition;
     Alcotest.test_case "shed excluded from histogram" `Quick
       test_shed_excluded_from_histogram;
+    Alcotest.test_case "exact quantiles: three samples" `Quick
+      test_exact_quantiles_three_samples;
+    Alcotest.test_case "exact quantiles: single sample" `Quick
+      test_exact_quantiles_single_sample;
+    Alcotest.test_case "exact quantiles: sub-microsecond" `Quick
+      test_exact_quantiles_sub_microsecond;
+    Alcotest.test_case "exact quantiles: window boundary" `Quick
+      test_exact_quantiles_window_boundary;
     Alcotest.test_case "atomic counter basics" `Quick test_atomic_counter_basics;
     Alcotest.test_case "atomic counter cross-domain stress" `Quick
       test_atomic_counter_cross_domain_stress ]

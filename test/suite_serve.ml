@@ -164,6 +164,27 @@ let test_chan_try_push () =
   Alcotest.check_raises "try_push after close" Chan.Closed (fun () ->
       ignore (Chan.try_push c 5))
 
+let test_chan_try_push_capacity_boundary () =
+  (* exactly at capacity: the nth push fits, the (n+1)th is refused, and one
+     pop reopens exactly one slot *)
+  let cap = 3 in
+  let c = Chan.create ~capacity:cap in
+  for i = 1 to cap do
+    Alcotest.(check bool) (Printf.sprintf "push %d fits" i) true (Chan.try_push c i)
+  done;
+  Alcotest.(check int) "full at capacity" cap (Chan.length c);
+  Alcotest.(check bool) "push cap+1 refused" false (Chan.try_push c (cap + 1));
+  Alcotest.(check bool) "still refused" false (Chan.try_push c (cap + 1));
+  Alcotest.(check int) "refusals do not grow the queue" cap (Chan.length c);
+  Alcotest.(check (option int)) "fifo head" (Some 1) (Chan.pop c);
+  Alcotest.(check bool) "one slot reopened" true (Chan.try_push c 10);
+  Alcotest.(check bool) "and only one" false (Chan.try_push c 11);
+  (* declared capacity 0 clamps to 1: one element fits, the second does not *)
+  let z = Chan.create ~capacity:0 in
+  Alcotest.(check bool) "clamped capacity holds one" true (Chan.try_push z 1);
+  Alcotest.(check bool) "second refused" false (Chan.try_push z 2);
+  Alcotest.(check (option int)) "clamped element preserved" (Some 1) (Chan.pop z)
+
 (* --- pool ------------------------------------------------------------------------ *)
 
 let test_pool_roundtrip () =
@@ -267,6 +288,72 @@ let test_pool_matches_sequential () =
      once, like the sequential run *)
   let misses s = (Server.stats s).Server.cache_misses in
   Alcotest.(check int) "same decode count" (misses seq) (misses pooled)
+
+let test_cache_eviction_under_alternating_keys () =
+  let model = Lazy.force model in
+  (* capacity-1 caches and two alternating keys: on one engine every decode
+     evicts the other key, so the cache thrashes deterministically *)
+  let reqs =
+    List.init 24 (fun i ->
+        Request.make ~id:i (if i mod 2 = 0 then "tweet alice" else "tweet bob"))
+  in
+  let run ~workers () =
+    let server =
+      Server.create ~lib ~model ~cache_capacity:1 ~workers ~queue_capacity:32 ()
+    in
+    let rs = Server.run_batch server reqs in
+    let s = Server.stats server in
+    check_invariant server;
+    Server.shutdown server;
+    (List.map cross_path_digest rs, s)
+  in
+  let seq1, s_seq = run ~workers:0 () in
+  let seq2, _ = run ~workers:0 () in
+  Alcotest.(check (list string)) "sequential deterministic" seq1 seq2;
+  Alcotest.(check int) "alternation defeats a capacity-1 cache" 24
+    s_seq.Server.cache_misses;
+  Alcotest.(check int) "every add after the first evicts" 23
+    s_seq.Server.cache_evictions;
+  Alcotest.(check int) "resident entry bounded by capacity" 1
+    s_seq.Server.cache_entries;
+  (* the pooled path may shard the two keys apart (fewer misses, no thrash)
+     but must stay deterministic and answer identically *)
+  let pooled1, s_pooled = run ~workers:2 () in
+  let pooled2, _ = run ~workers:2 () in
+  Alcotest.(check (list string)) "pooled deterministic" pooled1 pooled2;
+  Alcotest.(check (list string)) "pooled answers = sequential" seq1 pooled1;
+  Alcotest.(check int) "pooled accounts for every lookup" 24
+    (s_pooled.Server.cache_hits + s_pooled.Server.cache_misses)
+
+let test_concurrent_same_key_coalesces () =
+  let model = Lazy.force model in
+  (* sixteen concurrent submits of one key through real domain workers: the
+     key shards to a single worker, whose FIFO guarantees exactly one decode
+     warms the cache and every later submit hits it — even at capacity 1 *)
+  let server =
+    Server.create ~lib ~model ~cache_capacity:1 ~workers:2 ~queue_capacity:32 ()
+  in
+  let rs =
+    Server.run_batch server
+      (List.init 16 (fun i -> Request.make ~id:i "tweet alice"))
+  in
+  let s = Server.stats server in
+  check_invariant server;
+  Server.shutdown server;
+  Alcotest.(check int) "one decode" 1 s.Server.cache_misses;
+  Alcotest.(check int) "fifteen hits" 15 s.Server.cache_hits;
+  Alcotest.(check int) "no evictions on a single hot key" 0
+    s.Server.cache_evictions;
+  let programs =
+    List.sort_uniq compare
+      (List.map (fun (r : Response.t) -> r.Response.program_text) rs)
+  in
+  Alcotest.(check int) "one distinct program" 1 (List.length programs);
+  List.iter
+    (fun (r : Response.t) ->
+      Alcotest.(check string) "status ok" "ok"
+        (Response.status_to_string r.Response.status))
+    rs
 
 (* --- fault schedules --------------------------------------------------------------- *)
 
@@ -770,6 +857,12 @@ let suite =
     Alcotest.test_case "cached = cold parse" `Quick test_cached_response_identical;
     Alcotest.test_case "chan fifo and close" `Quick test_chan_fifo_and_close;
     Alcotest.test_case "chan try_push" `Quick test_chan_try_push;
+    Alcotest.test_case "chan try_push capacity boundary" `Quick
+      test_chan_try_push_capacity_boundary;
+    Alcotest.test_case "cache eviction under alternating keys" `Quick
+      test_cache_eviction_under_alternating_keys;
+    Alcotest.test_case "concurrent same-key coalesces" `Quick
+      test_concurrent_same_key_coalesces;
     Alcotest.test_case "pool roundtrip" `Quick test_pool_roundtrip;
     Alcotest.test_case "pool exception surfaces" `Quick test_pool_handler_exception_surfaces;
     Alcotest.test_case "pool drain_results pairs failures" `Quick

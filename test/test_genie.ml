@@ -21,4 +21,5 @@ let () =
       ("variants", Suite_variants.suite);
       ("core", Suite_core.suite);
       ("serve", Suite_serve.suite);
-      ("metrics-edge", Suite_metrics_edge.suite) ]
+      ("metrics-edge", Suite_metrics_edge.suite);
+      ("observe", Suite_observe.suite) ]
