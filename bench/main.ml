@@ -568,6 +568,156 @@ let observe_bench () =
          ("configs", List (List.map row rows)) ]);
   Printf.printf "wrote BENCH_observe.json\n%!"
 
+(* --- sharded synthesis pipeline -------------------------------------------------------------- *)
+
+(* Speedup, memo-cache hit rate and merge overhead of the domain-parallel
+   synthesis pipeline against its own sequential fallback (the same shard
+   algorithm on the calling domain, so the corpora are byte-identical and
+   the comparison is pure scheduling). Augmentation rides the same Pool
+   fan-out, so its sharded path is measured too. *)
+let synth_bench () =
+  header "bench_synth"
+    "Sharded synthesis: speedup, cache hit rate and merge overhead by worker count";
+  let lib, prims, rules = core_setup () in
+  let seed = 51 in
+  let target = if !quick then 60 else 200 in
+  let depth = 3 in
+  let g =
+    Genie_templates.Grammar.create lib ~prims ~rules
+      ~rng:(Genie_util.Rng.create seed) ()
+  in
+  let cfg =
+    { Genie_synthesis.Engine.default_config with
+      seed;
+      target_per_rule = target;
+      max_depth = depth }
+  in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "depth-%d corpus, target %d per rule, seed %d, %d core(s) available\n\n"
+    depth target seed cores;
+  let corpus_key ds =
+    String.concat "\n" (List.map Genie_templates.Derivation.sort_key ds)
+  in
+  let run_config ?(cache = true) workers =
+    let ds, stats =
+      Genie_synthesis.Engine.synthesize_derivations_stats ~workers ~cache g cfg
+    in
+    (workers, ds, stats)
+  in
+  let open Genie_synthesis.Engine in
+  Printf.printf "%-10s %10s %10s %12s %12s %10s\n" "workers" "pairs" "time s"
+    "cache hit%" "merge ovh%" "speedup";
+  let _, seq_ds, seq_stats = run_config 0 in
+  let seq_key = corpus_key seq_ds in
+  let seq_s = seq_stats.total_ns /. 1e9 in
+  let row (workers, ds, (stats : stats)) =
+    let t = stats.total_ns /. 1e9 in
+    let hit_rate =
+      float_of_int stats.cache_hits
+      /. Float.max 1.0 (float_of_int (stats.cache_hits + stats.cache_misses))
+    in
+    let merge_pct = 100. *. stats.merge_ns /. Float.max 1.0 stats.total_ns in
+    let speedup = seq_s /. Float.max 1e-9 t in
+    let deterministic = corpus_key ds = seq_key in
+    Printf.printf "%-10s %10d %10.2f %11.1f%% %11.1f%% %9.2fx%s\n%!"
+      (if workers = 0 then "seq" else string_of_int workers)
+      (List.length ds) t (100. *. hit_rate) merge_pct speedup
+      (if deterministic then "" else "  CORPUS MISMATCH");
+    (workers, t, hit_rate, merge_pct, speedup, deterministic)
+  in
+  let rows =
+    List.fold_left
+      (fun acc w ->
+        let r = if w = 0 then row (0, seq_ds, seq_stats) else row (run_config w) in
+        r :: acc)
+      [] [ 0; 1; 2; 4 ]
+    |> List.rev
+  in
+  (* cache contribution: same sequential run with the memo cache disabled *)
+  let _, nocache_ds, nocache_stats = run_config ~cache:false 0 in
+  let nocache_s = nocache_stats.total_ns /. 1e9 in
+  let cache_transparent = corpus_key nocache_ds = seq_key in
+  Printf.printf
+    "\ncache off (seq): %.2fs -> memo cache saves %.1f%% (corpus %s)\n"
+    nocache_s
+    (100. *. (1. -. (seq_s /. Float.max 1e-9 nocache_s)))
+    (if cache_transparent then "identical" else "MISMATCH");
+  (* sharded augmentation over the same Pool fan-out *)
+  let gz = Genie_augment.Gazettes.create ~size:500 () in
+  let examples =
+    List.filter_map
+      (fun (d : Genie_templates.Derivation.t) ->
+        match d.Genie_templates.Derivation.value with
+        | Genie_templates.Derivation.V_frag (Ast.F_program p) ->
+            Some (d.Genie_templates.Derivation.tokens, p)
+        | _ -> None)
+      seq_ds
+    |> List.mapi (fun i (tokens, program) ->
+           Genie_dataset.Example.make ~id:i ~tokens ~program
+             ~source:Genie_dataset.Example.Synthesized ())
+  in
+  let time f =
+    let t0 = Genie_observe.Tracer.now_ns () in
+    let r = f () in
+    (r, (Genie_observe.Tracer.now_ns () -. t0) /. 1e9)
+  in
+  let aug w =
+    time (fun () ->
+        Genie_augment.Expand.expand_dataset_sharded ~scale:0.5 ~workers:w lib gz
+          ~seed:(seed + 70) examples)
+  in
+  let aug_seq, aug_seq_s = aug 0 in
+  let aug_par, aug_par_s = aug 4 in
+  let aug_deterministic = aug_seq = aug_par in
+  Printf.printf
+    "augment (sharded): %d -> %d examples, seq %.2fs, 4 workers %.2fs (%s)\n"
+    (List.length examples) (List.length aug_seq) aug_seq_s aug_par_s
+    (if aug_deterministic then "identical" else "MISMATCH");
+  let speedup_4w =
+    match List.find_opt (fun (w, _, _, _, _, _) -> w = 4) rows with
+    | Some (_, _, _, _, s, _) -> s
+    | None -> 0.0
+  in
+  if cores < 4 then
+    Printf.printf
+      "(only %d core(s) visible to the runtime: worker domains time-share and \
+       cannot speed up CPU-bound synthesis; run on >= 4 cores to see the \
+       parallel speedup)\n%!"
+      cores;
+  let open Genie_util.Json_lite in
+  let row_json (workers, t, hit_rate, merge_pct, speedup, deterministic) =
+    Obj
+      [ ("workers", Int workers);
+        ("seconds", Float t);
+        ("cache_hit_rate", Float hit_rate);
+        ("merge_overhead_pct", Float merge_pct);
+        ("speedup_vs_seq", Float speedup);
+        ("corpus_identical_to_seq", Bool deterministic) ]
+  in
+  write_file "BENCH_synth.json"
+    (Obj
+       [ ("experiment", String "bench_synth");
+         ("depth", Int depth);
+         ("target_per_rule", Int target);
+         ("seed", Int seed);
+         ("cores", Int cores);
+         ("pairs", Int (List.length seq_ds));
+         ("shards", Int seq_stats.shards);
+         ("sequential_seconds", Float seq_s);
+         ("speedup_4w", Float speedup_4w);
+         ("cache_off_seconds", Float nocache_s);
+         ("cache_transparent", Bool cache_transparent);
+         ("configs", List (List.map row_json rows));
+         ("augment",
+          Obj
+            [ ("examples", Int (List.length examples));
+              ("expanded", Int (List.length aug_seq));
+              ("sequential_seconds", Float aug_seq_s);
+              ("four_worker_seconds", Float aug_par_s);
+              ("identical", Bool aug_deterministic) ]) ]);
+  Printf.printf "wrote BENCH_synth.json\n%!"
+
 (* --- Bechamel timing micro-benchmarks -------------------------------------------------------- *)
 
 let timing () =
@@ -670,7 +820,8 @@ let () =
       ("bench_mqan_small", mqan_small);
       ("bench_serve", serve_bench);
       ("bench_faults", faults_bench);
-      ("bench_observe", observe_bench) ]
+      ("bench_observe", observe_bench);
+      ("bench_synth", synth_bench) ]
   in
   List.iter (fun (id, run) -> if enabled id then run ()) experiments;
   if enabled "timing" && not !skip_timing then timing ();

@@ -73,29 +73,171 @@ let synthesize_cmd =
   in
   let depth = Arg.(value & opt int 5 & info [ "depth" ] ~doc:"Maximum derivation depth") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed") in
-  let run n target depth seed =
+  let workers =
+    Arg.(value & opt string "0"
+         & info [ "workers" ]
+             ~doc:"Comma-separated worker counts (0 = sequential). The corpus \
+                   must be byte-identical across all of them (exit 3 \
+                   otherwise).")
+  in
+  let faults =
+    Arg.(value & opt string ""
+         & info [ "faults" ]
+             ~doc:"Seeded shard fault schedule, e.g. \
+                   'seed=7,crash=0.1,drop=0.05'. Crashed shards are retried \
+                   deterministically; the corpus must be unchanged.")
+  in
+  let trace =
+    Arg.(value & opt string ""
+         & info [ "trace" ]
+             ~doc:"Write the first configuration's span stream to this JSONL \
+                   file, plus per-configuration structural trace digests to \
+                   FILE.digest. Synthesis traces are strict: digests must \
+                   agree across worker counts even under faults (exit 3 \
+                   otherwise).")
+  in
+  let digest_dir =
+    Arg.(value & opt string ""
+         & info [ "digest-dir" ]
+             ~doc:"Write one synth_d<K>.digest file per depth (the golden \
+                   corpus digest format under test/golden/) to this \
+                   directory.")
+  in
+  let run n target depth seed workers_csv faults trace digest_dir =
     let lib, prims, rules = setup () in
     let g =
       Genie_templates.Grammar.create lib ~prims ~rules
         ~rng:(Genie_util.Rng.create seed) ()
     in
-    let data =
-      Genie_synthesis.Engine.synthesize g
-        { Genie_synthesis.Engine.default_config with
-          seed;
-          target_per_rule = target;
-          max_depth = depth }
+    let cfg =
+      { Genie_synthesis.Engine.default_config with
+        seed;
+        target_per_rule = target;
+        max_depth = depth }
     in
-    Printf.printf "synthesized %d sentences\n\n" (List.length data);
+    let fault =
+      if faults = "" then Genie_conc.Fault.none
+      else
+        match Genie_conc.Fault.of_string faults with
+        | Ok f -> f
+        | Error e ->
+            Printf.eprintf "bad --faults spec: %s\n" e;
+            exit 2
+    in
+    if Genie_conc.Fault.active fault then
+      Printf.printf "fault schedule: %s\n" (Genie_conc.Fault.to_string fault);
+    let worker_counts =
+      match
+        List.filter_map int_of_string_opt
+          (Genie_util.Tok.split_on_string ~sep:"," workers_csv)
+      with
+      | [] -> [ 0 ]
+      | ws -> ws
+    in
+    let corpus_key ds =
+      String.concat "\n" (List.map Genie_templates.Derivation.sort_key ds)
+    in
+    let runs =
+      List.map
+        (fun w ->
+          let tracer =
+            if trace = "" then Genie_observe.Tracer.disabled
+            else Genie_observe.Tracer.create ~seed ~capacity:65536 ~slots:1 ()
+          in
+          let ds, stats =
+            Genie_synthesis.Engine.synthesize_derivations_stats ~tracer
+              ~workers:w ~fault g cfg
+          in
+          let dt = stats.Genie_synthesis.Engine.total_ns /. 1e9 in
+          Printf.printf
+            "workers=%-3s pairs=%d shards=%d retries=%d cache=%d/%d \
+             merge=%.1f%% %.2fs\n%!"
+            (if w <= 1 then "seq" else string_of_int w)
+            (List.length ds) stats.Genie_synthesis.Engine.shards
+            stats.Genie_synthesis.Engine.shard_retries
+            stats.Genie_synthesis.Engine.cache_hits
+            (stats.Genie_synthesis.Engine.cache_hits
+            + stats.Genie_synthesis.Engine.cache_misses)
+            (100.
+            *. stats.Genie_synthesis.Engine.merge_ns
+            /. Float.max 1.0 stats.Genie_synthesis.Engine.total_ns)
+            dt;
+          (w, ds, Genie_observe.Tracer.spans tracer))
+        worker_counts
+    in
+    let _, first, _ = List.hd runs in
+    (match runs with
+    | (_, ds0, _) :: rest ->
+        let k0 = corpus_key ds0 in
+        List.iter
+          (fun (w, ds, _) ->
+            if corpus_key ds <> k0 then begin
+              Printf.eprintf
+                "corpus at workers=%d differs from workers=%d: determinism \
+                 violation\n"
+                w
+                (let w0, _, _ = List.hd runs in
+                 w0);
+              exit 3
+            end)
+          rest
+    | [] -> ());
+    if digest_dir <> "" then begin
+      (try Unix.mkdir digest_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      for d = 1 to cfg.Genie_synthesis.Engine.max_depth do
+        let pairs, hex = Genie_synthesis.Engine.corpus_digest first ~depth:d in
+        let oc =
+          open_out (Filename.concat digest_dir (Printf.sprintf "synth_d%d.digest" d))
+        in
+        Printf.fprintf oc "depth=%d pairs=%d digest=%s\n" d pairs hex;
+        close_out oc
+      done;
+      Printf.printf "corpus digests written to %s/synth_d*.digest\n" digest_dir
+    end;
+    if trace <> "" then begin
+      let digests =
+        List.map
+          (fun (w, _, spans) ->
+            (w, List.length spans, Genie_observe.Export.digest ~strict:true spans))
+          runs
+      in
+      (match runs with
+      | (_, _, spans) :: _ -> Genie_observe.Export.write_jsonl trace spans
+      | [] -> ());
+      let oc = open_out (trace ^ ".digest") in
+      List.iter
+        (fun (w, n, d) ->
+          Printf.fprintf oc "workers=%s spans=%d strict=true digest=%s\n"
+            (if w <= 1 then "seq" else string_of_int w)
+            n d)
+        digests;
+      close_out oc;
+      Printf.printf "trace digests in %s.digest\n" trace;
+      match digests with
+      | (_, _, d0) :: rest when List.exists (fun (_, _, d) -> d <> d0) rest ->
+          prerr_endline "trace digests differ across worker counts";
+          exit 3
+      | _ -> ()
+    end;
+    Printf.printf "\nsynthesized %d sentences\n\n" (List.length first);
     List.iteri
-      (fun i (toks, p) ->
-        if i < n then
-          Printf.printf "%s\n  %s\n" (String.concat " " toks) (Printer.program_to_string p))
-      data
+      (fun i (d : Genie_templates.Derivation.t) ->
+        match d.Genie_templates.Derivation.value with
+        | Genie_templates.Derivation.V_frag (Ast.F_program p) ->
+            if i < n then
+              Printf.printf "%s\n  %s\n"
+                (String.concat " " d.Genie_templates.Derivation.tokens)
+                (Printer.program_to_string p)
+        | _ -> ())
+      first
   in
   Cmd.v
-    (Cmd.info "synthesize" ~doc:"Synthesize (sentence, ThingTalk) training pairs")
-    Term.(const run $ count $ target $ depth $ seed)
+    (Cmd.info "synthesize"
+       ~doc:
+         "Synthesize (sentence, ThingTalk) training pairs, optionally sharded \
+          over worker domains with deterministic merging")
+    Term.(const run $ count $ target $ depth $ seed $ workers $ faults $ trace
+          $ digest_dir)
 
 (* --- paraphrase ---------------------------------------------------------------- *)
 

@@ -136,3 +136,59 @@ let expand_dataset ?scale lib gz rng (examples : Genie_dataset.Example.t list) :
       in
       e :: extras)
     examples
+
+(* Sharded expansion: one shard per example, same determinism contract as
+   the synthesis engine. Each shard derives its RNG from (seed, dataset
+   index) — never from the worker id or the retry attempt — so its copies
+   are a pure function of the example, and the merge (dataset order, ids
+   renumbered sequentially) is byte-identical at every worker count and
+   under injected shard crashes. Unlike [expand_dataset], which threads one
+   RNG through the whole dataset, the output here does not depend on which
+   other examples are in the batch. *)
+let shard_seed ~seed ~index =
+  Int64.to_int
+    (Int64.shift_right_logical
+       (Genie_util.Hash64.int (Genie_util.Hash64.int 0L seed) index)
+       2)
+
+let expand_dataset_sharded ?scale ?(workers = 0)
+    ?(fault = Genie_conc.Fault.none) ?(max_attempts = 3) lib gz ~seed
+    (examples : Genie_dataset.Example.t list) : Genie_dataset.Example.t list =
+  let module Fault = Genie_conc.Fault in
+  let fault_hook =
+    if Fault.active fault then
+      Some
+        (fun ~index ~attempt ->
+          if Fault.crashes fault ~id:index ~attempt then Some Fault.Injected_crash
+          else if Fault.drops fault ~id:index ~attempt then Some Fault.Injected_drop
+          else None)
+    else None
+  in
+  let groups =
+    Genie_conc.Pool.map_list ~workers ~max_attempts ?fault_hook
+      ~handler:(fun _slot (index, e) ->
+        let rng = Genie_util.Rng.create (shard_seed ~seed ~index) in
+        let copies = multiplier ?scale e - 1 in
+        let extras =
+          List.filter_map
+            (fun _ -> expand_once lib gz rng e)
+            (List.init copies (fun i -> i))
+        in
+        e :: extras)
+      (List.mapi (fun i e -> (i, e)) examples)
+  in
+  let next_id =
+    ref (List.fold_left (fun m e -> max m e.Genie_dataset.Example.id) 0 examples + 1)
+  in
+  List.concat_map
+    (function
+      | [] -> []
+      | orig :: extras ->
+          orig
+          :: List.map
+               (fun e' ->
+                 let id = !next_id in
+                 incr next_id;
+                 { e' with Genie_dataset.Example.id = id })
+               extras)
+    groups

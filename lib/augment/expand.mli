@@ -31,4 +31,22 @@ val expand_dataset :
   Genie_util.Rng.t ->
   Genie_dataset.Example.t list ->
   Genie_dataset.Example.t list
-(** Each example plus its expanded copies, with fresh ids. *)
+(** Each example plus its expanded copies, with fresh ids. Sequential: one
+    RNG threads through the whole dataset. *)
+
+val expand_dataset_sharded :
+  ?scale:float ->
+  ?workers:int ->
+  ?fault:Genie_conc.Fault.t ->
+  ?max_attempts:int ->
+  Schema.Library.t ->
+  Gazettes.t ->
+  seed:int ->
+  Genie_dataset.Example.t list ->
+  Genie_dataset.Example.t list
+(** {!expand_dataset} with one shard per example, fanned over [workers]
+    domains ([0]/[1]: same algorithm on the calling domain). Each shard's
+    RNG derives from [(seed, dataset index)] only, and ids are renumbered in
+    dataset order at merge, so the output is byte-identical at every worker
+    count and under injected shard crashes ([fault]; a crashed shard is
+    retried up to [max_attempts] times with an identical result). *)

@@ -180,11 +180,22 @@ let repos ~seed ~n =
 type t = {
   pools : (string * string array) list;
   locations : string array;
+  by_name : (string, string array) Hashtbl.t;
 }
+
+(* Canonical listing of an index: hash-table iteration order depends on the
+   (randomized) hash seed, so any list derived from the table folds and then
+   sorts by pool name. [by_name] is built [~random:true] on purpose — an
+   unsorted iteration anywhere downstream would show up as in-process
+   non-determinism immediately, not only under OCAMLRUNPARAM=R. *)
+let sorted_pools by_name =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun name arr acc -> (name, arr) :: acc) by_name [])
 
 let create ?(size = 2000) () =
   let n = size in
-  { pools =
+  let raw_pools =
       [ ("person_name", person_names ~seed:101 ~n);
         ("username", usernames ~seed:102 ~n);
         ("hashtag", hashtags ~seed:103 ~n);
@@ -205,14 +216,17 @@ let create ?(size = 2000) () =
         ("city", Array.of_list cities);
         ("country", Array.of_list countries);
         ("currency", Array.of_list currencies);
-        ("topic", Array.of_list topics) ];
-    locations = Array.of_list cities }
+        ("topic", Array.of_list topics) ]
+  in
+  let by_name = Hashtbl.create ~random:true 32 in
+  List.iter (fun (name, arr) -> Hashtbl.replace by_name name arr) raw_pools;
+  { pools = sorted_pools by_name; locations = Array.of_list cities; by_name }
 
 let total_values t =
   List.fold_left (fun acc (_, a) -> acc + Array.length a) 0 t.pools
 
 let sample_from t rng name =
-  match List.assoc_opt name t.pools with
+  match Hashtbl.find_opt t.by_name name with
   | Some arr when Array.length arr > 0 -> Some (Genie_util.Rng.pick_array rng arr)
   | _ -> None
 

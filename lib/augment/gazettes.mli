@@ -8,8 +8,12 @@
     distinct values per slot type; provenance is irrelevant. *)
 
 type t = {
-  pools : (string * string array) list;  (** gazette name -> values *)
+  pools : (string * string array) list;
+      (** gazette name -> values, in canonical (sorted-by-name) order —
+          derived from [by_name] by a sorted fold, never by raw hash-table
+          iteration, so it is stable under randomized hashing *)
   locations : string array;
+  by_name : (string, string array) Hashtbl.t;  (** O(1) pool lookup *)
 }
 
 val create : ?size:int -> unit -> t

@@ -28,10 +28,51 @@ let table : entry list =
     e "turn on" "switch on"; e "turn off" "switch off"; e "set" "change";
     e "my" "all my"; e "a" "some"; e "call" "phone"; e "house" "home" ]
 
+(* The phrase table indexed by the first token of each [from_] phrase, so a
+   sentence only probes the entries whose phrases could actually start at one
+   of its tokens. The index is a hash table — and deliberately a randomized
+   one ([~random:true]), so any code path that iterated it without sorting
+   would be non-deterministic within a single process, not just under
+   OCAMLRUNPARAM=R. Every listing derived from it goes through a sorted
+   fold. *)
+type t = { by_token : (string, entry list) Hashtbl.t }
+
+let compare_entry a b = compare (a.from_, a.to_) (b.from_, b.to_)
+
+let index (entries : entry list) : t =
+  let by_token = Hashtbl.create ~random:true 64 in
+  List.iter
+    (fun entry ->
+      match entry.from_ with
+      | [] -> ()
+      | tok :: _ ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_token tok) in
+          Hashtbl.replace by_token tok (entry :: prev))
+    entries;
+  { by_token }
+
+let default = index table
+
+(* Canonical listing: hash-table iteration order depends on the (randomized)
+   hash seed, so fold into a list and sort by phrase. *)
+let entries t =
+  List.sort compare_entry
+    (Hashtbl.fold (fun _ es acc -> List.rev_append es acc) t.by_token [])
+
 (* Applies up to [max_subs] random substitutions, avoiding token spans that
    belong to parameter values (so the program label stays valid). *)
-let augment rng ?(max_subs = 2) ~protected (tokens : string list) : string list =
+let augment rng ?(max_subs = 2) ?(table = default) ~protected
+    (tokens : string list) : string list =
   let is_protected t = List.mem t protected in
+  (* candidate entries via the index, in canonical phrase order — never in
+     hash-table order, which would leak the hash seed into the RNG draws *)
+  let candidates =
+    List.sort_uniq compare_entry
+      (List.concat_map
+         (fun tok ->
+           Option.value ~default:[] (Hashtbl.find_opt table.by_token tok))
+         tokens)
+  in
   let applicable =
     List.filter
       (fun { from_; _ } ->
@@ -39,7 +80,7 @@ let augment rng ?(max_subs = 2) ~protected (tokens : string list) : string list 
         && Genie_util.Tok.contains_substring
              ~sub:(" " ^ String.concat " " from_ ^ " ")
              (" " ^ String.concat " " tokens ^ " "))
-      table
+      candidates
   in
   let substitute toks { from_; to_ } =
     match Genie_util.Tok.match_sub toks from_ with

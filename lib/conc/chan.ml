@@ -1,0 +1,66 @@
+(* Bounded blocking channel. Mutex + two conditions (not-empty / not-full);
+   Mutex and Condition are domain-safe in OCaml 5. *)
+
+exception Closed
+
+type 'a t = {
+  q : 'a Queue.t;
+  capacity : int;
+  m : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  { q = Queue.create ();
+    capacity = max 1 capacity;
+    m = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    closed = false }
+
+let with_lock t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let push t x =
+  with_lock t (fun () ->
+      while (not t.closed) && Queue.length t.q >= t.capacity do
+        Condition.wait t.not_full t.m
+      done;
+      if t.closed then raise Closed;
+      Queue.push x t.q;
+      Condition.signal t.not_empty)
+
+let try_push t x =
+  with_lock t (fun () ->
+      if t.closed then raise Closed;
+      if Queue.length t.q >= t.capacity then false
+      else begin
+        Queue.push x t.q;
+        Condition.signal t.not_empty;
+        true
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      while Queue.is_empty t.q && not t.closed do
+        Condition.wait t.not_empty t.m
+      done;
+      if Queue.is_empty t.q then None
+      else begin
+        let x = Queue.pop t.q in
+        Condition.signal t.not_full;
+        Some x
+      end)
+
+let close t =
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        Condition.broadcast t.not_empty;
+        Condition.broadcast t.not_full
+      end)
+
+let length t = with_lock t (fun () -> Queue.length t.q)

@@ -1,0 +1,150 @@
+(* Deterministic fault schedules: every decision hashes (seed, class, id[,
+   attempt]) through a splitmix64-style finalizer into a uniform float, so a
+   schedule depends only on the spec and the request ids — not on timing,
+   interleaving, or how many domains are running. *)
+
+exception Injected_crash
+exception Injected_drop
+
+type spec = {
+  seed : int;
+  crash_rate : float;
+  crash_attempts : int;
+  latency_rate : float;
+  latency_ns : float;
+  sleep : bool;
+  drop_rate : float;
+  drop_attempts : int;
+}
+
+type t = spec
+
+let default =
+  { seed = 0;
+    crash_rate = 0.0;
+    crash_attempts = 1;
+    latency_rate = 0.0;
+    latency_ns = 0.0;
+    sleep = false;
+    drop_rate = 0.0;
+    drop_attempts = 1 }
+
+let none = default
+
+let create (s : spec) =
+  let rate name r =
+    if not (r >= 0.0 && r <= 1.0) then
+      invalid_arg (Printf.sprintf "Fault.create: %s must be in [0, 1]" name)
+  in
+  rate "crash_rate" s.crash_rate;
+  rate "latency_rate" s.latency_rate;
+  rate "drop_rate" s.drop_rate;
+  if s.crash_attempts < 0 || s.drop_attempts < 0 then
+    invalid_arg "Fault.create: attempt counts must be >= 0";
+  if s.latency_ns < 0.0 then invalid_arg "Fault.create: latency_ns must be >= 0";
+  s
+
+let spec t = t
+
+let active t =
+  t.crash_rate > 0.0 || t.latency_rate > 0.0 || t.drop_rate > 0.0
+
+(* uniform in [0, 1) from the 53 top bits of the mixed key; Hash64 uses
+   fixed constants so schedules are stable across OCaml versions (unlike
+   Hashtbl.hash, whose algorithm is unspecified). *)
+let uniform ~seed ~tag ~id ~attempt =
+  let open Int64 in
+  let key =
+    add
+      (add (mul (of_int seed) 0x9e3779b97f4a7c15L) (mul (of_int tag) 0xd1b54a32d192ed03L))
+      (add (mul (of_int id) 0x2545f4914f6cdd1dL) (of_int attempt))
+  in
+  let bits = shift_right_logical (Genie_util.Hash64.mix64 key) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+let tag_crash = 1
+let tag_drop = 2
+let tag_latency = 3
+let tag_backoff = 4
+
+let crashes t ~id ~attempt =
+  t.crash_rate > 0.0
+  && attempt < t.crash_attempts
+  && uniform ~seed:t.seed ~tag:tag_crash ~id ~attempt:0 < t.crash_rate
+
+let drops t ~id ~attempt =
+  t.drop_rate > 0.0
+  && attempt < t.drop_attempts
+  && uniform ~seed:t.seed ~tag:tag_drop ~id ~attempt:0 < t.drop_rate
+
+let latency_ns t ~id =
+  if
+    t.latency_rate > 0.0
+    && uniform ~seed:t.seed ~tag:tag_latency ~id ~attempt:0 < t.latency_rate
+  then t.latency_ns
+  else 0.0
+
+let backoff_ns t ~base_ns ~id ~attempt =
+  let u = uniform ~seed:t.seed ~tag:tag_backoff ~id ~attempt in
+  base_ns *. Float.pow 2.0 (float_of_int attempt) *. (0.5 +. (0.5 *. u))
+
+let of_string s =
+  let parse_field spec field =
+    match String.index_opt field '=' with
+    | None -> Error (Printf.sprintf "fault spec: missing '=' in %S" field)
+    | Some i -> (
+        let key = String.sub field 0 i in
+        let v = String.sub field (i + 1) (String.length field - i - 1) in
+        let float_v () =
+          match float_of_string_opt v with
+          | Some f -> Ok f
+          | None -> Error (Printf.sprintf "fault spec: bad number %S for %s" v key)
+        in
+        let int_v () =
+          match int_of_string_opt v with
+          | Some n -> Ok n
+          | None -> Error (Printf.sprintf "fault spec: bad integer %S for %s" v key)
+        in
+        match key with
+        | "seed" -> Result.map (fun n -> { spec with seed = n }) (int_v ())
+        | "crash" -> Result.map (fun f -> { spec with crash_rate = f }) (float_v ())
+        | "crash_attempts" ->
+            Result.map (fun n -> { spec with crash_attempts = n }) (int_v ())
+        | "latency" ->
+            Result.map (fun f -> { spec with latency_rate = f }) (float_v ())
+        | "latency_ms" ->
+            Result.map (fun f -> { spec with latency_ns = f *. 1e6 }) (float_v ())
+        | "drop" -> Result.map (fun f -> { spec with drop_rate = f }) (float_v ())
+        | "drop_attempts" ->
+            Result.map (fun n -> { spec with drop_attempts = n }) (int_v ())
+        | "sleep" -> (
+            match bool_of_string_opt v with
+            | Some b -> Ok { spec with sleep = b }
+            | None -> Error (Printf.sprintf "fault spec: bad bool %S for sleep" v))
+        | _ -> Error (Printf.sprintf "fault spec: unknown key %S" key))
+  in
+  let fields =
+    List.filter (fun f -> f <> "") (String.split_on_char ',' (String.trim s))
+  in
+  let rec go spec = function
+    | [] -> (
+        match create spec with
+        | t -> Ok t
+        | exception Invalid_argument m -> Error m)
+    | f :: rest -> (
+        match parse_field spec (String.trim f) with
+        | Ok spec -> go spec rest
+        | Error _ as e -> e)
+  in
+  go default fields
+
+let to_string t =
+  String.concat ","
+    [ Printf.sprintf "seed=%d" t.seed;
+      Printf.sprintf "crash=%g" t.crash_rate;
+      Printf.sprintf "crash_attempts=%d" t.crash_attempts;
+      Printf.sprintf "latency=%g" t.latency_rate;
+      Printf.sprintf "latency_ms=%g" (t.latency_ns /. 1e6);
+      Printf.sprintf "drop=%g" t.drop_rate;
+      Printf.sprintf "drop_attempts=%d" t.drop_attempts;
+      Printf.sprintf "sleep=%b" t.sleep ]

@@ -1,0 +1,176 @@
+(* Domain worker pool: per-worker bounded inboxes, a shared result bag.
+
+   Results land in a mutex-protected list; the coordinator waits on a
+   condition until the expected count has accumulated. Handler exceptions are
+   captured per-item, paired with the request that caused them, and surfaced
+   at drain so a failing worker can neither deadlock the coordinator nor
+   lose a request silently. An optional [fault_hook] runs before the handler
+   and can declare a popped message "dropped" (fault injection): the item is
+   recorded as failed without running the handler, exactly as if the channel
+   had lost it but the coordinator had noticed. *)
+
+type ('req, 'resp) t = {
+  inboxes : 'req Chan.t array;
+  mutable domains : unit Domain.t array;
+  m : Mutex.t;
+  have_results : Condition.t;
+  mutable results : ('resp, 'req * exn) result list;
+  mutable n_results : int;
+  mutable shut : bool;
+}
+
+let workers t = Array.length t.inboxes
+
+let create ~workers:n ~queue_capacity ?fault_hook ~handler () =
+  if n < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let inboxes = Array.init n (fun _ -> Chan.create ~capacity:queue_capacity) in
+  let m = Mutex.create () in
+  let have_results = Condition.create () in
+  let t =
+    { inboxes;
+      domains = [||];
+      m;
+      have_results;
+      results = [];
+      n_results = 0;
+      shut = false }
+  in
+  let worker_loop w () =
+    let inbox = inboxes.(w) in
+    let rec loop () =
+      match Chan.pop inbox with
+      | None -> ()
+      | Some req ->
+          let resp =
+            match Option.bind fault_hook (fun hook -> hook w req) with
+            | Some e -> Error (req, e)
+            | None -> (
+                match handler w req with
+                | resp -> Ok resp
+                | exception e -> Error (req, e))
+          in
+          Mutex.lock m;
+          t.results <- resp :: t.results;
+          t.n_results <- t.n_results + 1;
+          Condition.signal have_results;
+          Mutex.unlock m;
+          loop ()
+    in
+    loop ()
+  in
+  t.domains <- Array.init n (fun w -> Domain.spawn (worker_loop w));
+  t
+
+let submit t ~worker req =
+  Chan.push t.inboxes.(worker mod workers t) req
+
+let try_submit t ~worker req =
+  Chan.try_push t.inboxes.(worker mod workers t) req
+
+let queue_length t ~worker = Chan.length t.inboxes.(worker mod workers t)
+
+let drain_results t n =
+  Mutex.lock t.m;
+  while t.n_results < n do
+    Condition.wait t.have_results t.m
+  done;
+  let taken = t.results in
+  t.results <- [];
+  t.n_results <- 0;
+  Mutex.unlock t.m;
+  List.rev taken
+
+let drain t n =
+  List.map
+    (function Ok r -> r | Error (_, e) -> raise e)
+    (drain_results t n)
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Array.iter Chan.close t.inboxes;
+    Array.iter Domain.join t.domains
+  end
+
+(* Generalized batch runner over arbitrary work items (not just serve
+   requests): run [handler] on every item, retry per-item failures up to
+   [max_attempts] on the same worker, and return results in submission
+   order. Sequential when [workers <= 1] — same handler, same retry loop,
+   same fault decisions, on the calling domain — so any-worker-count
+   determinism reduces to: the handler must be a pure function of
+   (item, index) and the fault_hook a pure function of (index, attempt). *)
+let map_list ~workers:n ?(queue_capacity = 64) ?(max_attempts = 3) ?fault_hook
+    ?on_retry ~handler items =
+  let items = Array.of_list items in
+  let total = Array.length items in
+  if total = 0 then []
+  else begin
+    let fault ~index ~attempt =
+      match fault_hook with
+      | None -> None
+      | Some hook -> hook ~index ~attempt
+    in
+    let retried ~index ~attempt e =
+      (match on_retry with
+      | None -> ()
+      | Some f -> f ~index ~attempt e);
+      if attempt + 1 >= max_attempts then raise e
+    in
+    if n <= 1 then
+      (* Sequential fallback on the calling domain. *)
+      let run index item =
+        let rec go attempt =
+          match
+            match fault ~index ~attempt with
+            | Some e -> raise e
+            | None -> handler index item
+          with
+          | resp -> resp
+          | exception e ->
+              retried ~index ~attempt e;
+              go (attempt + 1)
+        in
+        go 0
+      in
+      Array.to_list (Array.mapi run items)
+    else begin
+      (* Each in-flight message carries its item index and attempt number;
+         a failure comes back through drain_results paired with that
+         coordinate, so the coordinator resubmits it (same worker — the
+         index names the worker) with attempt+1 until max_attempts. *)
+      let pool =
+        create ~workers:n ~queue_capacity
+          ?fault_hook:
+            (Option.map
+               (fun hook _w (index, attempt) -> hook ~index ~attempt)
+               fault_hook)
+          ~handler:(fun _w (index, _attempt) ->
+            (index, handler index items.(index)))
+          ()
+      in
+      let out = Array.make total None in
+      Fun.protect
+        ~finally:(fun () -> shutdown pool)
+        (fun () ->
+          Array.iteri
+            (fun index _ -> submit pool ~worker:index (index, 0))
+            items;
+          let pending = ref total in
+          while !pending > 0 do
+            let batch = drain_results pool !pending in
+            pending := 0;
+            List.iter
+              (function
+                | Ok (index, resp) -> out.(index) <- Some resp
+                | Error ((index, attempt), e) ->
+                    retried ~index ~attempt e;
+                    incr pending;
+                    submit pool ~worker:index (index, attempt + 1))
+              batch
+          done);
+      Array.to_list
+        (Array.map
+           (function Some r -> r | None -> assert false)
+           out)
+    end
+  end

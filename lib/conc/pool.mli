@@ -54,3 +54,26 @@ val drain : ('req, 'resp) t -> int -> 'resp list
 
 val shutdown : _ t -> unit
 (** Closes every inbox and joins every domain. Idempotent. *)
+
+val map_list :
+  workers:int ->
+  ?queue_capacity:int ->
+  ?max_attempts:int ->
+  ?fault_hook:(index:int -> attempt:int -> exn option) ->
+  ?on_retry:(index:int -> attempt:int -> exn -> unit) ->
+  handler:(int -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** [map_list ~workers ~handler items] runs [handler index item] for every
+    item and returns the results in submission order, fanning items over a
+    fresh pool ([worker = index mod workers]) that is shut down before
+    returning. With [workers <= 1] the same handler/retry/fault loop runs on
+    the calling domain — no domains are spawned.
+
+    A failed item (handler exception, or [fault_hook ~index ~attempt]
+    returning [Some e] — e.g. an injected crash or drop) is reported to
+    [on_retry] and resubmitted to the same worker with [attempt + 1], up to
+    [max_attempts] (default 3) total tries; the final failure's exception is
+    re-raised. Results are deterministic at any worker count iff [handler]
+    is a pure function of [(index, item)] and [fault_hook] of
+    [(index, attempt)]. *)

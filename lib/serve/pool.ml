@@ -1,93 +1,4 @@
-(* Domain worker pool: per-worker bounded inboxes, a shared result bag.
-
-   Results land in a mutex-protected list; the coordinator waits on a
-   condition until the expected count has accumulated. Handler exceptions are
-   captured per-item, paired with the request that caused them, and surfaced
-   at drain so a failing worker can neither deadlock the coordinator nor
-   lose a request silently. An optional [fault_hook] runs before the handler
-   and can declare a popped message "dropped" (fault injection): the item is
-   recorded as failed without running the handler, exactly as if the channel
-   had lost it but the coordinator had noticed. *)
-
-type ('req, 'resp) t = {
-  inboxes : 'req Chan.t array;
-  mutable domains : unit Domain.t array;
-  m : Mutex.t;
-  have_results : Condition.t;
-  mutable results : ('resp, 'req * exn) result list;
-  mutable n_results : int;
-  mutable shut : bool;
-}
-
-let workers t = Array.length t.inboxes
-
-let create ~workers:n ~queue_capacity ?fault_hook ~handler () =
-  if n < 1 then invalid_arg "Pool.create: workers must be >= 1";
-  let inboxes = Array.init n (fun _ -> Chan.create ~capacity:queue_capacity) in
-  let m = Mutex.create () in
-  let have_results = Condition.create () in
-  let t =
-    { inboxes;
-      domains = [||];
-      m;
-      have_results;
-      results = [];
-      n_results = 0;
-      shut = false }
-  in
-  let worker_loop w () =
-    let inbox = inboxes.(w) in
-    let rec loop () =
-      match Chan.pop inbox with
-      | None -> ()
-      | Some req ->
-          let resp =
-            match Option.bind fault_hook (fun hook -> hook w req) with
-            | Some e -> Error (req, e)
-            | None -> (
-                match handler w req with
-                | resp -> Ok resp
-                | exception e -> Error (req, e))
-          in
-          Mutex.lock m;
-          t.results <- resp :: t.results;
-          t.n_results <- t.n_results + 1;
-          Condition.signal have_results;
-          Mutex.unlock m;
-          loop ()
-    in
-    loop ()
-  in
-  t.domains <- Array.init n (fun w -> Domain.spawn (worker_loop w));
-  t
-
-let submit t ~worker req =
-  Chan.push t.inboxes.(worker mod workers t) req
-
-let try_submit t ~worker req =
-  Chan.try_push t.inboxes.(worker mod workers t) req
-
-let queue_length t ~worker = Chan.length t.inboxes.(worker mod workers t)
-
-let drain_results t n =
-  Mutex.lock t.m;
-  while t.n_results < n do
-    Condition.wait t.have_results t.m
-  done;
-  let taken = t.results in
-  t.results <- [];
-  t.n_results <- 0;
-  Mutex.unlock t.m;
-  List.rev taken
-
-let drain t n =
-  List.map
-    (function Ok r -> r | Error (_, e) -> raise e)
-    (drain_results t n)
-
-let shutdown t =
-  if not t.shut then begin
-    t.shut <- true;
-    Array.iter Chan.close t.inboxes;
-    Array.iter Domain.join t.domains
-  end
+(* Re-export: the domain worker pool moved to [Genie_conc] so non-serving
+   batch work (sharded synthesis, augmentation) can fan out over it. Kept
+   here so existing [Genie_serve.Pool] callers are unchanged. *)
+include Genie_conc.Pool

@@ -1,10 +1,22 @@
-(** Randomized, depth-bounded synthesis by sampling (paper section 3.1).
+(** Randomized, depth-bounded synthesis by sampling (paper section 3.1),
+    sharded for domain parallelism.
 
     Exhaustive enumeration grows exponentially with depth and library size, so
     the engine samples a configurable number of derivations per construct
     template, with a budget that halves at each depth: many low-depth
     derivations provide breadth, fewer high-depth ones add variance and
-    expand the set of recognized programs. *)
+    expand the set of recognized programs.
+
+    One depth's expansion frontier is split into one shard per construct
+    template. Each shard derives its RNG from (seed, depth, rule index) —
+    never from the worker id or the retry attempt — samples against the
+    previous depths' tables (shared read-only), and memoizes semantic-function
+    applications in a per-shard cache keyed by the structural hash of the
+    sub-derivations. The coordinator merges shards in canonical rule order,
+    dedups globally, and sorts every (non-terminal, depth) bucket by
+    {!Genie_templates.Derivation.sort_key}, so the corpus is byte-identical
+    at every [workers] count and under injected shard crashes (see
+    docs/synthesis.md). *)
 
 type config = {
   max_depth : int;  (** the paper uses 5 *)
@@ -16,18 +28,68 @@ type config = {
 
 val default_config : config
 
+type stats = {
+  shards : int;  (** shard executions scheduled: max_depth × enabled rules *)
+  shard_retries : int;  (** shards re-run after an injected crash/drop *)
+  cache_hits : int;  (** semantic applications answered by the memo cache *)
+  cache_misses : int;
+  merged : int;  (** derivations kept at merge (post global dedup), depth ≥ 1 *)
+  deduped : int;  (** cross-shard duplicates dropped at merge *)
+  merge_ns : float;  (** total time in the merge stage *)
+  total_ns : float;
+}
+
 val synthesize_derivations :
   ?tracer:Genie_observe.Tracer.t ->
+  ?workers:int ->
+  ?fault:Genie_conc.Fault.t ->
+  ?cache:bool ->
+  ?max_attempts:int ->
   Genie_templates.Grammar.t -> config -> Genie_templates.Derivation.t list
-(** All start-category derivations, deduplicated by (sentence, semantics).
+(** All start-category derivations, deduplicated by (sentence, semantics)
+    and returned in canonical (depth, structural key) order.
+
+    [workers] (default 0) fans the per-depth shards over that many domains;
+    [0] and [1] run the identical shard algorithm on the calling domain, and
+    the output is byte-identical at every worker count. [fault] (default
+    none) injects deterministic shard crashes/drops; a faulted shard is
+    retried (same RNG, same output) up to [max_attempts] (default 3) times,
+    so the corpus is unchanged under any surviving schedule. [cache]
+    (default true) toggles the per-shard memo cache, which is
+    observationally transparent.
 
     With [tracer], each depth records a span (its [request] field is the
     depth) with one [template] child per construct template carrying
-    accepted/attempted counts — span identity is (tracer seed, depth, rule
-    index), so a seeded corpus run traces identically across repeats. *)
+    accepted/attempted counts and shard cache statistics, a [merge] child
+    (kept/deduped counts), and a [shard.retry] child per injected-fault
+    retry — span identity is (tracer seed, depth, seq, name), so a seeded
+    corpus run traces identically across repeats and worker counts. *)
+
+val synthesize_derivations_stats :
+  ?tracer:Genie_observe.Tracer.t ->
+  ?workers:int ->
+  ?fault:Genie_conc.Fault.t ->
+  ?cache:bool ->
+  ?max_attempts:int ->
+  Genie_templates.Grammar.t -> config ->
+  Genie_templates.Derivation.t list * stats
+(** {!synthesize_derivations} plus pipeline counters, for the benchmark
+    harness and the CLI. *)
+
+val corpus_digest :
+  Genie_templates.Derivation.t list -> depth:int -> int * string
+(** [(pairs, hex)] for the corpus slice at exactly [depth]: a
+    {!Genie_util.Hash64} fold over the slice's structural sort keys in
+    corpus order. This is what `test/golden/synth_d*.digest` pins and what
+    `genie synthesize --digest-dir` emits (see docs/synthesis.md for the
+    regold workflow). *)
 
 val synthesize :
   ?tracer:Genie_observe.Tracer.t ->
+  ?workers:int ->
+  ?fault:Genie_conc.Fault.t ->
+  ?cache:bool ->
+  ?max_attempts:int ->
   Genie_templates.Grammar.t -> config ->
   (string list * Genie_thingtalk.Ast.program) list
 (** The synthesized (sentence tokens, program) pairs. Every program
@@ -35,12 +97,20 @@ val synthesize :
 
 val synthesize_programs :
   ?tracer:Genie_observe.Tracer.t ->
+  ?workers:int ->
+  ?fault:Genie_conc.Fault.t ->
+  ?cache:bool ->
+  ?max_attempts:int ->
   Genie_templates.Grammar.t -> config -> Genie_thingtalk.Ast.program list
 (** Programs only: the corpus for pretraining the decoder language model on a
     much larger program space (section 4.2). *)
 
 val synthesize_policies :
   ?tracer:Genie_observe.Tracer.t ->
+  ?workers:int ->
+  ?fault:Genie_conc.Fault.t ->
+  ?cache:bool ->
+  ?max_attempts:int ->
   Genie_templates.Grammar.t -> config ->
   (string list * Genie_thingtalk.Ast.policy) list
 (** TACL policies, for grammars whose start symbol is ["policy"]. *)

@@ -43,3 +43,26 @@ let value_key (v : dvalue) =
       Printf.sprintf "fun:%s/%s" (Printer.invocation_to_string inv) hole_ip
 
 let key d = sentence d ^ " || " ^ value_key d.value
+
+(* Structural sort key: every component is derived from the derivation's
+   content (never from addresses, hash-table order, or discovery order), so
+   sorting a bucket of derivations by it yields the same sequence no matter
+   which worker produced them or in what interleaving. Depth leads so merged
+   corpora group by expansion depth; [key] already pairs the sentence with a
+   printed canonical form of the semantics, making the composite injective
+   up to semantic equality — exactly the granularity dedup uses. *)
+let sort_key d = Printf.sprintf "%04d|%s" d.depth (key d)
+
+let compare_structural a b = String.compare (sort_key a) (sort_key b)
+
+let structural_hash d =
+  Genie_util.Hash64.string (Genie_util.Hash64.int 0L d.depth) (key d)
+
+(* [sort_key] and [structural_hash] from a single [key] computation — [key]
+   prints the semantics, which dominates the cost, so callers that need both
+   (the synthesis engine's merge stage) use this. *)
+let decorate_keyed d k =
+  ( Printf.sprintf "%04d|%s" d.depth k,
+    Genie_util.Hash64.string (Genie_util.Hash64.int 0L d.depth) k )
+
+let decorate d = decorate_keyed d (key d)

@@ -35,3 +35,25 @@ val fragment_program : Ast.fragment -> Ast.program option
 val value_key : dvalue -> string
 val key : t -> string
 (** The deduplication key: sentence plus semantics. *)
+
+val sort_key : t -> string
+(** Structural merge key: depth (zero-padded) plus {!key}. A pure function
+    of the derivation's content, so sorting by it is stable across worker
+    counts, schedulers and hash seeds. *)
+
+val compare_structural : t -> t -> int
+(** [String.compare] on {!sort_key} — a total order on derivations,
+    antisymmetric up to [key]-equality (the granularity dedup uses). *)
+
+val structural_hash : t -> int64
+(** Deterministic 64-bit hash of (depth, {!key}) via {!Genie_util.Hash64};
+    the memo-cache key ingredient for shared-subtree detection. *)
+
+val decorate : t -> string * int64
+(** [(sort_key d, structural_hash d)] with the underlying {!key} printed
+    only once. *)
+
+val decorate_keyed : t -> string -> string * int64
+(** {!decorate} for callers that already hold [key d] (the synthesis
+    engine's merge stage, which computed it for deduplication): no
+    reprinting at all. *)

@@ -117,6 +117,86 @@ let test_ppdb_substitutes () =
   done;
   Alcotest.(check bool) "ppdb rewrites" true !changed
 
+(* --- iteration-order independence regressions ------------------------------------- *)
+
+(* Both augmentation indexes are randomized hash tables (~random:true), so
+   any path that consumed raw iteration order would already be flaky within
+   one process; these pin the sorted-fold contract (also exercised under
+   OCAMLRUNPARAM=R in CI). *)
+
+let test_ppdb_index_order_independent () =
+  (* the same phrase table indexed from a different insertion order must
+     produce identical rewrites for identical RNG streams *)
+  let shuffled = Genie_augment.Ppdb.index (List.rev Genie_augment.Ppdb.table) in
+  Alcotest.(check bool) "canonical entry listing" true
+    (Genie_augment.Ppdb.entries shuffled
+    = Genie_augment.Ppdb.entries Genie_augment.Ppdb.default);
+  let tokens = Genie_util.Tok.tokenize "show me my emails when the picture changes" in
+  for seed = 0 to 19 do
+    let out table =
+      Genie_augment.Ppdb.augment (Genie_util.Rng.create seed) ~table
+        ~protected:[ "picture" ] tokens
+    in
+    Alcotest.(check (list string))
+      (Printf.sprintf "same rewrite, seed %d" seed)
+      (out Genie_augment.Ppdb.default)
+      (out shuffled)
+  done
+
+let test_gazette_pools_sorted () =
+  let names = List.map fst gz.Genie_augment.Gazettes.pools in
+  Alcotest.(check (list string)) "pools listed in sorted order"
+    (List.sort compare names) names;
+  (* the listing and the lookup index agree *)
+  List.iter
+    (fun (name, arr) ->
+      match Hashtbl.find_opt gz.Genie_augment.Gazettes.by_name name with
+      | None -> Alcotest.fail (name ^ " missing from index")
+      | Some arr' -> Alcotest.(check bool) (name ^ " index agrees") true (arr == arr'))
+    gz.Genie_augment.Gazettes.pools
+
+let sharded_inputs =
+  lazy
+    (List.mapi
+       (fun i (src, sentence) ->
+         { (example src sentence) with Genie_dataset.Example.id = i })
+       [ ("now => @com.twitter.post(status = \"hello world\");", "tweet \"hello world\"");
+         ("now => @com.gmail.inbox() => notify;", "show me my emails");
+         ("now => @com.dogapi.get() => notify;", "get a dog picture");
+         ( "now => @com.twitter.post(status = \"good morning\");",
+           "post \"good morning\" on twitter" );
+         ("now => @thermostat.get_temperature() => notify;", "what is the temperature") ])
+
+let test_expand_sharded_worker_invariant () =
+  let inputs = Lazy.force sharded_inputs in
+  let run ?fault workers =
+    Genie_augment.Expand.expand_dataset_sharded ~scale:1.0 ?fault ~workers lib gz
+      ~seed:13 inputs
+  in
+  let expected = run 0 in
+  Alcotest.(check bool) "expands" true (List.length expected > List.length inputs);
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "workers=%d identical" w)
+        true
+        (run w = expected))
+    [ 1; 2; 4 ];
+  let fault =
+    Genie_conc.Fault.create
+      { Genie_conc.Fault.default with
+        Genie_conc.Fault.seed = 3;
+        crash_rate = 0.5;
+        crash_attempts = 2 }
+  in
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "workers=%d with crashes identical" w)
+        true
+        (run ~fault w = expected))
+    [ 0; 2 ]
+
 let suite =
   [ Alcotest.test_case "gazettes deterministic" `Quick test_gazettes_deterministic;
     Alcotest.test_case "gazette values distinct" `Quick test_gazettes_distinct_values;
@@ -126,4 +206,9 @@ let suite =
     Alcotest.test_case "expansion multipliers" `Quick test_expand_dataset_multipliers;
     Alcotest.test_case "no replaceable params" `Quick test_expand_no_replaceable_params;
     Alcotest.test_case "ppdb protects parameters" `Quick test_ppdb_protects_parameters;
-    Alcotest.test_case "ppdb substitutes" `Quick test_ppdb_substitutes ]
+    Alcotest.test_case "ppdb substitutes" `Quick test_ppdb_substitutes;
+    Alcotest.test_case "ppdb index order-independent" `Quick
+      test_ppdb_index_order_independent;
+    Alcotest.test_case "gazette pools sorted" `Quick test_gazette_pools_sorted;
+    Alcotest.test_case "sharded expansion worker-invariant" `Quick
+      test_expand_sharded_worker_invariant ]

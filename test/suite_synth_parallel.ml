@@ -1,0 +1,343 @@
+(* Differential, property and golden tests for the domain-parallel synthesis
+   pipeline. The engine's contract is that the synthesized corpus is a pure
+   function of (grammar, config): byte-identical at every worker count, under
+   injected shard crashes/drops, and with the memo cache on or off. The
+   differential tests check that contract over every experiment grammar the
+   repo uses (core ThingTalk, the TACL policy language, the TT+A aggregation
+   extension, and the comprehensive Spotify skill); golden digests pin the
+   canonical bucket order against the files under test/golden/.
+
+   Regolding (after an intentional grammar or ordering change): run with
+   SYNTH_REGOLD=1 to print the new digest lines, or regenerate the files
+   directly with
+     genie synthesize --target 30 --depth 3 --seed 51 --digest-dir test/golden
+   (see docs/synthesis.md). *)
+
+open Genie_thingtalk
+module Engine = Genie_synthesis.Engine
+module Grammar = Genie_templates.Grammar
+module Derivation = Genie_templates.Derivation
+module Fault = Genie_conc.Fault
+
+(* Worker counts under test. CI legs override via GENIE_TEST_WORKERS (a CSV,
+   e.g. "4"); the sequential reference is always included. *)
+let worker_counts =
+  match Sys.getenv_opt "GENIE_TEST_WORKERS" with
+  | None -> [ 0; 1; 2; 4 ]
+  | Some s ->
+      0
+      :: (String.split_on_char ',' (String.trim s)
+         |> List.filter (fun x -> x <> "")
+         |> List.map int_of_string
+         |> List.filter (fun w -> w > 0))
+
+(* --- the experiment grammars ------------------------------------------------------ *)
+
+type tcase = { cname : string; grammar : Grammar.t Lazy.t; cfg : Engine.config }
+
+let mk_cfg ~seed ~target ~depth =
+  { Engine.default_config with
+    Engine.seed;
+    target_per_rule = target;
+    max_depth = depth }
+
+(* Same parameters as the CLI golden run (`genie synthesize --target 30
+   --depth 3 --seed 51`): the core case doubles as the golden corpus. *)
+let core_case =
+  { cname = "core";
+    grammar =
+      lazy
+        (let lib = Genie_thingpedia.Thingpedia.core_library () in
+         Grammar.create lib
+           ~prims:(Genie_thingpedia.Thingpedia.core_templates ())
+           ~rules:(Genie_templates.Rules_thingtalk.rules lib)
+           ~rng:(Genie_util.Rng.create 51) ());
+    cfg = mk_cfg ~seed:51 ~target:30 ~depth:3 }
+
+(* TACL access-control policies: start symbol "policy" (Case_studies). *)
+let tacl_case =
+  { cname = "tacl";
+    grammar =
+      lazy
+        (let lib =
+           Schema.Library.of_classes
+             (Genie_thingpedia.Thingpedia.core_classes
+             @ [ Genie_templates.Rules_tacl.policy_class ])
+         in
+         let rules =
+           Genie_templates.Rules_tacl.rules lib
+           @ List.filter
+               (fun (r : Grammar.rule) -> r.Grammar.name = "np_filter")
+               (Genie_templates.Rules_thingtalk.rules lib)
+         in
+         let extra_terminals =
+           [ ( "person",
+               Genie_templates.Rules_tacl.person_terminals
+                 (Genie_util.Rng.create 9) ~samples:1 ) ]
+         in
+         Grammar.create lib
+           ~prims:(Genie_thingpedia.Thingpedia.core_templates ())
+           ~rules
+           ~rng:(Genie_util.Rng.create 19)
+           ~start:"policy" ~extra_terminals ());
+    cfg = mk_cfg ~seed:29 ~target:20 ~depth:3 }
+
+(* TT+A: ThingTalk extended with aggregation templates. *)
+let agg_case =
+  { cname = "aggregation";
+    grammar =
+      lazy
+        (let lib = Genie_thingpedia.Thingpedia.core_library () in
+         Grammar.create lib
+           ~prims:(Genie_thingpedia.Thingpedia.core_templates ())
+           ~rules:
+             (Genie_templates.Rules_thingtalk.rules lib
+             @ Genie_templates.Rules_agg.rules lib)
+           ~rng:(Genie_util.Rng.create 31)
+           ~extra_terminals:(Genie_templates.Rules_agg.terminals lib) ());
+    cfg = mk_cfg ~seed:33 ~target:20 ~depth:3 }
+
+(* Spotify: the full library with the comprehensive skill's templates. *)
+let spotify_case =
+  { cname = "spotify";
+    grammar =
+      lazy
+        (let lib = Genie_thingpedia.Thingpedia.full_library () in
+         Grammar.create lib
+           ~prims:(Genie_thingpedia.Thingpedia.spotify_templates ())
+           ~rules:(Genie_templates.Rules_thingtalk.rules lib)
+           ~rng:(Genie_util.Rng.create 41) ());
+    cfg = mk_cfg ~seed:43 ~target:15 ~depth:3 }
+
+let cases = [ core_case; tacl_case; agg_case; spotify_case ]
+
+let synth ?fault ?cache ~workers case =
+  Engine.synthesize_derivations ?fault ?cache ~workers (Lazy.force case.grammar)
+    case.cfg
+
+(* The sequential corpus of each case, computed once and shared by the
+   differential, fault and golden tests. *)
+let reference case = lazy (synth ~workers:0 case)
+
+let core_reference = reference core_case
+let references =
+  List.map
+    (fun case ->
+      (case, if case.cname = "core" then core_reference else reference case))
+    cases
+
+(* --- differential: every worker count produces the reference corpus -------------- *)
+
+let check_same_corpus label expected got =
+  Alcotest.(check int) (label ^ ": size") (List.length expected) (List.length got);
+  Alcotest.(check bool) (label ^ ": content") true (expected = got)
+
+let test_workers_identical (case, ref_corpus) () =
+  let expected = Lazy.force ref_corpus in
+  Alcotest.(check bool) (case.cname ^ ": nonempty") true (List.length expected > 0);
+  List.iter
+    (fun w ->
+      check_same_corpus
+        (Printf.sprintf "%s: workers=%d" case.cname w)
+        expected (synth ~workers:w case))
+    (List.filter (fun w -> w > 0) worker_counts)
+
+(* Seeded shard-fault schedules: crashed/dropped shards are retried with the
+   same RNG, so no surviving schedule may change a byte of the corpus. *)
+let fault_schedules =
+  [ ( "crash",
+      Fault.create
+        { Fault.default with Fault.seed = 7; crash_rate = 0.4; crash_attempts = 2 } );
+    ( "crash+drop",
+      Fault.create
+        { Fault.default with
+          Fault.seed = 11;
+          crash_rate = 0.25;
+          crash_attempts = 1;
+          drop_rate = 0.25;
+          drop_attempts = 1 } ) ]
+
+let test_fault_identical (case, ref_corpus) () =
+  let expected = Lazy.force ref_corpus in
+  List.iter
+    (fun (fname, fault) ->
+      List.iter
+        (fun w ->
+          check_same_corpus
+            (Printf.sprintf "%s: fault=%s workers=%d" case.cname fname w)
+            expected
+            (synth ~fault ~workers:w case))
+        worker_counts)
+    fault_schedules
+
+(* --- memo-cache transparency ------------------------------------------------------ *)
+
+(* The per-shard memo cache short-circuits semantic-function applications;
+   apply_rule is deterministic, so caching must be observationally
+   invisible across seeds. *)
+let qcheck_cache_transparent =
+  QCheck.Test.make ~name:"memo cache is observationally transparent" ~count:200
+    QCheck.small_nat (fun n ->
+      let cfg = mk_cfg ~seed:n ~target:8 ~depth:2 in
+      let g = Lazy.force core_case.grammar in
+      Engine.synthesize_derivations ~cache:true g cfg
+      = Engine.synthesize_derivations ~cache:false g cfg)
+
+(* --- structural sort key properties ----------------------------------------------- *)
+
+let derivation_pool = lazy (Array.of_list (Lazy.force core_reference))
+
+let arbitrary_derivation =
+  QCheck.make
+    (QCheck.Gen.map
+       (fun i ->
+         let pool = Lazy.force derivation_pool in
+         pool.(i mod Array.length pool))
+       QCheck.Gen.big_nat)
+    ~print:(fun d -> Derivation.sort_key d)
+
+let sign x = compare x 0
+
+let qcheck_sort_key_total_order =
+  QCheck.Test.make ~name:"structural compare is a consistent total order"
+    ~count:300
+    QCheck.(pair arbitrary_derivation arbitrary_derivation)
+    (fun (a, b) ->
+      Derivation.compare_structural a a = 0
+      && Derivation.compare_structural b b = 0
+      && sign (Derivation.compare_structural a b)
+         = - (sign (Derivation.compare_structural b a)))
+
+let qcheck_sort_key_antisymmetric =
+  QCheck.Test.make
+    ~name:"structural compare is antisymmetric at dedup granularity" ~count:300
+    QCheck.(pair arbitrary_derivation arbitrary_derivation)
+    (fun (a, b) ->
+      (* equal order <=> same sort key <=> same (depth, dedup key): exactly
+         the granularity the merge's global dedup uses *)
+      if Derivation.compare_structural a b = 0 then
+        Derivation.sort_key a = Derivation.sort_key b
+        && a.Derivation.depth = b.Derivation.depth
+        && Derivation.key a = Derivation.key b
+      else Derivation.sort_key a <> Derivation.sort_key b)
+
+let test_decorations_agree () =
+  (* decorate/decorate_keyed are the fused fast paths the engine uses; they
+     must agree with the specification functions *)
+  Array.iter
+    (fun d ->
+      let sk, h = Derivation.decorate d in
+      Alcotest.(check string) "decorate sort key" (Derivation.sort_key d) sk;
+      Alcotest.(check int64) "decorate hash" (Derivation.structural_hash d) h;
+      Alcotest.(check bool) "decorate_keyed agrees" true
+        (Derivation.decorate_keyed d (Derivation.key d) = (sk, h)))
+    (Lazy.force derivation_pool)
+
+(* --- corpus order and digests ----------------------------------------------------- *)
+
+let test_canonical_order () =
+  (* within each depth slice the corpus is sorted by structural key with no
+     dedup-key duplicates anywhere *)
+  let ds = Lazy.force core_reference in
+  let by_depth = Hashtbl.create 8 in
+  List.iter
+    (fun d ->
+      let cur =
+        Option.value ~default:[] (Hashtbl.find_opt by_depth d.Derivation.depth)
+      in
+      Hashtbl.replace by_depth d.Derivation.depth (d :: cur))
+    ds;
+    Hashtbl.iter
+      (fun depth slice ->
+        let slice = List.rev slice in
+        let keys = List.map Derivation.sort_key slice in
+        Alcotest.(check bool)
+          (Printf.sprintf "depth %d slice sorted" depth)
+          true
+          (keys = List.sort compare keys))
+      by_depth;
+  let keys = List.map Derivation.key ds in
+  Alcotest.(check int) "no dedup-key duplicates" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let golden_depths = [ 1; 2; 3 ]
+
+(* dune runtest runs in the sandboxed test directory; dune exec from the
+   project root — accept either. *)
+let read_golden depth =
+  let name = Printf.sprintf "golden/synth_d%d.digest" depth in
+  let path =
+    if Sys.file_exists name then name else Filename.concat "test" name
+  in
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  line
+
+let test_golden_digests () =
+  let ds = Lazy.force core_reference in
+  let regold = Sys.getenv_opt "SYNTH_REGOLD" <> None in
+  List.iter
+    (fun depth ->
+      let pairs, hex = Engine.corpus_digest ds ~depth in
+      let line = Printf.sprintf "depth=%d pairs=%d digest=%s" depth pairs hex in
+      if regold then Printf.printf "test/golden/synth_d%d.digest: %s\n%!" depth line;
+      Alcotest.(check string)
+        (Printf.sprintf "golden digest depth %d" depth)
+        (read_golden depth) line)
+    golden_depths
+
+let test_digest_sensitivity () =
+  (* the digest is over sort keys in corpus order: dropping or reordering a
+     pair changes it *)
+  let ds = Lazy.force core_reference in
+  let _, full = Engine.corpus_digest ds ~depth:1 in
+  let _, dropped = Engine.corpus_digest (List.tl ds) ~depth:1 in
+  let at1 = List.filter (fun d -> d.Derivation.depth = 1) ds in
+  let _, reordered = Engine.corpus_digest (List.rev at1) ~depth:1 in
+  Alcotest.(check bool) "drop changes digest" true (full <> dropped);
+  Alcotest.(check bool) "reorder changes digest" true (full <> reordered)
+
+(* --- stats plumbing --------------------------------------------------------------- *)
+
+let test_stats_consistent () =
+  let fault =
+    Fault.create
+      { Fault.default with Fault.seed = 7; crash_rate = 0.4; crash_attempts = 2 }
+  in
+  let ds, st =
+    Engine.synthesize_derivations_stats ~workers:2 ~fault
+      (Lazy.force core_case.grammar) core_case.cfg
+  in
+  Alcotest.(check bool) "corpus still canonical" true (ds = Lazy.force core_reference);
+  Alcotest.(check bool) "shards scheduled" true (st.Engine.shards > 0);
+  Alcotest.(check bool) "schedule injected retries" true (st.Engine.shard_retries > 0);
+  Alcotest.(check bool) "cache active" true (st.Engine.cache_hits > 0);
+  (* depth >= 1 kept derivations are exactly the non-terminal-depth corpus *)
+  let nonterminal =
+    List.length (List.filter (fun d -> d.Derivation.depth >= 1) ds)
+  in
+  Alcotest.(check bool) "merged covers the corpus" true (st.Engine.merged >= nonterminal)
+
+let suite =
+  List.concat
+    [ List.map
+        (fun ((case, _) as cr) ->
+          Alcotest.test_case
+            (Printf.sprintf "corpus worker-invariant (%s)" case.cname)
+            `Quick (test_workers_identical cr))
+        references;
+      List.map
+        (fun ((case, _) as cr) ->
+          Alcotest.test_case
+            (Printf.sprintf "corpus fault-invariant (%s)" case.cname)
+            `Slow (test_fault_identical cr))
+        references;
+      [ QCheck_alcotest.to_alcotest qcheck_cache_transparent;
+        QCheck_alcotest.to_alcotest qcheck_sort_key_total_order;
+        QCheck_alcotest.to_alcotest qcheck_sort_key_antisymmetric;
+        Alcotest.test_case "decorations agree with spec" `Quick test_decorations_agree;
+        Alcotest.test_case "canonical corpus order" `Quick test_canonical_order;
+        Alcotest.test_case "golden corpus digests" `Quick test_golden_digests;
+        Alcotest.test_case "digest sensitivity" `Quick test_digest_sensitivity;
+        Alcotest.test_case "stats consistent under faults" `Quick test_stats_consistent ] ]

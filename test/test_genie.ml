@@ -10,6 +10,7 @@ let () =
       ("thingpedia", Suite_thingpedia.suite);
       ("templates", Suite_templates.suite);
       ("synthesis", Suite_synthesis.suite);
+      ("synth-parallel", Suite_synth_parallel.suite);
       ("crowd", Suite_crowd.suite);
       ("augment", Suite_augment.suite);
       ("dataset", Suite_dataset.suite);
