@@ -267,6 +267,175 @@ let mqan_small () =
   Printf.printf "exact-match on held-out synthesized sentences: %d / %d\n%!" exact
     (List.length test)
 
+(* --- batched training: throughput, determinism and batch-vs-loop identity -------------------- *)
+
+(* Three claims to defend with numbers: mini-batching speeds up training
+   even on one core (fewer tape nodes and blocked matmuls, not parallelism);
+   the trained weight digest is byte-identical at any worker count; and a
+   batched forward pass produces bitwise the same per-example losses as the
+   per-example loop on the same weights. The baseline config
+   (batch=1, micro=1, seq) replays the historical per-example loop.
+
+   The model uses hidden_dim = 128 -- representative of the paper's MQAN
+   (~200-dim states); batching amortizes fixed per-token overhead against
+   O(hidden^2) matmul work, so toy-sized hidden layers understate the
+   speedup a real model sees. Timing interleaves every config within each
+   repetition and keeps the per-config best, so CPU frequency drift and
+   background noise hit all arms equally. *)
+let train_bench () =
+  header "bench_train"
+    "Batched training: examples/sec by batch size and worker count, weight-digest determinism";
+  let lib, prims, rules = core_setup () in
+  let seed = 5 in
+  let rng = Genie_util.Rng.create seed in
+  let g = Genie_templates.Grammar.create lib ~prims ~rules ~rng () in
+  let data =
+    Genie_synthesis.Engine.synthesize g
+      { Genie_synthesis.Engine.default_config with
+        seed;
+        target_per_rule = 12;
+        max_depth = 2 }
+  in
+  let n_pairs = if !quick then 60 else 120 in
+  let pairs =
+    List.filteri (fun i _ -> i < n_pairs)
+      (List.map
+         (fun (toks, p) ->
+           let toks = List.filter (fun t -> t <> "\"") toks in
+           (toks, Nn_syntax.to_tokens lib (Canonical.normalize lib p)))
+         data)
+  in
+  let src_vocab = Genie_nn.Vocab.of_tokens (List.concat_map fst pairs) in
+  let tgt_vocab = Genie_nn.Vocab.of_tokens (List.concat_map snd pairs) in
+  let fresh () =
+    Genie_nn.Seq2seq.create
+      ~cfg:
+        { Genie_nn.Seq2seq.default_config with
+          Genie_nn.Seq2seq.seed;
+          hidden_dim = 128 }
+      ~src_vocab ~tgt_vocab ()
+  in
+  let n = List.length pairs in
+  let epochs = 2 in
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "%d pairs, %d epochs per config, %d core(s) available\n" n epochs cores;
+  Printf.printf
+    "(on one core any speedup comes from batching itself -- fewer tape nodes \
+     and blocked matmuls -- not from worker parallelism)\n\n";
+  (* batched forward vs the per-example loop, on identical fresh weights:
+     per-row losses must agree bit for bit *)
+  let ident_model = fresh () in
+  let k = min 16 n in
+  let exs = Array.of_list (List.filteri (fun i _ -> i < k) pairs) in
+  let tape = Genie_nn.Autodiff.new_tape () in
+  let _, per_row =
+    Genie_nn.Seq2seq.batch_loss tape ident_model ~training:true ~epoch:0
+      ~example_ids:(Array.init k (fun i -> i))
+      exs
+  in
+  let bits x = Int64.bits_of_float x in
+  let batched =
+    Array.init k (fun r -> bits (Genie_nn.Tensor.get per_row.Genie_nn.Autodiff.value r 0))
+  in
+  let looped =
+    Array.init k (fun i ->
+        let tape = Genie_nn.Autodiff.new_tape () in
+        let l =
+          Genie_nn.Seq2seq.example_loss ~epoch:0 ~example_id:i tape ident_model
+            ~training:true (fst exs.(i)) (snd exs.(i))
+        in
+        bits (Genie_nn.Tensor.get l.Genie_nn.Autodiff.value 0 0))
+  in
+  let loss_identical = batched = looped in
+  Printf.printf "batched vs per-example losses on %d examples: %s\n\n" k
+    (if loss_identical then "bitwise identical" else "MISMATCH");
+  (* throughput grid: batch size sweep on the calling domain, then worker
+     sweep at the largest batch (micro fixed so the reduction tree -- and
+     hence the weights -- are identical across the worker sweep). Configs
+     are interleaved within each repetition; each keeps its best time. *)
+  let configs =
+    [ (1, 1, 0); (4, 4, 0); (16, 8, 0); (64, 16, 0); (64, 16, 2); (64, 16, 4) ]
+  in
+  let reps = if !quick then 1 else 5 in
+  let run_config (batch, micro, workers) =
+    let model = fresh () in
+    let t0 = Unix.gettimeofday () in
+    Genie_nn.Seq2seq.train ~epochs ~lr:5e-3 ~batch ~micro ~workers model pairs;
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, Genie_nn.Seq2seq.weight_digest model)
+  in
+  let best = Array.make (List.length configs) infinity in
+  let digests = Array.make (List.length configs) "" in
+  for _ = 1 to reps do
+    List.iteri
+      (fun i cfg ->
+        let dt, d = run_config cfg in
+        if dt < best.(i) then best.(i) <- dt;
+        digests.(i) <- d)
+      configs
+  done;
+  Printf.printf "%-22s %10s %12s  %s   (best of %d)\n" "config" "time s" "ex/s"
+    "digest" reps;
+  let rows =
+    List.mapi
+      (fun i (batch, micro, workers) ->
+        let dt = best.(i) in
+        let eps = float_of_int (n * epochs) /. Float.max 1e-9 dt in
+        Printf.printf "batch=%-2d micro=%-2d %-6s %10.2f %12.1f  %s\n%!" batch
+          micro
+          (if workers <= 1 then "seq" else Printf.sprintf "w=%d" workers)
+          dt eps digests.(i);
+        (batch, micro, workers, dt, eps, digests.(i)))
+      configs
+  in
+  let find b m w =
+    List.find_opt (fun (b', m', w', _, _, _) -> b' = b && m' = m && w' = w) rows
+  in
+  let digest_of r = match r with Some (_, _, _, _, _, d) -> Some d | None -> None in
+  let eps_of r = match r with Some (_, _, _, _, e, _) -> e | None -> 0.0 in
+  let digest_deterministic =
+    match
+      (digest_of (find 64 16 0), digest_of (find 64 16 2), digest_of (find 64 16 4))
+    with
+    | Some d0, Some d2, Some d4 -> d0 = d2 && d0 = d4
+    | _ -> false
+  in
+  let baseline_eps = eps_of (find 1 1 0) in
+  let speedup_4w =
+    if baseline_eps > 0.0 then eps_of (find 64 16 4) /. baseline_eps else 0.0
+  in
+  Printf.printf
+    "\nweight digest identical across worker counts (batch=64, micro=16): %b\n"
+    digest_deterministic;
+  Printf.printf
+    "4-worker batched speedup over the per-example sequential baseline: %.2fx\n%!"
+    speedup_4w;
+  let open Genie_util.Json_lite in
+  let row (batch, micro, workers, dt, eps, digest) =
+    Obj
+      [ ("batch", Int batch);
+        ("micro", Int micro);
+        ("workers", Int workers);
+        ("seconds", Float dt);
+        ("examples_per_sec", Float eps);
+        ("speedup_vs_baseline",
+         Float (if baseline_eps > 0.0 then eps /. baseline_eps else 0.0));
+        ("digest", String digest) ]
+  in
+  write_file "BENCH_train.json"
+    (Obj
+       [ ("experiment", String "bench_train");
+         ("pairs", Int n);
+         ("epochs", Int epochs);
+         ("seed", Int seed);
+         ("cores", Int cores);
+         ("batch_loss_identical_to_loop", Bool loss_identical);
+         ("digest_identical_across_workers", Bool digest_deterministic);
+         ("baseline_examples_per_sec", Float baseline_eps);
+         ("speedup_4w_vs_sequential_baseline", Float speedup_4w);
+         ("configs", List (List.map row rows)) ]);
+  Printf.printf "wrote BENCH_train.json\n%!"
+
 (* --- serving layer: throughput / cache / latency --------------------------------------------- *)
 
 let serve_bench () =
@@ -818,6 +987,7 @@ let () =
       ("fig9_tacl", fig9_tacl);
       ("fig9_aggregation", fig9_aggregation);
       ("bench_mqan_small", mqan_small);
+      ("bench_train", train_bench);
       ("bench_serve", serve_bench);
       ("bench_faults", faults_bench);
       ("bench_observe", observe_bench);

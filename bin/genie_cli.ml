@@ -357,6 +357,145 @@ let eval_cmd =
     (Cmd.info "evaluate" ~doc:"Run the full pipeline and report accuracy per test set")
     Term.(const run $ scale)
 
+(* --- train ------------------------------------------------------------------------ *)
+
+(* Mini-batched, deterministically data-parallel seq2seq training: synthesize
+   a small corpus, train the MQAN-lite parser once per requested worker
+   count, and require the trained weights to be byte-identical across all of
+   them (exit 3 otherwise). The weight digest covers every parameter's exact
+   float bit pattern, so any nondeterminism in the gradient path shows up. *)
+let train_cmd =
+  let target =
+    Arg.(value & opt int 12 & info [ "target" ] ~doc:"Target derivations per rule")
+  in
+  let depth = Arg.(value & opt int 2 & info [ "depth" ] ~doc:"Maximum derivation depth") in
+  let pairs =
+    Arg.(value & opt int 120 & info [ "pairs" ] ~doc:"Training pairs to keep")
+  in
+  let epochs = Arg.(value & opt int 3 & info [ "epochs" ] ~doc:"Training epochs") in
+  let lr = Arg.(value & opt float 5e-3 & info [ "lr" ] ~doc:"Learning rate") in
+  let batch =
+    Arg.(value & opt int 4 & info [ "batch" ] ~doc:"Examples per optimizer step")
+  in
+  let micro =
+    Arg.(value & opt int 2
+         & info [ "micro" ]
+             ~doc:"Examples per gradient micro-shard (shards fan out over \
+                   workers and reduce in a fixed tree)")
+  in
+  let workers =
+    Arg.(value & opt string "0"
+         & info [ "workers" ]
+             ~doc:"Comma-separated worker counts (0 = sequential). Trained \
+                   weights must be byte-identical across all of them (exit 3 \
+                   otherwise).")
+  in
+  let seed = Arg.(value & opt int 5 & info [ "seed" ] ~doc:"Random seed") in
+  let digest_dir =
+    Arg.(value & opt string ""
+         & info [ "digest-dir" ]
+             ~doc:"Write the run's weight digest (the golden format under \
+                   test/golden/train.digest) to DIR/train.digest.")
+  in
+  let run target depth pairs epochs lr batch micro workers_csv seed digest_dir =
+    let lib, prims, rules = setup () in
+    let g =
+      Genie_templates.Grammar.create lib ~prims ~rules
+        ~rng:(Genie_util.Rng.create seed) ()
+    in
+    let data =
+      Genie_synthesis.Engine.synthesize g
+        { Genie_synthesis.Engine.default_config with
+          seed;
+          target_per_rule = target;
+          max_depth = depth }
+    in
+    let train_pairs =
+      List.filteri (fun i _ -> i < pairs)
+        (List.map
+           (fun (toks, p) ->
+             let toks = List.filter (fun t -> t <> "\"") toks in
+             (toks, Nn_syntax.to_tokens lib (Canonical.normalize lib p)))
+           data)
+    in
+    let src_vocab = Genie_nn.Vocab.of_tokens (List.concat_map fst train_pairs) in
+    let tgt_vocab = Genie_nn.Vocab.of_tokens (List.concat_map snd train_pairs) in
+    let n = List.length train_pairs in
+    Printf.printf
+      "training on %d pairs (src vocab %d, tgt vocab %d), %d epochs, batch %d, \
+       micro %d\n"
+      n
+      (Genie_nn.Vocab.size src_vocab)
+      (Genie_nn.Vocab.size tgt_vocab)
+      epochs batch micro;
+    Printf.printf "%d core(s) available to the runtime\n\n"
+      (Domain.recommended_domain_count ());
+    let worker_counts =
+      match
+        List.filter_map int_of_string_opt
+          (Genie_util.Tok.split_on_string ~sep:"," workers_csv)
+      with
+      | [] -> [ 0 ]
+      | ws -> ws
+    in
+    let runs =
+      List.map
+        (fun w ->
+          let model =
+            Genie_nn.Seq2seq.create
+              ~cfg:{ Genie_nn.Seq2seq.default_config with Genie_nn.Seq2seq.seed }
+              ~src_vocab ~tgt_vocab ()
+          in
+          let last_loss = ref nan in
+          let t0 = Unix.gettimeofday () in
+          Genie_nn.Seq2seq.train ~epochs ~lr ~batch ~micro ~workers:w
+            ~progress:(fun r -> last_loss := r.Genie_nn.Seq2seq.mean_loss)
+            model train_pairs;
+          let dt = Unix.gettimeofday () -. t0 in
+          let digest = Genie_nn.Seq2seq.weight_digest model in
+          Printf.printf
+            "workers=%-3s %6.2fs %8.1f ex/s  final loss %.4f  digest=%s\n%!"
+            (if w <= 1 then "seq" else string_of_int w)
+            dt
+            (float_of_int (n * epochs) /. Float.max 1e-9 dt)
+            !last_loss digest;
+          (w, digest))
+        worker_counts
+    in
+    (match runs with
+    | (w0, d0) :: rest ->
+        List.iter
+          (fun (w, d) ->
+            if d <> d0 then begin
+              Printf.eprintf
+                "weight digest at workers=%d differs from workers=%d: \
+                 determinism violation\n"
+                w w0;
+              exit 3
+            end)
+          rest
+    | [] -> ());
+    if digest_dir <> "" then begin
+      (try Unix.mkdir digest_dir 0o755
+       with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let _, d0 = List.hd runs in
+      let oc = open_out (Filename.concat digest_dir "train.digest") in
+      Printf.fprintf oc
+        "seed=%d epochs=%d batch=%d micro=%d pairs=%d digest=%s\n" seed epochs
+        batch micro n d0;
+      close_out oc;
+      Printf.printf "weight digest written to %s/train.digest\n" digest_dir
+    end
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:
+         "Train the MQAN-lite parser on synthesized pairs with mini-batched, \
+          deterministically data-parallel gradients")
+    Term.(
+      const run $ target $ depth $ pairs $ epochs $ lr $ batch $ micro $ workers
+      $ seed $ digest_dir)
+
 (* --- serve-bench ----------------------------------------------------------------- *)
 
 (* Online-serving benchmark: train a parser, then replay synthetic Zipfian
@@ -627,4 +766,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "genie" ~doc)
           [ stats_cmd; cheatsheet_cmd; synthesize_cmd; paraphrase_cmd; exec_cmd;
-            parse_cmd; eval_cmd; serve_bench_cmd; profile_cmd ]))
+            parse_cmd; eval_cmd; train_cmd; serve_bench_cmd; profile_cmd ]))

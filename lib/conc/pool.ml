@@ -174,3 +174,20 @@ let map_list ~workers:n ?(queue_capacity = 64) ?(max_attempts = 3) ?fault_hook
            out)
     end
   end
+
+(* Balanced pairwise reduction in a fixed tree: adjacent elements combine
+   first, then adjacent partial results, until one remains. The tree shape --
+   and therefore the combination order -- depends only on the list length,
+   never on which worker produced which element, so floating-point reductions
+   (gradient accumulation) are bitwise reproducible at any worker count. *)
+let tree_fold ~combine xs =
+  let rec pair_up = function
+    | a :: b :: rest -> combine a b :: pair_up rest
+    | tail -> tail
+  in
+  let rec go = function
+    | [] -> None
+    | [ x ] -> Some x
+    | xs -> go (pair_up xs)
+  in
+  go xs

@@ -77,3 +77,10 @@ val map_list :
     re-raised. Results are deterministic at any worker count iff [handler]
     is a pure function of [(index, item)] and [fault_hook] of
     [(index, attempt)]. *)
+
+val tree_fold : combine:('a -> 'a -> 'a) -> 'a list -> 'a option
+(** Balanced pairwise reduction: adjacent elements combine first, then
+    adjacent partial results. The tree shape depends only on the list
+    length, so floating-point reductions (e.g. gradient accumulation over
+    shards) are bitwise reproducible at any worker count. [None] on the
+    empty list. *)

@@ -1,12 +1,25 @@
 (* Neural layers built on the autodiff tape: parameters, linear maps,
-   embeddings, and an LSTM cell. *)
+   embeddings, and an LSTM cell. Every layer is row-batched: feed it
+   [batch x dim] nodes and it produces [batch x dim'] nodes; a one-row batch
+   is bitwise identical to the historical per-example path. *)
 
-type param = { name : string; tensor : Tensor.t; grad : Tensor.t; (* Adam state *)
+type param = { uid : int; name : string; tensor : Tensor.t; grad : Tensor.t;
+               (* Adam state *)
                m : Tensor.t; v : Tensor.t }
+
+(* Parameters are created on the main domain before workers start; the uid
+   keys tape-private gradient buffers during parallel training. *)
+let next_uid = ref 0
+
+let fresh_uid () =
+  let u = !next_uid in
+  incr next_uid;
+  u
 
 let mk_param rng name rows cols =
   let tensor = Tensor.init_uniform rng rows cols in
-  { name;
+  { uid = fresh_uid ();
+    name;
     tensor;
     grad = Tensor.create rows cols;
     m = Tensor.create rows cols;
@@ -14,20 +27,27 @@ let mk_param rng name rows cols =
 
 let mk_param_zero name rows cols =
   let tensor = Tensor.create rows cols in
-  { name;
+  { uid = fresh_uid ();
+    name;
     tensor;
     grad = Tensor.create rows cols;
     m = Tensor.create rows cols;
     v = Tensor.create rows cols }
 
-(* Bind a parameter onto the tape for this forward pass: a leaf node sharing
-   the parameter's gradient buffer. *)
+(* Bind a parameter onto the tape for this forward pass: a leaf node whose
+   gradient buffer is the parameter's shared one -- or, on a private-leaves
+   tape (parallel workers), a tape-private buffer keyed by the uid so no two
+   domains ever write the same gradient storage. *)
 let use tape (p : param) : Autodiff.node =
-  let n = Autodiff.leaf tape p.tensor in
-  (* share gradient storage by copying after backward; simpler: return a node
-     whose grad buffer IS the param's grad *)
-  ignore n;
-  { n with Autodiff.grad = p.grad }
+  let grad =
+    match
+      Autodiff.private_grad tape ~key:p.uid ~rows:p.tensor.Tensor.rows
+        ~cols:p.tensor.Tensor.cols
+    with
+    | Some g -> g
+    | None -> p.grad
+  in
+  Autodiff.leaf_with_grad tape p.tensor ~grad
 
 (* --- linear --------------------------------------------------------------- *)
 
@@ -50,6 +70,8 @@ let mk_embedding rng name ~vocab ~dim = { table = mk_param rng name vocab dim; d
 let embedding_params e = [ e.table ]
 
 let lookup tape (e : embedding) i = Autodiff.row tape (use tape e.table) i
+
+let lookup_rows tape (e : embedding) ids = Autodiff.rows tape (use tape e.table) ids
 
 (* --- LSTM cell --------------------------------------------------------------- *)
 
@@ -74,9 +96,9 @@ let lstm_params l =
 
 type lstm_state = { h : Autodiff.node; c : Autodiff.node }
 
-let lstm_init tape (l : lstm) =
-  { h = Autodiff.const tape (Tensor.create 1 l.hidden);
-    c = Autodiff.const tape (Tensor.create 1 l.hidden) }
+let lstm_init ?(rows = 1) tape (l : lstm) =
+  { h = Autodiff.const tape (Tensor.create rows l.hidden);
+    c = Autodiff.const tape (Tensor.create rows l.hidden) }
 
 let lstm_step tape (l : lstm) (st : lstm_state) x : lstm_state =
   let xh = Autodiff.concat tape x st.h in
@@ -90,64 +112,20 @@ let lstm_step tape (l : lstm) (st : lstm_state) x : lstm_state =
 
 (* --- dot-product attention ------------------------------------------------------ *)
 
-(* Attention of a decoder state over encoder states: returns (weights node,
-   context node). *)
-let attention tape (states : Autodiff.node list) (query : Autodiff.node) =
-  let scores =
-    List.map (fun st -> Autodiff.dot tape st query) states
-  in
-  (* pack scores into one vector node *)
-  let packed =
-    let values = Array.of_list (List.map (fun s -> s.Autodiff.value.Tensor.data.(0)) scores) in
-    let v = Tensor.vector values in
-    let rec n =
-      lazy
-        (Autodiff.record tape v (fun () ->
-             let g = (Lazy.force n).Autodiff.grad.Tensor.data in
-             List.iteri
-               (fun i s -> s.Autodiff.grad.Tensor.data.(0) <- s.Autodiff.grad.Tensor.data.(0) +. g.(i))
-               scores))
-    in
-    Lazy.force n
-  in
-  let weights = Autodiff.softmax tape packed in
-  (* context = sum_i w_i * state_i *)
+(* Attention of a batch of decoder states over per-step batches of encoder
+   states: returns (weights node [rows x T], context node [rows x hidden]).
+   [lengths.(r)] masks encoder positions at or beyond row r's source length
+   ([neg_infinity] score, zero weight, no gradient). Scoring and the
+   context sum are fused single ops (three tape nodes per call instead of
+   ~4T) that replay the historical per-step node chain's arithmetic element
+   for element. *)
+let attention ?lengths tape (states : Autodiff.node list) (query : Autodiff.node) =
+  let rws = query.Autodiff.value.Tensor.rows in
+  let sts = Array.of_list states in
+  let scores = Autodiff.attention_scores tape ?lengths sts query in
+  let weights = Autodiff.softmax tape scores in
   let context =
-    List.fold_left
-      (fun acc (i, st) ->
-        let wi =
-          let v = Tensor.vector [| weights.Autodiff.value.Tensor.data.(i) |] in
-          let rec n =
-            lazy
-              (Autodiff.record tape v (fun () ->
-                   weights.Autodiff.grad.Tensor.data.(i) <-
-                     weights.Autodiff.grad.Tensor.data.(i)
-                     +. (Lazy.force n).Autodiff.grad.Tensor.data.(0)))
-          in
-          Lazy.force n
-        in
-        let scaled =
-          let value = Tensor.scale wi.Autodiff.value.Tensor.data.(0) st.Autodiff.value in
-          let rec n =
-            lazy
-              (Autodiff.record tape value (fun () ->
-                   let g = (Lazy.force n).Autodiff.grad in
-                   Tensor.accumulate st.Autodiff.grad
-                     (Tensor.scale wi.Autodiff.value.Tensor.data.(0) g);
-                   wi.Autodiff.grad.Tensor.data.(0) <-
-                     wi.Autodiff.grad.Tensor.data.(0) +. Tensor.dot g st.Autodiff.value))
-          in
-          Lazy.force n
-        in
-        match acc with
-        | None -> Some scaled
-        | Some a -> Some (Autodiff.add tape a scaled))
-      None
-      (List.mapi (fun i st -> (i, st)) states)
-  in
-  let context =
-    match context with
-    | Some c -> c
-    | None -> Autodiff.const tape (Tensor.create 1 1)
+    if Array.length sts = 0 then Autodiff.const tape (Tensor.create rws 1)
+    else Autodiff.attention_context tape weights sts
   in
   (weights, context)

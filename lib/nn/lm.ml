@@ -43,7 +43,7 @@ let perplexity t (sequences : string list list) =
     (fun tokens ->
       let tape = Autodiff.new_tape () in
       let loss = sequence_loss tape t tokens in
-      total_loss := !total_loss +. loss.Autodiff.value.Tensor.data.(0);
+      total_loss := !total_loss +. Tensor.get loss.Autodiff.value 0 0;
       total_tokens := !total_tokens + List.length tokens + 1)
     sequences;
   exp (!total_loss /. float_of_int (max 1 !total_tokens))
@@ -61,7 +61,7 @@ let train ?(epochs = 3) ?(lr = 5e-3) ?(progress = fun (_ : int) (_ : float) -> (
         let loss = sequence_loss tape t tokens in
         Autodiff.backward tape loss;
         Optimizer.update opt ps;
-        total := !total +. loss.Autodiff.value.Tensor.data.(0))
+        total := !total +. Tensor.get loss.Autodiff.value 0 0)
       (Genie_util.Rng.shuffle t.rng sequences);
     progress epoch (!total /. float_of_int (max 1 (List.length sequences)))
   done

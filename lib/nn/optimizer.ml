@@ -47,3 +47,36 @@ let update t (params : Layers.param list) =
         w.(i) <- w.(i) -. (t.lr *. mhat /. (sqrt vhat +. t.eps))
       done)
     params
+
+(* 16-hex digest over parameter names and exact float bit patterns, in
+   [params] order -- byte-identical weights iff byte-identical digest. *)
+let digest (params : Layers.param list) =
+  let h =
+    List.fold_left
+      (fun h (p : Layers.param) ->
+        let h = Genie_util.Hash64.string h p.Layers.name in
+        let t = p.Layers.tensor in
+        let acc = ref h in
+        for i = 0 to Tensor.size t - 1 do
+          acc :=
+            Genie_util.Hash64.combine !acc
+              (Int64.bits_of_float t.Tensor.data.(t.Tensor.off + i))
+        done;
+        !acc)
+      (Genie_util.Hash64.string 0L "genie.weights")
+      params
+  in
+  Genie_util.Hash64.to_hex h
+
+(* Load externally-reduced gradients (fixed shard-order tree, see
+   Seq2seq.train) into the parameters' gradient buffers and take one step. *)
+let apply_reduced t (params : Layers.param list) (grads : Tensor.t list) =
+  List.iter2
+    (fun (p : Layers.param) (g : Tensor.t) ->
+      let dst = p.Layers.grad in
+      if Tensor.size g <> Tensor.size dst then
+        invalid_arg "Optimizer.apply_reduced: gradient shape mismatch";
+      Array.blit g.Tensor.data g.Tensor.off dst.Tensor.data dst.Tensor.off
+        (Tensor.size dst))
+    params grads;
+  update t params

@@ -19,3 +19,11 @@ val global_norm : Layers.param list -> float
 val update : t -> Layers.param list -> unit
 (** One Adam step with bias correction; gradients are clipped to [clip] in
     global norm first. *)
+
+val digest : Layers.param list -> string
+(** 16-hex digest over parameter names and exact float bit patterns in list
+    order: byte-identical weights iff equal digests. *)
+
+val apply_reduced : t -> Layers.param list -> Tensor.t list -> unit
+(** Loads externally-reduced gradients (one per parameter, in list order)
+    into the parameters' gradient buffers, then {!update}. *)

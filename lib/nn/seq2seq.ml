@@ -7,7 +7,27 @@
    distribution with a copy distribution over source positions -- exactly the
    mixed pointer-generator architecture the paper describes. The decoder
    embedding can be initialized from a pretrained language model over
-   synthesized programs (section 4.2). *)
+   synthesized programs (section 4.2).
+
+   Training is mini-batched and deterministically data-parallel: examples are
+   padded into [batch x *] tensors with masking (length-bucketed per epoch
+   when [batch > 1], so padding waste stays low), every optimizer step splits
+   its batch into fixed micro-shards whose gradients are computed on
+   tape-private buffers (one scratch arena per worker) and reduced in a
+   balanced tree whose shape depends only on the shard count -- so
+   [train ~workers:n] produces bitwise-identical weights for every [n], and
+   [~batch:1 ~micro:1 ~workers:0] with dropout 0 replays the historical
+   per-example loop bit for bit.
+
+   RNG streams are named and decoupled:
+   - the root stream ([cfg.seed]) initializes parameters and then shuffles
+     each epoch -- exactly the historical stream, so init and data order are
+     unchanged;
+   - dropout draws from per-example streams keyed
+     [hash64("seq2seq.dropout", seed, epoch, example_id)] -- never the worker
+     or shard id, so masks are identical at any batch size or worker count;
+   - greedy [decode] draws from no stream at all, so interleaving
+     predictions with training cannot perturb subsequent weights. *)
 
 type config = {
   embed_dim : int;
@@ -28,7 +48,7 @@ type t = {
   decoder : Layers.lstm;
   out_proj : Layers.linear; (* [h; context] -> vocab logits *)
   gate_proj : Layers.linear; (* [h; context] -> copy/generate gate *)
-  rng : Genie_util.Rng.t;
+  rng : Genie_util.Rng.t; (* root stream: init, then epoch shuffling *)
 }
 
 let params t =
@@ -58,7 +78,17 @@ let create ?(cfg = default_config) ~src_vocab ~tgt_vocab () =
 let load_decoder_embedding t (table : Tensor.t) =
   let dst = t.tgt_embed.Layers.table.Layers.tensor in
   let n = min (Tensor.size dst) (Tensor.size table) in
-  Array.blit table.Tensor.data 0 dst.Tensor.data 0 n
+  Array.blit table.Tensor.data table.Tensor.off dst.Tensor.data dst.Tensor.off n
+
+(* Per-example dropout stream: a pure function of (seed, epoch, example_id)
+   -- never the worker, shard or batch position. [example_id] is the
+   example's position in the epoch's shuffled order. *)
+let dropout_rng t ~epoch ~example_id =
+  let h = Genie_util.Hash64.string 0L "seq2seq.dropout" in
+  let h = Genie_util.Hash64.int h t.cfg.seed in
+  let h = Genie_util.Hash64.int h epoch in
+  let h = Genie_util.Hash64.int h example_id in
+  Genie_util.Rng.create (Int64.to_int h)
 
 let encode tape t ~training (src_ids : int list) =
   let st = ref (Layers.lstm_init tape t.encoder) in
@@ -87,47 +117,209 @@ let decode_step tape t ~training ~enc_states st prev_id =
   let gate = Autodiff.sigmoid tape (Layers.apply_linear tape t.gate_proj feat) in
   (st', att_weights, vocab_probs, gate)
 
-(* Teacher-forced loss on one (source, target) pair. Copyable positions: a
-   target token may be copied from any source position holding it. *)
-let example_loss tape t ~training (src_tokens : string list) (tgt_tokens : string list) =
-  let src_ids = List.map (Vocab.id t.src_vocab) src_tokens in
-  let src_arr = Array.of_list src_tokens in
-  let enc_states, enc_final = encode tape t ~training src_ids in
-  (* a target token outside the vocabulary can only be produced by copying:
-     mark it -1 so the vocabulary path contributes nothing (otherwise the
-     model learns to emit <unk> instead of copying) *)
+(* --- batched teacher-forced loss --------------------------------------------- *)
+
+(* How dropout masks are drawn for a forward pass. [Drop_legacy] is the
+   historical shared-stream behaviour (kept for single-example callers that
+   predate keyed streams); it is refused for real batches because its draws
+   would depend on batch composition. *)
+type drop_streams =
+  | Drop_none
+  | Drop_legacy of Genie_util.Rng.t
+  | Drop_keyed of Genie_util.Rng.t array
+
+(* Teacher-forced pointer-generator loss over a padded mini-batch; returns
+   the [b x 1] node of per-example losses. Row r of every intermediate
+   tensor belongs to example r alone (all ops are row-parallel), so each
+   row's forward arithmetic -- and at b = 1 the whole tape -- is bitwise
+   identical to the historical per-example code. *)
+let batched_loss_impl tape t ~training ~drop (exs : (string list * string list) array) =
+  let b = Array.length exs in
+  if b = 0 then invalid_arg "Seq2seq.batch_loss: empty batch";
+  (match drop with
+  | Drop_legacy _ when b > 1 ->
+      invalid_arg "Seq2seq: the legacy dropout stream requires batch size 1"
+  | Drop_keyed rngs when Array.length rngs <> b ->
+      invalid_arg "Seq2seq: dropout streams/batch mismatch"
+  | _ -> ());
+  let dropout ~active x =
+    match drop with
+    | Drop_none -> x
+    | Drop_legacy rng -> Autodiff.dropout tape rng ~p:t.cfg.dropout ~training x
+    | Drop_keyed rngs ->
+        (* prefix-trimmed steps pass fewer rows; each row's stream is
+           independent, so slicing the array never changes another row's
+           draws *)
+        let rows = x.Autodiff.value.Tensor.rows in
+        let rngs = if Array.length rngs = rows then rngs else Array.sub rngs 0 rows in
+        Autodiff.dropout_rows tape rngs ~active ~p:t.cfg.dropout ~training x
+  in
+  (* source side *)
+  let srcs = Array.map (fun (s, _) -> Array.of_list s) exs in
+  let src_ids = Array.map (Array.map (Vocab.id t.src_vocab)) srcs in
+  let src_lens = Array.map Array.length src_ids in
+  let t_src = Array.fold_left max 0 src_lens in
+  let pad_src = Vocab.id t.src_vocab Vocab.pad in
+  let all_of active = Array.for_all Fun.id active in
+  let carry active (st : Layers.lstm_state) (st' : Layers.lstm_state) =
+    (* padded rows keep their previous state so each row's final state is
+       the state at its own length *)
+    if all_of active then st'
+    else
+      { Layers.h = Autodiff.masked_select tape active st'.Layers.h st.Layers.h;
+        c = Autodiff.masked_select tape active st'.Layers.c st.Layers.c }
+  in
+  (* Prefix trimming: each timestep runs on rows [0, k) where k - 1 is the
+     last row still active -- rows beyond it are pure padding, so their LSTM
+     arithmetic is skipped entirely. The training loop orders each shard's
+     rows by descending length, making the active set an exact prefix; any
+     other order stays correct (interior inactive rows are carried by the
+     masks as before) but trims less. At k = b every op below returns the
+     untrimmed node, so full batches -- in particular b = 1 -- replay the
+     historical tape exactly. *)
+  let prefix_len lens step =
+    let last = ref (-1) in
+    for r = 0 to Array.length lens - 1 do
+      if step < lens.(r) then last := r
+    done;
+    !last + 1
+  in
+  let st = ref (Layers.lstm_init ~rows:b tape t.encoder) in
+  let enc_states = ref [] in
+  for step = 0 to t_src - 1 do
+    let k = prefix_len src_lens step in
+    let active = Array.init k (fun r -> step < src_lens.(r)) in
+    let ids =
+      Array.init k (fun r -> if step < src_lens.(r) then src_ids.(r).(step) else pad_src)
+    in
+    let x = Layers.lookup_rows tape t.src_embed ids in
+    let x = dropout ~active x in
+    let st_k =
+      { Layers.h = Autodiff.rows_prefix tape (!st).Layers.h k;
+        c = Autodiff.rows_prefix tape (!st).Layers.c k }
+    in
+    let stepped = carry active st_k (Layers.lstm_step tape t.encoder st_k x) in
+    (* scatter the trimmed rows back over the full state: suffix rows keep
+       their (final) carried state *)
+    let st' =
+      { Layers.h = Autodiff.overlay_rows tape ~top:stepped.Layers.h ~base:(!st).Layers.h;
+        c = Autodiff.overlay_rows tape ~top:stepped.Layers.c ~base:(!st).Layers.c }
+    in
+    st := st';
+    enc_states := st'.Layers.h :: !enc_states
+  done;
+  let enc_states = List.rev !enc_states in
+  let enc_final = !st in
+  (* target side: a target token outside the vocabulary can only be produced
+     by copying -- mark it -1 so the vocabulary path contributes nothing
+     (otherwise the model learns to emit <unk> instead of copying) *)
   let tgt_ids =
-    List.map
-      (fun tok ->
-        let i = Vocab.id t.tgt_vocab tok in
-        if i = Vocab.unk_id t.tgt_vocab && tok <> Vocab.unk then -1 else i)
-      tgt_tokens
-    @ [ Vocab.eos_id t.tgt_vocab ]
+    Array.map
+      (fun (_, tgt) ->
+        Array.of_list
+          (List.map
+             (fun tok ->
+               let i = Vocab.id t.tgt_vocab tok in
+               if i = Vocab.unk_id t.tgt_vocab && tok <> Vocab.unk then -1 else i)
+             tgt
+          @ [ Vocab.eos_id t.tgt_vocab ]))
+      exs
   in
-  let tgt_strs = tgt_tokens @ [ Vocab.eos ] in
+  let tgt_strs = Array.map (fun (_, tgt) -> Array.of_list (tgt @ [ Vocab.eos ])) exs in
+  let tgt_lens = Array.map Array.length tgt_ids in
+  let t_tgt = Array.fold_left max 0 tgt_lens in
+  (* The decoder state only ever shrinks (the trimmed prefix is monotone in
+     [step]), so it stays at k rows with no scatter back; the per-row loss
+     column is re-expanded to b rows by [add_rows_prefix]. *)
   let st = ref { Layers.h = enc_final.Layers.h; c = enc_final.Layers.c } in
-  let prev = ref (Vocab.bos_id t.tgt_vocab) in
-  let losses =
-    List.map2
-      (fun target target_str ->
-        let st', att, vocab_probs, gate =
-          decode_step tape t ~training ~enc_states !st !prev
-        in
-        st := st';
-        prev := (if target < 0 then Vocab.unk_id t.tgt_vocab else target);
-        let copy_positions =
-          List.filteri (fun _ _ -> true) (Array.to_list src_arr)
-          |> List.mapi (fun i tok -> (i, tok))
-          |> List.filter_map (fun (i, tok) -> if tok = target_str then Some i else None)
-        in
-        Autodiff.pointer_nll tape ~gate ~vocab_probs ~attention:att ~target
-          ~copy_positions)
-      tgt_ids tgt_strs
+  let prev = Array.make b (Vocab.bos_id t.tgt_vocab) in
+  let per_row = ref None in
+  for step = 0 to t_tgt - 1 do
+    let k = prefix_len tgt_lens step in
+    let active = Array.init k (fun r -> step < tgt_lens.(r)) in
+    let x = Layers.lookup_rows tape t.tgt_embed (Array.sub prev 0 k) in
+    let x = dropout ~active x in
+    let st_k =
+      { Layers.h = Autodiff.rows_prefix tape (!st).Layers.h k;
+        c = Autodiff.rows_prefix tape (!st).Layers.c k }
+    in
+    let keys =
+      if k = b then enc_states
+      else List.map (fun s -> Autodiff.rows_prefix tape s k) enc_states
+    in
+    let lens_k = if k = b then src_lens else Array.sub src_lens 0 k in
+    let att, context = Layers.attention ~lengths:lens_k tape keys st_k.Layers.h in
+    let inp = Autodiff.concat tape x context in
+    let st' = Layers.lstm_step tape t.decoder st_k inp in
+    let feat = Autodiff.concat tape st'.Layers.h context in
+    let logits = Layers.apply_linear tape t.out_proj feat in
+    let vocab_probs = Autodiff.softmax tape logits in
+    let gate = Autodiff.sigmoid tape (Layers.apply_linear tape t.gate_proj feat) in
+    st := carry active st_k st';
+    let targets =
+      Array.init k (fun r -> if active.(r) then tgt_ids.(r).(step) else -1)
+    in
+    let copy_positions =
+      Array.init k (fun r ->
+          if not active.(r) then []
+          else begin
+            let s = tgt_strs.(r).(step) in
+            let acc = ref [] in
+            for i = Array.length srcs.(r) - 1 downto 0 do
+              if srcs.(r).(i) = s then acc := i :: !acc
+            done;
+            !acc
+          end)
+    in
+    for r = 0 to k - 1 do
+      if active.(r) then
+        prev.(r) <-
+          (let tg = tgt_ids.(r).(step) in
+           if tg < 0 then Vocab.unk_id t.tgt_vocab else tg)
+    done;
+    let loss =
+      Autodiff.pointer_nll_rows tape ~gate ~vocab_probs ~attention:att ~targets
+        ~copy_positions ~active
+    in
+    per_row :=
+      (match !per_row with
+      | None -> Some loss
+      | Some acc -> Some (Autodiff.add_rows_prefix tape acc loss))
+  done;
+  match !per_row with Some n -> n | None -> assert false (* t_tgt >= 1 *)
+
+let batch_loss tape t ~training ~epoch ~example_ids exs =
+  let b = Array.length exs in
+  if Array.length example_ids <> b then
+    invalid_arg "Seq2seq.batch_loss: example_ids/batch mismatch";
+  let drop =
+    if training && t.cfg.dropout > 0.0 then
+      Drop_keyed
+        (Array.init b (fun r -> dropout_rng t ~epoch ~example_id:example_ids.(r)))
+    else Drop_none
   in
-  Autodiff.sum_scalars tape losses
+  let per_row = batched_loss_impl tape t ~training ~drop exs in
+  let total = Autodiff.sum_all tape per_row in
+  (total, per_row)
+
+(* Teacher-forced loss on one (source, target) pair. With [epoch] and
+   [example_id] the dropout mask comes from the keyed per-example stream
+   (identical to this example's row in any {!batch_loss}); without them it
+   draws from the historical shared stream. *)
+let example_loss ?epoch ?example_id tape t ~training (src_tokens : string list)
+    (tgt_tokens : string list) =
+  let drop =
+    if training && t.cfg.dropout > 0.0 then
+      match (epoch, example_id) with
+      | Some epoch, Some example_id -> Drop_keyed [| dropout_rng t ~epoch ~example_id |]
+      | _ -> Drop_legacy t.rng
+    else Drop_none
+  in
+  batched_loss_impl tape t ~training ~drop [| (src_tokens, tgt_tokens) |]
 
 (* Greedy decode with copy: at each step pick the argmax of the mixed
-   distribution over (vocab tokens + source copies). *)
+   distribution over (vocab tokens + source copies). Draws from no RNG
+   stream, so predicting mid-training cannot perturb subsequent weights. *)
 let decode ?(max_len = 60) t (src_tokens : string list) : string list =
   let tape = Autodiff.new_tape () in
   let src_ids = List.map (Vocab.id t.src_vocab) src_tokens in
@@ -142,22 +334,20 @@ let decode ?(max_len = 60) t (src_tokens : string list) : string list =
     incr steps;
     let st', att, vocab_probs, gate = decode_step tape t ~training:false ~enc_states !st !prev in
     st := st';
-    let g = gate.Autodiff.value.Tensor.data.(0) in
-    let pv = vocab_probs.Autodiff.value.Tensor.data in
-    let pa = att.Autodiff.value.Tensor.data in
+    let g = Tensor.get gate.Autodiff.value 0 0 in
     (* mixture probability per candidate token *)
     let scores = Hashtbl.create 64 in
-    Array.iteri
-      (fun i p ->
-        let tok = Vocab.token t.tgt_vocab i in
-        if tok <> Vocab.unk then Hashtbl.replace scores tok (g *. p))
-      pv;
-    Array.iteri
-      (fun i p ->
-        let tok = src_arr.(i) in
-        let cur = try Hashtbl.find scores tok with Not_found -> 0.0 in
-        Hashtbl.replace scores tok (cur +. ((1.0 -. g) *. p)))
-      pa;
+    for i = 0 to vocab_probs.Autodiff.value.Tensor.cols - 1 do
+      let p = Tensor.get vocab_probs.Autodiff.value 0 i in
+      let tok = Vocab.token t.tgt_vocab i in
+      if tok <> Vocab.unk then Hashtbl.replace scores tok (g *. p)
+    done;
+    for i = 0 to att.Autodiff.value.Tensor.cols - 1 do
+      let p = Tensor.get att.Autodiff.value 0 i in
+      let tok = src_arr.(i) in
+      let cur = try Hashtbl.find scores tok with Not_found -> 0.0 in
+      Hashtbl.replace scores tok (cur +. ((1.0 -. g) *. p))
+    done;
     let best_tok, _ =
       Hashtbl.fold
         (fun tok p ((_, bp) as best) -> if p > bp then (tok, p) else best)
@@ -176,21 +366,123 @@ let decode ?(max_len = 60) t (src_tokens : string list) : string list =
 
 type train_report = { epoch : int; mean_loss : float }
 
-let train ?(epochs = 5) ?(lr = 5e-3) ?(progress = fun (_ : train_report) -> ()) t
+let weight_digest t = Optimizer.digest (params t)
+
+(* One micro-shard's work: forward + backward on a private tape, gradients
+   copied out of the scratch arena. A pure function of
+   (model, epoch, shard contents, shard example ids) -- the worker that runs
+   it cannot influence the result. *)
+let shard_grads t ~arena ~epoch ~ps (exs, example_ids) =
+  Tensor.Scratch.reset arena;
+  let tape = Autodiff.new_tape ~scratch:arena ~private_leaves:true () in
+  let total, per_row = batch_loss tape t ~training:true ~epoch ~example_ids exs in
+  Autodiff.backward tape total;
+  let losses =
+    Array.init (Array.length exs) (fun r -> Tensor.get per_row.Autodiff.value r 0)
+  in
+  let grads =
+    List.map
+      (fun (p : Layers.param) ->
+        match Autodiff.find_private_grad tape ~key:p.Layers.uid with
+        | Some g -> Tensor.copy g
+        | None -> Tensor.zeros_like p.Layers.grad)
+      ps
+  in
+  (losses, grads)
+
+let train ?(epochs = 5) ?(lr = 5e-3) ?(batch = 1) ?(micro = 1) ?(workers = 0)
+    ?(progress = fun (_ : train_report) -> ()) t
     (data : (string list * string list) list) =
+  if batch < 1 then invalid_arg "Seq2seq.train: batch must be >= 1";
+  if micro < 1 then invalid_arg "Seq2seq.train: micro must be >= 1";
   let opt = Optimizer.adam ~lr () in
   let ps = params t in
+  (* The weight digest is invariant under worker count (fixed shard order and
+     reduction tree), so the number of spawned domains is purely a
+     performance knob -- clamp it to the hardware so oversubscribed boxes
+     (workers > cores) don't pay domain-timeslicing GC stalls. *)
+  let workers =
+    if workers <= 1 then workers
+    else min workers (Domain.recommended_domain_count ())
+  in
+  let n_arenas = max 1 workers in
+  let arenas = Array.init n_arenas (fun _ -> Tensor.Scratch.create ()) in
   for epoch = 1 to epochs do
     let total = ref 0.0 in
-    let shuffled = Genie_util.Rng.shuffle t.rng data in
-    List.iter
-      (fun (src, tgt) ->
-        let tape = Autodiff.new_tape () in
-        Optimizer.zero_grads ps;
-        let loss = example_loss tape t ~training:true src tgt in
-        Autodiff.backward tape loss;
-        Optimizer.update opt ps;
-        total := !total +. loss.Autodiff.value.Tensor.data.(0))
-      shuffled;
-    progress { epoch; mean_loss = !total /. float_of_int (max 1 (List.length data)) }
+    let shuffled = Array.of_list (Genie_util.Rng.shuffle t.rng data) in
+    let n = Array.length shuffled in
+    (* Length bucketing: when actually batching, order the epoch's examples
+       by length before chunking so each padded [batch x max_len] tensor
+       wastes as little work as possible. Example ids (the dropout-stream
+       keys) are attached before the sort -- they stay the example's
+       position in the shuffled order, so masks are unchanged by bucketing.
+       The sort key is deterministic and ties break on shuffled position;
+       bucketing precedes sharding, so it is invariant under [workers]. At
+       [batch = 1] there is no padding and the historical epoch order is
+       replayed untouched. *)
+    let order = Array.mapi (fun i ex -> (ex, i)) shuffled in
+    if batch > 1 then begin
+      let len ((src, tgt), _) = List.length src + List.length tgt in
+      Array.sort
+        (fun a b ->
+          let c = compare (len a) (len b) in
+          if c <> 0 then c else compare (snd a) (snd b))
+        order
+    end;
+    let pos = ref 0 in
+    while !pos < n do
+      let bsz = min batch (n - !pos) in
+      let step_start = !pos in
+      (* fixed micro-shards of at most [micro] examples each; shard order and
+         contents depend only on (batch, micro), never on workers *)
+      let shards = ref [] in
+      let off = ref 0 in
+      while !off < bsz do
+        let len = min micro (bsz - !off) in
+        let slice = Array.sub order (step_start + !off) len in
+        (* within a shard, order rows by descending source (then target)
+           length, ties by shuffled position: each timestep's active rows
+           then form a leading prefix, so the batched loss prefix-trims the
+           padding instead of computing masked rows. Deterministic, applied
+           before worker dispatch, and a no-op at micro = 1. *)
+        if len > 1 then
+          Array.sort
+            (fun ((sa, ta), ia) ((sb, tb), ib) ->
+              let c = compare (List.length sb) (List.length sa) in
+              if c <> 0 then c
+              else
+                let c = compare (List.length tb) (List.length ta) in
+                if c <> 0 then c else compare ia ib)
+            slice;
+        let exs = Array.map fst slice in
+        let ids = Array.map snd slice in
+        shards := (exs, ids) :: !shards;
+        off := !off + len
+      done;
+      let shards = List.rev !shards in
+      let results =
+        Genie_conc.Pool.map_list ~workers
+          ~handler:(fun index shard ->
+            shard_grads t ~arena:arenas.(index mod n_arenas) ~epoch ~ps shard)
+          shards
+      in
+      (* fixed shard-order reduction tree, then one Adam step *)
+      let reduced =
+        match
+          Genie_conc.Pool.tree_fold
+            ~combine:(fun a bgs ->
+              List.iter2 Tensor.accumulate a bgs;
+              a)
+            (List.map snd results)
+        with
+        | Some g -> g
+        | None -> assert false
+      in
+      Optimizer.apply_reduced opt ps reduced;
+      List.iter
+        (fun (losses, _) -> Array.iter (fun l -> total := !total +. l) losses)
+        results;
+      pos := !pos + bsz
+    done;
+    progress { epoch; mean_loss = !total /. float_of_int (max 1 n) }
   done

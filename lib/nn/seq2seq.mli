@@ -5,7 +5,18 @@
     previous target embedding concatenated with the attention context; two
     learnable gates mix a vocabulary distribution with a copy distribution
     over source positions. The decoder embedding can be initialized from a
-    language model pretrained on synthesized programs (section 4.2). *)
+    language model pretrained on synthesized programs (section 4.2).
+
+    Training is mini-batched and deterministically data-parallel (see
+    {!train}): gradients are computed per micro-shard on tape-private
+    buffers and reduced in a fixed shard-order tree, so the trained weights
+    are bitwise identical at any worker count.
+
+    RNG streams are named and decoupled: the root stream ([cfg.seed]) covers
+    initialization and epoch shuffling; dropout draws from per-example
+    streams keyed [hash64("seq2seq.dropout", seed, epoch, example_id)];
+    {!decode} draws from no stream, so interleaving predictions with
+    training cannot perturb subsequent weights. *)
 
 type config = { embed_dim : int; hidden_dim : int; dropout : float; seed : int }
 
@@ -30,11 +41,39 @@ val params : t -> Layers.param list
 val load_decoder_embedding : t -> Tensor.t -> unit
 (** Initializes the target embedding from a pretrained LM table. *)
 
+val weight_digest : t -> string
+(** 16-hex digest of all parameters' exact float bit patterns
+    ({!Optimizer.digest} over {!params}). *)
+
+val batch_loss :
+  Autodiff.tape ->
+  t ->
+  training:bool ->
+  epoch:int ->
+  example_ids:int array ->
+  (string list * string list) array ->
+  Autodiff.node * Autodiff.node
+(** Teacher-forced pointer-generator loss over a padded mini-batch:
+    [(total, per_row)] where [total] is the 1x1 sum and [per_row] the
+    [b x 1] per-example losses. Row [r] of every intermediate tensor belongs
+    to example [r] alone, so each row's forward arithmetic is bitwise
+    identical to a batch of one ([example_ids] key the dropout streams, so
+    masks are too). *)
+
 val example_loss :
-  Autodiff.tape -> t -> training:bool -> string list -> string list -> Autodiff.node
-(** Teacher-forced pointer-generator loss on one (source, target) pair.
-    Target tokens absent from the vocabulary can only be produced by
-    copying. *)
+  ?epoch:int ->
+  ?example_id:int ->
+  Autodiff.tape ->
+  t ->
+  training:bool ->
+  string list ->
+  string list ->
+  Autodiff.node
+(** Teacher-forced loss on one (source, target) pair. Target tokens absent
+    from the vocabulary can only be produced by copying. With [epoch] and
+    [example_id], dropout uses the keyed per-example stream (identical to
+    this example's row in any {!batch_loss}); without them it draws from the
+    historical shared stream. *)
 
 val decode : ?max_len:int -> t -> string list -> string list
 (** Greedy decoding over the mixed generate/copy distribution. *)
@@ -44,8 +83,22 @@ type train_report = { epoch : int; mean_loss : float }
 val train :
   ?epochs:int ->
   ?lr:float ->
+  ?batch:int ->
+  ?micro:int ->
+  ?workers:int ->
   ?progress:(train_report -> unit) ->
   t ->
   (string list * string list) list ->
   unit
-(** Adam with gradient clipping, one example per step (section 4.3). *)
+(** Adam with gradient clipping (section 4.3). Each optimizer step processes
+    [batch] examples (default 1) split into micro-shards of at most [micro]
+    examples; shard gradients are computed on tape-private buffers (fanned
+    over [workers] domains via [Conc.Pool.map_list]; [<= 1] runs on the
+    calling domain) and reduced in a balanced tree whose shape depends only
+    on the shard count. When [batch > 1] each epoch's shuffled examples are
+    length-bucketed (stable deterministic sort by [|src| + |tgt|], applied
+    before sharding) so padded batches waste little work; dropout streams
+    are keyed by pre-sort shuffled position, so bucketing never changes an
+    example's mask. Weights are bitwise identical at any [workers], and
+    [~batch:1 ~micro:1] with dropout 0 (where bucketing is off and there is
+    no padding) replays the historical per-example loop bit for bit. *)

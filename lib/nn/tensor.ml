@@ -1,99 +1,727 @@
-(* Dense float tensors (vectors and matrices) for the neural substrate. *)
+(* Dense float tensors (vectors, matrices and row-batches) for the neural
+   substrate.
 
-type t = { data : float array; rows : int; cols : int }
+   A tensor is a rows x cols window into a flat float array starting at
+   [off]. Freshly created tensors own their storage with [off = 0]; [row]
+   and [slice_vector] return zero-copy views into the parent's array. Views
+   are always contiguous (whole rows, or a slice of a single row), so every
+   kernel below addresses elements as [data.(off + i*cols + j)].
 
-let create rows cols = { data = Array.make (rows * cols) 0.0; rows; cols }
+   The batched matmul kernels are the compute core of mini-batch training.
+   Their per-element accumulation order is part of the determinism contract:
+   each output element receives its partial products in ascending inner
+   index, exactly the order the historical [vec_mat]/[mat_vec]/[outer]
+   row-vector kernels used, so a batch of one is bitwise identical to the
+   original per-example path. Blocking (tiling the j loop) only reorders
+   work across *different* output elements, never within one, so it cannot
+   perturb results. *)
+
+type t = { data : float array; off : int; rows : int; cols : int }
+
+let create rows cols =
+  if rows < 0 || cols < 0 then invalid_arg "Tensor.create: negative shape";
+  { data = Array.make (rows * cols) 0.0; off = 0; rows; cols }
 
 let zeros_like t = create t.rows t.cols
 
 let of_array rows cols data =
+  if rows < 0 || cols < 0 then invalid_arg "Tensor.of_array: negative shape";
   if Array.length data <> rows * cols then invalid_arg "Tensor.of_array: size mismatch";
-  { data; rows; cols }
+  { data; off = 0; rows; cols }
 
-let vector data = { data; rows = 1; cols = Array.length data }
-
-let get t i j = t.data.((i * t.cols) + j)
-let set t i j v = t.data.((i * t.cols) + j) <- v
-
-let copy t = { t with data = Array.copy t.data }
-
-let fill t v = Array.fill t.data 0 (Array.length t.data) v
+let vector data = { data; off = 0; rows = 1; cols = Array.length data }
 
 let size t = t.rows * t.cols
 
-let iteri f t = Array.iteri f t.data
+let get t i j =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Tensor.get: out of bounds";
+  t.data.(t.off + (i * t.cols) + j)
 
-let map f t = { t with data = Array.map f t.data }
+let set t i j v =
+  if i < 0 || i >= t.rows || j < 0 || j >= t.cols then
+    invalid_arg "Tensor.set: out of bounds";
+  t.data.(t.off + (i * t.cols) + j) <- v
+
+let copy t =
+  { data = Array.sub t.data t.off (size t); off = 0; rows = t.rows; cols = t.cols }
+
+let to_array t = Array.sub t.data t.off (size t)
+
+let fill t v = Array.fill t.data t.off (size t) v
+
+let iteri f t =
+  for k = 0 to size t - 1 do
+    f k t.data.(t.off + k)
+  done
+
+let map f t =
+  { data = Array.init (size t) (fun k -> f t.data.(t.off + k));
+    off = 0;
+    rows = t.rows;
+    cols = t.cols }
 
 let map2 f a b =
   if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Tensor.map2: shape mismatch";
-  { a with data = Array.init (size a) (fun i -> f a.data.(i) b.data.(i)) }
+  { data = Array.init (size a) (fun k -> f a.data.(a.off + k) b.data.(b.off + k));
+    off = 0;
+    rows = a.rows;
+    cols = a.cols }
 
 let add a b = map2 ( +. ) a b
 let sub a b = map2 ( -. ) a b
 let mul a b = map2 ( *. ) a b
 let scale k t = map (fun x -> k *. x) t
 
+(* --- in-place kernels (no allocation) ------------------------------------- *)
+
+let map_into f src ~out =
+  if src.rows <> out.rows || src.cols <> out.cols then
+    invalid_arg "Tensor.map_into: shape mismatch";
+  for k = 0 to size src - 1 do
+    Array.unsafe_set out.data (out.off + k) (f (Array.unsafe_get src.data (src.off + k)))
+  done
+
+let map2_into f a b ~out =
+  if a.rows <> b.rows || a.cols <> b.cols || out.rows <> a.rows || out.cols <> a.cols
+  then invalid_arg "Tensor.map2_into: shape mismatch";
+  for k = 0 to size a - 1 do
+    Array.unsafe_set out.data (out.off + k)
+      (f (Array.unsafe_get a.data (a.off + k)) (Array.unsafe_get b.data (b.off + k)))
+  done
+
+(* Dedicated activation kernels: the closure-taking map_into costs an
+   indirect call per element, which shows on the 16 x 256 gate tensors of
+   every LSTM step. Formulas match the map_into versions exactly. *)
+let sigmoid_into src ~out =
+  if src.rows <> out.rows || src.cols <> out.cols then
+    invalid_arg "Tensor.sigmoid_into: shape mismatch";
+  for k = 0 to size src - 1 do
+    let x = Array.unsafe_get src.data (src.off + k) in
+    Array.unsafe_set out.data (out.off + k) (1.0 /. (1.0 +. exp (-.x)))
+  done
+
+let tanh_into src ~out =
+  if src.rows <> out.rows || src.cols <> out.cols then
+    invalid_arg "Tensor.tanh_into: shape mismatch";
+  for k = 0 to size src - 1 do
+    Array.unsafe_set out.data (out.off + k) (tanh (Array.unsafe_get src.data (src.off + k)))
+  done
+
+(* acc += g * v * (1 - v): the sigmoid gradient, v the forward value *)
+let sigmoid_grad_acc ~acc ~value ~grad =
+  if acc.rows <> value.rows || acc.cols <> value.cols
+     || grad.rows <> value.rows || grad.cols <> value.cols
+  then invalid_arg "Tensor.sigmoid_grad_acc: shape mismatch";
+  for k = 0 to size acc - 1 do
+    let v = Array.unsafe_get value.data (value.off + k) in
+    let g = Array.unsafe_get grad.data (grad.off + k) in
+    Array.unsafe_set acc.data (acc.off + k)
+      (Array.unsafe_get acc.data (acc.off + k) +. (g *. v *. (1.0 -. v)))
+  done
+
+(* acc += g * (1 - v^2): the tanh gradient, v the forward value *)
+let tanh_grad_acc ~acc ~value ~grad =
+  if acc.rows <> value.rows || acc.cols <> value.cols
+     || grad.rows <> value.rows || grad.cols <> value.cols
+  then invalid_arg "Tensor.tanh_grad_acc: shape mismatch";
+  for k = 0 to size acc - 1 do
+    let v = Array.unsafe_get value.data (value.off + k) in
+    let g = Array.unsafe_get grad.data (grad.off + k) in
+    Array.unsafe_set acc.data (acc.off + k)
+      (Array.unsafe_get acc.data (acc.off + k) +. (g *. (1.0 -. (v *. v))))
+  done
+
 (* in-place accumulate: a += b *)
 let accumulate a b =
-  if size a <> size b then invalid_arg "Tensor.accumulate: shape mismatch";
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Tensor.accumulate: shape mismatch";
+  for k = 0 to size a - 1 do
+    Array.unsafe_set a.data (a.off + k)
+      (Array.unsafe_get a.data (a.off + k) +. Array.unsafe_get b.data (b.off + k))
+  done
+
+(* a += k * b, without materializing the scaled temporary *)
+let accumulate_scaled a k b =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg "Tensor.accumulate_scaled: shape mismatch";
   for i = 0 to size a - 1 do
-    a.data.(i) <- a.data.(i) +. b.data.(i)
+    Array.unsafe_set a.data (a.off + i)
+      (Array.unsafe_get a.data (a.off + i) +. (k *. Array.unsafe_get b.data (b.off + i)))
+  done
+
+(* a += f b c, elementwise, without the intermediate map2 tensor *)
+let accumulate2 a f b c =
+  if a.rows <> b.rows || a.cols <> b.cols || b.rows <> c.rows || b.cols <> c.cols
+  then invalid_arg "Tensor.accumulate2: shape mismatch";
+  for i = 0 to size a - 1 do
+    Array.unsafe_set a.data (a.off + i)
+      (Array.unsafe_get a.data (a.off + i)
+      +. f (Array.unsafe_get b.data (b.off + i)) (Array.unsafe_get c.data (c.off + i)))
+  done
+
+(* Closure-free forms of the hot elementwise kernels. The closure-taking
+   map2_into/accumulate2 pay an unknown call -- with float boxing -- per
+   element; these direct loops compute the same formula in the same order,
+   so results are bitwise identical to their closure counterparts. *)
+let add_into a b ~out =
+  if a.rows <> b.rows || a.cols <> b.cols || out.rows <> a.rows || out.cols <> a.cols
+  then invalid_arg "Tensor.add_into: shape mismatch";
+  let ad = a.data and bd = b.data and od = out.data in
+  for k = 0 to size a - 1 do
+    Array.unsafe_set od (out.off + k)
+      (Array.unsafe_get ad (a.off + k) +. Array.unsafe_get bd (b.off + k))
+  done
+
+let sub_into a b ~out =
+  if a.rows <> b.rows || a.cols <> b.cols || out.rows <> a.rows || out.cols <> a.cols
+  then invalid_arg "Tensor.sub_into: shape mismatch";
+  let ad = a.data and bd = b.data and od = out.data in
+  for k = 0 to size a - 1 do
+    Array.unsafe_set od (out.off + k)
+      (Array.unsafe_get ad (a.off + k) -. Array.unsafe_get bd (b.off + k))
+  done
+
+let mul_into a b ~out =
+  if a.rows <> b.rows || a.cols <> b.cols || out.rows <> a.rows || out.cols <> a.cols
+  then invalid_arg "Tensor.mul_into: shape mismatch";
+  let ad = a.data and bd = b.data and od = out.data in
+  for k = 0 to size a - 1 do
+    Array.unsafe_set od (out.off + k)
+      (Array.unsafe_get ad (a.off + k) *. Array.unsafe_get bd (b.off + k))
+  done
+
+(* a += b * c, elementwise: the product-rule gradient accumulation *)
+let mul_acc a b c =
+  if a.rows <> b.rows || a.cols <> b.cols || b.rows <> c.rows || b.cols <> c.cols
+  then invalid_arg "Tensor.mul_acc: shape mismatch";
+  let ad = a.data and bd = b.data and cd = c.data in
+  for k = 0 to size a - 1 do
+    Array.unsafe_set ad (a.off + k)
+      (Array.unsafe_get ad (a.off + k)
+      +. (Array.unsafe_get bd (b.off + k) *. Array.unsafe_get cd (c.off + k)))
+  done
+
+(* --- matmul family ---------------------------------------------------------- *)
+
+(* j-tile width: large enough that a row of the tile still streams, small
+   enough that the b-panel stays in cache across the k loop *)
+let jblk = 128
+
+(* out = a . b  for a : p x n, b : n x m. i-k-j loop order with a j tile and
+   8-row (then 4-row) register blocks: one pass over the b panel feeds
+   eight output rows, so the panel streams from memory an eighth as often —
+   this is where a 16-row batch beats sixteen 1-row calls. Each out element
+   still accumulates its products in ascending k, so row r of a batched
+   product is bitwise the product of row r alone. Indexing is unchecked:
+   the shape checks above plus the struct invariant
+   (off + rows*cols <= length data) bound every access. *)
+let matmul_into ~out a b =
+  if a.cols <> b.rows then invalid_arg "Tensor.matmul_into: inner dim mismatch";
+  if out.rows <> a.rows || out.cols <> b.cols then
+    invalid_arg "Tensor.matmul_into: output shape mismatch";
+  fill out 0.0;
+  let n = a.cols and m = b.cols in
+  let ad = a.data and bd = b.data and od = out.data in
+  let j0 = ref 0 in
+  while !j0 < m do
+    let jlo = !j0 in
+    let jhi = min m (jlo + jblk) - 1 in
+    let i = ref 0 in
+    while !i + 7 < a.rows do
+      let i0 = !i in
+      let a0 = a.off + (i0 * n) in
+      let o0 = out.off + (i0 * m) in
+      for k = 0 to n - 1 do
+        let x0 = Array.unsafe_get ad (a0 + k)
+        and x1 = Array.unsafe_get ad (a0 + n + k)
+        and x2 = Array.unsafe_get ad (a0 + (2 * n) + k)
+        and x3 = Array.unsafe_get ad (a0 + (3 * n) + k)
+        and x4 = Array.unsafe_get ad (a0 + (4 * n) + k)
+        and x5 = Array.unsafe_get ad (a0 + (5 * n) + k)
+        and x6 = Array.unsafe_get ad (a0 + (6 * n) + k)
+        and x7 = Array.unsafe_get ad (a0 + (7 * n) + k) in
+        let bbase = b.off + (k * m) in
+        for j = jlo to jhi do
+          let bv = Array.unsafe_get bd (bbase + j) in
+          let c = o0 + j in
+          Array.unsafe_set od c (Array.unsafe_get od c +. (x0 *. bv));
+          let c = c + m in
+          Array.unsafe_set od c (Array.unsafe_get od c +. (x1 *. bv));
+          let c = c + m in
+          Array.unsafe_set od c (Array.unsafe_get od c +. (x2 *. bv));
+          let c = c + m in
+          Array.unsafe_set od c (Array.unsafe_get od c +. (x3 *. bv));
+          let c = c + m in
+          Array.unsafe_set od c (Array.unsafe_get od c +. (x4 *. bv));
+          let c = c + m in
+          Array.unsafe_set od c (Array.unsafe_get od c +. (x5 *. bv));
+          let c = c + m in
+          Array.unsafe_set od c (Array.unsafe_get od c +. (x6 *. bv));
+          let c = c + m in
+          Array.unsafe_set od c (Array.unsafe_get od c +. (x7 *. bv))
+        done
+      done;
+      i := i0 + 8
+    done;
+    while !i + 3 < a.rows do
+      let i0 = !i in
+      let a0 = a.off + (i0 * n)
+      and a1 = a.off + ((i0 + 1) * n)
+      and a2 = a.off + ((i0 + 2) * n)
+      and a3 = a.off + ((i0 + 3) * n) in
+      let o0 = out.off + (i0 * m)
+      and o1 = out.off + ((i0 + 1) * m)
+      and o2 = out.off + ((i0 + 2) * m)
+      and o3 = out.off + ((i0 + 3) * m) in
+      for k = 0 to n - 1 do
+        let x0 = Array.unsafe_get ad (a0 + k)
+        and x1 = Array.unsafe_get ad (a1 + k)
+        and x2 = Array.unsafe_get ad (a2 + k)
+        and x3 = Array.unsafe_get ad (a3 + k) in
+        let bbase = b.off + (k * m) in
+        for j = jlo to jhi do
+          let bv = Array.unsafe_get bd (bbase + j) in
+          Array.unsafe_set od (o0 + j) (Array.unsafe_get od (o0 + j) +. (x0 *. bv));
+          Array.unsafe_set od (o1 + j) (Array.unsafe_get od (o1 + j) +. (x1 *. bv));
+          Array.unsafe_set od (o2 + j) (Array.unsafe_get od (o2 + j) +. (x2 *. bv));
+          Array.unsafe_set od (o3 + j) (Array.unsafe_get od (o3 + j) +. (x3 *. bv))
+        done
+      done;
+      i := i0 + 4
+    done;
+    while !i < a.rows do
+      let abase = a.off + (!i * n) in
+      let obase = out.off + (!i * m) in
+      for k = 0 to n - 1 do
+        let aik = Array.unsafe_get ad (abase + k) in
+        let bbase = b.off + (k * m) in
+        for j = jlo to jhi do
+          Array.unsafe_set od (obase + j)
+            (Array.unsafe_get od (obase + j) +. (aik *. Array.unsafe_get bd (bbase + j)))
+        done
+      done;
+      incr i
+    done;
+    j0 := jlo + jblk
+  done
+
+let matmul a b =
+  let out = create a.rows b.cols in
+  matmul_into ~out a b;
+  out
+
+(* out = a . b^T  for a : p x n, b : q x n: ascending-k accumulation.
+   j-quads (then pairs) share each a load; the dot products stay
+   independent, so every element's sum order is the plain sequential one. *)
+let matmul_nt_into ~out a b =
+  if a.cols <> b.cols then invalid_arg "Tensor.matmul_nt_into: inner dim mismatch";
+  if out.rows <> a.rows || out.cols <> b.rows then
+    invalid_arg "Tensor.matmul_nt_into: output shape mismatch";
+  let n = a.cols in
+  let ad = a.data and bd = b.data and od = out.data in
+  for i = 0 to a.rows - 1 do
+    let abase = a.off + (i * n) in
+    let obase = out.off + (i * out.cols) in
+    let j = ref 0 in
+    while !j + 3 < b.rows do
+      let b0 = b.off + (!j * n) in
+      let s0 = ref 0.0 and s1 = ref 0.0 and s2 = ref 0.0 and s3 = ref 0.0 in
+      for k = 0 to n - 1 do
+        let av = Array.unsafe_get ad (abase + k) in
+        s0 := !s0 +. (av *. Array.unsafe_get bd (b0 + k));
+        s1 := !s1 +. (av *. Array.unsafe_get bd (b0 + n + k));
+        s2 := !s2 +. (av *. Array.unsafe_get bd (b0 + (2 * n) + k));
+        s3 := !s3 +. (av *. Array.unsafe_get bd (b0 + (3 * n) + k))
+      done;
+      Array.unsafe_set od (obase + !j) !s0;
+      Array.unsafe_set od (obase + !j + 1) !s1;
+      Array.unsafe_set od (obase + !j + 2) !s2;
+      Array.unsafe_set od (obase + !j + 3) !s3;
+      j := !j + 4
+    done;
+    while !j + 1 < b.rows do
+      let b0 = b.off + (!j * n) and b1 = b.off + ((!j + 1) * n) in
+      let s0 = ref 0.0 and s1 = ref 0.0 in
+      for k = 0 to n - 1 do
+        let av = Array.unsafe_get ad (abase + k) in
+        s0 := !s0 +. (av *. Array.unsafe_get bd (b0 + k));
+        s1 := !s1 +. (av *. Array.unsafe_get bd (b1 + k))
+      done;
+      Array.unsafe_set od (obase + !j) !s0;
+      Array.unsafe_set od (obase + !j + 1) !s1;
+      j := !j + 2
+    done;
+    while !j < b.rows do
+      let bbase = b.off + (!j * n) in
+      let acc = ref 0.0 in
+      for k = 0 to n - 1 do
+        acc := !acc +. (Array.unsafe_get ad (abase + k) *. Array.unsafe_get bd (bbase + k))
+      done;
+      Array.unsafe_set od (obase + !j) !acc;
+      incr j
+    done
+  done
+
+(* acc += a^T . b  for a : r x p, b : r x q: each acc element receives its
+   products in ascending r -- the gradient-side kernel (X^T G). 4x4 register
+   tiles seed each accumulator from acc, fold the r terms in registers, and
+   store once; the per-element sequence (acc + t0) + t1 + ... is exactly the
+   through-memory order of the scalar tail below. *)
+let matmul_tn_acc ~acc a b =
+  if a.rows <> b.rows then invalid_arg "Tensor.matmul_tn_acc: row mismatch";
+  if acc.rows <> a.cols || acc.cols <> b.cols then
+    invalid_arg "Tensor.matmul_tn_acc: output shape mismatch";
+  let p = a.cols and q = b.cols in
+  let rows = a.rows in
+  let ad = a.data and bd = b.data and cd = acc.data in
+  let i = ref 0 in
+  while !i + 3 < p do
+    let j = ref 0 in
+    while !j + 3 < q do
+      let c0 = acc.off + (!i * q) + !j in
+      let c1 = c0 + q and c2 = c0 + (2 * q) and c3 = c0 + (3 * q) in
+      let s00 = ref (Array.unsafe_get cd c0)
+      and s01 = ref (Array.unsafe_get cd (c0 + 1))
+      and s02 = ref (Array.unsafe_get cd (c0 + 2))
+      and s03 = ref (Array.unsafe_get cd (c0 + 3)) in
+      let s10 = ref (Array.unsafe_get cd c1)
+      and s11 = ref (Array.unsafe_get cd (c1 + 1))
+      and s12 = ref (Array.unsafe_get cd (c1 + 2))
+      and s13 = ref (Array.unsafe_get cd (c1 + 3)) in
+      let s20 = ref (Array.unsafe_get cd c2)
+      and s21 = ref (Array.unsafe_get cd (c2 + 1))
+      and s22 = ref (Array.unsafe_get cd (c2 + 2))
+      and s23 = ref (Array.unsafe_get cd (c2 + 3)) in
+      let s30 = ref (Array.unsafe_get cd c3)
+      and s31 = ref (Array.unsafe_get cd (c3 + 1))
+      and s32 = ref (Array.unsafe_get cd (c3 + 2))
+      and s33 = ref (Array.unsafe_get cd (c3 + 3)) in
+      for r = 0 to rows - 1 do
+        let xb = a.off + (r * p) + !i in
+        let gb = b.off + (r * q) + !j in
+        let g0 = Array.unsafe_get bd gb
+        and g1 = Array.unsafe_get bd (gb + 1)
+        and g2 = Array.unsafe_get bd (gb + 2)
+        and g3 = Array.unsafe_get bd (gb + 3) in
+        let x0 = Array.unsafe_get ad xb in
+        s00 := !s00 +. (x0 *. g0);
+        s01 := !s01 +. (x0 *. g1);
+        s02 := !s02 +. (x0 *. g2);
+        s03 := !s03 +. (x0 *. g3);
+        let x1 = Array.unsafe_get ad (xb + 1) in
+        s10 := !s10 +. (x1 *. g0);
+        s11 := !s11 +. (x1 *. g1);
+        s12 := !s12 +. (x1 *. g2);
+        s13 := !s13 +. (x1 *. g3);
+        let x2 = Array.unsafe_get ad (xb + 2) in
+        s20 := !s20 +. (x2 *. g0);
+        s21 := !s21 +. (x2 *. g1);
+        s22 := !s22 +. (x2 *. g2);
+        s23 := !s23 +. (x2 *. g3);
+        let x3 = Array.unsafe_get ad (xb + 3) in
+        s30 := !s30 +. (x3 *. g0);
+        s31 := !s31 +. (x3 *. g1);
+        s32 := !s32 +. (x3 *. g2);
+        s33 := !s33 +. (x3 *. g3)
+      done;
+      Array.unsafe_set cd c0 !s00;
+      Array.unsafe_set cd (c0 + 1) !s01;
+      Array.unsafe_set cd (c0 + 2) !s02;
+      Array.unsafe_set cd (c0 + 3) !s03;
+      Array.unsafe_set cd c1 !s10;
+      Array.unsafe_set cd (c1 + 1) !s11;
+      Array.unsafe_set cd (c1 + 2) !s12;
+      Array.unsafe_set cd (c1 + 3) !s13;
+      Array.unsafe_set cd c2 !s20;
+      Array.unsafe_set cd (c2 + 1) !s21;
+      Array.unsafe_set cd (c2 + 2) !s22;
+      Array.unsafe_set cd (c2 + 3) !s23;
+      Array.unsafe_set cd c3 !s30;
+      Array.unsafe_set cd (c3 + 1) !s31;
+      Array.unsafe_set cd (c3 + 2) !s32;
+      Array.unsafe_set cd (c3 + 3) !s33;
+      j := !j + 4
+    done;
+    while !j < q do
+      let c0 = acc.off + (!i * q) + !j in
+      let s0 = ref (Array.unsafe_get cd c0)
+      and s1 = ref (Array.unsafe_get cd (c0 + q))
+      and s2 = ref (Array.unsafe_get cd (c0 + (2 * q)))
+      and s3 = ref (Array.unsafe_get cd (c0 + (3 * q))) in
+      for r = 0 to rows - 1 do
+        let xb = a.off + (r * p) + !i in
+        let gv = Array.unsafe_get bd (b.off + (r * q) + !j) in
+        s0 := !s0 +. (Array.unsafe_get ad xb *. gv);
+        s1 := !s1 +. (Array.unsafe_get ad (xb + 1) *. gv);
+        s2 := !s2 +. (Array.unsafe_get ad (xb + 2) *. gv);
+        s3 := !s3 +. (Array.unsafe_get ad (xb + 3) *. gv)
+      done;
+      Array.unsafe_set cd c0 !s0;
+      Array.unsafe_set cd (c0 + q) !s1;
+      Array.unsafe_set cd (c0 + (2 * q)) !s2;
+      Array.unsafe_set cd (c0 + (3 * q)) !s3;
+      incr j
+    done;
+    i := !i + 4
+  done;
+  while !i < p do
+    for j = 0 to q - 1 do
+      let c = acc.off + (!i * q) + j in
+      let s = ref (Array.unsafe_get cd c) in
+      for r = 0 to rows - 1 do
+        s :=
+          !s
+          +. (Array.unsafe_get ad (a.off + (r * p) + !i)
+             *. Array.unsafe_get bd (b.off + (r * q) + j))
+      done;
+      Array.unsafe_set cd c !s
+    done;
+    incr i
+  done
+
+(* out = a . b^T accumulated into acc: acc += a . b^T, each element's sum in
+   ascending k then one add (the input-gradient kernel G W^T). j-quads
+   (then pairs) share each a load. *)
+let matmul_nt_acc ~acc a b =
+  if a.cols <> b.cols then invalid_arg "Tensor.matmul_nt_acc: inner dim mismatch";
+  if acc.rows <> a.rows || acc.cols <> b.rows then
+    invalid_arg "Tensor.matmul_nt_acc: output shape mismatch";
+  let n = a.cols in
+  let m = acc.cols in
+  let ad = a.data and bd = b.data and cd = acc.data in
+  (* 4x4 register tiles over (a row, b row) blocks: sixteen dot products
+     accumulate in registers over one pass of the shared a/b rows, each in
+     ascending k, then land with one add apiece -- the same per-element
+     order as the single-row path below. *)
+  let ii = ref 0 in
+  while !ii + 3 < a.rows do
+    let a0 = a.off + (!ii * n) in
+    let c0 = acc.off + (!ii * m) in
+    let j = ref 0 in
+    while !j + 3 < b.rows do
+      let b0 = b.off + (!j * n) in
+      let s00 = ref 0.0 and s01 = ref 0.0 and s02 = ref 0.0 and s03 = ref 0.0 in
+      let s10 = ref 0.0 and s11 = ref 0.0 and s12 = ref 0.0 and s13 = ref 0.0 in
+      let s20 = ref 0.0 and s21 = ref 0.0 and s22 = ref 0.0 and s23 = ref 0.0 in
+      let s30 = ref 0.0 and s31 = ref 0.0 and s32 = ref 0.0 and s33 = ref 0.0 in
+      for k = 0 to n - 1 do
+        let b0v = Array.unsafe_get bd (b0 + k)
+        and b1v = Array.unsafe_get bd (b0 + n + k)
+        and b2v = Array.unsafe_get bd (b0 + (2 * n) + k)
+        and b3v = Array.unsafe_get bd (b0 + (3 * n) + k) in
+        let x0 = Array.unsafe_get ad (a0 + k) in
+        s00 := !s00 +. (x0 *. b0v);
+        s01 := !s01 +. (x0 *. b1v);
+        s02 := !s02 +. (x0 *. b2v);
+        s03 := !s03 +. (x0 *. b3v);
+        let x1 = Array.unsafe_get ad (a0 + n + k) in
+        s10 := !s10 +. (x1 *. b0v);
+        s11 := !s11 +. (x1 *. b1v);
+        s12 := !s12 +. (x1 *. b2v);
+        s13 := !s13 +. (x1 *. b3v);
+        let x2 = Array.unsafe_get ad (a0 + (2 * n) + k) in
+        s20 := !s20 +. (x2 *. b0v);
+        s21 := !s21 +. (x2 *. b1v);
+        s22 := !s22 +. (x2 *. b2v);
+        s23 := !s23 +. (x2 *. b3v);
+        let x3 = Array.unsafe_get ad (a0 + (3 * n) + k) in
+        s30 := !s30 +. (x3 *. b0v);
+        s31 := !s31 +. (x3 *. b1v);
+        s32 := !s32 +. (x3 *. b2v);
+        s33 := !s33 +. (x3 *. b3v)
+      done;
+      let c = c0 + !j in
+      Array.unsafe_set cd c (Array.unsafe_get cd c +. !s00);
+      Array.unsafe_set cd (c + 1) (Array.unsafe_get cd (c + 1) +. !s01);
+      Array.unsafe_set cd (c + 2) (Array.unsafe_get cd (c + 2) +. !s02);
+      Array.unsafe_set cd (c + 3) (Array.unsafe_get cd (c + 3) +. !s03);
+      let c = c + m in
+      Array.unsafe_set cd c (Array.unsafe_get cd c +. !s10);
+      Array.unsafe_set cd (c + 1) (Array.unsafe_get cd (c + 1) +. !s11);
+      Array.unsafe_set cd (c + 2) (Array.unsafe_get cd (c + 2) +. !s12);
+      Array.unsafe_set cd (c + 3) (Array.unsafe_get cd (c + 3) +. !s13);
+      let c = c + m in
+      Array.unsafe_set cd c (Array.unsafe_get cd c +. !s20);
+      Array.unsafe_set cd (c + 1) (Array.unsafe_get cd (c + 1) +. !s21);
+      Array.unsafe_set cd (c + 2) (Array.unsafe_get cd (c + 2) +. !s22);
+      Array.unsafe_set cd (c + 3) (Array.unsafe_get cd (c + 3) +. !s23);
+      let c = c + m in
+      Array.unsafe_set cd c (Array.unsafe_get cd c +. !s30);
+      Array.unsafe_set cd (c + 1) (Array.unsafe_get cd (c + 1) +. !s31);
+      Array.unsafe_set cd (c + 2) (Array.unsafe_get cd (c + 2) +. !s32);
+      Array.unsafe_set cd (c + 3) (Array.unsafe_get cd (c + 3) +. !s33);
+      j := !j + 4
+    done;
+    while !j < b.rows do
+      let b0 = b.off + (!j * n) in
+      let s0 = ref 0.0 and s1 = ref 0.0 and s2 = ref 0.0 and s3 = ref 0.0 in
+      for k = 0 to n - 1 do
+        let bv = Array.unsafe_get bd (b0 + k) in
+        s0 := !s0 +. (Array.unsafe_get ad (a0 + k) *. bv);
+        s1 := !s1 +. (Array.unsafe_get ad (a0 + n + k) *. bv);
+        s2 := !s2 +. (Array.unsafe_get ad (a0 + (2 * n) + k) *. bv);
+        s3 := !s3 +. (Array.unsafe_get ad (a0 + (3 * n) + k) *. bv)
+      done;
+      Array.unsafe_set cd (c0 + !j) (Array.unsafe_get cd (c0 + !j) +. !s0);
+      Array.unsafe_set cd (c0 + m + !j) (Array.unsafe_get cd (c0 + m + !j) +. !s1);
+      Array.unsafe_set cd
+        (c0 + (2 * m) + !j)
+        (Array.unsafe_get cd (c0 + (2 * m) + !j) +. !s2);
+      Array.unsafe_set cd
+        (c0 + (3 * m) + !j)
+        (Array.unsafe_get cd (c0 + (3 * m) + !j) +. !s3);
+      incr j
+    done;
+    ii := !ii + 4
+  done;
+  for i = !ii to a.rows - 1 do
+    let abase = a.off + (i * n) in
+    let cbase = acc.off + (i * acc.cols) in
+    let j = ref 0 in
+    while !j + 3 < b.rows do
+      let b0 = b.off + (!j * n) in
+      let s0 = ref 0.0 and s1 = ref 0.0 and s2 = ref 0.0 and s3 = ref 0.0 in
+      for k = 0 to n - 1 do
+        let av = Array.unsafe_get ad (abase + k) in
+        s0 := !s0 +. (av *. Array.unsafe_get bd (b0 + k));
+        s1 := !s1 +. (av *. Array.unsafe_get bd (b0 + n + k));
+        s2 := !s2 +. (av *. Array.unsafe_get bd (b0 + (2 * n) + k));
+        s3 := !s3 +. (av *. Array.unsafe_get bd (b0 + (3 * n) + k))
+      done;
+      Array.unsafe_set cd (cbase + !j) (Array.unsafe_get cd (cbase + !j) +. !s0);
+      Array.unsafe_set cd (cbase + !j + 1)
+        (Array.unsafe_get cd (cbase + !j + 1) +. !s1);
+      Array.unsafe_set cd (cbase + !j + 2)
+        (Array.unsafe_get cd (cbase + !j + 2) +. !s2);
+      Array.unsafe_set cd (cbase + !j + 3)
+        (Array.unsafe_get cd (cbase + !j + 3) +. !s3);
+      j := !j + 4
+    done;
+    while !j + 1 < b.rows do
+      let b0 = b.off + (!j * n) and b1 = b.off + ((!j + 1) * n) in
+      let s0 = ref 0.0 and s1 = ref 0.0 in
+      for k = 0 to n - 1 do
+        let av = Array.unsafe_get ad (abase + k) in
+        s0 := !s0 +. (av *. Array.unsafe_get bd (b0 + k));
+        s1 := !s1 +. (av *. Array.unsafe_get bd (b1 + k))
+      done;
+      Array.unsafe_set cd (cbase + !j) (Array.unsafe_get cd (cbase + !j) +. !s0);
+      Array.unsafe_set cd (cbase + !j + 1)
+        (Array.unsafe_get cd (cbase + !j + 1) +. !s1);
+      j := !j + 2
+    done;
+    while !j < b.rows do
+      let bbase = b.off + (!j * n) in
+      let s = ref 0.0 in
+      for k = 0 to n - 1 do
+        s := !s +. (Array.unsafe_get ad (abase + k) *. Array.unsafe_get bd (bbase + k))
+      done;
+      Array.unsafe_set cd (cbase + !j) (Array.unsafe_get cd (cbase + !j) +. !s);
+      incr j
+    done
+  done
+
+(* out.(r) = x.(r) + b.(0): bias broadcast over the batch axis. *)
+let add_bias_into ~out x b =
+  if b.rows <> 1 || b.cols <> x.cols then invalid_arg "Tensor.add_bias_into: bias shape";
+  if out.rows <> x.rows || out.cols <> x.cols then
+    invalid_arg "Tensor.add_bias_into: output shape mismatch";
+  let xd = x.data and bd = b.data and od = out.data in
+  for r = 0 to x.rows - 1 do
+    let xbase = x.off + (r * x.cols) in
+    let obase = out.off + (r * x.cols) in
+    for j = 0 to x.cols - 1 do
+      Array.unsafe_set od (obase + j)
+        (Array.unsafe_get xd (xbase + j) +. Array.unsafe_get bd (b.off + j))
+    done
+  done
+
+(* dst (r x c) += the [start, start+c) column window of g (r x >=c):
+   the backward of a row-wise concatenation. *)
+let accumulate_cols ~dst g ~start =
+  if dst.rows <> g.rows || start < 0 || start + dst.cols > g.cols then
+    invalid_arg "Tensor.accumulate_cols: window out of bounds";
+  let dd = dst.data and gd = g.data in
+  for r = 0 to dst.rows - 1 do
+    let dbase = dst.off + (r * dst.cols) in
+    let gbase = g.off + (r * g.cols) + start in
+    for j = 0 to dst.cols - 1 do
+      Array.unsafe_set dd (dbase + j)
+        (Array.unsafe_get dd (dbase + j) +. Array.unsafe_get gd (gbase + j))
+    done
+  done
+
+(* acc (1 x cols) += column sums of x, rows accumulated in ascending order
+   (the bias gradient under broadcasting). *)
+let sum_rows_acc ~acc x =
+  if acc.rows <> 1 || acc.cols <> x.cols then
+    invalid_arg "Tensor.sum_rows_acc: shape mismatch";
+  let ad = acc.data and xd = x.data in
+  for r = 0 to x.rows - 1 do
+    let base = x.off + (r * x.cols) in
+    for j = 0 to x.cols - 1 do
+      Array.unsafe_set ad (acc.off + j)
+        (Array.unsafe_get ad (acc.off + j) +. Array.unsafe_get xd (base + j))
+    done
   done
 
 (* row vector (1 x n) times matrix (n x m) -> (1 x m) *)
 let vec_mat v m =
+  if v.rows <> 1 then invalid_arg "Tensor.vec_mat: row vector expected";
   if v.cols <> m.rows then invalid_arg "Tensor.vec_mat: shape mismatch";
-  let out = create 1 m.cols in
-  for j = 0 to m.cols - 1 do
-    let acc = ref 0.0 in
-    for i = 0 to m.rows - 1 do
-      acc := !acc +. (v.data.(i) *. m.data.((i * m.cols) + j))
-    done;
-    out.data.(j) <- !acc
-  done;
-  out
+  matmul v m
 
-(* matrix (n x m) times column vector (1 x m interpreted as m) -> (1 x n) *)
+(* matrix (n x m) times a length-m vector -> (1 x n) *)
 let mat_vec m v =
+  if v.rows <> 1 then invalid_arg "Tensor.mat_vec: row vector expected";
   if v.cols <> m.cols then invalid_arg "Tensor.mat_vec: shape mismatch";
   let out = create 1 m.rows in
-  for i = 0 to m.rows - 1 do
-    let acc = ref 0.0 in
-    for j = 0 to m.cols - 1 do
-      acc := !acc +. (m.data.((i * m.cols) + j) *. v.data.(j))
-    done;
-    out.data.(i) <- !acc
-  done;
+  matmul_nt_into ~out v m;
   out
 
 (* outer product of two row vectors: (1 x n) x (1 x m) -> (n x m) *)
 let outer a b =
+  if a.rows <> 1 || b.rows <> 1 then invalid_arg "Tensor.outer: row vectors expected";
   let out = create a.cols b.cols in
-  for i = 0 to a.cols - 1 do
-    for j = 0 to b.cols - 1 do
-      out.data.((i * b.cols) + j) <- a.data.(i) *. b.data.(j)
-    done
-  done;
+  matmul_tn_acc ~acc:out a b;
   out
 
 let dot a b =
-  if size a <> size b then invalid_arg "Tensor.dot: shape mismatch";
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Tensor.dot: shape mismatch";
   let acc = ref 0.0 in
   for i = 0 to size a - 1 do
-    acc := !acc +. (a.data.(i) *. b.data.(i))
+    acc := !acc +. (a.data.(a.off + i) *. b.data.(b.off + i))
   done;
   !acc
 
 let concat_vectors a b =
   if a.rows <> 1 || b.rows <> 1 then invalid_arg "Tensor.concat_vectors: vectors only";
-  { data = Array.append a.data b.data; rows = 1; cols = a.cols + b.cols }
+  let out = create 1 (a.cols + b.cols) in
+  Array.blit a.data a.off out.data 0 a.cols;
+  Array.blit b.data b.off out.data a.cols b.cols;
+  out
+
+(* row-wise concatenation of two batches: out.(r) = a.(r) ++ b.(r) *)
+let concat_cols_into ~out a b =
+  if a.rows <> b.rows then invalid_arg "Tensor.concat_cols_into: row mismatch";
+  if out.rows <> a.rows || out.cols <> a.cols + b.cols then
+    invalid_arg "Tensor.concat_cols_into: output shape mismatch";
+  for r = 0 to a.rows - 1 do
+    let obase = out.off + (r * out.cols) in
+    Array.blit a.data (a.off + (r * a.cols)) out.data obase a.cols;
+    Array.blit b.data (b.off + (r * b.cols)) out.data (obase + a.cols) b.cols
+  done
 
 let slice_vector t ~start ~len =
   if t.rows <> 1 then invalid_arg "Tensor.slice_vector: vectors only";
-  { data = Array.sub t.data start len; rows = 1; cols = len }
+  if start < 0 || len < 0 || start + len > t.cols then
+    invalid_arg "Tensor.slice_vector: out of bounds";
+  { data = t.data; off = t.off + start; rows = 1; cols = len }
 
-let row t i = { data = Array.sub t.data (i * t.cols) t.cols; rows = 1; cols = t.cols }
+let row t i =
+  if i < 0 || i >= t.rows then invalid_arg "Tensor.row: index out of bounds";
+  { data = t.data; off = t.off + (i * t.cols); rows = 1; cols = t.cols }
 
 (* Glorot-style random initialization. *)
 let init_uniform rng rows cols =
@@ -101,7 +729,69 @@ let init_uniform rng rows cols =
   { data =
       Array.init (rows * cols) (fun _ ->
           (Genie_util.Rng.float rng 2.0 -. 1.0) *. bound);
+    off = 0;
     rows;
     cols }
 
-let l2_norm t = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 t.data)
+let l2_norm t =
+  let acc = ref 0.0 in
+  for i = 0 to size t - 1 do
+    let x = t.data.(t.off + i) in
+    acc := !acc +. (x *. x)
+  done;
+  sqrt !acc
+
+(* --- scratch arenas ---------------------------------------------------------- *)
+
+(* Size-bucketed free lists of float arrays, so a training step reuses the
+   previous step's buffers instead of allocating a fresh tape's worth of
+   tensors per step. [take] hands out a zeroed tensor; [reset] (between
+   optimizer steps, after gradients have been copied out) returns every
+   outstanding buffer to its bucket. An arena is single-domain by
+   construction: each training worker owns one. *)
+module Scratch = struct
+  type bucket = { mutable avail : float array list; mutable used : float array list }
+
+  type arena = {
+    buckets : (int, bucket) Hashtbl.t;
+    mutable live : int; (* tensors handed out since the last reset *)
+    mutable reused : int; (* takes served from a free list *)
+  }
+
+  let create () = { buckets = Hashtbl.create 64; live = 0; reused = 0 }
+
+  let take arena rows cols =
+    if rows < 0 || cols < 0 then invalid_arg "Scratch.take: negative shape";
+    let n = rows * cols in
+    let b =
+      match Hashtbl.find_opt arena.buckets n with
+      | Some b -> b
+      | None ->
+          let b = { avail = []; used = [] } in
+          Hashtbl.replace arena.buckets n b;
+          b
+    in
+    let data =
+      match b.avail with
+      | d :: rest ->
+          b.avail <- rest;
+          Array.fill d 0 n 0.0;
+          arena.reused <- arena.reused + 1;
+          d
+      | [] -> Array.make n 0.0
+    in
+    b.used <- data :: b.used;
+    arena.live <- arena.live + 1;
+    { data; off = 0; rows; cols }
+
+  let reset arena =
+    Hashtbl.iter
+      (fun _ b ->
+        b.avail <- List.rev_append b.used b.avail;
+        b.used <- [])
+      arena.buckets;
+    arena.live <- 0
+
+  let live arena = arena.live
+  let reused arena = arena.reused
+end

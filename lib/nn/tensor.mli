@@ -1,14 +1,30 @@
-(** Dense float tensors (row vectors and matrices) for the neural substrate. *)
+(** Dense float tensors (row vectors, matrices and row-batches) for the
+    neural substrate.
 
-type t = { data : float array; rows : int; cols : int }
+    A tensor is a [rows x cols] window into a flat array starting at [off];
+    freshly created tensors own their storage ([off = 0]) while {!row} and
+    {!slice_vector} are zero-copy views. The batched matmul kernels
+    accumulate each output element in ascending inner index -- the same
+    per-element order as the historical row-vector kernels -- so mini-batch
+    arithmetic at batch size 1 is bitwise identical to the per-example
+    path. *)
+
+type t = { data : float array; off : int; rows : int; cols : int }
 
 val create : int -> int -> t
 val zeros_like : t -> t
 val of_array : int -> int -> float array -> t
 val vector : float array -> t
+
 val get : t -> int -> int -> float
+(** Bounds-checked element read (raises [Invalid_argument]). *)
+
 val set : t -> int -> int -> float -> unit
 val copy : t -> t
+
+val to_array : t -> float array
+(** The elements in row-major order, as a fresh array. *)
+
 val fill : t -> float -> unit
 val size : t -> int
 val iteri : (int -> float -> unit) -> t -> unit
@@ -19,8 +35,79 @@ val sub : t -> t -> t
 val mul : t -> t -> t
 val scale : float -> t -> t
 
+val map_into : (float -> float) -> t -> out:t -> unit
+val map2_into : (float -> float -> float) -> t -> t -> out:t -> unit
+
+val add_into : t -> t -> out:t -> unit
+(** [out <- a + b] elementwise — closure-free form of
+    [map2_into ( +. )], bitwise identical to it. *)
+
+val sub_into : t -> t -> out:t -> unit
+(** [out <- a - b] elementwise. *)
+
+val mul_into : t -> t -> out:t -> unit
+(** [out <- a * b] elementwise. *)
+
+val mul_acc : t -> t -> t -> unit
+(** [a += b * c] elementwise — closure-free form of
+    [accumulate2 a ( *. ) b c], bitwise identical to it. *)
+
+val sigmoid_into : t -> out:t -> unit
+(** [out <- 1 / (1 + exp (-src))], elementwise — a direct-call kernel for
+    the per-step gate activations (no per-element closure call). *)
+
+val tanh_into : t -> out:t -> unit
+
+val sigmoid_grad_acc : acc:t -> value:t -> grad:t -> unit
+(** [acc += grad * value * (1 - value)] where [value] is the forward
+    sigmoid output. *)
+
+val tanh_grad_acc : acc:t -> value:t -> grad:t -> unit
+(** [acc += grad * (1 - value^2)] where [value] is the forward tanh
+    output. *)
+
 val accumulate : t -> t -> unit
 (** In-place [a += b]. *)
+
+val accumulate_scaled : t -> float -> t -> unit
+(** In-place [a += k * b], no temporary. *)
+
+val accumulate2 : t -> (float -> float -> float) -> t -> t -> unit
+(** In-place [a += f b c] elementwise, no temporary. *)
+
+(** {2 Matmul family}
+
+    All kernels accumulate each output element in ascending inner index;
+    blocking only reorders work across distinct elements. *)
+
+val matmul_into : out:t -> t -> t -> unit
+(** [matmul_into ~out a b]: [out = a . b] for [a : p x n], [b : n x m]. *)
+
+val matmul : t -> t -> t
+
+val matmul_nt_into : out:t -> t -> t -> unit
+(** [out = a . b^T] for [a : p x n], [b : q x n]. *)
+
+val matmul_nt_acc : acc:t -> t -> t -> unit
+(** [acc += a . b^T] -- the input-gradient kernel [G . W^T]. *)
+
+val matmul_tn_acc : acc:t -> t -> t -> unit
+(** [acc += a^T . b] for [a : r x p], [b : r x q], ascending [r] -- the
+    weight-gradient kernel [X^T . G]. *)
+
+val add_bias_into : out:t -> t -> t -> unit
+(** [out.(r) = x.(r) + b.(0)]: bias broadcast over the batch axis. *)
+
+val sum_rows_acc : acc:t -> t -> unit
+(** [acc (1 x cols) += column sums], rows in ascending order (bias
+    gradient). *)
+
+val concat_cols_into : out:t -> t -> t -> unit
+(** Row-wise concatenation: [out.(r) = a.(r) ++ b.(r)]. *)
+
+val accumulate_cols : dst:t -> t -> start:int -> unit
+(** [dst += g.(r).(start..start+dst.cols-1)] -- backward of a row-wise
+    concatenation. *)
 
 val vec_mat : t -> t -> t
 (** Row vector (1 x n) times matrix (n x m). *)
@@ -33,10 +120,35 @@ val outer : t -> t -> t
 
 val dot : t -> t -> float
 val concat_vectors : t -> t -> t
+
 val slice_vector : t -> start:int -> len:int -> t
+(** A zero-copy view of [len] columns of a row vector starting at [start]. *)
+
 val row : t -> int -> t
+(** A zero-copy view of row [i]. *)
 
 val init_uniform : Genie_util.Rng.t -> int -> int -> t
 (** Glorot-style uniform initialization. *)
 
 val l2_norm : t -> float
+
+(** {2 Scratch arenas}
+
+    Size-bucketed buffer reuse for training steps: {!Scratch.take} hands out
+    a zeroed tensor, {!Scratch.reset} (called between optimizer steps, after
+    gradients are copied out) reclaims every outstanding buffer. One arena
+    per worker domain; an arena is not thread-safe. *)
+module Scratch : sig
+  type arena
+
+  val create : unit -> arena
+  val take : arena -> int -> int -> t
+  val reset : arena -> unit
+
+  val live : arena -> int
+  (** Tensors handed out since the last reset. *)
+
+  val reused : arena -> int
+  (** Lifetime count of takes served from a free list rather than a fresh
+      allocation. *)
+end

@@ -980,7 +980,12 @@ let compose_candidates t cache grams : skeleton_entry list =
 (* The decode loop reports three phases to an optional tracing scope:
    candidate ranking, beam truncation, and slot filling. With no scope the
    clock is never read and the only cost is a match on [None]. *)
-let predict ?scope t (sentence_tokens : string list) : prediction =
+(* [predict] with a caller-supplied conditional-coverage cache. Entries of
+   [cov_cache] are [cond_score t a w] values -- pure functions of the model,
+   never of the sentence -- so sharing one table across a batch of sentences
+   is observationally transparent; only the per-sentence gram cache below
+   stays private. *)
+let predict_with ?scope ~cov_cache t (sentence_tokens : string list) : prediction =
   let module Tracer = Genie_observe.Tracer in
   let now () = match scope with Some _ -> Tracer.now_ns () | None -> 0.0 in
   let d0 = now () in
@@ -998,7 +1003,6 @@ let predict ?scope t (sentence_tokens : string list) : prediction =
     | None -> None
   in
   let cache : (string, float) Hashtbl.t = Hashtbl.create 512 in
-  let cov_cache : (string, float) Hashtbl.t = Hashtbl.create 4096 in
   let content = content_tokens norm.Genie_dataset.Argument_id.tokens in
   let cands = candidate_keys t cache grams in
   let inventory_scored =
@@ -1057,6 +1061,17 @@ let predict ?scope t (sentence_tokens : string list) : prediction =
         ~start_ns:d2 ~dur_ns:(d3 -. d2) "decode.slots"
   | None -> ());
   best
+
+let predict ?scope t (sentence_tokens : string list) : prediction =
+  predict_with ?scope ~cov_cache:(Hashtbl.create 4096) t sentence_tokens
+
+(* Batched prediction: one shared conditional-coverage cache across the
+   whole batch (its entries are sentence-independent, see [predict_with]),
+   so repeated atom/word pairs are scored once per batch instead of once per
+   sentence. Results are byte-identical to mapping [predict]. *)
+let predict_batch t (batch : string list list) : prediction list =
+  let cov_cache : (string, float) Hashtbl.t = Hashtbl.create 4096 in
+  List.map (fun sentence -> predict_with ~cov_cache t sentence) batch
 
 (* accessor used by the beam field *)
 let cfg t = t.cfg

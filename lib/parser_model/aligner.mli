@@ -96,6 +96,21 @@ val predict :
     ([decode.rank], [decode.beam], [decode.slots]) as child spans; without
     it, no clocks are read. *)
 
+val predict_with :
+  ?scope:Genie_observe.Tracer.scope ->
+  cov_cache:(string, float) Hashtbl.t ->
+  t ->
+  string list ->
+  prediction
+(** {!predict} with a caller-supplied conditional-coverage cache. Its
+    entries are pure functions of the model (never the sentence), so one
+    table can be shared across a batch transparently. *)
+
+val predict_batch : t -> string list list -> prediction list
+(** Batched prediction sharing one conditional-coverage cache across the
+    batch: repeated atom/word pairs are scored once per batch instead of
+    once per sentence. Byte-identical to mapping {!predict}. *)
+
 (** {2 Exposed internals}
 
     The scoring and filling machinery is exposed for the test suite and the

@@ -51,16 +51,26 @@ let evaluate_one lib ~(gold : Ast.program list) (predicted : Ast.program option)
       in
       (correct, fn_ok, dev_ok, prim_ok, syntax, wrong_value)
 
-let evaluate lib (predict : string list -> Ast.program option)
+(* Scores a test set against predictions obtained in one batched pass --
+   the whole-set prediction call lets the predictor amortize shared scoring
+   work (see Aligner.predict_batch). Metrics are identical to the
+   per-example driver as long as the batched predictor agrees with the
+   per-example one. *)
+let evaluate_batched lib
+    (predict_batch : string list list -> Ast.program option list)
     (examples : Genie_dataset.Example.t list) : metrics =
   let n = List.length examples in
   if n = 0 then zero_metrics
   else begin
+    let predictions =
+      predict_batch (List.map (fun e -> e.Genie_dataset.Example.tokens) examples)
+    in
+    if List.length predictions <> n then
+      invalid_arg "Eval.evaluate_batched: prediction count mismatch";
     let acc = ref 0 and fn = ref 0 and dev = ref 0 and prim = ref 0 in
     let syn = ref 0 and wrong = ref 0 in
-    List.iter
-      (fun e ->
-        let predicted = predict e.Genie_dataset.Example.tokens in
+    List.iter2
+      (fun e predicted ->
         let correct, fn_ok, dev_ok, prim_ok, syntax, wrong_value =
           evaluate_one lib ~gold:(Genie_dataset.Example.all_programs e) predicted
         in
@@ -70,7 +80,7 @@ let evaluate lib (predict : string list -> Ast.program option)
         if prim_ok then incr prim;
         if syntax then incr syn;
         if wrong_value then incr wrong)
-      examples;
+      examples predictions;
     let f x = float_of_int !x /. float_of_int n in
     { n;
       program_accuracy = f acc;
@@ -80,6 +90,10 @@ let evaluate lib (predict : string list -> Ast.program option)
       syntax_ok = f syn;
       wrong_param_value = f wrong }
   end
+
+let evaluate lib (predict : string list -> Ast.program option)
+    (examples : Genie_dataset.Example.t list) : metrics =
+  evaluate_batched lib (List.map predict) examples
 
 (* mean +- half-range over several runs, as the paper reports *)
 let mean_half_range (xs : float list) =

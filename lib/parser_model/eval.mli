@@ -27,6 +27,16 @@ val evaluate :
   metrics
 (** Runs a predictor over a test set and scores it against all annotations. *)
 
+val evaluate_batched :
+  Schema.Library.t ->
+  (string list list -> Ast.program option list) ->
+  Genie_dataset.Example.t list ->
+  metrics
+(** {!evaluate} driven by one whole-set prediction call, letting the
+    predictor amortize shared scoring work across the batch (see
+    [Aligner.predict_batch]); metrics are identical to {!evaluate} whenever
+    the batched predictor agrees with the per-example one. *)
+
 val mean_half_range : float list -> float * float
 (** Mean and half of the max-min range over runs, as the paper reports. *)
 

@@ -30,14 +30,29 @@ val create :
     spans in slot [worker]; always-on {!Genie_observe.Probe} counters on
     [metrics] are bumped regardless. *)
 
-val process : ?attempt:int -> t -> Request.t -> Response.t
+val process :
+  ?attempt:int ->
+  ?preparsed:(string -> Genie_parser_model.Aligner.prediction option) ->
+  t ->
+  Request.t ->
+  Response.t
 (** Serves one request: parser and runtime exceptions are absorbed into the
     response ([status = Error]); a request past its {!Request.deadline_ns}
     answers [Timeout] with its stage timings still populated (cache hits are
     exempt — they cost nothing). The {e only} exception [process] raises is
     {!Fault.Injected_crash}, on schedule, for the retry layer to catch;
     [attempt] (default 0) is the retry ordinal the schedule consults, echoed
-    back as [response.attempts = attempt + 1]. *)
+    back as [response.attempts = attempt + 1]. [preparsed] (used by
+    {!process_batch}) is consulted by cache key on a cache miss before
+    falling back to the aligner; it must only return predictions identical
+    to what the aligner would produce. *)
+
+val process_batch : ?attempt:int -> t -> Request.t list -> Response.t list
+(** Serves a list of requests, parsing all distinct uncached utterances in
+    one batched aligner pass. Responses, cache state, probes and metrics are
+    identical to [List.map (process ~attempt t)] over the same list;
+    batches with an active fault schedule, an enabled tracer, or any
+    per-request deadline fall back to exactly that sequential path. *)
 
 val cache_stats : t -> Parse_cache.stats
 val worker : t -> int

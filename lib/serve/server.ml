@@ -349,12 +349,76 @@ let run_batch_pooled t pool reqs =
   List.iter (remember t) !collected;
   !collected
 
-let run_batch t reqs =
+(* --- batched serving --------------------------------------------------------- *)
+
+(* The batched variants push each worker's admitted requests through
+   [Engine.process_batch], which parses all distinct uncached utterances of
+   the group in one aligner pass. Responses and end-of-batch server state
+   are identical to the per-request paths above:
+
+   - sequential: admission credits run out monotonically, so the admitted
+     requests are exactly a prefix of the batch; processing that prefix
+     first and then degrading/shedding the suffix preserves the interleaved
+     path's degraded-cache visibility (every shed request still sees all
+     parses remembered before it).
+   - pooled: [run_batch_pooled] sheds at submission time, before any worker
+     response is remembered, so the batched variant also degrades/sheds
+     during the admission walk and remembers afterwards.
+
+   Only fault-free servers take these paths — drop injection and the retry
+   policy are specified per sequential attempt — and [Engine.process_batch]
+   itself falls back to its sequential path for traced or deadline-carrying
+   batches. *)
+
+let run_batch_seq_batched t reqs =
+  let cap = match t.admission with Some c -> c | None -> max_int in
+  let rec split n acc = function
+    | rest when n <= 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | r :: rest -> split (n - 1) (r :: acc) rest
+  in
+  let admitted, excess = split cap [] reqs in
+  let rs = Engine.process_batch t.engines.(0) admitted in
+  List.iter (remember t) rs;
+  rs @ List.map (degrade_or_shed t ~worker:0) excess
+
+let run_batch_pooled_batched t reqs =
+  let n = Array.length t.engines in
+  let credits = fresh_credits t n in
+  let groups = Array.make n [] in
+  let shed_responses = ref [] in
+  List.iter
+    (fun req ->
+      let w = shard t req in
+      if credits.(w) > 0 then begin
+        credits.(w) <- credits.(w) - 1;
+        groups.(w) <- req :: groups.(w)
+      end
+      else shed_responses := degrade_or_shed t ~worker:w req :: !shed_responses)
+    reqs;
+  let jobs =
+    Array.to_list (Array.mapi (fun w g -> (w, List.rev g)) groups)
+    |> List.filter (fun (_, g) -> g <> [])
+  in
+  (* one job per engine, so each engine is driven from exactly one domain *)
+  let results =
+    Genie_conc.Pool.map_list ~workers:t.workers
+      ~handler:(fun _ (w, group) -> Engine.process_batch t.engines.(w) group)
+      jobs
+  in
+  let responses = List.concat results in
+  List.iter (remember t) responses;
+  responses @ !shed_responses
+
+let run_batch ?(batched = false) t reqs =
   let t0 = Unix.gettimeofday () in
+  let batched = batched && Fault.spec t.fault = Fault.spec Fault.none in
   let responses =
     match t.pool with
-    | None -> run_batch_seq t reqs
-    | Some pool -> run_batch_pooled t pool reqs
+    | None -> if batched then run_batch_seq_batched t reqs else run_batch_seq t reqs
+    | Some pool ->
+        if batched then run_batch_pooled_batched t reqs
+        else run_batch_pooled t pool reqs
   in
   let dt = Unix.gettimeofday () -. t0 in
   t.last_batch <- (List.length reqs, dt);

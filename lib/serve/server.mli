@@ -99,11 +99,19 @@ val handle : t -> Request.t -> Response.t
     to), with the full retry policy but no admission check. Do not
     interleave with a concurrent {!run_batch}. *)
 
-val run_batch : t -> Request.t list -> Response.t list
+val run_batch : ?batched:bool -> t -> Request.t list -> Response.t list
 (** Serves a batch — through the pool when [workers >= 2], sequentially
     otherwise — and returns exactly one response per request, sorted by
     request id. Also records the batch's wall-clock time for {!stats}'s
-    throughput. *)
+    throughput.
+
+    With [~batched:true] (default false) each worker's admitted requests go
+    through {!Engine.process_batch}, which parses all distinct uncached
+    utterances in one batched aligner pass; responses and end-of-batch
+    server state are identical to the per-request path. The flag is ignored
+    when the server carries a fault schedule (fault semantics are specified
+    per sequential attempt), and traced or deadline-carrying batches fall
+    back engine-side. *)
 
 val stats : t -> stats
 

@@ -186,6 +186,63 @@ let test_adam_descends () =
   done;
   Alcotest.(check bool) "converged to zero" true (Tensor.l2_norm p.Layers.tensor < 1e-2)
 
+(* Boundary behavior of the vector/view helpers: every malformed shape must
+   raise rather than read (or write) out of bounds, and the accepted views
+   must alias the parent's storage. *)
+let expect_invalid name f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+
+let test_tensor_boundaries () =
+  let v3 = Tensor.vector [| 1.0; 2.0; 3.0 |] in
+  let m23 = Tensor.of_array 2 3 [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  (* outer: row vectors only *)
+  expect_invalid "outer matrix lhs" (fun () -> Tensor.outer m23 v3);
+  expect_invalid "outer matrix rhs" (fun () -> Tensor.outer v3 m23);
+  (* concat_vectors: vectors only *)
+  expect_invalid "concat matrix" (fun () -> Tensor.concat_vectors v3 m23);
+  (* slice_vector: window must stay inside, on vectors only *)
+  expect_invalid "slice of matrix" (fun () ->
+      Tensor.slice_vector m23 ~start:0 ~len:2);
+  expect_invalid "slice past end" (fun () ->
+      Tensor.slice_vector v3 ~start:2 ~len:2);
+  expect_invalid "slice negative start" (fun () ->
+      Tensor.slice_vector v3 ~start:(-1) ~len:1);
+  expect_invalid "slice negative len" (fun () ->
+      Tensor.slice_vector v3 ~start:0 ~len:(-1));
+  (* row: index in range *)
+  expect_invalid "row at rows" (fun () -> Tensor.row m23 2);
+  expect_invalid "row negative" (fun () -> Tensor.row m23 (-1));
+  (* in-range slice and row are zero-copy views over the parent *)
+  let s = Tensor.slice_vector v3 ~start:1 ~len:2 in
+  Alcotest.(check int) "slice len" 2 (Tensor.size s);
+  Tensor.set s 0 0 9.0;
+  feq "slice aliases parent" 9.0 (Tensor.get v3 0 1);
+  let r = Tensor.row m23 1 in
+  Tensor.set r 0 2 8.0;
+  feq "row aliases parent" 8.0 (Tensor.get m23 1 2);
+  (* slice of a slice stays anchored to the same buffer *)
+  let s2 = Tensor.slice_vector s ~start:1 ~len:1 in
+  feq "nested slice offset" 3.0 (Tensor.get s2 0 0)
+
+let test_kernel_shape_checks () =
+  let a = Tensor.create 2 3 and b = Tensor.create 3 2 in
+  let out = Tensor.create 2 3 in
+  expect_invalid "add_into mismatch" (fun () -> Tensor.add_into a b ~out);
+  expect_invalid "sub_into mismatch" (fun () -> Tensor.sub_into a b ~out);
+  expect_invalid "mul_into out mismatch" (fun () ->
+      Tensor.mul_into a a ~out:(Tensor.create 3 2));
+  expect_invalid "mul_acc mismatch" (fun () -> Tensor.mul_acc a a b);
+  expect_invalid "matmul_into inner dim" (fun () ->
+      Tensor.matmul_into ~out:(Tensor.create 2 2) a a);
+  expect_invalid "matmul_into out shape" (fun () ->
+      Tensor.matmul_into ~out:(Tensor.create 3 3) a b);
+  expect_invalid "matmul_nt_acc inner dim" (fun () ->
+      Tensor.matmul_nt_acc ~acc:(Tensor.create 2 3) a b);
+  expect_invalid "matmul_tn_acc row mismatch" (fun () ->
+      Tensor.matmul_tn_acc ~acc:(Tensor.create 3 2) a b)
+
 let test_vocab () =
   let v = Vocab.of_tokens [ "a"; "b"; "a" ] in
   Alcotest.(check int) "specials + 2" 6 (Vocab.size v);
@@ -203,4 +260,6 @@ let suite =
     Alcotest.test_case "pointer copies unseen tokens" `Slow test_seq2seq_copies_unseen_tokens;
     Alcotest.test_case "program LM learns" `Quick test_lm_learns;
     Alcotest.test_case "adam descends" `Quick test_adam_descends;
+    Alcotest.test_case "tensor view boundaries" `Quick test_tensor_boundaries;
+    Alcotest.test_case "kernel shape checks" `Quick test_kernel_shape_checks;
     Alcotest.test_case "vocab" `Quick test_vocab ]

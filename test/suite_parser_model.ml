@@ -181,8 +181,65 @@ let test_lm_extends_inventory () =
   let k = Skeleton.key (Skeleton.of_program lib (Canonical.normalize lib lm_prog)) in
   Alcotest.(check bool) "lm skeleton registered" true (Hashtbl.mem m.Aligner.inventory k)
 
+(* --- batched prediction and evaluation --------------------------------------------- *)
+
+let eval_sentences =
+  [ "tweet alice"; "show me emails from bob"; "get a cat picture";
+    "when i receive an email , get a cat picture"; "tweet carol";
+    "show me emails from mallory"; "tweet alice" (* repeat: shared cache hit *) ]
+
+let test_predict_batch_identical () =
+  let m = Lazy.force model in
+  let batch = List.map Genie_util.Tok.tokenize eval_sentences in
+  let batched = Aligner.predict_batch m batch in
+  let mapped = List.map (Aligner.predict m) batch in
+  List.iteri
+    (fun i ((b : Aligner.prediction), (s : Aligner.prediction)) ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "score %d" i)
+        s.Aligner.score b.Aligner.score;
+      Alcotest.(check (list string))
+        (Printf.sprintf "nn tokens %d" i)
+        s.Aligner.nn_tokens b.Aligner.nn_tokens;
+      Alcotest.(check (option string))
+        (Printf.sprintf "program %d" i)
+        (Option.map (Canonical.canonical_string lib) s.Aligner.program)
+        (Option.map (Canonical.canonical_string lib) b.Aligner.program))
+    (List.combine batched mapped)
+
+let test_evaluate_batched_identical () =
+  let m = Lazy.force model in
+  let examples =
+    List.filteri (fun i _ -> i < 10) (mini_dataset ())
+    |> List.mapi (fun i (e : Genie_dataset.Example.t) ->
+           { e with Genie_dataset.Example.id = i })
+  in
+  let seq =
+    Eval.evaluate lib (fun toks -> (Aligner.predict m toks).Aligner.program) examples
+  in
+  let batched =
+    Eval.evaluate_batched lib
+      (fun batch ->
+        List.map
+          (fun (p : Aligner.prediction) -> p.Aligner.program)
+          (Aligner.predict_batch m batch))
+      examples
+  in
+  Alcotest.(check (float 0.0)) "program accuracy" seq.Eval.program_accuracy
+    batched.Eval.program_accuracy;
+  Alcotest.(check (float 0.0)) "function accuracy" seq.Eval.function_accuracy
+    batched.Eval.function_accuracy;
+  Alcotest.(check (float 0.0)) "device accuracy" seq.Eval.device_accuracy
+    batched.Eval.device_accuracy;
+  Alcotest.(check (float 0.0)) "syntax ok" seq.Eval.syntax_ok batched.Eval.syntax_ok;
+  Alcotest.(check int) "n" seq.Eval.n batched.Eval.n
+
 let suite =
   [ Alcotest.test_case "skeleton slots" `Quick test_skeleton_slots;
+    Alcotest.test_case "predict_batch = mapped predict" `Quick
+      test_predict_batch_identical;
+    Alcotest.test_case "evaluate_batched = evaluate" `Quick
+      test_evaluate_batched_identical;
     Alcotest.test_case "enums stay literal" `Quick test_skeleton_enum_not_slotted;
     Alcotest.test_case "equal values share markers" `Quick test_skeleton_shared_marker;
     Alcotest.test_case "skeleton fill roundtrip" `Quick test_skeleton_fill_roundtrip;

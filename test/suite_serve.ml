@@ -850,8 +850,33 @@ let test_server_execute_and_stats () =
   Alcotest.(check bool) "p50 measured" true (s.Server.p50_ms > 0.0);
   check_invariant server
 
+(* --- batched predict path ---------------------------------------------------------- *)
+
+(* The batched engine path (one aligner pass over all distinct uncached
+   utterances) must be observationally identical to per-request processing:
+   responses byte for byte, cache flags included, sequential or pooled. *)
+let test_batched_predict_identical () =
+  let model = Lazy.force model in
+  let requests =
+    Traffic.generate ~rng:(Genie_util.Rng.create 31) ~utterances:utterances 40
+  in
+  let run ?(workers = 0) ~batched () =
+    let server = Server.create ~lib ~model ~workers () in
+    let rs = Server.run_batch ~batched server requests in
+    check_invariant server;
+    Server.shutdown server;
+    List.map digest rs
+  in
+  let reference = run ~batched:false () in
+  Alcotest.(check (list string)) "batched = unbatched (sequential)" reference
+    (run ~batched:true ());
+  Alcotest.(check (list string)) "batched = unbatched (pooled)" reference
+    (run ~workers:2 ~batched:true ())
+
 let suite =
   [ Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "batched predict = per-request" `Quick
+      test_batched_predict_identical;
     Alcotest.test_case "lru capacity 1" `Quick test_lru_capacity_one;
     Alcotest.test_case "lru capacity 0" `Quick test_lru_capacity_zero;
     Alcotest.test_case "cached = cold parse" `Quick test_cached_response_identical;

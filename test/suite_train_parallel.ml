@@ -1,0 +1,498 @@
+(* Tests for the batched, deterministically data-parallel training
+   substrate: QCheck finite-difference gradient checks over every Autodiff
+   op and each Layers block; bitwise equality of the batched forward with
+   the per-example loop; RNG-stream decoupling (interleaved prediction
+   cannot perturb training); weight-digest invariance across worker counts;
+   the fixed-shape reduction tree; and a golden digest pinning a small
+   training run end to end.
+
+   Regolding (after an intentional model or kernel change): run with
+   TRAIN_REGOLD=1 to print the new line for test/golden/train.digest. *)
+
+open Genie_nn
+
+(* --- finite-difference harness ---------------------------------------------------- *)
+
+(* Central differences over every element of every input tensor. [build]
+   must construct a 1x1 loss from leaves bound to [inputs] -- rebuilding on
+   a fresh tape after each perturbation, so it must be deterministic (any
+   internal Rng recreated from a fixed seed). *)
+let fd_check ?(eps = 1e-5) ?(tol = 1e-4) name inputs build =
+  let eval () =
+    let tape = Autodiff.new_tape () in
+    let leaves = List.map (Autodiff.leaf tape) inputs in
+    (tape, leaves, build tape leaves)
+  in
+  let tape, leaves, loss = eval () in
+  Autodiff.backward tape loss;
+  let flat (t : Tensor.t) i = t.Tensor.data.(t.Tensor.off + i) in
+  let set_flat (t : Tensor.t) i x = t.Tensor.data.(t.Tensor.off + i) <- x in
+  let loss_value () =
+    let _, _, l = eval () in
+    Tensor.get l.Autodiff.value 0 0
+  in
+  List.iteri
+    (fun which (t : Tensor.t) ->
+      let grad = (List.nth leaves which).Autodiff.grad in
+      for i = 0 to Tensor.size t - 1 do
+        let orig = flat t i in
+        set_flat t i (orig +. eps);
+        let lp = loss_value () in
+        set_flat t i (orig -. eps);
+        let lm = loss_value () in
+        set_flat t i orig;
+        let numeric = (lp -. lm) /. (2.0 *. eps) in
+        let analytic = flat grad i in
+        let err = Float.abs (analytic -. numeric) in
+        if err /. Float.max 1.0 (Float.abs numeric) > tol then
+          Alcotest.fail
+            (Printf.sprintf "%s: input %d elt %d: analytic %.8f vs numeric %.8f"
+               name which i analytic numeric)
+      done)
+    inputs
+
+(* Each op is checked under a tanh nonlinearity so that even linear ops get
+   non-constant downstream gradients. *)
+let reduce tape n = Autodiff.sum_all tape (Autodiff.tanh_ tape n)
+
+let qtest ?(count = 12) name prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name ~count
+       QCheck.(int_range 1 10_000)
+       (fun seed ->
+         let rng = Genie_util.Rng.create seed in
+         prop rng;
+         true))
+
+let init rng r c = Tensor.init_uniform rng r c
+
+let fd_ops_tests =
+  [ qtest "fd: add (equal rows)" (fun rng ->
+        fd_check "add" [ init rng 3 4; init rng 3 4 ] (fun tape -> function
+          | [ a; b ] -> reduce tape (Autodiff.add tape a b)
+          | _ -> assert false));
+    qtest "fd: add (bias broadcast)" (fun rng ->
+        fd_check "add-bias" [ init rng 3 4; init rng 1 4 ] (fun tape -> function
+          | [ a; b ] -> reduce tape (Autodiff.add tape a b)
+          | _ -> assert false));
+    qtest "fd: add (broadcast left)" (fun rng ->
+        fd_check "add-bias-left" [ init rng 1 4; init rng 3 4 ]
+          (fun tape -> function
+          | [ a; b ] -> reduce tape (Autodiff.add tape a b)
+          | _ -> assert false));
+    qtest "fd: sub" (fun rng ->
+        fd_check "sub" [ init rng 3 4; init rng 3 4 ] (fun tape -> function
+          | [ a; b ] -> reduce tape (Autodiff.sub tape a b)
+          | _ -> assert false));
+    qtest "fd: mul" (fun rng ->
+        fd_check "mul" [ init rng 3 4; init rng 3 4 ] (fun tape -> function
+          | [ a; b ] -> reduce tape (Autodiff.mul tape a b)
+          | _ -> assert false));
+    qtest "fd: scale" (fun rng ->
+        let k = Genie_util.Rng.float rng 3.0 -. 1.5 in
+        fd_check "scale" [ init rng 3 4 ] (fun tape -> function
+          | [ a ] -> reduce tape (Autodiff.scale tape k a)
+          | _ -> assert false));
+    qtest "fd: matmul" (fun rng ->
+        fd_check "matmul" [ init rng 3 4; init rng 4 2 ] (fun tape -> function
+          | [ a; b ] -> reduce tape (Autodiff.matmul tape a b)
+          | _ -> assert false));
+    qtest "fd: vec_mat" (fun rng ->
+        fd_check "vec_mat" [ init rng 1 3; init rng 3 4 ] (fun tape -> function
+          | [ v; m ] -> reduce tape (Autodiff.vec_mat tape v m)
+          | _ -> assert false));
+    qtest "fd: sigmoid" (fun rng ->
+        fd_check "sigmoid" [ init rng 3 4 ] (fun tape -> function
+          | [ a ] -> reduce tape (Autodiff.sigmoid tape a)
+          | _ -> assert false));
+    qtest "fd: tanh" (fun rng ->
+        fd_check "tanh" [ init rng 3 4 ] (fun tape -> function
+          | [ a ] -> reduce tape (Autodiff.tanh_ tape a)
+          | _ -> assert false));
+    qtest "fd: concat" (fun rng ->
+        fd_check "concat" [ init rng 3 2; init rng 3 3 ] (fun tape -> function
+          | [ a; b ] -> reduce tape (Autodiff.concat tape a b)
+          | _ -> assert false));
+    qtest "fd: row" (fun rng ->
+        let i = Genie_util.Rng.int rng 4 in
+        fd_check "row" [ init rng 4 3 ] (fun tape -> function
+          | [ a ] -> reduce tape (Autodiff.row tape a i)
+          | _ -> assert false));
+    qtest "fd: rows gather (with repeats)" (fun rng ->
+        let ids = Array.init 4 (fun _ -> Genie_util.Rng.int rng 5) in
+        ids.(3) <- ids.(0);
+        fd_check "rows" [ init rng 5 3 ] (fun tape -> function
+          | [ a ] -> reduce tape (Autodiff.rows tape a ids)
+          | _ -> assert false));
+    qtest "fd: dot" (fun rng ->
+        fd_check "dot" [ init rng 3 4; init rng 3 4 ] (fun tape -> function
+          | [ a; b ] -> reduce tape (Autodiff.dot tape a b)
+          | _ -> assert false));
+    qtest "fd: row_dot" (fun rng ->
+        fd_check "row_dot" [ init rng 3 4; init rng 3 4 ] (fun tape -> function
+          | [ a; b ] -> reduce tape (Autodiff.row_dot tape a b)
+          | _ -> assert false));
+    qtest "fd: col" (fun rng ->
+        let j = Genie_util.Rng.int rng 4 in
+        fd_check "col" [ init rng 3 4 ] (fun tape -> function
+          | [ a ] -> reduce tape (Autodiff.col tape a j)
+          | _ -> assert false));
+    qtest "fd: row_scale" (fun rng ->
+        fd_check "row_scale" [ init rng 3 1; init rng 3 4 ] (fun tape -> function
+          | [ s; x ] -> reduce tape (Autodiff.row_scale tape s x)
+          | _ -> assert false));
+    qtest "fd: pack_cols + softmax (masked)" (fun rng ->
+        let lengths = [| 2; 3 |] in
+        fd_check "pack_cols"
+          [ init rng 2 1; init rng 2 1; init rng 2 1 ]
+          (fun tape steps ->
+            let packed = Autodiff.pack_cols tape ~rows:2 ~lengths steps in
+            reduce tape (Autodiff.softmax tape packed)));
+    qtest "fd: attention_scores (masked)" (fun rng ->
+        let lengths = [| 2; 3 |] in
+        fd_check "attention_scores"
+          [ init rng 2 4; init rng 2 4; init rng 2 4; init rng 2 4 ]
+          (fun tape -> function
+          | [ s0; s1; s2; q ] ->
+              let packed =
+                Autodiff.attention_scores tape ~lengths [| s0; s1; s2 |] q
+              in
+              reduce tape (Autodiff.softmax tape packed)
+          | _ -> assert false));
+    qtest "fd: attention_context" (fun rng ->
+        let lengths = [| 2; 3 |] in
+        fd_check "attention_context"
+          [ init rng 2 4; init rng 2 4; init rng 2 4; init rng 2 4 ]
+          (fun tape -> function
+          | [ s0; s1; s2; q ] ->
+              let states = [| s0; s1; s2 |] in
+              let w =
+                Autodiff.softmax tape
+                  (Autodiff.attention_scores tape ~lengths states q)
+              in
+              reduce tape (Autodiff.attention_context tape w states)
+          | _ -> assert false));
+    qtest "fd: rows_prefix" (fun rng ->
+        fd_check "rows_prefix" [ init rng 4 3 ] (fun tape -> function
+          | [ a ] -> reduce tape (Autodiff.rows_prefix tape a 2)
+          | _ -> assert false));
+    qtest "fd: overlay_rows" (fun rng ->
+        fd_check "overlay_rows" [ init rng 2 3; init rng 4 3 ]
+          (fun tape -> function
+          | [ top; base ] -> reduce tape (Autodiff.overlay_rows tape ~top ~base)
+          | _ -> assert false));
+    qtest "fd: add_rows_prefix" (fun rng ->
+        fd_check "add_rows_prefix" [ init rng 4 3; init rng 2 3 ]
+          (fun tape -> function
+          | [ acc; top ] -> reduce tape (Autodiff.add_rows_prefix tape acc top)
+          | _ -> assert false));
+    qtest "fd: masked_select" (fun rng ->
+        let mask = Array.init 3 (fun _ -> Genie_util.Rng.flip rng 0.5) in
+        fd_check "masked_select" [ init rng 3 4; init rng 3 4 ]
+          (fun tape -> function
+          | [ a; b ] -> reduce tape (Autodiff.masked_select tape mask a b)
+          | _ -> assert false));
+    qtest "fd: dropout (fixed stream)" (fun rng ->
+        fd_check "dropout" [ init rng 3 4 ] (fun tape -> function
+          | [ a ] ->
+              reduce tape
+                (Autodiff.dropout tape
+                   (Genie_util.Rng.create 42)
+                   ~p:0.3 ~training:true a)
+          | _ -> assert false));
+    qtest "fd: dropout_rows (per-row streams)" (fun rng ->
+        let active = [| true; true; false |] in
+        fd_check "dropout_rows" [ init rng 3 4 ] (fun tape -> function
+          | [ a ] ->
+              let rngs =
+                Array.init 3 (fun r -> Genie_util.Rng.create (100 + r))
+              in
+              reduce tape
+                (Autodiff.dropout_rows tape rngs ~active ~p:0.3 ~training:true a)
+          | _ -> assert false));
+    qtest "fd: softmax" (fun rng ->
+        fd_check "softmax" [ init rng 3 4 ] (fun tape -> function
+          | [ a ] -> reduce tape (Autodiff.softmax tape a)
+          | _ -> assert false));
+    qtest "fd: softmax_nll" (fun rng ->
+        let target = Genie_util.Rng.int rng 5 in
+        fd_check "softmax_nll" [ init rng 1 5 ] (fun tape -> function
+          | [ logits ] -> fst (Autodiff.softmax_nll tape logits ~target)
+          | _ -> assert false));
+    qtest "fd: pointer_nll" (fun rng ->
+        let target = Genie_util.Rng.int rng 5 in
+        fd_check "pointer_nll" [ init rng 1 1; init rng 1 5; init rng 1 4 ]
+          (fun tape -> function
+          | [ g; v; a ] ->
+              Autodiff.pointer_nll tape
+                ~gate:(Autodiff.sigmoid tape g)
+                ~vocab_probs:(Autodiff.softmax tape v)
+                ~attention:(Autodiff.softmax tape a)
+                ~target ~copy_positions:[ 0; 2 ]
+          | _ -> assert false));
+    qtest "fd: pointer_nll_rows (padded rows inactive)" (fun rng ->
+        let targets = Array.init 3 (fun _ -> Genie_util.Rng.int rng 5) in
+        targets.(1) <- -1 (* copy-only row *);
+        let copy_positions = [| [ 0 ]; [ 1; 3 ]; [] |] in
+        let active = [| true; true; false |] in
+        fd_check "pointer_nll_rows"
+          [ init rng 3 1; init rng 3 5; init rng 3 4 ]
+          (fun tape -> function
+          | [ g; v; a ] ->
+              Autodiff.sum_all tape
+                (Autodiff.pointer_nll_rows tape
+                   ~gate:(Autodiff.sigmoid tape g)
+                   ~vocab_probs:(Autodiff.softmax tape v)
+                   ~attention:(Autodiff.softmax tape a)
+                   ~targets ~copy_positions ~active)
+          | _ -> assert false));
+    qtest "fd: sum_scalars" (fun rng ->
+        fd_check "sum_scalars" [ init rng 1 1; init rng 1 1; init rng 1 1 ]
+          (fun tape leaves ->
+            Autodiff.sum_scalars tape
+              (List.map (fun l -> Autodiff.tanh_ tape l) leaves)));
+    qtest "fd: sum_all" (fun rng ->
+        fd_check "sum_all" [ init rng 3 4 ] (fun tape -> function
+          | [ a ] -> Autodiff.sum_all tape (Autodiff.mul tape a a)
+          | _ -> assert false)) ]
+
+(* --- Layers blocks, batched (rows > 1), gradients wrt parameters ------------------- *)
+
+(* FD over every parameter of a block driven by a batched input. *)
+let fd_params_check ?(eps = 1e-5) ?(tol = 1e-4) name params build =
+  Optimizer.zero_grads params;
+  let tape = Autodiff.new_tape () in
+  Autodiff.backward tape (build tape);
+  let loss_value () =
+    Tensor.get (build (Autodiff.new_tape ())).Autodiff.value 0 0
+  in
+  List.iter
+    (fun (p : Layers.param) ->
+      for i = 0 to Tensor.size p.Layers.tensor - 1 do
+        let orig = p.Layers.tensor.Tensor.data.(i) in
+        p.Layers.tensor.Tensor.data.(i) <- orig +. eps;
+        let lp = loss_value () in
+        p.Layers.tensor.Tensor.data.(i) <- orig -. eps;
+        let lm = loss_value () in
+        p.Layers.tensor.Tensor.data.(i) <- orig;
+        let numeric = (lp -. lm) /. (2.0 *. eps) in
+        let analytic = p.Layers.grad.Tensor.data.(i) in
+        let err = Float.abs (analytic -. numeric) in
+        if err /. Float.max 1.0 (Float.abs numeric) > tol then
+          Alcotest.fail
+            (Printf.sprintf "%s: %s[%d]: analytic %.8f vs numeric %.8f" name
+               p.Layers.name i analytic numeric)
+      done)
+    params
+
+let fd_layers_tests =
+  [ qtest ~count:6 "fd: linear block (batched)" (fun rng ->
+        let lin = Layers.mk_linear rng "lin" ~input:4 ~output:3 in
+        let x = init rng 3 4 in
+        fd_params_check "linear" (Layers.linear_params lin) (fun tape ->
+            reduce tape (Layers.apply_linear tape lin (Autodiff.const tape x))));
+    qtest ~count:6 "fd: embedding block (batched gather)" (fun rng ->
+        let emb = Layers.mk_embedding rng "emb" ~vocab:5 ~dim:3 in
+        let ids = [| 1; 3; 1 |] in
+        fd_params_check "embedding" (Layers.embedding_params emb) (fun tape ->
+            reduce tape (Layers.lookup_rows tape emb ids)));
+    qtest ~count:4 "fd: lstm block (batched steps)" (fun rng ->
+        let lstm = Layers.mk_lstm rng "lstm" ~input:3 ~hidden:4 in
+        let x1 = init rng 2 3 and x2 = init rng 2 3 in
+        fd_params_check ~tol:1e-3 "lstm" (Layers.lstm_params lstm) (fun tape ->
+            let st = Layers.lstm_init ~rows:2 tape lstm in
+            let st = Layers.lstm_step tape lstm st (Autodiff.const tape x1) in
+            let st = Layers.lstm_step tape lstm st (Autodiff.const tape x2) in
+            reduce tape st.Layers.h));
+    qtest ~count:4 "fd: attention block (batched, masked)" (fun rng ->
+        let proj = Layers.mk_linear rng "p" ~input:4 ~output:2 in
+        let states = List.init 3 (fun _ -> init rng 2 4) in
+        let query = init rng 2 4 in
+        let lengths = [| 2; 3 |] in
+        fd_params_check "attention" (Layers.linear_params proj) (fun tape ->
+            let snodes = List.map (Autodiff.const tape) states in
+            let _, ctx =
+              Layers.attention ~lengths tape snodes (Autodiff.const tape query)
+            in
+            reduce tape (Layers.apply_linear tape proj ctx))) ]
+
+(* --- batched forward = per-example loop, bit for bit -------------------------------- *)
+
+let toy_pairs =
+  [ ([ "a"; "b" ], [ "x"; "y" ]);
+    ([ "b"; "a" ], [ "y"; "x" ]);
+    ([ "c"; "b"; "a" ], [ "z"; "x" ]);
+    ([ "a" ], [ "x" ]);
+    ([ "c" ], [ "z" ]);
+    ([ "b"; "c"; "a" ], [ "y"; "z"; "x" ]) ]
+
+let toy_model ?(dropout = 0.1) ?(seed = 11) () =
+  let src_vocab = Vocab.of_tokens (List.concat_map fst toy_pairs) in
+  let tgt_vocab = Vocab.of_tokens (List.concat_map snd toy_pairs) in
+  Seq2seq.create
+    ~cfg:{ Seq2seq.embed_dim = 6; hidden_dim = 8; dropout; seed }
+    ~src_vocab ~tgt_vocab ()
+
+let test_batch_loss_matches_loop () =
+  let m = toy_model () in
+  let exs = Array.of_list toy_pairs in
+  let k = Array.length exs in
+  let tape = Autodiff.new_tape () in
+  let _, per_row =
+    Seq2seq.batch_loss tape m ~training:true ~epoch:0
+      ~example_ids:(Array.init k (fun i -> i))
+      exs
+  in
+  let bits x = Int64.bits_of_float x in
+  for i = 0 to k - 1 do
+    let l =
+      Seq2seq.example_loss ~epoch:0 ~example_id:i
+        (Autodiff.new_tape ())
+        m ~training:true (fst exs.(i)) (snd exs.(i))
+    in
+    Alcotest.(check int64)
+      (Printf.sprintf "row %d loss bits" i)
+      (bits (Tensor.get l.Autodiff.value 0 0))
+      (bits (Tensor.get per_row.Autodiff.value i 0))
+  done
+
+(* --- weight-digest invariance: batch composition and worker count ------------------- *)
+
+let trained_digest ?progress ~batch ~micro ~workers () =
+  let m = toy_model () in
+  Seq2seq.train ~epochs:3 ~lr:5e-3 ~batch ~micro ~workers ?progress m toy_pairs;
+  Seq2seq.weight_digest m
+
+let test_digest_invariant_across_workers () =
+  let d0 = trained_digest ~batch:4 ~micro:2 ~workers:0 () in
+  List.iter
+    (fun w ->
+      Alcotest.(check string)
+        (Printf.sprintf "workers=%d digest" w)
+        d0
+        (trained_digest ~batch:4 ~micro:2 ~workers:w ()))
+    [ 1; 2; 4 ]
+
+let test_batch1_replays_per_example_loop () =
+  (* batch=1/micro=1 must be invariant to the worker knob too: each shard is
+     a single example and the reduction tree is a leaf *)
+  let d = trained_digest ~batch:1 ~micro:1 ~workers:0 () in
+  Alcotest.(check string) "workers don't perturb batch=1" d
+    (trained_digest ~batch:1 ~micro:1 ~workers:4 ())
+
+(* --- RNG-stream decoupling: interleaved prediction cannot perturb training ---------- *)
+
+let test_interleaved_predict_does_not_perturb_training () =
+  let plain = trained_digest ~batch:4 ~micro:2 ~workers:0 () in
+  let interleaved =
+    trained_digest ~batch:4 ~micro:2 ~workers:0
+      ~progress:(fun _ ->
+        (* a decode between every epoch: draws from no training stream *)
+        List.iter (fun (src, _) -> ignore (Seq2seq.decode ~max_len:4 (toy_model ()) src)) toy_pairs)
+      ()
+  in
+  Alcotest.(check string) "decode between epochs leaves weights unchanged" plain
+    interleaved
+
+let test_interleaved_predict_same_model () =
+  (* stronger: decoding with the model being trained, mid-training *)
+  let m1 = toy_model () in
+  Seq2seq.train ~epochs:3 ~lr:5e-3 ~batch:4 ~micro:2 m1 toy_pairs;
+  let m2 = toy_model () in
+  Seq2seq.train ~epochs:3 ~lr:5e-3 ~batch:4 ~micro:2
+    ~progress:(fun _ -> ignore (Seq2seq.decode ~max_len:4 m2 [ "a"; "b" ]))
+    m2 toy_pairs;
+  Alcotest.(check string) "decoding the live model is side-effect free"
+    (Seq2seq.weight_digest m1) (Seq2seq.weight_digest m2)
+
+(* --- reduction tree shape ----------------------------------------------------------- *)
+
+let test_tree_fold_shape () =
+  let combine a b = "(" ^ a ^ "." ^ b ^ ")" in
+  Alcotest.(check (option string))
+    "empty" None
+    (Genie_conc.Pool.tree_fold ~combine []);
+  Alcotest.(check (option string))
+    "singleton" (Some "a")
+    (Genie_conc.Pool.tree_fold ~combine [ "a" ]);
+  (* balanced pairing, left to right, odd tail promoted unchanged *)
+  Alcotest.(check (option string))
+    "five leaves"
+    (Some "(((a.b).(c.d)).e)")
+    (Genie_conc.Pool.tree_fold ~combine [ "a"; "b"; "c"; "d"; "e" ]);
+  Alcotest.(check (option string))
+    "four leaves"
+    (Some "((a.b).(c.d))")
+    (Genie_conc.Pool.tree_fold ~combine [ "a"; "b"; "c"; "d" ])
+
+(* --- golden digest of a pinned training run ----------------------------------------- *)
+
+let read_golden () =
+  let name = "golden/train.digest" in
+  let path = if Sys.file_exists name then name else Filename.concat "test" name in
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  line
+
+(* Replays the CI leg's pinned CLI run in-process:
+     genie train --target 4 --depth 2 --pairs 24 --epochs 2 --digest-dir ...
+   (corpus construction mirrors bin/genie_cli.ml line for line). The line
+   format is the CLI's, so the golden file regolds either way -- via
+   TRAIN_REGOLD=1 here or `genie train ... --digest-dir test/golden`. *)
+let test_golden_train_digest () =
+  let seed = 5 in
+  let lib = Genie_thingpedia.Thingpedia.core_library () in
+  let g =
+    Genie_templates.Grammar.create lib
+      ~prims:(Genie_thingpedia.Thingpedia.core_templates ())
+      ~rules:(Genie_templates.Rules_thingtalk.rules lib)
+      ~rng:(Genie_util.Rng.create seed) ()
+  in
+  let data =
+    Genie_synthesis.Engine.synthesize g
+      { Genie_synthesis.Engine.default_config with
+        seed;
+        target_per_rule = 4;
+        max_depth = 2 }
+  in
+  let train_pairs =
+    List.filteri (fun i _ -> i < 24)
+      (List.map
+         (fun (toks, p) ->
+           let toks = List.filter (fun t -> t <> "\"") toks in
+           ( toks,
+             Genie_thingtalk.Nn_syntax.to_tokens lib
+               (Genie_thingtalk.Canonical.normalize lib p) ))
+         data)
+  in
+  let src_vocab = Vocab.of_tokens (List.concat_map fst train_pairs) in
+  let tgt_vocab = Vocab.of_tokens (List.concat_map snd train_pairs) in
+  let m =
+    Seq2seq.create
+      ~cfg:{ Seq2seq.default_config with Seq2seq.seed }
+      ~src_vocab ~tgt_vocab ()
+  in
+  Seq2seq.train ~epochs:2 ~lr:5e-3 ~batch:4 ~micro:2 ~workers:2 m train_pairs;
+  let line =
+    Printf.sprintf "seed=%d epochs=2 batch=4 micro=2 pairs=%d digest=%s" seed
+      (List.length train_pairs) (Seq2seq.weight_digest m)
+  in
+  if Sys.getenv_opt "TRAIN_REGOLD" <> None then
+    Printf.printf "test/golden/train.digest: %s\n%!" line;
+  Alcotest.(check string) "golden training digest" (read_golden ()) line
+
+let suite =
+  fd_ops_tests @ fd_layers_tests
+  @ [ Alcotest.test_case "batched loss = per-example loop (bitwise)" `Quick
+        test_batch_loss_matches_loop;
+      Alcotest.test_case "weight digest invariant across workers" `Quick
+        test_digest_invariant_across_workers;
+      Alcotest.test_case "batch=1 ignores the worker knob" `Quick
+        test_batch1_replays_per_example_loop;
+      Alcotest.test_case "interleaved predict leaves training unperturbed" `Quick
+        test_interleaved_predict_does_not_perturb_training;
+      Alcotest.test_case "decoding the live model is side-effect free" `Quick
+        test_interleaved_predict_same_model;
+      Alcotest.test_case "tree_fold reduction shape" `Quick test_tree_fold_shape;
+      Alcotest.test_case "golden training digest" `Quick test_golden_train_digest ]

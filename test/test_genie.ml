@@ -17,6 +17,7 @@ let () =
       ("parser-model", Suite_parser_model.suite);
       ("aligner-internals", Suite_aligner_internals.suite);
       ("nn", Suite_nn.suite);
+      ("train-parallel", Suite_train_parallel.suite);
       ("evaldata", Suite_evaldata.suite);
       ("dsl", Suite_dsl.suite);
       ("variants", Suite_variants.suite);
