@@ -672,6 +672,233 @@ let serve_bench_cmd =
       const run $ scale $ requests $ workers $ cache $ zipf $ execute $ seed
       $ show $ faults $ deadline $ admission $ retries $ trace)
 
+(* --- serve / loadgen (network serving) -------------------------------------------- *)
+
+(* Both ends of the TCP serving path train the same deterministic pipeline:
+   the daemon to get a model to serve, the load generator to know the
+   utterance corpus (and, under --selfcheck, the exact responses the server
+   must produce). Equal --scale on both sides means equal corpus. *)
+let trained_corpus scale =
+  let lib, prims, rules = setup () in
+  Printf.printf "training the semantic parser (scale %.2f)...\n%!" scale;
+  let cfg = Genie_core.Config.(scaled scale default) in
+  let a = Genie_core.Pipeline.run ~cfg ~lib ~prims ~rules () in
+  let corpus =
+    List.map
+      (fun (toks, _) -> String.concat " " toks)
+      (a.Genie_core.Pipeline.synthesized @ a.Genie_core.Pipeline.paraphrases)
+  in
+  (a, corpus)
+
+let parse_addr ~what s =
+  match String.rindex_opt s ':' with
+  | None -> (s, None)
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 -> ((if host = "" then "127.0.0.1" else host), Some p)
+      | _ ->
+          Printf.eprintf "bad %s address %S (want HOST:PORT)\n" what s;
+          exit 2)
+
+let serve_cmd =
+  let listen =
+    Arg.(value & opt string "127.0.0.1:0"
+         & info [ "listen" ] ~docv:"ADDR:PORT"
+             ~doc:"Address to bind; port 0 picks an ephemeral port (printed \
+                   on startup)")
+  in
+  let workers =
+    Arg.(value & opt int 0
+         & info [ "workers" ] ~doc:"Serving pool size (0 = sequential)")
+  in
+  let window =
+    Arg.(value & opt float 2.0
+         & info [ "batch-window-ms" ]
+             ~doc:"How long the oldest queued request may wait before a \
+                   partial micro-batch dispatches (0 = every loop turn)")
+  in
+  let batch_max =
+    Arg.(value & opt int 64 & info [ "batch-max" ] ~doc:"Max requests per micro-batch")
+  in
+  let queue =
+    Arg.(value & opt int 1024
+         & info [ "queue" ] ~doc:"Admission queue capacity (beyond it, shed)")
+  in
+  let cache =
+    Arg.(value & opt int 4096 & info [ "cache" ] ~doc:"Parse-cache capacity per worker")
+  in
+  let scale =
+    Arg.(value & opt float 0.3 & info [ "scale" ] ~doc:"Pipeline scale (training size)")
+  in
+  let run listen workers window batch_max queue cache scale =
+    let host, port = parse_addr ~what:"--listen" listen in
+    let port = Option.value ~default:0 port in
+    let a, _corpus = trained_corpus scale in
+    let server =
+      Genie_serve.Server.of_artifacts ~workers ~cache_capacity:cache a
+    in
+    let d =
+      Genie_net.Daemon.create ~server
+        { Genie_net.Daemon.default_config with
+          host;
+          port;
+          batch_window_ms = window;
+          batch_max;
+          queue_capacity = queue }
+    in
+    Genie_net.Daemon.install_signal_handlers d;
+    Printf.printf
+      "genie-serve listening on %s:%d (workers=%d batch-window=%.1fms \
+       batch-max=%d queue=%d)\n%!"
+      host (Genie_net.Daemon.port d) workers window batch_max queue;
+    Genie_net.Daemon.run d;
+    Genie_serve.Server.shutdown server;
+    let s = Genie_net.Daemon.stats d in
+    Printf.printf
+      "drained cleanly: %d connections, %d requests, %d responses, %d \
+       batches (max %d), shed %d, refused-draining %d\n"
+      s.Genie_net.Daemon.connections s.Genie_net.Daemon.requests
+      s.Genie_net.Daemon.responses s.Genie_net.Daemon.batches
+      s.Genie_net.Daemon.max_batch s.Genie_net.Daemon.shed
+      s.Genie_net.Daemon.refused_draining;
+    print_endline
+      (Genie_util.Json_lite.to_string (Genie_net.Daemon.stats_json d))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the network serving daemon: a TCP front end that micro-batches \
+          framed requests into the concurrent serving pool; SIGTERM drains \
+          gracefully")
+    Term.(const run $ listen $ workers $ window $ batch_max $ queue $ cache $ scale)
+
+let loadgen_cmd =
+  let connect =
+    Arg.(required & opt (some string) None
+         & info [ "connect" ] ~docv:"ADDR:PORT" ~doc:"Daemon address to connect to")
+  in
+  let users =
+    Arg.(value & opt int 4
+         & info [ "users" ] ~doc:"Concurrent persistent connections")
+  in
+  let requests = Arg.(value & opt int 200 & info [ "requests" ] ~doc:"Requests to send") in
+  let rate =
+    Arg.(value & opt float 0.0
+         & info [ "rate" ]
+             ~doc:"Open-loop arrival rate in requests/s (0 = maximum pressure)")
+  in
+  let zipf =
+    Arg.(value & opt float 1.1 & info [ "zipf" ] ~doc:"Zipf exponent of the traffic")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Traffic random seed") in
+  let execute =
+    Arg.(value & flag & info [ "exec" ] ~doc:"Ask the server to execute parsed programs")
+  in
+  let scale =
+    Arg.(value & opt float 0.3
+         & info [ "scale" ]
+             ~doc:"Pipeline scale — must match the daemon's so both sides \
+                   derive the same utterance corpus")
+  in
+  let out =
+    Arg.(value & opt string "" & info [ "out" ] ~doc:"Write the report JSON to this file")
+  in
+  let selfcheck =
+    Arg.(value & flag
+         & info [ "selfcheck" ]
+             ~doc:"Re-train the identical pipeline locally, replay the same \
+                   request stream through an in-process server, and require \
+                   the response digests to match (exit 3 otherwise)")
+  in
+  let drain =
+    Arg.(value & flag
+         & info [ "drain" ] ~doc:"Send a Drain frame when done (remote SIGTERM)")
+  in
+  let run connect users requests rate zipf seed execute scale out selfcheck drain
+      =
+    let host, port = parse_addr ~what:"--connect" connect in
+    let port =
+      match port with
+      | Some p when p > 0 -> p
+      | _ ->
+          Printf.eprintf "--connect needs an explicit port\n";
+          exit 2
+    in
+    let a, corpus = trained_corpus scale in
+    let cfg =
+      { Genie_net.Loadgen.default_config with
+        host;
+        port;
+        users;
+        requests;
+        rate_rps = rate;
+        zipf_s = zipf;
+        seed;
+        execute }
+    in
+    let r = Genie_net.Loadgen.run ~utterances:corpus cfg in
+    let open Genie_net.Loadgen in
+    Printf.printf
+      "sent %d, received %d (ok %d, overloaded %d, other %d) in %.2fs = %.0f \
+       req/s\n"
+      r.sent r.received r.ok r.overloaded r.other r.elapsed_s r.rps;
+    Printf.printf
+      "latency ms: mean %.2f p50 %.2f p95 %.2f p99 %.2f (from scheduled \
+       arrival)\n"
+      r.latency_mean_ms r.latency_p50_ms r.latency_p95_ms r.latency_p99_ms;
+    Printf.printf "queue wait ms: p50 %.2f p95 %.2f p99 %.2f\n"
+      r.queue_wait_p50_ms r.queue_wait_p95_ms r.queue_wait_p99_ms;
+    Printf.printf "response digest: %s\n" r.digest;
+    if out <> "" then begin
+      Genie_util.Json_lite.write_file out
+        (match Genie_net.Loadgen.report_json r with
+        | Genie_util.Json_lite.Obj fields ->
+            Genie_util.Json_lite.Obj
+              (fields
+              @ [ ("server_stats_json", Genie_util.Json_lite.String r.server_stats) ])
+        | j -> j);
+      Printf.printf "report written to %s\n" out
+    end;
+    if drain then begin
+      let c = Genie_net.Client.connect ~host ~port () in
+      Genie_net.Client.drain c;
+      Genie_net.Client.close c;
+      Printf.printf "drain requested\n"
+    end;
+    if selfcheck then begin
+      if r.overloaded > 0 || r.received < r.sent then begin
+        Printf.eprintf
+          "selfcheck impossible: %d responses were refused (overloaded) — \
+           raise the daemon's --queue or lower the load\n"
+          r.overloaded;
+        exit 3
+      end;
+      let reqs = Genie_net.Loadgen.expected_requests ~utterances:corpus cfg in
+      let server = Genie_serve.Server.of_artifacts ~workers:0 a in
+      let resps = Genie_serve.Server.run_batch ~batched:true server reqs in
+      Genie_serve.Server.shutdown server;
+      let expected = Genie_net.Codec.digest_of_responses resps in
+      if expected <> r.digest then begin
+        Printf.eprintf
+          "selfcheck FAILED: network digest %s, in-process digest %s\n"
+          r.digest expected;
+        exit 3
+      end
+      else Printf.printf "selfcheck ok: digests match (%s)\n" expected
+    end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running genie-serve daemon with Zipfian open-loop traffic \
+          over persistent connections, and optionally verify the response \
+          stream against an in-process replay")
+    Term.(
+      const run $ connect $ users $ requests $ rate $ zipf $ seed $ execute
+      $ scale $ out $ selfcheck $ drain)
+
 (* --- profile ---------------------------------------------------------------------- *)
 
 (* Where does a Genie run spend its time? Trace a seeded synthesis pass and a
@@ -766,4 +993,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "genie" ~doc)
           [ stats_cmd; cheatsheet_cmd; synthesize_cmd; paraphrase_cmd; exec_cmd;
-            parse_cmd; eval_cmd; train_cmd; serve_bench_cmd; profile_cmd ]))
+            parse_cmd; eval_cmd; train_cmd; serve_bench_cmd; serve_cmd;
+            loadgen_cmd; profile_cmd ]))

@@ -55,6 +55,15 @@ let pop t =
         Some x
       end)
 
+let pop_nowait t =
+  with_lock t (fun () ->
+      if Queue.is_empty t.q then None
+      else begin
+        let x = Queue.pop t.q in
+        Condition.signal t.not_full;
+        Some x
+      end)
+
 let close t =
   with_lock t (fun () ->
       if not t.closed then begin

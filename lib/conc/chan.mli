@@ -22,6 +22,11 @@ val pop : 'a t -> 'a option
 (** Blocks while the channel is empty. [None] once the channel is closed and
     fully drained — the consumer's shutdown signal. *)
 
+val pop_nowait : 'a t -> 'a option
+(** Non-blocking {!pop}: [None] (instead of waiting) when the channel is
+    currently empty, whether or not it is closed — the polling primitive for
+    event loops that check a control channel between select rounds. *)
+
 val close : 'a t -> unit
 (** Wakes all waiters. Idempotent. Items already queued can still be
     popped. *)

@@ -1,0 +1,64 @@
+(** Bounded admission queue with micro-batch draining — the heart of the
+    network front end's "make the pool win" story.
+
+    Requests are admitted into one FIFO as they arrive off the sockets. The
+    dispatcher takes them out again in micro-batches: a batch becomes {!due}
+    when the queue holds [batch_max] requests, when the oldest waiting
+    request has aged past the batch window, or when the batcher is draining
+    (shutdown wants the queue empty, window be damned). One batch then costs
+    one {!Genie_serve.Server.run_batch} call — one pool crossing per worker
+    — instead of a crossing per request.
+
+    The batcher is a passive, single-owner state machine over an injected
+    clock: the daemon drives it from its event loop with real timestamps,
+    and the drain tests drive it with a scripted virtual clock, which is how
+    "shutdown mid-batch answers every admitted request exactly once" can be
+    asserted deterministically. *)
+
+type 'a t
+(** ['a] is whatever the owner needs back per request — the daemon uses
+    (connection, wire request) pairs. *)
+
+val create : ?capacity:int -> ?batch_max:int -> unit -> 'a t
+(** [capacity] (default 1024) bounds the queue: admission beyond it sheds.
+    [batch_max] (default 64) caps how many requests one {!take} returns. *)
+
+val admit : 'a t -> now_ns:float -> 'a -> [ `Admitted | `Shed | `Draining ]
+(** [`Shed] when the queue is full, [`Draining] once {!start_drain} has been
+    called — in both cases the item was NOT queued and the caller must
+    answer it (overload response / connection refusal) itself. *)
+
+val pending : 'a t -> int
+
+val due : 'a t -> now_ns:float -> window_ns:float -> bool
+(** Whether {!take} should run now: queue at [batch_max], oldest item older
+    than [window_ns], or draining with work left. False on an empty queue. *)
+
+val next_deadline_ns : 'a t -> window_ns:float -> float option
+(** When the oldest queued item's window expires (its admission time plus
+    [window_ns]) — the select timeout that wakes the dispatcher exactly when
+    a batch becomes due. [None] when the queue is empty. *)
+
+val take : 'a t -> now_ns:float -> ('a * float) list
+(** Dequeues up to [batch_max] items in admission order, each with its
+    queue wait in nanoseconds. Records the batch in the size histogram. *)
+
+val start_drain : 'a t -> unit
+(** Refuse all later {!admit}s; {!due} stays true until {!pending} is 0.
+    Idempotent. *)
+
+val draining : 'a t -> bool
+
+type stats = {
+  admitted : int;
+  shed : int;  (** refused because the queue was full *)
+  refused_draining : int;  (** refused because drain had begun *)
+  batches : int;
+  max_batch : int;
+  batch_histogram : (int * int) list;  (** (batch size, count), ascending *)
+  queue_wait_ns : float array;  (** per-request waits, admission order *)
+}
+
+val stats : 'a t -> stats
+(** [queue_wait_ns] keeps the first 65536 waits verbatim (one per taken
+    request) — enough for exact percentiles at benchmark scale. *)

@@ -1,0 +1,48 @@
+(** A blocking client for the {!Daemon} protocol: one persistent TCP
+    connection, framed with {!Frame} and {!Codec}.
+
+    Requests and responses are decoupled — {!send} writes a frame, {!recv}
+    blocks for the next inbound frame — so callers can pipeline many
+    requests on one connection before collecting responses (the load
+    generator's mode) or use the {!rpc} convenience for strict
+    request/response turns. *)
+
+type t
+
+val connect : ?host:string -> ?retries:int -> port:int -> unit -> t
+(** [host] defaults to ["127.0.0.1"]. [retries] (default 50) is how many
+    times to retry a refused connection at 20 ms intervals — absorbs the
+    startup race against a daemon that is still binding on another domain
+    or in a child process. *)
+
+val fd : t -> Unix.file_descr
+(** The raw socket, for callers multiplexing many clients under one
+    [Unix.select] (the load generator). *)
+
+val pump : t -> Codec.msg list
+(** One [Unix.read] (blocking when no data is available — call it after
+    [select] reports the socket readable) fed into the frame decoder;
+    returns every message the read completed, oldest first. Raises
+    [Failure] on EOF or a framing/codec error. *)
+
+val send : t -> Codec.msg -> unit
+val send_request : t -> Genie_serve.Request.t -> unit
+
+val recv : t -> Codec.msg option
+(** Blocks for the next frame; [None] on clean EOF. Raises [Failure] on a
+    framing or codec error (including EOF inside a frame). *)
+
+val recv_response : t -> Codec.wire_response
+(** {!recv}, insisting on a [Response] frame. *)
+
+val rpc : t -> Genie_serve.Request.t -> Codec.wire_response
+(** [send_request] then [recv_response]. *)
+
+val server_stats : t -> string
+(** Sends [Stats_request] and returns the daemon's JSON stats string. *)
+
+val drain : t -> unit
+(** Sends a [Drain] frame — the remote equivalent of SIGTERM. *)
+
+val close : t -> unit
+(** Sends [Bye] (best effort) and closes the socket. Idempotent. *)

@@ -1,0 +1,272 @@
+(* Binary payload codec. Integers are big-endian fixed width; floats travel
+   as their IEEE-754 bit pattern (lossless, canonical); strings and lists
+   are length-prefixed. Decoding is a cursor walk that fails loudly on
+   truncated or trailing bytes — a frame either decodes exactly or not at
+   all. *)
+
+module Request = Genie_serve.Request
+module Response = Genie_serve.Response
+
+type wire_request = {
+  rq_id : int;
+  rq_utterance : string;
+  rq_execute : bool;
+  rq_ticks : int;
+  rq_deadline_ms : float option;
+}
+
+type wire_response = {
+  rs_id : int;
+  rs_status : string;
+  rs_program : string option;
+  rs_nn_tokens : string list;
+  rs_score : float;
+  rs_from_cache : bool;
+  rs_degraded : bool;
+  rs_attempts : int;
+  rs_worker : int;
+  rs_notifications : int;
+  rs_side_effects : int;
+  rs_error : string option;
+  rs_total_ns : float;
+  rs_queue_ns : float;
+}
+
+type msg =
+  | Hello of string
+  | Request of wire_request
+  | Response of wire_response
+  | Stats_request
+  | Stats of string
+  | Drain
+  | Bye
+
+let kind_of = function
+  | Hello _ -> 1
+  | Request _ -> 2
+  | Response _ -> 3
+  | Stats_request -> 4
+  | Stats _ -> 5
+  | Drain -> 6
+  | Bye -> 7
+
+(* --- writers ---------------------------------------------------------------- *)
+
+let w_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let w_u32 b v =
+  if v < 0 || v > 0xffff_ffff then invalid_arg "Codec: u32 out of range";
+  w_u8 b (v lsr 24);
+  w_u8 b (v lsr 16);
+  w_u8 b (v lsr 8);
+  w_u8 b v
+
+let w_f64 b v =
+  let bits = Int64.bits_of_float v in
+  for i = 7 downto 0 do
+    w_u8 b (Int64.to_int (Int64.shift_right_logical bits (8 * i)))
+  done
+
+let w_bool b v = w_u8 b (if v then 1 else 0)
+
+let w_string b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_opt_string b = function
+  | None -> w_u8 b 0
+  | Some s ->
+      w_u8 b 1;
+      w_string b s
+
+let w_string_list b l =
+  w_u32 b (List.length l);
+  List.iter (w_string b) l
+
+(* --- readers ---------------------------------------------------------------- *)
+
+exception Bad of string
+
+type cursor = { s : string; mutable pos : int }
+
+let r_u8 c =
+  if c.pos >= String.length c.s then raise (Bad "truncated payload");
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_u32 c =
+  let a = r_u8 c in
+  let b = r_u8 c in
+  let d = r_u8 c in
+  let e = r_u8 c in
+  (a lsl 24) lor (b lsl 16) lor (d lsl 8) lor e
+
+let r_f64 c =
+  let bits = ref 0L in
+  for _ = 1 to 8 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (r_u8 c))
+  done;
+  Int64.float_of_bits !bits
+
+let r_bool c = r_u8 c <> 0
+
+let r_string c =
+  let n = r_u32 c in
+  if c.pos + n > String.length c.s then raise (Bad "truncated string");
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let r_opt_string c = if r_u8 c = 0 then None else Some (r_string c)
+
+let r_string_list c =
+  let n = r_u32 c in
+  List.init n (fun _ -> r_string c)
+
+(* --- message payloads ------------------------------------------------------- *)
+
+let payload_of = function
+  | Hello client ->
+      let b = Buffer.create 32 in
+      w_string b client;
+      Buffer.contents b
+  | Request r ->
+      let b = Buffer.create 64 in
+      w_u32 b r.rq_id;
+      w_string b r.rq_utterance;
+      w_bool b r.rq_execute;
+      w_u32 b r.rq_ticks;
+      (match r.rq_deadline_ms with
+      | None -> w_u8 b 0
+      | Some d ->
+          w_u8 b 1;
+          w_f64 b d);
+      Buffer.contents b
+  | Response r ->
+      let b = Buffer.create 128 in
+      w_u32 b r.rs_id;
+      w_string b r.rs_status;
+      w_opt_string b r.rs_program;
+      w_string_list b r.rs_nn_tokens;
+      w_f64 b r.rs_score;
+      w_bool b r.rs_from_cache;
+      w_bool b r.rs_degraded;
+      w_u32 b r.rs_attempts;
+      w_u32 b r.rs_worker;
+      w_u32 b r.rs_notifications;
+      w_u32 b r.rs_side_effects;
+      w_opt_string b r.rs_error;
+      w_f64 b r.rs_total_ns;
+      w_f64 b r.rs_queue_ns;
+      Buffer.contents b
+  | Stats_request -> ""
+  | Stats json ->
+      let b = Buffer.create (String.length json + 8) in
+      w_string b json;
+      Buffer.contents b
+  | Drain -> ""
+  | Bye -> ""
+
+let encode m = Frame.encode { Frame.kind = kind_of m; payload = payload_of m }
+
+let decode (f : Frame.t) =
+  let c = { s = f.Frame.payload; pos = 0 } in
+  match
+    (match f.Frame.kind with
+    | 1 -> Hello (r_string c)
+    | 2 ->
+        let rq_id = r_u32 c in
+        let rq_utterance = r_string c in
+        let rq_execute = r_bool c in
+        let rq_ticks = r_u32 c in
+        let rq_deadline_ms = if r_u8 c = 0 then None else Some (r_f64 c) in
+        Request
+          { rq_id; rq_utterance; rq_execute; rq_ticks; rq_deadline_ms }
+    | 3 ->
+        let rs_id = r_u32 c in
+        let rs_status = r_string c in
+        let rs_program = r_opt_string c in
+        let rs_nn_tokens = r_string_list c in
+        let rs_score = r_f64 c in
+        let rs_from_cache = r_bool c in
+        let rs_degraded = r_bool c in
+        let rs_attempts = r_u32 c in
+        let rs_worker = r_u32 c in
+        let rs_notifications = r_u32 c in
+        let rs_side_effects = r_u32 c in
+        let rs_error = r_opt_string c in
+        let rs_total_ns = r_f64 c in
+        let rs_queue_ns = r_f64 c in
+        Response
+          { rs_id; rs_status; rs_program; rs_nn_tokens; rs_score;
+            rs_from_cache; rs_degraded; rs_attempts; rs_worker;
+            rs_notifications; rs_side_effects; rs_error; rs_total_ns;
+            rs_queue_ns }
+    | 4 -> Stats_request
+    | 5 -> Stats (r_string c)
+    | 6 -> Drain
+    | 7 -> Bye
+    | k -> raise (Bad (Printf.sprintf "unknown frame kind %d" k)))
+  with
+  | m ->
+      if c.pos <> String.length c.s then
+        Error
+          (Printf.sprintf "trailing payload bytes (%d of %d consumed)" c.pos
+             (String.length c.s))
+      else Ok m
+  | exception Bad e -> Error e
+
+(* --- serving-layer conversions ---------------------------------------------- *)
+
+let wire_of_request (r : Request.t) =
+  { rq_id = r.Request.id;
+    rq_utterance = r.Request.utterance;
+    rq_execute = r.Request.execute;
+    rq_ticks = r.Request.ticks;
+    rq_deadline_ms = Option.map (fun ns -> ns /. 1e6) r.Request.deadline_ns }
+
+let request_of_wire w =
+  Request.make ~execute:w.rq_execute ~ticks:w.rq_ticks
+    ?deadline_ms:w.rq_deadline_ms ~id:w.rq_id w.rq_utterance
+
+let wire_of_response ?(queue_ns = 0.0) (r : Response.t) =
+  { rs_id = r.Response.id;
+    rs_status = Response.status_to_string r.Response.status;
+    rs_program = r.Response.program_text;
+    rs_nn_tokens = r.Response.nn_tokens;
+    rs_score = r.Response.score;
+    rs_from_cache = r.Response.from_cache;
+    rs_degraded = r.Response.degraded;
+    rs_attempts = r.Response.attempts;
+    rs_worker = r.Response.worker;
+    rs_notifications = r.Response.notifications;
+    rs_side_effects = r.Response.side_effects;
+    rs_error = r.Response.error;
+    rs_total_ns = r.Response.timing.Response.total_ns;
+    rs_queue_ns = queue_ns }
+
+(* --- digests ----------------------------------------------------------------- *)
+
+(* Timing, the worker index and from_cache are the fields that may
+   legitimately vary between serving paths (cache hit/miss attribution
+   among equal utterances follows arrival order, which over concurrent
+   connections is a TCP race); everything else must be byte-stable, score's
+   exact bit pattern included. *)
+let response_line r =
+  Printf.sprintf
+    "#%d %s %s [%s] score=%Lx degraded=%b attempts=%d err=%s notif=%d fx=%d"
+    r.rs_id r.rs_status
+    (Option.value ~default:"-" r.rs_program)
+    (String.concat " " r.rs_nn_tokens)
+    (Int64.bits_of_float r.rs_score)
+    r.rs_degraded r.rs_attempts
+    (Option.value ~default:"-" r.rs_error)
+    r.rs_notifications r.rs_side_effects
+
+let digest rs =
+  let sorted = List.sort (fun a b -> compare a.rs_id b.rs_id) rs in
+  Digest.to_hex
+    (Digest.string (String.concat "\n" (List.map response_line sorted)))
+
+let digest_of_responses rs = digest (List.map (wire_of_response ?queue_ns:None) rs)

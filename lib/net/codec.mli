@@ -1,0 +1,82 @@
+(** The versioned message codec riding on {!Frame}: what each frame kind
+    means and how request/response payloads are laid out.
+
+    Payloads are a fixed binary layout (big-endian fixed-width integers,
+    IEEE-754 bit patterns for floats, length-prefixed strings), so encoding
+    is canonical: equal messages encode to equal bytes, which is what lets
+    the loopback smoke test compare whole response streams by digest.
+
+    Like {!Frame}, everything here is pure — encode to a string, decode from
+    a {!Frame.t} — so the protocol round-trips under test without a socket
+    in sight. *)
+
+type wire_request = {
+  rq_id : int;
+  rq_utterance : string;
+  rq_execute : bool;
+  rq_ticks : int;
+  rq_deadline_ms : float option;
+}
+
+type wire_response = {
+  rs_id : int;
+  rs_status : string;  (** {!Genie_serve.Response.status_to_string} form *)
+  rs_program : string option;
+  rs_nn_tokens : string list;
+  rs_score : float;
+  rs_from_cache : bool;
+  rs_degraded : bool;
+  rs_attempts : int;
+  rs_worker : int;
+  rs_notifications : int;
+  rs_side_effects : int;
+  rs_error : string option;
+  rs_total_ns : float;  (** server-side engine time for this request *)
+  rs_queue_ns : float;  (** time spent in the admission queue *)
+}
+
+type msg =
+  | Hello of string  (** client identification, sent once per connection *)
+  | Request of wire_request
+  | Response of wire_response
+  | Stats_request
+  | Stats of string  (** daemon stats as a JSON document *)
+  | Drain  (** ask the daemon to drain gracefully and exit *)
+  | Bye  (** client is done; the daemon may close the connection *)
+
+val encode : msg -> string
+(** The message's complete wire bytes (frame header included). *)
+
+val decode : Frame.t -> (msg, string) result
+(** Decodes one frame's payload; [Error] explains the corruption (unknown
+    kind, truncated or trailing payload bytes). *)
+
+(** {2 Conversions to and from the serving layer} *)
+
+val wire_of_request : Genie_serve.Request.t -> wire_request
+val request_of_wire : wire_request -> Genie_serve.Request.t
+
+val wire_of_response :
+  ?queue_ns:float -> Genie_serve.Response.t -> wire_response
+(** [queue_ns] (default 0) is the admission-queue wait the daemon measured
+    for this request; the in-process comparison path leaves it 0. *)
+
+(** {2 Response-stream digests} *)
+
+val response_line : wire_response -> string
+(** The canonical one-line rendering of a response's deterministic fields —
+    id, status, program, tokens, score, degraded flag, attempts, error,
+    notification and side-effect counts. Excluded because they legitimately
+    vary between serving paths while everything else must be byte-stable:
+    timing, the worker index, and [from_cache] (which of two concurrent
+    connections carrying the same utterance reaches the server first is a
+    TCP race, so hit/miss can swap between ids even though the answers —
+    and the total hit count — cannot change). *)
+
+val digest : wire_response list -> string
+(** MD5 hex over {!response_line}s sorted by request id — equal iff two
+    serving paths answered the same request stream identically. *)
+
+val digest_of_responses : Genie_serve.Response.t list -> string
+(** {!digest} of the in-process responses, for comparing a socket-served
+    stream against {!Genie_serve.Server.run_batch} on the same requests. *)

@@ -1,0 +1,181 @@
+module Traffic = Genie_serve.Traffic
+module Rng = Genie_util.Rng
+module Tracer = Genie_observe.Tracer
+module Json = Genie_util.Json_lite
+
+type config = {
+  host : string;
+  port : int;
+  users : int;
+  requests : int;
+  rate_rps : float;
+  zipf_s : float;
+  seed : int;
+  execute : bool;
+  ticks : int;
+}
+
+let default_config =
+  { host = "127.0.0.1";
+    port = 0;
+    users = 4;
+    requests = 200;
+    rate_rps = 0.0;
+    zipf_s = 1.1;
+    seed = 1;
+    execute = false;
+    ticks = 3 }
+
+type report = {
+  sent : int;
+  received : int;
+  ok : int;
+  overloaded : int;
+  other : int;
+  elapsed_s : float;
+  rps : float;
+  latency_mean_ms : float;
+  latency_p50_ms : float;
+  latency_p95_ms : float;
+  latency_p99_ms : float;
+  queue_wait_p50_ms : float;
+  queue_wait_p95_ms : float;
+  queue_wait_p99_ms : float;
+  digest : string;
+  server_stats : string;
+}
+
+let expected_requests ~utterances cfg =
+  Traffic.generate ~s:cfg.zipf_s ~execute:cfg.execute ~ticks:cfg.ticks
+    ~rng:(Rng.create cfg.seed) ~utterances cfg.requests
+
+(* Scheduled arrival offsets in ns from run start: exponential inter-arrivals
+   at [rate_rps] from a generator split off the traffic seed, or all-zero for
+   maximum pressure. Fixed before the run — the open-loop part. *)
+let schedule cfg n =
+  if cfg.rate_rps <= 0.0 then Array.make n 0.0
+  else begin
+    let rng = Rng.create (cfg.seed lxor 0x10adeb) in
+    let a = Array.make n 0.0 in
+    let t = ref 0.0 in
+    for i = 0 to n - 1 do
+      let u = Rng.float rng 1.0 in
+      let dt = -.log (1.0 -. u) /. cfg.rate_rps in
+      t := !t +. dt;
+      a.(i) <- !t *. 1e9
+    done;
+    a
+  end
+
+(* Bounds how far actual sends may run ahead of reads: without it, "rate 0"
+   pushes every request before draining any responses, and the two kernel
+   socket buffers can fill in opposite directions (daemon blocked writing
+   responses we are not reading, us blocked writing requests it is not
+   reading). Scheduled arrivals are unaffected — a send delayed by the cap
+   still has its latency measured from the scheduled time. *)
+let max_inflight = 256
+
+let run ~utterances cfg =
+  let n = cfg.requests in
+  if n <= 0 then invalid_arg "Loadgen.run: requests must be positive";
+  let users = max 1 cfg.users in
+  let reqs = Array.of_list (expected_requests ~utterances cfg) in
+  let sched = schedule cfg n in
+  let conns =
+    Array.init users (fun _ ->
+        Client.connect ~host:cfg.host ~port:cfg.port ())
+  in
+  let start_ns = Tracer.now_ns () in
+  let latency_ns = Array.make n Float.nan in
+  let responses = ref [] in
+  let sent = ref 0 in
+  let received = ref 0 in
+  let last_progress = ref start_ns in
+  while !received < n do
+    let now = Tracer.now_ns () -. start_ns in
+    while
+      !sent < n && sched.(!sent) <= now && !sent - !received < max_inflight
+    do
+      let i = !sent in
+      Client.send_request conns.(i mod users) reqs.(i);
+      incr sent;
+      last_progress := Tracer.now_ns ()
+    done;
+    let timeout =
+      if !sent < n && !sent - !received < max_inflight then
+        Float.max 0.0
+          (Float.min 0.05
+             ((sched.(!sent) -. (Tracer.now_ns () -. start_ns)) /. 1e9))
+      else 0.05
+    in
+    let fds = Array.to_list (Array.map Client.fd conns) in
+    (match Unix.select fds [] [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            let c =
+              Array.to_list conns |> List.find (fun c -> Client.fd c = fd)
+            in
+            List.iter
+              (function
+                | Codec.Response r ->
+                    let id = r.Codec.rs_id in
+                    if id >= 0 && id < n && Float.is_nan latency_ns.(id)
+                    then begin
+                      let done_ns = Tracer.now_ns () -. start_ns in
+                      latency_ns.(id) <- Float.max 0.0 (done_ns -. sched.(id));
+                      responses := r :: !responses;
+                      incr received;
+                      last_progress := Tracer.now_ns ()
+                    end
+                | _ -> ())
+              (Client.pump c))
+          ready);
+    if Tracer.now_ns () -. !last_progress > 30e9 then
+      failwith "loadgen stalled"
+  done;
+  let elapsed_s = (Tracer.now_ns () -. start_ns) /. 1e9 in
+  let server_stats = Client.server_stats conns.(0) in
+  Array.iter Client.close conns;
+  let rs = !responses in
+  let count p = List.length (List.filter p rs) in
+  let ok = count (fun r -> r.Codec.rs_status = "ok") in
+  let overloaded = count (fun r -> r.Codec.rs_status = "overloaded") in
+  let lats = Array.of_list (Array.to_list latency_ns |> List.filter (fun x -> not (Float.is_nan x))) in
+  let waits = Array.of_list (List.map (fun r -> r.Codec.rs_queue_ns) rs) in
+  let ms x = x /. 1e6 in
+  { sent = !sent;
+    received = !received;
+    ok;
+    overloaded;
+    other = !received - ok - overloaded;
+    elapsed_s;
+    rps = (if elapsed_s <= 0.0 then 0.0 else float_of_int !received /. elapsed_s);
+    latency_mean_ms = ms (Stat.mean lats);
+    latency_p50_ms = ms (Stat.percentile lats 50.0);
+    latency_p95_ms = ms (Stat.percentile lats 95.0);
+    latency_p99_ms = ms (Stat.percentile lats 99.0);
+    queue_wait_p50_ms = ms (Stat.percentile waits 50.0);
+    queue_wait_p95_ms = ms (Stat.percentile waits 95.0);
+    queue_wait_p99_ms = ms (Stat.percentile waits 99.0);
+    digest = Codec.digest rs;
+    server_stats }
+
+let report_json r =
+  Json.Obj
+    [ ("sent", Json.Int r.sent);
+      ("received", Json.Int r.received);
+      ("ok", Json.Int r.ok);
+      ("overloaded", Json.Int r.overloaded);
+      ("other", Json.Int r.other);
+      ("elapsed_s", Json.Float r.elapsed_s);
+      ("rps", Json.Float r.rps);
+      ("latency_mean_ms", Json.Float r.latency_mean_ms);
+      ("latency_p50_ms", Json.Float r.latency_p50_ms);
+      ("latency_p95_ms", Json.Float r.latency_p95_ms);
+      ("latency_p99_ms", Json.Float r.latency_p99_ms);
+      ("queue_wait_p50_ms", Json.Float r.queue_wait_p50_ms);
+      ("queue_wait_p95_ms", Json.Float r.queue_wait_p95_ms);
+      ("queue_wait_p99_ms", Json.Float r.queue_wait_p99_ms);
+      ("digest", Json.String r.digest) ]

@@ -1,0 +1,68 @@
+(** The client-side load generator behind [genie loadgen].
+
+    Drives a {!Daemon} with Zipfian traffic ({!Genie_serve.Traffic}) over
+    [users] concurrent persistent connections, multiplexed under one
+    [Unix.select] and fully pipelined: request [i] rides connection
+    [i mod users], and responses are collected as they arrive.
+
+    Arrivals are {e open-loop}: a seeded exponential schedule is fixed
+    before the run ([rate_rps]; 0 means "as fast as possible"), each
+    request is sent when its scheduled arrival passes regardless of how the
+    server is doing, and its latency is measured from the {e scheduled}
+    arrival to response completion — so server-side queueing delay is
+    charged to the server, not silently absorbed by a slow client (no
+    coordinated omission).
+
+    Everything is deterministic for a given seed except wall-clock timing:
+    the request stream is exactly
+    [Traffic.generate ~s ~rng:(Rng.create seed) ~utterances n], which is
+    what lets a verifier recompute the expected response digest without
+    talking to the network. *)
+
+type config = {
+  host : string;
+  port : int;
+  users : int;  (** concurrent persistent connections (min 1) *)
+  requests : int;
+  rate_rps : float;  (** open-loop arrival rate; 0 = maximum pressure *)
+  zipf_s : float;  (** Zipf skew of the utterance popularity *)
+  seed : int;
+  execute : bool;  (** ask the server to execute parsed programs *)
+  ticks : int;  (** virtual clock ticks per executed program *)
+}
+
+val default_config : config
+(** [127.0.0.1], port 0 (caller must set), 4 users, 200 requests, rate 0,
+    zipf 1.1, seed 1, execute false, ticks 3. *)
+
+type report = {
+  sent : int;
+  received : int;
+  ok : int;
+  overloaded : int;
+  other : int;  (** responses that were neither [ok] nor [overloaded] *)
+  elapsed_s : float;
+  rps : float;  (** received / elapsed *)
+  latency_mean_ms : float;
+  latency_p50_ms : float;
+  latency_p95_ms : float;
+  latency_p99_ms : float;  (** scheduled-arrival-to-completion *)
+  queue_wait_p50_ms : float;
+  queue_wait_p95_ms : float;
+  queue_wait_p99_ms : float;
+      (** server-reported admission-queue waits, from the response frames *)
+  digest : string;  (** {!Codec.digest} over every received response *)
+  server_stats : string;  (** the daemon's stats JSON, fetched at the end *)
+}
+
+val run : utterances:string list -> config -> report
+(** Blocks until every request is answered (raises [Failure "loadgen \
+    stalled"] after 30 s without progress). The caller owns daemon startup
+    and shutdown. *)
+
+val expected_requests : utterances:string list -> config -> Genie_serve.Request.t list
+(** The exact request stream [run] sends — for a verifier to replay through
+    an in-process {!Genie_serve.Server.run_batch} and compare digests. *)
+
+val report_json : report -> Genie_util.Json_lite.t
+(** Everything except [server_stats] (already JSON; embed it separately). *)

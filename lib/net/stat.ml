@@ -1,0 +1,14 @@
+let percentile samples p =
+  let n = Array.length samples in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let rank = max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int n))) in
+    sorted.(min (n - 1) (rank - 1))
+  end
+
+let mean samples =
+  let n = Array.length samples in
+  if n = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 samples /. float_of_int n

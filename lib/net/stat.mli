@@ -1,0 +1,9 @@
+(** Tiny shared statistics helpers for the network layer's latency arrays
+    (client-side load-generator latencies, server-side queue waits). *)
+
+val percentile : float array -> float -> float
+(** Nearest-rank percentile (0 < p <= 100) over a copy of the array; 0 on
+    the empty array. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)

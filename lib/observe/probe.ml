@@ -16,10 +16,17 @@ type stage =
   | Drop
   | Degraded
   | Shed
+  | Net_accept
+  | Net_frame_in
+  | Net_frame_out
+  | Net_queue
+  | Net_batch
+  | Net_shed
 
 let all =
   [ Tokenize; Cache_hit; Cache_miss; Parse; Exec; Retry; Backoff; Crash;
-    Drop; Degraded; Shed ]
+    Drop; Degraded; Shed; Net_accept; Net_frame_in; Net_frame_out; Net_queue;
+    Net_batch; Net_shed ]
 
 let index = function
   | Tokenize -> 0
@@ -33,6 +40,12 @@ let index = function
   | Drop -> 8
   | Degraded -> 9
   | Shed -> 10
+  | Net_accept -> 11
+  | Net_frame_in -> 12
+  | Net_frame_out -> 13
+  | Net_queue -> 14
+  | Net_batch -> 15
+  | Net_shed -> 16
 
 let stage_name = function
   | Tokenize -> "tokenize"
@@ -46,6 +59,12 @@ let stage_name = function
   | Drop -> "drop"
   | Degraded -> "degraded"
   | Shed -> "shed"
+  | Net_accept -> "net.accept"
+  | Net_frame_in -> "net.frame_in"
+  | Net_frame_out -> "net.frame_out"
+  | Net_queue -> "net.queue"
+  | Net_batch -> "net.batch"
+  | Net_shed -> "net.shed"
 
 type t = A.t array
 

@@ -16,6 +16,12 @@ type stage =
   | Drop
   | Degraded
   | Shed
+  | Net_accept  (** connections accepted by the network daemon *)
+  | Net_frame_in  (** request frames decoded off sockets *)
+  | Net_frame_out  (** response frames written back *)
+  | Net_queue  (** requests that waited in the admission queue *)
+  | Net_batch  (** micro-batches dispatched into the serving pool *)
+  | Net_shed  (** requests refused because the admission queue was full *)
 
 type t
 

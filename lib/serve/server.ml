@@ -31,9 +31,16 @@ type cached_parse = {
   c_score : float;
 }
 
+(* Pool jobs carry either one request (the per-request path, with its retry
+   ordinal) or a whole admitted group (the micro-batched path): both ride the
+   same persistent domains, so a batched dispatch pays one submit/drain
+   crossing per worker per batch instead of spawning a fresh pool. *)
+type job = One of Request.t * int | Many of Request.t list
+type job_result = R_one of Response.t | R_many of Response.t list
+
 type t = {
   engines : Engine.t array;  (* one per worker; exactly one when sequential *)
-  pool : (Request.t * int, Response.t) Pool.t option;
+  pool : (job, job_result) Pool.t option;
   metrics : Metrics.t;
   workers : int;  (* as configured: 0/1 = sequential *)
   fault : Fault.t;
@@ -44,6 +51,9 @@ type t = {
   degraded_cache : cached_parse Parse_cache.t;  (* coordinator-only *)
   tracer : Tracer.t;  (* coordinator records into slot [Array.length engines] *)
   mutable last_batch : int * float;  (* requests, wall seconds *)
+  mutable total_requests : int;  (* across every run_batch call *)
+  mutable total_seconds : float;
+  mutable total_batches : int;
 }
 
 type stats = {
@@ -69,6 +79,9 @@ type stats = {
   last_batch_requests : int;
   last_batch_seconds : float;
   throughput_rps : float;
+  batches : int;
+  total_seconds : float;
+  cumulative_rps : float;
 }
 
 (* A dropped message is a root-level event like a crash: same span shape in
@@ -96,15 +109,21 @@ let create ~lib ~model ?(cache_capacity = 4096) ?(workers = 0)
     if workers >= 2 then
       Some
         (Pool.create ~workers ~queue_capacity
-           ~fault_hook:(fun w ((req : Request.t), attempt) ->
-             if Fault.drops fault ~id:req.Request.id ~attempt then begin
-               record_drop ~metrics ~tracer ~slot:w ~id:req.Request.id
-                 ~attempt;
-               Some Fault.Injected_drop
-             end
-             else None)
-           ~handler:(fun w (req, attempt) ->
-             Engine.process ~attempt engines.(w) req)
+           ~fault_hook:(fun w job ->
+             match job with
+             | Many _ -> None  (* batched jobs only exist fault-free *)
+             | One ((req : Request.t), attempt) ->
+                 if Fault.drops fault ~id:req.Request.id ~attempt then begin
+                   record_drop ~metrics ~tracer ~slot:w ~id:req.Request.id
+                     ~attempt;
+                   Some Fault.Injected_drop
+                 end
+                 else None)
+           ~handler:(fun w job ->
+             match job with
+             | One (req, attempt) ->
+                 R_one (Engine.process ~attempt engines.(w) req)
+             | Many reqs -> R_many (Engine.process_batch engines.(w) reqs))
            ())
     else None
   in
@@ -119,7 +138,10 @@ let create ~lib ~model ?(cache_capacity = 4096) ?(workers = 0)
     retry_backoff_ns = retry_backoff_ms *. 1e6;
     degraded_cache = Parse_cache.create ~capacity:cache_capacity;
     tracer;
-    last_batch = (0, 0.0) }
+    last_batch = (0, 0.0);
+    total_requests = 0;
+    total_seconds = 0.0;
+    total_batches = 0 }
 
 let of_artifacts ?cache_capacity ?workers ?queue_capacity ?seed ?fault
     ?admission_capacity ?degrade ?max_retries ?retry_backoff_ms ?tracer
@@ -300,7 +322,7 @@ let run_batch_pooled t pool reqs =
       let w = shard t req in
       if credits.(w) > 0 then begin
         credits.(w) <- credits.(w) - 1;
-        Pool.submit pool ~worker:w (req, 0);
+        Pool.submit pool ~worker:w (One (req, 0));
         incr outstanding
       end
       else collected := degrade_or_shed t ~worker:w req :: !collected)
@@ -311,9 +333,20 @@ let run_batch_pooled t pool reqs =
     let failures = ref [] in
     List.iter
       (function
-        | Stdlib.Ok r -> collected := r :: !collected
-        | Stdlib.Error ((req, attempt), e) ->
-            failures := (req, attempt, e) :: !failures)
+        | Stdlib.Ok (R_one r) -> collected := r :: !collected
+        | Stdlib.Ok (R_many rs) ->
+            collected := List.rev_append rs !collected
+        | Stdlib.Error (One (req, attempt), e) ->
+            failures := (req, attempt, e) :: !failures
+        | Stdlib.Error (Many reqs, e) ->
+            (* unreachable on this path (only [One] jobs are submitted), but
+               never lose a request: every member fails definitively *)
+            List.iter
+              (fun (req : Request.t) ->
+                collected :=
+                  failed_response t ~worker:(shard t req) req ~attempts:1 e
+                  :: !collected)
+              reqs)
       results;
     (* resubmit in id order so each worker sees a deterministic retry
        sequence regardless of cross-worker completion interleaving *)
@@ -342,7 +375,7 @@ let run_batch_pooled t pool reqs =
     if max_backoff > 0.0 && retry <> [] then Unix.sleepf (max_backoff /. 1e9);
     List.iter
       (fun ((req : Request.t), attempt, _) ->
-        Pool.submit pool ~worker:(shard t req) (req, attempt + 1);
+        Pool.submit pool ~worker:(shard t req) (One (req, attempt + 1));
         incr outstanding)
       retry
   done;
@@ -382,7 +415,7 @@ let run_batch_seq_batched t reqs =
   List.iter (remember t) rs;
   rs @ List.map (degrade_or_shed t ~worker:0) excess
 
-let run_batch_pooled_batched t reqs =
+let run_batch_pooled_batched t pool reqs =
   let n = Array.length t.engines in
   let credits = fresh_credits t n in
   let groups = Array.make n [] in
@@ -396,19 +429,39 @@ let run_batch_pooled_batched t reqs =
       end
       else shed_responses := degrade_or_shed t ~worker:w req :: !shed_responses)
     reqs;
-  let jobs =
-    Array.to_list (Array.mapi (fun w g -> (w, List.rev g)) groups)
-    |> List.filter (fun (_, g) -> g <> [])
-  in
-  (* one job per engine, so each engine is driven from exactly one domain *)
-  let results =
-    Genie_conc.Pool.map_list ~workers:t.workers
-      ~handler:(fun _ (w, group) -> Engine.process_batch t.engines.(w) group)
-      jobs
-  in
-  let responses = List.concat results in
-  List.iter (remember t) responses;
-  responses @ !shed_responses
+  (* One [Many] job per engine on the persistent pool: each engine is still
+     driven from exactly one domain, and the whole micro-batch pays a single
+     submit/drain crossing per worker — no per-batch domain spawns. *)
+  let outstanding = ref 0 in
+  Array.iteri
+    (fun w g ->
+      if g <> [] then begin
+        Pool.submit pool ~worker:w (Many (List.rev g));
+        incr outstanding
+      end)
+    groups;
+  let responses = ref [] in
+  if !outstanding > 0 then
+    List.iter
+      (function
+        | Stdlib.Ok (R_many rs) -> responses := List.rev_append rs !responses
+        | Stdlib.Ok (R_one r) -> responses := r :: !responses
+        | Stdlib.Error (Many reqs, e) ->
+            (* batched jobs run fault-free, so a worker exception here is a
+               real bug; still answer every request exactly once *)
+            List.iter
+              (fun (req : Request.t) ->
+                responses :=
+                  failed_response t ~worker:(shard t req) req ~attempts:1 e
+                  :: !responses)
+              reqs
+        | Stdlib.Error (One (req, _), e) ->
+            responses :=
+              failed_response t ~worker:(shard t req) req ~attempts:1 e
+              :: !responses)
+      (Pool.drain_results pool !outstanding);
+  List.iter (remember t) !responses;
+  !responses @ !shed_responses
 
 let run_batch ?(batched = false) t reqs =
   let t0 = Unix.gettimeofday () in
@@ -417,11 +470,15 @@ let run_batch ?(batched = false) t reqs =
     match t.pool with
     | None -> if batched then run_batch_seq_batched t reqs else run_batch_seq t reqs
     | Some pool ->
-        if batched then run_batch_pooled_batched t reqs
+        if batched then run_batch_pooled_batched t pool reqs
         else run_batch_pooled t pool reqs
   in
   let dt = Unix.gettimeofday () -. t0 in
-  t.last_batch <- (List.length reqs, dt);
+  let n_reqs = List.length reqs in
+  t.last_batch <- (n_reqs, dt);
+  t.total_requests <- t.total_requests + n_reqs;
+  t.total_seconds <- t.total_seconds +. dt;
+  t.total_batches <- t.total_batches + 1;
   List.sort
     (fun (a : Response.t) (b : Response.t) ->
       compare a.Response.id b.Response.id)
@@ -463,9 +520,15 @@ let stats (t : t) =
     last_batch_requests = n_batch;
     last_batch_seconds = secs;
     throughput_rps =
-      (if secs <= 0.0 then 0.0 else float_of_int n_batch /. secs) }
+      (if secs <= 0.0 then 0.0 else float_of_int n_batch /. secs);
+    batches = t.total_batches;
+    total_seconds = t.total_seconds;
+    cumulative_rps =
+      (if t.total_seconds <= 0.0 then 0.0
+       else float_of_int t.total_requests /. t.total_seconds) }
 
 let metrics_snapshot (t : t) = Metrics.snapshot t.metrics
+let probe (t : t) = Metrics.probe t.metrics
 
 let workers (t : t) = t.workers
 

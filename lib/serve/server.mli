@@ -46,6 +46,12 @@ type stats = {
   last_batch_requests : int;  (** size of the most recent [run_batch] *)
   last_batch_seconds : float;
   throughput_rps : float;  (** of the most recent [run_batch]; 0 before *)
+  batches : int;  (** [run_batch] calls served so far *)
+  total_seconds : float;  (** wall time across every [run_batch] call *)
+  cumulative_rps : float;
+      (** cumulative requests / cumulative elapsed across every [run_batch]
+          call — the sustained figure; [throughput_rps] only reflects the
+          most recent batch *)
 }
 
 val create :
@@ -108,16 +114,25 @@ val run_batch : ?batched:bool -> t -> Request.t list -> Response.t list
     With [~batched:true] (default false) each worker's admitted requests go
     through {!Engine.process_batch}, which parses all distinct uncached
     utterances in one batched aligner pass; responses and end-of-batch
-    server state are identical to the per-request path. The flag is ignored
-    when the server carries a fault schedule (fault semantics are specified
-    per sequential attempt), and traced or deadline-carrying batches fall
-    back engine-side. *)
+    server state are identical to the per-request path. On a pooled server
+    the whole group rides the persistent worker domains as one job per
+    engine — a single pool crossing per worker per batch, which is what the
+    network front end's micro-batched admission amortizes. The flag is
+    ignored when the server carries a fault schedule (fault semantics are
+    specified per sequential attempt), and traced or deadline-carrying
+    batches fall back engine-side. *)
 
 val stats : t -> stats
 
 val metrics_snapshot : t -> Metrics.snapshot
 (** The raw outcome counters, for invariant checks
     ([requests = ok + no_parse + errors + timeouts + shed]). *)
+
+val probe : t -> Genie_observe.Probe.t
+(** The server's always-on stage counters. Exposed so front ends layered on
+    top of the server (the network daemon) can count their own stages —
+    accept, framing, queue, shed — into the same {!Metrics.snapshot}
+    [.stages] list the engines feed. *)
 
 val workers : t -> int
 

@@ -24,4 +24,5 @@ let () =
       ("core", Suite_core.suite);
       ("serve", Suite_serve.suite);
       ("metrics-edge", Suite_metrics_edge.suite);
-      ("observe", Suite_observe.suite) ]
+      ("observe", Suite_observe.suite);
+      ("net", Suite_net.suite) ]
