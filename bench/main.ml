@@ -1155,6 +1155,211 @@ let timing () =
                (List.rev !collected))) ]);
   Printf.printf "wrote BENCH_timing.json\n%!"
 
+(* --- compilation: bytecode vs tree-walking interpreter ---------------------------- *)
+
+(* The compiled path's value proposition, measured: pay lowering once per
+   distinct program, then execute pre-resolved plans. Three disciplines over
+   the same distinct synthesized programs — interpret (typecheck + tree-walk
+   every run), compile-once-run-many, and compiled-cache-hit (the serve hot
+   path: LRU lookup + run) — plus the serve-path end-to-end delta. Byte
+   identity between the paths is enforced everywhere (exit 3 on divergence):
+   the benchmark doubles as a differential check at realistic scale. *)
+let compile_bench () =
+  header "bench_compile"
+    "Compilation: interpret vs compile-once vs cache-hit, and the serve-path delta";
+  let a = shared_artifacts () in
+  let lib = a.Pipeline.lib in
+  let programs =
+    let seen = Hashtbl.create 64 in
+    let keep = if !quick then 12 else 30 in
+    List.filteri (fun i _ -> i < keep)
+      (List.filter_map
+         (fun (_, p) ->
+           let key = Printer.program_to_string p in
+           if Hashtbl.mem seen key then None
+           else begin
+             Hashtbl.replace seen key ();
+             Some (key, p)
+           end)
+         a.Pipeline.synthesized)
+  in
+  let runs = if !quick then 50 else 200 in
+  let ticks = 3 in
+  let render (notifications, effects) =
+    String.concat "\n"
+      (List.map
+         (fun r ->
+           String.concat ";" (List.map (fun (n, v) -> n ^ "=" ^ Value.to_string v) r))
+         notifications
+      @ List.map
+          (fun (fn, args) ->
+            Ast.Fn.to_string fn ^ ":"
+            ^ String.concat ";" (List.map (fun (n, v) -> n ^ "=" ^ Value.to_string v) args))
+          effects)
+  in
+  (* differential guard: every program, both paths, fresh envs, same seed *)
+  List.iter
+    (fun (key, p) ->
+      let interp =
+        render (Genie_runtime.Exec.run ~ticks (Genie_runtime.Exec.create ~seed:7 lib) p)
+      in
+      let compiled =
+        render
+          (Genie_runtime.Compile.run ~ticks (Genie_runtime.Exec.create ~seed:7 lib)
+             (Genie_runtime.Compile.compile lib p))
+      in
+      if interp <> compiled then begin
+        Printf.eprintf "bench_compile: divergence on %s\n" key;
+        exit 3
+      end)
+    programs;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let interp_s =
+    time (fun () ->
+        List.iter
+          (fun (_, p) ->
+            for r = 1 to runs do
+              ignore
+                (Genie_runtime.Exec.run ~ticks (Genie_runtime.Exec.create ~seed:r lib) p)
+            done)
+          programs)
+  in
+  let compiled_of = List.map (fun (k, p) -> (k, Genie_runtime.Compile.compile lib p)) programs in
+  let compile_s =
+    time (fun () ->
+        List.iter (fun (_, p) -> ignore (Genie_runtime.Compile.compile lib p)) programs)
+  in
+  let once_s =
+    time (fun () ->
+        List.iter
+          (fun (_, c) ->
+            for r = 1 to runs do
+              ignore
+                (Genie_runtime.Compile.run ~ticks (Genie_runtime.Exec.create ~seed:r lib) c)
+            done)
+          compiled_of)
+  in
+  let cache = Genie_runtime.Compile_cache.create ~capacity:1024 in
+  let cache_s =
+    time (fun () ->
+        List.iter
+          (fun (key, p) ->
+            for r = 1 to runs do
+              let c =
+                match Genie_runtime.Compile_cache.find_or_compile cache lib ~key p with
+                | `Hit c | `Miss c -> c
+              in
+              ignore (Genie_runtime.Compile.run ~ticks (Genie_runtime.Exec.create ~seed:r lib) c)
+            done)
+          programs)
+  in
+  let n_execs = List.length programs * runs in
+  let per_run s = 1e6 *. s /. float_of_int n_execs in
+  let cstats = Genie_runtime.Compile_cache.stats cache in
+  Printf.printf "%d distinct programs x %d runs (ticks=%d)\n\n"
+    (List.length programs) runs ticks;
+  Printf.printf "%-26s %12s %14s\n" "discipline" "total s" "us/execution";
+  Printf.printf "%-26s %12.3f %14.2f\n" "interpret" interp_s (per_run interp_s);
+  Printf.printf "%-26s %12.3f %14.2f  (+ %.2f us compile each, once)\n"
+    "compile-once-run-many" once_s (per_run once_s)
+    (1e6 *. compile_s /. float_of_int (List.length programs));
+  Printf.printf "%-26s %12.3f %14.2f  (%d hits / %d lookups)\n" "compiled-cache-hit"
+    cache_s (per_run cache_s) cstats.Genie_runtime.Compile_cache.hits
+    (cstats.Genie_runtime.Compile_cache.hits + cstats.Genie_runtime.Compile_cache.misses);
+  Printf.printf "\nspeedup, cache-hit over interpret: %.2fx\n%!"
+    (interp_s /. Float.max 1e-9 cache_s);
+  (* serve-path end to end: identical traffic, compiled on vs off *)
+  let corpus =
+    List.map
+      (fun (toks, _) -> String.concat " " toks)
+      (a.Pipeline.synthesized @ a.Pipeline.paraphrases)
+  in
+  let n_requests = if !quick then 300 else 800 in
+  let requests =
+    Genie_serve.Traffic.generate ~execute:true
+      ~rng:(Genie_util.Rng.create 29)
+      ~utterances:corpus n_requests
+  in
+  let response_digest (r : Genie_serve.Response.t) =
+    Printf.sprintf "#%d %s %s notif=%d fx=%d err=%s" r.Genie_serve.Response.id
+      (Genie_serve.Response.status_to_string r.Genie_serve.Response.status)
+      (Option.value ~default:"-" r.Genie_serve.Response.program_text)
+      r.Genie_serve.Response.notifications r.Genie_serve.Response.side_effects
+      (Option.value ~default:"-" r.Genie_serve.Response.error)
+  in
+  let open Genie_serve.Server in
+  Printf.printf "\nserve path (%d execute-requests):\n" n_requests;
+  Printf.printf "%-16s %10s %10s %10s %16s\n" "config" "req/s" "p50 ms" "mean ms"
+    "compile hit/miss";
+  let serve_rows =
+    List.map
+      (fun (workers, compiled) ->
+        let server = of_artifacts ~workers ~cache_capacity:4096 ~compiled a in
+        let rs = run_batch server requests in
+        let s = stats server in
+        shutdown server;
+        let label =
+          (if workers <= 1 then "seq" else string_of_int workers ^ "w")
+          ^ if compiled then "+compiled" else "+interp"
+        in
+        Printf.printf "%-16s %10.0f %10.2f %10.2f %10d/%d\n%!" label s.throughput_rps
+          s.p50_ms s.mean_ms s.compile_hits s.compile_misses;
+        (label, workers, compiled, s, List.map response_digest rs))
+      [ (0, false); (0, true); (2, false); (2, true); (4, false); (4, true) ]
+  in
+  (* responses must be digest-identical compiled vs interpreted at every
+     worker count *)
+  List.iter
+    (fun w ->
+      let at c =
+        List.find_map
+          (fun (_, w', c', _, d) -> if w' = w && c' = c then Some d else None)
+          serve_rows
+      in
+      match (at false, at true) with
+      | Some interp, Some comp when interp <> comp ->
+          Printf.eprintf
+            "bench_compile: serve responses diverge compiled vs interpreted at %d workers\n"
+            w;
+          exit 3
+      | _ -> ())
+    [ 0; 2; 4 ];
+  Printf.printf "serve responses digest-identical compiled vs interpreted (0/2/4 workers)\n%!";
+  let open Genie_util.Json_lite in
+  write_file "BENCH_compile.json"
+    (Obj
+       [ ("experiment", String "bench_compile");
+         ("programs", Int (List.length programs));
+         ("runs_per_program", Int runs);
+         ("ticks", Int ticks);
+         ("interpret_us_per_exec", Float (per_run interp_s));
+         ("compile_once_us_per_exec", Float (per_run once_s));
+         ("cache_hit_us_per_exec", Float (per_run cache_s));
+         ("compile_us_per_program",
+          Float (1e6 *. compile_s /. float_of_int (List.length programs)));
+         ("cache_hit_speedup_over_interpret",
+          Float (interp_s /. Float.max 1e-9 cache_s));
+         ("serve",
+          List
+            (List.map
+               (fun (label, workers, compiled, (s : stats), _) ->
+                 Obj
+                   [ ("label", String label);
+                     ("workers", Int workers);
+                     ("compiled", Bool compiled);
+                     ("throughput_rps", Float s.throughput_rps);
+                     ("p50_ms", Float s.p50_ms);
+                     ("mean_ms", Float s.mean_ms);
+                     ("compile_hits", Int s.compile_hits);
+                     ("compile_misses", Int s.compile_misses);
+                     ("compile_evictions", Int s.compile_evictions) ])
+               serve_rows)) ]);
+  Printf.printf "wrote BENCH_compile.json\n%!"
+
 let () =
   let experiments =
     [ ("fig1_end_to_end", fig1);
@@ -1173,7 +1378,8 @@ let () =
       ("bench_net", net_bench);
       ("bench_faults", faults_bench);
       ("bench_observe", observe_bench);
-      ("bench_synth", synth_bench) ]
+      ("bench_synth", synth_bench);
+      ("bench_compile", compile_bench) ]
   in
   List.iter (fun (id, run) -> if enabled id then run ()) experiments;
   if enabled "timing" && not !skip_timing then timing ();

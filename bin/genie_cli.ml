@@ -295,6 +295,88 @@ let exec_cmd =
     (Cmd.info "exec" ~doc:"Type-check, canonicalize and run a ThingTalk program")
     Term.(const run $ program $ ticks)
 
+(* --- compile --------------------------------------------------------------------- *)
+
+let compile_cmd =
+  let file =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"ThingTalk source file; omit (or pass \"-\") to read stdin")
+  in
+  let check =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Also execute the program on both the compiled path and \
+                   the tree-walking interpreter and compare the results \
+                   byte for byte (exit 3 on divergence)")
+  in
+  let ticks =
+    Arg.(value & opt int 7 & info [ "ticks" ] ~doc:"Virtual days to simulate under --check")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Runtime RNG seed under --check")
+  in
+  let run file check ticks seed =
+    let lib, _, _ = setup () in
+    let source =
+      match file with
+      | None | Some "-" -> In_channel.input_all stdin
+      | Some f -> In_channel.with_open_text f In_channel.input_all
+    in
+    let p = Parser.parse_program (String.trim source) in
+    let c =
+      try Genie_runtime.Compile.compile lib p
+      with Genie_runtime.Exec.Runtime_error e ->
+        Printf.eprintf "%s\n" e;
+        exit 2
+    in
+    print_string (Genie_runtime.Compile.listing c);
+    Printf.printf "digest: %s\n" (Genie_runtime.Compile.digest c);
+    if check then begin
+      let render (notifications, effects) =
+        let record r =
+          String.concat "; "
+            (List.map (fun (n, v) -> n ^ " = " ^ Value.to_string v) r)
+        in
+        String.concat ""
+          (List.map (fun r -> Printf.sprintf "notify { %s }\n" (record r)) notifications
+          @ List.map
+              (fun (fn, args) ->
+                Printf.sprintf "do %s(%s)\n" (Ast.Fn.to_string fn) (record args))
+              effects)
+      in
+      let outcome exec =
+        try render (exec ()) with
+        | Genie_runtime.Exec.Runtime_error e -> "runtime error: " ^ e ^ "\n"
+      in
+      let interpreted =
+        outcome (fun () ->
+            Genie_runtime.Exec.run ~ticks (Genie_runtime.Exec.create ~seed lib) p)
+      in
+      let compiled =
+        outcome (fun () ->
+            Genie_runtime.Compile.run ~ticks (Genie_runtime.Exec.create ~seed lib) c)
+      in
+      if compiled = interpreted then
+        Printf.printf "check: compiled = interpreted over %d ticks (seed %d)\n%s" ticks
+          seed compiled
+      else begin
+        Printf.eprintf
+          "check FAILED: compiled and interpreted outputs diverge\n\
+           --- interpreted ---\n%s--- compiled ---\n%s"
+          interpreted compiled;
+        exit 3
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Compile a ThingTalk program to flat bytecode and print the \
+          listing and its digest; --check also proves compiled execution \
+          matches the interpreter")
+    Term.(const run $ file $ check $ ticks $ seed)
+
 (* --- parse (train a parser, then translate sentences) ------------------------------ *)
 
 let parse_cmd =
@@ -520,6 +602,13 @@ let serve_bench_cmd =
   let execute =
     Arg.(value & flag & info [ "exec" ] ~doc:"Also execute each parsed program")
   in
+  let compiled =
+    Arg.(value & opt bool true
+         & info [ "compiled" ]
+             ~doc:"Execute through the bytecode compiler and compiled-program \
+                   cache (default); --compiled=false forces the tree-walking \
+                   interpreter")
+  in
   let seed = Arg.(value & opt int 23 & info [ "seed" ] ~doc:"Traffic random seed") in
   let show =
     Arg.(value & opt int 0 & info [ "show" ] ~doc:"Print the first N responses")
@@ -553,8 +642,8 @@ let serve_bench_cmd =
                    FILE.digest. Without faults, digests must agree across \
                    worker counts (exit 3 otherwise).")
   in
-  let run scale requests workers_csv cache zipf execute seed show faults deadline
-      admission retries trace =
+  let run scale requests workers_csv cache zipf execute compiled seed show
+      faults deadline admission retries trace =
     let lib, prims, rules = setup () in
     Printf.printf "training the semantic parser (scale %.2f)...\n%!" scale;
     let cfg = Genie_core.Config.(scaled scale default) in
@@ -611,7 +700,7 @@ let serve_bench_cmd =
         in
         let server =
           of_artifacts ~workers:w ~cache_capacity:cache ~fault
-            ?admission_capacity ~max_retries:retries ~tracer a
+            ?admission_capacity ~max_retries:retries ~tracer ~compiled a
         in
         let responses = run_batch server reqs in
         let s = stats server in
@@ -669,8 +758,9 @@ let serve_bench_cmd =
          "Benchmark the concurrent serving layer on synthetic assistant \
           traffic, optionally under a seeded fault schedule")
     Term.(
-      const run $ scale $ requests $ workers $ cache $ zipf $ execute $ seed
-      $ show $ faults $ deadline $ admission $ retries $ trace)
+      const run $ scale $ requests $ workers $ cache $ zipf $ execute
+      $ compiled $ seed $ show $ faults $ deadline $ admission $ retries
+      $ trace)
 
 (* --- serve / loadgen (network serving) -------------------------------------------- *)
 
@@ -993,5 +1083,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "genie" ~doc)
           [ stats_cmd; cheatsheet_cmd; synthesize_cmd; paraphrase_cmd; exec_cmd;
-            parse_cmd; eval_cmd; train_cmd; serve_bench_cmd; serve_cmd;
-            loadgen_cmd; profile_cmd ]))
+            compile_cmd; parse_cmd; eval_cmd; train_cmd; serve_bench_cmd;
+            serve_cmd; loadgen_cmd; profile_cmd ]))

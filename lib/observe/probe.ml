@@ -22,11 +22,14 @@ type stage =
   | Net_queue
   | Net_batch
   | Net_shed
+  | Compile_hit
+  | Compile_miss
+  | Compile
 
 let all =
   [ Tokenize; Cache_hit; Cache_miss; Parse; Exec; Retry; Backoff; Crash;
     Drop; Degraded; Shed; Net_accept; Net_frame_in; Net_frame_out; Net_queue;
-    Net_batch; Net_shed ]
+    Net_batch; Net_shed; Compile_hit; Compile_miss; Compile ]
 
 let index = function
   | Tokenize -> 0
@@ -46,6 +49,9 @@ let index = function
   | Net_queue -> 14
   | Net_batch -> 15
   | Net_shed -> 16
+  | Compile_hit -> 17
+  | Compile_miss -> 18
+  | Compile -> 19
 
 let stage_name = function
   | Tokenize -> "tokenize"
@@ -65,6 +71,9 @@ let stage_name = function
   | Net_queue -> "net.queue"
   | Net_batch -> "net.batch"
   | Net_shed -> "net.shed"
+  | Compile_hit -> "compile.cache_hit"
+  | Compile_miss -> "compile.cache_miss"
+  | Compile -> "compile.build"
 
 type t = A.t array
 

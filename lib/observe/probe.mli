@@ -22,6 +22,9 @@ type stage =
   | Net_queue  (** requests that waited in the admission queue *)
   | Net_batch  (** micro-batches dispatched into the serving pool *)
   | Net_shed  (** requests refused because the admission queue was full *)
+  | Compile_hit  (** executions answered by the compiled-program cache *)
+  | Compile_miss  (** executions that had to compile first *)
+  | Compile  (** ThingTalk programs lowered to bytecode *)
 
 type t
 

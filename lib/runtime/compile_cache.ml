@@ -1,0 +1,32 @@
+(* Compiled-program cache: the generic Genie_util.Lru keyed on the
+   program's canonical printed form, so the serve layer pays compilation
+   once per distinct program instead of once per request. Same single-domain
+   discipline as the serve layer's parse cache: each worker owns a private
+   instance. *)
+
+type t = Compile.t Genie_util.Lru.t
+
+type stats = Genie_util.Lru.stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
+
+let create ~capacity : t = Genie_util.Lru.create ~capacity
+let find = Genie_util.Lru.find
+let add = Genie_util.Lru.add
+let mem = Genie_util.Lru.mem
+let length = Genie_util.Lru.length
+let capacity = Genie_util.Lru.capacity
+let stats = Genie_util.Lru.stats
+let clear = Genie_util.Lru.clear
+let keys_mru = Genie_util.Lru.keys_mru
+
+let find_or_compile t lib ~key program =
+  match find t key with
+  | Some c -> `Hit c
+  | None ->
+      let c = Compile.compile lib program in
+      add t key c;
+      `Miss c

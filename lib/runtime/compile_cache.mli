@@ -1,0 +1,36 @@
+(** An LRU cache of compiled ThingTalk programs.
+
+    Keyed on the program's canonical printed form
+    ({!Genie_thingtalk.Canonical.canonical_string}, or any other string
+    that uniquely identifies the AST — the serve layer reuses the printed
+    prediction it already memoized). Shares the {!Genie_util.Lru}
+    discipline with the serve layer's parse cache: O(1) find/add/evict,
+    hit/miss/eviction counters, and {e no} thread-safety — each worker owns
+    a private instance. *)
+
+type t = Compile.t Genie_util.Lru.t
+
+type stats = Genie_util.Lru.stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
+
+val create : capacity:int -> t
+(** [capacity <= 0] disables caching (every lookup compiles). *)
+
+val find : t -> string -> Compile.t option
+val add : t -> string -> Compile.t -> unit
+val mem : t -> string -> bool
+val length : t -> int
+val capacity : t -> int
+val stats : t -> stats
+val clear : t -> unit
+val keys_mru : t -> string list
+
+val find_or_compile :
+  t -> Genie_thingtalk.Schema.Library.t -> key:string -> Genie_thingtalk.Ast.program ->
+  [ `Hit of Compile.t | `Miss of Compile.t ]
+(** One-shot lookup-or-compile-and-insert. Raises like {!Compile.compile}
+    on ill-typed programs (nothing is cached in that case). *)

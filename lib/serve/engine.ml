@@ -22,24 +22,35 @@ module Tracer = Genie_observe.Tracer
 module Span = Genie_observe.Span
 module Probe = Genie_observe.Probe
 
+(* A parse-cache entry memoizes the canonical printed form alongside the
+   prediction: computed once per parse miss, it serves every later response
+   (no re-stringification on the hot path) and keys the compiled-program
+   cache. Aligner predictions are canonicalized by default, so the printed
+   text is the canonical form. *)
+type cached = { pred : Aligner.prediction; text : string option }
+
 type t = {
   lib : Schema.Library.t;
   model : Aligner.t;  (* private handle: own [explainer] scratch table *)
-  cache : Aligner.prediction Parse_cache.t;
+  cache : cached Parse_cache.t;
   env : Genie_runtime.Exec.env;
   metrics : Metrics.t;
   fault : Fault.t;
   worker : int;
   tracer : Tracer.t;  (* records into slot [worker] *)
+  compiled : bool;
+  ccache : Genie_runtime.Compile_cache.t;  (* worker-private, like [cache] *)
 }
 
 let create ~lib ~model ~cache_capacity ~metrics ~worker ?seed
-    ?(fault = Fault.none) ?(tracer = Tracer.disabled) () =
+    ?(fault = Fault.none) ?(tracer = Tracer.disabled) ?(compiled = true)
+    ?compile_cache_capacity () =
   let seed = Option.value seed ~default:worker in
   let model =
     { model with
       Aligner.explainer = Hashtbl.copy model.Aligner.explainer }
   in
+  let ccache_capacity = Option.value compile_cache_capacity ~default:cache_capacity in
   { lib;
     model;
     cache = Parse_cache.create ~capacity:cache_capacity;
@@ -47,7 +58,35 @@ let create ~lib ~model ~cache_capacity ~metrics ~worker ?seed
     metrics;
     fault;
     worker;
-    tracer }
+    tracer;
+    compiled;
+    ccache = Genie_runtime.Compile_cache.create ~capacity:ccache_capacity }
+
+(* Execute through the compiler: cached compiled programs skip typecheck and
+   lowering entirely, keyed on the memoized canonical text. Compilation
+   errors propagate exactly like interpreter errors (byte-identical
+   messages, nothing cached), so the caller's handler is unchanged. *)
+let exec_program t ~probe ~compiled_now ~text ~ticks p =
+  if not t.compiled then Genie_runtime.Exec.run ~ticks t.env p
+  else begin
+    let key =
+      match text with Some s -> s | None -> Printer.program_to_string p
+    in
+    let c =
+      match Genie_runtime.Compile_cache.find t.ccache key with
+      | Some c ->
+          Probe.incr probe Probe.Compile_hit;
+          c
+      | None ->
+          Probe.incr probe Probe.Compile_miss;
+          let c = Genie_runtime.Compile.compile t.lib p in
+          Probe.incr probe Probe.Compile;
+          Genie_runtime.Compile_cache.add t.ccache key c;
+          compiled_now := true;
+          c
+    in
+    Genie_runtime.Compile.run ~ticks t.env c
+  end
 
 let now_ns () = Unix.gettimeofday () *. 1e9
 
@@ -86,11 +125,11 @@ let process ?(attempt = 0) ?preparsed t (req : Request.t) : Response.t =
              ~name:"parse")
     else None
   in
-  let pred, from_cache, parse_error =
+  let entry, from_cache, parse_error =
     match Parse_cache.find t.cache key with
-    | Some p ->
+    | Some e ->
         Probe.incr probe Probe.Cache_hit;
-        (p, true, None)
+        (e, true, None)
     | None -> (
         Probe.incr probe Probe.Cache_miss;
         let inject = Fault.latency_ns t.fault ~id in
@@ -113,13 +152,19 @@ let process ?(attempt = 0) ?preparsed t (req : Request.t) : Response.t =
         in
         match predict () with
         | p ->
-            Parse_cache.add t.cache key p;
-            (p, false, None)
-        | exception e -> (Aligner.no_prediction, false, Some (Printexc.to_string e)))
+            (* print once per distinct parse; every response (and the
+               compiled-program cache key) reuses this string *)
+            let e = { pred = p; text = Option.map Printer.program_to_string p.Aligner.program } in
+            Parse_cache.add t.cache key e;
+            (e, false, None)
+        | exception e ->
+            ({ pred = Aligner.no_prediction; text = None }, false, Some (Printexc.to_string e)))
   in
+  let pred = entry.pred in
   let t2 = now_ns () +. !skew in
   (* Spans are emitted after the fact from the stage boundaries already
      taken, so tracing adds no clock reads to the request path. *)
+  let compiled_now = ref false in
   let trace ~t3 ~exec_ran ~status =
     if Tracer.enabled t.tracer then begin
       let seed = Tracer.seed t.tracer in
@@ -142,10 +187,18 @@ let process ?(attempt = 0) ?preparsed t (req : Request.t) : Response.t =
           (Span.v ~seed ~request:id ~attempt ~seq:3 ~parent:root.Span.id
              ~attrs:(if !injected then [ ("injected", "true") ] else [])
              ~start_ns:t1 ~dur_ns:(t2 -. t1) "parse");
-      if exec_ran then
-        emit
-          (Span.v ~seed ~request:id ~attempt ~seq:4 ~parent:root.Span.id
-             ~start_ns:t2 ~dur_ns:(t3 -. t2) "exec")
+      if exec_ran then begin
+        let exec_sp =
+          Span.v ~seed ~request:id ~attempt ~seq:4 ~parent:root.Span.id
+            ~start_ns:t2 ~dur_ns:(t3 -. t2) "exec"
+        in
+        emit exec_sp;
+        (* a compile-cache miss lowered the program inside the exec stage *)
+        if !compiled_now then
+          emit
+            (Span.v ~seed ~request:id ~attempt ~seq:5 ~parent:exec_sp.Span.id
+               ~start_ns:t2 ~dur_ns:0.0 "compile")
+      end
     end
   in
   let past_deadline at =
@@ -183,7 +236,10 @@ let process ?(attempt = 0) ?preparsed t (req : Request.t) : Response.t =
       match (req.Request.execute, pred.Aligner.program) with
       | true, Some p -> (
           Probe.incr probe Probe.Exec;
-          match Genie_runtime.Exec.run ~ticks:req.Request.ticks t.env p with
+          match
+            exec_program t ~probe ~compiled_now ~text:entry.text
+              ~ticks:req.Request.ticks p
+          with
           | ns, effects ->
               Metrics.incr_exec_runs t.metrics;
               (List.length ns, List.length effects, None, true)
@@ -214,9 +270,7 @@ let process ?(attempt = 0) ?preparsed t (req : Request.t) : Response.t =
       utterance = req.Request.utterance;
       status;
       program = (if timed_out then None else pred.Aligner.program);
-      program_text =
-        (if timed_out then None
-         else Option.map Printer.program_to_string pred.Aligner.program);
+      program_text = (if timed_out then None else entry.text);
       nn_tokens = (if timed_out then [] else pred.Aligner.nn_tokens);
       score = pred.Aligner.score;
       from_cache;
@@ -274,4 +328,5 @@ let process_batch ?(attempt = 0) t (reqs : Request.t list) : Response.t list =
   end
 
 let cache_stats t = Parse_cache.stats t.cache
+let compile_cache_stats t = Genie_runtime.Compile_cache.stats t.ccache
 let worker t = t.worker

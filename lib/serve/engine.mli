@@ -22,13 +22,19 @@ val create :
   ?seed:int ->
   ?fault:Fault.t ->
   ?tracer:Genie_observe.Tracer.t ->
+  ?compiled:bool ->
+  ?compile_cache_capacity:int ->
   unit ->
   t
 (** [seed] (default [worker]) seeds the engine's runtime environment.
     [fault] (default {!Fault.none}) is the engine's injection schedule.
     [tracer] (default {!Genie_observe.Tracer.disabled}) receives per-stage
     spans in slot [worker]; always-on {!Genie_observe.Probe} counters on
-    [metrics] are bumped regardless. *)
+    [metrics] are bumped regardless. [compiled] (default [true]) executes
+    programs through {!Genie_runtime.Compile} with a worker-private LRU of
+    compiled programs keyed on the memoized canonical text
+    ([compile_cache_capacity], default [cache_capacity]); responses are
+    byte-identical to interpreted execution (docs/compilation.md). *)
 
 val process :
   ?attempt:int ->
@@ -55,4 +61,8 @@ val process_batch : ?attempt:int -> t -> Request.t list -> Response.t list
     per-request deadline fall back to exactly that sequential path. *)
 
 val cache_stats : t -> Parse_cache.stats
+
+val compile_cache_stats : t -> Genie_runtime.Compile_cache.stats
+(** All zeros when the engine was created with [compiled:false]. *)
+
 val worker : t -> int

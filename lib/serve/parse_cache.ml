@@ -1,102 +1,5 @@
-(* LRU parse cache: hashtable + intrusive doubly-linked recency list.
-   O(1) find/add/evict. Single-domain use only (see the .mli). *)
+(* The serve-layer parse cache is the generic LRU from Genie_util, kept
+   under its historical name so engine code and tests read naturally. The
+   same structure backs Genie_runtime.Compile_cache. *)
 
-type 'a node = {
-  key : string;
-  mutable value : 'a;
-  mutable prev : 'a node option;  (* towards MRU *)
-  mutable next : 'a node option;  (* towards LRU *)
-}
-
-type 'a t = {
-  cap : int;
-  tbl : (string, 'a node) Hashtbl.t;
-  mutable head : 'a node option;  (* MRU *)
-  mutable tail : 'a node option;  (* LRU *)
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
-}
-
-type stats = { hits : int; misses : int; evictions : int; entries : int }
-
-let create ~capacity =
-  { cap = capacity;
-    tbl = Hashtbl.create (max 16 capacity);
-    head = None;
-    tail = None;
-    hits = 0;
-    misses = 0;
-    evictions = 0 }
-
-let unlink t n =
-  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
-  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
-  n.prev <- None;
-  n.next <- None
-
-let push_front t n =
-  n.next <- t.head;
-  n.prev <- None;
-  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
-  t.head <- Some n
-
-let is_head t n = match t.head with Some h -> h == n | None -> false
-
-let touch t n =
-  if not (is_head t n) then begin
-    unlink t n;
-    push_front t n
-  end
-
-let find t key =
-  match Hashtbl.find_opt t.tbl key with
-  | Some n ->
-      t.hits <- t.hits + 1;
-      touch t n;
-      Some n.value
-  | None ->
-      t.misses <- t.misses + 1;
-      None
-
-let evict_lru t =
-  match t.tail with
-  | None -> ()
-  | Some n ->
-      unlink t n;
-      Hashtbl.remove t.tbl n.key;
-      t.evictions <- t.evictions + 1
-
-let add t key value =
-  if t.cap > 0 then
-    match Hashtbl.find_opt t.tbl key with
-    | Some n ->
-        n.value <- value;
-        touch t n
-    | None ->
-        let n = { key; value; prev = None; next = None } in
-        push_front t n;
-        Hashtbl.replace t.tbl key n;
-        if Hashtbl.length t.tbl > t.cap then evict_lru t
-
-let mem t key = Hashtbl.mem t.tbl key
-let length t = Hashtbl.length t.tbl
-let capacity t = t.cap
-
-let stats (t : _ t) =
-  { hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
-    entries = Hashtbl.length t.tbl }
-
-let clear t =
-  Hashtbl.reset t.tbl;
-  t.head <- None;
-  t.tail <- None
-
-let keys_mru t =
-  let rec go acc = function
-    | None -> List.rev acc
-    | Some n -> go (n.key :: acc) n.next
-  in
-  go [] t.head
+include Genie_util.Lru

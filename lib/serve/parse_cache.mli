@@ -4,11 +4,20 @@
     and over), so a small cache in front of the aligner skips the whole
     decode on a hit. The cache is {e not} thread-safe: the server shards
     requests by key so each key lives in exactly one worker's private
-    cache. *)
+    cache.
 
-type 'a t
+    The implementation is {!Genie_util.Lru} (shared with the runtime's
+    compiled-program cache); the type equalities below let callers mix the
+    two APIs freely. *)
 
-type stats = { hits : int; misses : int; evictions : int; entries : int }
+type 'a t = 'a Genie_util.Lru.t
+
+type stats = Genie_util.Lru.stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+}
 
 val create : capacity:int -> 'a t
 (** [capacity <= 0] disables caching (every lookup misses, nothing is

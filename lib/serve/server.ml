@@ -82,6 +82,10 @@ type stats = {
   batches : int;
   total_seconds : float;
   cumulative_rps : float;
+  compile_hits : int;
+  compile_misses : int;
+  compile_evictions : int;
+  compile_entries : int;
 }
 
 (* A dropped message is a root-level event like a crash: same span shape in
@@ -97,13 +101,14 @@ let record_drop ~metrics ~tracer ~slot ~id ~attempt =
 let create ~lib ~model ?(cache_capacity = 4096) ?(workers = 0)
     ?(queue_capacity = 64) ?(seed = 0) ?(fault = Fault.none)
     ?admission_capacity ?(degrade = true) ?(max_retries = 2)
-    ?(retry_backoff_ms = 1.0) ?(tracer = Tracer.disabled) () =
+    ?(retry_backoff_ms = 1.0) ?(tracer = Tracer.disabled) ?(compiled = true)
+    ?compile_cache_capacity () =
   let n_engines = max 1 workers in
   let metrics = Metrics.create () in
   let engines =
     Array.init n_engines (fun w ->
         Engine.create ~lib ~model ~cache_capacity ~metrics ~worker:w
-          ~seed:(seed + w) ~fault ~tracer ())
+          ~seed:(seed + w) ~fault ~tracer ~compiled ?compile_cache_capacity ())
   in
   let pool =
     if workers >= 2 then
@@ -145,10 +150,11 @@ let create ~lib ~model ?(cache_capacity = 4096) ?(workers = 0)
 
 let of_artifacts ?cache_capacity ?workers ?queue_capacity ?seed ?fault
     ?admission_capacity ?degrade ?max_retries ?retry_backoff_ms ?tracer
-    (a : Genie_core.Pipeline.artifacts) =
+    ?compiled ?compile_cache_capacity (a : Genie_core.Pipeline.artifacts) =
   create ~lib:a.Genie_core.Pipeline.lib ~model:a.Genie_core.Pipeline.model
     ?cache_capacity ?workers ?queue_capacity ?seed ?fault ?admission_capacity
-    ?degrade ?max_retries ?retry_backoff_ms ?tracer ()
+    ?degrade ?max_retries ?retry_backoff_ms ?tracer ?compiled
+    ?compile_cache_capacity ()
 
 (* Requests shard by cache key, not round-robin: every repetition of an
    utterance lands on the same worker, so per-worker caches need no locks
@@ -496,6 +502,16 @@ let stats (t : t) =
           n + s.Parse_cache.entries ))
       (0, 0, 0, 0) t.engines
   in
+  let chits, cmisses, cevictions, centries =
+    Array.fold_left
+      (fun (h, mi, e, n) engine ->
+        let s = Engine.compile_cache_stats engine in
+        ( h + s.Genie_runtime.Compile_cache.hits,
+          mi + s.Genie_runtime.Compile_cache.misses,
+          e + s.Genie_runtime.Compile_cache.evictions,
+          n + s.Genie_runtime.Compile_cache.entries ))
+      (0, 0, 0, 0) t.engines
+  in
   let lookups = hits + misses in
   let n_batch, secs = t.last_batch in
   { workers = t.workers;
@@ -525,7 +541,11 @@ let stats (t : t) =
     total_seconds = t.total_seconds;
     cumulative_rps =
       (if t.total_seconds <= 0.0 then 0.0
-       else float_of_int t.total_requests /. t.total_seconds) }
+       else float_of_int t.total_requests /. t.total_seconds);
+    compile_hits = chits;
+    compile_misses = cmisses;
+    compile_evictions = cevictions;
+    compile_entries = centries }
 
 let metrics_snapshot (t : t) = Metrics.snapshot t.metrics
 let probe (t : t) = Metrics.probe t.metrics
@@ -539,4 +559,7 @@ let pp_stats fmt s =
     "workers %d  %d req  %.0f req/s  hit-rate %.1f%%  p50 %.2fms  p95 %.2fms  \
      p99 %.2fms  mean %.2fms  timeouts %d  shed %d  retries %d  degraded %d"
     s.workers s.requests s.throughput_rps (100.0 *. s.hit_rate) s.p50_ms
-    s.p95_ms s.p99_ms s.mean_ms s.timeouts s.shed s.retries s.degraded
+    s.p95_ms s.p99_ms s.mean_ms s.timeouts s.shed s.retries s.degraded;
+  if s.compile_misses + s.compile_hits > 0 then
+    Format.fprintf fmt "  compile %d/%d hit" s.compile_hits
+      (s.compile_hits + s.compile_misses)

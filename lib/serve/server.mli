@@ -52,6 +52,10 @@ type stats = {
       (** cumulative requests / cumulative elapsed across every [run_batch]
           call — the sustained figure; [throughput_rps] only reflects the
           most recent batch *)
+  compile_hits : int;  (** compiled-program cache, summed across workers *)
+  compile_misses : int;
+  compile_evictions : int;
+  compile_entries : int;
 }
 
 val create :
@@ -67,12 +71,18 @@ val create :
   ?max_retries:int ->
   ?retry_backoff_ms:float ->
   ?tracer:Genie_observe.Tracer.t ->
+  ?compiled:bool ->
+  ?compile_cache_capacity:int ->
   unit ->
   t
 (** Defaults: [cache_capacity] 4096 (per worker), [workers] 0 (sequential),
     [queue_capacity] 64 per worker, [seed] 0, [fault] {!Fault.none},
     [admission_capacity] unlimited, [degrade] true, [max_retries] 2,
-    [retry_backoff_ms] 1, [tracer] {!Genie_observe.Tracer.disabled}.
+    [retry_backoff_ms] 1, [tracer] {!Genie_observe.Tracer.disabled},
+    [compiled] true (execute requests run through {!Genie_runtime.Compile}
+    with a per-worker compiled-program LRU — byte-identical responses to
+    the tree-walking interpreter), [compile_cache_capacity] =
+    [cache_capacity].
 
     [admission_capacity] bounds how many requests each worker accepts per
     {!run_batch} call; excess requests are answered from the degraded cache
@@ -96,6 +106,8 @@ val of_artifacts :
   ?max_retries:int ->
   ?retry_backoff_ms:float ->
   ?tracer:Genie_observe.Tracer.t ->
+  ?compiled:bool ->
+  ?compile_cache_capacity:int ->
   Genie_core.Pipeline.artifacts ->
   t
 (** A server over a trained pipeline's library and parser model. *)

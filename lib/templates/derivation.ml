@@ -42,7 +42,32 @@ let value_key (v : dvalue) =
   | V_fun { inv; hole_ip; _ } ->
       Printf.sprintf "fun:%s/%s" (Printer.invocation_to_string inv) hole_ip
 
-let key d = sentence d ^ " || " ^ value_key d.value
+(* [key] prints the derivation's semantics — the dominant cost of every
+   dedup, sort and digest downstream. The per-depth corpus digest, golden
+   dumps and structural sorts all revisit the same derivations, so the
+   printed key is memoized per physical derivation in a process-wide
+   ephemeron table (weak keys: entries die with their derivations, so a
+   discarded corpus costs nothing). The record itself stays immutable —
+   structural equality on derivations is unaffected. Mutex-guarded because
+   sort keys are also consulted from spawned domains in tests. *)
+module Key_memo = Ephemeron.K1.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let key_memo = Key_memo.create 1024
+let key_mutex = Mutex.create ()
+
+let key d =
+  Mutex.protect key_mutex (fun () ->
+      match Key_memo.find_opt key_memo d with
+      | Some k -> k
+      | None ->
+          let k = sentence d ^ " || " ^ value_key d.value in
+          Key_memo.add key_memo d k;
+          k)
 
 (* Structural sort key: every component is derived from the derivation's
    content (never from addresses, hash-table order, or discovery order), so

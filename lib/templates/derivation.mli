@@ -33,8 +33,13 @@ val sentence : t -> string
 val fragment_program : Ast.fragment -> Ast.program option
 
 val value_key : dvalue -> string
+
 val key : t -> string
-(** The deduplication key: sentence plus semantics. *)
+(** The deduplication key: sentence plus semantics. Printing the semantics
+    dominates the cost, so the result is memoized per physical derivation
+    (weak table — entries are reclaimed with their derivations): repeat
+    digests, sorts and golden dumps over the same corpus print each program
+    once. *)
 
 val sort_key : t -> string
 (** Structural merge key: depth (zero-padded) plus {!key}. A pure function

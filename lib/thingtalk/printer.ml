@@ -82,7 +82,15 @@ let action_to_string a =
   | A_notify -> "notify"
   | A_invoke inv -> invocation_to_string inv
 
+(* Whole-program prints are counted so hot-path tests can assert the serve
+   and synthesis layers stringify each distinct program once, not once per
+   request. Atomic because pooled serve workers print from their own
+   domains. *)
+let programs_printed = Genie_util.Atomic_counter.create ()
+let program_print_count () = Genie_util.Atomic_counter.get programs_printed
+
 let program_to_string (p : program) =
+  Genie_util.Atomic_counter.incr programs_printed;
   let parts =
     stream_to_string p.stream
     :: (match p.query with None -> [] | Some q -> [ query_to_string q ])

@@ -2,6 +2,14 @@
     accepts everything this module prints. *)
 
 val program_to_string : Ast.program -> string
+(** Surface syntax of a whole program. *)
+
+val program_print_count : unit -> int
+(** Monotonic count of {!program_to_string} calls across all domains, for
+    regression tests that pin how many times a layer re-stringifies a
+    program (the serve and synthesis hot paths must print each distinct
+    program once, then reuse the memoized text). *)
+
 val policy_to_string : Ast.policy -> string
 val query_to_string : Ast.query -> string
 val stream_to_string : Ast.stream -> string

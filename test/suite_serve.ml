@@ -850,6 +850,129 @@ let test_server_execute_and_stats () =
   Alcotest.(check bool) "p50 measured" true (s.Server.p50_ms > 0.0);
   check_invariant server
 
+(* --- compiled execution path -------------------------------------------------------- *)
+
+(* everything deterministic about an executed response, execution results
+   included — the compiled path must reproduce all of it byte for byte *)
+let exec_digest (r : Response.t) =
+  Printf.sprintf "%s notif=%d fx=%d err=%s" (digest r) r.Response.notifications
+    r.Response.side_effects
+    (Option.value ~default:"-" r.Response.error)
+
+let exec_requests n seed =
+  List.map
+    (fun (r : Request.t) ->
+      Request.make ~execute:true
+        ~ticks:(1 + (r.Request.id mod 4))
+        ~id:r.Request.id r.Request.utterance)
+    (Traffic.generate ~rng:(Genie_util.Rng.create seed) ~utterances:utterances n)
+
+(* Compiled execution (bytecode + compiled-program cache) must be
+   observationally identical to the tree-walking interpreter: same statuses,
+   same notification/side-effect counts, same errors — sequential or pooled,
+   at every worker count. *)
+let test_compiled_matches_interpreted () =
+  let model = Lazy.force model in
+  let requests = exec_requests 40 41 in
+  let run ~workers ~compiled () =
+    let server = Server.create ~lib ~model ~workers ~queue_capacity:16 ~compiled () in
+    let rs = Server.run_batch server requests in
+    check_invariant server;
+    let s = Server.stats server in
+    Server.shutdown server;
+    (List.map exec_digest rs, s)
+  in
+  List.iter
+    (fun workers ->
+      let interp, si = run ~workers ~compiled:false () in
+      let comp, sc = run ~workers ~compiled:true () in
+      Alcotest.(check (list string))
+        (Printf.sprintf "compiled = interpreted at %d workers" workers)
+        interp comp;
+      (* the interpreter path never touches the compiled-program cache *)
+      Alcotest.(check int) "interpreter: no compile lookups" 0
+        (si.Server.compile_hits + si.Server.compile_misses);
+      (* the compiled path looks up once per execution and compiles only
+         distinct programs *)
+      Alcotest.(check int) "one compile lookup per execution" sc.Server.exec_runs
+        (sc.Server.compile_hits + sc.Server.compile_misses);
+      Alcotest.(check bool) "distinct programs compiled once" true
+        (sc.Server.compile_misses <= List.length utterances);
+      Alcotest.(check bool) "cache hits on repeats" true
+        (sc.Server.compile_hits > 0))
+    [ 0; 1; 2; 4 ]
+
+(* The same equivalence must survive the robustness layer: a seeded fault
+   schedule (crashes + drops + retries) makes the same decisions whether the
+   engines execute compiled or interpreted, so responses stay identical. *)
+let test_compiled_matches_interpreted_under_faults () =
+  let model = Lazy.force model in
+  let requests = exec_requests 40 43 in
+  let run ~workers ~compiled () =
+    let server =
+      Server.create ~lib ~model ~workers ~queue_capacity:8
+        ~fault:(Lazy.force mixed_fault) ~max_retries:3 ~retry_backoff_ms:0.01
+        ~compiled ()
+    in
+    let rs = Server.run_batch server requests in
+    check_invariant server;
+    Server.shutdown server;
+    List.map exec_digest rs
+  in
+  List.iter
+    (fun workers ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "compiled = interpreted under faults at %d workers" workers)
+        (run ~workers ~compiled:false ())
+        (run ~workers ~compiled:true ()))
+    [ 0; 1; 2; 4 ]
+
+(* Tiny compiled-program cache: constant eviction, still byte-identical. *)
+let test_compiled_cache_thrash_identical () =
+  let model = Lazy.force model in
+  let requests = exec_requests 30 47 in
+  let run ~compile_cache_capacity () =
+    let server = Server.create ~lib ~model ~compile_cache_capacity () in
+    let rs = Server.run_batch server requests in
+    let s = Server.stats server in
+    Server.shutdown server;
+    (List.map exec_digest rs, s)
+  in
+  let roomy, _ = run ~compile_cache_capacity:64 () in
+  let tight, st = run ~compile_cache_capacity:1 () in
+  let off, s0 = run ~compile_cache_capacity:0 () in
+  Alcotest.(check (list string)) "capacity 1 = capacity 64" roomy tight;
+  Alcotest.(check (list string)) "capacity 0 = capacity 64" roomy off;
+  Alcotest.(check bool) "capacity 1 evicts" true (st.Server.compile_evictions > 0);
+  Alcotest.(check int) "capacity 0 caches nothing" 0 s0.Server.compile_entries
+
+(* Regression: the serve hot path must stringify each distinct program once
+   (memoized next to the cached parse), not once per request — cached
+   requests, responses and compiled-cache keys all reuse that text. *)
+let test_no_restringify_on_cache_hit () =
+  let model = Lazy.force model in
+  let server = Server.create ~lib ~model () in
+  (* warm every utterance: parse-cache and compile-cache misses happen here *)
+  List.iteri
+    (fun i u -> ignore (Server.handle server (Request.make ~execute:true ~id:i u)))
+    utterances;
+  let before = Printer.program_print_count () in
+  let reqs =
+    List.mapi
+      (fun i u -> Request.make ~execute:true ~id:(100 + i) u)
+      (utterances @ utterances @ utterances)
+  in
+  let rs = Server.run_batch server reqs in
+  List.iter
+    (fun (r : Response.t) ->
+      Alcotest.(check string) "served ok" "ok"
+        (Response.status_to_string r.Response.status);
+      Alcotest.(check bool) "from cache" true r.Response.from_cache)
+    rs;
+  Alcotest.(check int) "zero re-stringifications across cached requests" 0
+    (Printer.program_print_count () - before);
+  Server.shutdown server
+
 (* --- batched predict path ---------------------------------------------------------- *)
 
 (* The batched engine path (one aligner pass over all distinct uncached
@@ -919,4 +1042,12 @@ let suite =
     Alcotest.test_case "metrics percentiles" `Quick test_metrics_percentiles;
     Alcotest.test_case "metrics concurrent" `Quick test_metrics_concurrent_records;
     Alcotest.test_case "traffic zipfian" `Quick test_traffic_deterministic_and_zipfian;
-    Alcotest.test_case "server execute + stats" `Quick test_server_execute_and_stats ]
+    Alcotest.test_case "server execute + stats" `Quick test_server_execute_and_stats;
+    Alcotest.test_case "compiled = interpreted (0/2/4 workers)" `Quick
+      test_compiled_matches_interpreted;
+    Alcotest.test_case "compiled = interpreted under faults" `Quick
+      test_compiled_matches_interpreted_under_faults;
+    Alcotest.test_case "compiled cache thrash identical" `Quick
+      test_compiled_cache_thrash_identical;
+    Alcotest.test_case "no re-stringify on cache hit" `Quick
+      test_no_restringify_on_cache_hit ]

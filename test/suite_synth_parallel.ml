@@ -287,6 +287,21 @@ let test_golden_digests () =
         (read_golden depth) line)
     golden_depths
 
+(* Regression: [Derivation.key] memoizes its printed form per physical
+   derivation, so revisiting a corpus (repeat digests, golden dumps, sorts)
+   re-prints nothing — and the memo is invisible: same digests, same keys. *)
+let test_digest_memoized_no_reprint () =
+  let ds = Lazy.force core_reference in
+  let digests () =
+    List.map (fun depth -> Engine.corpus_digest ds ~depth) golden_depths
+  in
+  let first = digests () in
+  let before = Genie_thingtalk.Printer.program_print_count () in
+  Alcotest.(check bool) "repeat digest identical" true (first = digests ());
+  let _ = List.map Derivation.sort_key ds in
+  Alcotest.(check int) "zero re-prints on revisit" 0
+    (Genie_thingtalk.Printer.program_print_count () - before)
+
 let test_digest_sensitivity () =
   (* the digest is over sort keys in corpus order: dropping or reordering a
      pair changes it *)
@@ -340,4 +355,6 @@ let suite =
         Alcotest.test_case "canonical corpus order" `Quick test_canonical_order;
         Alcotest.test_case "golden corpus digests" `Quick test_golden_digests;
         Alcotest.test_case "digest sensitivity" `Quick test_digest_sensitivity;
+        Alcotest.test_case "digest memoized, no reprint" `Quick
+          test_digest_memoized_no_reprint;
         Alcotest.test_case "stats consistent under faults" `Quick test_stats_consistent ] ]

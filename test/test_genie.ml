@@ -7,6 +7,7 @@ let () =
       ("canonical", Suite_canonical.suite);
       ("nn-syntax", Suite_nn_syntax.suite);
       ("runtime", Suite_runtime.suite);
+      ("compile", Suite_compile.suite);
       ("thingpedia", Suite_thingpedia.suite);
       ("templates", Suite_templates.suite);
       ("synthesis", Suite_synthesis.suite);
