@@ -410,6 +410,48 @@ let train_bench () =
   Printf.printf
     "4-worker batched speedup over the per-example sequential baseline: %.2fx\n%!"
     speedup_4w;
+  (* checkpoint cost: capture + atomic write, then load + restore, of a
+     trained model; the round-trip must reproduce the weight digest *)
+  let ck_model = fresh () in
+  Genie_nn.Seq2seq.train ~epochs:1 ~lr:5e-3 ~batch:64 ~micro:16 ck_model pairs;
+  let snapshot =
+    { Genie_nn.Seq2seq.snap_epoch = 2; snap_pos = 0; snap_rng = 0L; snap_step = 0 }
+  in
+  let ck_path = Filename.temp_file "genie-bench" ".ckpt" in
+  let ck_reps = if !quick then 3 else 10 in
+  let time_best f =
+    let best = ref infinity in
+    let out = ref None in
+    for _ = 1 to ck_reps do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      out := Some r
+    done;
+    (!best, Option.get !out)
+  in
+  let write_s, () =
+    time_best (fun () ->
+        Genie_checkpoint.Checkpoint.save_model ~snapshot ~path:ck_path ck_model)
+  in
+  let load_s, loaded =
+    time_best (fun () ->
+        match Genie_checkpoint.Checkpoint.load_model ck_path with
+        | Ok (m, _) -> m
+        | Error e -> failwith e)
+  in
+  let ck_bytes = (Unix.stat ck_path).Unix.st_size in
+  Sys.remove ck_path;
+  let ck_roundtrip_ok =
+    Genie_nn.Seq2seq.weight_digest loaded = Genie_nn.Seq2seq.weight_digest ck_model
+  in
+  Printf.printf
+    "checkpoint: %d bytes, write %.2f ms, load+restore %.2f ms, round-trip \
+     digest %s (best of %d)\n%!"
+    ck_bytes (write_s *. 1e3) (load_s *. 1e3)
+    (if ck_roundtrip_ok then "ok" else "MISMATCH")
+    ck_reps;
   let open Genie_util.Json_lite in
   let row (batch, micro, workers, dt, eps, digest) =
     Obj
@@ -433,6 +475,12 @@ let train_bench () =
          ("digest_identical_across_workers", Bool digest_deterministic);
          ("baseline_examples_per_sec", Float baseline_eps);
          ("speedup_4w_vs_sequential_baseline", Float speedup_4w);
+         ("checkpoint",
+          Obj
+            [ ("bytes", Int ck_bytes);
+              ("write_ms", Float (write_s *. 1e3));
+              ("load_ms", Float (load_s *. 1e3));
+              ("roundtrip_digest_ok", Bool ck_roundtrip_ok) ]);
          ("configs", List (List.map row rows)) ]);
   Printf.printf "wrote BENCH_train.json\n%!"
 

@@ -477,9 +477,74 @@ let train_cmd =
     Arg.(value & opt string ""
          & info [ "digest-dir" ]
              ~doc:"Write the run's weight digest (the golden format under \
-                   test/golden/train.digest) to DIR/train.digest.")
+                   test/golden/train.digest) to DIR/train.digest. After \
+                   --resume, an existing DIR/train.digest is compared \
+                   instead (exit 3 on mismatch).")
   in
-  let run target depth pairs epochs lr batch micro workers_csv seed digest_dir =
+  let ckpt =
+    Arg.(value & opt string ""
+         & info [ "ckpt" ] ~docv:"PATH"
+             ~doc:"Write checkpoints to this file (atomically, in place); \
+                   a completed run always leaves its terminal checkpoint \
+                   here.")
+  in
+  let ckpt_every =
+    Arg.(value & opt int 0
+         & info [ "ckpt-every" ] ~docv:"STEPS"
+             ~doc:"Checkpoint every N optimizer steps (0 = only at \
+                   completion / --stop-after)")
+  in
+  let stop_after =
+    Arg.(value & opt int 0
+         & info [ "stop-after" ] ~docv:"STEPS"
+             ~doc:"Simulated kill: checkpoint and stop after N optimizer \
+                   steps (0 = run to completion). Implies --ckpt.")
+  in
+  let resume =
+    Arg.(value & opt string ""
+         & info [ "resume" ] ~docv:"PATH"
+             ~doc:"Resume from a checkpoint. The run's data recipe \
+                   (target/depth/pairs/seed) and hyperparameters are taken \
+                   from the checkpoint's provenance, overriding the flags.")
+  in
+  let run target depth pairs epochs lr batch micro workers_csv seed digest_dir
+      ckpt ckpt_every stop_after resume =
+    let resumed =
+      if resume = "" then None
+      else
+        match Genie_checkpoint.Checkpoint.load resume with
+        | Error e ->
+            Printf.eprintf "cannot resume from %s: %s\n" resume e;
+            exit 2
+        | Ok ck -> Some ck
+    in
+    (* A resumed run must rebuild the exact data stream of the original, so
+       the provenance recipe wins over the command line. *)
+    let prov_int ck key fallback =
+      match List.assoc_opt key ck.Genie_checkpoint.Checkpoint.provenance with
+      | Some v -> ( match int_of_string_opt v with Some i -> i | None -> fallback)
+      | None -> fallback
+    in
+    let prov_float ck key fallback =
+      match List.assoc_opt key ck.Genie_checkpoint.Checkpoint.provenance with
+      | Some v -> ( match float_of_string_opt v with Some f -> f | None -> fallback)
+      | None -> fallback
+    in
+    let target, depth, pairs, epochs, lr, batch, micro, seed =
+      match resumed with
+      | None -> (target, depth, pairs, epochs, lr, batch, micro, seed)
+      | Some ck ->
+          Printf.printf "resuming from %s (recipe from its provenance)\n" resume;
+          ( prov_int ck "target" target,
+            prov_int ck "depth" depth,
+            prov_int ck "pairs" pairs,
+            prov_int ck "epochs" epochs,
+            prov_float ck "lr" lr,
+            prov_int ck "batch" batch,
+            prov_int ck "micro" micro,
+            prov_int ck "seed" seed )
+    in
+    let ckpt = if ckpt = "" && stop_after > 0 then "genie.ckpt" else ckpt in
     let lib, prims, rules = setup () in
     let g =
       Genie_templates.Grammar.create lib ~prims ~rules
@@ -520,19 +585,54 @@ let train_cmd =
       | [] -> [ 0 ]
       | ws -> ws
     in
+    let provenance =
+      [ ("target", string_of_int target);
+        ("depth", string_of_int depth);
+        ("pairs", string_of_int pairs);
+        ("epochs", string_of_int epochs);
+        ("lr", string_of_float lr);
+        ("batch", string_of_int batch);
+        ("micro", string_of_int micro);
+        ("seed", string_of_int seed) ]
+    in
+    let stopped = ref false in
     let runs =
       List.map
         (fun w ->
-          let model =
-            Genie_nn.Seq2seq.create
-              ~cfg:{ Genie_nn.Seq2seq.default_config with Genie_nn.Seq2seq.seed }
-              ~src_vocab ~tgt_vocab ()
+          let model, resume_snapshot =
+            match resumed with
+            | None ->
+                ( Genie_nn.Seq2seq.create
+                    ~cfg:
+                      { Genie_nn.Seq2seq.default_config with
+                        Genie_nn.Seq2seq.seed }
+                    ~src_vocab ~tgt_vocab (),
+                  None )
+            | Some ck -> (
+                (* every worker-count run restores afresh from the same
+                   file, so all start from identical bits *)
+                match Genie_checkpoint.Checkpoint.restore ck with
+                | Error e ->
+                    Printf.eprintf "cannot restore %s: %s\n" resume e;
+                    exit 2
+                | Ok m -> (m, Some ck.Genie_checkpoint.Checkpoint.snapshot))
+          in
+          let checkpoint =
+            if ckpt = "" then None
+            else
+              Some
+                (fun snap ->
+                  Genie_checkpoint.Checkpoint.save_model ~provenance
+                    ~snapshot:snap ~path:ckpt model)
           in
           let last_loss = ref nan in
           let t0 = Unix.gettimeofday () in
           Genie_nn.Seq2seq.train ~epochs ~lr ~batch ~micro ~workers:w
             ~progress:(fun r -> last_loss := r.Genie_nn.Seq2seq.mean_loss)
+            ?resume:resume_snapshot ~checkpoint_every:ckpt_every ?checkpoint
+            ?stop_after:(if stop_after > 0 then Some stop_after else None)
             model train_pairs;
+          if stop_after > 0 then stopped := true;
           let dt = Unix.gettimeofday () -. t0 in
           let digest = Genie_nn.Seq2seq.weight_digest model in
           Printf.printf
@@ -544,6 +644,9 @@ let train_cmd =
           (w, digest))
         worker_counts
     in
+    if !stopped then
+      Printf.printf "stopped after %d optimizer steps; checkpoint at %s\n"
+        stop_after ckpt;
     (match runs with
     | (w0, d0) :: rest ->
         List.iter
@@ -557,16 +660,35 @@ let train_cmd =
             end)
           rest
     | [] -> ());
-    if digest_dir <> "" then begin
+    if digest_dir <> "" && not !stopped then begin
       (try Unix.mkdir digest_dir 0o755
        with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
       let _, d0 = List.hd runs in
-      let oc = open_out (Filename.concat digest_dir "train.digest") in
-      Printf.fprintf oc
-        "seed=%d epochs=%d batch=%d micro=%d pairs=%d digest=%s\n" seed epochs
-        batch micro n d0;
-      close_out oc;
-      Printf.printf "weight digest written to %s/train.digest\n" digest_dir
+      let line =
+        Printf.sprintf "seed=%d epochs=%d batch=%d micro=%d pairs=%d digest=%s"
+          seed epochs batch micro n d0
+      in
+      let path = Filename.concat digest_dir "train.digest" in
+      if resumed <> None && Sys.file_exists path then begin
+        (* the golden was written by an uninterrupted run: a resumed run
+           landing anywhere else is a checkpoint/resume determinism bug *)
+        let ic = open_in path in
+        let expected = try input_line ic with End_of_file -> "" in
+        close_in ic;
+        if String.trim expected <> line then begin
+          Printf.eprintf
+            "resumed run diverged from %s:\n  expected %s\n  got      %s\n"
+            path (String.trim expected) line;
+          exit 3
+        end;
+        Printf.printf "resumed run matches golden digest in %s\n" path
+      end
+      else begin
+        let oc = open_out path in
+        Printf.fprintf oc "%s\n" line;
+        close_out oc;
+        Printf.printf "weight digest written to %s/train.digest\n" digest_dir
+      end
     end
   in
   Cmd.v
@@ -576,7 +698,7 @@ let train_cmd =
           deterministically data-parallel gradients")
     Term.(
       const run $ target $ depth $ pairs $ epochs $ lr $ batch $ micro $ workers
-      $ seed $ digest_dir)
+      $ seed $ digest_dir $ ckpt $ ckpt_every $ stop_after $ resume)
 
 (* --- serve-bench ----------------------------------------------------------------- *)
 
@@ -825,12 +947,32 @@ let serve_cmd =
   let run listen workers window batch_max queue cache scale =
     let host, port = parse_addr ~what:"--listen" listen in
     let port = Option.value ~default:0 port in
-    let a, _corpus = trained_corpus scale in
+    let lib, prims, rules = setup () in
+    Printf.printf "training the semantic parser (scale %.2f)...\n%!" scale;
+    let cfg = Genie_core.Config.(scaled scale default) in
+    let a = Genie_core.Pipeline.run ~cfg ~lib ~prims ~rules () in
     let server =
       Genie_serve.Server.of_artifacts ~workers ~cache_capacity:cache a
     in
+    (* SIGHUP / Reload frame: retrain the pipeline under a shifted seed —
+       the stand-in for picking up newly trained weights from disk — and
+       hot-swap it in between micro-batches. *)
+    let reload ordinal =
+      let seed = cfg.Genie_core.Config.seed + ordinal in
+      Printf.printf "reload #%d: retraining the pipeline (seed %d)...\n%!"
+        ordinal seed;
+      let a' =
+        Genie_core.Pipeline.run
+          ~cfg:{ cfg with Genie_core.Config.seed }
+          ~lib ~prims ~rules ()
+      in
+      Some a'.Genie_core.Pipeline.model
+    in
+    let on_swap ~old_digest ~new_digest =
+      Printf.printf "model swapped: %s -> %s\n%!" old_digest new_digest
+    in
     let d =
-      Genie_net.Daemon.create ~server
+      Genie_net.Daemon.create ~server ~reload ~on_swap
         { Genie_net.Daemon.default_config with
           host;
           port;
@@ -848,11 +990,11 @@ let serve_cmd =
     let s = Genie_net.Daemon.stats d in
     Printf.printf
       "drained cleanly: %d connections, %d requests, %d responses, %d \
-       batches (max %d), shed %d, refused-draining %d\n"
+       batches (max %d), shed %d, refused-draining %d, reloads %d\n"
       s.Genie_net.Daemon.connections s.Genie_net.Daemon.requests
       s.Genie_net.Daemon.responses s.Genie_net.Daemon.batches
       s.Genie_net.Daemon.max_batch s.Genie_net.Daemon.shed
-      s.Genie_net.Daemon.refused_draining;
+      s.Genie_net.Daemon.refused_draining s.Genie_net.Daemon.reloads;
     print_endline
       (Genie_util.Json_lite.to_string (Genie_net.Daemon.stats_json d))
   in
@@ -861,7 +1003,7 @@ let serve_cmd =
        ~doc:
          "Run the network serving daemon: a TCP front end that micro-batches \
           framed requests into the concurrent serving pool; SIGTERM drains \
-          gracefully")
+          gracefully, SIGHUP hot-swaps in a freshly trained model")
     Term.(const run $ listen $ workers $ window $ batch_max $ queue $ cache $ scale)
 
 let loadgen_cmd =

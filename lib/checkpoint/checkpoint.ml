@@ -1,0 +1,360 @@
+(* Versioned binary model checkpoints: every Seq2seq parameter, its Adam
+   first/second moments, the Adam step count and the root RNG cursor --
+   everything a resumed run's future depends on -- in one self-contained
+   file.
+
+   The wire discipline mirrors Net.Codec: integers are big-endian fixed
+   width, floats travel as their IEEE-754 bit pattern (lossless, canonical),
+   strings and lists are length-prefixed, and decoding is a cursor walk that
+   fails loudly on truncation or trailing bytes. The header carries a magic,
+   a format version and a 16-hex splitmix digest of the body; a file that is
+   truncated, corrupted or from another version is rejected as a whole -- a
+   checkpoint either loads exactly or not at all, never half-way.
+
+   Saves are atomic: the bytes go to [path ^ ".tmp"] and are renamed into
+   place, so a kill mid-write leaves the previous checkpoint intact. *)
+
+module Rng = Genie_util.Rng
+module Hash64 = Genie_util.Hash64
+module Seq2seq = Genie_nn.Seq2seq
+module Vocab = Genie_nn.Vocab
+module Layers = Genie_nn.Layers
+module Tensor = Genie_nn.Tensor
+
+let magic = "GENIECKP"
+let version = 1
+
+type param_blob = {
+  pb_name : string;
+  pb_rows : int;
+  pb_cols : int;
+  pb_w : float array;  (* weights *)
+  pb_m : float array;  (* Adam first moments *)
+  pb_v : float array;  (* Adam second moments *)
+}
+
+type t = {
+  cfg : Seq2seq.config;
+  src_tokens : string list;  (* source vocabulary in id order *)
+  tgt_tokens : string list;  (* target vocabulary in id order *)
+  snapshot : Seq2seq.snapshot;
+  params : param_blob list;  (* in Seq2seq.params order *)
+  provenance : (string * string) list;  (* data/hyperparameter recipe *)
+}
+
+(* --- capture / reapply ------------------------------------------------------- *)
+
+let flat (x : Tensor.t) =
+  Array.sub x.Tensor.data x.Tensor.off (Tensor.size x)
+
+let blob (p : Layers.param) =
+  let t = p.Layers.tensor in
+  { pb_name = p.Layers.name;
+    pb_rows = t.Tensor.rows;
+    pb_cols = t.Tensor.cols;
+    pb_w = flat t;
+    pb_m = flat p.Layers.m;
+    pb_v = flat p.Layers.v }
+
+let of_model ?(provenance = []) ~snapshot (model : Seq2seq.t) =
+  { cfg = model.Seq2seq.cfg;
+    src_tokens = Vocab.tokens model.Seq2seq.src_vocab;
+    tgt_tokens = Vocab.tokens model.Seq2seq.tgt_vocab;
+    snapshot;
+    params = List.map blob (Seq2seq.params model);
+    provenance }
+
+(* Same formula as Optimizer.digest over the captured weights, so a
+   checkpoint's weight digest can be compared against a live model's
+   without restoring anything. *)
+let weight_digest ck =
+  let h =
+    List.fold_left
+      (fun h pb ->
+        let h = Hash64.string h pb.pb_name in
+        Array.fold_left
+          (fun h x -> Hash64.combine h (Int64.bits_of_float x))
+          h pb.pb_w)
+      (Hash64.string 0L "genie.weights")
+      ck.params
+  in
+  Hash64.to_hex h
+
+let restore ck =
+  let src_vocab = Vocab.of_tokens ck.src_tokens in
+  let tgt_vocab = Vocab.of_tokens ck.tgt_tokens in
+  if Vocab.tokens src_vocab <> ck.src_tokens then
+    Error "checkpoint source vocabulary does not reconstruct in id order"
+  else if Vocab.tokens tgt_vocab <> ck.tgt_tokens then
+    Error "checkpoint target vocabulary does not reconstruct in id order"
+  else begin
+    let model = Seq2seq.create ~cfg:ck.cfg ~src_vocab ~tgt_vocab () in
+    let ps = Seq2seq.params model in
+    if List.length ps <> List.length ck.params then
+      Error
+        (Printf.sprintf "checkpoint carries %d parameters, model has %d"
+           (List.length ck.params) (List.length ps))
+    else begin
+      let err = ref None in
+      List.iter2
+        (fun (p : Layers.param) pb ->
+          if !err = None then begin
+            let t = p.Layers.tensor in
+            if p.Layers.name <> pb.pb_name then
+              err :=
+                Some
+                  (Printf.sprintf "parameter name mismatch: %s vs %s"
+                     p.Layers.name pb.pb_name)
+            else if t.Tensor.rows <> pb.pb_rows || t.Tensor.cols <> pb.pb_cols
+            then
+              err :=
+                Some
+                  (Printf.sprintf "%s: shape %dx%d in checkpoint, %dx%d in model"
+                     pb.pb_name pb.pb_rows pb.pb_cols t.Tensor.rows t.Tensor.cols)
+            else begin
+              let put (src : float array) (dst : Tensor.t) =
+                Array.blit src 0 dst.Tensor.data dst.Tensor.off
+                  (Array.length src)
+              in
+              put pb.pb_w t;
+              put pb.pb_m p.Layers.m;
+              put pb.pb_v p.Layers.v
+            end
+          end)
+        ps ck.params;
+      match !err with
+      | Some e -> Error e
+      | None ->
+          (* the cursor create() left behind is init noise; the snapshot's
+             cursor is where the interrupted run's root stream stood *)
+          Rng.set_cursor model.Seq2seq.rng ck.snapshot.Seq2seq.snap_rng;
+          Ok model
+    end
+  end
+
+(* --- writers ----------------------------------------------------------------- *)
+
+let w_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let w_u32 b v =
+  if v < 0 || v > 0xffff_ffff then invalid_arg "Checkpoint: u32 out of range";
+  w_u8 b (v lsr 24);
+  w_u8 b (v lsr 16);
+  w_u8 b (v lsr 8);
+  w_u8 b v
+
+let w_i64 b v =
+  for i = 7 downto 0 do
+    w_u8 b (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done
+
+let w_f64 b v = w_i64 b (Int64.bits_of_float v)
+
+let w_string b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+let w_string_list b l =
+  w_u32 b (List.length l);
+  List.iter (w_string b) l
+
+(* --- readers ----------------------------------------------------------------- *)
+
+exception Bad of string
+
+type cursor = { s : string; mutable pos : int }
+
+let r_u8 c =
+  if c.pos >= String.length c.s then raise (Bad "truncated checkpoint");
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_u32 c =
+  let a = r_u8 c in
+  let b = r_u8 c in
+  let d = r_u8 c in
+  let e = r_u8 c in
+  (a lsl 24) lor (b lsl 16) lor (d lsl 8) lor e
+
+let r_i64 c =
+  let bits = ref 0L in
+  for _ = 1 to 8 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (r_u8 c))
+  done;
+  !bits
+
+let r_f64 c = Int64.float_of_bits (r_i64 c)
+
+let r_string c =
+  let n = r_u32 c in
+  if c.pos + n > String.length c.s then raise (Bad "truncated string");
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let r_string_list c =
+  let n = r_u32 c in
+  let acc = ref [] in
+  for _ = 1 to n do
+    acc := r_string c :: !acc
+  done;
+  List.rev !acc
+
+let r_floats c n =
+  let a = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    a.(i) <- r_f64 c
+  done;
+  a
+
+(* --- body codec -------------------------------------------------------------- *)
+
+let encode_body ck =
+  let b = Buffer.create 65536 in
+  w_u32 b ck.cfg.Seq2seq.embed_dim;
+  w_u32 b ck.cfg.Seq2seq.hidden_dim;
+  w_f64 b ck.cfg.Seq2seq.dropout;
+  w_i64 b (Int64.of_int ck.cfg.Seq2seq.seed);
+  w_string_list b ck.src_tokens;
+  w_string_list b ck.tgt_tokens;
+  w_u32 b ck.snapshot.Seq2seq.snap_epoch;
+  w_u32 b ck.snapshot.Seq2seq.snap_pos;
+  w_i64 b ck.snapshot.Seq2seq.snap_rng;
+  w_u32 b ck.snapshot.Seq2seq.snap_step;
+  w_u32 b (List.length ck.params);
+  List.iter
+    (fun pb ->
+      let n = pb.pb_rows * pb.pb_cols in
+      if
+        Array.length pb.pb_w <> n
+        || Array.length pb.pb_m <> n
+        || Array.length pb.pb_v <> n
+      then invalid_arg "Checkpoint.encode: parameter blob shape mismatch";
+      w_string b pb.pb_name;
+      w_u32 b pb.pb_rows;
+      w_u32 b pb.pb_cols;
+      Array.iter (w_f64 b) pb.pb_w;
+      Array.iter (w_f64 b) pb.pb_m;
+      Array.iter (w_f64 b) pb.pb_v)
+    ck.params;
+  w_u32 b (List.length ck.provenance);
+  List.iter
+    (fun (k, v) ->
+      w_string b k;
+      w_string b v)
+    ck.provenance;
+  Buffer.contents b
+
+let decode_body s =
+  let c = { s; pos = 0 } in
+  let embed_dim = r_u32 c in
+  let hidden_dim = r_u32 c in
+  let dropout = r_f64 c in
+  let seed = Int64.to_int (r_i64 c) in
+  let src_tokens = r_string_list c in
+  let tgt_tokens = r_string_list c in
+  let snap_epoch = r_u32 c in
+  let snap_pos = r_u32 c in
+  let snap_rng = r_i64 c in
+  let snap_step = r_u32 c in
+  let n_params = r_u32 c in
+  let params = ref [] in
+  for _ = 1 to n_params do
+    let pb_name = r_string c in
+    let pb_rows = r_u32 c in
+    let pb_cols = r_u32 c in
+    let n = pb_rows * pb_cols in
+    let pb_w = r_floats c n in
+    let pb_m = r_floats c n in
+    let pb_v = r_floats c n in
+    params := { pb_name; pb_rows; pb_cols; pb_w; pb_m; pb_v } :: !params
+  done;
+  let n_prov = r_u32 c in
+  let provenance = ref [] in
+  for _ = 1 to n_prov do
+    let k = r_string c in
+    let v = r_string c in
+    provenance := (k, v) :: !provenance
+  done;
+  if c.pos <> String.length c.s then
+    raise
+      (Bad
+         (Printf.sprintf "trailing checkpoint bytes (%d of %d consumed)" c.pos
+            (String.length c.s)));
+  { cfg = { Seq2seq.embed_dim; hidden_dim; dropout; seed };
+    src_tokens;
+    tgt_tokens;
+    snapshot = { Seq2seq.snap_epoch; snap_pos; snap_rng; snap_step };
+    params = List.rev !params;
+    provenance = List.rev !provenance }
+
+(* --- framed file format ------------------------------------------------------ *)
+
+let body_digest body = Hash64.to_hex (Hash64.string 0L body)
+let digest ck = body_digest (encode_body ck)
+
+let header_len = String.length magic + 4 + 16
+
+let encode ck =
+  let body = encode_body ck in
+  let b = Buffer.create (header_len + String.length body) in
+  Buffer.add_string b magic;
+  w_u32 b version;
+  Buffer.add_string b (body_digest body);
+  Buffer.add_string b body;
+  Buffer.contents b
+
+let decode s =
+  if String.length s < header_len then Error "truncated checkpoint header"
+  else if String.sub s 0 (String.length magic) <> magic then
+    Error "bad checkpoint magic (not a Genie checkpoint)"
+  else begin
+    let c = { s; pos = String.length magic } in
+    match
+      let v = r_u32 c in
+      if v <> version then
+        Error (Printf.sprintf "unsupported checkpoint version %d (want %d)" v version)
+      else begin
+        let claimed = String.sub s c.pos 16 in
+        let body = String.sub s (c.pos + 16) (String.length s - c.pos - 16) in
+        let actual = body_digest body in
+        if actual <> claimed then
+          Error
+            (Printf.sprintf
+               "checkpoint digest mismatch: header %s, body %s (corrupted file)"
+               claimed actual)
+        else Ok (decode_body body)
+      end
+    with
+    | r -> r
+    | exception Bad e -> Error e
+  end
+
+(* --- file IO ----------------------------------------------------------------- *)
+
+let save ~path ck =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try output_string oc (encode ck)
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> decode s
+  | exception Sys_error e -> Error e
+
+let save_model ?provenance ~snapshot ~path model =
+  save ~path (of_model ?provenance ~snapshot model)
+
+let load_model path =
+  match load path with
+  | Error e -> Error e
+  | Ok ck -> (
+      match restore ck with
+      | Error e -> Error e
+      | Ok model -> Ok (model, ck))

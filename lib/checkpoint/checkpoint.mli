@@ -1,0 +1,82 @@
+(** Versioned binary model checkpoints (docs/checkpointing.md).
+
+    A checkpoint captures everything a resumed training run's future
+    depends on: the model config, both vocabularies in id order, every
+    parameter's weights plus Adam first/second moments (exact IEEE-754 bit
+    patterns), the Adam step count and the root RNG cursor (inside the
+    {!Genie_nn.Seq2seq.snapshot}), and a free-form provenance table
+    recording the data/hyperparameter recipe.
+
+    The codec follows the [Net.Codec] discipline: big-endian fixed-width
+    integers, floats as bit patterns, length-prefixed strings, strict
+    exact-consumption decoding. The file header carries a magic, a format
+    version and a 16-hex digest of the body; truncated, corrupted or
+    wrong-version files are rejected whole — a checkpoint either loads
+    exactly or not at all. {!save} is atomic (write-temp-then-rename), so a
+    kill mid-write leaves the previous file intact. *)
+
+type param_blob = {
+  pb_name : string;
+  pb_rows : int;
+  pb_cols : int;
+  pb_w : float array;  (** weights *)
+  pb_m : float array;  (** Adam first moments *)
+  pb_v : float array;  (** Adam second moments *)
+}
+
+type t = {
+  cfg : Genie_nn.Seq2seq.config;
+  src_tokens : string list;  (** source vocabulary in id order *)
+  tgt_tokens : string list;  (** target vocabulary in id order *)
+  snapshot : Genie_nn.Seq2seq.snapshot;
+  params : param_blob list;  (** in [Seq2seq.params] order *)
+  provenance : (string * string) list;
+}
+
+val of_model :
+  ?provenance:(string * string) list ->
+  snapshot:Genie_nn.Seq2seq.snapshot ->
+  Genie_nn.Seq2seq.t ->
+  t
+(** Captures the model's parameters and moments (copied, not aliased). *)
+
+val restore : t -> (Genie_nn.Seq2seq.t, string) result
+(** Rebuilds a model: vocabularies from the stored token lists, parameters,
+    moments and the root RNG cursor all restored bitwise. Fails (restoring
+    nothing observable) on any name/shape mismatch — never half-loads. The
+    restored model's {!Genie_nn.Seq2seq.weight_digest} equals the captured
+    model's. Pass [snapshot] to {!Genie_nn.Seq2seq.train}[ ~resume] to
+    continue the interrupted run. *)
+
+val weight_digest : t -> string
+(** The captured weights' 16-hex digest — same formula as
+    {!Genie_nn.Optimizer.digest}, so it compares directly against a live
+    model's {!Genie_nn.Seq2seq.weight_digest} without restoring. *)
+
+val digest : t -> string
+(** The 16-hex digest of the encoded body — what the file header carries;
+    covers moments, snapshot and provenance as well as weights. *)
+
+val version : int
+
+val encode : t -> string
+val decode : string -> (t, string) result
+
+val save : path:string -> t -> unit
+(** Atomic: writes [path ^ ".tmp"], then renames into place. *)
+
+val load : string -> (t, string) result
+(** Reads and {!decode}s a file; IO errors come back as [Error]. *)
+
+val save_model :
+  ?provenance:(string * string) list ->
+  snapshot:Genie_nn.Seq2seq.snapshot ->
+  path:string ->
+  Genie_nn.Seq2seq.t ->
+  unit
+(** {!of_model} + {!save}: the checkpoint callback for
+    {!Genie_nn.Seq2seq.train}. *)
+
+val load_model : string -> (Genie_nn.Seq2seq.t * t, string) result
+(** {!load} + {!restore}, returning the checkpoint alongside the model (for
+    its snapshot and provenance). *)

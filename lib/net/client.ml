@@ -106,6 +106,7 @@ let server_stats t =
   | None -> failwith "Client: connection closed while awaiting stats"
 
 let drain t = send t Codec.Drain
+let reload t = send t Codec.Reload
 
 let close t =
   if t.open_ then begin

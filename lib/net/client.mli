@@ -44,5 +44,9 @@ val server_stats : t -> string
 val drain : t -> unit
 (** Sends a [Drain] frame — the remote equivalent of SIGTERM. *)
 
+val reload : t -> unit
+(** Sends a [Reload] frame — the remote equivalent of SIGHUP: the daemon
+    hot-swaps in a fresh model from its reload source between batches. *)
+
 val close : t -> unit
 (** Sends [Bye] (best effort) and closes the socket. Idempotent. *)

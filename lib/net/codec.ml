@@ -40,6 +40,7 @@ type msg =
   | Stats of string
   | Drain
   | Bye
+  | Reload
 
 let kind_of = function
   | Hello _ -> 1
@@ -49,6 +50,7 @@ let kind_of = function
   | Stats _ -> 5
   | Drain -> 6
   | Bye -> 7
+  | Reload -> 8
 
 (* --- writers ---------------------------------------------------------------- *)
 
@@ -167,6 +169,7 @@ let payload_of = function
       Buffer.contents b
   | Drain -> ""
   | Bye -> ""
+  | Reload -> ""
 
 let encode m = Frame.encode { Frame.kind = kind_of m; payload = payload_of m }
 
@@ -207,6 +210,7 @@ let decode (f : Frame.t) =
     | 5 -> Stats (r_string c)
     | 6 -> Drain
     | 7 -> Bye
+    | 8 -> Reload
     | k -> raise (Bad (Printf.sprintf "unknown frame kind %d" k)))
   with
   | m ->

@@ -43,6 +43,7 @@ type msg =
   | Stats of string  (** daemon stats as a JSON document *)
   | Drain  (** ask the daemon to drain gracefully and exit *)
   | Bye  (** client is done; the daemon may close the connection *)
+  | Reload  (** ask the daemon to hot-swap in a fresh model (remote SIGHUP) *)
 
 val encode : msg -> string
 (** The message's complete wire bytes (frame header included). *)

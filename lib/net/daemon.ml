@@ -46,10 +46,16 @@ type t = {
   tracer_slot : int;
   probe : Probe.t;
   batcher : item Batcher.t;
+  (* the reload source: given the 1-based reload ordinal, produce the model
+     to swap in (None = nothing newer available). Runs on the event-loop
+     domain, between batches. *)
+  reload_source : (int -> Genie_parser_model.Aligner.t option) option;
+  on_swap : (old_digest:string -> new_digest:string -> unit) option;
   mutable listen_fd : Unix.file_descr option;
   bound_port : int;
   mutable conns : conn list;
   drain_flag : bool Atomic.t;
+  reload_flag : bool Atomic.t;
   mutable next_srv_id : int;
   mutable batch_ordinal : int;
   (* counters *)
@@ -61,11 +67,15 @@ type t = {
   mutable responses : int;
   mutable protocol_errors : int;
   mutable dropped_responses : int;
+  mutable reloads : int;  (* reload requests that committed a swap *)
+  mutable reload_noops : int;  (* reloads resolving to the active digest *)
+  mutable reload_failures : int;  (* no source, or the source had nothing *)
   mutable drained : bool;
   mutable finished : bool;
 }
 
-let create ?(tracer = Tracer.disabled) ?(tracer_slot = 0) ~server config =
+let create ?(tracer = Tracer.disabled) ?(tracer_slot = 0) ?reload ?on_swap
+    ~server config =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt fd Unix.SO_REUSEADDR true;
   let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
@@ -88,10 +98,13 @@ let create ?(tracer = Tracer.disabled) ?(tracer_slot = 0) ~server config =
     batcher =
       Batcher.create ~capacity:config.queue_capacity
         ~batch_max:config.batch_max ();
+    reload_source = reload;
+    on_swap;
     listen_fd = Some fd;
     bound_port;
     conns = [];
     drain_flag = Atomic.make false;
+    reload_flag = Atomic.make false;
     next_srv_id = 0;
     batch_ordinal = 0;
     connections = 0;
@@ -102,16 +115,45 @@ let create ?(tracer = Tracer.disabled) ?(tracer_slot = 0) ~server config =
     responses = 0;
     protocol_errors = 0;
     dropped_responses = 0;
+    reloads = 0;
+    reload_noops = 0;
+    reload_failures = 0;
     drained = false;
     finished = false }
 
 let port t = t.bound_port
 let request_drain t = Atomic.set t.drain_flag true
+let request_reload t = Atomic.set t.reload_flag true
 
 let install_signal_handlers t =
   let h = Sys.Signal_handle (fun _ -> request_drain t) in
   Sys.set_signal Sys.sigterm h;
-  Sys.set_signal Sys.sigint h
+  Sys.set_signal Sys.sigint h;
+  Sys.set_signal Sys.sighup (Sys.Signal_handle (fun _ -> request_reload t))
+
+(* Hot-swap, executed on the event-loop domain strictly between dispatches:
+   run_batch is synchronous, so no admitted request is mid-flight — every
+   in-flight request has already finished on the old weights, and every
+   request dispatched after this point sees only the new ones. Queued
+   requests are untouched (they were admitted, they will be answered; which
+   model answers them is decided by when their batch dispatches, exactly as
+   it would be with a request racing a swap over TCP). *)
+let do_reload t =
+  match t.reload_source with
+  | None -> t.reload_failures <- t.reload_failures + 1
+  | Some source -> (
+      let ordinal = t.reloads + t.reload_noops + 1 in
+      match source ordinal with
+      | None -> t.reload_failures <- t.reload_failures + 1
+      | Some model -> (
+          let old_digest = Server.model_digest t.server in
+          match Server.swap_model t.server model with
+          | `Unchanged _ -> t.reload_noops <- t.reload_noops + 1
+          | `Swapped d ->
+              t.reloads <- t.reloads + 1;
+              (match t.on_swap with
+              | Some f -> f ~old_digest ~new_digest:d
+              | None -> ())))
 
 (* --- connection plumbing ----------------------------------------------------- *)
 
@@ -249,6 +291,10 @@ type stats = {
   queue_wait_p50_ms : float;
   queue_wait_p95_ms : float;
   queue_wait_p99_ms : float;
+  reloads : int;
+  reload_noops : int;
+  reload_failures : int;
+  model_digest : string;
   drained : bool;
 }
 
@@ -273,6 +319,10 @@ let stats t =
     queue_wait_p50_ms = ms (Stat.percentile waits 50.0);
     queue_wait_p95_ms = ms (Stat.percentile waits 95.0);
     queue_wait_p99_ms = ms (Stat.percentile waits 99.0);
+    reloads = t.reloads;
+    reload_noops = t.reload_noops;
+    reload_failures = t.reload_failures;
+    model_digest = Server.model_digest t.server;
     drained = t.drained }
 
 let stats_json t =
@@ -300,6 +350,10 @@ let stats_json t =
       ("queue_wait_p50_ms", Json.Float s.queue_wait_p50_ms);
       ("queue_wait_p95_ms", Json.Float s.queue_wait_p95_ms);
       ("queue_wait_p99_ms", Json.Float s.queue_wait_p99_ms);
+      ("reloads", Json.Int s.reloads);
+      ("reload_noops", Json.Int s.reload_noops);
+      ("reload_failures", Json.Int s.reload_failures);
+      ("model_digest", Json.String s.model_digest);
       ("drained", Json.Bool s.drained);
       ( "server",
         Json.Obj
@@ -312,6 +366,8 @@ let stats_json t =
             ("shed", Json.Int ss.Server.shed);
             ("retries", Json.Int ss.Server.retries);
             ("degraded", Json.Int ss.Server.degraded);
+            ("model_digest", Json.String ss.Server.model_digest);
+            ("swaps", Json.Int ss.Server.swaps);
             ("cache_hits", Json.Int ss.Server.cache_hits);
             ("cache_misses", Json.Int ss.Server.cache_misses);
             ("batches", Json.Int ss.Server.batches);
@@ -333,6 +389,7 @@ let handle_msg (t : t) c msg =
   | Codec.Hello _ -> ()
   | Codec.Bye -> mark_eof t c
   | Codec.Drain -> request_drain t
+  | Codec.Reload -> request_reload t
   | Codec.Stats_request ->
       ignore (send t c (Codec.Stats (Json.to_string_compact (stats_json t))))
   | Codec.Request wr -> (
@@ -437,6 +494,13 @@ let run t =
          t.finished <- true
        end
        else begin
+         (* reloads commit between dispatches; a daemon that is draining
+            ignores them (the remaining requests finish on the weights they
+            were admitted under) *)
+         if Atomic.get t.reload_flag then begin
+           Atomic.set t.reload_flag false;
+           do_reload t
+         end;
          let now_ns = Tracer.now_ns () in
          if Batcher.due t.batcher ~now_ns ~window_ns then dispatch t ~now_ns;
          let timeout =

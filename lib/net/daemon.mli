@@ -25,6 +25,14 @@
     requests arriving after drain begins are refused, never dropped
     silently.
 
+    Hot-swap: {!request_reload} (also installed as the SIGHUP handler, and
+    triggered remotely by a [Reload] frame) makes the loop ask its reload
+    source for a fresh model and {!Genie_serve.Server.swap_model} it in,
+    strictly between micro-batch dispatches — no request is ever answered
+    by a half-loaded model, and every response comes from exactly the model
+    that was active when its batch dispatched (docs/checkpointing.md).
+    Reloads arriving while draining are ignored.
+
     Observability: the daemon bumps the [net.*] stages on the server's
     always-on {!Genie_observe.Probe} (so they appear in
     {!Genie_serve.Server.metrics_snapshot}[.stages]) and, when given a
@@ -51,6 +59,8 @@ type t
 val create :
   ?tracer:Genie_observe.Tracer.t ->
   ?tracer_slot:int ->
+  ?reload:(int -> Genie_parser_model.Aligner.t option) ->
+  ?on_swap:(old_digest:string -> new_digest:string -> unit) ->
   server:Genie_serve.Server.t ->
   config ->
   t
@@ -58,7 +68,13 @@ val create :
     returns, so a test can read the ephemeral port before spawning {!run}
     on another domain. [tracer_slot] (default 0) is the ring slot the
     daemon's spans are recorded into; pass the coordinator slot of the
-    server's tracer. *)
+    server's tracer.
+
+    [reload] is the hot-swap model source, called on the event-loop domain
+    with the 1-based reload ordinal; returning [None] (or omitting
+    [reload]) counts the request as a failure and keeps the active model.
+    [on_swap] is notified after each committed swap — the CLI uses it to
+    log the digest transition. *)
 
 val port : t -> int
 (** The bound port (resolves port 0 to the kernel's choice). *)
@@ -67,8 +83,15 @@ val request_drain : t -> unit
 (** Ask the loop to drain and exit. Async-signal-safe and domain-safe (one
     atomic store); the loop notices on its next wakeup. Idempotent. *)
 
+val request_reload : t -> unit
+(** Ask the loop to hot-swap in a fresh model from its reload source at the
+    next between-batches point. Async-signal-safe and domain-safe (one
+    atomic store). Coalescing: requests arriving before the loop services
+    the flag perform one reload. *)
+
 val install_signal_handlers : t -> unit
-(** Routes SIGTERM and SIGINT to {!request_drain}. *)
+(** Routes SIGTERM and SIGINT to {!request_drain}, SIGHUP to
+    {!request_reload}. *)
 
 val run : t -> unit
 (** The blocking event loop. Returns after a drain completes: every
@@ -95,6 +118,11 @@ type stats = {
   queue_wait_p50_ms : float;
   queue_wait_p95_ms : float;
   queue_wait_p99_ms : float;
+  reloads : int;  (** reload requests that committed a model swap *)
+  reload_noops : int;  (** reloads whose model matched the active digest *)
+  reload_failures : int;
+      (** reloads with no source, or whose source returned [None] *)
+  model_digest : string;  (** the active model's {!Genie_parser_model.Aligner.digest} *)
   drained : bool;  (** true once {!run} has completed a graceful drain *)
 }
 

@@ -366,6 +366,21 @@ let decode ?(max_len = 60) t (src_tokens : string list) : string list =
 
 type train_report = { epoch : int; mean_loss : float }
 
+(* A resume point between two optimizer steps. [snap_rng] is the root-stream
+   cursor at [snap_epoch]'s start (before that epoch's shuffle), so a
+   resumed run re-derives the identical shuffle, bucketing and dropout keys;
+   [snap_pos] is the position reached within the epoch's bucketed order and
+   [snap_step] the Adam step count (bias correction depends on it). Together
+   with the parameters and Adam moments this is everything the training
+   loop's future depends on: a run resumed from a snapshot is bitwise
+   identical to one that never stopped, at any worker count. *)
+type snapshot = {
+  snap_epoch : int;  (* 1-based; epochs + 1 marks a finished run *)
+  snap_pos : int;
+  snap_rng : int64;
+  snap_step : int;
+}
+
 let weight_digest t = Optimizer.digest (params t)
 
 (* One micro-shard's work: forward + backward on a private tape, gradients
@@ -391,11 +406,23 @@ let shard_grads t ~arena ~epoch ~ps (exs, example_ids) =
   (losses, grads)
 
 let train ?(epochs = 5) ?(lr = 5e-3) ?(batch = 1) ?(micro = 1) ?(workers = 0)
-    ?(progress = fun (_ : train_report) -> ()) t
-    (data : (string list * string list) list) =
+    ?(progress = fun (_ : train_report) -> ()) ?resume ?(checkpoint_every = 0)
+    ?checkpoint ?stop_after t (data : (string list * string list) list) =
   if batch < 1 then invalid_arg "Seq2seq.train: batch must be >= 1";
   if micro < 1 then invalid_arg "Seq2seq.train: micro must be >= 1";
   let opt = Optimizer.adam ~lr () in
+  (* Resuming restores the two pieces of loop state the parameters and
+     moments don't carry: the root stream's cursor (epoch shuffles) and the
+     Adam step count (bias correction). The snapshot's epoch/pos say where
+     to pick the schedule back up. *)
+  let start_epoch, start_pos =
+    match resume with
+    | None -> (1, 0)
+    | Some s ->
+        Genie_util.Rng.set_cursor t.rng s.snap_rng;
+        opt.Optimizer.step <- s.snap_step;
+        (s.snap_epoch, s.snap_pos)
+  in
   let ps = params t in
   (* The weight digest is invariant under worker count (fixed shard order and
      reduction tree), so the number of spawned domains is purely a
@@ -407,7 +434,14 @@ let train ?(epochs = 5) ?(lr = 5e-3) ?(batch = 1) ?(micro = 1) ?(workers = 0)
   in
   let n_arenas = max 1 workers in
   let arenas = Array.init n_arenas (fun _ -> Tensor.Scratch.create ()) in
-  for epoch = 1 to epochs do
+  let stopped = ref false in
+  let cur_epoch = ref start_epoch in
+  while (not !stopped) && !cur_epoch <= epochs do
+    let epoch = !cur_epoch in
+    (* the cursor before this epoch's shuffle: a mid-epoch snapshot replays
+       the shuffle from here, an end-of-epoch snapshot records the cursor
+       after it *)
+    let epoch_cursor = Genie_util.Rng.cursor t.rng in
     let total = ref 0.0 in
     let shuffled = Array.of_list (Genie_util.Rng.shuffle t.rng data) in
     let n = Array.length shuffled in
@@ -429,8 +463,11 @@ let train ?(epochs = 5) ?(lr = 5e-3) ?(batch = 1) ?(micro = 1) ?(workers = 0)
           if c <> 0 then c else compare (snd a) (snd b))
         order
     end;
-    let pos = ref 0 in
-    while !pos < n do
+    (* on the resumed epoch, skip the steps the interrupted run completed;
+       their only trace in loop state -- the bucketed order and the dropout
+       keys -- was just re-derived above *)
+    let pos = ref (if epoch = start_epoch then min start_pos n else 0) in
+    while (not !stopped) && !pos < n do
       let bsz = min batch (n - !pos) in
       let step_start = !pos in
       (* fixed micro-shards of at most [micro] examples each; shard order and
@@ -482,7 +519,43 @@ let train ?(epochs = 5) ?(lr = 5e-3) ?(batch = 1) ?(micro = 1) ?(workers = 0)
       List.iter
         (fun (losses, _) -> Array.iter (fun l -> total := !total +. l) losses)
         results;
-      pos := !pos + bsz
+      pos := !pos + bsz;
+      (* Checkpoints fire between optimizer steps, where the snapshot above
+         captures the loop completely. An exhausted epoch snapshots the
+         *next* epoch's start (cursor already past this epoch's shuffle). *)
+      let snap () =
+        if !pos < n then
+          { snap_epoch = epoch; snap_pos = !pos; snap_rng = epoch_cursor;
+            snap_step = opt.Optimizer.step }
+        else
+          { snap_epoch = epoch + 1; snap_pos = 0;
+            snap_rng = Genie_util.Rng.cursor t.rng;
+            snap_step = opt.Optimizer.step }
+      in
+      let stopping =
+        match stop_after with
+        | Some k -> opt.Optimizer.step >= k
+        | None -> false
+      in
+      let due =
+        checkpoint_every > 0 && opt.Optimizer.step mod checkpoint_every = 0
+      in
+      (match checkpoint with
+      | Some f when due || stopping -> f (snap ())
+      | _ -> ());
+      if stopping then stopped := true
     done;
-    progress { epoch; mean_loss = !total /. float_of_int (max 1 n) }
-  done
+    if !pos >= n then
+      progress { epoch; mean_loss = !total /. float_of_int (max 1 n) };
+    cur_epoch := epoch + 1
+  done;
+  (* a completed run always leaves a terminal checkpoint (snap_epoch past
+     [epochs]): the artifact callers persist as the final model *)
+  if not !stopped then
+    match checkpoint with
+    | Some f ->
+        f
+          { snap_epoch = epochs + 1; snap_pos = 0;
+            snap_rng = Genie_util.Rng.cursor t.rng;
+            snap_step = opt.Optimizer.step }
+    | None -> ()

@@ -80,6 +80,20 @@ val decode : ?max_len:int -> t -> string list -> string list
 
 type train_report = { epoch : int; mean_loss : float }
 
+type snapshot = {
+  snap_epoch : int;  (** 1-based; [epochs + 1] marks a finished run *)
+  snap_pos : int;  (** position reached within the epoch's bucketed order *)
+  snap_rng : int64;  (** root-stream cursor at the epoch's start *)
+  snap_step : int;  (** Adam step count (bias correction depends on it) *)
+}
+(** A resume point between two optimizer steps. Together with the
+    parameters and Adam moments (which live in the model) this is the
+    training loop's complete state: {!train}[ ~resume] from a snapshot of a
+    killed run produces weights bitwise identical to the run that never
+    stopped, at any worker count — the epoch shuffle is re-derived from the
+    stored cursor and dropout streams are keyed by
+    [(seed, epoch, example_id)], never by wall clock, worker or shard. *)
+
 val train :
   ?epochs:int ->
   ?lr:float ->
@@ -87,6 +101,10 @@ val train :
   ?micro:int ->
   ?workers:int ->
   ?progress:(train_report -> unit) ->
+  ?resume:snapshot ->
+  ?checkpoint_every:int ->
+  ?checkpoint:(snapshot -> unit) ->
+  ?stop_after:int ->
   t ->
   (string list * string list) list ->
   unit
@@ -101,4 +119,18 @@ val train :
     are keyed by pre-sort shuffled position, so bucketing never changes an
     example's mask. Weights are bitwise identical at any [workers], and
     [~batch:1 ~micro:1] with dropout 0 (where bucketing is off and there is
-    no padding) replays the historical per-example loop bit for bit. *)
+    no padding) replays the historical per-example loop bit for bit.
+
+    Checkpoint/resume: [checkpoint] fires between optimizer steps — every
+    [checkpoint_every] steps (0, the default, disables the periodic firing),
+    once more when [stop_after] halts the run, and once at normal completion
+    with a terminal snapshot ([snap_epoch = epochs + 1]). [stop_after]
+    stops after the given {e global} Adam step count (counting a resumed
+    prefix), simulating a kill at a step boundary. [resume] restores the
+    root-stream cursor and Adam step from a snapshot and skips to its
+    epoch/position; the caller is responsible for restoring parameters and
+    moments first (see [Genie_checkpoint]) and for passing the same
+    [epochs]/[lr]/[batch]/[micro] and data. [progress] reports only epochs
+    completed in this run, and a resumed epoch's [mean_loss] covers only its
+    post-resume examples — the weights, not the reports, carry the
+    determinism contract. *)

@@ -27,6 +27,11 @@ let of_tokens (tokens : string list) : t =
 
 let size v = Array.length v.by_id
 
+(* Every token in id order (specials first). [of_tokens (tokens v)] rebuilds
+   a vocabulary with identical token <-> id assignments, which is what the
+   checkpoint codec round-trips. *)
+let tokens v = Array.to_list v.by_id
+
 let id v tok =
   match Hashtbl.find_opt v.by_token tok with
   | Some i -> i

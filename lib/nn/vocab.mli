@@ -14,6 +14,11 @@ val of_tokens : string list -> t
 
 val size : t -> int
 
+val tokens : t -> string list
+(** Every token in id order (specials first). [of_tokens (tokens v)]
+    reconstructs a vocabulary with identical token <-> id assignments — the
+    checkpoint serialization round-trip. *)
+
 val id : t -> string -> int
 (** The token's id, or the id of {!unk} when unseen. *)
 

@@ -25,11 +25,15 @@ type stage =
   | Compile_hit
   | Compile_miss
   | Compile
+  | Swap
+  | Swap_noop
+  | Swap_cache_clear
 
 let all =
   [ Tokenize; Cache_hit; Cache_miss; Parse; Exec; Retry; Backoff; Crash;
     Drop; Degraded; Shed; Net_accept; Net_frame_in; Net_frame_out; Net_queue;
-    Net_batch; Net_shed; Compile_hit; Compile_miss; Compile ]
+    Net_batch; Net_shed; Compile_hit; Compile_miss; Compile; Swap;
+    Swap_noop; Swap_cache_clear ]
 
 let index = function
   | Tokenize -> 0
@@ -52,6 +56,9 @@ let index = function
   | Compile_hit -> 17
   | Compile_miss -> 18
   | Compile -> 19
+  | Swap -> 20
+  | Swap_noop -> 21
+  | Swap_cache_clear -> 22
 
 let stage_name = function
   | Tokenize -> "tokenize"
@@ -74,6 +81,9 @@ let stage_name = function
   | Compile_hit -> "compile.cache_hit"
   | Compile_miss -> "compile.cache_miss"
   | Compile -> "compile.build"
+  | Swap -> "swap.commit"
+  | Swap_noop -> "swap.noop"
+  | Swap_cache_clear -> "swap.cache_invalidate"
 
 type t = A.t array
 

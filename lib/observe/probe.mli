@@ -25,6 +25,9 @@ type stage =
   | Compile_hit  (** executions answered by the compiled-program cache *)
   | Compile_miss  (** executions that had to compile first *)
   | Compile  (** ThingTalk programs lowered to bytecode *)
+  | Swap  (** model hot-swaps committed by the serving layer *)
+  | Swap_noop  (** reloads that resolved to the already-active digest *)
+  | Swap_cache_clear  (** parse-cache invalidations forced by a swap *)
 
 type t
 

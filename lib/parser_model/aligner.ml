@@ -1075,3 +1075,66 @@ let predict_batch t (batch : string list list) : prediction list =
 
 (* accessor used by the beam field *)
 let cfg t = t.cfg
+
+(* --- model identity ----------------------------------------------------------- *)
+
+(* 16-hex digest over the statistical tables a prediction can depend on:
+   inventory priors, clause fragments, alignment and copy counters, and the
+   decoding-relevant config. Every table is folded in sorted key order, so
+   the digest is independent of hash-table iteration order (OCAMLRUNPARAM=R
+   safe) and of how the model was built, shared or copied. Scratch caches
+   ([memo], [explainer]) and derived indexes ([by_function]) are excluded:
+   they never change what predict returns. Equal digests mean the models
+   answer every sentence identically -- the serve layer's hot-swap uses this
+   as the parse-cache invalidation key and the active-model identity in
+   stats. *)
+let digest (t : t) =
+  let h = ref (Genie_util.Hash64.string 0L "genie.aligner") in
+  let add_s s = h := Genie_util.Hash64.string !h s in
+  let add_f f = h := Genie_util.Hash64.combine !h (Int64.bits_of_float f) in
+  let add_i i = h := Genie_util.Hash64.int !h i in
+  let sorted_keys tbl =
+    List.sort_uniq compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+  in
+  add_i t.trained_examples;
+  add_i t.cfg.seed;
+  add_i t.cfg.beam;
+  add_i t.cfg.max_candidates;
+  add_i t.cfg.gazette_size;
+  add_s "inventory";
+  List.iter
+    (fun k ->
+      let e = Hashtbl.find t.inventory k in
+      add_s k;
+      add_f e.count;
+      add_f e.lm_count)
+    (sorted_keys t.inventory);
+  let clause_table tag tbl =
+    add_s tag;
+    List.iter
+      (fun k ->
+        let e = Hashtbl.find tbl k in
+        add_s k;
+        List.iter add_s e.atoms;
+        add_f e.c_count;
+        add_f e.c_lm)
+      (sorted_keys tbl)
+  in
+  clause_table "streams" t.streams;
+  clause_table "queries" t.queries;
+  clause_table "actions" t.actions;
+  let counter tag c =
+    add_s tag;
+    List.iter
+      (fun (k, v) ->
+        add_s k;
+        add_f v)
+      (List.sort compare (Genie_util.Counter.to_list c))
+  in
+  counter "ngram" t.ngram_counts;
+  counter "atom" t.atom_counts;
+  counter "pair" t.pair_counts;
+  counter "slot_word" t.slot_word_counts;
+  counter "slot_param" t.slot_param_counts;
+  counter "slot_value" t.slot_value_counts;
+  Genie_util.Hash64.to_hex !h

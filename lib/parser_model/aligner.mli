@@ -158,3 +158,11 @@ val span_score :
 val candidate_spans : string list -> (int * string list) list
 val shuffle_program : Genie_util.Rng.t -> Ast.program -> Ast.program
 val cfg : t -> config
+
+val digest : t -> string
+(** 16-hex digest over every statistical table a prediction can depend on
+    (inventory, clause fragments, alignment and copy counters, decoding
+    config), folded in sorted key order — stable under randomized hash
+    seeds and across shallow copies. Equal digests mean the models answer
+    every sentence identically; the serve layer uses this as the active
+    model's identity for cache invalidation and stats. *)

@@ -31,7 +31,7 @@ type cached = { pred : Aligner.prediction; text : string option }
 
 type t = {
   lib : Schema.Library.t;
-  model : Aligner.t;  (* private handle: own [explainer] scratch table *)
+  mutable model : Aligner.t;  (* private handle: own [explainer] scratch table *)
   cache : cached Parse_cache.t;
   env : Genie_runtime.Exec.env;
   metrics : Metrics.t;
@@ -326,6 +326,18 @@ let process_batch ?(attempt = 0) t (reqs : Request.t list) : Response.t list =
     List.iter2 (fun (key, _) p -> Hashtbl.replace table key p) missing preds;
     List.map (process ~attempt ~preparsed:(Hashtbl.find_opt table) t) reqs
   end
+
+(* Hot-swap: replace the model (with the usual private [explainer] copy)
+   and clear the parse cache, whose entries were computed by the old
+   weights. The caller — Server.swap_model, between run_batch calls — must
+   guarantee no request is in flight on this engine; the pool's submit
+   channel then publishes the write to the worker domain before its next
+   job. The compiled-program cache survives: bytecode is a pure function of
+   the canonical program text, not of the model that produced it. *)
+let swap_model t model =
+  t.model <-
+    { model with Aligner.explainer = Hashtbl.copy model.Aligner.explainer };
+  Parse_cache.clear t.cache
 
 let cache_stats t = Parse_cache.stats t.cache
 let compile_cache_stats t = Genie_runtime.Compile_cache.stats t.ccache

@@ -60,6 +60,14 @@ val process_batch : ?attempt:int -> t -> Request.t list -> Response.t list
     batches with an active fault schedule, an enabled tracer, or any
     per-request deadline fall back to exactly that sequential path. *)
 
+val swap_model : t -> Genie_parser_model.Aligner.t -> unit
+(** Atomically (from this engine's point of view: it must not be processing
+    a request, which {!Server.swap_model} guarantees by running between
+    batches) replaces the model — taking the usual private [explainer]
+    copy — and clears the parse cache, whose entries belong to the old
+    weights. The compiled-program cache is kept: bytecode depends only on
+    the canonical program text. *)
+
 val cache_stats : t -> Parse_cache.stats
 
 val compile_cache_stats : t -> Genie_runtime.Compile_cache.stats

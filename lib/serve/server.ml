@@ -50,6 +50,8 @@ type t = {
   retry_backoff_ns : float;
   degraded_cache : cached_parse Parse_cache.t;  (* coordinator-only *)
   tracer : Tracer.t;  (* coordinator records into slot [Array.length engines] *)
+  mutable model_digest : string;  (* Aligner.digest of the active model *)
+  mutable swaps : int;  (* hot-swaps committed *)
   mutable last_batch : int * float;  (* requests, wall seconds *)
   mutable total_requests : int;  (* across every run_batch call *)
   mutable total_seconds : float;
@@ -86,6 +88,8 @@ type stats = {
   compile_misses : int;
   compile_evictions : int;
   compile_entries : int;
+  model_digest : string;
+  swaps : int;
 }
 
 (* A dropped message is a root-level event like a crash: same span shape in
@@ -143,6 +147,8 @@ let create ~lib ~model ?(cache_capacity = 4096) ?(workers = 0)
     retry_backoff_ns = retry_backoff_ms *. 1e6;
     degraded_cache = Parse_cache.create ~capacity:cache_capacity;
     tracer;
+    model_digest = Genie_parser_model.Aligner.digest model;
+    swaps = 0;
     last_batch = (0, 0.0);
     total_requests = 0;
     total_seconds = 0.0;
@@ -545,7 +551,51 @@ let stats (t : t) =
     compile_hits = chits;
     compile_misses = cmisses;
     compile_evictions = cevictions;
-    compile_entries = centries }
+    compile_entries = centries;
+    model_digest = t.model_digest;
+    swaps = t.swaps }
+
+(* --- live model hot-swap ------------------------------------------------------ *)
+
+(* Swap in a new model between run_batch calls. run_batch is synchronous and
+   the engines are only driven from inside it, so at any call site of
+   swap_model there are zero requests in flight: in-flight requests have, by
+   construction, finished on the old weights. The swap touches every layer
+   that memoizes model output — each engine's model handle and parse cache,
+   and the coordinator's degraded cache (its entries are old-model parses
+   that the degraded path would otherwise keep serving, mixing models) — and
+   nothing that doesn't (compiled-program caches are model-independent).
+   Caches invalidate by model digest: a reload that resolves to the
+   already-active digest keeps every cache warm and only bumps the
+   [swap.noop] probe. *)
+let swap_model t model =
+  let d = Genie_parser_model.Aligner.digest model in
+  let probe = Metrics.probe t.metrics in
+  if d = t.model_digest then begin
+    Probe.incr probe Probe.Swap_noop;
+    `Unchanged d
+  end
+  else begin
+    let old = t.model_digest in
+    let t0 = Tracer.now_ns () in
+    Array.iter (fun e -> Engine.swap_model e model) t.engines;
+    Parse_cache.clear t.degraded_cache;
+    Probe.incr probe Probe.Swap_cache_clear;
+    t.model_digest <- d;
+    t.swaps <- t.swaps + 1;
+    Probe.incr probe Probe.Swap;
+    if Tracer.enabled t.tracer then
+      Tracer.record t.tracer ~slot:(Array.length t.engines)
+        (Span.v ~seed:(Tracer.seed t.tracer) ~request:t.swaps ~attempt:0
+           ~seq:10
+           ~attrs:[ ("old", old); ("new", d) ]
+           ~start_ns:t0
+           ~dur_ns:(Tracer.now_ns () -. t0)
+           "swap.model");
+    `Swapped d
+  end
+
+let model_digest (t : t) = t.model_digest
 
 let metrics_snapshot (t : t) = Metrics.snapshot t.metrics
 let probe (t : t) = Metrics.probe t.metrics

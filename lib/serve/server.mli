@@ -56,6 +56,8 @@ type stats = {
   compile_misses : int;
   compile_evictions : int;
   compile_entries : int;
+  model_digest : string;  (** {!Genie_parser_model.Aligner.digest} of the active model *)
+  swaps : int;  (** hot-swaps committed over the server's lifetime *)
 }
 
 val create :
@@ -133,6 +135,26 @@ val run_batch : ?batched:bool -> t -> Request.t list -> Response.t list
     ignored when the server carries a fault schedule (fault semantics are
     specified per sequential attempt), and traced or deadline-carrying
     batches fall back engine-side. *)
+
+val swap_model :
+  t ->
+  Genie_parser_model.Aligner.t ->
+  [ `Swapped of string | `Unchanged of string ]
+(** Atomically swaps in a new model, returning the active model digest.
+    Must be called between {!run_batch} calls (the network daemon does so
+    from its event loop) — [run_batch] is synchronous, so at any such point
+    no request is in flight and in-flight requests have by construction
+    finished on the old weights. A genuinely new digest replaces every
+    engine's model handle, clears every parse cache {e and} the
+    coordinator's degraded cache (all memoize old-model output), bumps the
+    [swap.commit] / [swap.cache_invalidate] probes and records a
+    [swap.model] span; compiled-program caches survive (bytecode depends
+    only on program text). A reload resolving to the already-active digest
+    is [`Unchanged]: every cache stays warm and only [swap.noop] is
+    bumped. *)
+
+val model_digest : t -> string
+(** The active model's digest, as reported in {!stats}. *)
 
 val stats : t -> stats
 

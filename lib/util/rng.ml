@@ -8,6 +8,11 @@ type t = { mutable state : int64 }
 
 let create seed = { state = Int64.of_int seed }
 
+(* The raw stream position: persisting it and restoring with [set_cursor]
+   resumes the stream exactly where it left off (checkpoint/resume). *)
+let cursor t = t.state
+let set_cursor t c = t.state <- c
+
 let golden = 0x9E3779B97F4A7C15L
 
 let next_int64 t =

@@ -12,6 +12,15 @@ val create : int -> t
 (** [create seed] makes a generator with the given seed. Equal seeds yield
     equal streams. *)
 
+val cursor : t -> int64
+(** The generator's raw stream position. A generator restored with
+    {!set_cursor} from a saved cursor continues the original stream draw
+    for draw — the checkpoint/resume contract for the training loop's root
+    stream. *)
+
+val set_cursor : t -> int64 -> unit
+(** Overwrites the stream position with a saved {!cursor}. *)
+
 val split : t -> t
 (** [split t] returns a fresh generator whose stream is independent of the
     parent's subsequent draws. *)

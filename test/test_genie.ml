@@ -26,4 +26,5 @@ let () =
       ("serve", Suite_serve.suite);
       ("metrics-edge", Suite_metrics_edge.suite);
       ("observe", Suite_observe.suite);
-      ("net", Suite_net.suite) ]
+      ("net", Suite_net.suite);
+      ("checkpoint", Suite_checkpoint.suite) ]
