@@ -19,6 +19,8 @@ let seeds = ref 3
 let only = ref ""
 let quick = ref false
 let skip_timing = ref false
+let spill_phase = ref ""
+let spill_out = ref ""
 
 let () =
   let args =
@@ -26,7 +28,11 @@ let () =
       ("--seeds", Arg.Set_int seeds, "number of training runs per config (default 3)");
       ("--only", Arg.Set_string only, "run only experiments whose id contains this string");
       ("--quick", Arg.Set quick, "quick mode: scale 0.4, one seed");
-      ("--skip-timing", Arg.Set skip_timing, "skip the Bechamel timing benchmarks") ]
+      ("--skip-timing", Arg.Set skip_timing, "skip the Bechamel timing benchmarks");
+      ("--spill-phase", Arg.Set_string spill_phase,
+       "(internal) run one streaming spill phase (MODE:SCALE) and exit");
+      ("--spill-out", Arg.Set_string spill_out,
+       "(internal) result file for --spill-phase") ]
   in
   Arg.parse args (fun _ -> ()) "Genie benchmark harness"
 
@@ -968,6 +974,115 @@ let observe_bench () =
 
 (* --- sharded synthesis pipeline -------------------------------------------------------------- *)
 
+(* Constants and setup shared by [synth_bench] and the [--spill-phase] child
+   processes: a child must rebuild the exact same seed corpus
+   deterministically, so everything that shapes it lives here. *)
+let synth_bench_seed = 51
+let synth_bench_depth = 3
+let synth_bench_target () = if !quick then 60 else 200
+let spill_threshold = 4096
+let spill_dir_path () =
+  Filename.concat (Filename.get_temp_dir_name ()) "genie-bench-spill"
+
+let synth_bench_setup () =
+  let lib, prims, rules = core_setup () in
+  let g =
+    Genie_templates.Grammar.create lib ~prims ~rules
+      ~rng:(Genie_util.Rng.create synth_bench_seed) ()
+  in
+  let cfg =
+    { Genie_synthesis.Engine.default_config with
+      seed = synth_bench_seed;
+      target_per_rule = synth_bench_target ();
+      max_depth = synth_bench_depth }
+  in
+  (lib, g, cfg)
+
+let examples_of_derivations ds =
+  List.filter_map
+    (fun (d : Genie_templates.Derivation.t) ->
+      match d.Genie_templates.Derivation.value with
+      | Genie_templates.Derivation.V_frag (Ast.F_program p) ->
+          Some (d.Genie_templates.Derivation.tokens, p)
+      | _ -> None)
+    ds
+  |> List.mapi (fun i (tokens, program) ->
+         Genie_dataset.Example.make ~id:i ~tokens ~program
+           ~source:Genie_dataset.Example.Synthesized ())
+
+(* Child-process entry for [--spill-phase MODE:SCALE]: runs exactly one
+   streaming phase in a fresh process, so VmHWM is that phase's true
+   lifetime peak, uncontaminated by the other experiments' heap. Writes
+   "key value" lines to [--spill-out]. *)
+let spill_phase_child spec out_path =
+  let mode, sc =
+    match String.index_opt spec ':' with
+    | Some i ->
+        ( String.sub spec 0 i,
+          float_of_string
+            (String.sub spec (i + 1) (String.length spec - i - 1)) )
+    | None -> failwith ("bad --spill-phase " ^ spec)
+  in
+  let lib, g, cfg = synth_bench_setup () in
+  let ds, _ =
+    Genie_synthesis.Engine.synthesize_derivations_stats ~workers:0 ~cache:true
+      g cfg
+  in
+  let examples = examples_of_derivations ds in
+  let gz = Genie_augment.Gazettes.create ~size:500 ~profile:`Extended () in
+  (* a tight GC keeps the heap close to the live set, which is flat during
+     the phase — heap slack from allocation churn would otherwise dominate
+     the watermark *)
+  Gc.set { (Gc.get ()) with Gc.space_overhead = 40 };
+  let result =
+    match mode with
+    | "spill" -> (
+        (* coarse shards (128 seeds) keep the merge fan-in small: the
+           merge's memory is (runs x <=64K channel buffer), so the fan-in —
+           not the corpus — must be what bounds it *)
+        match
+          Genie_synthesis.Stream.corpus_to_spill ~workers:0 ~expand_scale:sc
+            ~chunk:256
+            ~spill:
+              { Genie_synthesis.Stream.dir = spill_dir_path ();
+                threshold = spill_threshold }
+            lib gz ~seed:(synth_bench_seed + 80) examples
+        with
+        | Error e -> Error e
+        | Ok st ->
+            Ok
+              [ ("records", string_of_int st.Genie_synthesis.Stream.st_records);
+                ("runs", string_of_int st.Genie_synthesis.Stream.st_runs);
+                ("run_bytes",
+                 string_of_int st.Genie_synthesis.Stream.st_run_bytes);
+                ("digest", st.Genie_synthesis.Stream.st_digest) ])
+    | "memory" ->
+        let records =
+          Genie_synthesis.Stream.corpus_records ~workers:0 ~expand_scale:sc
+            lib gz ~seed:(synth_bench_seed + 80) examples
+        in
+        let n, digest = Genie_synthesis.Stream.corpus_digest records in
+        (* keep the materialized corpus live so the peak includes it *)
+        ignore (Sys.opaque_identity (List.length records));
+        Ok
+          [ ("records", string_of_int n); ("runs", "0"); ("run_bytes", "0");
+            ("digest", digest) ]
+    | m -> Error ("unknown --spill-phase mode " ^ m)
+  in
+  match result with
+  | Error e ->
+      prerr_endline ("spill phase failed: " ^ e);
+      exit 1
+  | Ok fields ->
+      let fields =
+        match Genie_util.Resource.peak_rss_kb () with
+        | Some kb -> fields @ [ ("peak_rss_kb", string_of_int kb) ]
+        | None -> fields
+      in
+      let oc = open_out out_path in
+      List.iter (fun (k, v) -> Printf.fprintf oc "%s %s\n" k v) fields;
+      close_out oc
+
 (* Speedup, memo-cache hit rate and merge overhead of the domain-parallel
    synthesis pipeline against its own sequential fallback (the same shard
    algorithm on the calling domain, so the corpora are byte-identical and
@@ -976,20 +1091,10 @@ let observe_bench () =
 let synth_bench () =
   header "bench_synth"
     "Sharded synthesis: speedup, cache hit rate and merge overhead by worker count";
-  let lib, prims, rules = core_setup () in
-  let seed = 51 in
-  let target = if !quick then 60 else 200 in
-  let depth = 3 in
-  let g =
-    Genie_templates.Grammar.create lib ~prims ~rules
-      ~rng:(Genie_util.Rng.create seed) ()
-  in
-  let cfg =
-    { Genie_synthesis.Engine.default_config with
-      seed;
-      target_per_rule = target;
-      max_depth = depth }
-  in
+  let lib, g, cfg = synth_bench_setup () in
+  let seed = synth_bench_seed in
+  let target = synth_bench_target () in
+  let depth = synth_bench_depth in
   let cores = Domain.recommended_domain_count () in
   Printf.printf
     "depth-%d corpus, target %d per rule, seed %d, %d core(s) available\n\n"
@@ -1043,18 +1148,7 @@ let synth_bench () =
     (if cache_transparent then "identical" else "MISMATCH");
   (* sharded augmentation over the same Pool fan-out *)
   let gz = Genie_augment.Gazettes.create ~size:500 () in
-  let examples =
-    List.filter_map
-      (fun (d : Genie_templates.Derivation.t) ->
-        match d.Genie_templates.Derivation.value with
-        | Genie_templates.Derivation.V_frag (Ast.F_program p) ->
-            Some (d.Genie_templates.Derivation.tokens, p)
-        | _ -> None)
-      seq_ds
-    |> List.mapi (fun i (tokens, program) ->
-           Genie_dataset.Example.make ~id:i ~tokens ~program
-             ~source:Genie_dataset.Example.Synthesized ())
-  in
+  let examples = examples_of_derivations seq_ds in
   let time f =
     let t0 = Genie_observe.Tracer.now_ns () in
     let r = f () in
@@ -1072,6 +1166,107 @@ let synth_bench () =
     "augment (sharded): %d -> %d examples, seq %.2fs, 4 workers %.2fs (%s)\n"
     (List.length examples) (List.length aug_seq) aug_seq_s aug_par_s
     (if aug_deterministic then "identical" else "MISMATCH");
+  (* streaming spill pipeline: the corpus grows >= 10x via expand_scale
+     while peak RSS stays flat, because expansion shards spill sorted runs
+     to disk and the coordinator k-way-merges them
+     (Stream.corpus_to_spill). Each phase runs in a fresh child process
+     (this same binary with --spill-phase), so its VmHWM from
+     /proc/self/status is that phase's true lifetime peak, not heap slack
+     inherited from the other experiments (Linux only; fields are null
+     elsewhere). The in-memory child at the large scale holds the whole
+     corpus live — it both checks digest byte-identity and provides the
+     RSS contrast. *)
+  let scale_small = 0.25 and scale_large = 16.0 in
+  let run_child mode sc =
+    let out = Filename.temp_file "genie-spill-phase" ".txt" in
+    let cmd =
+      Printf.sprintf "%s --spill-phase %s:%g --spill-out %s%s"
+        (Filename.quote Sys.executable_name)
+        mode sc (Filename.quote out)
+        (if !quick then " --quick" else "")
+    in
+    let (), secs =
+      time (fun () ->
+          if Sys.command cmd <> 0 then
+            failwith ("spill phase child failed: " ^ cmd))
+    in
+    let ic = open_in out in
+    let fields = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         match String.index_opt line ' ' with
+         | Some i ->
+             fields :=
+               ( String.sub line 0 i,
+                 String.sub line (i + 1) (String.length line - i - 1) )
+               :: !fields
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    Sys.remove out;
+    (!fields, secs)
+  in
+  let geti fs k = int_of_string (List.assoc k fs) in
+  let rss_of fs = Option.map int_of_string (List.assoc_opt "peak_rss_kb" fs) in
+  let small, spill_small_s = run_child "spill" scale_small in
+  let large, spill_large_s = run_child "spill" scale_large in
+  let mem, mem_large_s = run_child "memory" scale_large in
+  let records_small = geti small "records" in
+  let records_large = geti large "records" in
+  let runs_large = geti large "runs" in
+  let digest_large = List.assoc "digest" large in
+  let rss_small = rss_of small
+  and rss_large = rss_of large
+  and rss_mem = rss_of mem in
+  let digest_identical_memory =
+    List.assoc "digest" mem = digest_large
+    && geti mem "records" = records_large
+  in
+  (* in-process 4-worker spill: digest identity across the domain fan-out *)
+  let gz_ext = Genie_augment.Gazettes.create ~size:500 ~profile:`Extended () in
+  let st_4w =
+    match
+      Genie_synthesis.Stream.corpus_to_spill ~workers:4
+        ~expand_scale:scale_large
+        ~spill:
+          { Genie_synthesis.Stream.dir = spill_dir_path ();
+            threshold = spill_threshold }
+        lib gz_ext ~seed:(seed + 80) examples
+    with
+    | Error e -> failwith ("bench_synth spill phase: " ^ e)
+    | Ok st -> st
+  in
+  let digest_identical_4w =
+    st_4w.Genie_synthesis.Stream.st_digest = digest_large
+  in
+  (match st_4w.Genie_synthesis.Stream.st_corpus_path with
+  | Some p when Sys.file_exists p -> Sys.remove p
+  | _ -> ());
+  (try Sys.rmdir (spill_dir_path ()) with Sys_error _ -> ());
+  let growth =
+    float_of_int records_large /. Float.max 1.0 (float_of_int records_small)
+  in
+  let rss_flat =
+    match (rss_small, rss_large) with
+    | Some s, Some l -> Some (float_of_int l <= 1.1 *. float_of_int s)
+    | _ -> None
+  in
+  let pp_kb = function Some k -> string_of_int k ^ " kB" | None -> "n/a" in
+  Printf.printf
+    "streaming spill: %d -> %d records (%.1fx), %d runs, peak RSS %s -> %s \
+     (in-memory %s), digests %s\n"
+    records_small records_large growth runs_large (pp_kb rss_small)
+    (pp_kb rss_large) (pp_kb rss_mem)
+    (if digest_identical_memory && digest_identical_4w then "identical"
+     else "MISMATCH");
+  (match rss_flat with
+  | Some true -> ()
+  | Some false ->
+      Printf.printf
+        "  WARNING: peak RSS grew more than 10%% between spill phases\n"
+  | None -> Printf.printf "  (VmHWM unavailable on this platform)\n");
   let speedup_4w =
     match List.find_opt (fun (w, _, _, _, _, _) -> w = 4) rows with
     | Some (_, _, _, _, s, _) -> s
@@ -1113,7 +1308,31 @@ let synth_bench () =
               ("expanded", Int (List.length aug_seq));
               ("sequential_seconds", Float aug_seq_s);
               ("four_worker_seconds", Float aug_par_s);
-              ("identical", Bool aug_deterministic) ]) ]);
+              ("identical", Bool aug_deterministic) ]);
+         ("streaming",
+          let kb = function Some k -> Int k | None -> Null in
+          Obj
+            [ ("seeds", Int (List.length examples));
+              ("spill_threshold", Int spill_threshold);
+              ("expand_scale_small", Float scale_small);
+              ("expand_scale_large", Float scale_large);
+              ("records_small", Int records_small);
+              ("records_large", Int records_large);
+              ("growth", Float growth);
+              ("growth_at_least_10x", Bool (growth >= 10.0));
+              ("runs_large", Int runs_large);
+              ("run_bytes_large", Int (geti large "run_bytes"));
+              ("digest", String digest_large);
+              ("spill_child_seconds_small", Float spill_small_s);
+              ("spill_child_seconds_large", Float spill_large_s);
+              ("memory_child_seconds_large", Float mem_large_s);
+              ("peak_rss_spill_small_kb", kb rss_small);
+              ("peak_rss_spill_large_kb", kb rss_large);
+              ("peak_rss_memory_large_kb", kb rss_mem);
+              ("rss_flat",
+               match rss_flat with Some b -> Bool b | None -> Null);
+              ("digest_identical_memory", Bool digest_identical_memory);
+              ("digest_identical_4w", Bool digest_identical_4w) ]) ]);
   Printf.printf "wrote BENCH_synth.json\n%!"
 
 (* --- Bechamel timing micro-benchmarks -------------------------------------------------------- *)
@@ -1409,6 +1628,10 @@ let compile_bench () =
   Printf.printf "wrote BENCH_compile.json\n%!"
 
 let () =
+  if !spill_phase <> "" then begin
+    spill_phase_child !spill_phase !spill_out;
+    exit 0
+  end;
   let experiments =
     [ ("fig1_end_to_end", fig1);
       ("fig7_dataset_characteristics", fig7);

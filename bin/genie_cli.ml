@@ -103,7 +103,30 @@ let synthesize_cmd =
                    corpus digest format under test/golden/) to this \
                    directory.")
   in
-  let run n target depth seed workers_csv faults trace digest_dir =
+  let spill_dir =
+    Arg.(value & opt string ""
+         & info [ "spill-dir" ]
+             ~doc:"Run the streaming expansion pipeline: shards spill sorted \
+                   runs into this directory and an external k-way merge \
+                   writes DIR/corpus.shard. The disk corpus digest must be \
+                   byte-identical to the in-memory path at every worker \
+                   count (exit 3 otherwise).")
+  in
+  let spill_threshold =
+    Arg.(value & opt int 512
+         & info [ "spill-threshold" ]
+             ~doc:"Records buffered per shard before a sorted run is flushed \
+                   to disk (0 = unbounded, one run per shard).")
+  in
+  let expand =
+    Arg.(value & opt float 1.0
+         & info [ "expand" ]
+             ~doc:"Parameter-expansion scale: multiplies the paper's \
+                   per-example expansion multipliers, growing the corpus \
+                   10-100x for paper-scale runs.")
+  in
+  let run n target depth seed workers_csv faults trace digest_dir spill_dir
+      spill_threshold expand =
     let lib, prims, rules = setup () in
     let g =
       Genie_templates.Grammar.create lib ~prims ~rules
@@ -219,6 +242,81 @@ let synthesize_cmd =
           exit 3
       | _ -> ()
     end;
+    if spill_dir <> "" then begin
+      let module Stream = Genie_synthesis.Stream in
+      let pairs =
+        List.filter_map
+          (fun (d : Genie_templates.Derivation.t) ->
+            match d.Genie_templates.Derivation.value with
+            | Genie_templates.Derivation.V_frag (Ast.F_program p) ->
+                Some (d.Genie_templates.Derivation.tokens, p)
+            | _ -> None)
+          first
+      in
+      let seeds = Stream.seeds_of_pairs pairs in
+      let gz =
+        Genie_augment.Gazettes.create ~profile:`Extended ()
+      in
+      let spill = { Stream.dir = spill_dir; threshold = spill_threshold } in
+      let mem_records =
+        Stream.corpus_records ~workers:(List.hd worker_counts) ~fault
+          ~expand_scale:expand lib gz ~seed seeds
+      in
+      let mem_n, mem_digest = Stream.corpus_digest mem_records in
+      Printf.printf "\nstreaming expansion: %d seeds -> %d records (memory \
+                     digest %s)\n%!"
+        (List.length seeds) mem_n mem_digest;
+      List.iter
+        (fun w ->
+          match
+            Stream.corpus_to_spill ~workers:w ~fault ~expand_scale:expand
+              ~spill lib gz ~seed seeds
+          with
+          | Error e ->
+              Printf.eprintf "spill pipeline failed at workers=%d: %s\n" w e;
+              exit 2
+          | Ok st ->
+              Printf.printf
+                "workers=%-3s spill: records=%d runs=%d spilled=%dKB \
+                 digest=%s\n%!"
+                (if w <= 1 then "seq" else string_of_int w)
+                st.Stream.st_records st.Stream.st_runs
+                (st.Stream.st_run_bytes / 1024) st.Stream.st_digest;
+              if st.Stream.st_digest <> mem_digest
+                 || st.Stream.st_records <> mem_n
+              then begin
+                Printf.eprintf
+                  "disk corpus at workers=%d differs from the in-memory \
+                   path: determinism violation\n"
+                  w;
+                exit 3
+              end;
+              (match
+                 Genie_dataset.Spill.stray_files ~dir:spill_dir
+                   ~keep:[ Stream.corpus_file ]
+               with
+              | [] -> ()
+              | leaked ->
+                  Printf.eprintf "leaked spill files: %s\n"
+                    (String.concat ", " leaked);
+                  exit 3))
+        worker_counts;
+      (* the merged corpus must also read back byte-identically *)
+      (match
+         Genie_dataset.Reader.digest_file
+           (Filename.concat spill_dir Stream.corpus_file)
+       with
+      | Error e ->
+          Printf.eprintf "corpus read-back failed: %s\n" e;
+          exit 2
+      | Ok (rn, rd) ->
+          if rn <> mem_n || rd <> mem_digest then begin
+            Printf.eprintf "corpus read-back digest mismatch\n";
+            exit 3
+          end);
+      Printf.printf "disk == memory at every worker count; corpus in %s/%s\n"
+        spill_dir Stream.corpus_file
+    end;
     Printf.printf "\nsynthesized %d sentences\n\n" (List.length first);
     List.iteri
       (fun i (d : Genie_templates.Derivation.t) ->
@@ -237,7 +335,7 @@ let synthesize_cmd =
          "Synthesize (sentence, ThingTalk) training pairs, optionally sharded \
           over worker domains with deterministic merging")
     Term.(const run $ count $ target $ depth $ seed $ workers $ faults $ trace
-          $ digest_dir)
+          $ digest_dir $ spill_dir $ spill_threshold $ expand)
 
 (* --- paraphrase ---------------------------------------------------------------- *)
 
@@ -416,7 +514,14 @@ let parse_cmd =
 
 let eval_cmd =
   let scale = Arg.(value & opt float 1.0 & info [ "scale" ] ~doc:"Pipeline scale") in
-  let run scale =
+  let workers =
+    Arg.(value & opt string "0"
+         & info [ "workers" ]
+             ~doc:"Comma-separated worker counts for the sharded evaluator \
+                   (0 = sequential). The accuracy tables must be bitwise \
+                   identical across all of them (exit 3 otherwise).")
+  in
+  let run scale workers_csv =
     let lib, prims, rules = setup () in
     let cfg = Genie_core.Config.(scaled scale default) in
     let a = Genie_core.Pipeline.run ~cfg ~lib ~prims ~rules () in
@@ -424,20 +529,61 @@ let eval_cmd =
       Genie_core.Experiments.build_eval_sets ~cfg lib ~prims ~rules
         ~synth_pool:a.Genie_core.Pipeline.synthesized
     in
-    let strip = List.map Genie_dataset.Example.strip_quotes in
-    let show name m =
-      Format.printf "%-12s %a@." name Genie_parser_model.Eval.pp_metrics m
+    let worker_counts =
+      match
+        List.filter_map int_of_string_opt
+          (Genie_util.Tok.split_on_string ~sep:"," workers_csv)
+      with
+      | [] -> [ 0 ]
+      | ws -> ws
     in
-    show "paraphrase" (Genie_core.Pipeline.evaluate a a.Genie_core.Pipeline.paraphrase_test);
-    show "validation"
-      (Genie_core.Pipeline.evaluate a (strip sets.Genie_core.Experiments.validation));
-    show "cheatsheet"
-      (Genie_core.Pipeline.evaluate a (strip sets.Genie_core.Experiments.cheatsheet_test));
-    show "ifttt" (Genie_core.Pipeline.evaluate a (strip sets.Genie_core.Experiments.ifttt_test))
+    let predict_batch sents =
+      List.map
+        (fun (p : Genie_parser_model.Aligner.prediction) ->
+          p.Genie_parser_model.Aligner.program)
+        (Genie_parser_model.Aligner.predict_batch a.Genie_core.Pipeline.model
+           sents)
+    in
+    let strip = List.map Genie_dataset.Example.strip_quotes in
+    let show name examples =
+      (* one sharded evaluation per worker count; bitwise-equal or exit 3 *)
+      let runs =
+        List.map
+          (fun w ->
+            let m =
+              Genie_parser_model.Eval.evaluate_sharded ~workers:w a.Genie_core.Pipeline.lib
+                predict_batch examples
+            in
+            (w, m, Genie_parser_model.Eval.digest m))
+          worker_counts
+      in
+      (match runs with
+      | (_, _, d0) :: rest ->
+          List.iter
+            (fun (w, _, d) ->
+              if d <> d0 then begin
+                Printf.eprintf
+                  "%s metrics at workers=%d diverge: determinism violation\n"
+                  name w;
+                exit 3
+              end)
+            rest
+      | [] -> ());
+      let _, m, d = List.hd runs in
+      Format.printf "%-12s %a digest=%s@." name
+        Genie_parser_model.Eval.pp_metrics m d
+    in
+    show "paraphrase" a.Genie_core.Pipeline.paraphrase_test;
+    show "validation" (strip sets.Genie_core.Experiments.validation);
+    show "cheatsheet" (strip sets.Genie_core.Experiments.cheatsheet_test);
+    show "ifttt" (strip sets.Genie_core.Experiments.ifttt_test)
   in
   Cmd.v
-    (Cmd.info "evaluate" ~doc:"Run the full pipeline and report accuracy per test set")
-    Term.(const run $ scale)
+    (Cmd.info "evaluate"
+       ~doc:
+         "Run the full pipeline and report accuracy per test set (sharded \
+          evaluation, worker-count-invariant)")
+    Term.(const run $ scale $ workers)
 
 (* --- train ------------------------------------------------------------------------ *)
 
@@ -507,8 +653,16 @@ let train_cmd =
                    (target/depth/pairs/seed) and hyperparameters are taken \
                    from the checkpoint's provenance, overriding the flags.")
   in
+  let corpus =
+    Arg.(value & opt string ""
+         & info [ "corpus" ] ~docv:"FILE"
+             ~doc:"Train from a corpus shard written by 'genie synthesize \
+                   --spill-dir' instead of synthesizing: the first --pairs \
+                   records are streamed off disk through the bounded-readahead \
+                   iterator (the rest of the file is never materialized).")
+  in
   let run target depth pairs epochs lr batch micro workers_csv seed digest_dir
-      ckpt ckpt_every stop_after resume =
+      ckpt ckpt_every stop_after resume corpus =
     let resumed =
       if resume = "" then None
       else
@@ -546,24 +700,56 @@ let train_cmd =
     in
     let ckpt = if ckpt = "" && stop_after > 0 then "genie.ckpt" else ckpt in
     let lib, prims, rules = setup () in
-    let g =
-      Genie_templates.Grammar.create lib ~prims ~rules
-        ~rng:(Genie_util.Rng.create seed) ()
-    in
-    let data =
-      Genie_synthesis.Engine.synthesize g
-        { Genie_synthesis.Engine.default_config with
-          seed;
-          target_per_rule = target;
-          max_depth = depth }
+    let to_pair (toks, p) =
+      let toks = List.filter (fun t -> t <> "\"") toks in
+      (toks, Nn_syntax.to_tokens lib (Canonical.normalize lib p))
     in
     let train_pairs =
-      List.filteri (fun i _ -> i < pairs)
-        (List.map
-           (fun (toks, p) ->
-             let toks = List.filter (fun t -> t <> "\"") toks in
-             (toks, Nn_syntax.to_tokens lib (Canonical.normalize lib p)))
-           data)
+      if corpus <> "" then begin
+        (* iterator-fed: stream the first [pairs] records off the shard
+           through the bounded-readahead reader; the tail is never decoded *)
+        match Genie_dataset.Reader.open_file corpus with
+        | Error e ->
+            Printf.eprintf "cannot open corpus %s: %s\n" corpus e;
+            exit 2
+        | Ok r ->
+            let rec take acc k =
+              if k = 0 then List.rev acc
+              else
+                match Genie_dataset.Reader.next r with
+                | Ok (Some rc) ->
+                    let e = rc.Genie_dataset.Codec.example in
+                    take
+                      (to_pair
+                         ( e.Genie_dataset.Example.tokens,
+                           e.Genie_dataset.Example.program )
+                      :: acc)
+                      (k - 1)
+                | Ok None -> List.rev acc
+                | Error e ->
+                    Printf.eprintf "corpus read failed: %s\n" e;
+                    exit 2
+            in
+            let ps = take [] pairs in
+            Genie_dataset.Reader.close r;
+            Printf.printf "streamed %d training pairs from %s\n"
+              (List.length ps) corpus;
+            ps
+      end
+      else begin
+        let g =
+          Genie_templates.Grammar.create lib ~prims ~rules
+            ~rng:(Genie_util.Rng.create seed) ()
+        in
+        let data =
+          Genie_synthesis.Engine.synthesize g
+            { Genie_synthesis.Engine.default_config with
+              seed;
+              target_per_rule = target;
+              max_depth = depth }
+        in
+        List.filteri (fun i _ -> i < pairs) (List.map to_pair data)
+      end
     in
     let src_vocab = Genie_nn.Vocab.of_tokens (List.concat_map fst train_pairs) in
     let tgt_vocab = Genie_nn.Vocab.of_tokens (List.concat_map snd train_pairs) in
@@ -698,7 +884,7 @@ let train_cmd =
           deterministically data-parallel gradients")
     Term.(
       const run $ target $ depth $ pairs $ epochs $ lr $ batch $ micro $ workers
-      $ seed $ digest_dir $ ckpt $ ckpt_every $ stop_after $ resume)
+      $ seed $ digest_dir $ ckpt $ ckpt_every $ stop_after $ resume $ corpus)
 
 (* --- serve-bench ----------------------------------------------------------------- *)
 
@@ -1131,6 +1317,34 @@ let loadgen_cmd =
       const run $ connect $ users $ requests $ rate $ zipf $ seed $ execute
       $ scale $ out $ selfcheck $ drain)
 
+(* --- ckpt ------------------------------------------------------------------------- *)
+
+(* Checkpoint utilities. `inspect` renders the header, digests, snapshot and
+   provenance of a checkpoint file without restoring the model; a truncated
+   or corrupt file exits 2 (the library's strict never-half-loads decode). *)
+let ckpt_cmd =
+  let inspect_cmd =
+    let file =
+      Arg.(required & pos 0 (some string) None
+           & info [] ~docv:"FILE" ~doc:"Checkpoint file to inspect")
+    in
+    let run file =
+      match Genie_checkpoint.Checkpoint.inspect file with
+      | Ok report -> print_string report
+      | Error e ->
+          Printf.eprintf "ckpt inspect: %s: %s\n" file e;
+          exit 2
+    in
+    Cmd.v
+      (Cmd.info "inspect"
+         ~doc:
+           "Print a checkpoint's version, digests, model config, snapshot \
+            fields and provenance table (exit 2 on a truncated or corrupt \
+            file)")
+      Term.(const run $ file)
+  in
+  Cmd.group (Cmd.info "ckpt" ~doc:"Checkpoint utilities") [ inspect_cmd ]
+
 (* --- profile ---------------------------------------------------------------------- *)
 
 (* Where does a Genie run spend its time? Trace a seeded synthesis pass and a
@@ -1225,5 +1439,5 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "genie" ~doc)
           [ stats_cmd; cheatsheet_cmd; synthesize_cmd; paraphrase_cmd; exec_cmd;
-            compile_cmd; parse_cmd; eval_cmd; train_cmd; serve_bench_cmd;
-            serve_cmd; loadgen_cmd; profile_cmd ]))
+            compile_cmd; parse_cmd; eval_cmd; train_cmd; ckpt_cmd;
+            serve_bench_cmd; serve_cmd; loadgen_cmd; profile_cmd ]))

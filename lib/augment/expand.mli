@@ -22,7 +22,14 @@ val expand_once :
     must stay consistent). *)
 
 val multiplier : ?scale:float -> Genie_dataset.Example.t -> int
-(** The paper's expansion policy, scaled by [scale]. *)
+(** The paper's expansion policy, scaled by [scale] ([scale > 1] grows the
+    corpus toward paper scale; see [Synthesis.Stream]). *)
+
+val shard_seed : seed:int -> index:int -> int
+(** The per-example RNG seed used by the sharded expanders: a pure function
+    of (seed, dataset index), never of worker id or retry attempt. Exposed
+    so the streaming pipeline ([Synthesis.Stream]) derives byte-identical
+    copies from the same contract. *)
 
 val expand_dataset :
   ?scale:float ->

@@ -175,6 +175,76 @@ let repos ~seed ~n =
   pool ~seed ~n (fun rng ->
       Printf.sprintf "%s/%s-%s" (pick rng first_names) (pick rng topics) (pick rng [ "tools"; "lib"; "app"; "kit" ]))
 
+(* --- extended domains (paper-scale corpora) --------------------------------
+
+   The paper ships 49 gazettes; the core profile above covers 21. These
+   extra domains push coverage toward that scale for the streaming pipeline
+   (`genie synthesize --spill-dir`). They live behind the [`Extended]
+   profile: the default [`Core] registry is byte-identical to the historical
+   one, so aligner membership features and every serve/trace golden are
+   unaffected unless a caller opts in. *)
+
+let podcast_titles ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      match Genie_util.Rng.int rng 3 with
+      | 0 -> compose rng [ (fun _ -> "the"); (fun r -> pick r topics); (fun _ -> "show") ]
+      | 1 -> compose rng [ (fun r -> pick r adjectives); (fun _ -> "talks about"); (fun r -> pick r topics) ]
+      | _ -> compose rng [ (fun r -> pick r topics); (fun r -> pick r [ "weekly"; "daily"; "hour"; "radio" ]) ])
+
+let recipe_names ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      compose rng
+        [ (fun r -> pick r [ "roasted"; "grilled"; "spicy"; "creamy"; "baked"; "fresh" ]);
+          (fun r -> pick r [ "chicken"; "tofu"; "salmon"; "pasta"; "rice"; "salad"; "soup"; "tacos" ]);
+          (fun r -> pick r [ "with herbs"; "with lemon"; "bowl"; "skillet"; "for two"; "" ]) ])
+
+let movie_titles ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      match Genie_util.Rng.int rng 3 with
+      | 0 -> compose rng [ (fun _ -> "the"); (fun r -> pick r nouns); (fun _ -> "returns") ]
+      | 1 -> compose rng [ (fun r -> pick r adjectives); (fun r -> pick r nouns) ]
+      | _ -> compose rng [ (fun r -> pick r nouns); (fun _ -> "of the"); (fun r -> pick r adjectives); (fun r -> pick r nouns) ])
+
+let tv_shows ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      compose rng
+        [ (fun r -> pick r [ "true"; "breaking"; "stranger"; "mad"; "modern"; "better" ]);
+          (fun r -> pick r nouns ^ pick r [ ""; "s" ]) ])
+
+let book_titles ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      match Genie_util.Rng.int rng 2 with
+      | 0 -> compose rng [ (fun _ -> "a"); (fun r -> pick r nouns); (fun _ -> "of"); (fun r -> pick r nouns ^ "s") ]
+      | _ -> compose rng [ (fun _ -> "the"); (fun r -> pick r adjectives); (fun r -> pick r nouns) ])
+
+let team_names ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      compose rng [ (fun r -> pick r cities); (fun r -> pick r nouns ^ "s") ])
+
+let landmarks ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      compose rng
+        [ (fun r -> pick r cities);
+          (fun r -> pick r [ "museum"; "park"; "tower"; "bridge"; "square"; "market"; "stadium" ]) ])
+
+let coffee_drinks ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      compose rng
+        [ (fun r -> pick r [ "iced"; "hot"; "double"; "oat milk"; "decaf"; "vanilla" ]);
+          (fun r -> pick r [ "latte"; "americano"; "cappuccino"; "mocha"; "espresso"; "cold brew" ]) ])
+
+let workout_names ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      compose rng
+        [ (fun r -> pick r [ "morning"; "hiit"; "full body"; "upper body"; "core"; "leg day" ]);
+          (fun r -> pick r [ "workout"; "session"; "circuit"; "stretch"; "run" ]) ])
+
+let product_names ~seed ~n =
+  pool ~seed ~n (fun rng ->
+      compose rng
+        [ (fun r -> pick r [ "wireless"; "portable"; "smart"; "compact"; "ergonomic" ]);
+          (fun r -> pick r [ "speaker"; "lamp"; "keyboard"; "charger"; "bottle"; "backpack" ]) ])
+
 (* The registry: gazette name -> value pool. Pool sizes are configurable so
    tests stay fast while benchmarks can scale up. *)
 type t = {
@@ -193,9 +263,26 @@ let sorted_pools by_name =
     (fun (a, _) (b, _) -> String.compare a b)
     (Hashtbl.fold (fun name arr acc -> (name, arr) :: acc) by_name [])
 
-let create ?(size = 2000) () =
+let create ?(size = 2000) ?(profile = `Core) () =
   let n = size in
+  let extended_pools =
+    match profile with
+    | `Core -> []
+    | `Extended ->
+        [ ("podcast", podcast_titles ~seed:121 ~n);
+          ("recipe", recipe_names ~seed:122 ~n);
+          ("movie", movie_titles ~seed:123 ~n);
+          ("tv_show", tv_shows ~seed:124 ~n);
+          ("book", book_titles ~seed:125 ~n);
+          ("team", team_names ~seed:126 ~n);
+          ("landmark", landmarks ~seed:127 ~n);
+          ("coffee_drink", coffee_drinks ~seed:128 ~n);
+          ("workout", workout_names ~seed:129 ~n);
+          ("product", product_names ~seed:130 ~n) ]
+  in
   let raw_pools =
+    extended_pools
+    @
       [ ("person_name", person_names ~seed:101 ~n);
         ("username", usernames ~seed:102 ~n);
         ("hashtag", hashtags ~seed:103 ~n);
@@ -245,6 +332,18 @@ let gazette_for ~param_name ~(ty : Ttype.t) =
   | Ttype.Entity "tt:repo" -> Some "repo"
   | Ttype.Entity "tt:slack_channel" -> Some "topic"
   | Ttype.Entity "tt:sports_team" -> Some "topic"
+  (* extended-profile domains: the pools only exist under [`Extended], and
+     no core skill declares these kinds, so the core pipeline is unchanged *)
+  | Ttype.Entity "tt:podcast" -> Some "podcast"
+  | Ttype.Entity "tt:recipe" -> Some "recipe"
+  | Ttype.Entity "tt:movie" -> Some "movie"
+  | Ttype.Entity "tt:tv_show" -> Some "tv_show"
+  | Ttype.Entity "tt:book" -> Some "book"
+  | Ttype.Entity "tt:team" -> Some "team"
+  | Ttype.Entity "tt:landmark" -> Some "landmark"
+  | Ttype.Entity "tt:beverage" -> Some "coffee_drink"
+  | Ttype.Entity "tt:workout" -> Some "workout"
+  | Ttype.Entity "tt:product" -> Some "product"
   | Ttype.Email_address -> Some "email"
   | Ttype.Phone_number -> Some "phone"
   | Ttype.Url -> Some "url"

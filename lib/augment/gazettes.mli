@@ -16,9 +16,14 @@ type t = {
   by_name : (string, string array) Hashtbl.t;  (** O(1) pool lookup *)
 }
 
-val create : ?size:int -> unit -> t
+val create : ?size:int -> ?profile:[ `Core | `Extended ] -> unit -> t
 (** [size] values per generated pool (curated lists keep their natural
-    size). Deterministic: equal sizes yield equal pools. *)
+    size). Deterministic: equal sizes and profiles yield equal pools.
+    [`Core] (the default) is the historical 21-pool registry, byte-identical
+    across versions so aligner membership features and serve goldens are
+    stable; [`Extended] adds ten more domains (podcasts, recipes, movies,
+    tv shows, books, teams, landmarks, beverages, workouts, products) for
+    paper-scale corpus expansion via the streaming pipeline. *)
 
 val total_values : t -> int
 

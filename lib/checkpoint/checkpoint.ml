@@ -358,3 +358,42 @@ let load_model path =
       match restore ck with
       | Error e -> Error e
       | Ok model -> Ok (model, ck))
+
+(* --- human-readable report (genie ckpt inspect) ------------------------------ *)
+
+let describe (ck : t) : string =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "version:        %d" version;
+  line "digest:         %s" (digest ck);
+  line "weight digest:  %s" (weight_digest ck);
+  line "model config:   embed=%d hidden=%d dropout=%g seed=%d"
+    ck.cfg.Genie_nn.Seq2seq.embed_dim ck.cfg.Genie_nn.Seq2seq.hidden_dim
+    ck.cfg.Genie_nn.Seq2seq.dropout ck.cfg.Genie_nn.Seq2seq.seed;
+  line "vocabulary:     %d source / %d target tokens"
+    (List.length ck.src_tokens) (List.length ck.tgt_tokens);
+  let floats =
+    List.fold_left
+      (fun acc p -> acc + (3 * p.pb_rows * p.pb_cols))
+      0 ck.params
+  in
+  line "parameters:     %d tensors, %d floats (weights + Adam moments)"
+    (List.length ck.params) floats;
+  let s = ck.snapshot in
+  line "snapshot:       epoch=%d pos=%d step=%d rng=%Ld"
+    s.Genie_nn.Seq2seq.snap_epoch s.Genie_nn.Seq2seq.snap_pos
+    s.Genie_nn.Seq2seq.snap_step s.Genie_nn.Seq2seq.snap_rng;
+  if ck.provenance = [] then line "provenance:     (none)"
+  else begin
+    line "provenance:";
+    let width =
+      List.fold_left (fun w (k, _) -> max w (String.length k)) 0 ck.provenance
+    in
+    List.iter
+      (fun (k, v) -> line "  %-*s  %s" width k v)
+      ck.provenance
+  end;
+  Buffer.contents b
+
+let inspect path : (string, string) result =
+  match load path with Error e -> Error e | Ok ck -> Ok (describe ck)

@@ -80,3 +80,12 @@ val save_model :
 val load_model : string -> (Genie_nn.Seq2seq.t * t, string) result
 (** {!load} + {!restore}, returning the checkpoint alongside the model (for
     its snapshot and provenance). *)
+
+val describe : t -> string
+(** A human-readable report: version, digests, model config, vocabulary
+    sizes, parameter tensor counts, snapshot fields, and the provenance
+    table — what [genie ckpt inspect] prints. *)
+
+val inspect : string -> (string, string) result
+(** {!load} followed by {!describe}; a truncated, corrupt or unreadable file
+    is [Error] (the CLI maps it to exit 2). *)

@@ -1,0 +1,242 @@
+(* On-disk example records: the binary codec behind the streaming corpus
+   pipeline (spill runs, merged corpus shards, lazy readers).
+
+   Same discipline as the network framing in Net.Codec: big-endian
+   fixed-width integers, length-prefixed strings, and a cursor walk on
+   decode that must consume the payload exactly — trailing bytes, a short
+   read, or a length running past the end are all hard errors, never
+   silently ignored. On top of that, every record carries a Hash64 checksum
+   of its payload, so a single flipped byte anywhere in a shard file is
+   rejected instead of decoding into a plausible-but-wrong example.
+
+   Programs travel as canonical ThingTalk surface text (Printer is
+   deterministic, Parser round-trips it), so a record's encoding is a pure
+   function of its content — which is what makes whole-corpus byte-identity
+   between the in-memory and spill-to-disk paths checkable with one digest. *)
+
+open Genie_thingtalk
+module Hash64 = Genie_util.Hash64
+
+let magic = "GENIESHD"
+let version = 1
+
+(* Guards against absurd allocations when a corrupted length field survives
+   long enough to be believed. Far above any real example. *)
+let max_payload = 16 * 1024 * 1024
+
+type record = { seqno : int; example : Example.t }
+
+exception Bad of string
+
+(* --- writers -------------------------------------------------------------- *)
+
+let w_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let w_u32 buf v =
+  if v < 0 then raise (Bad "u32 underflow");
+  w_u8 buf (v lsr 24);
+  w_u8 buf (v lsr 16);
+  w_u8 buf (v lsr 8);
+  w_u8 buf v
+
+let w_u64 buf (v : int64) =
+  for i = 7 downto 0 do
+    w_u8 buf (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+  done
+
+let w_string buf s =
+  w_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let w_string_list buf ss =
+  w_u32 buf (List.length ss);
+  List.iter (w_string buf) ss
+
+(* --- readers -------------------------------------------------------------- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let need c n =
+  if c.pos + n > String.length c.s then raise (Bad "truncated payload")
+
+let r_u8 c =
+  need c 1;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let r_u32 c =
+  let a = r_u8 c in
+  let b = r_u8 c in
+  let d = r_u8 c in
+  let e = r_u8 c in
+  (a lsl 24) lor (b lsl 16) lor (d lsl 8) lor e
+
+let r_u64 c =
+  let v = ref 0L in
+  for _ = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (r_u8 c))
+  done;
+  !v
+
+let r_string c =
+  let n = r_u32 c in
+  if n > max_payload then raise (Bad "string length too large");
+  need c n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let r_string_list c =
+  let n = r_u32 c in
+  if n > max_payload then raise (Bad "list length too large");
+  List.init n (fun _ -> r_string c)
+
+(* --- record payload ------------------------------------------------------- *)
+
+let source_tag = function
+  | Example.Synthesized -> 0
+  | Example.Paraphrase -> 1
+  | Example.Evaluation _ -> 2
+
+let encode_payload (r : record) : string =
+  let buf = Buffer.create 256 in
+  let e = r.example in
+  w_u32 buf r.seqno;
+  w_u32 buf e.Example.id;
+  w_string_list buf e.Example.tokens;
+  w_string buf (Printer.program_to_string e.Example.program);
+  w_string_list buf (List.map Printer.program_to_string e.Example.alternatives);
+  w_u8 buf (source_tag e.Example.source);
+  (match e.Example.source with
+  | Example.Evaluation s -> w_string buf s
+  | _ -> ());
+  Buffer.contents buf
+
+let parse_text text =
+  match Parser.parse_program_opt text with
+  | Some p -> p
+  | None -> raise (Bad ("unparseable program text: " ^ text))
+
+let decode_payload (s : string) : record =
+  let c = { s; pos = 0 } in
+  let seqno = r_u32 c in
+  let id = r_u32 c in
+  let tokens = r_string_list c in
+  let program = parse_text (r_string c) in
+  let alternatives = List.map parse_text (r_string_list c) in
+  let source =
+    match r_u8 c with
+    | 0 -> Example.Synthesized
+    | 1 -> Example.Paraphrase
+    | 2 -> Example.Evaluation (r_string c)
+    | t -> raise (Bad (Printf.sprintf "unknown source tag %d" t))
+  in
+  if c.pos <> String.length c.s then raise (Bad "trailing payload bytes");
+  { seqno; example = Example.make ~alternatives ~id ~tokens ~program ~source () }
+
+(* --- record framing: u32 length, u64 payload hash, payload ----------------- *)
+
+let frame_overhead = 4 + 8
+
+let encode (r : record) : string =
+  let payload = encode_payload r in
+  let buf = Buffer.create (String.length payload + frame_overhead) in
+  w_u32 buf (String.length payload);
+  w_u64 buf (Hash64.string 0L payload);
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let decode_frame (c : cursor) : record =
+  let len = r_u32 c in
+  if len > max_payload then raise (Bad "record length too large");
+  need c (8 + len);
+  let hash = r_u64 c in
+  let payload = String.sub c.s c.pos len in
+  c.pos <- c.pos + len;
+  if not (Int64.equal hash (Hash64.string 0L payload)) then
+    raise (Bad "record checksum mismatch");
+  decode_payload payload
+
+let decode (s : string) : (record, string) result =
+  try
+    let c = { s; pos = 0 } in
+    let r = decode_frame c in
+    if c.pos <> String.length s then Error "trailing record bytes"
+    else Ok r
+  with Bad msg -> Error msg
+
+(* --- file header ----------------------------------------------------------- *)
+
+let header () =
+  let buf = Buffer.create 12 in
+  Buffer.add_string buf magic;
+  w_u32 buf version;
+  Buffer.contents buf
+
+let header_length = String.length magic + 4
+
+let check_header (s : string) : (unit, string) result =
+  if String.length s < header_length then Error "truncated shard header"
+  else if not (String.equal (String.sub s 0 (String.length magic)) magic) then
+    Error "bad shard magic"
+  else
+    let c = { s; pos = String.length magic } in
+    let v = r_u32 c in
+    if v <> version then
+      Error (Printf.sprintf "unsupported shard version %d (expected %d)" v version)
+    else Ok ()
+
+(* --- channel I/O ----------------------------------------------------------- *)
+
+let write_header oc = output_string oc (header ())
+let write_record oc r = output_string oc (encode r)
+
+let really_read ic n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then `Full (Bytes.unsafe_to_string b)
+    else
+      match input ic b off (n - off) with
+      | 0 -> if off = 0 then `Eof else `Short
+      | k -> go (off + k)
+  in
+  go 0
+
+let read_header ic : (unit, string) result =
+  match really_read ic header_length with
+  | `Full s -> check_header s
+  | `Eof | `Short -> Error "truncated shard header"
+
+(* [Ok None] at a clean end-of-file; truncation anywhere inside a record is
+   an error, never a silent stop. *)
+let read_record ic : (record option, string) result =
+  match really_read ic 4 with
+  | `Eof -> Ok None
+  | `Short -> Error "truncated record length"
+  | `Full lens -> (
+      let len = r_u32 { s = lens; pos = 0 } in
+      if len > max_payload then Error "record length too large"
+      else
+        match really_read ic (8 + len) with
+        | `Eof | `Short -> Error "truncated record body"
+        | `Full body -> (
+            let framed = lens ^ body in
+            match decode framed with Ok r -> Ok (Some r) | Error e -> Error e))
+
+(* --- corpus digest ---------------------------------------------------------
+
+   A Hash64 fold over each record's framed encoding, in seqno order. Both
+   the in-memory path (fold over the list) and the disk path (fold over
+   merged file contents) produce exactly these bytes, so digest equality is
+   byte-for-byte equality of the corpus. *)
+
+let digest_seed = Hash64.string 0L "genie.corpus"
+let digest_add h r = Hash64.string h (encode r)
+let digest_hex = Hash64.to_hex
+
+let digest_records (rs : record list) : int * string =
+  let n, h =
+    List.fold_left (fun (n, h) r -> (n + 1, digest_add h r)) (0, digest_seed) rs
+  in
+  (n, digest_hex h)

@@ -1,0 +1,48 @@
+(** Binary on-disk example records for the streaming corpus pipeline.
+
+    Shard files are a 12-byte header (magic ["GENIESHD"], big-endian u32
+    version) followed by framed records: u32 payload length, u64
+    {!Genie_util.Hash64} payload checksum, payload. The payload carries the
+    corpus sequence number plus the full {!Example.t} (programs as canonical
+    ThingTalk surface text), and decoding walks a cursor that must consume
+    the payload exactly — truncation at any byte boundary, trailing bytes,
+    and any flipped byte (via the checksum) are all rejected with [Error],
+    mirroring the exact-consumption discipline of the network codec. *)
+
+val magic : string
+val version : int
+
+type record = {
+  seqno : int;
+      (** position in the canonical corpus order — the external-merge key *)
+  example : Example.t;
+}
+
+val encode : record -> string
+(** The framed bytes (length + checksum + payload). Deterministic: equal
+    records encode to equal bytes. *)
+
+val decode : string -> (record, string) result
+(** Exactly one framed record; trailing bytes are an error. *)
+
+(** {2 File I/O} *)
+
+val write_header : out_channel -> unit
+val write_record : out_channel -> record -> unit
+
+val read_header : in_channel -> (unit, string) result
+val read_record : in_channel -> (record option, string) result
+(** [Ok None] at a clean end-of-file; truncation mid-record, a checksum
+    mismatch or a corrupt payload is [Error]. *)
+
+(** {2 Corpus digest}
+
+    A {!Genie_util.Hash64} fold over each record's framed encoding in seqno
+    order: digest equality between the in-memory and disk paths is
+    byte-for-byte equality of the corpus. *)
+
+val digest_seed : int64
+val digest_add : int64 -> record -> int64
+val digest_hex : int64 -> string
+val digest_records : record list -> int * string
+(** [(count, hex)] over a record list in order. *)

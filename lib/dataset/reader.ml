@@ -1,0 +1,105 @@
+(* Lazy shard-file iterator with bounded readahead.
+
+   Training and evaluation consume corpus shards through this interface
+   instead of materialized lists: at most [readahead] decoded records are
+   resident at a time, so the consumer's memory footprint is independent of
+   corpus size. Decoding happens in refill batches (amortizing the channel
+   reads); a decode error anywhere poisons the reader — iteration stops
+   with the error rather than silently truncating the corpus. *)
+
+type t = {
+  ic : in_channel;
+  path : string;
+  readahead : int;
+  buf : Codec.record Queue.t;
+  mutable eof : bool;
+  mutable err : string option;
+  mutable closed : bool;
+  mutable delivered : int;
+}
+
+let default_readahead = 256
+
+let open_file ?(readahead = default_readahead) path : (t, string) result =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic -> (
+      match Codec.read_header ic with
+      | Error e ->
+          close_in_noerr ic;
+          Error (Printf.sprintf "%s: %s" path e)
+      | Ok () ->
+          Ok
+            { ic; path; readahead = max 1 readahead; buf = Queue.create ();
+              eof = false; err = None; closed = false; delivered = 0 })
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_in_noerr t.ic
+  end
+
+let refill t =
+  let n = ref 0 in
+  while (not t.eof) && t.err = None && !n < t.readahead do
+    match Codec.read_record t.ic with
+    | Ok (Some r) ->
+        Queue.add r t.buf;
+        incr n
+    | Ok None ->
+        t.eof <- true;
+        close t
+    | Error e ->
+        t.err <- Some (Printf.sprintf "%s: %s" t.path e);
+        close t
+  done
+
+let next t : (Codec.record option, string) result =
+  if Queue.is_empty t.buf && (not t.eof) && t.err = None then refill t;
+  match Queue.take_opt t.buf with
+  | Some r ->
+      t.delivered <- t.delivered + 1;
+      Ok (Some r)
+  | None -> ( match t.err with Some e -> Error e | None -> Ok None)
+
+let delivered t = t.delivered
+
+let fold t ~init ~f =
+  let rec go acc =
+    match next t with
+    | Ok (Some r) -> go (f acc r)
+    | Ok None -> Ok acc
+    | Error e -> Error e
+  in
+  let r = go init in
+  close t;
+  r
+
+(* Convenience whole-file drivers (still streamed internally). *)
+
+let with_file ?readahead path k =
+  match open_file ?readahead path with
+  | Error e -> Error e
+  | Ok t ->
+      let r = k t in
+      close t;
+      r
+
+let read_all ?readahead path : (Codec.record list, string) result =
+  with_file ?readahead path (fun t ->
+      match fold t ~init:[] ~f:(fun acc r -> r :: acc) with
+      | Ok acc -> Ok (List.rev acc)
+      | Error e -> Error e)
+
+let digest_file ?readahead path : (int * string, string) result =
+  with_file ?readahead path (fun t ->
+      match
+        fold t ~init:(0, Codec.digest_seed) ~f:(fun (n, h) r ->
+            (n + 1, Codec.digest_add h r))
+      with
+      | Ok (n, h) -> Ok (n, Codec.digest_hex h)
+      | Error e -> Error e)
+
+let fold_examples ?readahead path ~init ~f =
+  with_file ?readahead path (fun t ->
+      fold t ~init ~f:(fun acc r -> f acc r.Codec.example))

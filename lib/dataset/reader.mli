@@ -1,0 +1,41 @@
+(** Lazy corpus-shard iterator with bounded readahead.
+
+    Streams {!Codec} records off disk holding at most [readahead] decoded
+    records in memory, so consumers (training, evaluation) have a footprint
+    independent of corpus size. A decode error (truncation, checksum
+    mismatch) poisons the iterator: it surfaces as [Error] instead of a
+    silently shortened corpus. *)
+
+type t
+
+val default_readahead : int
+
+val open_file : ?readahead:int -> string -> (t, string) result
+(** Opens a shard file and validates its header. *)
+
+val next : t -> (Codec.record option, string) result
+(** The next record; [Ok None] at a clean end-of-file. *)
+
+val fold :
+  t -> init:'a -> f:('a -> Codec.record -> 'a) -> ('a, string) result
+(** Streams the remaining records through [f] and closes the reader. *)
+
+val delivered : t -> int
+(** Records handed out so far. *)
+
+val close : t -> unit
+
+(** {2 Whole-file drivers (still streamed internally)} *)
+
+val read_all : ?readahead:int -> string -> (Codec.record list, string) result
+
+val digest_file : ?readahead:int -> string -> (int * string, string) result
+(** [(records, corpus digest hex)] — the streamed equivalent of
+    {!Codec.digest_records}. *)
+
+val fold_examples :
+  ?readahead:int ->
+  string ->
+  init:'a ->
+  f:('a -> Example.t -> 'a) ->
+  ('a, string) result

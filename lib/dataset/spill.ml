@@ -1,0 +1,219 @@
+(* Spill runs and the external k-way merge.
+
+   A shard worker buffers records and, whenever the buffer reaches the spill
+   threshold, flushes one *sorted run* to disk: records ordered by seqno,
+   written to a temp file and atomically renamed into place. Run file names
+   are a pure function of (shard id, flush index), and run contents are a
+   pure function of the shard's input — so a shard retried after an injected
+   crash rewrites byte-identical files over the same names, never
+   duplicates. The coordinator then merges all runs by seqno into a single
+   corpus shard, checking strict ascending order as it goes (a duplicate or
+   out-of-order seqno means a producer bug, and is reported rather than
+   papered over). Merge memory is bounded: one small read-ahead buffer per
+   run, one record compared at a time. *)
+
+type run = {
+  run_path : string;
+  run_records : int;
+  run_first : int;  (* lowest seqno in the run *)
+  run_last : int;  (* highest seqno in the run *)
+}
+
+let run_name ~shard ~flush = Printf.sprintf "shard%04d-%03d.run" shard flush
+let tmp_suffix = ".tmp"
+
+module Writer = struct
+  type t = {
+    dir : string;
+    shard : int;
+    threshold : int;  (* <= 0: unbounded, single run flushed at close *)
+    mutable buffered : Codec.record list;  (* newest first *)
+    mutable n_buffered : int;
+    mutable flushes : int;
+    mutable runs : run list;  (* newest first *)
+    mutable bytes : int;
+  }
+
+  let create ~dir ~shard ~threshold =
+    { dir; shard; threshold; buffered = []; n_buffered = 0; flushes = 0;
+      runs = []; bytes = 0 }
+
+  let flush t =
+    if t.n_buffered > 0 then begin
+      let records =
+        List.sort
+          (fun a b -> compare a.Codec.seqno b.Codec.seqno)
+          (List.rev t.buffered)
+      in
+      let path = Filename.concat t.dir (run_name ~shard:t.shard ~flush:t.flushes) in
+      let tmp = path ^ tmp_suffix in
+      let oc = open_out_bin tmp in
+      Codec.write_header oc;
+      let size = ref 0 in
+      List.iter
+        (fun r ->
+          let bytes = Codec.encode r in
+          output_string oc bytes;
+          size := !size + String.length bytes)
+        records;
+      close_out oc;
+      Sys.rename tmp path;
+      let first = (List.hd records).Codec.seqno in
+      let last = List.fold_left (fun _ r -> r.Codec.seqno) first records in
+      t.runs <-
+        { run_path = path; run_records = t.n_buffered; run_first = first;
+          run_last = last }
+        :: t.runs;
+      t.bytes <- t.bytes + !size;
+      t.flushes <- t.flushes + 1;
+      t.buffered <- [];
+      t.n_buffered <- 0
+    end
+
+  let add t r =
+    t.buffered <- r :: t.buffered;
+    t.n_buffered <- t.n_buffered + 1;
+    if t.threshold > 0 && t.n_buffered >= t.threshold then flush t
+
+  let close t =
+    flush t;
+    List.rev t.runs
+
+  let bytes_written t = t.bytes
+end
+
+(* --- external k-way merge -------------------------------------------------- *)
+
+(* One open run: a channel plus its current head record. *)
+type head = {
+  h_run : run;
+  h_ic : in_channel;
+  mutable h_record : Codec.record option;
+  mutable h_count : int;
+}
+
+exception Merge_error of string
+
+let advance h =
+  match Codec.read_record h.h_ic with
+  | Error e -> raise (Merge_error (Printf.sprintf "%s: %s" h.h_run.run_path e))
+  | Ok None ->
+      if h.h_count <> h.h_run.run_records then
+        raise
+          (Merge_error
+             (Printf.sprintf "%s: %d records, expected %d" h.h_run.run_path
+                h.h_count h.h_run.run_records));
+      h.h_record <- None
+  | Ok (Some r) ->
+      (match h.h_record with
+      | Some prev when r.Codec.seqno <= prev.Codec.seqno ->
+          raise
+            (Merge_error
+               (Printf.sprintf "%s: run not sorted (%d after %d)"
+                  h.h_run.run_path r.Codec.seqno prev.Codec.seqno))
+      | _ -> ());
+      h.h_record <- Some r;
+      h.h_count <- h.h_count + 1
+
+let open_head run =
+  let ic = open_in_bin run.run_path in
+  match Codec.read_header ic with
+  | Error e ->
+      close_in_noerr ic;
+      raise (Merge_error (Printf.sprintf "%s: %s" run.run_path e))
+  | Ok () ->
+      let h = { h_run = run; h_ic = ic; h_record = None; h_count = 0 } in
+      advance h;
+      h
+
+(* Merges [runs] into [out] (atomically, temp + rename), folding the corpus
+   digest over the exact bytes written. Returns [(records, digest hex)].
+   Emits records in strictly ascending global seqno order or fails: the
+   merged corpus is *the* canonical order, not merely *a* sorted order. *)
+let merge ~out (runs : run list) : (int * string, string) result =
+  let heads = ref [] in
+  let tmp = out ^ tmp_suffix in
+  let cleanup () =
+    List.iter (fun h -> close_in_noerr h.h_ic) !heads;
+    if Sys.file_exists tmp then (try Sys.remove tmp with Sys_error _ -> ())
+  in
+  try
+    heads := List.map open_head runs;
+    let oc = open_out_bin tmp in
+    Codec.write_header oc;
+    let digest = ref Codec.digest_seed in
+    let count = ref 0 in
+    let last_seqno = ref (-1) in
+    let rec loop () =
+      (* Linear min-scan over the open heads: k (runs) is small relative to
+         record count, and each head is a bounded channel, so merge memory
+         stays flat no matter how large the corpus grows. *)
+      let best =
+        List.fold_left
+          (fun best h ->
+            match (h.h_record, best) with
+            | None, _ -> best
+            | Some _, None -> Some h
+            | Some r, Some b -> (
+                match b.h_record with
+                | Some rb when r.Codec.seqno < rb.Codec.seqno -> Some h
+                | _ -> best))
+          None !heads
+      in
+      match best with
+      | None -> ()
+      | Some h ->
+          let r = match h.h_record with Some r -> r | None -> assert false in
+          if r.Codec.seqno <= !last_seqno then
+            raise
+              (Merge_error
+                 (Printf.sprintf "duplicate or out-of-order seqno %d"
+                    r.Codec.seqno));
+          last_seqno := r.Codec.seqno;
+          let bytes = Codec.encode r in
+          output_string oc bytes;
+          digest := Genie_util.Hash64.string !digest bytes;
+          incr count;
+          advance h;
+          loop ()
+    in
+    loop ();
+    close_out oc;
+    List.iter (fun h -> close_in_noerr h.h_ic) !heads;
+    Sys.rename tmp out;
+    Ok (!count, Codec.digest_hex !digest)
+  with
+  | Merge_error e ->
+      cleanup ();
+      Error e
+  | Sys_error e ->
+      cleanup ();
+      Error e
+
+(* --- housekeeping ----------------------------------------------------------
+
+   Run files are intermediate state: after a successful merge the corpus
+   shard is the only survivor. [stray_files] backs the no-leak assertions in
+   tests and CI — it lists anything in the spill directory that is not the
+   given corpus shard (leftover runs, orphaned temp files from a crash). *)
+
+let remove_runs (runs : run list) =
+  List.iter
+    (fun r -> try Sys.remove r.run_path with Sys_error _ -> ())
+    runs
+
+let sweep_tmp ~dir =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f tmp_suffix then
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir)
+
+let stray_files ~dir ~keep =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    List.sort String.compare
+      (List.filter
+         (fun f -> not (List.mem f keep))
+         (Array.to_list (Sys.readdir dir)))
+  else []

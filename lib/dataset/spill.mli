@@ -1,0 +1,49 @@
+(** Sorted spill runs and the external k-way merge.
+
+    Shard workers spill sorted runs ({!Codec} shard files, records in
+    ascending seqno order) whenever their buffer reaches the spill
+    threshold; the coordinator merges all runs by seqno into one corpus
+    shard with bounded memory (one buffered record per run). Run file names
+    and contents are pure functions of (shard id, flush index, shard
+    input) — a shard retried after an injected crash atomically rewrites
+    byte-identical files over the same names, so fault schedules can never
+    duplicate or reorder records. *)
+
+type run = {
+  run_path : string;
+  run_records : int;
+  run_first : int;  (** lowest seqno in the run *)
+  run_last : int;  (** highest seqno in the run *)
+}
+
+module Writer : sig
+  type t
+
+  val create : dir:string -> shard:int -> threshold:int -> t
+  (** [threshold <= 0] never spills early: one run, flushed at {!close}. *)
+
+  val add : t -> Codec.record -> unit
+  (** Buffers the record; flushes a sorted run (atomic temp + rename) when
+      the buffer reaches the threshold. *)
+
+  val close : t -> run list
+  (** Flushes the tail and returns this shard's runs in flush order. *)
+
+  val bytes_written : t -> int
+end
+
+val merge : out:string -> run list -> (int * string, string) result
+(** K-way merge of all runs into [out] (atomic temp + rename), enforcing a
+    strictly ascending global seqno order — a duplicate, an out-of-order or
+    unsorted run, a record-count mismatch, or any codec corruption is an
+    [Error]. Returns [(records, corpus digest hex)] computed over the exact
+    bytes written, directly comparable to {!Codec.digest_records} on the
+    in-memory path. *)
+
+val remove_runs : run list -> unit
+val sweep_tmp : dir:string -> unit
+(** Removes orphaned [.tmp] files (e.g. after an injected crash). *)
+
+val stray_files : dir:string -> keep:string list -> string list
+(** Everything in [dir] except [keep], sorted — the no-leak assertion used
+    by tests and the CI spill smoke. *)

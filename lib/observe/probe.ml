@@ -28,12 +28,15 @@ type stage =
   | Swap
   | Swap_noop
   | Swap_cache_clear
+  | Spill_flush
+  | Spill_merge
+  | Spill_read
 
 let all =
   [ Tokenize; Cache_hit; Cache_miss; Parse; Exec; Retry; Backoff; Crash;
     Drop; Degraded; Shed; Net_accept; Net_frame_in; Net_frame_out; Net_queue;
     Net_batch; Net_shed; Compile_hit; Compile_miss; Compile; Swap;
-    Swap_noop; Swap_cache_clear ]
+    Swap_noop; Swap_cache_clear; Spill_flush; Spill_merge; Spill_read ]
 
 let index = function
   | Tokenize -> 0
@@ -59,6 +62,9 @@ let index = function
   | Swap -> 20
   | Swap_noop -> 21
   | Swap_cache_clear -> 22
+  | Spill_flush -> 23
+  | Spill_merge -> 24
+  | Spill_read -> 25
 
 let stage_name = function
   | Tokenize -> "tokenize"
@@ -84,6 +90,9 @@ let stage_name = function
   | Swap -> "swap.commit"
   | Swap_noop -> "swap.noop"
   | Swap_cache_clear -> "swap.cache_invalidate"
+  | Spill_flush -> "spill.flush"
+  | Spill_merge -> "spill.merge"
+  | Spill_read -> "spill.read"
 
 type t = A.t array
 

@@ -28,6 +28,9 @@ type stage =
   | Swap  (** model hot-swaps committed by the serving layer *)
   | Swap_noop  (** reloads that resolved to the already-active digest *)
   | Swap_cache_clear  (** parse-cache invalidations forced by a swap *)
+  | Spill_flush  (** sorted runs spilled to disk by corpus shards *)
+  | Spill_merge  (** external k-way merges of spilled runs *)
+  | Spill_read  (** corpus records streamed back off disk *)
 
 type t
 

@@ -16,6 +16,11 @@ type metrics = {
   syntax_ok : float;  (** parses and type-checks (section 5.5) *)
   wrong_param_value : float;
       (** right program shape, wrong copied parameter value *)
+  slot_f1 : float;
+      (** micro-averaged F1 over (parameter, value) slot multisets, scored
+          against each sentence's best-matching annotation; computed once
+          from summed integer counts so sharded and batched evaluation
+          agree bitwise *)
 }
 
 val zero_metrics : metrics
@@ -36,6 +41,23 @@ val evaluate_batched :
     predictor amortize shared scoring work across the batch (see
     [Aligner.predict_batch]); metrics are identical to {!evaluate} whenever
     the batched predictor agrees with the per-example one. *)
+
+val evaluate_sharded :
+  ?workers:int ->
+  ?shard_size:int ->
+  Schema.Library.t ->
+  (string list list -> Ast.program option list) ->
+  Genie_dataset.Example.t list ->
+  metrics
+(** {!evaluate_batched} fanned over a [Genie_conc.Pool]: the test set is cut
+    into fixed-size shards (default 32, independent of [workers]), each
+    scored by one batched prediction call, and the integer counts are merged
+    in submission order. Bitwise identical to {!evaluate_batched} at every
+    worker count — the oracle behind [test/golden/eval.digest]. *)
+
+val digest : metrics -> string
+(** Hash64 over the metric bit patterns; equal iff every float is bitwise
+    identical. Regold the golden with [EVAL_REGOLD=1]. *)
 
 val mean_half_range : float list -> float * float
 (** Mean and half of the max-min range over runs, as the paper reports. *)

@@ -1,0 +1,216 @@
+(* The streaming, disk-backed corpus pipeline (ROADMAP: "paper-scale
+   corpora").
+
+   Synthesis seeds stay in memory — deeper depths sample the shallower
+   tables recursively, so the seed corpus is inherently resident. The scale
+   axis is parameter expansion: every seed example yields [multiplier]
+   copies with fresh gazette values (1-30x per example, further scaled by
+   [expand_scale]), and those copies never feed back into sampling. This
+   module makes that phase streaming: expansion shards write their copies
+   straight into sorted spill runs (Dataset.Spill), and the coordinator's
+   deterministic merge becomes an external k-way merge over the run files —
+   peak memory is bounded by (chunk size x multiplier + one record per run),
+   independent of total corpus size.
+
+   Byte-identity between the disk and in-memory paths rests on global
+   sequence numbers assigned before any shard runs: the coordinator
+   prefix-sums the per-example multipliers (a pure function of the seed
+   corpus), giving example [i] the seqno interval [base(i), base(i+1)).
+   Slot 0 of the interval is the seed example itself; slot [s] is expansion
+   attempt [s] (an attempt that substitutes nothing emits no record,
+   leaving a hole in the interval — holes are fine, the order is strict
+   ascending, not contiguous). Each shard's records are therefore a pure
+   function of (seed, example index), emitted in ascending seqno order, and
+   the k-way merge by seqno reconstitutes exactly the order the in-memory
+   path produces by concatenation. One Hash64 fold over the framed record
+   bytes on each side decides equality of the entire corpus. *)
+
+module Codec = Genie_dataset.Codec
+module Spill = Genie_dataset.Spill
+module Example = Genie_dataset.Example
+module Expand = Genie_augment.Expand
+module Gazettes = Genie_augment.Gazettes
+module Fault = Genie_conc.Fault
+module Tracer = Genie_observe.Tracer
+module Span = Genie_observe.Span
+module Probe = Genie_observe.Probe
+
+type spill = { dir : string; threshold : int }
+
+type stats = {
+  st_seeds : int;  (* seed examples entering expansion *)
+  st_slots : int;  (* seqno slots = sum of multipliers *)
+  st_records : int;  (* records in the merged corpus *)
+  st_runs : int;  (* spill runs merged *)
+  st_run_bytes : int;  (* bytes spilled before the merge *)
+  st_digest : string;  (* corpus digest (Codec.digest_records contract) *)
+  st_corpus_path : string option;
+}
+
+let corpus_file = "corpus.shard"
+
+(* --- seeds ------------------------------------------------------------------ *)
+
+let seeds_of_pairs pairs =
+  List.mapi
+    (fun i (tokens, program) ->
+      Example.make ~id:i ~tokens ~program ~source:Example.Synthesized ())
+    pairs
+
+let synthesize_seeds ?tracer ?workers ?fault ?cache ?max_attempts grammar cfg =
+  seeds_of_pairs
+    (Engine.synthesize ?tracer ?workers ?fault ?cache ?max_attempts grammar cfg)
+
+(* --- seqno plan ------------------------------------------------------------- *)
+
+(* bases.(i) = first seqno of example i; bases.(n) = total slot count *)
+let seqno_bases ~expand_scale (seeds : Example.t array) : int array =
+  let n = Array.length seeds in
+  let bases = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    bases.(i + 1) <- bases.(i) + Expand.multiplier ~scale:expand_scale seeds.(i)
+  done;
+  bases
+
+(* Expands examples [lo, hi) in seqno order, emitting into [emit]. The body
+   is shared verbatim by the in-memory and spill paths: whatever [emit]
+   does, the record sequence is identical. *)
+let expand_range lib gz ~seed ~(seeds : Example.t array)
+    ~(bases : int array) ~lo ~hi ~emit =
+  for i = lo to hi - 1 do
+    let e = seeds.(i) in
+    let base = bases.(i) in
+    emit { Codec.seqno = base; example = { e with Example.id = base } };
+    let slots = bases.(i + 1) - base in
+    if slots > 1 then begin
+      let rng = Genie_util.Rng.create (Expand.shard_seed ~seed ~index:i) in
+      for slot = 1 to slots - 1 do
+        match Expand.expand_once lib gz rng e with
+        | Some e' ->
+            let sq = base + slot in
+            emit { Codec.seqno = sq; example = { e' with Example.id = sq } }
+        | None -> ()
+      done
+    end
+  done
+
+(* Contiguous chunks of the seed corpus: one shard per chunk. Coarse
+   granularity (default 16 seeds per shard) keeps pool overhead low at
+   small worker counts (see BENCH_synth caveat in the ROADMAP). *)
+let chunks_of ~chunk n =
+  let chunk = max 1 chunk in
+  let rec go lo acc =
+    if lo >= n then List.rev acc
+    else
+      let hi = min n (lo + chunk) in
+      go hi ((lo, hi) :: acc)
+  in
+  go 0 []
+
+let fault_hook_of fault =
+  if Fault.active fault then
+    Some
+      (fun ~index ~attempt ->
+        if Fault.crashes fault ~id:index ~attempt then Some Fault.Injected_crash
+        else if Fault.drops fault ~id:index ~attempt then Some Fault.Injected_drop
+        else None)
+  else None
+
+(* --- in-memory reference path ----------------------------------------------- *)
+
+let corpus_records ?(workers = 0) ?(fault = Fault.none) ?(max_attempts = 3)
+    ?(expand_scale = 1.0) ?(chunk = 16) lib gz ~seed seeds : Codec.record list =
+  let arr = Array.of_list seeds in
+  let bases = seqno_bases ~expand_scale arr in
+  let groups =
+    Genie_conc.Pool.map_list ~workers ~max_attempts
+      ?fault_hook:(fault_hook_of fault)
+      ~handler:(fun _slot (lo, hi) ->
+        let out = ref [] in
+        expand_range lib gz ~seed ~seeds:arr ~bases ~lo ~hi
+          ~emit:(fun r -> out := r :: !out);
+        List.rev !out)
+      (chunks_of ~chunk (Array.length arr))
+  in
+  List.concat groups
+
+let corpus_digest = Codec.digest_records
+
+(* --- spill path -------------------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let corpus_to_spill ?(workers = 0) ?(fault = Fault.none) ?(max_attempts = 3)
+    ?(expand_scale = 1.0) ?(chunk = 16) ?probe
+    ?(tracer = Tracer.disabled) ~spill lib gz ~seed seeds :
+    (stats, string) result =
+  mkdir_p spill.dir;
+  let arr = Array.of_list seeds in
+  let bases = seqno_bases ~expand_scale arr in
+  let chunks = chunks_of ~chunk (Array.length arr) in
+  let t0 = Tracer.now_ns () in
+  let run_lists =
+    Genie_conc.Pool.map_list ~workers ~max_attempts
+      ?fault_hook:(fault_hook_of fault)
+      ~handler:(fun _slot (ci, (lo, hi)) ->
+        let w =
+          Spill.Writer.create ~dir:spill.dir ~shard:ci
+            ~threshold:spill.threshold
+        in
+        expand_range lib gz ~seed ~seeds:arr ~bases ~lo ~hi
+          ~emit:(Spill.Writer.add w);
+        let runs = Spill.Writer.close w in
+        (runs, Spill.Writer.bytes_written w))
+      (List.mapi (fun i c -> (i, c)) chunks)
+  in
+  let runs = List.concat_map fst run_lists in
+  let run_bytes = List.fold_left (fun acc (_, b) -> acc + b) 0 run_lists in
+  (match probe with
+  | Some p ->
+      List.iter (fun _ -> Probe.incr p Probe.Spill_flush) runs;
+      Probe.incr p Probe.Spill_merge
+  | None -> ());
+  (* Injected crashes can leave .tmp partials from the attempt that died
+     mid-flush; the retry rewrote the real runs, so partials are garbage. *)
+  Spill.sweep_tmp ~dir:spill.dir;
+  let out = Filename.concat spill.dir corpus_file in
+  match Spill.merge ~out runs with
+  | Error e -> Error e
+  | Ok (records, digest) ->
+      Spill.remove_runs runs;
+      if Tracer.enabled tracer then begin
+        let seed_t = Tracer.seed tracer in
+        let t1 = Tracer.now_ns () in
+        let root =
+          Span.v ~seed:seed_t ~request:0 ~seq:0 ~start_ns:t0 ~dur_ns:(t1 -. t0)
+            ~attrs:
+              [ ("records", string_of_int records);
+                ("runs", string_of_int (List.length runs));
+                ("digest", digest) ]
+            "spill.merge"
+        in
+        Tracer.record tracer ~slot:0 root;
+        List.iteri
+          (fun i r ->
+            Tracer.record tracer ~slot:0
+              (Span.v ~seed:seed_t ~request:0 ~seq:(i + 1)
+                 ~parent:root.Span.id ~start_ns:t0 ~dur_ns:0.0
+                 ~attrs:
+                   [ ("records", string_of_int r.Spill.run_records);
+                     ("first", string_of_int r.Spill.run_first);
+                     ("last", string_of_int r.Spill.run_last) ]
+                 "spill.run"))
+          runs
+      end;
+      Ok
+        { st_seeds = Array.length arr;
+          st_slots = bases.(Array.length arr);
+          st_records = records;
+          st_runs = List.length runs;
+          st_run_bytes = run_bytes;
+          st_digest = digest;
+          st_corpus_path = Some out }

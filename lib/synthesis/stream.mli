@@ -1,0 +1,93 @@
+(** Streaming, disk-backed corpus pipeline (paper-scale corpora).
+
+    Parameter expansion — the phase that multiplies every synthesized seed
+    example into 1-30x fresh-valued copies — runs as chunked shards that
+    spill sorted runs to disk ({!Genie_dataset.Spill}); the coordinator
+    performs an external k-way merge over the run files into one corpus
+    shard. Peak memory is bounded by (chunk x multiplier + one record per
+    run), independent of corpus size.
+
+    Determinism: the coordinator prefix-sums the per-example multipliers
+    into global seqno intervals before any shard runs; each shard's records
+    are a pure function of (seed, example index) emitted in ascending seqno
+    order, so the merge by seqno reconstitutes exactly the in-memory
+    concatenation order. {!corpus_digest} on the in-memory list equals the
+    digest the merge computes over the bytes it writes — at every worker
+    count, every spill threshold, and under injected shard crashes. *)
+
+type spill = {
+  dir : string;  (** spill directory (created if missing) *)
+  threshold : int;
+      (** records buffered per shard before a run is flushed;
+          [<= 0] = unbounded (one run per shard) *)
+}
+
+type stats = {
+  st_seeds : int;  (** seed examples entering expansion *)
+  st_slots : int;  (** seqno slots = sum of multipliers *)
+  st_records : int;  (** records in the merged corpus *)
+  st_runs : int;  (** spill runs merged *)
+  st_run_bytes : int;  (** bytes spilled before the merge *)
+  st_digest : string;  (** corpus digest ({!Genie_dataset.Codec} contract) *)
+  st_corpus_path : string option;
+}
+
+val corpus_file : string
+(** The merged corpus shard's file name inside the spill directory. *)
+
+val mkdir_p : string -> unit
+(** Recursive best-effort directory creation (used for spill dirs). *)
+
+val seeds_of_pairs :
+  (string list * Genie_thingtalk.Ast.program) list ->
+  Genie_dataset.Example.t list
+(** Engine output as seed examples, ids = corpus positions. *)
+
+val synthesize_seeds :
+  ?tracer:Genie_observe.Tracer.t ->
+  ?workers:int ->
+  ?fault:Genie_conc.Fault.t ->
+  ?cache:bool ->
+  ?max_attempts:int ->
+  Genie_templates.Grammar.t ->
+  Engine.config ->
+  Genie_dataset.Example.t list
+
+val corpus_records :
+  ?workers:int ->
+  ?fault:Genie_conc.Fault.t ->
+  ?max_attempts:int ->
+  ?expand_scale:float ->
+  ?chunk:int ->
+  Genie_thingtalk.Schema.Library.t ->
+  Genie_augment.Gazettes.t ->
+  seed:int ->
+  Genie_dataset.Example.t list ->
+  Genie_dataset.Codec.record list
+(** The in-memory reference path: the full expanded corpus as records in
+    seqno order. Byte-identical at every worker count and under fault
+    schedules (same contract as [Expand.expand_dataset_sharded]). *)
+
+val corpus_digest : Genie_dataset.Codec.record list -> int * string
+(** [(records, digest hex)] — {!Genie_dataset.Codec.digest_records}. *)
+
+val corpus_to_spill :
+  ?workers:int ->
+  ?fault:Genie_conc.Fault.t ->
+  ?max_attempts:int ->
+  ?expand_scale:float ->
+  ?chunk:int ->
+  ?probe:Genie_observe.Probe.t ->
+  ?tracer:Genie_observe.Tracer.t ->
+  spill:spill ->
+  Genie_thingtalk.Schema.Library.t ->
+  Genie_augment.Gazettes.t ->
+  seed:int ->
+  Genie_dataset.Example.t list ->
+  (stats, string) result
+(** The streaming path: shards spill sorted runs, the external merge writes
+    [dir/corpus.shard] and removes the runs. [st_digest] must equal the
+    {!corpus_digest} of {!corpus_records} under the same (seed, scale,
+    fault) — the differential oracle in [test/suite_stream.ml]. With
+    [probe], bumps [Spill_flush]/[Spill_merge]; with [tracer], records a
+    [spill.merge] span with one [spill.run] child per run. *)

@@ -1,0 +1,49 @@
+(* Process resource probes, Linux-only by design: on other platforms every
+   probe degrades to None/false and callers report the metric as absent
+   rather than inventing a number. *)
+
+let proc_status_field field =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+      let prefix = field ^ ":" in
+      let rec scan () =
+        match input_line ic with
+        | exception End_of_file -> None
+        | line when String.length line > String.length prefix
+                    && String.sub line 0 (String.length prefix) = prefix ->
+            let rest =
+              String.trim
+                (String.sub line (String.length prefix)
+                   (String.length line - String.length prefix))
+            in
+            (* "123456 kB" *)
+            let digits =
+              match String.index_opt rest ' ' with
+              | Some i -> String.sub rest 0 i
+              | None -> rest
+            in
+            int_of_string_opt digits
+        | _ -> scan ()
+      in
+      let r = scan () in
+      close_in_noerr ic;
+      r
+
+let peak_rss_kb () = proc_status_field "VmHWM"
+let rss_kb () = proc_status_field "VmRSS"
+
+(* Writing "5" to /proc/self/clear_refs resets the peak-RSS watermark
+   (Linux >= 4.0), so a phase's true high-water mark can be measured even
+   after an earlier phase used more memory. *)
+let reset_peak_rss () =
+  match open_out "/proc/self/clear_refs" with
+  | exception Sys_error _ -> false
+  | oc -> (
+      try
+        output_string oc "5";
+        close_out oc;
+        true
+      with Sys_error _ ->
+        close_out_noerr oc;
+        false)

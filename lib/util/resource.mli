@@ -1,0 +1,13 @@
+(** Process resource probes ([/proc]-based, Linux-only; [None]/[false]
+    elsewhere so callers report the metric as absent, never invented). *)
+
+val peak_rss_kb : unit -> int option
+(** VmHWM from [/proc/self/status]: the process peak resident set, in kB. *)
+
+val rss_kb : unit -> int option
+(** VmRSS: the current resident set, in kB. *)
+
+val reset_peak_rss : unit -> bool
+(** Resets the peak-RSS watermark (writes ["5"] to [/proc/self/clear_refs],
+    Linux ≥ 4.0) so per-phase high-water marks can be measured. Returns
+    whether the reset took effect. *)

@@ -244,6 +244,45 @@ let test_atomic_save_load () =
       | Ok _ -> Alcotest.fail "absent file loaded"
       | Error _ -> ())
 
+(* --- describe / inspect (genie ckpt inspect) --------------------------------------- *)
+
+let test_describe_inspect () =
+  with_tmpdir (fun dir ->
+      let path = Filename.concat dir "model.ckpt" in
+      let ck = mk_checkpoint () in
+      Checkpoint.save ~path ck;
+      let report =
+        match Checkpoint.inspect path with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "inspect failed: %s" e
+      in
+      Alcotest.(check string) "inspect = describe of the loaded checkpoint"
+        (Checkpoint.describe ck) report;
+      List.iter
+        (fun sub ->
+          Alcotest.(check bool) ("report mentions " ^ sub) true
+            (Genie_util.Tok.contains_substring ~sub report))
+        [ "version:"; "digest:"; Checkpoint.digest ck;
+          Checkpoint.weight_digest ck; "snapshot:"; "epoch=2"; "provenance";
+          "seed"; "11" ];
+      (* a truncated file yields the decode error, never a partial report *)
+      let s = Checkpoint.encode ck in
+      let bad = Filename.concat dir "bad.ckpt" in
+      let oc = open_out_bin bad in
+      output_string oc (String.sub s 0 (String.length s - 9));
+      close_out oc;
+      match Checkpoint.inspect bad with
+      | Ok _ -> Alcotest.fail "truncated checkpoint produced a report"
+      | Error e ->
+          Alcotest.(check bool) "error is reported" true (String.length e > 0))
+
+let test_describe_empty_provenance () =
+  let m = toy_model () in
+  let ck = Checkpoint.of_model ~snapshot:mid_snapshot m in
+  Alcotest.(check bool) "empty provenance is explicit" true
+    (Genie_util.Tok.contains_substring ~sub:"provenance:     (none)"
+       (Checkpoint.describe ck))
+
 (* --- resume determinism -------------------------------------------------------------- *)
 
 let uninterrupted_digest ~workers () =
@@ -766,6 +805,9 @@ let suite =
       test_restore_bitwise;
     Alcotest.test_case "atomic save / load / overwrite" `Quick
       test_atomic_save_load;
+    Alcotest.test_case "describe / inspect report" `Quick test_describe_inspect;
+    Alcotest.test_case "describe with empty provenance" `Quick
+      test_describe_empty_provenance;
     Alcotest.test_case "resume from every optimizer step" `Quick
       test_resume_from_every_step;
     Alcotest.test_case "kill mid-epoch, resume at 0/1/2/4 workers" `Quick

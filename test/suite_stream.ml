@@ -1,0 +1,496 @@
+(* Differential, property and golden tests for the streaming disk-backed
+   corpus pipeline and the sharded evaluator.
+
+   The pipeline's contract is that the spilled-and-merged corpus is
+   byte-for-byte the in-memory corpus: same records, same order, same
+   digest — at every worker count, every spill threshold (tiny, mid,
+   unbounded) and under seeded shard-crash schedules. The on-disk codec
+   follows the network codec's exact-consumption discipline: truncation at
+   any byte boundary and any flipped byte are rejected. The sharded
+   evaluator's contract is that its accuracy table is bitwise identical to
+   the batched evaluator at every worker count and shard size; the golden
+   digest under test/golden/eval.digest pins it (regold with
+   EVAL_REGOLD=1). *)
+
+open Genie_thingtalk
+module Codec = Genie_dataset.Codec
+module Spill = Genie_dataset.Spill
+module Reader = Genie_dataset.Reader
+module Example = Genie_dataset.Example
+module Stream = Genie_synthesis.Stream
+module Engine = Genie_synthesis.Engine
+module Grammar = Genie_templates.Grammar
+module Fault = Genie_conc.Fault
+module Eval = Genie_parser_model.Eval
+module Aligner = Genie_parser_model.Aligner
+
+(* Worker counts under test; CI legs override via GENIE_TEST_WORKERS (CSV).
+   The sequential reference (0) is always included. *)
+let worker_counts =
+  match Sys.getenv_opt "GENIE_TEST_WORKERS" with
+  | None -> [ 0; 1; 2; 4 ]
+  | Some s ->
+      0
+      :: (String.split_on_char ',' (String.trim s)
+         |> List.filter (fun x -> x <> "")
+         |> List.map int_of_string
+         |> List.filter (fun w -> w > 0))
+
+(* --- shared fixtures -------------------------------------------------------------- *)
+
+let lib = lazy (Genie_thingpedia.Thingpedia.core_library ())
+
+let seeds =
+  lazy
+    (let lib = Lazy.force lib in
+     let g =
+       Grammar.create lib
+         ~prims:(Genie_thingpedia.Thingpedia.core_templates ())
+         ~rules:(Genie_templates.Rules_thingtalk.rules lib)
+         ~rng:(Genie_util.Rng.create 51) ()
+     in
+     let cfg =
+       { Engine.default_config with
+         Engine.seed = 51;
+         target_per_rule = 10;
+         max_depth = 2 }
+     in
+     Stream.synthesize_seeds ~workers:0 g cfg)
+
+let gz = lazy (Genie_augment.Gazettes.create ~size:300 ~profile:`Extended ())
+let expand_seed = 77
+let expand_scale = 2.0
+
+let reference =
+  lazy
+    (Stream.corpus_records ~workers:0 ~expand_scale (Lazy.force lib)
+       (Lazy.force gz) ~seed:expand_seed (Lazy.force seeds))
+
+let reference_digest = lazy (Codec.digest_records (Lazy.force reference))
+
+(* fresh spill directories under the system temp dir; corpus_to_spill
+   creates them, rm_rf tears them down *)
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "genie-stream-test-%d-%d" (Unix.getpid ()) !dir_counter)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Sys.rmdir dir with Sys_error _ -> ()
+  end
+
+let spill ?fault ~workers ~threshold () =
+  let dir = fresh_dir () in
+  let r =
+    Stream.corpus_to_spill ?fault ~workers ~expand_scale
+      ~spill:{ Stream.dir; threshold }
+      (Lazy.force lib) (Lazy.force gz) ~seed:expand_seed (Lazy.force seeds)
+  in
+  (dir, r)
+
+let check_spill_matches label ?fault ~workers ~threshold () =
+  let expect_n, expect_digest = Lazy.force reference_digest in
+  let dir, r = spill ?fault ~workers ~threshold () in
+  (match r with
+  | Error e -> Alcotest.fail (label ^ ": " ^ e)
+  | Ok st ->
+      Alcotest.(check int) (label ^ ": records") expect_n st.Stream.st_records;
+      Alcotest.(check string)
+        (label ^ ": digest") expect_digest st.Stream.st_digest;
+      (* after a successful merge only the corpus shard survives *)
+      Alcotest.(check (list string))
+        (label ^ ": no stray files") []
+        (Spill.stray_files ~dir ~keep:[ Stream.corpus_file ]));
+  rm_rf dir
+
+(* --- differential oracle: disk == memory ------------------------------------------ *)
+
+let thresholds = [ ("tiny", 3); ("mid", 64); ("unbounded", 0) ]
+
+let test_spill_workers_thresholds () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun (tname, threshold) ->
+          check_spill_matches
+            (Printf.sprintf "workers=%d threshold=%s" w tname)
+            ~workers:w ~threshold ())
+        thresholds)
+    worker_counts
+
+(* Seeded shard-fault schedules: a crashed shard is retried and rewrites the
+   same run files byte-identically, so no surviving schedule may change a
+   byte of the merged corpus. *)
+let fault_schedules =
+  [ ( "crash",
+      Fault.create
+        { Fault.default with Fault.seed = 7; crash_rate = 0.4; crash_attempts = 2 } );
+    ( "crash+drop",
+      Fault.create
+        { Fault.default with
+          Fault.seed = 11;
+          crash_rate = 0.25;
+          crash_attempts = 1;
+          drop_rate = 0.25;
+          drop_attempts = 1 } ) ]
+
+let test_spill_fault_invariant () =
+  List.iter
+    (fun (fname, fault) ->
+      List.iter
+        (fun w ->
+          check_spill_matches
+            (Printf.sprintf "fault=%s workers=%d" fname w)
+            ~fault ~workers:w ~threshold:3 ())
+        worker_counts)
+    fault_schedules
+
+(* --- the corpus shard reads back as the reference --------------------------------- *)
+
+let test_corpus_readback () =
+  let expected = Lazy.force reference in
+  let dir, r = spill ~workers:2 ~threshold:3 () in
+  (match r with
+  | Error e -> Alcotest.fail e
+  | Ok st ->
+      let path = Option.get st.Stream.st_corpus_path in
+      (* record-for-record: compare framed encodings, which is byte equality
+         of the whole corpus *)
+      (match Reader.read_all path with
+      | Error e -> Alcotest.fail e
+      | Ok got ->
+          Alcotest.(check int) "readback count" (List.length expected)
+            (List.length got);
+          List.iter2
+            (fun e g ->
+              Alcotest.(check int) "seqno" e.Codec.seqno g.Codec.seqno;
+              Alcotest.(check string) "framed bytes" (Codec.encode e)
+                (Codec.encode g))
+            expected got);
+      (* the streamed digest equals the in-memory fold *)
+      (match Reader.digest_file path with
+      | Error e -> Alcotest.fail e
+      | Ok (n, hex) ->
+          Alcotest.(check (pair int string))
+            "digest_file" (Lazy.force reference_digest) (n, hex));
+      (* bounded readahead is observationally invisible *)
+      match (Reader.read_all ~readahead:1 path, Reader.read_all ~readahead:4096 path) with
+      | Ok a, Ok b ->
+          Alcotest.(check bool) "readahead invariant" true (a = b)
+      | Error e, _ | _, Error e -> Alcotest.fail e);
+  rm_rf dir
+
+let test_reader_poisons_on_truncation () =
+  let dir, r = spill ~workers:0 ~threshold:0 () in
+  (match r with
+  | Error e -> Alcotest.fail e
+  | Ok st ->
+      let path = Option.get st.Stream.st_corpus_path in
+      let len = (Unix.stat path).Unix.st_size in
+      let truncated = Filename.concat dir "truncated.shard" in
+      let ic = open_in_bin path in
+      let bytes = really_input_string ic (len - 7) in
+      close_in ic;
+      let oc = open_out_bin truncated in
+      output_string oc bytes;
+      close_out oc;
+      match Reader.read_all truncated with
+      | Ok _ -> Alcotest.fail "truncated shard must not read cleanly"
+      | Error _ -> ());
+  rm_rf dir
+
+(* --- codec round-trip and rejection properties ------------------------------------ *)
+
+let record_pool = lazy (Array.of_list (Lazy.force reference))
+
+let arbitrary_record =
+  let gen =
+    QCheck.Gen.(
+      map
+        (fun ((i, sq), (extra, (nalts, src))) ->
+          let pool = Lazy.force record_pool in
+          let base = pool.(i mod Array.length pool).Codec.example in
+          let alt_of j =
+            (pool.((i + j + 1) mod Array.length pool)).Codec.example
+              .Example.program
+          in
+          let alternatives = List.init nalts alt_of in
+          let source =
+            match src mod 4 with
+            | 0 -> Example.Synthesized
+            | 1 -> Example.Paraphrase
+            | 2 -> Example.Evaluation "developer"
+            | _ -> Example.Evaluation "cheatsheet"
+          in
+          { Codec.seqno = sq;
+            example =
+              { base with
+                Example.id = sq;
+                tokens = base.Example.tokens @ extra;
+                alternatives;
+                source } })
+        (pair
+           (pair big_nat big_nat)
+           (pair
+              (small_list (oneofl [ "x"; ""; "two words"; "\xc3\xa9"; "\"" ]))
+              (pair (int_bound 2) (int_bound 16)))))
+  in
+  QCheck.make gen ~print:(fun r ->
+      Printf.sprintf "seqno=%d tokens=%d alts=%d" r.Codec.seqno
+        (List.length r.Codec.example.Example.tokens)
+        (List.length r.Codec.example.Example.alternatives))
+
+let qcheck_codec_roundtrip =
+  QCheck.Test.make ~name:"codec round-trips records exactly" ~count:200
+    arbitrary_record (fun r ->
+      match Codec.decode (Codec.encode r) with
+      | Error _ -> false
+      | Ok r' ->
+          r'.Codec.seqno = r.Codec.seqno
+          && r'.Codec.example.Example.id = r.Codec.example.Example.id
+          && r'.Codec.example.Example.tokens = r.Codec.example.Example.tokens
+          && r'.Codec.example.Example.source = r.Codec.example.Example.source
+          && Codec.encode r' = Codec.encode r)
+
+(* Exhaustive rejection sweeps on a few real records: cutting the frame at
+   every byte boundary and flipping every byte must both yield Error — the
+   exact-consumption / checksum discipline of the network codec. *)
+let sample_records () =
+  let pool = Lazy.force record_pool in
+  List.init 3 (fun i -> pool.(i * (Array.length pool / 3)))
+
+let test_truncation_rejected_at_every_boundary () =
+  List.iter
+    (fun r ->
+      let s = Codec.encode r in
+      for n = 0 to String.length s - 1 do
+        match Codec.decode (String.sub s 0 n) with
+        | Ok _ ->
+            Alcotest.fail (Printf.sprintf "truncation at %d accepted" n)
+        | Error _ -> ()
+      done;
+      match Codec.decode (s ^ "\x00") with
+      | Ok _ -> Alcotest.fail "trailing byte accepted"
+      | Error _ -> ())
+    (sample_records ())
+
+let test_flipped_byte_rejected_at_every_position () =
+  List.iter
+    (fun r ->
+      let s = Codec.encode r in
+      for i = 0 to String.length s - 1 do
+        let b = Bytes.of_string s in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x01));
+        match Codec.decode (Bytes.to_string b) with
+        | Ok _ -> Alcotest.fail (Printf.sprintf "flip at %d accepted" i)
+        | Error _ -> ()
+      done)
+    (sample_records ())
+
+(* --- k-way merge properties ------------------------------------------------------- *)
+
+(* a record with a chosen seqno, built over a pooled example *)
+let rec_at sq =
+  let pool = Lazy.force record_pool in
+  let base = pool.(sq mod Array.length pool).Codec.example in
+  { Codec.seqno = sq; example = { base with Example.id = sq } }
+
+let write_runs dir groups =
+  List.concat
+    (List.mapi
+       (fun shard seqnos ->
+         let w = Spill.Writer.create ~dir ~shard ~threshold:0 in
+         List.iter (fun sq -> Spill.Writer.add w (rec_at sq)) seqnos;
+         Spill.Writer.close w)
+       groups)
+
+let test_merge_is_sorted_concat () =
+  let dir = fresh_dir () in
+  Stream.mkdir_p dir;
+  (* interleaved, disjoint seqnos handed to writers in scrambled order *)
+  let groups = [ [ 9; 0; 4 ]; [ 2; 7 ]; [ 1; 3; 8; 5 ]; [ 6 ] ] in
+  let runs = write_runs dir groups in
+  let out = Filename.concat dir "merged.shard" in
+  (match Spill.merge ~out runs with
+  | Error e -> Alcotest.fail e
+  | Ok (n, digest) ->
+      Alcotest.(check int) "all records merged" 10 n;
+      let expected = List.init 10 rec_at in
+      let en, ed = Codec.digest_records expected in
+      Alcotest.(check (pair int string))
+        "merge = sorted concatenation" (en, ed) (n, digest);
+      match Reader.read_all out with
+      | Error e -> Alcotest.fail e
+      | Ok got ->
+          Alcotest.(check (list int))
+            "ascending seqnos" (List.init 10 Fun.id)
+            (List.map (fun r -> r.Codec.seqno) got));
+  rm_rf dir
+
+let test_merge_rejects_duplicate_seqno () =
+  let dir = fresh_dir () in
+  Stream.mkdir_p dir;
+  let runs = write_runs dir [ [ 0; 1; 2 ]; [ 2; 3 ] ] in
+  let out = Filename.concat dir "merged.shard" in
+  (match Spill.merge ~out runs with
+  | Ok _ -> Alcotest.fail "duplicate seqno across runs must be rejected"
+  | Error _ ->
+      Alcotest.(check bool) "no partial output left" false
+        (Sys.file_exists out || Sys.file_exists (out ^ ".tmp")));
+  rm_rf dir
+
+let test_writer_threshold_runs () =
+  let dir = fresh_dir () in
+  Stream.mkdir_p dir;
+  let mk threshold n =
+    let w = Spill.Writer.create ~dir ~shard:9 ~threshold in
+    List.iter (fun sq -> Spill.Writer.add w (rec_at sq)) (List.init n Fun.id);
+    let runs = Spill.Writer.close w in
+    List.iter (fun r -> Sys.remove r.Spill.run_path) runs;
+    runs
+  in
+  Alcotest.(check int) "threshold 4, 10 records -> 3 runs" 3
+    (List.length (mk 4 10));
+  Alcotest.(check int) "unbounded -> single run" 1 (List.length (mk 0 10));
+  let runs = mk 4 10 in
+  Alcotest.(check int) "record counts sum" 10
+    (List.fold_left (fun a r -> a + r.Spill.run_records) 0 runs);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "first <= last" true
+        (r.Spill.run_first <= r.Spill.run_last))
+    runs;
+  rm_rf dir
+
+(* --- sharded evaluation: worker- and shard-size-invariant, golden ------------------ *)
+
+let parse = Parser.parse_program
+
+let eval_dataset =
+  lazy
+    (let mk id sentence src =
+       Example.make ~id ~tokens:(Genie_util.Tok.tokenize sentence)
+         ~program:(parse src) ~source:Example.Synthesized ()
+     in
+     List.concat
+       (List.init 6 (fun i ->
+            let name =
+              List.nth [ "alice"; "bob"; "carol"; "dan"; "eve"; "mallory" ] i
+            in
+            [ mk (4 * i)
+                (Printf.sprintf "tweet %s" name)
+                (Printf.sprintf "now => @com.twitter.post(status = \"%s\");" name);
+              mk ((4 * i) + 1)
+                (Printf.sprintf "show me emails from %s" name)
+                (Printf.sprintf
+                   "now => (@com.gmail.inbox()) filter sender_name == \"%s\" => notify;"
+                   name);
+              mk ((4 * i) + 2) "get a cat picture"
+                "now => @com.thecatapi.get() => notify;";
+              mk ((4 * i) + 3) "when i receive an email , get a cat picture"
+                "monitor (@com.gmail.inbox()) => @com.thecatapi.get() => notify;" ])))
+
+let eval_model = lazy (Aligner.train (Lazy.force lib) (Lazy.force eval_dataset))
+
+let predict_batch sentences =
+  List.map
+    (fun (p : Aligner.prediction) -> p.Aligner.program)
+    (Aligner.predict_batch (Lazy.force eval_model) sentences)
+
+let batched_metrics =
+  lazy
+    (Eval.evaluate_batched (Lazy.force lib) predict_batch
+       (Lazy.force eval_dataset))
+
+let test_sharded_eval_invariant () =
+  let expected = Lazy.force batched_metrics in
+  Alcotest.(check bool) "eval set scored" true (expected.Eval.n > 0);
+  List.iter
+    (fun w ->
+      List.iter
+        (fun shard_size ->
+          let got =
+            Eval.evaluate_sharded ~workers:w ~shard_size (Lazy.force lib)
+              predict_batch (Lazy.force eval_dataset)
+          in
+          let label = Printf.sprintf "workers=%d shard=%d" w shard_size in
+          Alcotest.(check bool) (label ^ ": bitwise metrics") true
+            (got = expected);
+          Alcotest.(check string)
+            (label ^ ": digest") (Eval.digest expected) (Eval.digest got))
+        [ 1; 7; 32 ])
+    worker_counts
+
+(* dune runtest runs in the sandboxed test directory; dune exec from the
+   project root — accept either. *)
+let read_golden name =
+  let rel = Filename.concat "golden" name in
+  let path =
+    if Sys.file_exists rel then rel else Filename.concat "test" rel
+  in
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  line
+
+let test_eval_golden_digest () =
+  let m =
+    Eval.evaluate_sharded ~workers:0 (Lazy.force lib) predict_batch
+      (Lazy.force eval_dataset)
+  in
+  let line = Printf.sprintf "n=%d digest=%s" m.Eval.n (Eval.digest m) in
+  if Sys.getenv_opt "EVAL_REGOLD" <> None then
+    Printf.printf "test/golden/eval.digest: %s\n%!" line;
+  Alcotest.(check string) "golden eval digest" (read_golden "eval.digest") line
+
+let test_slot_f1_bounds () =
+  let m = Lazy.force batched_metrics in
+  Alcotest.(check bool) "slot f1 in [0,1]" true
+    (m.Eval.slot_f1 >= 0.0 && m.Eval.slot_f1 <= 1.0);
+  (* a perfect predictor that echoes the gold program has slot F1 = 1 *)
+  let echo =
+    List.map2
+      (fun (e : Example.t) (_ : string list) -> Some e.Example.program)
+      (Lazy.force eval_dataset)
+  in
+  let perfect =
+    Eval.evaluate_batched (Lazy.force lib)
+      (fun sents -> echo sents)
+      (Lazy.force eval_dataset)
+  in
+  Alcotest.(check (float 0.0)) "echo predictor slot f1" 1.0 perfect.Eval.slot_f1;
+  Alcotest.(check (float 0.0)) "echo predictor accuracy" 1.0
+    perfect.Eval.program_accuracy
+
+let suite =
+  [ Alcotest.test_case "spill == memory across workers x thresholds" `Slow
+      test_spill_workers_thresholds;
+    Alcotest.test_case "spill == memory under fault schedules" `Slow
+      test_spill_fault_invariant;
+    Alcotest.test_case "corpus shard reads back byte-identical" `Quick
+      test_corpus_readback;
+    Alcotest.test_case "reader poisons on truncated shard" `Quick
+      test_reader_poisons_on_truncation;
+    QCheck_alcotest.to_alcotest qcheck_codec_roundtrip;
+    Alcotest.test_case "truncation rejected at every boundary" `Quick
+      test_truncation_rejected_at_every_boundary;
+    Alcotest.test_case "flipped byte rejected at every position" `Quick
+      test_flipped_byte_rejected_at_every_position;
+    Alcotest.test_case "merge is the sorted concatenation" `Quick
+      test_merge_is_sorted_concat;
+    Alcotest.test_case "merge rejects duplicate seqnos" `Quick
+      test_merge_rejects_duplicate_seqno;
+    Alcotest.test_case "writer threshold controls run count" `Quick
+      test_writer_threshold_runs;
+    Alcotest.test_case "sharded eval worker/shard-size invariant" `Slow
+      test_sharded_eval_invariant;
+    Alcotest.test_case "golden eval digest" `Quick test_eval_golden_digest;
+    Alcotest.test_case "slot F1 bounds and perfect predictor" `Quick
+      test_slot_f1_bounds ]

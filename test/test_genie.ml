@@ -27,4 +27,5 @@ let () =
       ("metrics-edge", Suite_metrics_edge.suite);
       ("observe", Suite_observe.suite);
       ("net", Suite_net.suite);
-      ("checkpoint", Suite_checkpoint.suite) ]
+      ("checkpoint", Suite_checkpoint.suite);
+      ("stream", Suite_stream.suite) ]
