@@ -595,6 +595,71 @@ let serve_bench () =
         ("errors", Int s.errors);
         ("no_parse", Int s.no_parse) ]
   in
+  (* backend comparison: the same traffic through the Model interface,
+     aligner vs a (briefly trained) seq2seq — measures the per-request cost
+     of batched neural decode relative to the statistical decoder, not
+     parse accuracy *)
+  Printf.printf "\n%-14s %10s %10s %10s %10s %10s\n" "backend" "req/s"
+    "hit rate" "p50 ms" "p95 ms" "ok";
+  let lib = a.Pipeline.lib in
+  let nn_pairs =
+    List.filteri
+      (fun i _ -> i < if !quick then 120 else 400)
+      (List.map
+         (fun (toks, p) ->
+           (toks, Nn_syntax.to_tokens lib (Canonical.normalize lib p)))
+         (a.Pipeline.synthesized @ a.Pipeline.paraphrases))
+  in
+  let seq2seq =
+    let src_vocab = Genie_nn.Vocab.of_tokens (List.concat_map fst nn_pairs) in
+    let tgt_vocab = Genie_nn.Vocab.of_tokens (List.concat_map snd nn_pairs) in
+    let m =
+      Genie_nn.Seq2seq.create
+        ~cfg:
+          { Genie_nn.Seq2seq.default_config with
+            Genie_nn.Seq2seq.seed = 17;
+            dropout = 0.0 }
+        ~src_vocab ~tgt_vocab ()
+    in
+    Genie_nn.Seq2seq.train ~epochs:(if !quick then 1 else 2) ~lr:5e-3 ~batch:32
+      ~micro:8 m nn_pairs;
+    m
+  in
+  let backend_requests =
+    List.filteri (fun i _ -> i < if !quick then 200 else 600) requests
+  in
+  let run_backend (label, model, workers) =
+    let server = create ~lib ~model ~workers ~cache_capacity:4096 () in
+    ignore (run_batch ~batched:true server backend_requests);
+    let s = stats server in
+    shutdown server;
+    Printf.printf "%-14s %10.0f %9.1f%% %10.2f %10.2f %10d\n%!" label
+      s.throughput_rps (100. *. s.hit_rate) s.p50_ms s.p95_ms s.ok;
+    (label, workers, s)
+  in
+  let module Model = Genie_parser_model.Model in
+  let backend_rows =
+    List.map run_backend
+      [ ("aligner/seq", Model.of_aligner a.Pipeline.model, 0);
+        ("aligner/4w", Model.of_aligner a.Pipeline.model, 4);
+        ("seq2seq/seq", Model.of_seq2seq ~max_len:48 ~lib seq2seq, 0);
+        ("seq2seq/4w", Model.of_seq2seq ~max_len:48 ~lib seq2seq, 4) ]
+  in
+  let backend_row (label, workers, (s : stats)) =
+    Obj
+      [ ("label", String label);
+        ("model_kind", String s.model_kind);
+        ("workers", Int workers);
+        ("throughput_rps", Float s.throughput_rps);
+        ("hit_rate", Float s.hit_rate);
+        ("p50_ms", Float s.p50_ms);
+        ("p95_ms", Float s.p95_ms);
+        ("p99_ms", Float s.p99_ms);
+        ("mean_ms", Float s.mean_ms);
+        ("ok", Int s.ok);
+        ("no_parse", Int s.no_parse);
+        ("errors", Int s.errors) ]
+  in
   write_file "BENCH_serve.json"
     (Obj
        [ ("experiment", String "bench_serve");
@@ -603,7 +668,9 @@ let serve_bench () =
          ("zipf_s", Float 1.1);
          ("cores_recommended", Int cores);
          ("cores_online", Int online);
-         ("configs", List (List.map row rows)) ]);
+         ("configs", List (List.map row rows));
+         ("backend_requests", Int (List.length backend_requests));
+         ("backends", List (List.map backend_row backend_rows)) ]);
   Printf.printf "wrote BENCH_serve.json\n%!"
 
 (* --- network serving: daemon + loadgen over loopback ------------------------------ *)

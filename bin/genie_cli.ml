@@ -640,6 +640,14 @@ let train_cmd =
              ~doc:"Checkpoint every N optimizer steps (0 = only at \
                    completion / --stop-after)")
   in
+  let ckpt_keep =
+    Arg.(value & opt int 0
+         & info [ "ckpt-keep" ] ~docv:"K"
+             ~doc:"Rotate checkpoints: alongside --ckpt's stable file, keep \
+                   the last K step-stamped copies (PATH.stepNNNNNNNN) and \
+                   prune older ones. 0 disables rotation (the stable file \
+                   is still overwritten in place).")
+  in
   let stop_after =
     Arg.(value & opt int 0
          & info [ "stop-after" ] ~docv:"STEPS"
@@ -662,7 +670,7 @@ let train_cmd =
                    iterator (the rest of the file is never materialized).")
   in
   let run target depth pairs epochs lr batch micro workers_csv seed digest_dir
-      ckpt ckpt_every stop_after resume corpus =
+      ckpt ckpt_every ckpt_keep stop_after resume corpus =
     let resumed =
       if resume = "" then None
       else
@@ -779,7 +787,8 @@ let train_cmd =
         ("lr", string_of_float lr);
         ("batch", string_of_int batch);
         ("micro", string_of_int micro);
-        ("seed", string_of_int seed) ]
+        ("seed", string_of_int seed);
+        ("model_kind", "seq2seq") ]
     in
     let stopped = ref false in
     let runs =
@@ -805,6 +814,12 @@ let train_cmd =
           in
           let checkpoint =
             if ckpt = "" then None
+            else if ckpt_keep > 0 then
+              Some
+                (fun snap ->
+                  ignore
+                    (Genie_checkpoint.Checkpoint.save_rotating ~provenance
+                       ~snapshot:snap ~path:ckpt ~keep:ckpt_keep model))
             else
               Some
                 (fun snap ->
@@ -884,7 +899,8 @@ let train_cmd =
           deterministically data-parallel gradients")
     Term.(
       const run $ target $ depth $ pairs $ epochs $ lr $ batch $ micro $ workers
-      $ seed $ digest_dir $ ckpt $ ckpt_every $ stop_after $ resume $ corpus)
+      $ seed $ digest_dir $ ckpt $ ckpt_every $ ckpt_keep $ stop_after $ resume
+      $ corpus)
 
 (* --- serve-bench ----------------------------------------------------------------- *)
 
@@ -1130,35 +1146,66 @@ let serve_cmd =
   let scale =
     Arg.(value & opt float 0.3 & info [ "scale" ] ~doc:"Pipeline scale (training size)")
   in
-  let run listen workers window batch_max queue cache scale =
+  let model_ckpt =
+    Arg.(value & opt string ""
+         & info [ "model-ckpt" ] ~docv:"PATH"
+             ~doc:"Serve the neural seq2seq model from this checkpoint file \
+                   (weights only — Adam moments are skipped) instead of \
+                   training the statistical pipeline. SIGHUP / a Reload \
+                   frame re-reads the same path and hot-swaps the model in \
+                   between micro-batches; a corrupt or truncated file fails \
+                   closed (counted in reload_failures, active model keeps \
+                   serving).")
+  in
+  let run listen workers window batch_max queue cache scale model_ckpt =
     let host, port = parse_addr ~what:"--listen" listen in
     let port = Option.value ~default:0 port in
     let lib, prims, rules = setup () in
-    Printf.printf "training the semantic parser (scale %.2f)...\n%!" scale;
-    let cfg = Genie_core.Config.(scaled scale default) in
-    let a = Genie_core.Pipeline.run ~cfg ~lib ~prims ~rules () in
     let server =
-      Genie_serve.Server.of_artifacts ~workers ~cache_capacity:cache a
+      if model_ckpt <> "" then begin
+        Printf.printf "loading model checkpoint %s...\n%!" model_ckpt;
+        match Genie_parser_model.Model.load_checkpoint ~lib model_ckpt with
+        | Error e ->
+            Printf.eprintf "cannot load %s: %s\n" model_ckpt e;
+            exit 2
+        | Ok model ->
+            Printf.printf "model loaded: kind=%s digest=%s\n%!"
+              (Genie_parser_model.Model.kind_to_string
+                 model.Genie_parser_model.Model.kind)
+              model.Genie_parser_model.Model.digest;
+            Genie_serve.Server.create ~lib ~model ~workers
+              ~cache_capacity:cache ()
+      end
+      else begin
+        Printf.printf "training the semantic parser (scale %.2f)...\n%!" scale;
+        let cfg = Genie_core.Config.(scaled scale default) in
+        let a = Genie_core.Pipeline.run ~cfg ~lib ~prims ~rules () in
+        Genie_serve.Server.of_artifacts ~workers ~cache_capacity:cache a
+      end
     in
-    (* SIGHUP / Reload frame: retrain the pipeline under a shifted seed —
-       the stand-in for picking up newly trained weights from disk — and
-       hot-swap it in between micro-batches. *)
-    let reload ordinal =
-      let seed = cfg.Genie_core.Config.seed + ordinal in
-      Printf.printf "reload #%d: retraining the pipeline (seed %d)...\n%!"
-        ordinal seed;
-      let a' =
-        Genie_core.Pipeline.run
-          ~cfg:{ cfg with Genie_core.Config.seed }
-          ~lib ~prims ~rules ()
-      in
-      Some a'.Genie_core.Pipeline.model
+    (* SIGHUP / Reload frame: re-read the configured checkpoint path and
+       hot-swap the model in between micro-batches. Fail-closed: without
+       --model-ckpt there is nothing to reload from, and a corrupt or
+       truncated file keeps the active model serving — both count as
+       reload_failures. *)
+    let reload =
+      if model_ckpt = "" then None
+      else
+        Some
+          (fun ordinal ->
+            Printf.printf "reload #%d: re-reading %s...\n%!" ordinal model_ckpt;
+            match Genie_parser_model.Model.load_checkpoint ~lib model_ckpt with
+            | Ok model -> Some model
+            | Error e ->
+                Printf.printf "reload #%d failed (keeping active model): %s\n%!"
+                  ordinal e;
+                None)
     in
     let on_swap ~old_digest ~new_digest =
       Printf.printf "model swapped: %s -> %s\n%!" old_digest new_digest
     in
     let d =
-      Genie_net.Daemon.create ~server ~reload ~on_swap
+      Genie_net.Daemon.create ~server ?reload ~on_swap
         { Genie_net.Daemon.default_config with
           host;
           port;
@@ -1168,9 +1215,11 @@ let serve_cmd =
     in
     Genie_net.Daemon.install_signal_handlers d;
     Printf.printf
-      "genie-serve listening on %s:%d (workers=%d batch-window=%.1fms \
-       batch-max=%d queue=%d)\n%!"
-      host (Genie_net.Daemon.port d) workers window batch_max queue;
+      "genie-serve listening on %s:%d (model=%s workers=%d \
+       batch-window=%.1fms batch-max=%d queue=%d)\n%!"
+      host (Genie_net.Daemon.port d)
+      (Genie_serve.Server.model_kind server)
+      workers window batch_max queue;
     Genie_net.Daemon.run d;
     Genie_serve.Server.shutdown server;
     let s = Genie_net.Daemon.stats d in
@@ -1189,8 +1238,10 @@ let serve_cmd =
        ~doc:
          "Run the network serving daemon: a TCP front end that micro-batches \
           framed requests into the concurrent serving pool; SIGTERM drains \
-          gracefully, SIGHUP hot-swaps in a freshly trained model")
-    Term.(const run $ listen $ workers $ window $ batch_max $ queue $ cache $ scale)
+          gracefully, SIGHUP hot-swaps the model re-read from --model-ckpt")
+    Term.(
+      const run $ listen $ workers $ window $ batch_max $ queue $ cache $ scale
+      $ model_ckpt)
 
 let loadgen_cmd =
   let connect =

@@ -80,7 +80,10 @@ let weight_digest ck =
   in
   Hash64.to_hex h
 
-let restore ck =
+(* [moments] restores the Adam state too (resuming training); without it
+   only the weights land (a served model never consults its moments). Either
+   way, every name and shape is validated before the first blit. *)
+let restore_gen ~moments ck =
   let src_vocab = Vocab.of_tokens ck.src_tokens in
   let tgt_vocab = Vocab.of_tokens ck.tgt_tokens in
   if Vocab.tokens src_vocab <> ck.src_tokens then
@@ -117,8 +120,10 @@ let restore ck =
                   (Array.length src)
               in
               put pb.pb_w t;
-              put pb.pb_m p.Layers.m;
-              put pb.pb_v p.Layers.v
+              if moments then begin
+                put pb.pb_m p.Layers.m;
+                put pb.pb_v p.Layers.v
+              end
             end
           end)
         ps ck.params;
@@ -131,6 +136,17 @@ let restore ck =
           Ok model
     end
   end
+
+let restore ck = restore_gen ~moments:true ck
+let restore_weights ck = restore_gen ~moments:false ck
+
+(* The serving backend this checkpoint reconstructs, as recorded in its
+   provenance; every current producer writes a Seq2seq, so that is the
+   default for files from before the key existed. *)
+let model_kind ck =
+  match List.assoc_opt "model_kind" ck.provenance with
+  | Some k -> k
+  | None -> "seq2seq"
 
 (* --- writers ----------------------------------------------------------------- *)
 
@@ -333,15 +349,17 @@ let decode s =
 
 (* --- file IO ----------------------------------------------------------------- *)
 
-let save ~path ck =
+let write_atomic ~path s =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
-  (try output_string oc (encode ck)
+  (try output_string oc s
    with e ->
      close_out_noerr oc;
      raise e);
   close_out oc;
   Sys.rename tmp path
+
+let save ~path ck = write_atomic ~path (encode ck)
 
 let load path =
   match In_channel.with_open_bin path In_channel.input_all with
@@ -350,6 +368,61 @@ let load path =
 
 let save_model ?provenance ~snapshot ~path model =
   save ~path (of_model ?provenance ~snapshot model)
+
+(* --- rotation (keep-last-k GC) ------------------------------------------------ *)
+
+(* Rotated checkpoints live next to the latest one as [PATH.step<8 digits>]
+   (zero-padded, so lexicographic file listings agree with numeric step
+   order). [PATH] itself always holds the newest checkpoint -- the stable
+   name reload sources and resume recipes point at. *)
+
+let rotation_suffix_len = 8
+
+let rotation_path ~path ~step =
+  if step < 0 then invalid_arg "Checkpoint.rotation_path: negative step";
+  Printf.sprintf "%s.step%0*d" path rotation_suffix_len step
+
+let rotations ~path =
+  let dir = Filename.dirname path in
+  let prefix = Filename.basename path ^ ".step" in
+  let plen = String.length prefix in
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      List.sort compare
+        (List.filter_map
+           (fun n ->
+             if
+               String.length n = plen + rotation_suffix_len
+               && String.sub n 0 plen = prefix
+             then
+               match int_of_string_opt (String.sub n plen rotation_suffix_len) with
+               | Some step when step >= 0 -> Some (step, Filename.concat dir n)
+               | _ -> None
+             else None)
+           (Array.to_list names))
+
+let prune_rotations ~path ~keep =
+  let keep = max 0 keep in
+  let all = rotations ~path in
+  let excess = max 0 (List.length all - keep) in
+  let doomed = List.filteri (fun i _ -> i < excess) all in
+  List.map
+    (fun (_, p) ->
+      (try Sys.remove p with Sys_error _ -> ());
+      p)
+    doomed
+
+let save_rotating ?provenance ~snapshot ~path ~keep model =
+  (* keep >= 1: the prune below must never delete the file this call just
+     renamed into place *)
+  let keep = max 1 keep in
+  let bytes = encode (of_model ?provenance ~snapshot model) in
+  let step_file = rotation_path ~path ~step:snapshot.Seq2seq.snap_step in
+  write_atomic ~path:step_file bytes;
+  write_atomic ~path bytes;
+  ignore (prune_rotations ~path ~keep);
+  step_file
 
 let load_model path =
   match load path with
@@ -367,6 +440,7 @@ let describe (ck : t) : string =
   line "version:        %d" version;
   line "digest:         %s" (digest ck);
   line "weight digest:  %s" (weight_digest ck);
+  line "kind:           %s" (model_kind ck);
   line "model config:   embed=%d hidden=%d dropout=%g seed=%d"
     ck.cfg.Genie_nn.Seq2seq.embed_dim ck.cfg.Genie_nn.Seq2seq.hidden_dim
     ck.cfg.Genie_nn.Seq2seq.dropout ck.cfg.Genie_nn.Seq2seq.seed;

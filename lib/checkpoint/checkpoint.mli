@@ -48,6 +48,18 @@ val restore : t -> (Genie_nn.Seq2seq.t, string) result
     model's. Pass [snapshot] to {!Genie_nn.Seq2seq.train}[ ~resume] to
     continue the interrupted run. *)
 
+val restore_weights : t -> (Genie_nn.Seq2seq.t, string) result
+(** {!restore} minus the Adam moments: rebuilds a {e servable} model
+    (weights, vocabularies and RNG cursor restored bitwise, moments left at
+    their freshly-initialized zeros). Decoding never reads moments, so the
+    result predicts identically to the full restore; it just cannot resume
+    training. Same validate-before-blit discipline as {!restore}. *)
+
+val model_kind : t -> string
+(** The provenance table's ["model_kind"] entry, defaulting to ["seq2seq"]
+    for checkpoints written before the key existed (the format only stores
+    seq2seq models). *)
+
 val weight_digest : t -> string
 (** The captured weights' 16-hex digest — same formula as
     {!Genie_nn.Optimizer.digest}, so it compares directly against a live
@@ -80,6 +92,41 @@ val save_model :
 val load_model : string -> (Genie_nn.Seq2seq.t * t, string) result
 (** {!load} + {!restore}, returning the checkpoint alongside the model (for
     its snapshot and provenance). *)
+
+(** {2 Rotation (keep-last-K GC)}
+
+    [genie train --ckpt-keep K] writes each checkpoint twice: once under the
+    stable [path] (always the newest — what reload sources point at) and
+    once as [path.stepNNNNNNNN] (zero-padded Adam step), then prunes the
+    step files down to the last [K]. Both writes are atomic, and pruning
+    runs only after the new file is safely renamed into place, so a kill at
+    any point leaves a loadable latest checkpoint. *)
+
+val rotation_path : path:string -> step:int -> string
+(** [path.step<8-digit zero-padded step>]. Raises [Invalid_argument] on a
+    negative step. *)
+
+val rotations : path:string -> (int * string) list
+(** The rotated siblings of [path] that exist on disk, as
+    [(step, file)] pairs sorted by ascending step. Ignores [path] itself,
+    temp files and anything whose suffix is not exactly 8 digits. *)
+
+val prune_rotations : path:string -> keep:int -> string list
+(** Deletes the oldest rotated checkpoints until at most [keep] remain,
+    returning the deleted paths (oldest first). Never touches [path]
+    itself. *)
+
+val save_rotating :
+  ?provenance:(string * string) list ->
+  snapshot:Genie_nn.Seq2seq.snapshot ->
+  path:string ->
+  keep:int ->
+  Genie_nn.Seq2seq.t ->
+  string
+(** Encodes once, atomically writes the step file then the stable [path],
+    prunes to the last [keep] step files ([keep] is clamped to [>= 1], so
+    the file just written always survives), and returns the step file's
+    path. *)
 
 val describe : t -> string
 (** A human-readable report: version, digests, model config, vocabulary

@@ -49,7 +49,7 @@ type t = {
   (* the reload source: given the 1-based reload ordinal, produce the model
      to swap in (None = nothing newer available). Runs on the event-loop
      domain, between batches. *)
-  reload_source : (int -> Genie_parser_model.Aligner.t option) option;
+  reload_source : (int -> Genie_parser_model.Model.t option) option;
   on_swap : (old_digest:string -> new_digest:string -> unit) option;
   mutable listen_fd : Unix.file_descr option;
   bound_port : int;
@@ -295,6 +295,7 @@ type stats = {
   reload_noops : int;
   reload_failures : int;
   model_digest : string;
+  model_kind : string;
   drained : bool;
 }
 
@@ -323,6 +324,7 @@ let stats t =
     reload_noops = t.reload_noops;
     reload_failures = t.reload_failures;
     model_digest = Server.model_digest t.server;
+    model_kind = Server.model_kind t.server;
     drained = t.drained }
 
 let stats_json t =
@@ -354,6 +356,7 @@ let stats_json t =
       ("reload_noops", Json.Int s.reload_noops);
       ("reload_failures", Json.Int s.reload_failures);
       ("model_digest", Json.String s.model_digest);
+      ("model_kind", Json.String s.model_kind);
       ("drained", Json.Bool s.drained);
       ( "server",
         Json.Obj
@@ -367,6 +370,7 @@ let stats_json t =
             ("retries", Json.Int ss.Server.retries);
             ("degraded", Json.Int ss.Server.degraded);
             ("model_digest", Json.String ss.Server.model_digest);
+            ("model_kind", Json.String ss.Server.model_kind);
             ("swaps", Json.Int ss.Server.swaps);
             ("cache_hits", Json.Int ss.Server.cache_hits);
             ("cache_misses", Json.Int ss.Server.cache_misses);

@@ -59,7 +59,7 @@ type t
 val create :
   ?tracer:Genie_observe.Tracer.t ->
   ?tracer_slot:int ->
-  ?reload:(int -> Genie_parser_model.Aligner.t option) ->
+  ?reload:(int -> Genie_parser_model.Model.t option) ->
   ?on_swap:(old_digest:string -> new_digest:string -> unit) ->
   server:Genie_serve.Server.t ->
   config ->
@@ -73,8 +73,11 @@ val create :
     [reload] is the hot-swap model source, called on the event-loop domain
     with the 1-based reload ordinal; returning [None] (or omitting
     [reload]) counts the request as a failure and keeps the active model.
-    [on_swap] is notified after each committed swap — the CLI uses it to
-    log the digest transition. *)
+    The CLI's source re-reads the configured checkpoint path and fails
+    closed — a corrupt, truncated or missing file returns [None], bumping
+    [reload_failures] while the active model keeps serving. [on_swap] is
+    notified after each committed swap — the CLI uses it to log the digest
+    transition. *)
 
 val port : t -> int
 (** The bound port (resolves port 0 to the kernel's choice). *)
@@ -122,7 +125,8 @@ type stats = {
   reload_noops : int;  (** reloads whose model matched the active digest *)
   reload_failures : int;
       (** reloads with no source, or whose source returned [None] *)
-  model_digest : string;  (** the active model's {!Genie_parser_model.Aligner.digest} *)
+  model_digest : string;  (** the active model's {!Genie_parser_model.Model.digest} *)
+  model_kind : string;  (** ["aligner"] / ["seq2seq"] — which backend is live *)
   drained : bool;  (** true once {!run} has completed a graceful drain *)
 }
 

@@ -90,33 +90,6 @@ let dropout_rng t ~epoch ~example_id =
   let h = Genie_util.Hash64.int h example_id in
   Genie_util.Rng.create (Int64.to_int h)
 
-let encode tape t ~training (src_ids : int list) =
-  let st = ref (Layers.lstm_init tape t.encoder) in
-  let states =
-    List.map
-      (fun i ->
-        let x = Layers.lookup tape t.src_embed i in
-        let x = Autodiff.dropout tape t.rng ~p:t.cfg.dropout ~training x in
-        st := Layers.lstm_step tape t.encoder !st x;
-        (!st).Layers.h)
-      src_ids
-  in
-  (states, !st)
-
-(* One decoder step; returns (new state, attention node, vocab-probs node,
-   gate node). *)
-let decode_step tape t ~training ~enc_states st prev_id =
-  let prev = Layers.lookup tape t.tgt_embed prev_id in
-  let prev = Autodiff.dropout tape t.rng ~p:t.cfg.dropout ~training prev in
-  let att_weights, context = Layers.attention tape enc_states st.Layers.h in
-  let inp = Autodiff.concat tape prev context in
-  let st' = Layers.lstm_step tape t.decoder st inp in
-  let feat = Autodiff.concat tape st'.Layers.h context in
-  let logits = Layers.apply_linear tape t.out_proj feat in
-  let vocab_probs = Autodiff.softmax tape logits in
-  let gate = Autodiff.sigmoid tape (Layers.apply_linear tape t.gate_proj feat) in
-  (st', att_weights, vocab_probs, gate)
-
 (* --- batched teacher-forced loss --------------------------------------------- *)
 
 (* How dropout masks are drawn for a forward pass. [Drop_legacy] is the
@@ -317,50 +290,174 @@ let example_loss ?epoch ?example_id tape t ~training (src_tokens : string list)
   in
   batched_loss_impl tape t ~training ~drop [| (src_tokens, tgt_tokens) |]
 
-(* Greedy decode with copy: at each step pick the argmax of the mixed
-   distribution over (vocab tokens + source copies). Draws from no RNG
-   stream, so predicting mid-training cannot perturb subsequent weights. *)
-let decode ?(max_len = 60) t (src_tokens : string list) : string list =
-  let tape = Autodiff.new_tape () in
-  let src_ids = List.map (Vocab.id t.src_vocab) src_tokens in
-  let src_arr = Array.of_list src_tokens in
-  let enc_states, enc_final = encode tape t ~training:false src_ids in
-  let st = ref { Layers.h = enc_final.Layers.h; c = enc_final.Layers.c } in
-  let prev = ref (Vocab.bos_id t.tgt_vocab) in
-  let out = ref [] in
-  let finished = ref false in
-  let steps = ref 0 in
-  while (not !finished) && !steps < max_len do
-    incr steps;
-    let st', att, vocab_probs, gate = decode_step tape t ~training:false ~enc_states !st !prev in
-    st := st';
-    let g = Tensor.get gate.Autodiff.value 0 0 in
-    (* mixture probability per candidate token *)
-    let scores = Hashtbl.create 64 in
-    for i = 0 to vocab_probs.Autodiff.value.Tensor.cols - 1 do
-      let p = Tensor.get vocab_probs.Autodiff.value 0 i in
-      let tok = Vocab.token t.tgt_vocab i in
-      if tok <> Vocab.unk then Hashtbl.replace scores tok (g *. p)
-    done;
-    for i = 0 to att.Autodiff.value.Tensor.cols - 1 do
-      let p = Tensor.get att.Autodiff.value 0 i in
-      let tok = src_arr.(i) in
-      let cur = try Hashtbl.find scores tok with Not_found -> 0.0 in
-      Hashtbl.replace scores tok (cur +. ((1.0 -. g) *. p))
-    done;
-    let best_tok, _ =
-      Hashtbl.fold
-        (fun tok p ((_, bp) as best) -> if p > bp then (tok, p) else best)
-        scores (Vocab.eos, neg_infinity)
+(* Batched greedy decode with copy: at each step every unfinished row picks
+   the argmax of its mixed distribution over (vocab tokens + source copies).
+   Draws from no RNG stream, so predicting mid-training cannot perturb
+   subsequent weights.
+
+   Determinism contract (the serving side of the PR 5 batched-tensor
+   discipline): row r of every intermediate tensor belongs to source r alone
+   -- the encoder is the batched loss's source side minus dropout (identity
+   at inference), the decoder's attention is masked to each row's own length
+   -- so a row's forward arithmetic is bitwise identical at any batch
+   composition, and a batch of one replays the per-example tape exactly.
+   The argmax is deterministic outright: candidates are scanned in vocabulary
+   id order and then in ascending source position, with a strict [>], so ties
+   resolve identically everywhere (the historical single-example decode
+   resolved them by hash-table iteration order). Rows are ordered internally
+   by descending source length (encoder prefix trimming); results come back
+   in submission order. *)
+let decode_batch ?(max_len = 60) ?scratch t (srcs : string list list) =
+  let b = List.length srcs in
+  if b = 0 then []
+  else begin
+    (match scratch with Some a -> Tensor.Scratch.reset a | None -> ());
+    let tape = Autodiff.new_tape ?scratch () in
+    (* descending source length, ties by submission position: each encoder
+       timestep's active rows form a leading prefix (see batched_loss_impl) *)
+    let order = Array.of_list (List.mapi (fun i s -> (Array.of_list s, i)) srcs) in
+    Array.sort
+      (fun (sa, ia) (sb, ib) ->
+        let c = compare (Array.length sb) (Array.length sa) in
+        if c <> 0 then c else compare ia ib)
+      order;
+    let srcs_arr = Array.map fst order in
+    let src_ids = Array.map (Array.map (Vocab.id t.src_vocab)) srcs_arr in
+    let src_lens = Array.map Array.length src_ids in
+    let t_src = Array.fold_left max 0 src_lens in
+    let pad_src = Vocab.id t.src_vocab Vocab.pad in
+    let all_of active = Array.for_all Fun.id active in
+    let carry active (st : Layers.lstm_state) (st' : Layers.lstm_state) =
+      if all_of active then st'
+      else
+        { Layers.h = Autodiff.masked_select tape active st'.Layers.h st.Layers.h;
+          c = Autodiff.masked_select tape active st'.Layers.c st.Layers.c }
     in
-    if best_tok = Vocab.eos || best_tok = Vocab.pad || best_tok = Vocab.bos then
-      finished := true
-    else begin
-      out := best_tok :: !out;
-      prev := Vocab.id t.tgt_vocab best_tok
-    end
-  done;
-  List.rev !out
+    let prefix_len lens step =
+      let last = ref (-1) in
+      for r = 0 to Array.length lens - 1 do
+        if step < lens.(r) then last := r
+      done;
+      !last + 1
+    in
+    (* encoder: the batched loss's source side, dropout elided (identity when
+       not training) *)
+    let st = ref (Layers.lstm_init ~rows:b tape t.encoder) in
+    let enc_states = ref [] in
+    for step = 0 to t_src - 1 do
+      let k = prefix_len src_lens step in
+      let active = Array.init k (fun r -> step < src_lens.(r)) in
+      let ids =
+        Array.init k (fun r -> if step < src_lens.(r) then src_ids.(r).(step) else pad_src)
+      in
+      let x = Layers.lookup_rows tape t.src_embed ids in
+      let st_k =
+        { Layers.h = Autodiff.rows_prefix tape (!st).Layers.h k;
+          c = Autodiff.rows_prefix tape (!st).Layers.c k }
+      in
+      let stepped = carry active st_k (Layers.lstm_step tape t.encoder st_k x) in
+      let st' =
+        { Layers.h = Autodiff.overlay_rows tape ~top:stepped.Layers.h ~base:(!st).Layers.h;
+          c = Autodiff.overlay_rows tape ~top:stepped.Layers.c ~base:(!st).Layers.c }
+      in
+      st := st';
+      enc_states := st'.Layers.h :: !enc_states
+    done;
+    let enc_states = List.rev !enc_states in
+    (* decoder: all rows step together (a finished row keeps stepping but its
+       output is discarded, and row-parallel ops mean its arithmetic cannot
+       leak into a neighbour); each row's attention is masked to its own
+       source length, so padded positions contribute exactly nothing *)
+    let st = ref { Layers.h = (!st).Layers.h; c = (!st).Layers.c } in
+    let prev = Array.make b (Vocab.bos_id t.tgt_vocab) in
+    let finished = Array.make b false in
+    let outs = Array.make b [] in
+    let logps = Array.make b 0.0 in
+    let steps = ref 0 in
+    let vocab_n = Vocab.size t.tgt_vocab in
+    while (not (Array.for_all Fun.id finished)) && !steps < max_len do
+      incr steps;
+      let x = Layers.lookup_rows tape t.tgt_embed prev in
+      let att, context =
+        Layers.attention ~lengths:src_lens tape enc_states (!st).Layers.h
+      in
+      let inp = Autodiff.concat tape x context in
+      let st' = Layers.lstm_step tape t.decoder !st inp in
+      let feat = Autodiff.concat tape st'.Layers.h context in
+      let logits = Layers.apply_linear tape t.out_proj feat in
+      let vocab_probs = Autodiff.softmax tape logits in
+      let gate = Autodiff.sigmoid tape (Layers.apply_linear tape t.gate_proj feat) in
+      st := st';
+      for r = 0 to b - 1 do
+        if not finished.(r) then begin
+          let g = Tensor.get gate.Autodiff.value r 0 in
+          (* mixture probability per candidate token, accumulated exactly as
+             the historical per-example decode did: vocabulary mass first,
+             then copy mass in ascending source position *)
+          let scores = Hashtbl.create 64 in
+          for i = 0 to vocab_n - 1 do
+            let tok = Vocab.token t.tgt_vocab i in
+            if tok <> Vocab.unk then
+              Hashtbl.replace scores tok (g *. Tensor.get vocab_probs.Autodiff.value r i)
+          done;
+          for i = 0 to src_lens.(r) - 1 do
+            let p = Tensor.get att.Autodiff.value r i in
+            let tok = srcs_arr.(r).(i) in
+            let cur = try Hashtbl.find scores tok with Not_found -> 0.0 in
+            Hashtbl.replace scores tok (cur +. ((1.0 -. g) *. p))
+          done;
+          (* deterministic argmax: vocabulary ids ascending, then source
+             positions ascending (out-of-vocabulary copies only -- in-vocab
+             source tokens were already scanned), strict [>] throughout *)
+          let best_tok = ref Vocab.eos and best_p = ref neg_infinity in
+          for i = 0 to vocab_n - 1 do
+            let tok = Vocab.token t.tgt_vocab i in
+            if tok <> Vocab.unk then begin
+              let p = Hashtbl.find scores tok in
+              if p > !best_p then begin
+                best_tok := tok;
+                best_p := p
+              end
+            end
+          done;
+          for i = 0 to src_lens.(r) - 1 do
+            let tok = srcs_arr.(r).(i) in
+            if Vocab.id t.tgt_vocab tok = Vocab.unk_id t.tgt_vocab && tok <> Vocab.unk
+            then begin
+              let p = Hashtbl.find scores tok in
+              if p > !best_p then begin
+                best_tok := tok;
+                best_p := p
+              end
+            end
+          done;
+          logps.(r) <- logps.(r) +. log (Float.max !best_p Float.min_float);
+          if !best_tok = Vocab.eos || !best_tok = Vocab.pad || !best_tok = Vocab.bos
+          then begin
+            finished.(r) <- true;
+            prev.(r) <- Vocab.eos_id t.tgt_vocab
+          end
+          else begin
+            outs.(r) <- !best_tok :: outs.(r);
+            prev.(r) <- Vocab.id t.tgt_vocab !best_tok
+          end
+        end
+      done
+    done;
+    (* back to submission order *)
+    let results = Array.make b ([], 0.0) in
+    Array.iteri
+      (fun r (_, orig) -> results.(orig) <- (List.rev outs.(r), logps.(r)))
+      order;
+    Array.to_list results
+  end
+
+(* Greedy decode of one source: the one-row batch (bitwise-identical tape by
+   the row-parallel contract above). *)
+let decode ?max_len t (src_tokens : string list) : string list =
+  match decode_batch ?max_len t [ src_tokens ] with
+  | [ (toks, _) ] -> toks
+  | _ -> assert false
 
 (* --- training loop ----------------------------------------------------------- *)
 

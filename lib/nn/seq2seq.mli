@@ -75,8 +75,28 @@ val example_loss :
     this example's row in any {!batch_loss}); without them it draws from the
     historical shared stream. *)
 
+val decode_batch :
+  ?max_len:int ->
+  ?scratch:Tensor.Scratch.arena ->
+  t ->
+  string list list ->
+  (string list * float) list
+(** Batched greedy decoding over the mixed generate/copy distribution:
+    one [(tokens, score)] per source, in submission order, where [score] is
+    the summed natural log of each chosen step's mixture probability.
+
+    Row-parallel like {!batch_loss}: row [r]'s forward arithmetic (encoder
+    prefix-trimmed by descending source length, decoder attention masked to
+    the row's own length) is bitwise identical at any batch composition, so
+    [decode_batch [x]] replays the per-example tape exactly and predictions
+    are invariant under batching, sharding and worker count. The argmax
+    scans candidates in vocabulary id order then ascending source position
+    with a strict [>], so ties are deterministic too. Draws from no RNG
+    stream. [scratch] (reset on entry) recycles the tape's tensor storage —
+    pass a per-worker arena on the serving path. *)
+
 val decode : ?max_len:int -> t -> string list -> string list
-(** Greedy decoding over the mixed generate/copy distribution. *)
+(** Greedy decoding of one source: [decode_batch] of a one-row batch. *)
 
 type train_report = { epoch : int; mean_loss : float }
 

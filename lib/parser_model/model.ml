@@ -1,0 +1,104 @@
+(* The record-of-closures model boundary between training backends and the
+   serving stack. See model.mli for the contract; the notable invariants:
+
+   - [digest] is computed once per underlying backend and threaded through
+     [fork], so a fleet of worker handles agrees on the active model's
+     identity without re-hashing the tables/weights per worker.
+   - [fork] privatizes exactly the per-handle mutable scratch: the
+     aligner's explainer memo (a lazily-filled Hashtbl that predict
+     writes), the seq2seq's tensor arena. Everything heavy is shared. *)
+
+open Genie_thingtalk
+
+type kind = Kind_aligner | Kind_seq2seq
+
+let kind_to_string = function
+  | Kind_aligner -> "aligner"
+  | Kind_seq2seq -> "seq2seq"
+
+type prediction = Aligner.prediction = {
+  program : Ast.program option;
+  nn_tokens : string list;
+  score : float;
+}
+
+let no_prediction = Aligner.no_prediction
+
+type t = {
+  kind : kind;
+  digest : string;
+  predict : ?scope:Genie_observe.Tracer.scope -> string list -> prediction;
+  predict_batch : string list list -> prediction list;
+  fork : unit -> t;
+}
+
+let of_aligner al =
+  let digest = Aligner.digest al in
+  let rec make al =
+    { kind = Kind_aligner;
+      digest;
+      predict = (fun ?scope tokens -> Aligner.predict ?scope al tokens);
+      predict_batch = (fun batch -> Aligner.predict_batch al batch);
+      fork =
+        (fun () ->
+          make
+            { al with
+              Aligner.explainer = Hashtbl.copy al.Aligner.explainer }) }
+  in
+  make al
+
+let of_seq2seq ?options ?max_len ~lib model =
+  let digest = Genie_nn.Seq2seq.weight_digest model in
+  let to_prediction (toks, logp) =
+    let program =
+      match Nn_syntax.of_tokens ?options lib toks with
+      | p -> Some p
+      | exception Nn_syntax.Parse_error _ -> None
+      | exception _ -> None
+    in
+    { program; nn_tokens = toks; score = logp }
+  in
+  let rec make () =
+    (* One arena per handle: decode_batch resets it on entry, so a handle
+       must not be shared across domains — fork per worker instead. *)
+    let scratch = Genie_nn.Tensor.Scratch.create () in
+    let decode srcs =
+      Genie_nn.Seq2seq.decode_batch ?max_len ~scratch model srcs
+    in
+    let predict_batch batch =
+      (* Empty rows can't be encoded (attention needs >= 1 position); route
+         them around the decoder and keep submission order. *)
+      let indexed = List.mapi (fun i s -> (i, s)) batch in
+      let nonempty = List.filter (fun (_, s) -> s <> []) indexed in
+      let decoded = decode (List.map snd nonempty) in
+      let table = Hashtbl.create 16 in
+      List.iter2
+        (fun (i, _) out -> Hashtbl.replace table i (to_prediction out))
+        nonempty decoded;
+      List.map
+        (fun (i, _) ->
+          match Hashtbl.find_opt table i with
+          | Some p -> p
+          | None -> no_prediction)
+        indexed
+    in
+    { kind = Kind_seq2seq;
+      digest;
+      predict =
+        (fun ?scope tokens ->
+          ignore scope;
+          match predict_batch [ tokens ] with
+          | [ p ] -> p
+          | _ -> assert false);
+      predict_batch;
+      fork = (fun () -> make ()) }
+  in
+  make ()
+
+let load_checkpoint ?options ?max_len ~lib path =
+  match Genie_checkpoint.Checkpoint.load path with
+  | Error e -> Error e
+  | Ok ck -> (
+      match Genie_checkpoint.Checkpoint.restore_weights ck with
+      | Error e -> Error e
+      | Ok model -> Ok (of_seq2seq ?options ?max_len ~lib model))

@@ -1,0 +1,83 @@
+(** The first-class model interface the serving stack is polymorphic over.
+
+    A {!t} is a record of closures — the two prediction entry points plus
+    the identity metadata the serve layer keys caches and stats on — so
+    the engine, server and daemon never name a concrete backend. Two
+    backends exist: the statistical {!Aligner} (wrapped as-is, responses
+    byte-identical to calling it directly) and the neural
+    {!Genie_nn.Seq2seq} (batched greedy decode over the row-parallel
+    tensors, predictions worker-count- and batch-composition-invariant).
+
+    Handles are {e not} domain-safe: both backends carry per-handle mutable
+    scratch (the aligner's lazily-filled explainer memo, the seq2seq's
+    tensor arena). Call {!fork} to mint a sibling handle for each worker —
+    the heavy read-only state (statistical tables, weights) stays
+    physically shared, only the scratch is private. *)
+
+open Genie_thingtalk
+
+type kind = Kind_aligner | Kind_seq2seq
+
+val kind_to_string : kind -> string
+(** ["aligner"] / ["seq2seq"] — what stats and [ckpt inspect] print. *)
+
+type prediction = Aligner.prediction = {
+  program : Ast.program option;
+  nn_tokens : string list;
+  score : float;
+}
+
+val no_prediction : prediction
+
+type t = {
+  kind : kind;
+  digest : string;
+      (** The backend's 16-hex identity: {!Aligner.digest} or
+          {!Genie_nn.Seq2seq.weight_digest}. Equal digests answer every
+          sentence identically; the serve layer keys cache invalidation
+          and swap noop-detection on it. Stable across {!fork}. *)
+  predict : ?scope:Genie_observe.Tracer.scope -> string list -> prediction;
+      (** Parses one tokenized sentence. [scope] is forwarded to backends
+          that trace (the aligner); others ignore it. *)
+  predict_batch : string list list -> prediction list;
+      (** Batched prediction, one result per sentence in submission order.
+          Byte-identical to mapping {!predict} — batching is a throughput
+          lever, never a semantic one. *)
+  fork : unit -> t;
+      (** A sibling handle with private mutable scratch and shared
+          read-only state; same [kind] and [digest]. *)
+}
+
+val of_aligner : Aligner.t -> t
+(** Wraps a trained aligner. [predict]/[predict_batch] are the aligner's
+    own, so responses are byte-identical to calling it directly; [fork]
+    takes the shallow-copy-with-private-explainer that the serve engine
+    historically took. *)
+
+val of_seq2seq :
+  ?options:Nn_syntax.options ->
+  ?max_len:int ->
+  lib:Schema.Library.t ->
+  Genie_nn.Seq2seq.t ->
+  t
+(** Wraps a trained (or checkpoint-restored) seq2seq. Predictions run
+    {!Genie_nn.Seq2seq.decode_batch} on a per-handle scratch arena, then
+    parse the decoded tokens with {!Nn_syntax.of_tokens} under [options]
+    (default {!Nn_syntax.default_options}): a malformed decode yields
+    [program = None] with the raw tokens still in [nn_tokens]. [score] is
+    the decode's summed log-probability. The empty sentence short-circuits
+    to {!no_prediction} (the encoder needs at least one position).
+    [fork] shares the weights and allocates a fresh arena. Decoding draws
+    from no RNG stream, so concurrent forks cannot perturb each other. *)
+
+val load_checkpoint :
+  ?options:Nn_syntax.options ->
+  ?max_len:int ->
+  lib:Schema.Library.t ->
+  string ->
+  (t, string) result
+(** Boots a servable model from a checkpoint file:
+    {!Genie_checkpoint.Checkpoint.load} +
+    [restore_weights] (moments skipped — serving never reads them) +
+    {!of_seq2seq}. Fail-closed: a truncated, corrupt, wrong-version or
+    shape-mismatched file is [Error] and nothing is constructed. *)

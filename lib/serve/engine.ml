@@ -1,11 +1,10 @@
 (* The per-worker request engine.
 
-   Thread-safety inventory of the shared aligner model (Aligner.t): after
-   training, predict only *reads* the inventory / clause / counter tables --
-   with one exception, the [explainer] memo table, which predict fills
-   lazily per unseen word. Concurrent Hashtbl writes are unsafe under
-   domains, so each engine takes a shallow copy of the model record with its
-   own copy of that one table; everything else stays physically shared.
+   Thread-safety inventory of the shared model: a [Model.t] handle carries
+   per-handle mutable scratch (the aligner's lazily-filled [explainer] memo,
+   the seq2seq's tensor arena) that is unsafe to share across domains, so
+   each engine [Model.fork]s its own handle; the heavy read-only state
+   (statistical tables, weights) stays physically shared behind the forks.
 
    Fault injection: an engine created with a fault raises
    [Fault.Injected_crash] out of [process] for scheduled (id, attempt)
@@ -17,7 +16,7 @@
    test suite stays fast. *)
 
 open Genie_thingtalk
-module Aligner = Genie_parser_model.Aligner
+module Model = Genie_parser_model.Model
 module Tracer = Genie_observe.Tracer
 module Span = Genie_observe.Span
 module Probe = Genie_observe.Probe
@@ -27,11 +26,11 @@ module Probe = Genie_observe.Probe
    (no re-stringification on the hot path) and keys the compiled-program
    cache. Aligner predictions are canonicalized by default, so the printed
    text is the canonical form. *)
-type cached = { pred : Aligner.prediction; text : string option }
+type cached = { pred : Model.prediction; text : string option }
 
 type t = {
   lib : Schema.Library.t;
-  mutable model : Aligner.t;  (* private handle: own [explainer] scratch table *)
+  mutable model : Model.t;  (* private fork: own mutable scratch *)
   cache : cached Parse_cache.t;
   env : Genie_runtime.Exec.env;
   metrics : Metrics.t;
@@ -46,10 +45,7 @@ let create ~lib ~model ~cache_capacity ~metrics ~worker ?seed
     ?(fault = Fault.none) ?(tracer = Tracer.disabled) ?(compiled = true)
     ?compile_cache_capacity () =
   let seed = Option.value seed ~default:worker in
-  let model =
-    { model with
-      Aligner.explainer = Hashtbl.copy model.Aligner.explainer }
-  in
+  let model = model.Model.fork () in
   let ccache_capacity = Option.value compile_cache_capacity ~default:cache_capacity in
   { lib;
     model;
@@ -141,24 +137,24 @@ let process ?(attempt = 0) ?preparsed t (req : Request.t) : Response.t =
         Probe.incr probe Probe.Parse;
         (* a batch pass may have parsed this key already (see
            [process_batch]); the cached-prediction value is identical to
-           what [Aligner.predict] would return here *)
+           what [Model.predict] would return here *)
         let predict () =
           match preparsed with
           | Some f -> (
               match f key with
               | Some p -> p
-              | None -> Aligner.predict ?scope t.model tokens)
-          | None -> Aligner.predict ?scope t.model tokens
+              | None -> t.model.Model.predict ?scope tokens)
+          | None -> t.model.Model.predict ?scope tokens
         in
         match predict () with
         | p ->
             (* print once per distinct parse; every response (and the
                compiled-program cache key) reuses this string *)
-            let e = { pred = p; text = Option.map Printer.program_to_string p.Aligner.program } in
+            let e = { pred = p; text = Option.map Printer.program_to_string p.Model.program } in
             Parse_cache.add t.cache key e;
             (e, false, None)
         | exception e ->
-            ({ pred = Aligner.no_prediction; text = None }, false, Some (Printexc.to_string e)))
+            ({ pred = Model.no_prediction; text = None }, false, Some (Printexc.to_string e)))
   in
   let pred = entry.pred in
   let t2 = now_ns () +. !skew in
@@ -233,7 +229,7 @@ let process ?(attempt = 0) ?preparsed t (req : Request.t) : Response.t =
   end
   else begin
     let notifications, side_effects, exec_error, exec_ran =
-      match (req.Request.execute, pred.Aligner.program) with
+      match (req.Request.execute, pred.Model.program) with
       | true, Some p -> (
           Probe.incr probe Probe.Exec;
           match
@@ -254,7 +250,7 @@ let process ?(attempt = 0) ?preparsed t (req : Request.t) : Response.t =
     let status =
       if timed_out then Response.Timeout
       else if Option.is_some error then Response.Error
-      else if Option.is_none pred.Aligner.program then Response.No_parse
+      else if Option.is_none pred.Model.program then Response.No_parse
       else Response.Ok
     in
     let outcome =
@@ -269,10 +265,10 @@ let process ?(attempt = 0) ?preparsed t (req : Request.t) : Response.t =
     { Response.id;
       utterance = req.Request.utterance;
       status;
-      program = (if timed_out then None else pred.Aligner.program);
+      program = (if timed_out then None else pred.Model.program);
       program_text = (if timed_out then None else entry.text);
-      nn_tokens = (if timed_out then [] else pred.Aligner.nn_tokens);
-      score = pred.Aligner.score;
+      nn_tokens = (if timed_out then [] else pred.Model.nn_tokens);
+      score = pred.Model.score;
       from_cache;
       degraded = false;
       attempts = attempt + 1;
@@ -288,8 +284,8 @@ let process ?(attempt = 0) ?preparsed t (req : Request.t) : Response.t =
   end
 
 (* Batched serving: distinct uncached utterances are parsed in one
-   [Aligner.predict_batch] pass (which shares alignment scoring work across
-   the batch), then every request is replayed through [process] in
+   [Model.predict_batch] pass (which shares decoding work across the
+   batch), then every request is replayed through [process] in
    submission order with the batch predictions supplied. [Parse_cache.mem]
    peeks without touching recency or counters, and the replay performs the
    same find/add/exec/record sequence as the sequential path, so responses,
@@ -297,7 +293,7 @@ let process ?(attempt = 0) ?preparsed t (req : Request.t) : Response.t =
    requests one by one — intra-batch duplicate misses become hits on replay
    exactly as they would sequentially, and a key the peek missed (say,
    evicted mid-replay under capacity pressure) falls back to an inline
-   [Aligner.predict] that returns the same value. Batches with an active
+   [Model.predict] that returns the same value. Batches with an active
    fault schedule, an enabled tracer, or any per-request deadline take the
    sequential path unchanged: those features are specified against
    per-request timing and crash points, which batching would reorder. *)
@@ -321,22 +317,21 @@ let process_batch ?(attempt = 0) t (reqs : Request.t list) : Response.t list =
           end)
         reqs
     in
-    let preds = Aligner.predict_batch t.model (List.map snd missing) in
+    let preds = t.model.Model.predict_batch (List.map snd missing) in
     let table = Hashtbl.create 64 in
     List.iter2 (fun (key, _) p -> Hashtbl.replace table key p) missing preds;
     List.map (process ~attempt ~preparsed:(Hashtbl.find_opt table) t) reqs
   end
 
-(* Hot-swap: replace the model (with the usual private [explainer] copy)
-   and clear the parse cache, whose entries were computed by the old
-   weights. The caller — Server.swap_model, between run_batch calls — must
-   guarantee no request is in flight on this engine; the pool's submit
-   channel then publishes the write to the worker domain before its next
-   job. The compiled-program cache survives: bytecode is a pure function of
-   the canonical program text, not of the model that produced it. *)
+(* Hot-swap: replace the model (with the usual private fork) and clear the
+   parse cache, whose entries were computed by the old model. The caller —
+   Server.swap_model, between run_batch calls — must guarantee no request
+   is in flight on this engine; the pool's submit channel then publishes
+   the write to the worker domain before its next job. The
+   compiled-program cache survives: bytecode is a pure function of the
+   canonical program text, not of the model that produced it. *)
 let swap_model t model =
-  t.model <-
-    { model with Aligner.explainer = Hashtbl.copy model.Aligner.explainer };
+  t.model <- model.Model.fork ();
   Parse_cache.clear t.cache
 
 let cache_stats t = Parse_cache.stats t.cache

@@ -1,13 +1,13 @@
 (** One worker's single-request processing path: tokenize -> parse-cache
-    lookup -> aligner decode on a miss -> optional runtime execution, with
+    lookup -> model decode on a miss -> optional runtime execution, with
     per-stage timing, deadline enforcement and fault-injection hooks.
 
     An engine owns everything a request touches that is not thread-safe: a
     private LRU parse cache, a private {!Genie_runtime.Exec.env}, and a
-    private handle on the (otherwise shared, read-only) aligner model whose
-    predict-time scratch cache is copied per engine. Each engine must only
-    ever be driven from one domain at a time; metrics are shared and
-    atomic. *)
+    private {!Genie_parser_model.Model.fork} of the (otherwise shared,
+    read-only) model whose predict-time scratch is per-fork. Each engine
+    must only ever be driven from one domain at a time; metrics are shared
+    and atomic. *)
 
 open Genie_thingtalk
 
@@ -15,7 +15,7 @@ type t
 
 val create :
   lib:Schema.Library.t ->
-  model:Genie_parser_model.Aligner.t ->
+  model:Genie_parser_model.Model.t ->
   cache_capacity:int ->
   metrics:Metrics.t ->
   worker:int ->
@@ -38,7 +38,7 @@ val create :
 
 val process :
   ?attempt:int ->
-  ?preparsed:(string -> Genie_parser_model.Aligner.prediction option) ->
+  ?preparsed:(string -> Genie_parser_model.Model.prediction option) ->
   t ->
   Request.t ->
   Response.t
@@ -50,23 +50,23 @@ val process :
     [attempt] (default 0) is the retry ordinal the schedule consults, echoed
     back as [response.attempts = attempt + 1]. [preparsed] (used by
     {!process_batch}) is consulted by cache key on a cache miss before
-    falling back to the aligner; it must only return predictions identical
-    to what the aligner would produce. *)
+    falling back to the model; it must only return predictions identical
+    to what the model would produce. *)
 
 val process_batch : ?attempt:int -> t -> Request.t list -> Response.t list
 (** Serves a list of requests, parsing all distinct uncached utterances in
-    one batched aligner pass. Responses, cache state, probes and metrics are
+    one batched model pass. Responses, cache state, probes and metrics are
     identical to [List.map (process ~attempt t)] over the same list;
     batches with an active fault schedule, an enabled tracer, or any
     per-request deadline fall back to exactly that sequential path. *)
 
-val swap_model : t -> Genie_parser_model.Aligner.t -> unit
+val swap_model : t -> Genie_parser_model.Model.t -> unit
 (** Atomically (from this engine's point of view: it must not be processing
     a request, which {!Server.swap_model} guarantees by running between
-    batches) replaces the model — taking the usual private [explainer]
-    copy — and clears the parse cache, whose entries belong to the old
-    weights. The compiled-program cache is kept: bytecode depends only on
-    the canonical program text. *)
+    batches) replaces the model — taking the usual private fork — and
+    clears the parse cache, whose entries belong to the old model. The
+    compiled-program cache is kept: bytecode depends only on the canonical
+    program text. *)
 
 val cache_stats : t -> Parse_cache.stats
 

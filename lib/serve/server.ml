@@ -50,7 +50,8 @@ type t = {
   retry_backoff_ns : float;
   degraded_cache : cached_parse Parse_cache.t;  (* coordinator-only *)
   tracer : Tracer.t;  (* coordinator records into slot [Array.length engines] *)
-  mutable model_digest : string;  (* Aligner.digest of the active model *)
+  mutable model_digest : string;  (* [Model.digest] of the active model *)
+  mutable model_kind : string;  (* [Model.kind] of the active model *)
   mutable swaps : int;  (* hot-swaps committed *)
   mutable last_batch : int * float;  (* requests, wall seconds *)
   mutable total_requests : int;  (* across every run_batch call *)
@@ -89,6 +90,7 @@ type stats = {
   compile_evictions : int;
   compile_entries : int;
   model_digest : string;
+  model_kind : string;
   swaps : int;
 }
 
@@ -147,7 +149,10 @@ let create ~lib ~model ?(cache_capacity = 4096) ?(workers = 0)
     retry_backoff_ns = retry_backoff_ms *. 1e6;
     degraded_cache = Parse_cache.create ~capacity:cache_capacity;
     tracer;
-    model_digest = Genie_parser_model.Aligner.digest model;
+    model_digest = model.Genie_parser_model.Model.digest;
+    model_kind =
+      Genie_parser_model.Model.kind_to_string
+        model.Genie_parser_model.Model.kind;
     swaps = 0;
     last_batch = (0, 0.0);
     total_requests = 0;
@@ -157,7 +162,8 @@ let create ~lib ~model ?(cache_capacity = 4096) ?(workers = 0)
 let of_artifacts ?cache_capacity ?workers ?queue_capacity ?seed ?fault
     ?admission_capacity ?degrade ?max_retries ?retry_backoff_ms ?tracer
     ?compiled ?compile_cache_capacity (a : Genie_core.Pipeline.artifacts) =
-  create ~lib:a.Genie_core.Pipeline.lib ~model:a.Genie_core.Pipeline.model
+  create ~lib:a.Genie_core.Pipeline.lib
+    ~model:(Genie_parser_model.Model.of_aligner a.Genie_core.Pipeline.model)
     ?cache_capacity ?workers ?queue_capacity ?seed ?fault ?admission_capacity
     ?degrade ?max_retries ?retry_backoff_ms ?tracer ?compiled
     ?compile_cache_capacity ()
@@ -553,6 +559,7 @@ let stats (t : t) =
     compile_evictions = cevictions;
     compile_entries = centries;
     model_digest = t.model_digest;
+    model_kind = t.model_kind;
     swaps = t.swaps }
 
 (* --- live model hot-swap ------------------------------------------------------ *)
@@ -568,8 +575,8 @@ let stats (t : t) =
    Caches invalidate by model digest: a reload that resolves to the
    already-active digest keeps every cache warm and only bumps the
    [swap.noop] probe. *)
-let swap_model t model =
-  let d = Genie_parser_model.Aligner.digest model in
+let swap_model t (model : Genie_parser_model.Model.t) =
+  let d = model.Genie_parser_model.Model.digest in
   let probe = Metrics.probe t.metrics in
   if d = t.model_digest then begin
     Probe.incr probe Probe.Swap_noop;
@@ -582,6 +589,9 @@ let swap_model t model =
     Parse_cache.clear t.degraded_cache;
     Probe.incr probe Probe.Swap_cache_clear;
     t.model_digest <- d;
+    t.model_kind <-
+      Genie_parser_model.Model.kind_to_string
+        model.Genie_parser_model.Model.kind;
     t.swaps <- t.swaps + 1;
     Probe.incr probe Probe.Swap;
     if Tracer.enabled t.tracer then
@@ -596,6 +606,7 @@ let swap_model t model =
   end
 
 let model_digest (t : t) = t.model_digest
+let model_kind (t : t) = t.model_kind
 
 let metrics_snapshot (t : t) = Metrics.snapshot t.metrics
 let probe (t : t) = Metrics.probe t.metrics

@@ -10,7 +10,9 @@
     [workers >= 2] spawns a {!Pool} and shards requests across workers by
     cache key, so each worker's private cache and runtime see a stable
     partition of the key space and a pooled run performs exactly the same
-    set of aligner decodes as a sequential run.
+    set of model decodes as a sequential run. The server is polymorphic
+    over {!Genie_parser_model.Model}: aligner and seq2seq backends serve
+    through the same engines, caches and swap machinery.
 
     Failure semantics: every submitted request gets exactly one response —
     [Ok], [No_parse], [Timeout] (deadline expired), [Overloaded] (shed at
@@ -56,13 +58,14 @@ type stats = {
   compile_misses : int;
   compile_evictions : int;
   compile_entries : int;
-  model_digest : string;  (** {!Genie_parser_model.Aligner.digest} of the active model *)
+  model_digest : string;  (** {!Genie_parser_model.Model.digest} of the active model *)
+  model_kind : string;  (** ["aligner"] / ["seq2seq"] — which backend is live *)
   swaps : int;  (** hot-swaps committed over the server's lifetime *)
 }
 
 val create :
   lib:Schema.Library.t ->
-  model:Genie_parser_model.Aligner.t ->
+  model:Genie_parser_model.Model.t ->
   ?cache_capacity:int ->
   ?workers:int ->
   ?queue_capacity:int ->
@@ -112,7 +115,8 @@ val of_artifacts :
   ?compile_cache_capacity:int ->
   Genie_core.Pipeline.artifacts ->
   t
-(** A server over a trained pipeline's library and parser model. *)
+(** A server over a trained pipeline's library and parser model (the
+    aligner, wrapped with {!Genie_parser_model.Model.of_aligner}). *)
 
 val handle : t -> Request.t -> Response.t
 (** Serves one request on the calling domain (on the engine its key shards
@@ -127,7 +131,7 @@ val run_batch : ?batched:bool -> t -> Request.t list -> Response.t list
 
     With [~batched:true] (default false) each worker's admitted requests go
     through {!Engine.process_batch}, which parses all distinct uncached
-    utterances in one batched aligner pass; responses and end-of-batch
+    utterances in one batched model pass; responses and end-of-batch
     server state are identical to the per-request path. On a pooled server
     the whole group rides the persistent worker domains as one job per
     engine — a single pool crossing per worker per batch, which is what the
@@ -138,7 +142,7 @@ val run_batch : ?batched:bool -> t -> Request.t list -> Response.t list
 
 val swap_model :
   t ->
-  Genie_parser_model.Aligner.t ->
+  Genie_parser_model.Model.t ->
   [ `Swapped of string | `Unchanged of string ]
 (** Atomically swaps in a new model, returning the active model digest.
     Must be called between {!run_batch} calls (the network daemon does so
@@ -149,12 +153,17 @@ val swap_model :
     coordinator's degraded cache (all memoize old-model output), bumps the
     [swap.commit] / [swap.cache_invalidate] probes and records a
     [swap.model] span; compiled-program caches survive (bytecode depends
-    only on program text). A reload resolving to the already-active digest
-    is [`Unchanged]: every cache stays warm and only [swap.noop] is
-    bumped. *)
+    only on program text). Swapping across backends (aligner to seq2seq or
+    back) is the same operation — the digest spaces are distinct, so a
+    cross-kind swap always commits. A reload resolving to the
+    already-active digest is [`Unchanged]: every cache stays warm and only
+    [swap.noop] is bumped. *)
 
 val model_digest : t -> string
 (** The active model's digest, as reported in {!stats}. *)
+
+val model_kind : t -> string
+(** The active model's kind string, as reported in {!stats}. *)
 
 val stats : t -> stats
 

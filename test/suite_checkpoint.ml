@@ -491,18 +491,23 @@ let mini_dataset names =
    programs, so several utterances parse differently under it. *)
 let model_a =
   lazy
-    (Genie_parser_model.Aligner.train lib
-       (mini_dataset [ "alice"; "bob"; "carol"; "dan"; "eve"; "mallory" ]))
+    (Genie_parser_model.Model.of_aligner
+       (Genie_parser_model.Aligner.train lib
+          (mini_dataset [ "alice"; "bob"; "carol"; "dan"; "eve"; "mallory" ])))
 
 let model_b =
   lazy
-    (Genie_parser_model.Aligner.train lib
-       (List.filter
-          (fun (e : Genie_dataset.Example.t) ->
-            match e.Genie_dataset.Example.tokens with
-            | "tweet" :: _ -> true
-            | _ -> false)
-          (mini_dataset [ "alice"; "bob"; "carol" ])))
+    (Genie_parser_model.Model.of_aligner
+       (Genie_parser_model.Aligner.train lib
+          (List.filter
+             (fun (e : Genie_dataset.Example.t) ->
+               match e.Genie_dataset.Example.tokens with
+               | "tweet" :: _ -> true
+               | _ -> false)
+             (mini_dataset [ "alice"; "bob"; "carol" ]))))
+
+let model_digest (m : Genie_parser_model.Model.t) =
+  m.Genie_parser_model.Model.digest
 
 let utterances =
   [ "tweet alice"; "tweet bob"; "show me emails from carol"; "get a cat picture";
@@ -537,15 +542,15 @@ let goldens_b = lazy (goldens (Lazy.force model_b))
 let test_aligner_digest_identity () =
   let a = Lazy.force model_a and b = Lazy.force model_b in
   Alcotest.(check bool) "distinct models, distinct digests" true
-    (Genie_parser_model.Aligner.digest a <> Genie_parser_model.Aligner.digest b);
+    (model_digest a <> model_digest b);
   (* retraining on the same data is the same model *)
   let a' =
-    Genie_parser_model.Aligner.train lib
-      (mini_dataset [ "alice"; "bob"; "carol"; "dan"; "eve"; "mallory" ])
+    Genie_parser_model.Model.of_aligner
+      (Genie_parser_model.Aligner.train lib
+         (mini_dataset [ "alice"; "bob"; "carol"; "dan"; "eve"; "mallory" ]))
   in
-  Alcotest.(check string) "retrain reproduces the digest"
-    (Genie_parser_model.Aligner.digest a)
-    (Genie_parser_model.Aligner.digest a');
+  Alcotest.(check string) "retrain reproduces the digest" (model_digest a)
+    (model_digest a');
   (* goldens must actually differ somewhere, or the differential tests
      below prove nothing *)
   let ga = Lazy.force goldens_a and gb = Lazy.force goldens_b in
@@ -561,7 +566,7 @@ let test_swap_invalidates_parse_cache () =
   (match Server.swap_model server (Lazy.force model_b) with
   | `Swapped d ->
       Alcotest.(check string) "digest is B"
-        (Genie_parser_model.Aligner.digest (Lazy.force model_b))
+        (model_digest (Lazy.force model_b))
         d
   | `Unchanged _ -> Alcotest.fail "distinct model reported unchanged");
   let after = Server.stats server in
@@ -570,7 +575,7 @@ let test_swap_invalidates_parse_cache () =
     after.Server.compile_entries;
   Alcotest.(check int) "swap counted" 1 after.Server.swaps;
   Alcotest.(check string) "stats report the new digest"
-    (Genie_parser_model.Aligner.digest (Lazy.force model_b))
+    (model_digest (Lazy.force model_b))
     after.Server.model_digest;
   let stages = (Server.metrics_snapshot server).Metrics.stages in
   Alcotest.(check int) "swap.commit probe" 1
@@ -585,8 +590,9 @@ let test_swap_noop_on_equal_digest () =
   let warmed = (Server.stats server).Server.cache_entries in
   (* an equal model (fresh retrain, same data) must not disturb the caches *)
   let same =
-    Genie_parser_model.Aligner.train lib
-      (mini_dataset [ "alice"; "bob"; "carol"; "dan"; "eve"; "mallory" ])
+    Genie_parser_model.Model.of_aligner
+      (Genie_parser_model.Aligner.train lib
+         (mini_dataset [ "alice"; "bob"; "carol"; "dan"; "eve"; "mallory" ]))
   in
   (match Server.swap_model server same with
   | `Unchanged _ -> ()
@@ -738,7 +744,7 @@ let test_daemon_reload_over_loopback () =
      roundtrip gb "post-reload" 100;
      (* live remote stats must carry the new identity *)
      let js = Genie_net.Client.server_stats c in
-     let digest_b = Genie_parser_model.Aligner.digest (Lazy.force model_b) in
+     let digest_b = model_digest (Lazy.force model_b) in
      let mentions needle hay =
        let nl = String.length needle and hl = String.length hay in
        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
@@ -755,18 +761,14 @@ let test_daemon_reload_over_loopback () =
   finish ();
   (match !swapped with
   | Some (od, nd) ->
-      Alcotest.(check string) "old digest"
-        (Genie_parser_model.Aligner.digest (Lazy.force model_a))
-        od;
-      Alcotest.(check string) "new digest"
-        (Genie_parser_model.Aligner.digest (Lazy.force model_b))
-        nd
+      Alcotest.(check string) "old digest" (model_digest (Lazy.force model_a)) od;
+      Alcotest.(check string) "new digest" (model_digest (Lazy.force model_b)) nd
   | None -> Alcotest.fail "on_swap never fired");
   let s = Genie_net.Daemon.stats d in
   Alcotest.(check int) "reloads" 1 s.Genie_net.Daemon.reloads;
   Alcotest.(check int) "reload failures" 0 s.Genie_net.Daemon.reload_failures;
   Alcotest.(check string) "daemon stats digest"
-    (Genie_parser_model.Aligner.digest (Lazy.force model_b))
+    (model_digest (Lazy.force model_b))
     s.Genie_net.Daemon.model_digest;
   Alcotest.(check bool) "drained" true s.Genie_net.Daemon.drained
 
@@ -788,7 +790,7 @@ let test_daemon_reload_without_source_fails_closed () =
   Alcotest.(check int) "failure counted" 1 s.Genie_net.Daemon.reload_failures;
   Alcotest.(check int) "no swap" 0 s.Genie_net.Daemon.reloads;
   Alcotest.(check string) "digest unchanged"
-    (Genie_parser_model.Aligner.digest (Lazy.force model_a))
+    (model_digest (Lazy.force model_a))
     s.Genie_net.Daemon.model_digest
 
 let suite =

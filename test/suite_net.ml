@@ -38,7 +38,10 @@ let mini_dataset () =
            mk "when i receive an email , get a cat picture"
              "monitor (@com.gmail.inbox()) => @com.thecatapi.get() => notify;" ]))
 
-let model = lazy (Genie_parser_model.Aligner.train lib (mini_dataset ()))
+let model =
+  lazy
+    (Genie_parser_model.Model.of_aligner
+       (Genie_parser_model.Aligner.train lib (mini_dataset ())))
 
 let utterances =
   [ "tweet alice"; "tweet bob"; "show me emails from carol"; "get a cat picture";

@@ -40,7 +40,10 @@ let mini_dataset () =
            mk "when i receive an email , get a cat picture"
              "monitor (@com.gmail.inbox()) => @com.thecatapi.get() => notify;" ]))
 
-let model = lazy (Genie_parser_model.Aligner.train lib (mini_dataset ()))
+let model =
+  lazy
+    (Genie_parser_model.Model.of_aligner
+       (Genie_parser_model.Aligner.train lib (mini_dataset ())))
 
 (* eight distinct utterances: under these, every fault-class decision and
    every cache outcome is identical between serving paths, so even fault-run

@@ -16,6 +16,7 @@ let () =
       ("augment", Suite_augment.suite);
       ("dataset", Suite_dataset.suite);
       ("parser-model", Suite_parser_model.suite);
+      ("model", Suite_model.suite);
       ("aligner-internals", Suite_aligner_internals.suite);
       ("nn", Suite_nn.suite);
       ("train-parallel", Suite_train_parallel.suite);
